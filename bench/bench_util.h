@@ -1,0 +1,31 @@
+#ifndef SECXML_BENCH_BENCH_UTIL_H_
+#define SECXML_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace secxml::bench {
+
+/// Parses an optional positive-integer scale argument (argv[1]); benches use
+/// it as the document node count so the harness can be run at paper scale
+/// (e.g. 832911 nodes for the 50 MB XMark instance) or quickly in CI.
+inline uint32_t ScaleArg(int argc, char** argv, uint32_t default_nodes) {
+  if (argc > 1) {
+    long v = std::strtol(argv[1], nullptr, 10);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return default_nodes;
+}
+
+/// Prints a banner naming the experiment being reproduced.
+inline void Banner(const std::string& title) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace secxml::bench
+
+#endif  // SECXML_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,131 @@
+// Reproduces Figure 4(a): ratio of CAM labels to DOL transition nodes for a
+// single subject on an XMark document with synthetic access controls, as the
+// accessibility ratio sweeps 10%-90% for propagation ratios 1%, 3%, 5%.
+//
+// Paper shape: the ratio is ~0.5 at low accessibility (CAM about half the
+// size of DOL) and approaches 1 as accessibility rises; CAM size is
+// asymmetric in the accessibility ratio (closed-world default), DOL is
+// symmetric with its maximum at 50%.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/cam.h"
+#include "bench_util.h"
+#include "core/dol_labeling.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+int Run(int argc, char** argv) {
+  uint32_t nodes = bench::ScaleArg(argc, argv, 100000);
+  bench::Banner("Figure 4(a): CAM labels / DOL transition nodes, "
+                "single subject, synthetic ACLs on XMark (" +
+                std::to_string(nodes) + " nodes)");
+
+  XMarkOptions xopts;
+  xopts.target_nodes = nodes;
+  Document doc;
+  Status st = GenerateXMark(xopts, &doc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "xmark generation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  NodeId n = static_cast<NodeId>(doc.NumNodes());
+  constexpr int kSeeds = 3;  // average over random draws
+
+  std::printf("%-8s", "acc%");
+  for (double prop : {0.01, 0.03, 0.05}) {
+    std::printf("  prop=%.0f%%: ratio  (CAM, DOL)    ", prop * 100);
+  }
+  std::printf("\n");
+
+  for (int acc = 10; acc <= 90; acc += 10) {
+    std::printf("%-8d", acc);
+    for (double prop : {0.01, 0.03, 0.05}) {
+      double cam_total = 0, dol_total = 0;
+      for (int s = 0; s < kSeeds; ++s) {
+        SyntheticAclOptions aopts;
+        aopts.propagation_ratio = prop;
+        aopts.accessibility_ratio = acc / 100.0;
+        aopts.seed = 1000 + static_cast<uint64_t>(s);
+        std::vector<NodeInterval> ivs = GenerateSyntheticAcl(doc, aopts);
+        IntervalAccessMap map(n, 1);
+        map.SetSubjectIntervals(0, ivs);
+        DolLabeling dol = DolLabeling::BuildFromEvents(n, map.InitialAcl(),
+                                                       map.CollectEvents());
+        Cam cam = Cam::Build(
+            doc, [&map](NodeId x) { return map.Accessible(0, x); });
+        cam_total += static_cast<double>(cam.num_labels());
+        dol_total += static_cast<double>(dol.num_transitions());
+      }
+      double cam_avg = cam_total / kSeeds;
+      double dol_avg = dol_total / kSeeds;
+      std::printf("  %14.3f (%6.0f, %6.0f)", cam_avg / dol_avg, cam_avg,
+                  dol_avg);
+    }
+    std::printf("\n");
+  }
+
+  // The asymmetry observation from Section 5.1: CAM at 10% vs 90%, DOL
+  // symmetric around 50%.
+  std::printf("\nShape checks (prop=3%%, averaged):\n");
+  auto sizes_at = [&](double ratio) {
+    double cam_total = 0, dol_total = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      SyntheticAclOptions aopts;
+      aopts.propagation_ratio = 0.03;
+      aopts.accessibility_ratio = ratio;
+      aopts.seed = 2000 + static_cast<uint64_t>(s);
+      IntervalAccessMap map(n, 1);
+      map.SetSubjectIntervals(0, GenerateSyntheticAcl(doc, aopts));
+      DolLabeling dol = DolLabeling::BuildFromEvents(n, map.InitialAcl(),
+                                                     map.CollectEvents());
+      Cam cam =
+          Cam::Build(doc, [&map](NodeId x) { return map.Accessible(0, x); });
+      cam_total += static_cast<double>(cam.num_labels());
+      dol_total += static_cast<double>(dol.num_transitions());
+    }
+    return std::make_pair(cam_total / kSeeds, dol_total / kSeeds);
+  };
+  auto [cam10, dol10] = sizes_at(0.10);
+  auto [cam50, dol50] = sizes_at(0.50);
+  auto [cam90, dol90] = sizes_at(0.90);
+  std::printf("  CAM:  10%% -> %.0f   50%% -> %.0f   90%% -> %.0f\n", cam10,
+              cam50, cam90);
+  std::printf("  DOL:  10%% -> %.0f   50%% -> %.0f   90%% -> %.0f "
+              "(symmetric, max near 50%%)\n", dol10, dol50, dol90);
+
+  // Ablation: the positive-cover CAM variant (labels can only grant).
+  // Its size is strongly asymmetric in the accessibility ratio — the
+  // asymmetry the paper remarks on — at the cost of losing to DOL outright.
+  std::printf("\nAblation: positive-cover CAM variant (prop=3%%):\n");
+  std::printf("%-8s %12s %12s %12s\n", "acc%", "PositiveCAM", "CAM", "DOL");
+  for (int acc : {10, 30, 50, 60, 70, 90}) {
+    double pos_total = 0, cam_total = 0, dol_total = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      SyntheticAclOptions aopts;
+      aopts.propagation_ratio = 0.03;
+      aopts.accessibility_ratio = acc / 100.0;
+      aopts.seed = 3000 + static_cast<uint64_t>(s);
+      IntervalAccessMap map(n, 1);
+      map.SetSubjectIntervals(0, GenerateSyntheticAcl(doc, aopts));
+      auto acc_fn = [&map](NodeId x) { return map.Accessible(0, x); };
+      pos_total += static_cast<double>(PositiveCam::Build(doc, acc_fn).num_labels());
+      cam_total += static_cast<double>(Cam::Build(doc, acc_fn).num_labels());
+      DolLabeling dol = DolLabeling::BuildFromEvents(n, map.InitialAcl(),
+                                                     map.CollectEvents());
+      dol_total += static_cast<double>(dol.num_transitions());
+    }
+    std::printf("%-8d %12.0f %12.0f %12.0f\n", acc, pos_total / kSeeds,
+                cam_total / kSeeds, dol_total / kSeeds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

@@ -1,0 +1,106 @@
+// Reproduces Figures 6(a) and 6(b): DOL transition node count as a function
+// of the number of subjects, for the LiveLink and Unix filesystem
+// surrogates.
+//
+// Paper shape: strongly sublinear growth — for LiveLink the transition
+// count for all 8639 subjects is only a small multiple of the single-subject
+// count, and transition density stays far below one per ten nodes.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "workload/livelink_surrogate.h"
+#include "workload/unixfs_surrogate.h"
+
+namespace secxml {
+namespace {
+
+std::vector<SubjectId> SampleSubjects(size_t total, size_t count, Rng* rng) {
+  std::vector<SubjectId> all(total);
+  std::iota(all.begin(), all.end(), 0);
+  for (size_t i = 0; i < count && i + 1 < total; ++i) {
+    size_t j = i + rng->Uniform(total - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(std::min(count, total));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void Sweep(const char* name, const IntervalAccessMap* imap,
+           const RunAccessMap* rmap, size_t num_subjects, size_t num_nodes,
+           const std::vector<size_t>& sizes) {
+  std::printf("\n%s\n%-10s %18s %16s\n", name, "subjects", "transition nodes",
+              "density (1/n)");
+  Rng rng(13);
+  size_t single = 0, full = 0;
+  for (size_t count : sizes) {
+    std::vector<SubjectId> subset = SampleSubjects(num_subjects, count, &rng);
+    DolLabeling dol;
+    if (imap != nullptr) {
+      dol = DolLabeling::BuildFromEvents(imap->num_nodes(),
+                                         imap->InitialAcl(&subset),
+                                         imap->CollectEvents(&subset));
+    } else {
+      dol = DolLabeling::BuildFromRuns(rmap->ProjectSubjects(subset));
+    }
+    if (count == 1) single = dol.num_transitions();
+    full = dol.num_transitions();
+    std::printf("%-10zu %18zu %16.0f\n", subset.size(), dol.num_transitions(),
+                dol.num_transitions() > 0
+                    ? static_cast<double>(num_nodes) /
+                          static_cast<double>(dol.num_transitions())
+                    : 0.0);
+  }
+  if (single > 0) {
+    std::printf("growth: all-subject transitions = %.1fx the single-subject "
+                "count (linear would be %zux)\n",
+                static_cast<double>(full) / static_cast<double>(single),
+                num_subjects);
+  }
+}
+
+int Run(int argc, char** argv) {
+  uint32_t nodes = bench::ScaleArg(argc, argv, 120000);
+  bench::Banner("Figure 6: DOL transition nodes vs number of subjects");
+
+  {
+    LiveLinkOptions opts;
+    opts.target_nodes = nodes;
+    LiveLinkWorkload w;
+    Status st = GenerateLiveLink(opts, &w);
+    if (!st.ok()) {
+      std::fprintf(stderr, "livelink: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Sweep("Figure 6(a): LiveLink (mode 0)", &w.modes[0], nullptr,
+          w.num_subjects(), w.doc.NumNodes(),
+          {1, 10, 50, 100, 250, 500, 1000, 2000, 4000, 6000, 8639});
+  }
+  {
+    UnixFsOptions opts;
+    opts.target_nodes = std::max(nodes, 100000u);
+    UnixFsWorkload w;
+    Status st = GenerateUnixFs(opts, &w);
+    if (!st.ok()) {
+      std::fprintf(stderr, "unixfs: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Sweep("Figure 6(b): Unix filesystem (read mode)", nullptr,
+          w.read_map.get(), w.num_subjects(), w.doc.NumNodes(),
+          {1, 5, 10, 25, 50, 100, 150, 200, 247});
+  }
+  std::printf("\n(paper: 247-subject Unix transitions ~= 2x the 5-subject "
+              "count; transition density < 1/10 for both systems)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

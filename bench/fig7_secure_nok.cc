@@ -1,0 +1,203 @@
+// Reproduces Figure 7(a)-(c) and Table 1 (Q1-Q3): processing-time ratio and
+// answers-returned ratio between ε-NoK (secure) and NoK (non-secure) twig
+// evaluation, as the percentage of accessible nodes varies 50%-80%.
+//
+// Paper shape: the secure/non-secure time ratio stays around 1.0x-1.02x
+// independent of the accessibility ratio (accessibility checks need no extra
+// I/O), while the answers-returned ratio tracks accessibility; at low
+// accessibility the secure evaluator can beat the non-secure one thanks to
+// in-memory page-header skipping.
+//
+// Note on Q3: the literal Table 1 string
+// /site/categories/category/name[description/text/bold] matches nothing on
+// XMark documents (description is a sibling of name, not its child); we run
+// the evidently intended form with the predicate on category. See
+// EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr const char* kQueries[] = {
+    "/site/regions/africa/item[location][name][quantity]",    // Q1
+    "/site/categories/category[name]/description/text/bold",  // Q2
+    "/site/categories/category[description/text/bold]/name",  // Q3 (see note)
+};
+
+struct Fixture {
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+std::unique_ptr<Fixture> Build(const Document& doc, double accessibility,
+                               size_t extra_subjects, uint64_t acl_seed) {
+  auto f = std::make_unique<Fixture>();
+  // Subject 0 is the querying user at the requested accessibility ratio;
+  // additional subjects give the codebook its multi-user structure (the
+  // paper's evaluation is explicitly multi-user).
+  SyntheticAclOptions aopts;
+  aopts.propagation_ratio = 0.03;
+  aopts.accessibility_ratio = accessibility;
+  aopts.seed = acl_seed;
+  IntervalAccessMap map =
+      GenerateSyntheticAclMap(doc, 1 + extra_subjects, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  // Pool smaller than the document so evaluation exercises the I/O path.
+  sopts.buffer_pool_pages = 64;
+  Status st = SecureStore::Build(doc, labeling, &f->file, sopts, &f->store);
+  if (!st.ok()) return nullptr;
+  return f;
+}
+
+struct RunResult {
+  double seconds = 0;
+  size_t answers = 0;
+  uint64_t page_reads = 0;
+  uint64_t pages_skipped = 0;
+};
+
+RunResult RunQuery(SecureStore* store, const std::string& query,
+                   AccessSemantics semantics, int repetitions) {
+  QueryEvaluator eval(store);
+  EvalOptions opts;
+  opts.semantics = semantics;
+  RunResult result;
+  // Warm-up (also validates the query).
+  (void)store->nok()->buffer_pool()->EvictAll();
+  auto warm = eval.EvaluateXPath(query, opts);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 warm.status().ToString().c_str());
+    return result;
+  }
+  result.answers = warm->answers.size();
+  Timer timer;
+  double total = 0;
+  for (int r = 0; r < repetitions; ++r) {
+    (void)store->nok()->buffer_pool()->EvictAll();
+    store->nok()->buffer_pool()->mutable_stats()->Reset();
+    timer.Reset();
+    auto got = eval.EvaluateXPath(query, opts);
+    total += timer.ElapsedSeconds();
+    if (got.ok()) {
+      result.page_reads = store->io_stats().page_reads;
+      result.pages_skipped = store->io_stats().pages_skipped;
+    }
+  }
+  result.seconds = total / repetitions;
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  uint32_t nodes = bench::ScaleArg(argc, argv, 200000);
+  bench::Banner("Figure 7 / Table 1 (Q1-Q3): e-NoK vs NoK as accessibility "
+                "varies (" + std::to_string(nodes) + "-node XMark, 16 "
+                "subjects, 4 KB pages, 64-page buffer pool)");
+
+  XMarkOptions xopts;
+  xopts.target_nodes = nodes;
+  Document doc;
+  if (!GenerateXMark(xopts, &doc).ok()) return 1;
+
+  constexpr int kReps = 7;
+  constexpr int kAclDraws = 5;  // average over independent ACL instances
+  for (int qi = 0; qi < 3; ++qi) {
+    std::printf("\nQ%d: %s\n", qi + 1, kQueries[qi]);
+    std::printf("%-6s %14s %14s %12s %12s %12s %12s\n", "acc%", "time ratio",
+                "answer ratio", "NoK ms", "eNoK ms", "eNoK reads",
+                "eNoK skips");
+    // 50-80% is the published sweep; 90/100% isolate the pure overhead of
+    // the accessibility checks (at 100% nothing is pruned, so the time
+    // ratio is exactly the paper's "worst case ~2%" figure).
+    for (int acc : {50, 60, 70, 80, 90, 100}) {
+      double plain_s = 0, secure_s = 0;
+      double plain_ans = 0, secure_ans = 0;
+      uint64_t reads = 0, skips = 0;
+      for (int draw = 0; draw < kAclDraws; ++draw) {
+        auto f = Build(doc, acc / 100.0, /*extra_subjects=*/15,
+                       4242 + static_cast<uint64_t>(draw));
+        if (f == nullptr) return 1;
+        RunResult plain = RunQuery(f->store.get(), kQueries[qi],
+                                   AccessSemantics::kNone, kReps);
+        RunResult secure = RunQuery(f->store.get(), kQueries[qi],
+                                    AccessSemantics::kBinding, kReps);
+        plain_s += plain.seconds;
+        secure_s += secure.seconds;
+        plain_ans += static_cast<double>(plain.answers);
+        secure_ans += static_cast<double>(secure.answers);
+        reads += secure.page_reads;
+        skips += secure.pages_skipped;
+      }
+      std::printf("%-6d %14.3f %14.3f %12.2f %12.2f %12.1f %12.1f\n", acc,
+                  plain_s > 0 ? secure_s / plain_s : 0.0,
+                  plain_ans > 0 ? secure_ans / plain_ans : 0.0,
+                  plain_s / kAclDraws * 1000, secure_s / kAclDraws * 1000,
+                  static_cast<double>(reads) / kAclDraws,
+                  static_cast<double>(skips) / kAclDraws);
+    }
+  }
+
+  // The low-accessibility regime where page skipping lets e-NoK beat NoK.
+  // An unanchored query is used so the tag-index candidates themselves can
+  // be skipped via the in-memory headers.
+  const std::string low_query = "//item[location][name][quantity]";
+  std::printf("\nLow-accessibility regime (page-skipping), %s:\n",
+              low_query.c_str());
+  std::printf("The page-skip test needs a clear change bit, i.e. no other\n"
+              "subject's transition in the page either; with many subjects\n"
+              "sharing pages the skip rarely fires and the savings come from\n"
+              "structural pruning instead — both variants are shown.\n");
+  for (size_t extra_subjects : {15u, 0u}) {
+    std::printf("\n%zu subject(s):\n", extra_subjects + 1);
+    std::printf("%-6s %14s %12s %12s %12s %12s\n", "acc%", "time ratio",
+                "NoK reads", "eNoK reads", "eNoK skips", "answers");
+    for (int acc : {5, 10, 20}) {
+      double plain_s = 0, secure_s = 0;
+      uint64_t plain_reads = 0, secure_reads = 0, skips = 0;
+      size_t answers = 0;
+      for (int draw = 0; draw < kAclDraws; ++draw) {
+        auto f = Build(doc, acc / 100.0, extra_subjects,
+                       1000 + static_cast<uint64_t>(draw));
+        if (f == nullptr) return 1;
+        RunResult plain =
+            RunQuery(f->store.get(), low_query, AccessSemantics::kNone, kReps);
+        RunResult secure = RunQuery(f->store.get(), low_query,
+                                    AccessSemantics::kBinding, kReps);
+        plain_s += plain.seconds;
+        secure_s += secure.seconds;
+        plain_reads += plain.page_reads;
+        secure_reads += secure.page_reads;
+        skips += secure.pages_skipped;
+        answers += secure.answers;
+      }
+      std::printf("%-6d %14.3f %12.1f %12.1f %12.1f %12.1f\n", acc,
+                  plain_s > 0 ? secure_s / plain_s : 0.0,
+                  static_cast<double>(plain_reads) / kAclDraws,
+                  static_cast<double>(secure_reads) / kAclDraws,
+                  static_cast<double>(skips) / kAclDraws,
+                  static_cast<double>(answers) / kAclDraws);
+    }
+  }
+  std::printf("\n(paper: secure evaluation costs <= ~2%% extra in the worst "
+              "case, independent of accessibility ratio)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) for the access-check hot path of
+// Section 3.3: in-memory header fast path vs in-page transition search,
+// logical CodeAt binary search, codebook interning, and full secure vs
+// non-secure NPM matching.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+struct Fixture {
+  Document doc;
+  DolLabeling labeling;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+Fixture* GetFixture() {
+  static Fixture* f = [] {
+    auto* fx = new Fixture();
+    XMarkOptions xopts;
+    xopts.target_nodes = 100000;
+    (void)GenerateXMark(xopts, &fx->doc);
+    SyntheticAclOptions aopts;
+    aopts.accessibility_ratio = 0.5;
+    IntervalAccessMap map = GenerateSyntheticAclMap(fx->doc, 16, aopts);
+    fx->labeling = DolLabeling::BuildFromEvents(
+        map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+    NokStoreOptions sopts;
+    sopts.buffer_pool_pages = 4096;  // fully cached: measure CPU path
+    (void)SecureStore::Build(fx->doc, fx->labeling, &fx->file, sopts,
+                             &fx->store);
+    return fx;
+  }();
+  return f;
+}
+
+void BM_AccessCheckCached(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    NodeId n = static_cast<NodeId>(rng.Uniform(f->store->num_nodes()));
+    auto r = f->store->Accessible(7, n);
+    benchmark::DoNotOptimize(r.ok() && *r);
+  }
+}
+BENCHMARK(BM_AccessCheckCached);
+
+void BM_LogicalCodeAt(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  Rng rng(2);
+  for (auto _ : state) {
+    NodeId n = static_cast<NodeId>(rng.Uniform(f->labeling.num_nodes()));
+    benchmark::DoNotOptimize(f->labeling.CodeAt(n));
+  }
+}
+BENCHMARK(BM_LogicalCodeAt);
+
+void BM_CodebookIntern(benchmark::State& state) {
+  Codebook cb(static_cast<size_t>(state.range(0)));
+  Rng rng(3);
+  BitVector acl(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    acl.Set(rng.Uniform(acl.size()), rng.Bernoulli(0.5));
+    benchmark::DoNotOptimize(cb.Intern(acl));
+  }
+}
+BENCHMARK(BM_CodebookIntern)->Arg(64)->Arg(1024)->Arg(8639);
+
+void BM_PageHeaderSkipTest(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  Rng rng(4);
+  size_t pages = f->store->nok()->num_pages();
+  for (auto _ : state) {
+    size_t p = rng.Uniform(pages);
+    benchmark::DoNotOptimize(f->store->PageWhollyInaccessible(p, 7));
+  }
+}
+BENCHMARK(BM_PageHeaderSkipTest);
+
+void BM_TwigQuery(benchmark::State& state) {
+  Fixture* f = GetFixture();
+  QueryEvaluator eval(f->store.get());
+  EvalOptions opts;
+  opts.semantics = state.range(0) == 0 ? AccessSemantics::kNone
+                                       : AccessSemantics::kBinding;
+  for (auto _ : state) {
+    auto r = eval.EvaluateXPath(
+        "/site/regions/africa/item[location][name][quantity]", opts);
+    benchmark::DoNotOptimize(r.ok() ? r->answers.size() : 0);
+  }
+}
+BENCHMARK(BM_TwigQuery)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace secxml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Ablation for the paper's multi-mode remark (Section 2): action modes can
+// be handled "in a similar way for multiple users" by folding (mode,
+// subject) into pseudo-subjects of one DOL. Compares ten per-mode DOLs
+// against one folded DOL on the LiveLink surrogate.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dol_labeling.h"
+#include "core/mode_folding.h"
+#include "workload/livelink_surrogate.h"
+
+namespace secxml {
+namespace {
+
+int Run(int argc, char** argv) {
+  uint32_t nodes = bench::ScaleArg(argc, argv, 120000);
+  bench::Banner("Ablation: per-mode DOLs vs one folded multi-mode DOL "
+                "(LiveLink surrogate, " + std::to_string(nodes) + " nodes)");
+
+  LiveLinkOptions opts;
+  opts.target_nodes = nodes;
+  LiveLinkWorkload w;
+  if (!GenerateLiveLink(opts, &w).ok()) return 1;
+
+  size_t total_transitions = 0, total_entries = 0, total_bytes = 0;
+  std::printf("%-8s %14s %18s %14s\n", "mode", "transitions",
+              "codebook entries", "total bytes");
+  for (size_t m = 0; m < w.modes.size(); ++m) {
+    DolLabeling dol = DolLabeling::BuildFromEvents(w.modes[m].num_nodes(),
+                                                   w.modes[m].InitialAcl(),
+                                                   w.modes[m].CollectEvents());
+    DolLabeling::Stats s = dol.ComputeStats();
+    std::printf("%-8zu %14zu %18zu %14zu\n", m, s.num_transitions,
+                s.codebook_entries, s.total_bytes);
+    total_transitions += s.num_transitions;
+    total_entries += s.codebook_entries;
+    total_bytes += s.total_bytes;
+  }
+  std::printf("%-8s %14zu %18zu %14zu\n", "sum", total_transitions,
+              total_entries, total_bytes);
+
+  std::vector<const IntervalAccessMap*> modes;
+  for (const auto& m : w.modes) modes.push_back(&m);
+  auto folded = FoldModes(modes);
+  if (!folded.ok()) return 1;
+  DolLabeling folded_dol = DolLabeling::BuildFromEvents(
+      folded->num_nodes(), folded->InitialAcl(), folded->CollectEvents());
+  DolLabeling::Stats fs = folded_dol.ComputeStats();
+  std::printf("%-8s %14zu %18zu %14zu   (%zu pseudo-subjects)\n", "folded",
+              fs.num_transitions, fs.codebook_entries, fs.total_bytes,
+              folded->num_subjects());
+  std::printf("\nfolding merges transitions at shared boundaries "
+              "(%.1fx fewer transition nodes than the per-mode sum) and one\n"
+              "lookup answers any (subject, mode) pair; the codebook rows "
+              "grow %zux wider in exchange.\n",
+              static_cast<double>(total_transitions) /
+                  static_cast<double>(fs.num_transitions),
+              w.modes.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

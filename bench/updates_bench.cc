@@ -1,0 +1,209 @@
+// Ablation for Section 3.4: update costs of the physically embedded DOL.
+//  - single-node accessibility update: one page read + one page write;
+//  - subtree accessibility update of N nodes with B records per page:
+//    ~ceil(N/B) page reads and writes (update locality);
+//  - Proposition 1: each update adds at most 2 transition nodes;
+//  - subject addition/removal: codebook-only, zero page I/O.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+int Run(int argc, char** argv) {
+  uint32_t nodes = bench::ScaleArg(argc, argv, 150000);
+  bench::Banner("Section 3.4 ablation: DOL update costs (" +
+                std::to_string(nodes) + "-node XMark, 8 subjects)");
+
+  XMarkOptions xopts;
+  xopts.target_nodes = nodes;
+  Document doc;
+  if (!GenerateXMark(xopts, &doc).ok()) return 1;
+  SyntheticAclOptions aopts;
+  aopts.accessibility_ratio = 0.5;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, 8, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+  if (!SecureStore::Build(doc, labeling, &file, {}, &store).ok()) return 1;
+  const uint32_t records_per_page =
+      store->nok()->page_infos()[0].num_records;
+  std::printf("store: %zu pages, %u records/page\n",
+              store->nok()->num_pages(), records_per_page);
+  Rng rng(5);
+  BufferPool* pool = store->nok()->buffer_pool();
+
+  // Single-node updates.
+  {
+    uint64_t reads = 0, writes = 0;
+    double total_ms = 0;
+    constexpr int kOps = 200;
+    Timer timer;
+    for (int i = 0; i < kOps; ++i) {
+      NodeId n = static_cast<NodeId>(rng.Uniform(store->num_nodes()));
+      SubjectId s = static_cast<SubjectId>(rng.Uniform(8));
+      (void)pool->EvictAll();
+      pool->mutable_stats()->Reset();
+      timer.Reset();
+      Status st = store->SetNodeAccess(n, s, rng.Bernoulli(0.5));
+      if (!st.ok()) return 1;
+      if (!pool->FlushAll().ok()) return 1;
+      total_ms += timer.ElapsedSeconds() * 1000;
+      reads += store->io_stats().page_reads;
+      writes += store->io_stats().page_writes;
+    }
+    std::printf("\nsingle-node update (avg over %d ops): %.2f page reads, "
+                "%.2f page writes, %.3f ms\n", kOps,
+                static_cast<double>(reads) / kOps,
+                static_cast<double>(writes) / kOps, total_ms / kOps);
+    std::printf("  (paper: one page read followed by one page write)\n");
+  }
+
+  // Subtree updates grouped by subtree size.
+  std::printf("\nsubtree update cost vs ceil(N/B):\n");
+  std::printf("%-14s %-12s %-12s %-12s %-10s\n", "subtree nodes", "ceil(N/B)",
+              "page reads", "page writes", "ms");
+  for (uint32_t want : {100u, 1000u, 5000u, 20000u}) {
+    // Find a subtree of roughly the wanted size.
+    NodeId root = kInvalidNode;
+    for (NodeId x = 0; x < doc.NumNodes(); ++x) {
+      if (doc.SubtreeSize(x) >= want && doc.SubtreeSize(x) < want * 2) {
+        root = x;
+        break;
+      }
+    }
+    if (root == kInvalidNode) continue;
+    uint32_t size = doc.SubtreeSize(root);
+    (void)pool->EvictAll();
+    pool->mutable_stats()->Reset();
+    Timer timer;
+    if (!store->SetSubtreeAccess(root, 3, false).ok()) return 1;
+    if (!pool->FlushAll().ok()) return 1;
+    double ms = timer.ElapsedSeconds() * 1000;
+    std::printf("%-14u %-12u %-12llu %-12llu %-10.3f\n", size,
+                (size + records_per_page - 1) / records_per_page,
+                static_cast<unsigned long long>(store->io_stats().page_reads),
+                static_cast<unsigned long long>(store->io_stats().page_writes),
+                ms);
+  }
+
+  // Proposition 1 on the logical labeling.
+  {
+    DolLabeling logical = labeling;
+    Rng prng(11);
+    size_t max_delta = 0;
+    constexpr int kOps = 2000;
+    for (int i = 0; i < kOps; ++i) {
+      size_t before = logical.num_transitions();
+      NodeId begin = static_cast<NodeId>(prng.Uniform(logical.num_nodes()));
+      NodeId len = 1 + static_cast<NodeId>(prng.Uniform(2000));
+      NodeId end = std::min<NodeId>(begin + len, logical.num_nodes());
+      Status st = logical.SetRangeAccess(
+          begin, end, static_cast<SubjectId>(prng.Uniform(8)),
+          prng.Bernoulli(0.5));
+      if (!st.ok()) return 1;
+      size_t after = logical.num_transitions();
+      if (after > before) max_delta = std::max(max_delta, after - before);
+    }
+    std::printf("\nProposition 1: max transition-count increase over %d "
+                "random range updates: %zu (bound: 2)\n", kOps, max_delta);
+  }
+
+  // Structural updates: delete and insert subtrees, measuring page traffic.
+  {
+    std::printf("\nstructural updates (page I/O per operation):\n");
+    std::printf("%-26s %-12s %-12s %-12s %-10s\n", "operation", "nodes",
+                "page reads", "page writes", "ms");
+    // Delete a ~1000-node subtree.
+    NodeId del_root = kInvalidNode;
+    for (NodeId x = 1; x < store->num_nodes(); ++x) {
+      auto rec = store->nok()->Record(x);
+      if (rec.ok() && rec->subtree_size >= 300 && rec->subtree_size < 5000) {
+        del_root = x;
+        break;
+      }
+    }
+    if (del_root != kInvalidNode) {
+      uint32_t size = store->nok()->Record(del_root)->subtree_size;
+      (void)pool->EvictAll();
+      pool->mutable_stats()->Reset();
+      Timer timer;
+      if (!store->DeleteSubtree(del_root).ok()) return 1;
+      if (!pool->FlushAll().ok()) return 1;
+      std::printf("%-26s %-12u %-12llu %-12llu %-10.3f\n", "delete subtree",
+                  size,
+                  static_cast<unsigned long long>(store->io_stats().page_reads),
+                  static_cast<unsigned long long>(
+                      store->io_stats().page_writes),
+                  timer.ElapsedSeconds() * 1000);
+    }
+    // Insert a ~200-node labeled fragment.
+    XMarkOptions fopts;
+    fopts.target_nodes = 200;
+    fopts.seed = 9;
+    Document frag;
+    if (!GenerateXMark(fopts, &frag).ok()) return 1;
+    DenseAccessMap fmap(static_cast<NodeId>(frag.NumNodes()), 8, true);
+    DolLabeling flab = DolLabeling::Build(fmap);
+    (void)pool->EvictAll();
+    pool->mutable_stats()->Reset();
+    Timer timer;
+    auto pos = store->InsertSubtree(0, kInvalidNode, frag, flab);
+    if (!pos.ok()) return 1;
+    if (!pool->FlushAll().ok()) return 1;
+    std::printf("%-26s %-12zu %-12llu %-12llu %-10.3f\n",
+                "insert labeled fragment", frag.NumNodes(),
+                static_cast<unsigned long long>(store->io_stats().page_reads),
+                static_cast<unsigned long long>(store->io_stats().page_writes),
+                timer.ElapsedSeconds() * 1000);
+  }
+
+  // Lazy codebook maintenance after subject churn (Section 3.4).
+  {
+    (void)store->AddSubjectLike(0);
+    if (!store->RemoveSubject(1).ok()) return 1;
+    size_t dups = store->codebook().size() - store->codebook().CountDistinct();
+    (void)pool->EvictAll();
+    pool->mutable_stats()->Reset();
+    Timer timer;
+    if (!store->CompactCodebook().ok()) return 1;
+    if (!pool->FlushAll().ok()) return 1;
+    std::printf("\ncodebook compaction: removed %zu duplicate entries in "
+                "%.2f ms (%llu page reads, %llu page writes over %zu pages)\n",
+                dups, timer.ElapsedSeconds() * 1000,
+                static_cast<unsigned long long>(store->io_stats().page_reads),
+                static_cast<unsigned long long>(store->io_stats().page_writes),
+                store->nok()->num_pages());
+  }
+
+  // Subject management is codebook-only.
+  {
+    (void)pool->EvictAll();
+    pool->mutable_stats()->Reset();
+    Timer timer;
+    SubjectId added = store->AddSubject(false);
+    SubjectId cloned = store->AddSubjectLike(0);
+    if (!store->RemoveSubject(added).ok()) return 1;
+    double ms = timer.ElapsedSeconds() * 1000;
+    std::printf("\nsubject add/clone/remove (ids %u, %u): %.3f ms, %llu page "
+                "reads, %llu page writes (codebook-only)\n", added, cloned, ms,
+                static_cast<unsigned long long>(store->io_stats().page_reads),
+                static_cast<unsigned long long>(store->io_stats().page_writes));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

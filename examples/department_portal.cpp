@@ -1,0 +1,107 @@
+// Department portal: multi-mode access control on the LiveLink-style
+// corporate content tree. Shows the per-mode maps (see/read/modify/...),
+// onboarding a user by cloning a colleague's rights, and a manager
+// revoking a project subtree.
+//
+//   ./department_portal [target_nodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "storage/paged_file.h"
+#include "workload/livelink_surrogate.h"
+
+int main(int argc, char** argv) {
+  using namespace secxml;
+  LiveLinkOptions opts;
+  opts.target_nodes = 30000;
+  opts.num_departments = 6;
+  opts.teams_per_department = 4;
+  opts.num_users = 600;
+  if (argc > 1) opts.target_nodes = static_cast<uint32_t>(std::atoi(argv[1]));
+
+  LiveLinkWorkload w;
+  if (!GenerateLiveLink(opts, &w).ok()) return 1;
+  std::printf("portal: %zu nodes, %zu users + %zu groups, %zu action modes\n",
+              w.doc.NumNodes(), w.num_users, w.num_groups, w.modes.size());
+
+  // One DOL (and one secured store) per action mode, as the paper
+  // prescribes: modes are handled exactly like additional subjects, so a
+  // deployment may also fold them into one wider codebook.
+  const char* mode_names[] = {"see",      "read",    "modify", "edit-attrs",
+                              "checkout", "create",  "delete", "reserve",
+                              "admin",    "audit"};
+  std::vector<std::unique_ptr<MemPagedFile>> files;
+  std::vector<std::unique_ptr<SecureStore>> stores;
+  std::printf("\n%-12s %14s %18s\n", "mode", "transitions", "codebook entries");
+  for (size_t m = 0; m < w.modes.size(); ++m) {
+    DolLabeling labeling = DolLabeling::BuildFromEvents(
+        w.modes[m].num_nodes(), w.modes[m].InitialAcl(),
+        w.modes[m].CollectEvents());
+    files.push_back(std::make_unique<MemPagedFile>());
+    stores.emplace_back();
+    if (!SecureStore::Build(w.doc, labeling, files.back().get(), {},
+                            &stores.back())
+             .ok()) {
+      return 1;
+    }
+    std::printf("%-12s %14zu %18zu\n", mode_names[m],
+                labeling.num_transitions(), labeling.codebook().size());
+  }
+
+  // A user's capability row: what may user 7 do to node X?
+  SubjectId user = 7;
+  NodeId some_doc = kInvalidNode;
+  for (NodeId x = 0; x < w.doc.NumNodes(); ++x) {
+    if (w.doc.TagName(x) == "document" && w.modes[0].Accessible(user, x)) {
+      some_doc = x;
+      break;
+    }
+  }
+  if (some_doc != kInvalidNode) {
+    std::printf("\nuser %u on node %u:", user, some_doc);
+    for (size_t m = 0; m < stores.size(); ++m) {
+      auto r = stores[m]->Accessible(user, some_doc);
+      if (r.ok() && *r) std::printf(" %s", mode_names[m]);
+    }
+    std::printf("\n");
+  }
+
+  // Onboarding: the new hire gets the same rights as user 7, in every mode,
+  // without touching a single page.
+  std::printf("\nonboarding a new hire with user %u's rights:\n", user);
+  SubjectId hire = 0;
+  for (size_t m = 0; m < stores.size(); ++m) {
+    hire = stores[m]->AddSubjectLike(user);
+  }
+  std::printf("  new subject id %u added to all %zu modes (codebook-only, "
+              "zero page writes)\n", hire, stores.size());
+
+  // Revocation: management pulls the whole first department from the new
+  // hire's "see" rights.
+  NodeId dept = kInvalidNode;
+  for (NodeId x = 0; x < w.doc.NumNodes(); ++x) {
+    if (w.doc.TagName(x) == "department") {
+      dept = x;
+      break;
+    }
+  }
+  if (dept != kInvalidNode) {
+    uint64_t writes_before = stores[0]->io_stats().page_writes;
+    if (!stores[0]->SetSubtreeAccess(dept, hire, false).ok()) return 1;
+    (void)stores[0]->nok()->buffer_pool()->FlushAll();
+    std::printf("\nrevoked department subtree (%u nodes) from subject %u: "
+                "%llu page writes (ceil(N/B) locality)\n",
+                w.doc.SubtreeSize(dept), hire,
+                static_cast<unsigned long long>(
+                    stores[0]->io_stats().page_writes - writes_before));
+    auto r = stores[0]->Accessible(hire, dept + 1);
+    std::printf("subject %u can still see inside that department: %s\n", hire,
+                r.ok() && *r ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+// secxml_tool: command-line secure XML querying.
+//
+//   ./secxml_tool <document.xml> <rules.txt> <query> <subject> [semantics]
+//   ./secxml_tool            (no arguments: runs a built-in demo)
+//
+// The rules file defines an instance-level policy with XPath-targeted
+// grants propagated by Most-Specific-Override:
+//
+//   subjects <count>
+//   allow <subject-id> <xpath>
+//   deny  <subject-id> <xpath>
+//
+// Rules apply in file order (later rules override earlier ones on the same
+// node); untargeted nodes are inaccessible. `semantics` is "binding"
+// (default), "view", or "none".
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dol_labeling.h"
+#include "core/policy.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "storage/paged_file.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace {
+
+using namespace secxml;
+
+constexpr const char* kDemoXml =
+    "<library><public><book><title>Odyssey</title></book></public>"
+    "<restricted><book><title>Secrets</title></book>"
+    "<book><title>More Secrets</title></book></restricted></library>";
+
+constexpr const char* kDemoRules =
+    "subjects 2\n"
+    "allow 0 //library\n"
+    "deny 0 //restricted\n"
+    "allow 1 //library\n";
+
+struct Rule {
+  SubjectId subject;
+  bool allow;
+  std::string xpath;
+};
+
+Status ParseRules(const std::string& text, size_t* num_subjects,
+                  std::vector<Rule>* rules) {
+  std::istringstream in(text);
+  std::string keyword;
+  *num_subjects = 0;
+  while (in >> keyword) {
+    if (keyword == "subjects") {
+      in >> *num_subjects;
+    } else if (keyword == "allow" || keyword == "deny") {
+      Rule r;
+      in >> r.subject >> r.xpath;
+      r.allow = keyword == "allow";
+      if (r.xpath.empty()) {
+        return Status::InvalidArgument("rule missing xpath");
+      }
+      rules->push_back(std::move(r));
+    } else if (!keyword.empty() && keyword[0] == '#') {
+      std::string comment;
+      std::getline(in, comment);
+    } else {
+      return Status::InvalidArgument("unknown rules keyword: " + keyword);
+    }
+  }
+  if (*num_subjects == 0) {
+    return Status::InvalidArgument("rules must declare 'subjects <count>'");
+  }
+  return Status::OK();
+}
+
+Status RunTool(const std::string& xml, const std::string& rules_text,
+               const std::string& query, SubjectId subject,
+               AccessSemantics semantics) {
+  Document doc;
+  SECXML_RETURN_NOT_OK(ParseXml(xml, &doc));
+  size_t num_subjects = 0;
+  std::vector<Rule> rules;
+  SECXML_RETURN_NOT_OK(ParseRules(rules_text, &num_subjects, &rules));
+  if (subject >= num_subjects) {
+    return Status::InvalidArgument("subject id out of range");
+  }
+
+  // Resolve each rule's XPath to seed nodes, then propagate per subject.
+  // Rule resolution runs without access control (the administrator sees
+  // everything).
+  MemPagedFile rule_file;
+  std::unique_ptr<SecureStore> rule_store;
+  DenseAccessMap everything(static_cast<NodeId>(doc.NumNodes()), 1, true);
+  DolLabeling open_labeling = DolLabeling::Build(everything);
+  SECXML_RETURN_NOT_OK(
+      SecureStore::Build(doc, open_labeling, &rule_file, {}, &rule_store));
+  QueryEvaluator rule_eval(rule_store.get());
+
+  std::vector<std::vector<AclSeed>> seeds(num_subjects);
+  for (const Rule& r : rules) {
+    SECXML_ASSIGN_OR_RETURN(EvalResult matched,
+                            rule_eval.EvaluateXPath(r.xpath, {}));
+    for (NodeId n : matched.answers) {
+      seeds[r.subject].push_back({n, r.allow});
+    }
+  }
+  IntervalAccessMap map(static_cast<NodeId>(doc.NumNodes()), num_subjects);
+  for (SubjectId s = 0; s < num_subjects; ++s) {
+    map.SetSubjectIntervals(s, PropagateMostSpecificOverride(doc, seeds[s]));
+  }
+
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+  SECXML_RETURN_NOT_OK(SecureStore::Build(doc, labeling, &file, {}, &store));
+  std::fprintf(stderr,
+               "# %zu nodes, %zu subjects, %zu DOL transitions, %zu codebook "
+               "entries\n",
+               doc.NumNodes(), num_subjects, labeling.num_transitions(),
+               labeling.codebook().size());
+
+  QueryEvaluator eval(store.get());
+  EvalOptions opts;
+  opts.semantics = semantics;
+  opts.subject = subject;
+  SECXML_ASSIGN_OR_RETURN(EvalResult result, eval.EvaluateXPath(query, opts));
+  std::printf("%zu answer(s)\n", result.answers.size());
+  for (NodeId n : result.answers) {
+    std::printf("%s\n", WriteXml(doc, n).c_str());
+  }
+  return Status::OK();
+}
+
+std::string ReadFileOrDie(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::printf("running built-in demo (see --help in the source header)\n");
+    std::printf("\n[subject 0 under binding semantics: //book/title]\n");
+    Status st = RunTool(kDemoXml, kDemoRules, "//book/title", 0,
+                        AccessSemantics::kBinding);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n[subject 1 under binding semantics: //book/title]\n");
+    st = RunTool(kDemoXml, kDemoRules, "//book/title", 1,
+                 AccessSemantics::kBinding);
+    return st.ok() ? 0 : 1;
+  }
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s <document.xml> <rules.txt> <query> <subject> "
+                 "[binding|view|none]\n",
+                 argv[0]);
+    return 2;
+  }
+  AccessSemantics semantics = AccessSemantics::kBinding;
+  if (argc > 5) {
+    std::string s = argv[5];
+    if (s == "view") {
+      semantics = AccessSemantics::kView;
+    } else if (s == "none") {
+      semantics = AccessSemantics::kNone;
+    } else if (s != "binding") {
+      std::fprintf(stderr, "unknown semantics '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+  Status st = RunTool(ReadFileOrDie(argv[1]), ReadFileOrDie(argv[2]), argv[3],
+                      static_cast<SubjectId>(std::atoi(argv[4])), semantics);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "baseline/cam.h"
+
+#include <cassert>
+#include <limits>
+
+namespace secxml {
+
+namespace {
+
+// Label counts above this are never reached; used as the impossible cost.
+constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max() / 4;
+
+}  // namespace
+
+Cam Cam::Build(const Document& doc,
+               const std::function<bool(NodeId)>& accessible) {
+  const NodeId n = static_cast<NodeId>(doc.NumNodes());
+  Cam cam;
+  if (n == 0) return cam;
+
+  // Bottom-up DP. For each node v and inherited default d in {0, 1}:
+  //   cost(v, d) = min(
+  //     acc(v) == d ? sum_c cost(c, d) : INF,          // v unlabeled
+  //     1 + min_e ( sum_c cost(c, e) ) )               // v labeled, desc=e
+  // sum_d[v] accumulates children's cost(c, d); since children follow their
+  // parent in preorder, a reverse scan folds each node's cost into its
+  // parent before the parent is processed.
+  std::vector<uint64_t> sum0(n, 0), sum1(n, 0);
+  std::vector<uint64_t> cost0(n), cost1(n);
+  for (NodeId v = n; v-- > 0;) {
+    bool acc = accessible(v);
+    uint64_t labeled = 1 + std::min(sum0[v], sum1[v]);
+    cost0[v] = std::min(acc == false ? sum0[v] : kInf, labeled);
+    cost1[v] = std::min(acc == true ? sum1[v] : kInf, labeled);
+    NodeId p = doc.Parent(v);
+    if (p != kInvalidNode) {
+      sum0[p] += cost0[v];
+      sum1[p] += cost1[v];
+    }
+  }
+
+  // Top-down reconstruction: each node sees the effective default chosen by
+  // its nearest labeled ancestor (root inherits the closed-world 0).
+  std::vector<uint8_t> effective(n);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId p = doc.Parent(v);
+    bool inherited = p == kInvalidNode ? false : (effective[p] != 0);
+    bool acc = accessible(v);
+    uint64_t unlabeled = acc == inherited ? (inherited ? sum1[v] : sum0[v])
+                                          : kInf;
+    uint64_t labeled = 1 + std::min(sum0[v], sum1[v]);
+    if (labeled < unlabeled) {
+      bool desc = sum1[v] < sum0[v];
+      cam.labels_.emplace(v, Label{acc, desc});
+      effective[v] = desc ? 1 : 0;
+    } else {
+      effective[v] = inherited ? 1 : 0;
+    }
+  }
+  return cam;
+}
+
+bool Cam::Accessible(const Document& doc, NodeId node) const {
+  auto it = labels_.find(node);
+  if (it != labels_.end()) return it->second.self;
+  for (NodeId a = doc.Parent(node); a != kInvalidNode; a = doc.Parent(a)) {
+    it = labels_.find(a);
+    if (it != labels_.end()) return it->second.desc;
+  }
+  return false;  // closed world
+}
+
+PositiveCam PositiveCam::Build(
+    const Document& doc, const std::function<bool(NodeId)>& accessible) {
+  const NodeId n = static_cast<NodeId>(doc.NumNodes());
+  PositiveCam cam;
+  if (n == 0) return cam;
+
+  // Prefix sums of accessibility decide in O(1) whether a subtree is fully
+  // accessible: subtree(x) fully accessible iff its accessible-node count
+  // equals its size.
+  std::vector<uint32_t> prefix(n + 1, 0);
+  std::vector<uint8_t> acc(n);
+  for (NodeId x = 0; x < n; ++x) {
+    acc[x] = accessible(x) ? 1 : 0;
+    prefix[x + 1] = prefix[x] + acc[x];
+  }
+  auto fully = [&](NodeId x) {
+    NodeId end = doc.SubtreeEnd(x);
+    return prefix[end] - prefix[x] == end - x;
+  };
+
+  for (NodeId x = 0; x < n; ++x) {
+    if (!acc[x]) continue;
+    if (fully(x)) {
+      NodeId p = doc.Parent(x);
+      if (p == kInvalidNode || !fully(p)) {
+        // Root of a maximal fully-accessible subtree: one desc label.
+        cam.labels_.emplace(x, Label{true, true});
+      }
+      // Else covered by an ancestor's desc label.
+    } else {
+      // Accessible, but the subtree has an inaccessible node: self label.
+      cam.labels_.emplace(x, Label{true, false});
+    }
+  }
+  return cam;
+}
+
+bool PositiveCam::Accessible(const Document& doc, NodeId node) const {
+  auto it = labels_.find(node);
+  if (it != labels_.end() && it->second.self) return true;
+  for (NodeId a = node;; a = doc.Parent(a)) {
+    it = labels_.find(a);
+    if (it != labels_.end() && it->second.desc) return true;
+    if (doc.Parent(a) == kInvalidNode) break;
+  }
+  return false;  // closed world
+}
+
+}  // namespace secxml

@@ -1,0 +1,107 @@
+#ifndef SECXML_COMMON_BITVECTOR_H_
+#define SECXML_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace secxml {
+
+/// Fixed-width dynamic bit vector used for per-subject access control lists.
+/// One bit per access control subject; bit s set means subject s may access.
+/// Supports equality and hashing so it can serve as a codebook dictionary key.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `nbits` bits, all initialized to `value`.
+  explicit BitVector(size_t nbits, bool value = false)
+      : nbits_(nbits), words_((nbits + 63) / 64, value ? ~0ULL : 0ULL) {
+    ClearPadding();
+  }
+
+  size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i, bool value) {
+    if (value) {
+      words_[i >> 6] |= (1ULL << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+  }
+
+  /// Appends one bit at the end (used when adding a new subject).
+  void PushBack(bool value) {
+    if ((nbits_ & 63) == 0) words_.push_back(0);
+    ++nbits_;
+    Set(nbits_ - 1, value);
+  }
+
+  /// Removes bit `i`, shifting all later bits down by one (subject deletion).
+  void Erase(size_t i) {
+    for (size_t j = i + 1; j < nbits_; ++j) Set(j - 1, Get(j));
+    --nbits_;
+    words_.resize((nbits_ + 63) / 64);
+    ClearPadding();
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Storage consumed by the payload, in bytes (ceil(nbits/8)); used by the
+  /// storage-cost benchmarks.
+  size_t ByteSize() const { return (nbits_ + 7) / 8; }
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  /// 64-bit hash of the contents (FNV-1a over words), for dictionary keys.
+  size_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL ^ nbits_;
+    for (uint64_t w : words_) {
+      h ^= w;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+
+  /// Renders as a string of '0'/'1', subject 0 first; for debugging and tests.
+  std::string ToString() const {
+    std::string s;
+    s.reserve(nbits_);
+    for (size_t i = 0; i < nbits_; ++i) s.push_back(Get(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  void ClearPadding() {
+    if (nbits_ & 63) {
+      words_.back() &= (1ULL << (nbits_ & 63)) - 1;
+    }
+  }
+
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct BitVectorHash {
+  size_t operator()(const BitVector& bv) const { return bv.Hash(); }
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_COMMON_BITVECTOR_H_

@@ -1,0 +1,73 @@
+#ifndef SECXML_COMMON_RESULT_H_
+#define SECXML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace secxml {
+
+/// A Status combined with a value of type T. Exactly one of the two is
+/// meaningful: if `status().ok()` the value is present, otherwise it is not.
+/// Modeled on arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace secxml
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define SECXML_ASSIGN_OR_RETURN(lhs, expr)            \
+  SECXML_ASSIGN_OR_RETURN_IMPL(                       \
+      SECXML_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define SECXML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define SECXML_CONCAT_NAME(a, b) SECXML_CONCAT_NAME_INNER(a, b)
+#define SECXML_CONCAT_NAME_INNER(a, b) a##b
+
+#endif  // SECXML_COMMON_RESULT_H_

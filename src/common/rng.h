@@ -1,0 +1,65 @@
+#ifndef SECXML_COMMON_RNG_H_
+#define SECXML_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace secxml {
+
+/// Deterministic 64-bit pseudo-random generator (xorshift128+ seeded via
+/// splitmix64). All workload generators take an explicit seed so experiments
+/// are exactly reproducible across runs and platforms; std::mt19937
+/// distributions are implementation-defined, so we roll our own helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. Two generators with the same seed produce the
+  /// same sequence.
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into two non-zero state words.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  /// Uniform random 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw: true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_COMMON_RNG_H_

@@ -1,0 +1,97 @@
+#ifndef SECXML_COMMON_STATUS_H_
+#define SECXML_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace secxml {
+
+/// Error categories used across the library. Fallible operations return a
+/// Status (or Result<T>) instead of throwing; this follows the RocksDB /
+/// Arrow idiom for database code where I/O and parse failures are expected
+/// and must be handled explicitly by the caller.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kIOError,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnsupported,
+  kPermissionDenied,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IOError"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic status object. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace secxml
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SECXML_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::secxml::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // SECXML_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef SECXML_COMMON_TIMER_H_
+#define SECXML_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace secxml {
+
+/// Simple monotonic wall-clock stopwatch for benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_COMMON_TIMER_H_

@@ -1,0 +1,27 @@
+#ifndef SECXML_CORE_ACCESS_TYPES_H_
+#define SECXML_CORE_ACCESS_TYPES_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace secxml {
+
+/// An access control subject: a user or a user group (paper Section 2). The
+/// subject hierarchy (group membership) is maintained by the workload layer;
+/// the DOL itself sees a flat set of subjects, one bit each.
+using SubjectId = uint32_t;
+
+/// An access action mode (read, write, ...). The paper presents DOL for a
+/// single mode and notes that multiple modes are handled exactly like
+/// multiple subjects; our multi-mode workloads build one labeling per mode.
+using ModeId = uint32_t;
+
+/// Index into the DOL codebook identifying a distinct access control list.
+using AccessCodeId = uint32_t;
+
+inline constexpr AccessCodeId kInvalidAccessCode = 0xffffffffu;
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_ACCESS_TYPES_H_

@@ -1,0 +1,159 @@
+#include "core/accessibility_map.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+void AccessibilityMap::AclFor(NodeId node, BitVector* out) const {
+  *out = BitVector(num_subjects());
+  for (SubjectId s = 0; s < num_subjects(); ++s) {
+    if (Accessible(s, node)) out->Set(s, true);
+  }
+}
+
+bool IntervalAccessMap::Accessible(SubjectId subject, NodeId node) const {
+  const std::vector<NodeInterval>& ivs = per_subject_[subject];
+  // Last interval with begin <= node.
+  auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), node,
+      [](NodeId n, const NodeInterval& iv) { return n < iv.begin; });
+  if (it == ivs.begin()) return false;
+  --it;
+  return node < it->end;
+}
+
+void IntervalAccessMap::AclFor(NodeId node, BitVector* out) const {
+  *out = BitVector(per_subject_.size());
+  for (SubjectId s = 0; s < per_subject_.size(); ++s) {
+    if (Accessible(s, node)) out->Set(s, true);
+  }
+}
+
+Status IntervalAccessMap::Validate() const {
+  for (SubjectId s = 0; s < per_subject_.size(); ++s) {
+    NodeId prev_end = 0;
+    bool first = true;
+    for (const NodeInterval& iv : per_subject_[s]) {
+      if (iv.begin >= iv.end) {
+        return Status::InvalidArgument("empty interval for subject " +
+                                       std::to_string(s));
+      }
+      if (iv.end > num_nodes_) {
+        return Status::InvalidArgument("interval beyond document for subject " +
+                                       std::to_string(s));
+      }
+      if (!first && iv.begin <= prev_end) {
+        return Status::InvalidArgument(
+            "intervals not sorted/disjoint/maximal for subject " +
+            std::to_string(s));
+      }
+      prev_end = iv.end;
+      first = false;
+    }
+  }
+  return Status::OK();
+}
+
+BitVector IntervalAccessMap::InitialAcl(
+    const std::vector<SubjectId>* subset) const {
+  size_t n = subset ? subset->size() : per_subject_.size();
+  BitVector acl(n);
+  for (size_t i = 0; i < n; ++i) {
+    SubjectId s = subset ? (*subset)[i] : static_cast<SubjectId>(i);
+    if (Accessible(s, 0)) acl.Set(i, true);
+  }
+  return acl;
+}
+
+std::vector<AclEvent> IntervalAccessMap::CollectEvents(
+    const std::vector<SubjectId>* subset) const {
+  std::vector<AclEvent> events;
+  size_t n = subset ? subset->size() : per_subject_.size();
+  for (size_t i = 0; i < n; ++i) {
+    SubjectId s = subset ? (*subset)[i] : static_cast<SubjectId>(i);
+    for (const NodeInterval& iv : per_subject_[s]) {
+      if (iv.begin > 0) {
+        events.push_back({iv.begin, static_cast<SubjectId>(i), true});
+      }
+      if (iv.end < num_nodes_) {
+        events.push_back({iv.end, static_cast<SubjectId>(i), false});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const AclEvent& a, const AclEvent& b) {
+              return a.pos < b.pos ||
+                     (a.pos == b.pos && a.subject < b.subject);
+            });
+  return events;
+}
+
+size_t RunAccessMap::RunIndexOf(NodeId node) const {
+  // Last run with start <= node.
+  size_t lo = 0, hi = starts_.size();
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (starts_[mid] <= node) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status RunAccessMap::Validate() const {
+  if (starts_.empty() || starts_[0] != 0) {
+    return Status::InvalidArgument("first run must start at node 0");
+  }
+  for (size_t i = 0; i < starts_.size(); ++i) {
+    if (starts_[i] >= num_nodes_) {
+      return Status::InvalidArgument("run beyond document");
+    }
+    if (i > 0 && starts_[i] <= starts_[i - 1]) {
+      return Status::InvalidArgument("run starts must strictly ascend");
+    }
+    if (acls_[i].size() != num_subjects_) {
+      return Status::InvalidArgument("run ACL width mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+RunAccessMap RunAccessMap::ProjectSubjects(
+    const std::vector<SubjectId>& subset) const {
+  RunAccessMap out(num_nodes_, subset.size());
+  for (size_t i = 0; i < starts_.size(); ++i) {
+    BitVector acl(subset.size());
+    for (size_t j = 0; j < subset.size(); ++j) {
+      if (acls_[i].Get(subset[j])) acl.Set(j, true);
+    }
+    if (!out.acls_.empty() && out.acls_.back() == acl) continue;
+    out.AppendRun(starts_[i], std::move(acl));
+  }
+  return out;
+}
+
+std::vector<NodeInterval> UnionIntervals(
+    const std::vector<const std::vector<NodeInterval>*>& lists) {
+  // Collect and sort all intervals by begin, then sweep-merge.
+  std::vector<NodeInterval> all;
+  for (const auto* list : lists) {
+    all.insert(all.end(), list->begin(), list->end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const NodeInterval& a, const NodeInterval& b) {
+              return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+            });
+  std::vector<NodeInterval> out;
+  for (const NodeInterval& iv : all) {
+    if (!out.empty() && iv.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+}  // namespace secxml

@@ -1,0 +1,180 @@
+#ifndef SECXML_CORE_ACCESSIBILITY_MAP_H_
+#define SECXML_CORE_ACCESSIBILITY_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "core/access_types.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// The accessibility function of paper Section 2: accessible(s, d) for one
+/// action mode. Implementations capture the *net effect* of an access
+/// control policy over a database instance; DOL is built from this map.
+class AccessibilityMap {
+ public:
+  virtual ~AccessibilityMap() = default;
+
+  virtual size_t num_subjects() const = 0;
+  virtual NodeId num_nodes() const = 0;
+  virtual bool Accessible(SubjectId subject, NodeId node) const = 0;
+
+  /// Fills `out` with node's full ACL (bit per subject). The default loops
+  /// over subjects; implementations override with bulk copies when possible.
+  virtual void AclFor(NodeId node, BitVector* out) const;
+};
+
+/// Dense per-node ACL bit vectors. Suitable for small to medium subject
+/// counts (tests, synthetic XMark workloads, the Unix surrogate).
+class DenseAccessMap final : public AccessibilityMap {
+ public:
+  DenseAccessMap(NodeId num_nodes, size_t num_subjects,
+                 bool default_access = false)
+      : num_subjects_(num_subjects),
+        rows_(num_nodes, BitVector(num_subjects, default_access)) {}
+
+  size_t num_subjects() const override { return num_subjects_; }
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(rows_.size());
+  }
+  bool Accessible(SubjectId subject, NodeId node) const override {
+    return rows_[node].Get(subject);
+  }
+  void AclFor(NodeId node, BitVector* out) const override {
+    *out = rows_[node];
+  }
+
+  void Set(SubjectId subject, NodeId node, bool accessible) {
+    rows_[node].Set(subject, accessible);
+  }
+
+  /// Sets accessibility of every node in the subtree rooted at `root`.
+  void SetSubtree(const Document& doc, SubjectId subject, NodeId root,
+                  bool accessible) {
+    for (NodeId n = root; n < doc.SubtreeEnd(root); ++n) {
+      rows_[n].Set(subject, accessible);
+    }
+  }
+
+ private:
+  size_t num_subjects_;
+  std::vector<BitVector> rows_;
+};
+
+/// A contiguous document-order (preorder) range of nodes [begin, end).
+struct NodeInterval {
+  NodeId begin = 0;
+  NodeId end = 0;
+  bool operator==(const NodeInterval&) const = default;
+};
+
+/// A change of one subject's accessibility taking effect at `pos` (document
+/// order) during a sweep.
+struct AclEvent {
+  NodeId pos = 0;
+  SubjectId subject = 0;
+  bool accessible = false;
+};
+
+/// Per-subject interval representation: each subject's accessible node set
+/// is a union of disjoint preorder intervals. Structural locality of real
+/// policies (rights propagated down subtrees) makes these interval lists
+/// short, so this scales to thousands of subjects where a dense map cannot.
+class IntervalAccessMap final : public AccessibilityMap {
+ public:
+  IntervalAccessMap(NodeId num_nodes, size_t num_subjects)
+      : num_nodes_(num_nodes), per_subject_(num_subjects) {}
+
+  size_t num_subjects() const override { return per_subject_.size(); }
+  NodeId num_nodes() const override { return num_nodes_; }
+  bool Accessible(SubjectId subject, NodeId node) const override;
+  void AclFor(NodeId node, BitVector* out) const override;
+
+  /// Installs a subject's accessible set. Intervals must be sorted,
+  /// disjoint, non-empty, non-adjacent (i.e. maximal), and within range;
+  /// violations are reported by Validate().
+  void SetSubjectIntervals(SubjectId subject,
+                           std::vector<NodeInterval> intervals) {
+    per_subject_[subject] = std::move(intervals);
+  }
+
+  const std::vector<NodeInterval>& SubjectIntervals(SubjectId s) const {
+    return per_subject_[s];
+  }
+
+  /// Checks the interval invariants for every subject.
+  Status Validate() const;
+
+  /// ACL of node 0 restricted to `subset` (or all subjects when null), with
+  /// subjects renumbered to their subset positions.
+  BitVector InitialAcl(const std::vector<SubjectId>* subset = nullptr) const;
+
+  /// All accessibility change events for a document-order sweep, sorted by
+  /// position, restricted to `subset` (renumbered) when non-null. Events at
+  /// position 0 are folded into InitialAcl and not emitted.
+  std::vector<AclEvent> CollectEvents(
+      const std::vector<SubjectId>* subset = nullptr) const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::vector<NodeInterval>> per_subject_;
+};
+
+/// Run-length representation: the document is a sequence of runs of nodes
+/// sharing one ACL. Natural for workloads whose rights are assigned at
+/// subtree granularity (e.g. filesystem ownership regions); DOL construction
+/// from runs is O(#runs).
+class RunAccessMap final : public AccessibilityMap {
+ public:
+  RunAccessMap(NodeId num_nodes, size_t num_subjects)
+      : num_nodes_(num_nodes), num_subjects_(num_subjects) {}
+
+  size_t num_subjects() const override { return num_subjects_; }
+  NodeId num_nodes() const override { return num_nodes_; }
+  bool Accessible(SubjectId subject, NodeId node) const override {
+    return acls_[RunIndexOf(node)].Get(subject);
+  }
+  void AclFor(NodeId node, BitVector* out) const override {
+    *out = acls_[RunIndexOf(node)];
+  }
+
+  /// Appends a run starting at `start` (must exceed the previous start; the
+  /// first run must start at 0). The run extends to the next run's start or
+  /// the end of the document.
+  void AppendRun(NodeId start, BitVector acl) {
+    starts_.push_back(start);
+    acls_.push_back(std::move(acl));
+  }
+
+  size_t num_runs() const { return starts_.size(); }
+  NodeId run_start(size_t i) const { return starts_[i]; }
+  const BitVector& run_acl(size_t i) const { return acls_[i]; }
+
+  /// Checks the run invariants.
+  Status Validate() const;
+
+  /// Projects onto a subject subset (subjects renumbered to subset order);
+  /// adjacent runs that become equal are merged.
+  RunAccessMap ProjectSubjects(const std::vector<SubjectId>& subset) const;
+
+ private:
+  size_t RunIndexOf(NodeId node) const;
+
+  NodeId num_nodes_;
+  size_t num_subjects_;
+  std::vector<NodeId> starts_;
+  std::vector<BitVector> acls_;
+};
+
+/// Union of several sorted disjoint interval lists (the effective rights of
+/// a user who belongs to several groups, paper Section 4 footnote 4).
+/// The result is sorted, disjoint, and maximal.
+std::vector<NodeInterval> UnionIntervals(
+    const std::vector<const std::vector<NodeInterval>*>& lists);
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_ACCESSIBILITY_MAP_H_

@@ -1,0 +1,141 @@
+#include "core/codebook.h"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+
+namespace secxml {
+
+namespace {
+
+constexpr uint32_t kCodebookMagic = 0x53434442u;  // "SCDB"
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->insert(out->end(), reinterpret_cast<const uint8_t*>(&v),
+              reinterpret_cast<const uint8_t*>(&v) + sizeof(v));
+}
+
+bool TakeU32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Codebook::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU32(&out, kCodebookMagic);
+  PutU32(&out, static_cast<uint32_t>(num_subjects_));
+  PutU32(&out, static_cast<uint32_t>(entries_.size()));
+  size_t entry_bytes = (num_subjects_ + 7) / 8;
+  for (const BitVector& acl : entries_) {
+    for (size_t b = 0; b < entry_bytes; ++b) {
+      uint8_t byte = 0;
+      for (size_t bit = 0; bit < 8; ++bit) {
+        size_t i = b * 8 + bit;
+        if (i < acl.size() && acl.Get(i)) byte |= (1u << bit);
+      }
+      out.push_back(byte);
+    }
+  }
+  return out;
+}
+
+Result<Codebook> Codebook::Deserialize(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  uint32_t magic, num_subjects, num_entries;
+  if (!TakeU32(data, &pos, &magic) || magic != kCodebookMagic) {
+    return Status::Corruption("not a serialized codebook");
+  }
+  if (!TakeU32(data, &pos, &num_subjects) ||
+      !TakeU32(data, &pos, &num_entries)) {
+    return Status::Corruption("truncated codebook header");
+  }
+  Codebook cb(num_subjects);
+  size_t entry_bytes = (num_subjects + 7) / 8;
+  cb.entries_.reserve(num_entries);
+  for (uint32_t e = 0; e < num_entries; ++e) {
+    if (pos + entry_bytes > data.size()) {
+      return Status::Corruption("truncated codebook entry");
+    }
+    BitVector acl(num_subjects);
+    for (size_t i = 0; i < num_subjects; ++i) {
+      if ((data[pos + i / 8] >> (i % 8)) & 1u) acl.Set(i, true);
+    }
+    pos += entry_bytes;
+    cb.entries_.push_back(std::move(acl));  // ids preserved verbatim
+  }
+  cb.RebuildIndex();
+  return cb;
+}
+
+AccessCodeId Codebook::Intern(const BitVector& acl) {
+  assert(acl.size() == num_subjects_);
+  auto it = index_.find(acl);
+  if (it != index_.end()) return it->second;
+  AccessCodeId code = static_cast<AccessCodeId>(entries_.size());
+  entries_.push_back(acl);
+  index_.emplace(acl, code);
+  return code;
+}
+
+AccessCodeId Codebook::Find(const BitVector& acl) const {
+  auto it = index_.find(acl);
+  return it == index_.end() ? kInvalidAccessCode : it->second;
+}
+
+SubjectId Codebook::AddSubject(bool default_access) {
+  SubjectId id = static_cast<SubjectId>(num_subjects_);
+  ++num_subjects_;
+  for (BitVector& entry : entries_) entry.PushBack(default_access);
+  RebuildIndex();
+  return id;
+}
+
+SubjectId Codebook::AddSubjectLike(SubjectId like) {
+  assert(like < num_subjects_);
+  SubjectId id = static_cast<SubjectId>(num_subjects_);
+  ++num_subjects_;
+  for (BitVector& entry : entries_) entry.PushBack(entry.Get(like));
+  RebuildIndex();
+  return id;
+}
+
+Status Codebook::RemoveSubject(SubjectId subject) {
+  if (subject >= num_subjects_) {
+    return Status::InvalidArgument("no such subject");
+  }
+  --num_subjects_;
+  for (BitVector& entry : entries_) entry.Erase(subject);
+  RebuildIndex();
+  return Status::OK();
+}
+
+size_t Codebook::CountDistinct() const {
+  std::unordered_set<BitVector, BitVectorHash> seen(entries_.begin(),
+                                                    entries_.end());
+  return seen.size();
+}
+
+Codebook Codebook::Compacted(std::vector<AccessCodeId>* mapping) const {
+  Codebook out(num_subjects_);
+  mapping->resize(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    (*mapping)[i] = out.Intern(entries_[i]);
+  }
+  return out;
+}
+
+void Codebook::RebuildIndex() {
+  index_.clear();
+  // First occurrence wins so lookups are deterministic; duplicates created
+  // by subject removal keep their (now unreferenced-by-Intern) ids, which
+  // remain valid for codes already embedded in pages.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace(entries_[i], static_cast<AccessCodeId>(i));
+  }
+}
+
+}  // namespace secxml

@@ -1,0 +1,98 @@
+#ifndef SECXML_CORE_CODEBOOK_H_
+#define SECXML_CORE_CODEBOOK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/access_types.h"
+
+namespace secxml {
+
+/// The DOL codebook (paper Section 2.1): a dictionary of the distinct access
+/// control lists occurring in a secured tree. Each entry is a bit vector with
+/// one bit per subject; transition nodes embedded in the document store only
+/// a small integer code referencing an entry here. The codebook lives in
+/// memory during query processing (Section 3.2).
+///
+/// Codes are stable: once assigned, an entry's id never changes, because ids
+/// are persisted inside document pages. Subject deletion therefore mutates
+/// entries in place and may leave duplicate entries behind; per Section 3.4
+/// such redundancy is tolerated and corrected lazily (CompactStats reports
+/// the truly distinct count).
+class Codebook {
+ public:
+  /// Creates a codebook for `num_subjects` subjects (may be 0 and grown via
+  /// AddSubject).
+  explicit Codebook(size_t num_subjects = 0) : num_subjects_(num_subjects) {}
+
+  size_t num_subjects() const { return num_subjects_; }
+  /// Number of entries, including any duplicates left by subject removal.
+  size_t size() const { return entries_.size(); }
+
+  /// Returns the code for `acl`, adding an entry if it is new. `acl` must
+  /// have exactly num_subjects() bits.
+  AccessCodeId Intern(const BitVector& acl);
+
+  /// Looks up `acl` without interning; kInvalidAccessCode if absent.
+  AccessCodeId Find(const BitVector& acl) const;
+
+  const BitVector& Entry(AccessCodeId code) const { return entries_[code]; }
+
+  /// True if the ACL behind `code` grants access to `subject`.
+  bool Accessible(AccessCodeId code, SubjectId subject) const {
+    return entries_[code].Get(subject);
+  }
+
+  /// Appends a new subject column to every entry, initialized to
+  /// `default_access`, and returns the new subject's id. Per Section 3.4
+  /// this is a codebook-only operation: no embedded transition changes.
+  SubjectId AddSubject(bool default_access);
+
+  /// Appends a new subject whose rights are copied from `like`; also
+  /// codebook-only.
+  SubjectId AddSubjectLike(SubjectId like);
+
+  /// Removes a subject column from every entry. Entries that become
+  /// identical are left in place (ids must stay stable); the dictionary
+  /// index re-points to the first of each duplicate family.
+  Status RemoveSubject(SubjectId subject);
+
+  /// Number of distinct entries (collapsing duplicates left by removal).
+  size_t CountDistinct() const;
+
+  /// Produces a deduplicated copy of this codebook plus the code remapping
+  /// (old id -> new id) needed to rewrite embedded references. This is the
+  /// "lazy correction" of Section 3.4: subject removal leaves duplicate
+  /// entries in place (ids are persisted in pages), and a maintenance pass
+  /// applies the mapping to the pages and swaps in the compact codebook —
+  /// see SecureStore::CompactCodebook().
+  Codebook Compacted(std::vector<AccessCodeId>* mapping) const;
+
+  /// Total bytes of ACL payload across entries: size() * ceil(subjects/8).
+  /// This is the codebook storage figure used in Section 5.1.1.
+  size_t ByteSize() const {
+    return entries_.size() * ((num_subjects_ + 7) / 8);
+  }
+
+  /// Exact serialization: entries in id order (duplicates included), so
+  /// every persisted code stays valid after a round trip.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Inverse of Serialize().
+  static Result<Codebook> Deserialize(const std::vector<uint8_t>& data);
+
+ private:
+  void RebuildIndex();
+
+  size_t num_subjects_;
+  std::vector<BitVector> entries_;
+  std::unordered_map<BitVector, AccessCodeId, BitVectorHash> index_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_CODEBOOK_H_

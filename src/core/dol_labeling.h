@@ -1,0 +1,126 @@
+#ifndef SECXML_CORE_DOL_LABELING_H_
+#define SECXML_CORE_DOL_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/accessibility_map.h"
+#include "core/codebook.h"
+
+namespace secxml {
+
+/// One logical DOL transition: document node `node` starts a run of nodes
+/// sharing the access control list identified by `code`.
+struct DolEntry {
+  NodeId node = 0;
+  AccessCodeId code = 0;
+  bool operator==(const DolEntry&) const = default;
+};
+
+/// The logical Document Ordered Labeling of paper Section 2: the list of
+/// transition nodes (in document order) plus the codebook of distinct access
+/// control lists. This is the representation-independent core of DOL; the
+/// physical page-embedded form is SecureStore (built *from* a DolLabeling in
+/// a single pass).
+///
+/// Invariants: transitions are strictly ascending in node id; the first
+/// transition is at node 0 (the root is always a transition node); no two
+/// consecutive transitions carry the same code.
+class DolLabeling {
+ public:
+  DolLabeling() : codebook_(0) {}
+
+  /// Builds the labeling from any accessibility map with one document-order
+  /// pass, comparing each node's ACL to its predecessor's (Section 2).
+  static DolLabeling Build(const AccessibilityMap& map);
+
+  /// Builds from the ACL at node 0 plus a sorted event stream of per-subject
+  /// accessibility changes; runs in O(E + T * S / 64) for E events and T
+  /// transitions, never materializing per-node ACLs. This is the scalable
+  /// path used for the multi-thousand-subject workloads.
+  static DolLabeling BuildFromEvents(NodeId num_nodes, BitVector initial_acl,
+                                     const std::vector<AclEvent>& events);
+
+  /// Builds from a run-length map in O(#runs): each run boundary whose ACL
+  /// differs from its predecessor becomes a transition.
+  static DolLabeling BuildFromRuns(const RunAccessMap& map);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  const std::vector<DolEntry>& transitions() const { return transitions_; }
+  size_t num_transitions() const { return transitions_.size(); }
+  const Codebook& codebook() const { return codebook_; }
+  Codebook* mutable_codebook() { return &codebook_; }
+
+  /// Code in effect at `node` (nearest preceding transition).
+  AccessCodeId CodeAt(NodeId node) const;
+
+  /// Accessibility of `node` for `subject`.
+  bool Accessible(SubjectId subject, NodeId node) const {
+    return codebook_.Accessible(CodeAt(node), subject);
+  }
+
+  // --- Updates (paper Section 3.4) -------------------------------------
+  //
+  // Proposition 1: each operation below adds at most 2 transition nodes
+  // beyond those already present (and, for insertion, those in the inserted
+  // fragment). Tests assert this bound.
+
+  /// Sets one subject's accessibility over the node range [begin, end)
+  /// (a subtree update passes the subtree's preorder interval).
+  Status SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
+                        bool accessible);
+
+  /// Single-node convenience form.
+  Status SetNodeAccess(NodeId node, SubjectId subject, bool accessible) {
+    return SetRangeAccess(node, node + 1, subject, accessible);
+  }
+
+  /// Structural insertion: `fragment` (a labeling of the inserted nodes,
+  /// over the same subject set) is spliced in so its node 0 lands at `pos`.
+  /// Fragment codes are re-interned into this codebook.
+  Status InsertNodes(NodeId pos, const DolLabeling& fragment);
+
+  /// Structural deletion of nodes [begin, end).
+  Status DeleteNodes(NodeId begin, NodeId end);
+
+  /// Verifies the invariants listed above.
+  Status CheckInvariants() const;
+
+  /// Serializes the labeling (transition list + codebook) into a compact
+  /// byte buffer. Lets accessibility maps compiled offline (e.g. from a
+  /// rule engine) be shipped to query nodes and loaded without re-deriving
+  /// them from the policy.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Inverse of Serialize(); validates invariants on load.
+  static Result<DolLabeling> Deserialize(const std::vector<uint8_t>& data);
+
+  /// Storage accounting used by the Section 5.1 benchmarks.
+  struct Stats {
+    size_t num_transitions = 0;
+    size_t codebook_entries = 0;
+    /// Codebook payload bytes (entries * ceil(subjects / 8)).
+    size_t codebook_bytes = 0;
+    /// Embedded transition bytes at `code_bytes` per transition node (the
+    /// paper assumes 2-byte codes for the LiveLink analysis).
+    size_t transition_bytes = 0;
+    size_t total_bytes = 0;
+  };
+  Stats ComputeStats(size_t code_bytes = 2) const;
+
+ private:
+  /// Index of the transition governing `node`.
+  size_t TransitionIndexFor(NodeId node) const;
+  /// Removes consecutive duplicate codes in [first_idx-1, last_idx+1].
+  void Normalize();
+
+  NodeId num_nodes_ = 0;
+  std::vector<DolEntry> transitions_;
+  Codebook codebook_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_DOL_LABELING_H_

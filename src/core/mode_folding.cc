@@ -1,0 +1,29 @@
+#include "core/mode_folding.h"
+
+namespace secxml {
+
+Result<IntervalAccessMap> FoldModes(
+    const std::vector<const IntervalAccessMap*>& modes) {
+  if (modes.empty()) {
+    return Status::InvalidArgument("no modes to fold");
+  }
+  NodeId num_nodes = modes[0]->num_nodes();
+  size_t num_subjects = modes[0]->num_subjects();
+  for (const IntervalAccessMap* m : modes) {
+    if (m->num_nodes() != num_nodes || m->num_subjects() != num_subjects) {
+      return Status::InvalidArgument(
+          "modes disagree on node or subject counts");
+    }
+  }
+  IntervalAccessMap folded(num_nodes, num_subjects * modes.size());
+  for (size_t mode = 0; mode < modes.size(); ++mode) {
+    for (SubjectId s = 0; s < num_subjects; ++s) {
+      folded.SetSubjectIntervals(
+          FoldedSubject(static_cast<ModeId>(mode), s, num_subjects),
+          modes[mode]->SubjectIntervals(s));
+    }
+  }
+  return folded;
+}
+
+}  // namespace secxml

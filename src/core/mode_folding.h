@@ -1,0 +1,32 @@
+#ifndef SECXML_CORE_MODE_FOLDING_H_
+#define SECXML_CORE_MODE_FOLDING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/accessibility_map.h"
+
+namespace secxml {
+
+/// Folds per-action-mode accessibility maps into one map over
+/// (mode, subject) pseudo-subjects, exactly as paper Section 2 prescribes:
+/// "The approach in this paper can be easily applied for multiple action
+/// modes in a similar way for multiple users." A single DOL built from the
+/// folded map then answers accessible(subject, mode, node) with one lookup,
+/// and correlations *across modes* (e.g. write rights being subsets of read
+/// rights) compress into shared codebook entries.
+///
+/// Pseudo-subject numbering: FoldedSubject(mode, subject, num_subjects).
+/// All input maps must agree on node and subject counts.
+Result<IntervalAccessMap> FoldModes(
+    const std::vector<const IntervalAccessMap*>& modes);
+
+/// The pseudo-subject id of (mode, subject) in a folded map.
+inline SubjectId FoldedSubject(ModeId mode, SubjectId subject,
+                               size_t num_subjects) {
+  return static_cast<SubjectId>(mode * num_subjects + subject);
+}
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_MODE_FOLDING_H_

@@ -1,0 +1,70 @@
+#include "core/policy.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+std::vector<NodeInterval> PropagateMostSpecificOverride(
+    const Document& doc, std::vector<AclSeed> seeds, bool default_access) {
+  NodeId n = static_cast<NodeId>(doc.NumNodes());
+  // Stable sort by node so that among duplicate seeds on one node, the later
+  // one in the input ends up last and wins.
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const AclSeed& a, const AclSeed& b) {
+                     return a.node < b.node;
+                   });
+
+  // Sweep the seeds in document order, maintaining the stack of currently
+  // covering seeds; record accessibility change points.
+  struct Scope {
+    NodeId end;
+    bool accessible;
+  };
+  std::vector<Scope> stack = {{n, default_access}};
+  std::vector<std::pair<NodeId, bool>> changes;  // (pos, new state)
+  bool cur = default_access;
+
+  auto change_to = [&](NodeId pos, bool state) {
+    if (state == cur) return;
+    if (!changes.empty() && changes.back().first == pos) {
+      changes.back().second = state;
+      // Collapse a no-op change.
+      bool prev = changes.size() >= 2 ? changes[changes.size() - 2].second
+                                      : default_access;
+      if (prev == state) changes.pop_back();
+    } else {
+      changes.emplace_back(pos, state);
+    }
+    cur = state;
+  };
+
+  auto close_scopes = [&](NodeId upto) {
+    while (stack.size() > 1 && stack.back().end <= upto) {
+      NodeId e = stack.back().end;
+      stack.pop_back();
+      change_to(e, stack.back().accessible);
+    }
+  };
+
+  for (const AclSeed& seed : seeds) {
+    if (seed.node >= n) continue;
+    close_scopes(seed.node);
+    change_to(seed.node, seed.accessible);
+    stack.push_back({doc.SubtreeEnd(seed.node), seed.accessible});
+  }
+  close_scopes(n);
+
+  // Convert change points to maximal accessible intervals.
+  std::vector<NodeInterval> intervals;
+  bool state = default_access;
+  NodeId start = 0;
+  for (const auto& [pos, next] : changes) {
+    if (state && pos > start) intervals.push_back({start, pos});
+    state = next;
+    start = pos;
+  }
+  if (state && n > start) intervals.push_back({start, n});
+  return intervals;
+}
+
+}  // namespace secxml

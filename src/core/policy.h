@@ -1,0 +1,35 @@
+#ifndef SECXML_CORE_POLICY_H_
+#define SECXML_CORE_POLICY_H_
+
+#include <vector>
+
+#include "core/accessibility_map.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// One rule of a subtree-propagating access control policy: the node is
+/// labeled accessible or non-accessible, and the label propagates to its
+/// whole subtree until overridden by a deeper seed.
+struct AclSeed {
+  NodeId node = 0;
+  bool accessible = false;
+};
+
+/// Derives one subject's accessible node set from seeds under the
+/// Most-Specific-Override policy of Jajodia et al. used by the paper's
+/// synthetic workload (Section 5): each node inherits the accessibility of
+/// its closest seeded ancestor-or-self; nodes with no seeded ancestor get
+/// `default_access`. If several seeds name the same node, the last one in
+/// `seeds` wins.
+///
+/// Returns the maximal sorted disjoint accessible intervals, ready for
+/// IntervalAccessMap::SetSubjectIntervals. Runs in O(R log R) for R seeds,
+/// independent of document size.
+std::vector<NodeInterval> PropagateMostSpecificOverride(
+    const Document& doc, std::vector<AclSeed> seeds,
+    bool default_access = false);
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_POLICY_H_

@@ -1,0 +1,295 @@
+#include "core/secure_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace secxml {
+
+Status SecureStore::Build(const Document& doc, const DolLabeling& labeling,
+                          PagedFile* file, const NokStoreOptions& options,
+                          std::unique_ptr<SecureStore>* out) {
+  if (labeling.num_nodes() != doc.NumNodes()) {
+    return Status::InvalidArgument(
+        "labeling does not match the document size");
+  }
+  SECXML_RETURN_NOT_OK(labeling.CheckInvariants());
+  // NokStore::Build consults code_of in strict document order, so a cursor
+  // over the transition list gives O(1) amortized code lookup.
+  const std::vector<DolEntry>& ts = labeling.transitions();
+  size_t cursor = 0;
+  auto code_of = [&ts, &cursor](NodeId n) -> uint32_t {
+    while (cursor + 1 < ts.size() && ts[cursor + 1].node <= n) ++cursor;
+    return ts[cursor].code;
+  };
+  std::unique_ptr<NokStore> nok;
+  SECXML_RETURN_NOT_OK(NokStore::Build(doc, file, options, code_of, &nok));
+  out->reset(new SecureStore(std::move(nok), labeling.codebook()));
+  return Status::OK();
+}
+
+Status SecureStore::Open(PagedFile* file, const NokStoreOptions& options,
+                         std::unique_ptr<SecureStore>* out) {
+  std::unique_ptr<NokStore> nok;
+  std::vector<uint8_t> blob;
+  SECXML_RETURN_NOT_OK(NokStore::Open(file, options, &nok, &blob));
+  if (blob.empty()) {
+    return Status::InvalidArgument(
+        "file holds no codebook; use SecureStore::Persist() when saving");
+  }
+  SECXML_ASSIGN_OR_RETURN(Codebook codebook, Codebook::Deserialize(blob));
+  out->reset(new SecureStore(std::move(nok), std::move(codebook)));
+  return Status::OK();
+}
+
+Result<bool> SecureStore::Accessible(SubjectId subject, NodeId node) {
+  if (subject >= codebook_.num_subjects()) {
+    return Status::InvalidArgument("no such subject");
+  }
+  SECXML_ASSIGN_OR_RETURN(uint32_t code, nok_->AccessCode(node));
+  return codebook_.Accessible(code, subject);
+}
+
+Status SecureStore::SetSubtreeAccess(NodeId root, SubjectId subject,
+                                     bool accessible) {
+  SECXML_ASSIGN_OR_RETURN(NokRecord rec, nok_->Record(root));
+  return SetRangeAccess(root, root + rec.subtree_size, subject, accessible);
+}
+
+Status SecureStore::SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
+                                   bool accessible) {
+  if (begin >= end || end > nok_->num_nodes()) {
+    return Status::InvalidArgument("bad node range");
+  }
+  if (subject >= codebook_.num_subjects()) {
+    return Status::InvalidArgument("no such subject");
+  }
+  std::unordered_map<AccessCodeId, AccessCodeId> mapped;
+  auto map_code = [&](AccessCodeId old) {
+    auto it = mapped.find(old);
+    if (it != mapped.end()) return it->second;
+    BitVector acl = codebook_.Entry(old);  // copy: Intern may reallocate
+    acl.Set(subject, accessible);
+    AccessCodeId neu = codebook_.Intern(acl);
+    mapped.emplace(old, neu);
+    return neu;
+  };
+
+  size_t ordinal = nok_->PageOrdinalOf(begin);
+  while (ordinal < nok_->num_pages() &&
+         nok_->page_infos()[ordinal].first_node < end) {
+    const NokStore::PageInfo info = nok_->page_infos()[ordinal];
+    NodeId page_begin = info.first_node;
+    NodeId page_end = info.first_node + info.num_records;
+
+    // Decompose the page into runs of equal code.
+    SECXML_ASSIGN_OR_RETURN(std::vector<DolTransition> old_ts,
+                            nok_->PageTransitions(ordinal));
+    struct Run {
+      NodeId start;
+      AccessCodeId code;
+    };
+    std::vector<Run> runs;
+    runs.push_back({page_begin, info.first_code});
+    for (const DolTransition& t : old_ts) {
+      runs.push_back({page_begin + t.slot, t.code});
+    }
+
+    // Split runs at the range boundaries, then remap the covered parts.
+    std::vector<Run> new_runs;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      NodeId run_start = runs[i].start;
+      NodeId run_end = i + 1 < runs.size() ? runs[i + 1].start : page_end;
+      AccessCodeId code = runs[i].code;
+      NodeId cut1 = std::clamp(begin, run_start, run_end);
+      NodeId cut2 = std::clamp(end, run_start, run_end);
+      if (cut1 > run_start) new_runs.push_back({run_start, code});
+      if (cut2 > cut1) new_runs.push_back({cut1, map_code(code)});
+      if (run_end > cut2) new_runs.push_back({cut2, code});
+    }
+
+    // Collapse duplicates and rebuild the page's ACL region.
+    uint32_t first_code = new_runs.front().code;
+    std::vector<DolTransition> new_ts;
+    AccessCodeId prev = first_code;
+    for (size_t i = 1; i < new_runs.size(); ++i) {
+      if (new_runs[i].code == prev) continue;
+      new_ts.push_back(DolTransition{
+          static_cast<uint16_t>(new_runs[i].start - page_begin), 0,
+          new_runs[i].code});
+      prev = new_runs[i].code;
+    }
+    size_t pages_before = nok_->num_pages();
+    InvalidateVisibilityCache();
+    SECXML_RETURN_NOT_OK(nok_->SetPageAcl(ordinal, first_code, new_ts));
+    // A split distributes the new ACL over both halves; skip past them.
+    ordinal += (nok_->num_pages() > pages_before) ? 2 : 1;
+  }
+  return Status::OK();
+}
+
+Status SecureStore::CompactCodebook() {
+  std::vector<AccessCodeId> mapping;
+  Codebook compacted = codebook_.Compacted(&mapping);
+  for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
+    const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
+    SECXML_ASSIGN_OR_RETURN(std::vector<DolTransition> ts,
+                            nok_->PageTransitions(ordinal));
+    uint32_t first_code = mapping[info.first_code];
+    bool changed = first_code != info.first_code;
+    // Remap and drop transitions that became no-ops.
+    std::vector<DolTransition> remapped;
+    uint32_t prev = first_code;
+    for (DolTransition t : ts) {
+      uint32_t neu = mapping[t.code];
+      changed |= neu != t.code;
+      if (neu == prev) {
+        changed = true;  // a merged transition disappears
+        continue;
+      }
+      t.code = neu;
+      remapped.push_back(t);
+      prev = neu;
+    }
+    if (changed) {
+      SECXML_RETURN_NOT_OK(nok_->SetPageAcl(ordinal, first_code,
+                                            std::move(remapped)));
+    }
+  }
+  codebook_ = std::move(compacted);
+  return Status::OK();
+}
+
+Result<NodeId> SecureStore::InsertSubtree(NodeId parent, NodeId after,
+                                          const Document& fragment,
+                                          const DolLabeling& fragment_labeling) {
+  if (fragment_labeling.num_nodes() != fragment.NumNodes()) {
+    return Status::InvalidArgument(
+        "fragment labeling does not match the fragment size");
+  }
+  if (fragment_labeling.codebook().num_subjects() != codebook_.num_subjects()) {
+    return Status::InvalidArgument("fragment has a different subject set");
+  }
+  // Re-intern the fragment's codes into this store's codebook once.
+  std::unordered_map<AccessCodeId, uint32_t> mapped;
+  auto code_of = [this, &fragment_labeling, &mapped](NodeId f) -> uint32_t {
+    AccessCodeId frag_code = fragment_labeling.CodeAt(f);
+    auto it = mapped.find(frag_code);
+    if (it != mapped.end()) return it->second;
+    uint32_t code = codebook_.Intern(fragment_labeling.codebook().Entry(frag_code));
+    mapped.emplace(frag_code, code);
+    return code;
+  };
+  InvalidateVisibilityCache();
+  return nok_->InsertSubtree(parent, after, fragment, code_of);
+}
+
+Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
+    SubjectId subject) {
+  if (subject >= codebook_.num_subjects()) {
+    return Status::InvalidArgument("no such subject");
+  }
+  auto it = hidden_cache_.find(subject);
+  if (it != hidden_cache_.end()) return it->second;
+  SECXML_ASSIGN_OR_RETURN(std::vector<NodeInterval> hidden,
+                          ComputeHiddenSubtreeIntervals(subject));
+  hidden_cache_.emplace(subject, hidden);
+  return hidden;
+}
+
+Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
+    SubjectId subject) {
+  std::vector<NodeInterval> hidden;
+  NodeId blocked_end = 0;  // exclusive end of the current hidden interval
+
+  for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
+    const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
+    NodeId page_begin = info.first_node;
+    NodeId page_end = info.first_node + info.num_records;
+    // Header-only page skip: a uniformly accessible page beyond any hidden
+    // subtree cannot start a new hidden interval.
+    if (!info.change_bit && codebook_.Accessible(info.first_code, subject) &&
+        page_begin >= blocked_end) {
+      continue;
+    }
+    // A uniformly *inaccessible* page fully covered by the current hidden
+    // interval also needs no inspection.
+    if (page_end <= blocked_end) continue;
+
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                            nok_->buffer_pool()->Fetch(info.page_id));
+    NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    uint32_t code = header.first_code;
+    uint32_t next_transition = 0;
+    DolTransition trans{};
+    if (next_transition < header.num_transitions) {
+      trans = handle.page().ReadAt<DolTransition>(
+          TransitionOffset(next_transition));
+    }
+    for (uint32_t slot = 0; slot < header.num_records; ++slot) {
+      while (next_transition < header.num_transitions &&
+             trans.slot == slot) {
+        code = trans.code;
+        ++next_transition;
+        if (next_transition < header.num_transitions) {
+          trans = handle.page().ReadAt<DolTransition>(
+              TransitionOffset(next_transition));
+        }
+      }
+      NodeId n = page_begin + slot;
+      if (n < blocked_end) continue;  // inside an already-hidden subtree
+      if (codebook_.Accessible(code, subject)) continue;
+      NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+      NodeId subtree_end = n + rec.subtree_size;
+      if (!hidden.empty() && hidden.back().end == n) {
+        hidden.back().end = subtree_end;  // adjacent subtrees merge
+      } else {
+        hidden.push_back({n, subtree_end});
+      }
+      blocked_end = subtree_end;
+    }
+  }
+  return hidden;
+}
+
+Result<DolLabeling> SecureStore::ExtractLabeling() {
+  // Reconstruct per-node codes from the pages, then rebuild a labeling via
+  // a map adapter so invariants (normalization) are re-established.
+  class CodeMap final : public AccessibilityMap {
+   public:
+    CodeMap(const Codebook* cb, std::vector<AccessCodeId> codes)
+        : cb_(cb), codes_(std::move(codes)) {}
+    size_t num_subjects() const override { return cb_->num_subjects(); }
+    NodeId num_nodes() const override {
+      return static_cast<NodeId>(codes_.size());
+    }
+    bool Accessible(SubjectId s, NodeId n) const override {
+      return cb_->Accessible(codes_[n], s);
+    }
+    void AclFor(NodeId n, BitVector* out) const override {
+      *out = cb_->Entry(codes_[n]);
+    }
+
+   private:
+    const Codebook* cb_;
+    std::vector<AccessCodeId> codes_;
+  };
+
+  std::vector<AccessCodeId> codes(nok_->num_nodes());
+  for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
+    const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
+    SECXML_ASSIGN_OR_RETURN(std::vector<DolTransition> ts,
+                            nok_->PageTransitions(ordinal));
+    uint32_t code = info.first_code;
+    size_t next = 0;
+    for (uint16_t slot = 0; slot < info.num_records; ++slot) {
+      if (next < ts.size() && ts[next].slot == slot) {
+        code = ts[next].code;
+        ++next;
+      }
+      codes[info.first_node + slot] = code;
+    }
+  }
+  return DolLabeling::Build(CodeMap(&codebook_, std::move(codes)));
+}
+
+}  // namespace secxml

@@ -1,0 +1,161 @@
+#ifndef SECXML_CORE_SECURE_STORE_H_
+#define SECXML_CORE_SECURE_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/accessibility_map.h"
+#include "core/codebook.h"
+#include "core/dol_labeling.h"
+#include "nok/nok_store.h"
+
+namespace secxml {
+
+/// A secured XML store: NoK block storage of the document structure with the
+/// DOL physically embedded (paper Section 3), plus the in-memory codebook.
+/// This is the object the secure query processor runs against.
+class SecureStore {
+ public:
+  /// Builds the physical store from a document and its logical DOL in one
+  /// document-order pass (structure and access codes are laid out together,
+  /// Section 3.2). The labeling's codebook is copied in.
+  static Status Build(const Document& doc, const DolLabeling& labeling,
+                      PagedFile* file, const NokStoreOptions& options,
+                      std::unique_ptr<SecureStore>* out);
+
+  /// Reopens a store previously saved with Persist() (structure, embedded
+  /// codes, and codebook all restored).
+  static Status Open(PagedFile* file, const NokStoreOptions& options,
+                     std::unique_ptr<SecureStore>* out);
+
+  /// Persists the store: NoK snapshot plus the codebook (kept in the
+  /// snapshot's user blob).
+  Status Persist() { return nok_->Persist(codebook_.Serialize()); }
+
+  SecureStore(const SecureStore&) = delete;
+  SecureStore& operator=(const SecureStore&) = delete;
+
+  NokStore* nok() { return nok_.get(); }
+  const Codebook& codebook() const { return codebook_; }
+
+  NodeId num_nodes() const { return nok_->num_nodes(); }
+
+  /// Accessibility check for one node (Section 3.3). Costs at most one
+  /// buffer-pool fetch of the node's own page, and zero I/O when the page's
+  /// change bit is clear (answered from the in-memory header table).
+  Result<bool> Accessible(SubjectId subject, NodeId node);
+
+  /// True if, judging from the in-memory page header alone, every node in
+  /// the page is inaccessible to `subject` — the page-skipping test of
+  /// Section 3.3. Never performs I/O; false means "must look inside".
+  bool PageWhollyInaccessible(size_t page_ordinal, SubjectId subject) const {
+    const NokStore::PageInfo& info = nok_->page_infos()[page_ordinal];
+    return !info.change_bit && !codebook_.Accessible(info.first_code, subject);
+  }
+
+  /// Likewise, true if the header alone proves every node accessible.
+  bool PageWhollyAccessible(size_t page_ordinal, SubjectId subject) const {
+    const NokStore::PageInfo& info = nok_->page_infos()[page_ordinal];
+    return !info.change_bit && codebook_.Accessible(info.first_code, subject);
+  }
+
+  // --- Updates (paper Section 3.4) -------------------------------------
+
+  /// Sets `subject`'s accessibility for a single node. Touches only the
+  /// node's page (read + write).
+  Status SetNodeAccess(NodeId node, SubjectId subject, bool accessible) {
+    return SetRangeAccess(node, node + 1, subject, accessible);
+  }
+
+  /// Sets `subject`'s accessibility for the whole subtree rooted at `root`.
+  /// Touches the ceil(N/B) consecutive pages covering the subtree.
+  Status SetSubtreeAccess(NodeId root, SubjectId subject, bool accessible);
+
+  /// Range form over document-order interval [begin, end).
+  Status SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
+                        bool accessible);
+
+  /// Structural deletion (Section 3.4): removes the subtree rooted at
+  /// `root` together with its embedded labels; later nodes renumber
+  /// implicitly and keep their access codes.
+  Status DeleteSubtree(NodeId root) {
+    InvalidateVisibilityCache();
+    return nok_->DeleteSubtree(root);
+  }
+
+  /// Structural insertion (Section 3.4): splices `fragment` (whose nodes
+  /// already carry access controls via `fragment_labeling`, over the same
+  /// subject set) in as a child of `parent` after child `after`
+  /// (kInvalidNode = first child). Fragment ACLs are interned into this
+  /// store's codebook. Returns the fragment root's new document id.
+  Result<NodeId> InsertSubtree(NodeId parent, NodeId after,
+                               const Document& fragment,
+                               const DolLabeling& fragment_labeling);
+
+  /// Adds a subject with uniform `default_access`; codebook-only (no page
+  /// I/O), per Section 3.4.
+  SubjectId AddSubject(bool default_access) {
+    return codebook_.AddSubject(default_access);
+  }
+
+  /// Adds a subject whose rights mirror an existing subject's; codebook-only.
+  SubjectId AddSubjectLike(SubjectId like) {
+    return codebook_.AddSubjectLike(like);
+  }
+
+  /// Removes a subject; codebook-only. Embedded codes stay valid; duplicate
+  /// codebook entries are tolerated and cleaned lazily.
+  Status RemoveSubject(SubjectId subject) {
+    // Remaining subjects renumber, so cached per-subject intervals would be
+    // misattributed.
+    InvalidateVisibilityCache();
+    return codebook_.RemoveSubject(subject);
+  }
+
+  /// The lazy maintenance pass of Section 3.4: deduplicates the codebook
+  /// (duplicates accumulate after subject removals) and rewrites every
+  /// page's embedded codes through the remapping, merging transitions that
+  /// became redundant. One sequential pass; pages whose codes are already
+  /// canonical and merged are left untouched.
+  Status CompactCodebook();
+
+  // --- Support for the stricter view semantics (Section 4.2) -----------
+
+  /// Computes the maximal document-order intervals hidden from `subject`
+  /// under the Gabillon-Bruno semantics (a non-accessible node hides its
+  /// entire subtree). One sequential pass; every page is loaded at most
+  /// once, and pages whose in-memory header proves them wholly accessible
+  /// and not under a hidden subtree are not loaded at all.
+  ///
+  /// Results are cached per subject and invalidated by any accessibility or
+  /// structural update, so repeated view-semantics queries by one subject
+  /// pay the sweep once.
+  Result<std::vector<NodeInterval>> HiddenSubtreeIntervals(SubjectId subject);
+
+  /// Rebuilds the logical DolLabeling from the physical pages (for tests
+  /// and for re-deriving statistics after updates).
+  Result<DolLabeling> ExtractLabeling();
+
+  const IoStats& io_stats() const { return nok_->io_stats(); }
+
+ private:
+  SecureStore(std::unique_ptr<NokStore> nok, Codebook codebook)
+      : nok_(std::move(nok)), codebook_(std::move(codebook)) {}
+
+  /// Computes hidden intervals without consulting the cache.
+  Result<std::vector<NodeInterval>> ComputeHiddenSubtreeIntervals(
+      SubjectId subject);
+
+  void InvalidateVisibilityCache() { hidden_cache_.clear(); }
+
+  std::unique_ptr<NokStore> nok_;
+  Codebook codebook_;
+  std::unordered_map<SubjectId, std::vector<NodeInterval>> hidden_cache_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_SECURE_STORE_H_

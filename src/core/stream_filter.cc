@@ -1,0 +1,99 @@
+#include "core/stream_filter.h"
+
+namespace secxml {
+
+void SecureStreamFilter::AppendEscaped(std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out_->append("&lt;");
+        break;
+      case '>':
+        out_->append("&gt;");
+        break;
+      case '&':
+        out_->append("&amp;");
+        break;
+      case '"':
+        out_->append("&quot;");
+        break;
+      default:
+        out_->push_back(c);
+    }
+  }
+}
+
+void SecureStreamFilter::CloseStartTagIfOpen() {
+  if (tag_open_) {
+    out_->push_back('>');
+    tag_open_ = false;
+  }
+}
+
+Status SecureStreamFilter::StartElement(std::string_view name) {
+  NodeId node = next_node_++;
+  if (suppress_depth_ > 0) {
+    ++suppress_depth_;
+    return Status::OK();
+  }
+  if (node >= labeling_->num_nodes()) {
+    return Status::InvalidArgument(
+        "stream has more elements than the labeling covers");
+  }
+  if (!labeling_->Accessible(subject_, node)) {
+    // View semantics: the whole subtree disappears.
+    suppress_depth_ = 1;
+    return Status::OK();
+  }
+  if (!name.empty() && name[0] == '@' && tag_open_ && !in_attribute_) {
+    // Reconstitute as an attribute of the still-open start tag.
+    in_attribute_ = true;
+    attr_name_ = std::string(name.substr(1));
+    attr_value_.clear();
+    return Status::OK();
+  }
+  CloseStartTagIfOpen();
+  out_->push_back('<');
+  out_->append(name);
+  tag_open_ = true;
+  return Status::OK();
+}
+
+Status SecureStreamFilter::Characters(std::string_view text) {
+  if (suppress_depth_ > 0) return Status::OK();
+  if (in_attribute_) {
+    attr_value_.append(text);
+    return Status::OK();
+  }
+  CloseStartTagIfOpen();
+  AppendEscaped(text);
+  return Status::OK();
+}
+
+Status SecureStreamFilter::EndElement(std::string_view name) {
+  if (suppress_depth_ > 0) {
+    --suppress_depth_;
+    return Status::OK();
+  }
+  if (in_attribute_) {
+    out_->push_back(' ');
+    out_->append(attr_name_);
+    out_->append("=\"");
+    AppendEscaped(attr_value_);
+    out_->push_back('"');
+    in_attribute_ = false;
+    return Status::OK();
+  }
+  if (tag_open_) {
+    // Empty element.
+    out_->append("/>");
+    tag_open_ = false;
+    return Status::OK();
+  }
+  out_->append("</");
+  out_->append(name);
+  out_->push_back('>');
+  return Status::OK();
+}
+
+}  // namespace secxml

@@ -1,0 +1,66 @@
+#ifndef SECXML_CORE_STREAM_FILTER_H_
+#define SECXML_CORE_STREAM_FILTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/dol_labeling.h"
+#include "xml/sax.h"
+
+namespace secxml {
+
+/// One-pass secure XML dissemination (paper Section 7: the DOL layout makes
+/// it "easy to embed into streaming XML data ... many one-pass algorithms on
+/// streaming XML data can be made secure").
+///
+/// The filter consumes a SAX event stream, numbers elements in document
+/// order (the same numbering DOL labels), and re-emits only the content
+/// visible to `subject` under the Gabillon-Bruno view semantics: an
+/// inaccessible element swallows its entire subtree. Attribute pseudo
+/// elements ("@name") are reconstituted as attributes. Memory use is O(tree
+/// depth); the input is never materialized.
+///
+/// Typical use:
+///   SecureStreamFilter filter(&labeling, subject, &output);
+///   ParseXmlStream(input_xml, &filter);
+class SecureStreamFilter final : public XmlContentHandler {
+ public:
+  /// `labeling` must cover at least as many nodes as the stream contains
+  /// and outlive the filter. Output is appended to `*out`.
+  SecureStreamFilter(const DolLabeling* labeling, SubjectId subject,
+                     std::string* out)
+      : labeling_(labeling), subject_(subject), out_(out) {}
+
+  Status StartElement(std::string_view name) override;
+  Status Characters(std::string_view text) override;
+  Status EndElement(std::string_view name) override;
+
+  /// Number of element events consumed (for validating against the
+  /// labeling's document size).
+  NodeId nodes_seen() const { return next_node_; }
+
+ private:
+  void CloseStartTagIfOpen();
+  void AppendEscaped(std::string_view text);
+
+  const DolLabeling* labeling_;
+  SubjectId subject_;
+  std::string* out_;
+
+  NodeId next_node_ = 0;
+  /// Number of currently open elements inside a suppressed subtree; 0 means
+  /// emitting.
+  uint32_t suppress_depth_ = 0;
+  /// An emitted start tag whose '>' has not been written yet (attributes may
+  /// still arrive).
+  bool tag_open_ = false;
+  /// Currently inside an emitted attribute pseudo-element.
+  bool in_attribute_ = false;
+  std::string attr_name_;
+  std::string attr_value_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_STREAM_FILTER_H_

@@ -1,0 +1,101 @@
+#ifndef SECXML_NOK_NOK_FORMAT_H_
+#define SECXML_NOK_NOK_FORMAT_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// On-disk layout of the NoK succinct document-order storage with embedded
+/// DOL access-control data (paper Sections 3.1-3.2, Figure 3).
+///
+/// A page holds, in order:
+///   [NokPageHeader][NokRecord x num_records] ... [DolTransition x T]
+/// Records grow from the front, DOL transition entries grow from the back
+/// (like slotted-page layouts). The structural records of a document are laid
+/// out strictly in document order across pages; a node's id is its document
+/// order (preorder) rank, so page k holds the contiguous id range
+/// [first_node(k), first_node(k) + num_records(k)).
+///
+/// The paper's encoding stores nodes in document order with closing
+/// parentheses; we store each node's subtree size instead. Subtree size is
+/// the prefix-sum form of the same parenthesis string and supports O(1)
+/// following-sibling jumps (next sibling id = id + subtree_size).
+
+/// Sentinel for a record with no text value.
+inline constexpr uint32_t kNoValueRef = 0xffffffffu;
+
+/// One document node, 16 bytes.
+struct NokRecord {
+  TagId tag = 0;
+  uint32_t subtree_size = 0;
+  uint32_t value_ref = kNoValueRef;
+  uint16_t depth = 0;
+  uint16_t reserved = 0;
+};
+static_assert(sizeof(NokRecord) == 16);
+
+/// One embedded DOL transition: document node `first_node + slot` begins a
+/// run of nodes sharing access-control code `code`. 8 bytes.
+struct DolTransition {
+  uint16_t slot = 0;
+  uint16_t reserved = 0;
+  uint32_t code = 0;
+};
+static_assert(sizeof(DolTransition) == 8);
+
+/// Page header, 16 bytes at offset 0.
+struct NokPageHeader {
+  uint16_t num_records = 0;
+  /// Depth of the first record (root = 0); used to seed in-page navigation.
+  uint16_t first_depth = 0;
+  /// Number of embedded DolTransition entries at the page tail, NOT counting
+  /// the implicit transition formed by the first record.
+  uint16_t num_transitions = 0;
+  uint16_t flags = 0;
+  /// Access-control code in effect for the first record of the page. The
+  /// paper treats every page's first node as a transition node so any node's
+  /// code can be resolved within its own page.
+  uint32_t first_code = 0;
+  uint32_t reserved = 0;
+
+  /// flags bit 0: the paper's "change bit" — set iff the page contains at
+  /// least one transition beyond the implicit initial one.
+  static constexpr uint16_t kChangeBit = 1;
+
+  bool change_bit() const { return (flags & kChangeBit) != 0; }
+  void set_change_bit(bool value) {
+    flags = value ? (flags | kChangeBit) : (flags & ~kChangeBit);
+  }
+};
+static_assert(sizeof(NokPageHeader) == 16);
+
+/// Maximum records that fit in a page with no transitions at all.
+inline constexpr uint32_t kMaxRecordsPerPage =
+    static_cast<uint32_t>((kPageSize - sizeof(NokPageHeader)) /
+                          sizeof(NokRecord));
+
+/// Byte offset of record `slot` within a page.
+inline constexpr size_t RecordOffset(uint32_t slot) {
+  return sizeof(NokPageHeader) + static_cast<size_t>(slot) * sizeof(NokRecord);
+}
+
+/// Byte offset of transition entry `i` (0 = last in the page, growing toward
+/// the front).
+inline constexpr size_t TransitionOffset(uint32_t i) {
+  return kPageSize - static_cast<size_t>(i + 1) * sizeof(DolTransition);
+}
+
+/// True if a page can hold `records` records plus `transitions` transition
+/// entries.
+inline constexpr bool PageFits(uint32_t records, uint32_t transitions) {
+  return sizeof(NokPageHeader) + static_cast<size_t>(records) * sizeof(NokRecord) +
+             static_cast<size_t>(transitions) * sizeof(DolTransition) <=
+         kPageSize;
+}
+
+}  // namespace secxml
+
+#endif  // SECXML_NOK_NOK_FORMAT_H_

@@ -1,0 +1,878 @@
+#include "nok/nok_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secxml {
+
+namespace {
+
+// Superblock magic ("SXNK") marking a Persist() snapshot in a file's last
+// page. The superblock stores counts plus the id range of the blob pages
+// holding the serialized page directory and tag dictionary.
+constexpr uint32_t kSuperMagic = 0x53584e4bu;
+
+struct Superblock {
+  uint32_t magic = kSuperMagic;
+  uint32_t version = 1;
+  uint32_t num_nodes = 0;
+  uint32_t dir_entries = 0;
+  uint32_t blob_start = 0;
+  uint32_t blob_pages = 0;
+  uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(Superblock) == 32);
+
+void AppendU32(std::vector<uint8_t>* blob, uint32_t v) {
+  blob->insert(blob->end(), reinterpret_cast<const uint8_t*>(&v),
+               reinterpret_cast<const uint8_t*>(&v) + sizeof(v));
+}
+
+uint32_t ReadU32(const std::vector<uint8_t>& blob, size_t* pos) {
+  uint32_t v;
+  std::memcpy(&v, blob.data() + *pos, sizeof(v));
+  *pos += sizeof(v);
+  return v;
+}
+
+/// Writes a page image from parts. `transitions` must be slot-ascending.
+void ComposePage(const NokPageHeader& header,
+                 const NokRecord* records,
+                 const std::vector<DolTransition>& transitions, Page* page) {
+  page->Zero();
+  page->WriteAt(0, header);
+  for (uint32_t i = 0; i < header.num_records; ++i) {
+    page->WriteAt(RecordOffset(i), records[i]);
+  }
+  for (uint32_t i = 0; i < transitions.size(); ++i) {
+    page->WriteAt(TransitionOffset(i), transitions[i]);
+  }
+}
+
+}  // namespace
+
+Status NokStore::Build(const Document& doc, PagedFile* file,
+                       const NokStoreOptions& options,
+                       const std::function<uint32_t(NodeId)>& code_of,
+                       std::unique_ptr<NokStore>* out) {
+  if (doc.empty()) return Status::InvalidArgument("cannot build empty store");
+  if (file->NumPages() != 0) {
+    return Status::InvalidArgument("Build requires an empty paged file");
+  }
+  std::unique_ptr<NokStore> store(new NokStore(file, options));
+  store->num_nodes_ = static_cast<NodeId>(doc.NumNodes());
+  store->tags_ = doc.tags();
+  store->postings_.resize(store->tags_.size());
+
+  const uint32_t max_records =
+      options.max_records_per_page == 0
+          ? kMaxRecordsPerPage
+          : std::min(options.max_records_per_page, kMaxRecordsPerPage);
+
+  std::vector<NokRecord> records;
+  std::vector<DolTransition> transitions;
+  NodeId page_first_node = 0;
+  uint32_t page_first_code = 0;
+  uint32_t prev_code = 0;
+
+  auto flush_page = [&]() -> Status {
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, store->pool_.Allocate());
+    NokPageHeader header;
+    header.num_records = static_cast<uint16_t>(records.size());
+    header.first_depth = records.empty() ? 0 : records[0].depth;
+    header.num_transitions = static_cast<uint16_t>(transitions.size());
+    header.first_code = page_first_code;
+    header.set_change_bit(!transitions.empty());
+    ComposePage(header, records.data(), transitions, handle.mutable_page());
+    handle.MarkDirty();
+    PageInfo info;
+    info.page_id = handle.page_id();
+    info.first_node = page_first_node;
+    info.num_records = header.num_records;
+    info.first_depth = header.first_depth;
+    info.first_code = header.first_code;
+    info.change_bit = header.change_bit();
+    store->pages_.push_back(info);
+    records.clear();
+    transitions.clear();
+    return Status::OK();
+  };
+
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    uint32_t code = code_of ? code_of(n) : 0;
+    bool starts_page = records.empty();
+    bool is_transition = !starts_page && code != prev_code;
+    // Will this record (plus its transition entry, plus the reserved update
+    // slack) still fit?
+    uint32_t needed_transitions = static_cast<uint32_t>(transitions.size()) +
+                                  (is_transition ? 1 : 0) +
+                                  options.transition_slack;
+    if (!starts_page &&
+        (records.size() >= max_records ||
+         !PageFits(static_cast<uint32_t>(records.size()) + 1,
+                   needed_transitions))) {
+      SECXML_RETURN_NOT_OK(flush_page());
+      starts_page = true;
+      is_transition = false;
+    }
+    if (starts_page) {
+      page_first_node = n;
+      page_first_code = code;
+    }
+    if (is_transition) {
+      transitions.push_back(DolTransition{
+          static_cast<uint16_t>(records.size()), 0, code});
+    }
+    NokRecord rec;
+    rec.tag = doc.Tag(n);
+    rec.subtree_size = doc.SubtreeSize(n);
+    rec.depth = doc.Depth(n);
+    if (doc.HasValue(n)) {
+      rec.value_ref = static_cast<uint32_t>(store->values_.size());
+      store->values_.emplace_back(doc.Value(n));
+    }
+    records.push_back(rec);
+    store->postings_[rec.tag].push_back(n);
+    prev_code = code;
+  }
+  if (!records.empty()) {
+    SECXML_RETURN_NOT_OK(flush_page());
+  }
+  SECXML_RETURN_NOT_OK(store->pool_.FlushAll());
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status NokStore::Persist(const std::vector<uint8_t>& user_blob) {
+  SECXML_RETURN_NOT_OK(pool_.FlushAll());
+  // Serialize the directory (ordered page ids) and the tag dictionary.
+  std::vector<uint8_t> blob;
+  for (const PageInfo& info : pages_) AppendU32(&blob, info.page_id);
+  AppendU32(&blob, static_cast<uint32_t>(tags_.size()));
+  for (TagId t = 0; t < tags_.size(); ++t) {
+    const std::string& name = tags_.Name(t);
+    AppendU32(&blob, static_cast<uint32_t>(name.size()));
+    blob.insert(blob.end(), name.begin(), name.end());
+  }
+  AppendU32(&blob, static_cast<uint32_t>(values_.size()));
+  for (const std::string& v : values_) {
+    AppendU32(&blob, static_cast<uint32_t>(v.size()));
+    blob.insert(blob.end(), v.begin(), v.end());
+  }
+  AppendU32(&blob, static_cast<uint32_t>(user_blob.size()));
+  blob.insert(blob.end(), user_blob.begin(), user_blob.end());
+
+  Superblock super;
+  super.num_nodes = num_nodes_;
+  super.dir_entries = static_cast<uint32_t>(pages_.size());
+  super.payload_bytes = blob.size();
+  super.blob_pages =
+      static_cast<uint32_t>((blob.size() + kPageSize - 1) / kPageSize);
+
+  size_t written = 0;
+  for (uint32_t i = 0; i < super.blob_pages; ++i) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle page, pool_.Allocate());
+    if (i == 0) super.blob_start = page.page_id();
+    size_t chunk = std::min(kPageSize, blob.size() - written);
+    std::memcpy(page.mutable_page()->data.data(), blob.data() + written,
+                chunk);
+    written += chunk;
+    page.MarkDirty();
+  }
+  SECXML_ASSIGN_OR_RETURN(PageHandle sb, pool_.Allocate());
+  sb.mutable_page()->Zero();
+  sb.mutable_page()->WriteAt(0, super);
+  sb.MarkDirty();
+  sb.Release();
+  return pool_.FlushAll();
+}
+
+Status NokStore::Open(PagedFile* file, const NokStoreOptions& options,
+                      std::unique_ptr<NokStore>* out,
+                      std::vector<uint8_t>* user_blob) {
+  if (user_blob != nullptr) user_blob->clear();
+  if (file->NumPages() == 0) {
+    return Status::InvalidArgument("cannot open an empty paged file");
+  }
+  std::unique_ptr<NokStore> store(new NokStore(file, options));
+
+  // A Persist() snapshot? The last page carries the superblock.
+  std::vector<PageId> directory;
+  bool have_snapshot = false;
+  {
+    SECXML_ASSIGN_OR_RETURN(PageHandle last,
+                            store->pool_.Fetch(file->NumPages() - 1));
+    Superblock super = last.page().ReadAt<Superblock>(0);
+    if (super.magic == kSuperMagic) {
+      if (super.version != 1 ||
+          super.blob_start + super.blob_pages > file->NumPages() ||
+          super.payload_bytes > static_cast<uint64_t>(super.blob_pages) *
+                                    kPageSize) {
+        return Status::Corruption("invalid superblock");
+      }
+      std::vector<uint8_t> blob(super.payload_bytes);
+      size_t read = 0;
+      for (uint32_t i = 0; i < super.blob_pages; ++i) {
+        SECXML_ASSIGN_OR_RETURN(PageHandle page,
+                                store->pool_.Fetch(super.blob_start + i));
+        size_t chunk = std::min(kPageSize, blob.size() - read);
+        std::memcpy(blob.data() + read, page.page().data.data(), chunk);
+        read += chunk;
+      }
+      size_t pos = 0;
+      if (blob.size() < static_cast<size_t>(super.dir_entries) * 4 + 4) {
+        return Status::Corruption("truncated superblock payload");
+      }
+      for (uint32_t i = 0; i < super.dir_entries; ++i) {
+        directory.push_back(ReadU32(blob, &pos));
+      }
+      uint32_t tag_count = ReadU32(blob, &pos);
+      for (uint32_t t = 0; t < tag_count; ++t) {
+        if (pos + 4 > blob.size()) {
+          return Status::Corruption("truncated tag dictionary");
+        }
+        uint32_t len = ReadU32(blob, &pos);
+        if (pos + len > blob.size()) {
+          return Status::Corruption("truncated tag dictionary");
+        }
+        store->tags_.Intern(std::string_view(
+            reinterpret_cast<const char*>(blob.data() + pos), len));
+        pos += len;
+      }
+      if (pos + 4 > blob.size()) {
+        return Status::Corruption("truncated value pool");
+      }
+      uint32_t value_count = ReadU32(blob, &pos);
+      store->values_.reserve(value_count);
+      for (uint32_t v = 0; v < value_count; ++v) {
+        if (pos + 4 > blob.size()) {
+          return Status::Corruption("truncated value pool");
+        }
+        uint32_t len = ReadU32(blob, &pos);
+        if (pos + len > blob.size()) {
+          return Status::Corruption("truncated value pool");
+        }
+        store->values_.emplace_back(
+            reinterpret_cast<const char*>(blob.data() + pos), len);
+        pos += len;
+      }
+      if (pos + 4 > blob.size()) {
+        return Status::Corruption("truncated user blob");
+      }
+      uint32_t user_len = ReadU32(blob, &pos);
+      if (pos + user_len > blob.size()) {
+        return Status::Corruption("truncated user blob");
+      }
+      if (user_blob != nullptr) {
+        user_blob->assign(blob.begin() + static_cast<long>(pos),
+                          blob.begin() + static_cast<long>(pos + user_len));
+      }
+      have_snapshot = true;
+    }
+  }
+  if (!have_snapshot) {
+    // Legacy layout: pages in physical order equal document order (true for
+    // freshly built stores; splits and structural updates require Persist).
+    directory.resize(file->NumPages());
+    for (PageId id = 0; id < file->NumPages(); ++id) directory[id] = id;
+  }
+
+  NodeId next_node = 0;
+  for (PageId id : directory) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, store->pool_.Fetch(id));
+    NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    if (header.num_records == 0 ||
+        !PageFits(header.num_records, header.num_transitions)) {
+      return Status::Corruption("invalid page header on page " +
+                                std::to_string(id));
+    }
+    PageInfo info;
+    info.page_id = id;
+    info.first_node = next_node;
+    info.num_records = header.num_records;
+    info.first_depth = header.first_depth;
+    info.first_code = header.first_code;
+    info.change_bit = header.change_bit();
+    store->pages_.push_back(info);
+
+    // Rebuild the tag index while the page is resident.
+    for (uint32_t slot = 0; slot < header.num_records; ++slot) {
+      NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+      while (store->postings_.size() <= rec.tag) {
+        store->postings_.emplace_back();
+      }
+      store->postings_[rec.tag].push_back(next_node + slot);
+    }
+    next_node += header.num_records;
+  }
+  store->num_nodes_ = next_node;
+  *out = std::move(store);
+  return Status::OK();
+}
+
+size_t NokStore::PageOrdinalOf(NodeId n) const {
+  assert(n < num_nodes_);
+  // Largest ordinal with first_node <= n.
+  size_t lo = 0, hi = pages_.size();
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (pages_[mid].first_node <= n) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Result<NokRecord> NokStore::Record(NodeId n) {
+  if (n >= num_nodes_) {
+    return Status::OutOfRange("node id " + std::to_string(n) +
+                              " out of range");
+  }
+  size_t ordinal = PageOrdinalOf(n);
+  const PageInfo& info = pages_[ordinal];
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  uint32_t slot = n - info.first_node;
+  return handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+}
+
+Status NokStore::RecordAndCode(NodeId n, NokRecord* record, uint32_t* code) {
+  if (n >= num_nodes_) {
+    return Status::OutOfRange("node id " + std::to_string(n) +
+                              " out of range");
+  }
+  size_t ordinal = PageOrdinalOf(n);
+  const PageInfo& info = pages_[ordinal];
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  uint32_t slot = n - info.first_node;
+  *record = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+  *code = info.first_code;
+  if (info.change_bit && slot > 0) {
+    NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    for (uint32_t i = 0; i < header.num_transitions; ++i) {
+      DolTransition t =
+          handle.page().ReadAt<DolTransition>(TransitionOffset(i));
+      if (t.slot > slot) break;
+      *code = t.code;
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> NokStore::AccessCode(NodeId n) {
+  if (n >= num_nodes_) {
+    return Status::OutOfRange("node id " + std::to_string(n) +
+                              " out of range");
+  }
+  size_t ordinal = PageOrdinalOf(n);
+  const PageInfo& info = pages_[ordinal];
+  uint32_t slot = n - info.first_node;
+  // Without the change bit, every node in the page shares the initial code;
+  // this is the in-memory-header fast path of Section 3.3.
+  if (!info.change_bit || slot == 0) return info.first_code;
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+  uint32_t code = header.first_code;
+  // Transitions are slot-ascending; take the last one at or before `slot`.
+  for (uint32_t i = 0; i < header.num_transitions; ++i) {
+    DolTransition t = handle.page().ReadAt<DolTransition>(TransitionOffset(i));
+    if (t.slot > slot) break;
+    code = t.code;
+  }
+  return code;
+}
+
+const std::vector<NodeId>& NokStore::Postings(TagId tag) const {
+  if (tag >= postings_.size()) return empty_postings_;
+  return postings_[tag];
+}
+
+Result<NodeId> NokStore::FirstAtDepthInPage(size_t ordinal, uint16_t depth,
+                                            NodeId from_node, NodeId limit) {
+  if (ordinal >= pages_.size()) {
+    return Status::OutOfRange("page ordinal out of range");
+  }
+  const PageInfo& info = pages_[ordinal];
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  uint32_t first_slot =
+      from_node > info.first_node ? from_node - info.first_node : 0;
+  for (uint32_t slot = first_slot; slot < info.num_records; ++slot) {
+    NodeId n = info.first_node + slot;
+    if (n >= limit) break;
+    NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+    if (rec.depth == depth) return n;
+  }
+  return kInvalidNode;
+}
+
+Result<std::vector<DolTransition>> NokStore::PageTransitions(size_t ordinal) {
+  if (ordinal >= pages_.size()) {
+    return Status::OutOfRange("page ordinal out of range");
+  }
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                          pool_.Fetch(pages_[ordinal].page_id));
+  NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+  std::vector<DolTransition> result;
+  result.reserve(header.num_transitions);
+  for (uint32_t i = 0; i < header.num_transitions; ++i) {
+    result.push_back(handle.page().ReadAt<DolTransition>(TransitionOffset(i)));
+  }
+  return result;
+}
+
+Status NokStore::SetPageAcl(size_t ordinal, uint32_t first_code,
+                            std::vector<DolTransition> transitions) {
+  if (ordinal >= pages_.size()) {
+    return Status::OutOfRange("page ordinal out of range");
+  }
+  PageInfo& info = pages_[ordinal];
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    if (transitions[i].slot == 0 || transitions[i].slot >= info.num_records ||
+        (i > 0 && transitions[i].slot <= transitions[i - 1].slot)) {
+      return Status::InvalidArgument("transition slots must be ascending in "
+                                     "(0, num_records)");
+    }
+  }
+  if (!PageFits(info.num_records,
+                static_cast<uint32_t>(transitions.size()))) {
+    return SplitAndSet(ordinal, first_code, transitions);
+  }
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+  header.first_code = first_code;
+  header.num_transitions = static_cast<uint16_t>(transitions.size());
+  header.set_change_bit(!transitions.empty());
+  handle.mutable_page()->WriteAt(0, header);
+  for (uint32_t i = 0; i < transitions.size(); ++i) {
+    handle.mutable_page()->WriteAt(TransitionOffset(i), transitions[i]);
+  }
+  handle.MarkDirty();
+  info.first_code = first_code;
+  info.change_bit = header.change_bit();
+  return Status::OK();
+}
+
+Status NokStore::SplitAndSet(size_t ordinal, uint32_t first_code,
+                             const std::vector<DolTransition>& transitions) {
+  PageInfo& left_info = pages_[ordinal];
+  if (left_info.num_records < 2) {
+    return Status::Corruption("cannot split a page with fewer than 2 records");
+  }
+  // Read all records of the overfull page.
+  std::vector<NokRecord> records(left_info.num_records);
+  {
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(left_info.page_id));
+    for (uint32_t i = 0; i < left_info.num_records; ++i) {
+      records[i] = handle.page().ReadAt<NokRecord>(RecordOffset(i));
+    }
+  }
+  uint32_t split = left_info.num_records / 2;
+
+  // Partition the intended transitions; compute the code in effect at the
+  // split point for the right page's header.
+  std::vector<DolTransition> left_ts, right_ts;
+  uint32_t right_first_code = first_code;
+  for (const DolTransition& t : transitions) {
+    if (t.slot < split) {
+      left_ts.push_back(t);
+      right_first_code = t.code;
+    } else if (t.slot == split) {
+      right_first_code = t.code;
+    } else {
+      right_ts.push_back(DolTransition{
+          static_cast<uint16_t>(t.slot - split), 0, t.code});
+    }
+  }
+
+  // Write the right page (new), then shrink the left page in place.
+  SECXML_ASSIGN_OR_RETURN(PageHandle right, pool_.Allocate());
+  NokPageHeader right_header;
+  right_header.num_records = static_cast<uint16_t>(records.size() - split);
+  right_header.first_depth = records[split].depth;
+  right_header.num_transitions = static_cast<uint16_t>(right_ts.size());
+  right_header.first_code = right_first_code;
+  right_header.set_change_bit(!right_ts.empty());
+  ComposePage(right_header, records.data() + split, right_ts,
+              right.mutable_page());
+  right.MarkDirty();
+
+  {
+    SECXML_ASSIGN_OR_RETURN(PageHandle left, pool_.Fetch(left_info.page_id));
+    NokPageHeader left_header;
+    left_header.num_records = static_cast<uint16_t>(split);
+    left_header.first_depth = records[0].depth;
+    left_header.num_transitions = static_cast<uint16_t>(left_ts.size());
+    left_header.first_code = first_code;
+    left_header.set_change_bit(!left_ts.empty());
+    ComposePage(left_header, records.data(), left_ts, left.mutable_page());
+    left.MarkDirty();
+  }
+
+  PageInfo right_info;
+  right_info.page_id = right.page_id();
+  right_info.first_node = left_info.first_node + split;
+  right_info.num_records = right_header.num_records;
+  right_info.first_depth = right_header.first_depth;
+  right_info.first_code = right_header.first_code;
+  right_info.change_bit = right_header.change_bit();
+
+  left_info.num_records = static_cast<uint16_t>(split);
+  left_info.first_code = first_code;
+  left_info.change_bit = !left_ts.empty();
+
+  pages_.insert(pages_.begin() + static_cast<long>(ordinal) + 1, right_info);
+  return Status::OK();
+}
+
+Status NokStore::ReadPageContents(size_t ordinal,
+                                  std::vector<NokRecord>* records,
+                                  std::vector<uint32_t>* codes) {
+  if (ordinal >= pages_.size()) {
+    return Status::OutOfRange("page ordinal out of range");
+  }
+  const PageInfo& info = pages_[ordinal];
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+  records->clear();
+  codes->clear();
+  uint32_t code = header.first_code;
+  uint32_t next = 0;
+  DolTransition trans{};
+  if (next < header.num_transitions) {
+    trans = handle.page().ReadAt<DolTransition>(TransitionOffset(next));
+  }
+  for (uint32_t slot = 0; slot < header.num_records; ++slot) {
+    if (next < header.num_transitions && trans.slot == slot) {
+      code = trans.code;
+      ++next;
+      if (next < header.num_transitions) {
+        trans = handle.page().ReadAt<DolTransition>(TransitionOffset(next));
+      }
+    }
+    records->push_back(handle.page().ReadAt<NokRecord>(RecordOffset(slot)));
+    codes->push_back(code);
+  }
+  return Status::OK();
+}
+
+void NokStore::RebuildFirstNodes() {
+  NodeId next = 0;
+  for (PageInfo& info : pages_) {
+    info.first_node = next;
+    next += info.num_records;
+  }
+}
+
+Status NokStore::ReplacePageRange(size_t begin_ord, size_t end_ord,
+                                  const std::vector<NokRecord>& records,
+                                  const std::vector<uint32_t>& codes) {
+  assert(begin_ord <= end_ord && end_ord <= pages_.size());
+  assert(records.size() == codes.size());
+  const uint32_t max_records =
+      options_.max_records_per_page == 0
+          ? kMaxRecordsPerPage
+          : std::min(options_.max_records_per_page, kMaxRecordsPerPage);
+
+  // Pack records into fresh pages, greedily, honoring the update slack.
+  std::vector<PageInfo> new_infos;
+  size_t i = 0;
+  while (i < records.size()) {
+    uint32_t count = 1;
+    uint32_t transitions = 0;
+    while (i + count < records.size() && count < max_records) {
+      uint32_t would_add = codes[i + count] != codes[i + count - 1] ? 1 : 0;
+      if (!PageFits(count + 1,
+                    transitions + would_add + options_.transition_slack)) {
+        break;
+      }
+      transitions += would_add;
+      ++count;
+    }
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Allocate());
+    NokPageHeader header;
+    header.num_records = static_cast<uint16_t>(count);
+    header.first_depth = records[i].depth;
+    header.first_code = codes[i];
+    std::vector<DolTransition> ts;
+    for (uint32_t s = 1; s < count; ++s) {
+      if (codes[i + s] != codes[i + s - 1]) {
+        ts.push_back(DolTransition{static_cast<uint16_t>(s), 0, codes[i + s]});
+      }
+    }
+    header.num_transitions = static_cast<uint16_t>(ts.size());
+    header.set_change_bit(!ts.empty());
+    ComposePage(header, records.data() + i, ts, handle.mutable_page());
+    handle.MarkDirty();
+    PageInfo info;
+    info.page_id = handle.page_id();
+    info.num_records = header.num_records;
+    info.first_depth = header.first_depth;
+    info.first_code = header.first_code;
+    info.change_bit = header.change_bit();
+    new_infos.push_back(info);
+    i += count;
+  }
+
+  pages_.erase(pages_.begin() + static_cast<long>(begin_ord),
+               pages_.begin() + static_cast<long>(end_ord));
+  pages_.insert(pages_.begin() + static_cast<long>(begin_ord),
+                new_infos.begin(), new_infos.end());
+  RebuildFirstNodes();
+  return Status::OK();
+}
+
+Status NokStore::AncestorChain(NodeId target, std::vector<NodeId>* chain) {
+  chain->clear();
+  if (target >= num_nodes_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  NodeId x = 0;
+  while (x != target) {
+    chain->push_back(x);
+    NodeId c = x + 1;  // x has children because target lies inside it
+    while (true) {
+      SECXML_ASSIGN_OR_RETURN(NokRecord crec, Record(c));
+      if (target < c + crec.subtree_size) break;
+      c += crec.subtree_size;
+    }
+    x = c;
+  }
+  return Status::OK();
+}
+
+Status NokStore::AdjustSubtreeSizes(const std::vector<NodeId>& chain,
+                                    int64_t delta) {
+  for (NodeId n : chain) {
+    size_t ordinal = PageOrdinalOf(n);
+    const PageInfo& info = pages_[ordinal];
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+    uint32_t slot = n - info.first_node;
+    NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+    rec.subtree_size = static_cast<uint32_t>(
+        static_cast<int64_t>(rec.subtree_size) + delta);
+    handle.mutable_page()->WriteAt(RecordOffset(slot), rec);
+    handle.MarkDirty();
+  }
+  return Status::OK();
+}
+
+void NokStore::SplicePostings(NodeId pos, NodeId removed, NodeId added) {
+  for (std::vector<NodeId>& list : postings_) {
+    size_t out = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      NodeId id = list[i];
+      if (id < pos) {
+        list[out++] = id;
+      } else if (id >= pos + removed) {
+        list[out++] = id - removed + added;
+      }
+      // ids inside [pos, pos + removed) are dropped.
+    }
+    list.resize(out);
+  }
+}
+
+Status NokStore::DeleteSubtree(NodeId root) {
+  if (root == 0) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+  SECXML_ASSIGN_OR_RETURN(NokRecord rec, Record(root));
+  NodeId count = rec.subtree_size;
+  NodeId end = root + count;
+
+  std::vector<NodeId> chain;
+  SECXML_RETURN_NOT_OK(AncestorChain(root, &chain));
+  SECXML_RETURN_NOT_OK(AdjustSubtreeSizes(chain, -static_cast<int64_t>(count)));
+
+  size_t first_ord = PageOrdinalOf(root);
+  size_t last_ord = PageOrdinalOf(end - 1);
+  std::vector<NokRecord> kept;
+  std::vector<uint32_t> kept_codes;
+  {
+    std::vector<NokRecord> recs;
+    std::vector<uint32_t> codes;
+    SECXML_RETURN_NOT_OK(ReadPageContents(first_ord, &recs, &codes));
+    uint32_t cut = root - pages_[first_ord].first_node;
+    kept.assign(recs.begin(), recs.begin() + cut);
+    kept_codes.assign(codes.begin(), codes.begin() + cut);
+  }
+  {
+    std::vector<NokRecord> recs;
+    std::vector<uint32_t> codes;
+    SECXML_RETURN_NOT_OK(ReadPageContents(last_ord, &recs, &codes));
+    uint32_t cut = end - pages_[last_ord].first_node;
+    kept.insert(kept.end(), recs.begin() + cut, recs.end());
+    kept_codes.insert(kept_codes.end(), codes.begin() + cut, codes.end());
+  }
+  SECXML_RETURN_NOT_OK(
+      ReplacePageRange(first_ord, last_ord + 1, kept, kept_codes));
+  num_nodes_ -= count;
+  SplicePostings(root, count, 0);
+  return Status::OK();
+}
+
+Result<NodeId> NokStore::InsertSubtree(
+    NodeId parent, NodeId after, const Document& fragment,
+    const std::function<uint32_t(NodeId)>& code_of) {
+  if (fragment.empty()) {
+    return Status::InvalidArgument("empty fragment");
+  }
+  SECXML_ASSIGN_OR_RETURN(NokRecord prec, Record(parent));
+  NodeId parent_end = parent + prec.subtree_size;
+  NodeId p;
+  if (after == kInvalidNode) {
+    p = parent + 1;
+  } else {
+    if (after <= parent || after >= parent_end) {
+      return Status::InvalidArgument("'after' is not a child of 'parent'");
+    }
+    SECXML_ASSIGN_OR_RETURN(NokRecord arec, Record(after));
+    if (arec.depth != prec.depth + 1) {
+      return Status::InvalidArgument("'after' is not a child of 'parent'");
+    }
+    p = after + arec.subtree_size;
+  }
+  NodeId count = static_cast<NodeId>(fragment.NumNodes());
+
+  std::vector<NodeId> chain;
+  SECXML_RETURN_NOT_OK(AncestorChain(parent, &chain));
+  chain.push_back(parent);
+  SECXML_RETURN_NOT_OK(AdjustSubtreeSizes(chain, static_cast<int64_t>(count)));
+
+  // Materialize the fragment's records in this store's tag/value spaces.
+  std::vector<NokRecord> frag_recs(count);
+  std::vector<uint32_t> frag_codes(count);
+  uint16_t base_depth = static_cast<uint16_t>(prec.depth + 1);
+  for (NodeId f = 0; f < count; ++f) {
+    NokRecord r;
+    r.tag = tags_.Intern(fragment.TagName(f));
+    while (postings_.size() <= r.tag) postings_.emplace_back();
+    r.subtree_size = fragment.SubtreeSize(f);
+    r.depth = static_cast<uint16_t>(base_depth + fragment.Depth(f));
+    if (fragment.HasValue(f)) {
+      r.value_ref = static_cast<uint32_t>(values_.size());
+      values_.emplace_back(fragment.Value(f));
+    }
+    frag_recs[f] = r;
+    frag_codes[f] = code_of ? code_of(f) : 0;
+  }
+
+  if (p == num_nodes_) {
+    SECXML_RETURN_NOT_OK(ReplacePageRange(pages_.size(), pages_.size(),
+                                          frag_recs, frag_codes));
+  } else {
+    size_t ord = PageOrdinalOf(p);
+    std::vector<NokRecord> recs;
+    std::vector<uint32_t> codes;
+    SECXML_RETURN_NOT_OK(ReadPageContents(ord, &recs, &codes));
+    uint32_t cut = p - pages_[ord].first_node;
+    std::vector<NokRecord> combined(recs.begin(), recs.begin() + cut);
+    std::vector<uint32_t> combined_codes(codes.begin(), codes.begin() + cut);
+    combined.insert(combined.end(), frag_recs.begin(), frag_recs.end());
+    combined_codes.insert(combined_codes.end(), frag_codes.begin(),
+                          frag_codes.end());
+    combined.insert(combined.end(), recs.begin() + cut, recs.end());
+    combined_codes.insert(combined_codes.end(), codes.begin() + cut,
+                          codes.end());
+    SECXML_RETURN_NOT_OK(
+        ReplacePageRange(ord, ord + 1, combined, combined_codes));
+  }
+  num_nodes_ += count;
+  SplicePostings(p, 0, count);
+  for (NodeId f = 0; f < count; ++f) {
+    std::vector<NodeId>& list = postings_[frag_recs[f].tag];
+    NodeId id = p + f;
+    list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+  }
+  return p;
+}
+
+Status NokStore::CompactTo(PagedFile* dest, const NokStoreOptions& options,
+                           std::unique_ptr<NokStore>* out) {
+  if (dest->NumPages() != 0) {
+    return Status::InvalidArgument("CompactTo requires an empty paged file");
+  }
+  std::unique_ptr<NokStore> compacted(new NokStore(dest, options));
+  compacted->num_nodes_ = num_nodes_;
+  compacted->tags_ = tags_;
+  compacted->values_ = values_;
+  compacted->postings_ = postings_;
+
+  // Collect records and codes in document order (16 bytes per node), then
+  // repack them densely.
+  std::vector<NokRecord> records;
+  std::vector<uint32_t> codes;
+  records.reserve(num_nodes_);
+  codes.reserve(num_nodes_);
+  for (size_t ordinal = 0; ordinal < pages_.size(); ++ordinal) {
+    std::vector<NokRecord> page_records;
+    std::vector<uint32_t> page_codes;
+    SECXML_RETURN_NOT_OK(ReadPageContents(ordinal, &page_records, &page_codes));
+    records.insert(records.end(), page_records.begin(), page_records.end());
+    codes.insert(codes.end(), page_codes.begin(), page_codes.end());
+  }
+  SECXML_RETURN_NOT_OK(compacted->ReplacePageRange(0, 0, records, codes));
+  SECXML_RETURN_NOT_OK(compacted->Persist());
+  *out = std::move(compacted);
+  return Status::OK();
+}
+
+Result<uint64_t> NokStore::CountEmbeddedTransitions() {
+  uint64_t total = 0;
+  for (const PageInfo& info : pages_) {
+    if (!info.change_bit) continue;
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+    total += handle.page().ReadAt<NokPageHeader>(0).num_transitions;
+  }
+  return total;
+}
+
+Status NokStore::CheckIntegrity() {
+  NodeId expected_first = 0;
+  // Stack of subtree end positions; depth = stack size.
+  std::vector<NodeId> ends;
+  for (size_t ordinal = 0; ordinal < pages_.size(); ++ordinal) {
+    const PageInfo& info = pages_[ordinal];
+    if (info.first_node != expected_first) {
+      return Status::Corruption("page first_node mismatch at ordinal " +
+                                std::to_string(ordinal));
+    }
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+    NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    if (header.num_records != info.num_records ||
+        header.first_depth != info.first_depth ||
+        header.first_code != info.first_code ||
+        header.change_bit() != info.change_bit) {
+      return Status::Corruption("in-memory header out of sync at ordinal " +
+                                std::to_string(ordinal));
+    }
+    for (uint32_t slot = 0; slot < header.num_records; ++slot) {
+      NodeId n = info.first_node + slot;
+      NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+      while (!ends.empty() && ends.back() <= n) ends.pop_back();
+      if (rec.depth != ends.size()) {
+        return Status::Corruption("depth mismatch at node " +
+                                  std::to_string(n));
+      }
+      if (slot == 0 && rec.depth != header.first_depth) {
+        return Status::Corruption("first_depth mismatch at ordinal " +
+                                  std::to_string(ordinal));
+      }
+      if (rec.subtree_size == 0 ||
+          n + rec.subtree_size > num_nodes_ ||
+          (!ends.empty() && n + rec.subtree_size > ends.back())) {
+        return Status::Corruption("subtree size out of bounds at node " +
+                                  std::to_string(n));
+      }
+      ends.push_back(n + rec.subtree_size);
+    }
+    expected_first += header.num_records;
+  }
+  if (expected_first != num_nodes_) {
+    return Status::Corruption("node count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace secxml

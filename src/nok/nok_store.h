@@ -1,0 +1,257 @@
+#ifndef SECXML_NOK_NOK_STORE_H_
+#define SECXML_NOK_NOK_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "nok/nok_format.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Build-time options for a NokStore.
+struct NokStoreOptions {
+  /// Buffer pool capacity in pages.
+  size_t buffer_pool_pages = 256;
+
+  /// Transition slots reserved per page at build time beyond those the page
+  /// initially needs, so in-place accessibility updates (which add at most 2
+  /// transitions each, Proposition 1) rarely force a page split.
+  uint32_t transition_slack = 4;
+
+  /// Cap on records per page; lowering it below the physical maximum models
+  /// smaller pages without changing kPageSize. 0 = physical maximum.
+  uint32_t max_records_per_page = 0;
+};
+
+/// Block-oriented NoK storage of an XML document's structure with embedded
+/// DOL access-control codes (paper Sections 3.1-3.3).
+///
+/// The store owns:
+///  - the paged structural data (via a BufferPool over a PagedFile),
+///  - the in-memory per-page header table (the paper keeps these headers in
+///    memory to enable page skipping without I/O),
+///  - the in-memory text-value table (the paper stores values separately
+///    from structure; queries in the reproduced experiments are structural),
+///  - an in-memory tag index (tag -> document-order posting list) used to
+///    seed NoK pattern matching.
+///
+/// Access-control *codes* here are opaque 32-bit values; their meaning (which
+/// subjects may access) is defined by the DOL codebook in src/core.
+class NokStore {
+ public:
+  /// In-memory mirror of a page's header plus its position in document
+  /// order. first_node is the document-order id of the page's first record.
+  struct PageInfo {
+    PageId page_id = kInvalidPage;
+    NodeId first_node = 0;
+    uint16_t num_records = 0;
+    uint16_t first_depth = 0;
+    uint32_t first_code = 0;
+    bool change_bit = false;
+  };
+
+  /// Builds a store from `doc`, embedding access codes supplied by `code_of`
+  /// in the same single document-order pass that lays out the structure.
+  /// `code_of` may be null, in which case every node gets code 0.
+  static Status Build(const Document& doc, PagedFile* file,
+                      const NokStoreOptions& options,
+                      const std::function<uint32_t(NodeId)>& code_of,
+                      std::unique_ptr<NokStore>* out);
+
+  /// Opens an existing store. If the file ends with a superblock written by
+  /// Persist(), the page directory, tag dictionary, and value pool are
+  /// restored from it (correct even after page splits and structural
+  /// updates); otherwise the pages are scanned in physical order, which
+  /// equals document order for a freshly built store that was never
+  /// persisted — in that legacy case values are unavailable.
+  /// `user_blob`, when non-null, receives the opaque bytes stored by the
+  /// matching Persist() call (empty for legacy files) — SecureStore keeps
+  /// its codebook there.
+  static Status Open(PagedFile* file, const NokStoreOptions& options,
+                     std::unique_ptr<NokStore>* out,
+                     std::vector<uint8_t>* user_blob = nullptr);
+
+  /// Flushes dirty pages and appends a superblock (page directory, tag
+  /// dictionary, value pool, plus the caller's opaque `user_blob`) so a
+  /// later Open() restores this exact store. May be called repeatedly; each
+  /// call appends a fresh snapshot and Open() uses the last one. Obsolete
+  /// snapshots and orphaned pages are reclaimed only by CompactTo().
+  Status Persist(const std::vector<uint8_t>& user_blob = {});
+
+  /// Rewrites the store densely into an empty `dest` file (document order,
+  /// freshly packed pages, no orphaned space), carrying tags, values, and
+  /// embedded access codes over. The compacted store is persisted.
+  Status CompactTo(PagedFile* dest, const NokStoreOptions& options,
+                   std::unique_ptr<NokStore>* out);
+
+  NokStore(const NokStore&) = delete;
+  NokStore& operator=(const NokStore&) = delete;
+
+  /// Total document nodes.
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of document-order pages.
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Reads the structural record of node `n` (one buffer-pool fetch).
+  Result<NokRecord> Record(NodeId n);
+
+  /// Reads the record *and* resolves the access code of node `n` with a
+  /// single buffer-pool fetch — the hot path of ε-NoK (Section 3.3: the
+  /// code is found on the same page as the node, so checking accessibility
+  /// right after loading the record costs no additional I/O or lookup).
+  Status RecordAndCode(NodeId n, NokRecord* record, uint32_t* code);
+
+  /// First child of `n`, or kInvalidNode if `n` is a leaf. `rec` must be the
+  /// record of `n`.
+  static NodeId FirstChild(NodeId n, const NokRecord& rec) {
+    return rec.subtree_size > 1 ? n + 1 : kInvalidNode;
+  }
+
+  /// Following sibling of `n` within a parent whose subtree ends (exclusive)
+  /// at `parent_end`, or kInvalidNode. `rec` must be the record of `n`.
+  static NodeId FollowingSibling(NodeId n, const NokRecord& rec,
+                                 NodeId parent_end) {
+    NodeId cand = n + rec.subtree_size;
+    return cand < parent_end ? cand : kInvalidNode;
+  }
+
+  /// Access-control code in effect for node `n`, resolved entirely within
+  /// n's page (Section 3.3): the nearest embedded transition at or before n,
+  /// falling back to the page's initial code.
+  Result<uint32_t> AccessCode(NodeId n);
+
+  /// Text value of a record, or empty. Valid only for stores created with
+  /// Build().
+  std::string_view Value(const NokRecord& rec) const {
+    return rec.value_ref == kNoValueRef
+               ? std::string_view()
+               : std::string_view(values_[rec.value_ref]);
+  }
+
+  /// Document-order posting list for a tag (empty if the tag is absent).
+  const std::vector<NodeId>& Postings(TagId tag) const;
+
+  /// Tag dictionary shared with the source document.
+  const TagDictionary& tags() const { return tags_; }
+
+  /// In-memory page header table, in document order.
+  const std::vector<PageInfo>& page_infos() const { return pages_; }
+
+  /// Ordinal (index into page_infos) of the page containing node `n`.
+  size_t PageOrdinalOf(NodeId n) const;
+
+  /// Scans the page at `ordinal` for the first node with exactly `depth`,
+  /// at or after `from_node` and strictly below `limit`. Returns
+  /// kInvalidNode if the page holds no such node. One buffer-pool fetch.
+  /// Used by the secure matcher to find the next sibling at a target depth
+  /// after skipping wholly inaccessible pages (Section 3.3).
+  Result<NodeId> FirstAtDepthInPage(size_t ordinal, uint16_t depth,
+                                    NodeId from_node, NodeId limit);
+
+  /// Reads the embedded transition list of the page at `ordinal`
+  /// (slots ascending).
+  Result<std::vector<DolTransition>> PageTransitions(size_t ordinal);
+
+  /// Rewrites the access-control region of the page at `ordinal`: its
+  /// initial code and its embedded transition list (slots must be ascending,
+  /// in (0, num_records)). If the transitions no longer fit beside the
+  /// page's records, the page is split: a fresh page is appended to the file
+  /// and the tail half of the records moves there; the in-memory header
+  /// table is updated (later pages keep their ids and first_node values).
+  Status SetPageAcl(size_t ordinal, uint32_t first_code,
+                    std::vector<DolTransition> transitions);
+
+  // --- Structural updates (paper Section 3.4) --------------------------
+  //
+  // Node ids are document-order positions, so deleting or inserting a
+  // subtree implicitly renumbers all later nodes; only the pages covering
+  // the changed range and the ancestors' size fields are rewritten (update
+  // locality), and the in-memory page directory and tag postings are
+  // maintained. Access codes of surviving nodes are preserved, including
+  // across the splice boundaries.
+
+  /// Deletes the subtree rooted at `root` (the root itself included).
+  /// Deleting the document root is rejected.
+  Status DeleteSubtree(NodeId root);
+
+  /// Inserts `fragment` as a new child of `parent`, right after the
+  /// existing child `after` (kInvalidNode = as first child). Fragment tags
+  /// are interned into this store's dictionary; `code_of` supplies the
+  /// access code of each fragment node (fragment-relative ids; null = all
+  /// zero). Returns the document id where the fragment root landed.
+  Result<NodeId> InsertSubtree(NodeId parent, NodeId after,
+                               const Document& fragment,
+                               const std::function<uint32_t(NodeId)>& code_of);
+
+  /// The proper ancestors of `target`, topmost first, found by descending
+  /// from the document root (O(depth * fanout) record reads).
+  Status AncestorChain(NodeId target, std::vector<NodeId>* chain);
+
+  /// Total embedded transition entries across all pages (excludes the
+  /// implicit per-page initial codes); for storage accounting.
+  Result<uint64_t> CountEmbeddedTransitions();
+
+  BufferPool* buffer_pool() { return &pool_; }
+  const IoStats& io_stats() const { return pool_.stats(); }
+
+  /// Verifies structural invariants (subtree sizes, depths, page headers);
+  /// used by tests and after updates.
+  Status CheckIntegrity();
+
+ private:
+  NokStore(PagedFile* file, const NokStoreOptions& options)
+      : options_(options), pool_(file, options.buffer_pool_pages) {}
+
+  /// Splits page `ordinal`, moving its tail records to a new page so that
+  /// `needed_transitions` entries fit somewhere. Transition lists for both
+  /// halves are derived from `transitions` (the full intended list).
+  Status SplitAndSet(size_t ordinal, uint32_t first_code,
+                     const std::vector<DolTransition>& transitions);
+
+  /// Reads all records of a page together with each record's resolved
+  /// access code.
+  Status ReadPageContents(size_t ordinal, std::vector<NokRecord>* records,
+                          std::vector<uint32_t>* codes);
+
+  /// Replaces directory entries [begin_ord, end_ord) with freshly packed
+  /// pages holding `records`/`codes` (headers and transition lists derived
+  /// from code runs; packing respects max_records_per_page and transition
+  /// slack), then renumbers the directory's first_node fields. Old pages
+  /// leak in the file until a rebuild; num_nodes_ and postings are the
+  /// caller's responsibility.
+  Status ReplacePageRange(size_t begin_ord, size_t end_ord,
+                          const std::vector<NokRecord>& records,
+                          const std::vector<uint32_t>& codes);
+
+  /// Recomputes the cumulative first_node of every directory entry.
+  void RebuildFirstNodes();
+
+  /// Adds `delta` to the subtree_size of each node in `chain`.
+  Status AdjustSubtreeSizes(const std::vector<NodeId>& chain, int64_t delta);
+
+  /// Renumbers postings for a splice at `pos`: ids >= pos + removed shift by
+  /// (added - removed); ids in [pos, pos + removed) are dropped.
+  void SplicePostings(NodeId pos, NodeId removed, NodeId added);
+
+  NokStoreOptions options_;
+  BufferPool pool_;
+  NodeId num_nodes_ = 0;
+  std::vector<PageInfo> pages_;
+  TagDictionary tags_;
+  std::vector<std::string> values_;
+  std::vector<std::vector<NodeId>> postings_;  // indexed by TagId
+  std::vector<NodeId> empty_postings_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_NOK_NOK_STORE_H_

@@ -1,0 +1,53 @@
+#include "nok/tag_index.h"
+
+namespace secxml {
+
+Status DiskTagIndex::Build(NokStore* store, PagedFile* file,
+                           size_t buffer_pool_pages,
+                           std::unique_ptr<DiskTagIndex>* out) {
+  std::unique_ptr<BPlusTree> tree;
+  SECXML_RETURN_NOT_OK(BPlusTree::Create(file, buffer_pool_pages, &tree));
+  // One pass over the document pages in order; inserts arrive sorted by
+  // node id within each tag, which keeps leaf splits cheap.
+  for (size_t ordinal = 0; ordinal < store->num_pages(); ++ordinal) {
+    const NokStore::PageInfo& info = store->page_infos()[ordinal];
+    for (uint32_t slot = 0; slot < info.num_records; ++slot) {
+      NodeId n = info.first_node + slot;
+      SECXML_ASSIGN_OR_RETURN(NokRecord rec, store->Record(n));
+      SECXML_RETURN_NOT_OK(
+          tree->Insert(Key(rec.tag, n), rec.subtree_size));
+    }
+  }
+  SECXML_RETURN_NOT_OK(tree->Flush());
+  out->reset(new DiskTagIndex(std::move(tree)));
+  return Status::OK();
+}
+
+Status DiskTagIndex::Open(PagedFile* file, size_t buffer_pool_pages,
+                          std::unique_ptr<DiskTagIndex>* out) {
+  std::unique_ptr<BPlusTree> tree;
+  SECXML_RETURN_NOT_OK(BPlusTree::Open(file, buffer_pool_pages, &tree));
+  out->reset(new DiskTagIndex(std::move(tree)));
+  return Status::OK();
+}
+
+Result<std::vector<DiskTagIndex::Entry>> DiskTagIndex::Postings(TagId tag) {
+  std::vector<Entry> result;
+  SECXML_RETURN_NOT_OK(tree_->Scan(
+      Key(tag, 0), Key(tag + 1, 0), [&result](uint64_t key, uint64_t value) {
+        result.push_back(Entry{static_cast<NodeId>(key & 0xffffffffu),
+                               static_cast<uint32_t>(value)});
+        return true;
+      }));
+  return result;
+}
+
+Status DiskTagIndex::Add(TagId tag, NodeId node, uint32_t subtree_size) {
+  return tree_->Insert(Key(tag, node), subtree_size);
+}
+
+Status DiskTagIndex::Remove(TagId tag, NodeId node) {
+  return tree_->Delete(Key(tag, node));
+}
+
+}  // namespace secxml

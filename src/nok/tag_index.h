@@ -1,0 +1,67 @@
+#ifndef SECXML_NOK_TAG_INDEX_H_
+#define SECXML_NOK_TAG_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "nok/nok_store.h"
+#include "storage/bplus_tree.h"
+
+namespace secxml {
+
+/// Disk-resident tag index: a B+-tree keyed by (tag id, node id) whose
+/// values are subtree sizes. This is the "B+-tree on tag names" the NoK
+/// query processor uses to seed pattern matching (paper Section 4.1); the
+/// in-memory posting lists in NokStore are its cache-resident equivalent,
+/// and bench/tag_index_ablation compares the two.
+///
+/// Storing the subtree size as the value lets structural-join inputs
+/// (JoinItem = node + subtree end) be produced straight from an index range
+/// scan with no document page reads.
+class DiskTagIndex {
+ public:
+  /// An index entry: a document node with its subtree size.
+  struct Entry {
+    NodeId node = 0;
+    uint32_t subtree_size = 0;
+  };
+
+  /// Builds the index for every node of `store` into an empty paged file.
+  static Status Build(NokStore* store, PagedFile* file,
+                      size_t buffer_pool_pages,
+                      std::unique_ptr<DiskTagIndex>* out);
+
+  /// Opens an existing index file.
+  static Status Open(PagedFile* file, size_t buffer_pool_pages,
+                     std::unique_ptr<DiskTagIndex>* out);
+
+  /// All nodes with tag `tag`, in document order.
+  Result<std::vector<Entry>> Postings(TagId tag);
+
+  /// Registers a single node (used after structural inserts).
+  Status Add(TagId tag, NodeId node, uint32_t subtree_size);
+
+  /// Unregisters a node.
+  Status Remove(TagId tag, NodeId node);
+
+  uint64_t num_entries() const { return tree_->num_entries(); }
+  Status Flush() { return tree_->Flush(); }
+  const IoStats& io_stats() const { return tree_->io_stats(); }
+  BPlusTree* tree() { return tree_.get(); }
+
+ private:
+  explicit DiskTagIndex(std::unique_ptr<BPlusTree> tree)
+      : tree_(std::move(tree)) {}
+
+  static uint64_t Key(TagId tag, NodeId node) {
+    return (static_cast<uint64_t>(tag) << 32) | node;
+  }
+
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_NOK_TAG_INDEX_H_

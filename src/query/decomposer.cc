@@ -1,0 +1,63 @@
+#include "query/decomposer.h"
+
+#include <unordered_map>
+
+namespace secxml {
+
+Status Decompose(const PatternTree& pattern, DecomposedQuery* out) {
+  SECXML_RETURN_NOT_OK(pattern.Validate());
+  out->fragments.clear();
+  out->returning_fragment = -1;
+
+  // Pattern node id -> (fragment index, local index).
+  std::vector<std::pair<int, int>> location(pattern.nodes.size(), {-1, -1});
+
+  // Pattern nodes are in preorder (parents precede children), so one sweep
+  // assigns every node to a fragment.
+  for (size_t i = 0; i < pattern.nodes.size(); ++i) {
+    const PatternNode& pn = pattern.nodes[i];
+    int frag_idx;
+    int local_parent = -1;
+    if (i == 0 || pn.descendant_axis) {
+      // Starts a new fragment.
+      frag_idx = static_cast<int>(out->fragments.size());
+      out->fragments.emplace_back();
+      QueryFragment& frag = out->fragments.back();
+      if (i == 0) {
+        frag.parent_fragment = -1;
+        frag.root_anchored = !pn.descendant_axis;
+      } else {
+        auto [pf, pl] = location[pn.parent];
+        frag.parent_fragment = pf;
+        frag.source_in_parent = pl;
+      }
+    } else {
+      auto [pf, pl] = location[pn.parent];
+      frag_idx = pf;
+      local_parent = pl;
+    }
+    QueryFragment& frag = out->fragments[frag_idx];
+    int local = static_cast<int>(frag.tree.nodes.size());
+    PatternNode copy = pn;
+    copy.parent = local_parent;
+    copy.children.clear();
+    if (local == 0) {
+      // The incoming axis is recorded on the fragment root for reference.
+      copy.descendant_axis = pn.descendant_axis;
+    } else {
+      copy.descendant_axis = false;
+      frag.tree.nodes[local_parent].children.push_back(local);
+    }
+    frag.tree.nodes.push_back(std::move(copy));
+    frag.orig_ids.push_back(static_cast<int>(i));
+    location[i] = {frag_idx, local};
+    if (static_cast<int>(i) == pattern.returning_node) {
+      frag.returning_local = local;
+      frag.tree.returning_node = local;
+      out->returning_fragment = frag_idx;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secxml

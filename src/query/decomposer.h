@@ -1,0 +1,51 @@
+#ifndef SECXML_QUERY_DECOMPOSER_H_
+#define SECXML_QUERY_DECOMPOSER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/pattern_tree.h"
+
+namespace secxml {
+
+/// One NoK subtree of a decomposed twig query: a maximal fragment of the
+/// pattern connected by child (next-of-kin) edges only (paper Section 3.1).
+struct QueryFragment {
+  /// The fragment as a standalone pattern tree (all edges are child edges;
+  /// the fragment root's descendant_axis records the incoming join axis).
+  PatternTree tree;
+
+  /// Fragment-local index -> original pattern node id.
+  std::vector<int> orig_ids;
+
+  /// Fragment this one joins under via an ancestor-descendant edge, or -1
+  /// for the first fragment.
+  int parent_fragment = -1;
+
+  /// Local index (within the parent fragment) of the pattern node that is
+  /// the ancestor side of the join edge.
+  int source_in_parent = -1;
+
+  /// True if the fragment root must bind to the document root (the query
+  /// began with '/' rather than '//').
+  bool root_anchored = false;
+
+  /// Local index of the query's returning node inside this fragment, or -1.
+  int returning_local = -1;
+};
+
+/// A twig query decomposed into NoK fragments connected by
+/// ancestor-descendant join edges. Fragments are in topological order
+/// (parents before children).
+struct DecomposedQuery {
+  std::vector<QueryFragment> fragments;
+  /// Index of the fragment containing the returning node.
+  int returning_fragment = 0;
+};
+
+/// Splits `pattern` at descendant-axis edges into NoK fragments.
+Status Decompose(const PatternTree& pattern, DecomposedQuery* out);
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_DECOMPOSER_H_

@@ -1,0 +1,172 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+#include "query/structural_join.h"
+#include "query/xpath_parser.h"
+
+namespace secxml {
+
+Result<EvalResult> QueryEvaluator::EvaluateXPath(std::string_view xpath,
+                                                 const EvalOptions& options) {
+  PatternTree pattern;
+  SECXML_RETURN_NOT_OK(ParseXPath(xpath, &pattern));
+  return Evaluate(pattern, options);
+}
+
+Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
+                                            const EvalOptions& options) {
+  DecomposedQuery query;
+  SECXML_RETURN_NOT_OK(Decompose(pattern, &query));
+  const size_t nf = query.fragments.size();
+
+  // Child fragments of each fragment.
+  std::vector<std::vector<int>> children(nf);
+  for (size_t f = 1; f < nf; ++f) {
+    children[query.fragments[f].parent_fragment].push_back(
+        static_cast<int>(f));
+  }
+
+  // Designated pattern nodes per fragment: one slot per child-fragment join
+  // source plus one for the returning node (slots may coincide).
+  std::vector<std::vector<int>> designated(nf);
+  std::vector<std::vector<int>> child_slot(nf);  // parallel to children[f]
+  std::vector<int> ret_slot(nf, -1);
+  for (size_t f = 0; f < nf; ++f) {
+    auto slot_for = [&](int local) {
+      auto& des = designated[f];
+      for (size_t i = 0; i < des.size(); ++i) {
+        if (des[i] == local) return static_cast<int>(i);
+      }
+      des.push_back(local);
+      return static_cast<int>(des.size() - 1);
+    };
+    for (int c : children[f]) {
+      child_slot[f].push_back(slot_for(query.fragments[c].source_in_parent));
+    }
+    if (query.fragments[f].returning_local >= 0) {
+      ret_slot[f] = slot_for(query.fragments[f].returning_local);
+    }
+  }
+
+  // Match every fragment.
+  NokMatcher::Options mopts;
+  mopts.secure = options.semantics != AccessSemantics::kNone;
+  mopts.subject = options.subject;
+  mopts.page_skip = options.page_skip;
+  mopts.ordered_siblings = options.ordered_siblings;
+  NokMatcher matcher(store_, mopts);
+  std::vector<std::vector<FragmentMatch>> matches(nf);
+  EvalResult result;
+  for (size_t f = 0; f < nf; ++f) {
+    SECXML_RETURN_NOT_OK(
+        matcher.MatchFragment(query.fragments[f], designated[f], &matches[f]));
+    result.fragment_matches += matches[f].size();
+  }
+
+  // View semantics: a fragment root inside a hidden subtree cannot
+  // contribute (every other bound node in the fragment is then visible too,
+  // since fragments are child-edge chains of accessible nodes).
+  if (options.semantics == AccessSemantics::kView) {
+    SECXML_ASSIGN_OR_RETURN(std::vector<NodeInterval> hidden,
+                            store_->HiddenSubtreeIntervals(options.subject));
+    for (size_t f = 0; f < nf; ++f) {
+      std::vector<FragmentMatch> kept;
+      size_t h = 0;
+      for (FragmentMatch& m : matches[f]) {
+        while (h < hidden.size() && hidden[h].end <= m.root) ++h;
+        if (h < hidden.size() && hidden[h].begin <= m.root) continue;
+        kept.push_back(std::move(m));
+      }
+      matches[f] = std::move(kept);
+    }
+  }
+
+  // Bottom-up validity: a match is valid iff, for every child fragment,
+  // some binding of the join-source node has a valid child root in its
+  // subtree (the ancestor-descendant structural join, Section 4.1).
+  std::vector<std::vector<char>> valid(nf);
+  std::vector<std::vector<NodeId>> valid_roots(nf);
+  for (size_t fi = nf; fi-- > 0;) {
+    valid[fi].assign(matches[fi].size(), 1);
+    for (size_t mi = 0; mi < matches[fi].size(); ++mi) {
+      const FragmentMatch& m = matches[fi][mi];
+      for (size_t ci = 0; ci < children[fi].size(); ++ci) {
+        int c = children[fi][ci];
+        const std::vector<NodeId>& roots = valid_roots[c];
+        bool connected = false;
+        for (const auto& [b, bend] : m.bindings[child_slot[fi][ci]]) {
+          auto it = std::upper_bound(roots.begin(), roots.end(), b);
+          if (it != roots.end() && *it < bend) {
+            connected = true;
+            break;
+          }
+        }
+        if (!connected) {
+          valid[fi][mi] = 0;
+          break;
+        }
+      }
+    }
+    for (size_t mi = 0; mi < matches[fi].size(); ++mi) {
+      if (valid[fi][mi]) valid_roots[fi].push_back(matches[fi][mi].root);
+    }
+  }
+
+  // Top-down reachability: which valid matches participate in a complete
+  // match anchored at the first fragment.
+  std::vector<std::vector<char>> reach(nf);
+  reach[0] = valid[0];
+  for (size_t f = 1; f < nf; ++f) {
+    int p = query.fragments[f].parent_fragment;
+    // Collect join-source bindings from reachable parent matches.
+    int slot = -1;
+    for (size_t ci = 0; ci < children[p].size(); ++ci) {
+      if (children[p][ci] == static_cast<int>(f)) {
+        slot = child_slot[p][ci];
+        break;
+      }
+    }
+    std::vector<JoinItem> sources;
+    for (size_t mi = 0; mi < matches[p].size(); ++mi) {
+      if (!reach[p][mi]) continue;
+      for (const auto& [b, bend] : matches[p][mi].bindings[slot]) {
+        sources.push_back({b, bend});
+      }
+    }
+    std::sort(sources.begin(), sources.end(),
+              [](const JoinItem& a, const JoinItem& b) {
+                return a.node < b.node;
+              });
+    // Sweep: a match is reachable iff valid and its root lies under some
+    // source (Stack-Tree-Desc semijoin over sorted inputs).
+    reach[f].assign(matches[f].size(), 0);
+    NodeId max_end = 0;
+    size_t si = 0;
+    for (size_t mi = 0; mi < matches[f].size(); ++mi) {
+      NodeId root = matches[f][mi].root;
+      while (si < sources.size() && sources[si].node < root) {
+        max_end = std::max(max_end, sources[si].end);
+        ++si;
+      }
+      reach[f][mi] = valid[f][mi] && root < max_end;
+    }
+  }
+
+  // Answers: returning-node bindings of valid, reachable matches.
+  int rf = query.returning_fragment;
+  for (size_t mi = 0; mi < matches[rf].size(); ++mi) {
+    if (!reach[rf][mi]) continue;
+    for (const auto& [b, bend] : matches[rf][mi].bindings[ret_slot[rf]]) {
+      (void)bend;
+      result.answers.push_back(b);
+    }
+  }
+  std::sort(result.answers.begin(), result.answers.end());
+  result.answers.erase(
+      std::unique(result.answers.begin(), result.answers.end()),
+      result.answers.end());
+  return result;
+}
+
+}  // namespace secxml

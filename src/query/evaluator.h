@@ -1,0 +1,69 @@
+#ifndef SECXML_QUERY_EVALUATOR_H_
+#define SECXML_QUERY_EVALUATOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/secure_store.h"
+#include "query/decomposer.h"
+#include "query/matcher.h"
+#include "query/pattern_tree.h"
+
+namespace secxml {
+
+/// Which access-control semantics to evaluate under (paper Section 4).
+enum class AccessSemantics {
+  /// No access control: the original NoK/STD evaluation.
+  kNone,
+  /// Cho et al. binding semantics (Section 4.1): a result is kept iff every
+  /// *bound* data node is accessible. Implemented by ε-NoK.
+  kBinding,
+  /// Gabillon-Bruno view semantics (Section 4.2): a non-accessible node
+  /// additionally hides its entire subtree. Implemented by ε-NoK plus the
+  /// ε-STD visibility-filtered structural join.
+  kView,
+};
+
+/// Evaluation options.
+struct EvalOptions {
+  AccessSemantics semantics = AccessSemantics::kNone;
+  SubjectId subject = 0;
+  /// Use the in-memory DOL page headers to skip wholly inaccessible pages.
+  bool page_skip = true;
+  /// Require sibling pattern nodes to bind in document order (NoK's ordered
+  /// pattern trees; see NokMatcher::Options::ordered_siblings).
+  bool ordered_siblings = false;
+};
+
+/// Evaluation outcome plus the counters the paper's Figure 7 reports.
+struct EvalResult {
+  /// Distinct data nodes bound to the returning node across all complete
+  /// matches, in document order.
+  std::vector<NodeId> answers;
+  /// Fragment matches found before joining (diagnostic).
+  size_t fragment_matches = 0;
+};
+
+/// Secure twig query evaluator: decomposes the pattern into NoK fragments,
+/// matches them with (ε-)NoK, and connects fragments with (ε-)STD
+/// ancestor-descendant joins (paper Sections 3-4).
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(SecureStore* store) : store_(store) {}
+
+  /// Evaluates a pattern tree.
+  Result<EvalResult> Evaluate(const PatternTree& pattern,
+                              const EvalOptions& options);
+
+  /// Convenience: parse an XPath-subset string and evaluate it.
+  Result<EvalResult> EvaluateXPath(std::string_view xpath,
+                                   const EvalOptions& options);
+
+ private:
+  SecureStore* store_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_EVALUATOR_H_

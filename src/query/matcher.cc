@@ -1,0 +1,322 @@
+#include "query/matcher.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+bool NokMatcher::TagValueMatches(const ResolvedPattern& p,
+                                 const NokRecord& rec) const {
+  if (!p.wildcard) {
+    if (p.tag == kInvalidTag || rec.tag != p.tag) return false;
+  }
+  if (p.has_value && store_->nok()->Value(rec) != *p.value) return false;
+  return true;
+}
+
+Result<NodeId> NokMatcher::SkipToNextSibling(NodeId u, uint16_t depth,
+                                             NodeId limit) {
+  NokStore* nok = store_->nok();
+  size_t ordinal = nok->PageOrdinalOf(u) + 1;
+  while (ordinal < nok->num_pages()) {
+    const NokStore::PageInfo& info = nok->page_infos()[ordinal];
+    if (info.first_node >= limit) return kInvalidNode;
+    if (store_->PageWhollyInaccessible(ordinal, options_.subject)) {
+      // Everything in this page is inaccessible: any sibling inside it
+      // would be pruned anyway, and the records we would need are exactly
+      // the ones the paper's header check lets us avoid reading.
+      ++nok->buffer_pool()->mutable_stats()->pages_skipped;
+      ++ordinal;
+      continue;
+    }
+    SECXML_ASSIGN_OR_RETURN(
+        NodeId found,
+        nok->FirstAtDepthInPage(ordinal, depth, info.first_node, limit));
+    if (found != kInvalidNode) return found;
+    ++ordinal;
+  }
+  return kInvalidNode;
+}
+
+Result<bool> NokMatcher::MatchChildrenOrdered(
+    const std::vector<int>& pchildren, NodeId sroot, const NokRecord& srec,
+    FragmentMatch* match) {
+  // Materialize the accessible data children (inaccessible ones can never
+  // participate, per Algorithm 1's pruning).
+  struct Child {
+    NodeId node;
+    NokRecord rec;
+  };
+  std::vector<Child> data;
+  {
+    NodeId parent_end = sroot + srec.subtree_size;
+    NodeId u = NokStore::FirstChild(sroot, srec);
+    while (u != kInvalidNode) {
+      NokRecord urec;
+      bool accessible = true;
+      if (options_.secure) {
+        uint32_t code = 0;
+        SECXML_RETURN_NOT_OK(store_->nok()->RecordAndCode(u, &urec, &code));
+        accessible = Accessible(code);
+      } else {
+        SECXML_ASSIGN_OR_RETURN(urec, store_->nok()->Record(u));
+      }
+      if (accessible) data.push_back({u, urec});
+      u = NokStore::FollowingSibling(u, urec, parent_end);
+    }
+  }
+  const size_t K = pchildren.size();
+  const size_t M = data.size();
+
+  // Memoized feasibility of (pattern child k, data child d); recursive Npm
+  // calls are always rolled back here — bindings are collected afterwards,
+  // once validity windows are known.
+  std::vector<int8_t> memo(K * M, -1);
+  auto feasible = [&](size_t k, size_t d) -> Result<bool> {
+    int8_t& slot = memo[k * M + d];
+    if (slot >= 0) return slot == 1;
+    const ResolvedPattern& rp = resolved_[pchildren[k]];
+    bool ok = false;
+    if (TagValueMatches(rp, data[d].rec)) {
+      std::vector<size_t> marks(match->bindings.size());
+      for (size_t i = 0; i < marks.size(); ++i) {
+        marks[i] = match->bindings[i].size();
+      }
+      SECXML_ASSIGN_OR_RETURN(
+          ok, Npm(pchildren[k], data[d].node, data[d].rec, match));
+      for (size_t i = 0; i < marks.size(); ++i) {
+        match->bindings[i].resize(marks[i]);
+      }
+    }
+    slot = ok ? 1 : 0;
+    return ok;
+  };
+
+  // Forward greedy: earliest completion index of the pattern-child prefix.
+  // Greedy earliest-feasible assignment is complete for subsequence
+  // matching, so failure here means no ordered assignment exists.
+  std::vector<size_t> prefix_end(K);
+  size_t d = 0;
+  for (size_t k = 0; k < K; ++k) {
+    bool found = false;
+    for (; d < M; ++d) {
+      SECXML_ASSIGN_OR_RETURN(bool ok, feasible(k, d));
+      if (ok) {
+        prefix_end[k] = d;
+        ++d;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+
+  // Backward greedy: latest start index of the pattern-child suffix.
+  std::vector<size_t> suffix_start(K);
+  size_t dl = M;
+  for (size_t k = K; k-- > 0;) {
+    bool found = false;
+    while (dl-- > 0) {
+      SECXML_ASSIGN_OR_RETURN(bool ok, feasible(k, dl));
+      if (ok) {
+        suffix_start[k] = dl;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // unreachable: forward pass succeeded
+  }
+
+  // Collect bindings for designated-containing children from every data
+  // child that participates in some valid ordered assignment: d works for
+  // child k iff the prefix before k can finish before d and the suffix
+  // after k can start after d.
+  for (size_t k = 0; k < K; ++k) {
+    if (!resolved_[pchildren[k]].contains_designated) continue;
+    size_t lo = k == 0 ? 0 : prefix_end[k - 1] + 1;
+    size_t hi = k + 1 == K ? M : suffix_start[k + 1];  // exclusive
+    for (size_t cand = lo; cand < hi; ++cand) {
+      SECXML_ASSIGN_OR_RETURN(bool ok, feasible(k, cand));
+      if (!ok) continue;
+      // Re-run without rollback to keep the bindings.
+      SECXML_ASSIGN_OR_RETURN(
+          bool again,
+          Npm(pchildren[k], data[cand].node, data[cand].rec, match));
+      (void)again;
+    }
+  }
+  return true;
+}
+
+Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
+                             FragmentMatch* match) {
+  const ResolvedPattern& pat = resolved_[pnode];
+  // Save rollback marks for designated bindings appended in this subtree.
+  std::vector<size_t> marks(match->bindings.size());
+  for (size_t i = 0; i < marks.size(); ++i) {
+    marks[i] = match->bindings[i].size();
+  }
+  if (pat.designated_slot >= 0) {
+    match->bindings[pat.designated_slot].emplace_back(
+        sroot, sroot + srec.subtree_size);
+  }
+  if (options_.ordered_siblings && !pat.children->empty()) {
+    SECXML_ASSIGN_OR_RETURN(
+        bool ok, MatchChildrenOrdered(*pat.children, sroot, srec, match));
+    if (!ok) {
+      for (size_t i = 0; i < marks.size(); ++i) {
+        match->bindings[i].resize(marks[i]);
+      }
+      return false;
+    }
+    return true;
+  }
+
+  // S <- all pattern children of pnode (Algorithm 1 line 3). Children whose
+  // subtree holds a designated node stay active after matching (collectors),
+  // so `satisfied` tracks completion separately from retirement.
+  const std::vector<int>& pchildren = *pat.children;
+  std::vector<char> satisfied(pchildren.size(), 0);
+  size_t unsatisfied = pchildren.size();
+  bool has_collectors = false;
+  for (int s : pchildren) has_collectors |= resolved_[s].contains_designated;
+  if (!pchildren.empty()) {
+    NodeId parent_end = sroot + srec.subtree_size;
+    uint16_t child_depth = static_cast<uint16_t>(srec.depth + 1);
+    NodeId u = NokStore::FirstChild(sroot, srec);
+    // Cached page extent of the last header check, so consecutive siblings
+    // in one page cost no repeated page-table lookups.
+    NodeId page_begin = 0, page_end = 0;
+    bool page_dead = false;
+    while (u != kInvalidNode && (unsatisfied > 0 || has_collectors)) {
+      // ε-NoK: consult the in-memory header before touching u's page.
+      if (options_.secure && options_.page_skip) {
+        if (u < page_begin || u >= page_end) {
+          size_t ordinal = store_->nok()->PageOrdinalOf(u);
+          const NokStore::PageInfo& info = store_->nok()->page_infos()[ordinal];
+          page_begin = info.first_node;
+          page_end = info.first_node + info.num_records;
+          page_dead = store_->PageWhollyInaccessible(ordinal, options_.subject);
+        }
+        if (page_dead) {
+          ++store_->nok()->buffer_pool()->mutable_stats()->pages_skipped;
+          SECXML_ASSIGN_OR_RETURN(
+              u, SkipToNextSibling(u, child_depth, parent_end));
+          continue;
+        }
+      }
+      NokRecord urec;
+      bool accessible = true;
+      if (options_.secure) {
+        // One fetch returns both the record and its access code: the code
+        // lives in u's own page (Section 3.3), so the check is free of
+        // extra I/O.
+        uint32_t code = 0;
+        SECXML_RETURN_NOT_OK(store_->nok()->RecordAndCode(u, &urec, &code));
+        accessible = Accessible(code);
+      } else {
+        SECXML_ASSIGN_OR_RETURN(urec, store_->nok()->Record(u));
+      }
+      if (accessible) {
+        // Algorithm 1 lines 7-11: try every active pattern child whose
+        // tag/value constraints u satisfies.
+        for (size_t i = 0; i < pchildren.size(); ++i) {
+          int s = pchildren[i];
+          if (satisfied[i] && !resolved_[s].contains_designated) continue;
+          if (!TagValueMatches(resolved_[s], urec)) continue;
+          SECXML_ASSIGN_OR_RETURN(bool ok, Npm(s, u, urec, match));
+          if (ok && !satisfied[i]) {
+            satisfied[i] = 1;
+            --unsatisfied;
+          }
+        }
+      }
+      u = NokStore::FollowingSibling(u, urec, parent_end);
+    }
+  }
+
+  if (unsatisfied > 0) {
+    // Algorithm 1 lines 14-16: roll back this subtree's bindings.
+    for (size_t i = 0; i < marks.size(); ++i) {
+      match->bindings[i].resize(marks[i]);
+    }
+    return false;
+  }
+  return true;
+}
+
+Status NokMatcher::MatchFragment(const QueryFragment& fragment,
+                                 const std::vector<int>& designated,
+                                 std::vector<FragmentMatch>* out) {
+  out->clear();
+  SECXML_RETURN_NOT_OK(fragment.tree.Validate());
+  NokStore* nok = store_->nok();
+
+  // Resolve pattern tags once.
+  resolved_.clear();
+  resolved_.resize(fragment.tree.nodes.size());
+  for (size_t i = 0; i < fragment.tree.nodes.size(); ++i) {
+    const PatternNode& pn = fragment.tree.nodes[i];
+    ResolvedPattern& rp = resolved_[i];
+    rp.wildcard = pn.tag == "*";
+    rp.tag = rp.wildcard ? kInvalidTag : nok->tags().Lookup(pn.tag);
+    rp.has_value = pn.has_value;
+    rp.value = &pn.value;
+    rp.children = &pn.children;
+  }
+  for (size_t d = 0; d < designated.size(); ++d) {
+    if (designated[d] < 0 ||
+        designated[d] >= static_cast<int>(resolved_.size())) {
+      return Status::InvalidArgument("designated node out of range");
+    }
+    resolved_[designated[d]].designated_slot = static_cast<int>(d);
+  }
+  // contains_designated is transitive toward the root; pattern nodes are in
+  // preorder, so a reverse sweep propagates child flags to parents.
+  for (size_t i = resolved_.size(); i-- > 0;) {
+    ResolvedPattern& rp = resolved_[i];
+    rp.contains_designated = rp.designated_slot >= 0;
+    for (int c : fragment.tree.nodes[i].children) {
+      rp.contains_designated |= resolved_[c].contains_designated;
+    }
+  }
+
+  // Candidate roots: the document root when anchored, else the tag index
+  // postings (Section 4.1: B+-trees on tag names start the matching).
+  std::vector<NodeId> candidates;
+  if (fragment.root_anchored) {
+    candidates.push_back(0);
+  } else if (resolved_[0].wildcard) {
+    candidates.resize(nok->num_nodes());
+    for (NodeId n = 0; n < nok->num_nodes(); ++n) candidates[n] = n;
+  } else if (resolved_[0].tag != kInvalidTag) {
+    candidates = nok->Postings(resolved_[0].tag);
+  }
+
+  for (NodeId cand : candidates) {
+    if (options_.secure && options_.page_skip &&
+        store_->PageWhollyInaccessible(nok->PageOrdinalOf(cand),
+                                       options_.subject)) {
+      ++nok->buffer_pool()->mutable_stats()->pages_skipped;
+      continue;
+    }
+    NokRecord rec;
+    if (options_.secure) {
+      uint32_t code = 0;
+      SECXML_RETURN_NOT_OK(nok->RecordAndCode(cand, &rec, &code));
+      if (!TagValueMatches(resolved_[0], rec)) continue;
+      if (!Accessible(code)) continue;  // Algorithm 1 pre-condition
+    } else {
+      SECXML_ASSIGN_OR_RETURN(rec, nok->Record(cand));
+      if (!TagValueMatches(resolved_[0], rec)) continue;
+    }
+    FragmentMatch match;
+    match.root = cand;
+    match.root_end = cand + rec.subtree_size;
+    match.bindings.resize(designated.size());
+    SECXML_ASSIGN_OR_RETURN(bool ok, Npm(0, cand, rec, &match));
+    if (ok) out->push_back(std::move(match));
+  }
+  return Status::OK();
+}
+
+}  // namespace secxml

@@ -1,0 +1,62 @@
+#include "query/pattern_tree.h"
+
+namespace secxml {
+
+Status PatternTree::Validate() const {
+  if (nodes.empty()) return Status::InvalidArgument("empty pattern");
+  if (nodes[0].parent != -1) {
+    return Status::InvalidArgument("node 0 must be the pattern root");
+  }
+  if (returning_node < 0 ||
+      returning_node >= static_cast<int>(nodes.size())) {
+    return Status::InvalidArgument("returning node out of range");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const PatternNode& n = nodes[i];
+    if (n.tag.empty()) return Status::InvalidArgument("empty tag test");
+    if (i > 0) {
+      if (n.parent < 0 || n.parent >= static_cast<int>(nodes.size())) {
+        return Status::InvalidArgument("bad parent link");
+      }
+      if (static_cast<size_t>(n.parent) >= i) {
+        return Status::InvalidArgument("parent must precede child");
+      }
+    }
+    for (int c : n.children) {
+      if (c <= static_cast<int>(i) || c >= static_cast<int>(nodes.size()) ||
+          nodes[c].parent != static_cast<int>(i)) {
+        return Status::InvalidArgument("inconsistent child link");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void AppendNode(const PatternTree& t, int i, std::string* out) {
+  const PatternNode& n = t.nodes[i];
+  out->append(n.descendant_axis ? "//" : "/");
+  out->append(n.tag);
+  if (n.has_value) {
+    out->append("='");
+    out->append(n.value);
+    out->push_back('\'');
+  }
+  if (i == t.returning_node && t.nodes.size() > 1) out->push_back('$');
+  for (int c : n.children) {
+    out->push_back('[');
+    AppendNode(t, c, out);
+    out->push_back(']');
+  }
+}
+
+}  // namespace
+
+std::string PatternTree::ToString() const {
+  std::string out;
+  if (!nodes.empty()) AppendNode(*this, 0, &out);
+  return out;
+}
+
+}  // namespace secxml

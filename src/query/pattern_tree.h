@@ -1,0 +1,49 @@
+#ifndef SECXML_QUERY_PATTERN_TREE_H_
+#define SECXML_QUERY_PATTERN_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace secxml {
+
+/// One node of a twig query pattern tree (paper Section 3.1, Figure 2).
+struct PatternNode {
+  /// Element tag test ("*" matches any tag).
+  std::string tag;
+
+  /// Optional value-equality constraint on the element's text; empty means
+  /// unconstrained. (NoK matches "tag name and value constraints",
+  /// Algorithm 1 line 7.)
+  std::string value;
+  bool has_value = false;
+
+  /// Axis of the edge from the parent: child (/) or descendant (//).
+  /// For the root node this is the leading axis of the query: child means
+  /// the pattern root must match the document root.
+  bool descendant_axis = false;
+
+  int parent = -1;
+  std::vector<int> children;
+};
+
+/// A twig query: pattern nodes with one distinguished returning node whose
+/// bindings form the query result (Section 4.1).
+struct PatternTree {
+  std::vector<PatternNode> nodes;  // index 0 is the pattern root
+  int returning_node = 0;
+
+  bool empty() const { return nodes.empty(); }
+
+  /// Structural sanity checks: parent/child consistency, returning node in
+  /// range, node 0 is the root.
+  Status Validate() const;
+
+  /// Renders the pattern as an XPath-like string (for logs and tests).
+  std::string ToString() const;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_PATTERN_TREE_H_

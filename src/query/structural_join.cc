@@ -1,0 +1,87 @@
+#include "query/structural_join.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+std::vector<std::pair<NodeId, NodeId>> StackTreeDesc(
+    const std::vector<JoinItem>& ancestors,
+    const std::vector<NodeId>& descendants) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  std::vector<JoinItem> stack;
+  size_t i = 0;
+  for (NodeId d : descendants) {
+    // Admit every ancestor that starts before d.
+    while (i < ancestors.size() && ancestors[i].node < d) {
+      while (!stack.empty() && stack.back().end <= ancestors[i].node) {
+        stack.pop_back();
+      }
+      stack.push_back(ancestors[i]);
+      ++i;
+    }
+    // Retire ancestors whose subtree ended before d.
+    while (!stack.empty() && stack.back().end <= d) stack.pop_back();
+    // Everything on the stack is now an ancestor of d (nested intervals).
+    for (const JoinItem& a : stack) out.emplace_back(a.node, d);
+  }
+  return out;
+}
+
+std::vector<NodeId> SemiJoinDescendants(const std::vector<JoinItem>& ancestors,
+                                        const std::vector<NodeId>& descendants) {
+  std::vector<NodeId> out;
+  // Track only the furthest-reaching open ancestor: d has an ancestor iff
+  // d < max end among ancestors starting before d.
+  NodeId max_end = 0;
+  size_t i = 0;
+  for (NodeId d : descendants) {
+    while (i < ancestors.size() && ancestors[i].node < d) {
+      max_end = std::max(max_end, ancestors[i].end);
+      ++i;
+    }
+    if (d < max_end) {
+      if (out.empty() || out.back() != d) out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<JoinItem> SemiJoinAncestors(const std::vector<JoinItem>& ancestors,
+                                        const std::vector<NodeId>& descendants) {
+  std::vector<JoinItem> out;
+  for (const JoinItem& a : ancestors) {
+    // First descendant strictly after a.
+    auto it = std::upper_bound(descendants.begin(), descendants.end(), a.node);
+    if (it != descendants.end() && *it < a.end) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<NodeId> FilterVisible(const std::vector<NodeInterval>& hidden,
+                                  const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> out;
+  out.reserve(nodes.size());
+  size_t i = 0;
+  for (NodeId n : nodes) {
+    while (i < hidden.size() && hidden[i].end <= n) ++i;
+    if (i < hidden.size() && hidden[i].begin <= n) continue;  // hidden
+    out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<JoinItem> FilterVisibleItems(
+    const std::vector<NodeInterval>& hidden,
+    const std::vector<JoinItem>& items) {
+  std::vector<JoinItem> out;
+  out.reserve(items.size());
+  size_t i = 0;
+  for (const JoinItem& item : items) {
+    while (i < hidden.size() && hidden[i].end <= item.node) ++i;
+    if (i < hidden.size() && hidden[i].begin <= item.node) continue;
+    out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace secxml

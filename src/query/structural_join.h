@@ -1,0 +1,50 @@
+#ifndef SECXML_QUERY_STRUCTURAL_JOIN_H_
+#define SECXML_QUERY_STRUCTURAL_JOIN_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/accessibility_map.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// An element of a structural-join input list: a data node plus its subtree
+/// end (node + subtree size), so ancestorship is a pure interval test.
+struct JoinItem {
+  NodeId node = 0;
+  NodeId end = 0;
+  bool operator==(const JoinItem&) const = default;
+};
+
+/// Stack-Tree-Desc structural join (Al-Khalifa et al., ICDE 2002), the
+/// algorithm the paper's ε-STD secure join extends (Section 4.2).
+/// Inputs must be sorted by node id (document order); `ancestors` may
+/// contain nested items. Returns all (ancestor, descendant) pairs with the
+/// descendant strictly inside the ancestor's subtree, sorted by descendant.
+std::vector<std::pair<NodeId, NodeId>> StackTreeDesc(
+    const std::vector<JoinItem>& ancestors,
+    const std::vector<NodeId>& descendants);
+
+/// Semijoin form: the descendants that have at least one ancestor in
+/// `ancestors`. Inputs sorted; output sorted and duplicate-free.
+std::vector<NodeId> SemiJoinDescendants(const std::vector<JoinItem>& ancestors,
+                                        const std::vector<NodeId>& descendants);
+
+/// Semijoin form: the ancestors that contain at least one descendant.
+std::vector<JoinItem> SemiJoinAncestors(const std::vector<JoinItem>& ancestors,
+                                        const std::vector<NodeId>& descendants);
+
+/// Removes the nodes falling inside any of the `hidden` intervals (sorted,
+/// disjoint). This is how ε-STD enforces the Gabillon-Bruno view semantics:
+/// a binding inside a hidden subtree cannot contribute answers.
+std::vector<NodeId> FilterVisible(const std::vector<NodeInterval>& hidden,
+                                  const std::vector<NodeId>& nodes);
+
+/// JoinItem overload of FilterVisible.
+std::vector<JoinItem> FilterVisibleItems(
+    const std::vector<NodeInterval>& hidden, const std::vector<JoinItem>& items);
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_STRUCTURAL_JOIN_H_

@@ -1,0 +1,158 @@
+#include "query/xpath_parser.h"
+
+#include <cctype>
+
+namespace secxml {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view input, PatternTree* out)
+      : input_(input), out_(out) {}
+
+  Status Run() {
+    out_->nodes.clear();
+    out_->returning_node = 0;
+    int trunk_tail = -1;
+    bool descendant;
+    if (!ParseAxis(&descendant)) {
+      return Error("query must start with '/' or '//'");
+    }
+    SECXML_RETURN_NOT_OK(ParseStep(trunk_tail, descendant, &trunk_tail));
+    while (pos_ < input_.size()) {
+      if (!ParseAxis(&descendant)) {
+        return Error("expected '/' or '//'");
+      }
+      SECXML_RETURN_NOT_OK(ParseStep(trunk_tail, descendant, &trunk_tail));
+    }
+    out_->returning_node = trunk_tail;
+    return out_->Validate();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("XPath parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool ParseAxis(bool* descendant) {
+    if (pos_ >= input_.size() || input_[pos_] != '/') return false;
+    ++pos_;
+    *descendant = false;
+    if (pos_ < input_.size() && input_[pos_] == '/') {
+      ++pos_;
+      *descendant = true;
+    }
+    return true;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':' || c == '@';
+  }
+
+  Status ParseName(std::string* out) {
+    if (pos_ < input_.size() && input_[pos_] == '*') {
+      ++pos_;
+      *out = "*";
+      return Status::OK();
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected name");
+    *out = std::string(input_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  int AddNode(int parent, bool descendant, std::string tag) {
+    int id = static_cast<int>(out_->nodes.size());
+    PatternNode node;
+    node.tag = std::move(tag);
+    node.descendant_axis = descendant;
+    node.parent = parent;
+    out_->nodes.push_back(std::move(node));
+    if (parent >= 0) out_->nodes[parent].children.push_back(id);
+    return id;
+  }
+
+  /// step := name predicate*; appends to the trunk.
+  Status ParseStep(int parent, bool descendant, int* created) {
+    std::string tag;
+    SECXML_RETURN_NOT_OK(ParseName(&tag));
+    int id = AddNode(parent, descendant, std::move(tag));
+    SECXML_RETURN_NOT_OK(ParsePredicates(id));
+    *created = id;
+    return Status::OK();
+  }
+
+  /// predicate* — zero or more bracketed relpaths hanging off `id`.
+  Status ParsePredicates(int id) {
+    while (pos_ < input_.size() && input_[pos_] == '[') {
+      ++pos_;
+      SECXML_RETURN_NOT_OK(ParseRelPath(id));
+      if (pos_ >= input_.size() || input_[pos_] != ']') {
+        return Error("expected ']'");
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  /// relpath := name predicates? (('/' | '//') name predicates?)*
+  ///            ('=' quoted)?        — hangs off `parent`.
+  /// Predicates nest recursively, so twigs like [a[b][c]/d] are supported.
+  Status ParseRelPath(int parent) {
+    if (depth_ > 32) return Error("predicates nested too deeply");
+    ++depth_;
+    Status st = ParseRelPathImpl(parent);
+    --depth_;
+    return st;
+  }
+
+  Status ParseRelPathImpl(int parent) {
+    bool descendant = false;
+    if (pos_ < input_.size() && input_[pos_] == '/') {
+      // Allow an optional leading axis inside predicates, e.g. [.//x] style
+      // is written [//x] in this subset.
+      ParseAxis(&descendant);
+    }
+    std::string tag;
+    SECXML_RETURN_NOT_OK(ParseName(&tag));
+    int id = AddNode(parent, descendant, std::move(tag));
+    SECXML_RETURN_NOT_OK(ParsePredicates(id));
+    while (pos_ < input_.size() && input_[pos_] == '/') {
+      ParseAxis(&descendant);
+      SECXML_RETURN_NOT_OK(ParseName(&tag));
+      id = AddNode(id, descendant, std::move(tag));
+      SECXML_RETURN_NOT_OK(ParsePredicates(id));
+    }
+    if (pos_ < input_.size() && input_[pos_] == '=') {
+      ++pos_;
+      if (pos_ >= input_.size() || input_[pos_] != '\'') {
+        return Error("expected quoted value");
+      }
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != '\'') ++pos_;
+      if (pos_ >= input_.size()) return Error("unterminated value");
+      out_->nodes[id].value = std::string(input_.substr(start, pos_ - start));
+      out_->nodes[id].has_value = true;
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  PatternTree* out_;
+};
+
+}  // namespace
+
+Status ParseXPath(std::string_view input, PatternTree* out) {
+  return Parser(input, out).Run();
+}
+
+}  // namespace secxml

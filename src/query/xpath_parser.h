@@ -1,0 +1,31 @@
+#ifndef SECXML_QUERY_XPATH_PARSER_H_
+#define SECXML_QUERY_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/pattern_tree.h"
+
+namespace secxml {
+
+/// Parses the XPath subset used by the paper's workload (Table 1) into a
+/// pattern tree:
+///
+///   path      := ('/' | '//') step ( ('/' | '//') step )*
+///   step      := name predicate*
+///   predicate := '[' ('/' | '//')? step ( ('/' | '//') step )*
+///                ( '=' '\'' text '\'' )? ']'
+///   name      := XML name or '*'
+///
+/// Predicates nest (e.g. /a[b[c][d]/e]//f), each bracketed path hanging off
+/// the preceding step as an existence branch; a trailing ='value' constrains
+/// the text of the branch's last step.
+///
+/// The returning node is the last step of the trunk (outside predicates).
+/// A leading '/' anchors the first step at the document root; a leading
+/// '//' lets it match anywhere.
+Status ParseXPath(std::string_view input, PatternTree* out);
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_XPATH_PARSER_H_

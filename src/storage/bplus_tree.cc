@@ -1,0 +1,434 @@
+#include "storage/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace secxml {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53425854;  // "SBXT"
+constexpr uint16_t kLeaf = 1;
+constexpr uint16_t kInterior = 2;
+
+// Node header, 8 bytes at offset 0 of every node page.
+struct NodeHeader {
+  uint16_t type = 0;
+  uint16_t num_entries = 0;
+  PageId next_leaf = kInvalidPage;  // leaves only
+};
+static_assert(sizeof(NodeHeader) == 8);
+
+struct LeafEntry {
+  uint64_t key;
+  uint64_t value;
+};
+static_assert(sizeof(LeafEntry) == 16);
+
+// Interior layout: header, child0 (u32), then num_entries * (key u64,
+// child u32) packed at 12 bytes each.
+constexpr size_t kLeafCap = (kPageSize - sizeof(NodeHeader)) / sizeof(LeafEntry);
+constexpr size_t kInteriorCap =
+    (kPageSize - sizeof(NodeHeader) - sizeof(PageId)) / 12;
+
+size_t LeafEntryOffset(size_t i) {
+  return sizeof(NodeHeader) + i * sizeof(LeafEntry);
+}
+
+PageId ReadChild(const Page& page, size_t i) {
+  // child 0 sits right after the header; child i>0 follows separator i-1.
+  if (i == 0) return page.ReadAt<PageId>(sizeof(NodeHeader));
+  return page.ReadAt<PageId>(sizeof(NodeHeader) + sizeof(PageId) +
+                             (i - 1) * 12 + 8);
+}
+
+uint64_t ReadSeparator(const Page& page, size_t i) {
+  return page.ReadAt<uint64_t>(sizeof(NodeHeader) + sizeof(PageId) + i * 12);
+}
+
+void WriteInterior(Page* page, const std::vector<uint64_t>& seps,
+                   const std::vector<PageId>& children) {
+  assert(children.size() == seps.size() + 1);
+  NodeHeader header;
+  header.type = kInterior;
+  header.num_entries = static_cast<uint16_t>(seps.size());
+  page->Zero();
+  page->WriteAt(0, header);
+  page->WriteAt(sizeof(NodeHeader), children[0]);
+  for (size_t i = 0; i < seps.size(); ++i) {
+    page->WriteAt(sizeof(NodeHeader) + sizeof(PageId) + i * 12, seps[i]);
+    page->WriteAt(sizeof(NodeHeader) + sizeof(PageId) + i * 12 + 8,
+                  children[i + 1]);
+  }
+}
+
+void ReadInterior(const Page& page, std::vector<uint64_t>* seps,
+                  std::vector<PageId>* children) {
+  NodeHeader header = page.ReadAt<NodeHeader>(0);
+  seps->clear();
+  children->clear();
+  children->push_back(ReadChild(page, 0));
+  for (size_t i = 0; i < header.num_entries; ++i) {
+    seps->push_back(ReadSeparator(page, i));
+    children->push_back(ReadChild(page, i + 1));
+  }
+}
+
+void WriteLeaf(Page* page, const std::vector<LeafEntry>& entries,
+               PageId next_leaf) {
+  NodeHeader header;
+  header.type = kLeaf;
+  header.num_entries = static_cast<uint16_t>(entries.size());
+  header.next_leaf = next_leaf;
+  page->Zero();
+  page->WriteAt(0, header);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    page->WriteAt(LeafEntryOffset(i), entries[i]);
+  }
+}
+
+void ReadLeaf(const Page& page, std::vector<LeafEntry>* entries,
+              PageId* next_leaf) {
+  NodeHeader header = page.ReadAt<NodeHeader>(0);
+  entries->clear();
+  for (size_t i = 0; i < header.num_entries; ++i) {
+    entries->push_back(page.ReadAt<LeafEntry>(LeafEntryOffset(i)));
+  }
+  *next_leaf = header.next_leaf;
+}
+
+/// Child index to descend into: the number of separators <= key.
+size_t DescentIndex(const std::vector<uint64_t>& seps, uint64_t key) {
+  return static_cast<size_t>(
+      std::upper_bound(seps.begin(), seps.end(), key) - seps.begin());
+}
+
+}  // namespace
+
+Status BPlusTree::Create(PagedFile* file, size_t buffer_pool_pages,
+                         std::unique_ptr<BPlusTree>* out) {
+  if (file->NumPages() != 0) {
+    return Status::InvalidArgument("Create requires an empty paged file");
+  }
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(file, buffer_pool_pages));
+  // Page 0: meta. Page 1: empty root leaf.
+  SECXML_ASSIGN_OR_RETURN(PageHandle meta, tree->pool_.Allocate());
+  (void)meta;
+  SECXML_ASSIGN_OR_RETURN(PageHandle root, tree->pool_.Allocate());
+  WriteLeaf(root.mutable_page(), {}, kInvalidPage);
+  root.MarkDirty();
+  tree->root_ = root.page_id();
+  tree->height_ = 1;
+  tree->num_entries_ = 0;
+  SECXML_RETURN_NOT_OK(tree->WriteMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::Open(PagedFile* file, size_t buffer_pool_pages,
+                       std::unique_ptr<BPlusTree>* out) {
+  if (file->NumPages() < 2) {
+    return Status::Corruption("not a B+-tree file");
+  }
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(file, buffer_pool_pages));
+  SECXML_ASSIGN_OR_RETURN(PageHandle meta, tree->pool_.Fetch(0));
+  if (meta.page().ReadAt<uint32_t>(0) != kMagic) {
+    return Status::Corruption("bad B+-tree magic");
+  }
+  tree->root_ = meta.page().ReadAt<PageId>(4);
+  tree->height_ = meta.page().ReadAt<uint32_t>(8);
+  tree->num_entries_ = meta.page().ReadAt<uint64_t>(16);
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::WriteMeta() {
+  SECXML_ASSIGN_OR_RETURN(PageHandle meta, pool_.Fetch(0));
+  meta.mutable_page()->Zero();
+  meta.mutable_page()->WriteAt<uint32_t>(0, kMagic);
+  meta.mutable_page()->WriteAt<PageId>(4, root_);
+  meta.mutable_page()->WriteAt<uint32_t>(8, height_);
+  meta.mutable_page()->WriteAt<uint64_t>(16, num_entries_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::FindLeaf(uint64_t key,
+                           std::vector<std::pair<PageId, uint32_t>>* path,
+                           PageId* leaf) {
+  PageId current = root_;
+  for (uint32_t level = 1; level < height_; ++level) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(current));
+    std::vector<uint64_t> seps;
+    std::vector<PageId> children;
+    ReadInterior(handle.page(), &seps, &children);
+    size_t idx = DescentIndex(seps, key);
+    if (path != nullptr) {
+      path->emplace_back(current, static_cast<uint32_t>(idx));
+    }
+    current = children[idx];
+  }
+  *leaf = current;
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(uint64_t key, uint64_t value) {
+  std::vector<std::pair<PageId, uint32_t>> path;
+  PageId leaf_id;
+  SECXML_RETURN_NOT_OK(FindLeaf(key, &path, &leaf_id));
+
+  std::vector<LeafEntry> entries;
+  PageId next_leaf;
+  {
+    SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaf_id));
+    ReadLeaf(leaf.page(), &entries, &next_leaf);
+  }
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const LeafEntry& e, uint64_t k) { return e.key < k; });
+  if (it != entries.end() && it->key == key) {
+    return Status::AlreadyExists("key " + std::to_string(key));
+  }
+  entries.insert(it, LeafEntry{key, value});
+  ++num_entries_;
+
+  if (entries.size() <= kLeafCap) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaf_id));
+    WriteLeaf(leaf.mutable_page(), entries, next_leaf);
+    leaf.MarkDirty();
+    return WriteMeta();
+  }
+
+  // Split: right half moves to a new leaf.
+  size_t mid = entries.size() / 2;
+  std::vector<LeafEntry> right_entries(entries.begin() + mid, entries.end());
+  entries.resize(mid);
+  uint64_t separator = right_entries.front().key;
+  PageId right_id;
+  {
+    SECXML_ASSIGN_OR_RETURN(PageHandle right, pool_.Allocate());
+    WriteLeaf(right.mutable_page(), right_entries, next_leaf);
+    right.MarkDirty();
+    right_id = right.page_id();
+  }
+  {
+    SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaf_id));
+    WriteLeaf(leaf.mutable_page(), entries, right_id);
+    leaf.MarkDirty();
+  }
+  SECXML_RETURN_NOT_OK(InsertIntoParent(std::move(path), separator, right_id));
+  return WriteMeta();
+}
+
+Status BPlusTree::InsertIntoParent(
+    std::vector<std::pair<PageId, uint32_t>> path, uint64_t separator,
+    PageId new_child) {
+  while (true) {
+    if (path.empty()) {
+      // Grow a new root.
+      SECXML_ASSIGN_OR_RETURN(PageHandle root, pool_.Allocate());
+      WriteInterior(root.mutable_page(), {separator}, {root_, new_child});
+      root.MarkDirty();
+      root_ = root.page_id();
+      ++height_;
+      return Status::OK();
+    }
+    auto [parent_id, child_idx] = path.back();
+    path.pop_back();
+    std::vector<uint64_t> seps;
+    std::vector<PageId> children;
+    {
+      SECXML_ASSIGN_OR_RETURN(PageHandle parent, pool_.Fetch(parent_id));
+      ReadInterior(parent.page(), &seps, &children);
+    }
+    seps.insert(seps.begin() + child_idx, separator);
+    children.insert(children.begin() + child_idx + 1, new_child);
+    if (seps.size() <= kInteriorCap) {
+      SECXML_ASSIGN_OR_RETURN(PageHandle parent, pool_.Fetch(parent_id));
+      WriteInterior(parent.mutable_page(), seps, children);
+      parent.MarkDirty();
+      return Status::OK();
+    }
+    // Split the interior node; the middle separator moves up.
+    size_t mid = seps.size() / 2;
+    uint64_t up = seps[mid];
+    std::vector<uint64_t> right_seps(seps.begin() + mid + 1, seps.end());
+    std::vector<PageId> right_children(children.begin() + mid + 1,
+                                       children.end());
+    seps.resize(mid);
+    children.resize(mid + 1);
+    PageId right_id;
+    {
+      SECXML_ASSIGN_OR_RETURN(PageHandle right, pool_.Allocate());
+      WriteInterior(right.mutable_page(), right_seps, right_children);
+      right.MarkDirty();
+      right_id = right.page_id();
+    }
+    {
+      SECXML_ASSIGN_OR_RETURN(PageHandle parent, pool_.Fetch(parent_id));
+      WriteInterior(parent.mutable_page(), seps, children);
+      parent.MarkDirty();
+    }
+    separator = up;
+    new_child = right_id;
+  }
+}
+
+Result<uint64_t> BPlusTree::Get(uint64_t key) {
+  PageId leaf_id;
+  SECXML_RETURN_NOT_OK(FindLeaf(key, nullptr, &leaf_id));
+  SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaf_id));
+  NodeHeader header = leaf.page().ReadAt<NodeHeader>(0);
+  // Binary search directly over the page.
+  size_t lo = 0, hi = header.num_entries;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    LeafEntry e = leaf.page().ReadAt<LeafEntry>(LeafEntryOffset(mid));
+    if (e.key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < header.num_entries) {
+    LeafEntry e = leaf.page().ReadAt<LeafEntry>(LeafEntryOffset(lo));
+    if (e.key == key) return e.value;
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+Status BPlusTree::Delete(uint64_t key) {
+  PageId leaf_id;
+  SECXML_RETURN_NOT_OK(FindLeaf(key, nullptr, &leaf_id));
+  std::vector<LeafEntry> entries;
+  PageId next_leaf;
+  SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaf_id));
+  ReadLeaf(leaf.page(), &entries, &next_leaf);
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const LeafEntry& e, uint64_t k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  entries.erase(it);
+  WriteLeaf(leaf.mutable_page(), entries, next_leaf);
+  leaf.MarkDirty();
+  --num_entries_;
+  return WriteMeta();
+}
+
+Status BPlusTree::Scan(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, uint64_t)>& visit) {
+  if (lo >= hi) return Status::OK();
+  PageId leaf_id;
+  SECXML_RETURN_NOT_OK(FindLeaf(lo, nullptr, &leaf_id));
+  while (leaf_id != kInvalidPage) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaf_id));
+    NodeHeader header = leaf.page().ReadAt<NodeHeader>(0);
+    for (size_t i = 0; i < header.num_entries; ++i) {
+      LeafEntry e = leaf.page().ReadAt<LeafEntry>(LeafEntryOffset(i));
+      if (e.key < lo) continue;
+      if (e.key >= hi) return Status::OK();
+      if (!visit(e.key, e.value)) return Status::OK();
+    }
+    leaf_id = header.next_leaf;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ScanToVector(
+    uint64_t lo, uint64_t hi,
+    std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  out->clear();
+  return Scan(lo, hi, [out](uint64_t k, uint64_t v) {
+    out->emplace_back(k, v);
+    return true;
+  });
+}
+
+Status BPlusTree::Flush() { return pool_.FlushAll(); }
+
+Status BPlusTree::CheckIntegrity() {
+  // Iterative depth-first validation with (page, depth, key bounds).
+  struct Frame {
+    PageId page;
+    uint32_t depth;
+    uint64_t lo;
+    bool has_lo;
+    uint64_t hi;
+    bool has_hi;
+  };
+  std::vector<Frame> stack = {{root_, 1, 0, false, 0, false}};
+  uint64_t counted = 0;
+  std::vector<PageId> leaves_in_order;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(f.page));
+    NodeHeader header = handle.page().ReadAt<NodeHeader>(0);
+    if (f.depth == height_) {
+      if (header.type != kLeaf) {
+        return Status::Corruption("expected leaf at bottom level");
+      }
+      uint64_t prev = 0;
+      bool first = true;
+      for (size_t i = 0; i < header.num_entries; ++i) {
+        LeafEntry e = handle.page().ReadAt<LeafEntry>(LeafEntryOffset(i));
+        if (!first && e.key <= prev) {
+          return Status::Corruption("leaf keys not strictly ascending");
+        }
+        if ((f.has_lo && e.key < f.lo) || (f.has_hi && e.key >= f.hi)) {
+          return Status::Corruption("leaf key outside separator bounds");
+        }
+        prev = e.key;
+        first = false;
+        ++counted;
+      }
+      leaves_in_order.push_back(f.page);
+      continue;
+    }
+    if (header.type != kInterior) {
+      return Status::Corruption("expected interior node");
+    }
+    std::vector<uint64_t> seps;
+    std::vector<PageId> children;
+    ReadInterior(handle.page(), &seps, &children);
+    for (size_t i = 1; i < seps.size(); ++i) {
+      if (seps[i] <= seps[i - 1]) {
+        return Status::Corruption("separators not ascending");
+      }
+    }
+    // Push children in reverse so they are visited left-to-right.
+    for (size_t i = children.size(); i-- > 0;) {
+      Frame child;
+      child.page = children[i];
+      child.depth = f.depth + 1;
+      child.has_lo = i > 0 || f.has_lo;
+      child.lo = i > 0 ? seps[i - 1] : f.lo;
+      child.has_hi = i < seps.size() || f.has_hi;
+      child.hi = i < seps.size() ? seps[i] : f.hi;
+      stack.push_back(child);
+    }
+  }
+  if (counted != num_entries_) {
+    return Status::Corruption("entry count mismatch");
+  }
+  // Leaf chain must visit the leaves in left-to-right order.
+  for (size_t i = 0; i + 1 < leaves_in_order.size(); ++i) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle leaf, pool_.Fetch(leaves_in_order[i]));
+    if (leaf.page().ReadAt<NodeHeader>(0).next_leaf != leaves_in_order[i + 1]) {
+      return Status::Corruption("broken leaf chain");
+    }
+  }
+  if (!leaves_in_order.empty()) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle last,
+                            pool_.Fetch(leaves_in_order.back()));
+    if (last.page().ReadAt<NodeHeader>(0).next_leaf != kInvalidPage) {
+      return Status::Corruption("last leaf must end the chain");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secxml

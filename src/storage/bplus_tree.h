@@ -1,0 +1,92 @@
+#ifndef SECXML_STORAGE_BPLUS_TREE_H_
+#define SECXML_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace secxml {
+
+/// Disk-based B+-tree mapping uint64 keys to uint64 values, unique keys.
+/// NoK query processing starts pattern matching from "B+ trees on the
+/// subtree root's value or tag names" (paper Section 4.1); DiskTagIndex
+/// builds its tag postings on this structure.
+///
+/// Layout: page 0 is the meta page (root id, height, entry count); interior
+/// pages hold separator keys and child ids; leaf pages hold sorted
+/// (key, value) entries and are forward-chained for range scans. All access
+/// goes through a BufferPool, so lookups and scans are measurable in page
+/// reads like the rest of the system.
+class BPlusTree {
+ public:
+  /// Creates a new tree on an empty paged file.
+  static Status Create(PagedFile* file, size_t buffer_pool_pages,
+                       std::unique_ptr<BPlusTree>* out);
+
+  /// Opens an existing tree.
+  static Status Open(PagedFile* file, size_t buffer_pool_pages,
+                     std::unique_ptr<BPlusTree>* out);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts a new key. Fails with AlreadyExists if the key is present.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Point lookup; NotFound if absent.
+  Result<uint64_t> Get(uint64_t key);
+
+  /// Removes a key; NotFound if absent. Leaves may become underfull (lazy
+  /// deletion; pages are reclaimed only on rebuild).
+  Status Delete(uint64_t key);
+
+  /// Visits all entries with lo <= key < hi in ascending key order. The
+  /// visitor returns false to stop early.
+  Status Scan(uint64_t lo, uint64_t hi,
+              const std::function<bool(uint64_t key, uint64_t value)>& visit);
+
+  /// Collects a range scan into vectors (convenience).
+  Status ScanToVector(uint64_t lo, uint64_t hi,
+                      std::vector<std::pair<uint64_t, uint64_t>>* out);
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t height() const { return height_; }
+
+  /// Writes back dirty pages (including the meta page).
+  Status Flush();
+
+  const IoStats& io_stats() const { return pool_.stats(); }
+  BufferPool* buffer_pool() { return &pool_; }
+
+  /// Validates tree invariants: sorted keys, separator consistency, uniform
+  /// leaf depth, correct leaf chaining and entry count.
+  Status CheckIntegrity();
+
+ private:
+  BPlusTree(PagedFile* file, size_t pool_pages) : pool_(file, pool_pages) {}
+
+  Status WriteMeta();
+  /// Descends to the leaf that should hold `key`, recording the path of
+  /// (page id, child index) through interior pages.
+  Status FindLeaf(uint64_t key, std::vector<std::pair<PageId, uint32_t>>* path,
+                  PageId* leaf);
+  Status SplitLeaf(PageId leaf_id,
+                   const std::vector<std::pair<PageId, uint32_t>>& path);
+  Status InsertIntoParent(std::vector<std::pair<PageId, uint32_t>> path,
+                          uint64_t separator, PageId new_child);
+
+  BufferPool pool_;
+  PageId root_ = kInvalidPage;
+  uint32_t height_ = 1;  // 1 = root is a leaf
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_BPLUS_TREE_H_

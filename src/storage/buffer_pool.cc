@@ -1,0 +1,160 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace secxml {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    page_ = other.page_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity) : file_(file) {
+  assert(capacity > 0);
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback; errors here cannot be reported.
+  (void)FlushAll();
+}
+
+size_t BufferPool::num_pinned() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.id != kInvalidPage && f.pins > 0) ++n;
+  }
+  return n;
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  assert(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_back(frame_index);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictFrame(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  assert(f.pins == 0);
+  if (f.dirty) {
+    SECXML_RETURN_NOT_OK(file_->WritePage(f.id, f.page));
+    ++stats_.page_writes;
+    f.dirty = false;
+  }
+  map_.erase(f.id);
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  f.id = kInvalidPage;
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::IOError("buffer pool exhausted: all frames pinned");
+  }
+  size_t victim = lru_.front();
+  SECXML_RETURN_NOT_OK(EvictFrame(victim));
+  return victim;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    size_t idx = it->second;
+    Frame& f = frames_[idx];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    ++stats_.cache_hits;
+    return PageHandle(this, id, &f.page, idx);
+  }
+  SECXML_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& f = frames_[idx];
+  Status read = file_->ReadPage(id, &f.page);
+  if (!read.ok()) {
+    free_frames_.push_back(idx);
+    return read;
+  }
+  ++stats_.page_reads;
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  map_[id] = idx;
+  return PageHandle(this, id, &f.page, idx);
+}
+
+Result<PageHandle> BufferPool::Allocate() {
+  SECXML_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  SECXML_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& f = frames_[idx];
+  f.page.Zero();
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;
+  f.in_lru = false;
+  map_[id] = idx;
+  return PageHandle(this, id, &f.page, idx);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPage && f.dirty) {
+      SECXML_RETURN_NOT_OK(file_->WritePage(f.id, f.page));
+      ++stats_.page_writes;
+      f.dirty = false;
+    }
+  }
+  return file_->Sync();
+}
+
+Status BufferPool::EvictAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.id != kInvalidPage && f.pins == 0) {
+      SECXML_RETURN_NOT_OK(EvictFrame(i));
+      free_frames_.push_back(i);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace secxml

@@ -1,0 +1,116 @@
+#ifndef SECXML_STORAGE_BUFFER_POOL_H_
+#define SECXML_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/paged_file.h"
+
+namespace secxml {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While alive, the frame will not be evicted
+/// and the Page pointer stays valid. Mark the page dirty before dropping the
+/// handle if it was modified.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  const Page& page() const { return *page_; }
+  Page* mutable_page() { return page_; }
+
+  /// Marks the page as modified; it will be written back on eviction/flush.
+  void MarkDirty();
+
+  /// Releases the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, Page* page, size_t frame)
+      : pool_(pool), page_id_(id), page_(page), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPage;
+  Page* page_ = nullptr;
+  size_t frame_ = 0;
+};
+
+/// Fixed-capacity LRU buffer pool over a PagedFile, with pin counting and
+/// I/O statistics. Single-threaded by design: the reproduced experiments run
+/// one query at a time, as the paper's do.
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferPool(PagedFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Pins page `id`, reading it from the file on a miss. Fails if every
+  /// frame is pinned or the read fails.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and pins it (zeroed, dirty).
+  Result<PageHandle> Allocate();
+
+  /// Writes back all dirty pages (keeps them cached).
+  Status FlushAll();
+
+  /// Drops every unpinned page from the cache, writing dirty ones back.
+  /// Benchmarks use this to measure cold-cache behaviour.
+  Status EvictAll();
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+  size_t capacity() const { return frames_.size(); }
+  size_t num_cached() const { return map_.size(); }
+  size_t num_pinned() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPage;
+    uint32_t pins = 0;
+    bool dirty = false;
+    /// Position in lru_ when pins == 0 and resident.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index);
+  Status EvictFrame(size_t frame_index);
+  /// Finds a frame to (re)use: a free one, else the LRU unpinned victim.
+  Result<size_t> GrabFrame();
+
+  PagedFile* file_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> map_;
+  std::list<size_t> lru_;  // front = least recently used
+  IoStats stats_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_BUFFER_POOL_H_

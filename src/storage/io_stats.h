@@ -1,0 +1,25 @@
+#ifndef SECXML_STORAGE_IO_STATS_H_
+#define SECXML_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace secxml {
+
+/// Counters for physical page traffic. The paper's central performance claim
+/// is that DOL accessibility checks add no I/O to NoK query evaluation, so
+/// the benchmarks observe these counters rather than (only) wall-clock time.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  /// Buffer-pool hits that avoided a physical read.
+  uint64_t cache_hits = 0;
+  /// Page loads avoided entirely via the in-memory DOL page headers
+  /// (Section 3.3's "skip fully inaccessible page" optimization).
+  uint64_t pages_skipped = 0;
+
+  void Reset() { *this = IoStats{}; }
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_IO_STATS_H_

@@ -1,0 +1,44 @@
+#ifndef SECXML_STORAGE_PAGE_H_
+#define SECXML_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace secxml {
+
+/// Disk page size in bytes. The paper's evaluation (Section 5.2) stores the
+/// document with 4 KB pages.
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a physical page within a paged file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+/// A fixed-size page buffer. Typed reads/writes go through ReadAt/WriteAt to
+/// keep aliasing well-defined.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  void Zero() { data.fill(0); }
+
+  /// Copies a trivially-copyable T out of the page at byte `offset`.
+  template <typename T>
+  T ReadAt(size_t offset) const {
+    T value;
+    std::memcpy(&value, data.data() + offset, sizeof(T));
+    return value;
+  }
+
+  /// Copies a trivially-copyable T into the page at byte `offset`.
+  template <typename T>
+  void WriteAt(size_t offset, const T& value) {
+    std::memcpy(data.data() + offset, &value, sizeof(T));
+  }
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_PAGE_H_

@@ -1,0 +1,117 @@
+#include "storage/paged_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace secxml {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<PageId> MemPagedFile::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  pages_.back()->Zero();
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPagedFile::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " + std::to_string(id));
+  }
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status MemPagedFile::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePagedFile>> FilePagedFile::Create(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return Errno("cannot create", path);
+  return std::unique_ptr<FilePagedFile>(new FilePagedFile(f, path, 0));
+}
+
+Result<std::unique_ptr<FilePagedFile>> FilePagedFile::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return Errno("cannot open", path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Errno("cannot seek", path);
+  }
+  long size = std::ftell(f);
+  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(f);
+    return Status::Corruption("file size of '" + path +
+                              "' is not a multiple of the page size");
+  }
+  PageId pages = static_cast<PageId>(size / static_cast<long>(kPageSize));
+  return std::unique_ptr<FilePagedFile>(new FilePagedFile(f, path, pages));
+}
+
+FilePagedFile::~FilePagedFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FilePagedFile::AllocatePage() {
+  Page zero;
+  zero.Zero();
+  PageId id = num_pages_;
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("cannot seek", path_);
+  }
+  if (std::fwrite(zero.data.data(), kPageSize, 1, file_) != 1) {
+    return Errno("cannot extend", path_);
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status FilePagedFile::ReadPage(PageId id, Page* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " + std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("cannot seek", path_);
+  }
+  if (std::fread(out->data.data(), kPageSize, 1, file_) != 1) {
+    return Errno("short read from", path_);
+  }
+  return Status::OK();
+}
+
+Status FilePagedFile::WritePage(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Errno("cannot seek", path_);
+  }
+  if (std::fwrite(page.data.data(), kPageSize, 1, file_) != 1) {
+    return Errno("short write to", path_);
+  }
+  return Status::OK();
+}
+
+Status FilePagedFile::Sync() {
+  if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+  return Status::OK();
+}
+
+}  // namespace secxml

@@ -1,0 +1,87 @@
+#ifndef SECXML_STORAGE_PAGED_FILE_H_
+#define SECXML_STORAGE_PAGED_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace secxml {
+
+/// Abstract page-granular storage device. Implementations must support random
+/// page reads and writes plus appending new pages.
+class PagedFile {
+ public:
+  virtual ~PagedFile() = default;
+
+  /// Number of allocated pages.
+  virtual PageId NumPages() const = 0;
+
+  /// Appends a zeroed page; returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Reads page `id` into `*out`. Fails with OutOfRange for unallocated ids.
+  virtual Status ReadPage(PageId id, Page* out) = 0;
+
+  /// Writes `page` to page `id`. Fails with OutOfRange for unallocated ids.
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Flushes buffered writes to durable storage (no-op for memory files).
+  virtual Status Sync() = 0;
+};
+
+/// Heap-backed paged file, used by unit tests and by benchmarks that model
+/// I/O via counters rather than real disk latency (the paper reports ratios,
+/// not absolute disk times).
+class MemPagedFile final : public PagedFile {
+ public:
+  MemPagedFile() = default;
+
+  PageId NumPages() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// File-backed paged file over stdio with explicit error propagation.
+class FilePagedFile final : public PagedFile {
+ public:
+  /// Creates (truncating) a new paged file at `path`.
+  static Result<std::unique_ptr<FilePagedFile>> Create(const std::string& path);
+
+  /// Opens an existing paged file. Fails if the size is not page-aligned.
+  static Result<std::unique_ptr<FilePagedFile>> Open(const std::string& path);
+
+  ~FilePagedFile() override;
+
+  FilePagedFile(const FilePagedFile&) = delete;
+  FilePagedFile& operator=(const FilePagedFile&) = delete;
+
+  PageId NumPages() const override { return num_pages_; }
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+
+ private:
+  FilePagedFile(std::FILE* f, std::string path, PageId num_pages)
+      : file_(f), path_(std::move(path)), num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  std::string path_;
+  PageId num_pages_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_PAGED_FILE_H_

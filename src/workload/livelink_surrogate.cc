@@ -1,0 +1,441 @@
+#include "workload/livelink_surrogate.h"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include "common/rng.h"
+
+namespace secxml {
+
+namespace {
+
+/// A contiguous document region (preorder interval) rights are granted on.
+struct Region {
+  NodeId begin = 0;
+  NodeId end = 0;
+  NodeInterval AsInterval() const { return {begin, end}; }
+};
+
+/// Access class of a project folder.
+enum class ProjectKind {
+  kTeamOpen,   // the owning team (and its department group)
+  kDeptOpen,   // the whole department
+  kRestricted  // managers plus a sampled set of users
+};
+
+struct Project {
+  Region region;
+  uint32_t dept = 0;
+  uint32_t team = 0;
+  ProjectKind kind = ProjectKind::kTeamOpen;
+  std::vector<uint32_t> extra_users;  // additional grantees (restricted/cross)
+};
+
+/// Which region classes a mode grants. The ten LiveLink action modes (see,
+/// read, modify, edit-attributes, checkout, create, delete, reserve,
+/// administer, audit) are modeled as increasingly restrictive profiles.
+struct ModeProfile {
+  bool public_area;
+  bool dept_shared;
+  bool team_projects;
+  bool dept_open_projects;
+  bool personal;
+  bool managers_whole_tree;
+  /// Fraction of users holding this mode at all (rights like delete are not
+  /// universal).
+  double user_coverage;
+};
+
+constexpr ModeProfile kModeProfiles[] = {
+    // see
+    {true, true, true, true, true, true, 1.0},
+    // read
+    {true, true, true, true, true, true, 0.97},
+    // modify
+    {false, true, true, false, true, true, 0.80},
+    // edit attributes
+    {false, true, true, false, true, true, 0.70},
+    // checkout
+    {false, false, true, false, true, true, 0.60},
+    // create
+    {false, true, true, false, true, true, 0.55},
+    // delete
+    {false, false, false, false, true, true, 0.40},
+    // reserve
+    {false, true, true, false, false, true, 0.35},
+    // administer
+    {false, false, false, false, false, true, 0.05},
+    // audit
+    {false, false, false, true, false, true, 0.15},
+};
+
+class Generator {
+ public:
+  Generator(const LiveLinkOptions& options, LiveLinkWorkload* out)
+      : options_(options), rng_(options.seed), out_(out) {}
+
+  Status Run() {
+    if (options_.num_departments == 0 || options_.teams_per_department == 0 ||
+        options_.num_users == 0) {
+      return Status::InvalidArgument("counts must be positive");
+    }
+    if (options_.num_modes == 0 ||
+        options_.num_modes > std::size(kModeProfiles)) {
+      return Status::InvalidArgument("num_modes must be in [1, 10]");
+    }
+    SECXML_RETURN_NOT_OK(BuildTree());
+    AssignMemberships();
+    BuildMaps();
+    return Status::OK();
+  }
+
+ private:
+  uint32_t NumTeams() const {
+    return options_.num_departments * options_.teams_per_department;
+  }
+
+  // Subject layout: users [0, U), then groups: all-staff, managers,
+  // department groups, team groups.
+  uint32_t U() const { return options_.num_users; }
+  SubjectId AllStaff() const { return U(); }
+  SubjectId Managers() const { return U() + 1; }
+  SubjectId DeptGroup(uint32_t d) const { return U() + 2 + d; }
+  SubjectId TeamGroup(uint32_t d, uint32_t t) const {
+    return U() + 2 + options_.num_departments +
+           d * options_.teams_per_department + t;
+  }
+  size_t NumGroups() const { return 2 + options_.num_departments + NumTeams(); }
+  size_t NumSubjects() const { return U() + NumGroups(); }
+
+  Status Leaf(const char* tag) {
+    b_.BeginElement(tag);
+    return b_.EndElement();
+  }
+
+  /// Emits `count` small document leaves.
+  Status Documents(int count) {
+    for (int i = 0; i < count; ++i) {
+      b_.BeginElement("document");
+      SECXML_RETURN_NOT_OK(Leaf("version"));
+      if (rng_.Bernoulli(0.4)) SECXML_RETURN_NOT_OK(Leaf("attachment"));
+      SECXML_RETURN_NOT_OK(b_.EndElement());
+    }
+    return Status::OK();
+  }
+
+  /// Nested folder tree; returns through the builder.
+  Status Folders(int budget, int depth) {
+    while (budget > 3) {
+      b_.BeginElement("folder");
+      int take = 2 + static_cast<int>(rng_.Uniform(
+                         static_cast<uint64_t>(budget > 8 ? budget / 2 : 4)));
+      take = std::min(take, budget - 1);
+      // Depth cap 19 overall: root(0) dept(1) team(2) project(3) + folders.
+      if (depth < 15 && take > 6 && rng_.Bernoulli(0.45)) {
+        SECXML_RETURN_NOT_OK(Folders(take - 1, depth + 1));
+      } else {
+        SECXML_RETURN_NOT_OK(Documents((take - 1) / 3 + 1));
+      }
+      SECXML_RETURN_NOT_OK(b_.EndElement());
+      budget -= take;
+    }
+    return Documents(budget / 3);
+  }
+
+  Status BuildTree() {
+    const uint32_t target = std::max(options_.target_nodes, 200u);
+    b_.BeginElement("livelink");
+
+    // Company-wide public area: ~4% of nodes.
+    public_region_.begin = b_.BeginElement("public");
+    SECXML_RETURN_NOT_OK(Folders(static_cast<int>(target * 0.04), 2));
+    SECXML_RETURN_NOT_OK(b_.EndElement());
+    public_region_.end = static_cast<NodeId>(b_.NumNodes());
+
+    const uint32_t per_dept =
+        (target - (public_region_.end - public_region_.begin)) /
+        options_.num_departments;
+    dept_regions_.resize(options_.num_departments);
+    dept_shared_.resize(options_.num_departments);
+    team_misc_.resize(NumTeams());
+
+    uint32_t personal_budget = static_cast<uint32_t>(U() * 0.08) + 1;
+    uint32_t personal_made = 0;
+
+    archive_months_.resize(options_.num_departments);
+    for (uint32_t d = 0; d < options_.num_departments; ++d) {
+      dept_regions_[d].begin = b_.BeginElement("department");
+      // Department shared area: ~9% of the department.
+      dept_shared_[d].begin = b_.BeginElement("shared");
+      SECXML_RETURN_NOT_OK(Folders(static_cast<int>(per_dept * 0.09), 3));
+      SECXML_RETURN_NOT_OK(b_.EndElement());
+      dept_shared_[d].end = static_cast<NodeId>(b_.NumNodes());
+
+      // Department archive: a time-ordered run of month folders. Users are
+      // granted the *most recent* months — a document-order run of sibling
+      // subtrees, the kind of grant where DOL's document-order encoding
+      // shines against per-subtree CAM labels (Figure 4(b)).
+      b_.BeginElement("archive");
+      int month_budget =
+          std::max(12, static_cast<int>(per_dept * 0.03) / kArchiveMonths);
+      for (int mth = 0; mth < kArchiveMonths; ++mth) {
+        Region r;
+        r.begin = b_.BeginElement("month");
+        SECXML_RETURN_NOT_OK(Folders(month_budget - 1, 4));
+        SECXML_RETURN_NOT_OK(b_.EndElement());
+        r.end = static_cast<NodeId>(b_.NumNodes());
+        archive_months_[d].push_back(r);
+      }
+      SECXML_RETURN_NOT_OK(b_.EndElement());  // archive
+
+      uint32_t per_team =
+          static_cast<uint32_t>(per_dept * 0.85) / options_.teams_per_department;
+      for (uint32_t t = 0; t < options_.teams_per_department; ++t) {
+        uint32_t team_index = d * options_.teams_per_department + t;
+        Region& misc = team_misc_[team_index];
+        misc.begin = b_.BeginElement("team");
+        SECXML_RETURN_NOT_OK(Documents(2));
+        // Personal folders for a fraction of this team's members.
+        if (personal_made < personal_budget) {
+          b_.BeginElement("members");
+          uint32_t here = std::min<uint32_t>(
+              3, personal_budget - personal_made);
+          for (uint32_t k = 0; k < here; ++k) {
+            uint32_t user = rng_.Uniform(U());
+            Region r;
+            r.begin = b_.BeginElement("personal");
+            SECXML_RETURN_NOT_OK(Documents(1));
+            SECXML_RETURN_NOT_OK(b_.EndElement());
+            r.end = static_cast<NodeId>(b_.NumNodes());
+            personal_.emplace_back(user, r);
+            ++personal_made;
+          }
+          SECXML_RETURN_NOT_OK(b_.EndElement());
+        }
+        misc.end = static_cast<NodeId>(b_.NumNodes());
+
+        // Project folders.
+        int team_budget = static_cast<int>(per_team) -
+                          static_cast<int>(misc.end - misc.begin);
+        while (team_budget > 10) {
+          Project p;
+          p.dept = d;
+          p.team = t;
+          double kind_draw = rng_.NextDouble();
+          p.kind = kind_draw < 0.55   ? ProjectKind::kTeamOpen
+                   : kind_draw < 0.80 ? ProjectKind::kDeptOpen
+                                      : ProjectKind::kRestricted;
+          int take = 10 + static_cast<int>(rng_.Uniform(
+                              static_cast<uint64_t>(team_budget / 2 + 1)));
+          take = std::min(take, team_budget);
+          p.region.begin = b_.BeginElement("project");
+          SECXML_RETURN_NOT_OK(Folders(take - 1, 4));
+          SECXML_RETURN_NOT_OK(b_.EndElement());
+          p.region.end = static_cast<NodeId>(b_.NumNodes());
+          if (p.kind == ProjectKind::kRestricted) {
+            int grantees = 2 + static_cast<int>(rng_.Uniform(5));
+            for (int g = 0; g < grantees; ++g) {
+              p.extra_users.push_back(rng_.Uniform(U()));
+            }
+          } else if (rng_.Bernoulli(0.25)) {
+            // Cross-team collaborators.
+            int guests = 1 + static_cast<int>(rng_.Uniform(4));
+            for (int g = 0; g < guests; ++g) {
+              p.extra_users.push_back(rng_.Uniform(U()));
+            }
+          }
+          projects_.push_back(std::move(p));
+          team_budget -= take;
+        }
+        SECXML_RETURN_NOT_OK(b_.EndElement());  // team
+      }
+      SECXML_RETURN_NOT_OK(b_.EndElement());  // department
+      dept_regions_[d].end = static_cast<NodeId>(b_.NumNodes());
+    }
+    SECXML_RETURN_NOT_OK(b_.EndElement());  // livelink
+    return b_.Finish(&out_->doc);
+  }
+
+  void AssignMemberships() {
+    user_team_.resize(U());
+    for (uint32_t u = 0; u < U(); ++u) {
+      user_team_[u] = rng_.Uniform(NumTeams());
+    }
+    user_is_manager_.assign(U(), false);
+    for (uint32_t u = 0; u < U(); ++u) {
+      user_is_manager_[u] = rng_.Bernoulli(0.02);
+    }
+    // Per-mode user coverage (deterministic across modes per user via
+    // a uniform draw).
+    user_level_.resize(U());
+    for (uint32_t u = 0; u < U(); ++u) user_level_[u] = rng_.NextDouble();
+    // How many recent archive months each user may read.
+    user_archive_months_.resize(U());
+    for (uint32_t u = 0; u < U(); ++u) {
+      user_archive_months_[u] =
+          2 + static_cast<uint32_t>(rng_.Uniform(kArchiveMonths - 2));
+    }
+  }
+
+  void BuildMaps() {
+    out_->num_users = U();
+    out_->num_groups = NumGroups();
+    NodeId n = static_cast<NodeId>(out_->doc.NumNodes());
+    NodeInterval whole{0, n};
+
+    // Index projects by team / dept for fast assembly.
+    std::vector<std::vector<const Project*>> by_team(NumTeams());
+    std::vector<std::vector<const Project*>> dept_open(options_.num_departments);
+    std::vector<std::vector<const Project*>> by_extra_user(U());
+    for (const Project& p : projects_) {
+      uint32_t team_index = p.dept * options_.teams_per_department + p.team;
+      if (p.kind != ProjectKind::kRestricted) by_team[team_index].push_back(&p);
+      if (p.kind == ProjectKind::kDeptOpen) dept_open[p.dept].push_back(&p);
+      for (uint32_t u : p.extra_users) by_extra_user[u].push_back(&p);
+    }
+    std::vector<std::vector<const Region*>> personal_of(U());
+    for (const auto& [u, r] : personal_) personal_of[u].push_back(&r);
+
+    for (uint32_t m = 0; m < options_.num_modes; ++m) {
+      const ModeProfile& prof = kModeProfiles[m];
+      IntervalAccessMap map(n, NumSubjects());
+
+      auto set_subject = [&map](SubjectId s,
+                                std::vector<NodeInterval> intervals) {
+        std::vector<const std::vector<NodeInterval>*> one = {&intervals};
+        map.SetSubjectIntervals(s, UnionIntervals(one));
+      };
+
+      // Group rows.
+      {
+        std::vector<NodeInterval> staff;
+        if (prof.public_area) staff.push_back(public_region_.AsInterval());
+        set_subject(AllStaff(), std::move(staff));
+        set_subject(Managers(),
+                    prof.managers_whole_tree
+                        ? std::vector<NodeInterval>{whole}
+                        : std::vector<NodeInterval>{});
+      }
+      for (uint32_t d = 0; d < options_.num_departments; ++d) {
+        std::vector<NodeInterval> ivs;
+        if (prof.public_area) ivs.push_back(public_region_.AsInterval());
+        if (prof.dept_shared) ivs.push_back(dept_shared_[d].AsInterval());
+        if (prof.dept_open_projects) {
+          for (const Project* p : dept_open[d]) {
+            ivs.push_back(p->region.AsInterval());
+          }
+        }
+        if (prof.team_projects && (m == 0 || m == 1)) {
+          // In the broad read modes the department umbrella spans all its
+          // teams' open projects and misc areas.
+          for (uint32_t t = 0; t < options_.teams_per_department; ++t) {
+            uint32_t team_index = d * options_.teams_per_department + t;
+            ivs.push_back(team_misc_[team_index].AsInterval());
+            for (const Project* p : by_team[team_index]) {
+              ivs.push_back(p->region.AsInterval());
+            }
+          }
+        }
+        set_subject(DeptGroup(d), std::move(ivs));
+      }
+      for (uint32_t d = 0; d < options_.num_departments; ++d) {
+        for (uint32_t t = 0; t < options_.teams_per_department; ++t) {
+          uint32_t team_index = d * options_.teams_per_department + t;
+          std::vector<NodeInterval> ivs;
+          if (prof.public_area) ivs.push_back(public_region_.AsInterval());
+          if (prof.dept_shared) ivs.push_back(dept_shared_[d].AsInterval());
+          if (prof.team_projects) {
+            ivs.push_back(team_misc_[team_index].AsInterval());
+            for (const Project* p : by_team[team_index]) {
+              if (p->kind == ProjectKind::kTeamOpen ||
+                  p->kind == ProjectKind::kDeptOpen) {
+                ivs.push_back(p->region.AsInterval());
+              }
+            }
+          }
+          set_subject(TeamGroup(d, t), std::move(ivs));
+        }
+      }
+
+      // User rows: union of their groups plus personal/extra grants.
+      for (uint32_t u = 0; u < U(); ++u) {
+        if (user_level_[u] >= prof.user_coverage && !user_is_manager_[u]) {
+          map.SetSubjectIntervals(u, {});
+          continue;
+        }
+        if (user_is_manager_[u] && prof.managers_whole_tree) {
+          map.SetSubjectIntervals(u, {whole});
+          continue;
+        }
+        uint32_t team_index = user_team_[u];
+        uint32_t d = team_index / options_.teams_per_department;
+        std::vector<NodeInterval> own;
+        if (prof.dept_shared) {
+          // The user's recent-months archive slice: one contiguous run of
+          // sibling month subtrees.
+          const std::vector<Region>& months = archive_months_[d];
+          uint32_t k = std::min<uint32_t>(user_archive_months_[u],
+                                          static_cast<uint32_t>(months.size()));
+          if (k > 0) {
+            own.push_back({months[months.size() - k].begin,
+                           months.back().end});
+          }
+        }
+        if (prof.personal) {
+          for (const Region* r : personal_of[u]) own.push_back(r->AsInterval());
+        }
+        if (prof.team_projects || prof.dept_open_projects) {
+          for (const Project* p : by_extra_user[u]) {
+            // Guests and restricted-project grantees see the leading part
+            // of the project (its main folders), not necessarily the whole
+            // subtree — real LiveLink rights are fragmented like this,
+            // which is what keeps single-user DOL and CAM sizes close
+            // (Figure 4(b)).
+            NodeId len = p->region.end - p->region.begin;
+            NodeId cut = p->region.begin + len - len / 3;
+            own.push_back({p->region.begin, cut});
+          }
+        }
+        std::vector<const std::vector<NodeInterval>*> lists = {
+            &map.SubjectIntervals(AllStaff()),
+            &map.SubjectIntervals(DeptGroup(d)),
+            &map.SubjectIntervals(
+                TeamGroup(d, team_index % options_.teams_per_department)),
+            &own};
+        map.SetSubjectIntervals(u, UnionIntervals(lists));
+      }
+      out_->modes.push_back(std::move(map));
+    }
+  }
+
+  const LiveLinkOptions& options_;
+  Rng rng_;
+  LiveLinkWorkload* out_;
+  DocumentBuilder b_;
+
+  static constexpr int kArchiveMonths = 10;
+
+  Region public_region_;
+  std::vector<std::vector<Region>> archive_months_;  // [dept][month]
+  std::vector<uint32_t> user_archive_months_;
+  std::vector<Region> dept_regions_;
+  std::vector<Region> dept_shared_;
+  std::vector<Region> team_misc_;
+  std::vector<Project> projects_;
+  std::vector<std::pair<uint32_t, Region>> personal_;
+  std::vector<uint32_t> user_team_;
+  std::vector<bool> user_is_manager_;
+  std::vector<double> user_level_;
+};
+
+}  // namespace
+
+Status GenerateLiveLink(const LiveLinkOptions& options,
+                        LiveLinkWorkload* out) {
+  out->modes.clear();
+  Generator gen(options, out);
+  return gen.Run();
+}
+
+}  // namespace secxml

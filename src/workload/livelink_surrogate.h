@@ -1,0 +1,58 @@
+#ifndef SECXML_WORKLOAD_LIVELINK_SURROGATE_H_
+#define SECXML_WORKLOAD_LIVELINK_SURROGATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/accessibility_map.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Surrogate for the production OpenText LiveLink dataset of paper
+/// Section 5: a corporate content-management tree (departments > teams >
+/// nested project folders > documents, average depth ~7.9, max depth <= 19)
+/// with group-structured subjects whose rights are granted at subtree
+/// granularity and therefore strongly correlated. The real dataset has 8639
+/// subjects (users and groups) and ten action modes; those are the defaults.
+struct LiveLinkOptions {
+  uint32_t target_nodes = 100000;
+  uint32_t num_departments = 24;
+  uint32_t teams_per_department = 6;
+  /// Users; groups are derived (one per department, one per team, plus
+  /// company-wide groups), so total subjects = users + groups.
+  uint32_t num_users = 8469;
+  uint32_t num_modes = 10;
+  uint64_t seed = 7;
+};
+
+/// The generated workload: the document plus one accessibility map per
+/// action mode over the combined subject set (users first, then groups).
+struct LiveLinkWorkload {
+  Document doc;
+  /// modes[m] is the accessibility map for action mode m. Subject ids are
+  /// shared across modes.
+  std::vector<IntervalAccessMap> modes;
+  size_t num_users = 0;
+  size_t num_groups = 0;
+  size_t num_subjects() const { return num_users + num_groups; }
+};
+
+/// Generates the surrogate. Rights model:
+///  - every subject may read the company-wide "public" area (mode 0);
+///  - a department group's rights cover its department subtree;
+///  - a team group's rights cover its team subtree plus the department's
+///    shared area;
+///  - a user's rights are the union of their groups' rights (paper
+///    Section 4 footnote 4) plus their personal folder;
+///  - higher action modes (write, delete, ...) are increasingly restrictive
+///    subsets (write only within the own team, delete only personal, ...),
+///    giving the correlated multi-mode structure of Figure 4(b).
+Status GenerateLiveLink(const LiveLinkOptions& options, LiveLinkWorkload* out);
+
+}  // namespace secxml
+
+#endif  // SECXML_WORKLOAD_LIVELINK_SURROGATE_H_

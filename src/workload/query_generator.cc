@@ -1,0 +1,95 @@
+#include "workload/query_generator.h"
+
+#include "common/rng.h"
+
+namespace secxml {
+
+const char* const kTable1Queries[6] = {
+    "/site/regions/africa/item[location][name][quantity]",    // Q1
+    "/site/categories/category[name]/description/text/bold",  // Q2
+    "/site/categories/category[description/text/bold]/name",  // Q3 (adjusted)
+    "//parlist//parlist",                                     // Q4
+    "//listitem//keyword",                                    // Q5
+    "//item//emph",                                           // Q6
+};
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const Document& doc, const QueryGenOptions& options)
+      : doc_(doc), options_(options), rng_(options.seed) {}
+
+  PatternTree Run() {
+    PatternTree out;
+    NodeId seed = static_cast<NodeId>(rng_.Uniform(doc_.NumNodes()));
+    int root = AddNode(&out, -1, /*descendant=*/true, seed);
+    Grow(&out, root, seed, options_.max_nodes - 1);
+    out.returning_node =
+        static_cast<int>(rng_.Uniform(out.nodes.size()));
+    return out;
+  }
+
+ private:
+  int AddNode(PatternTree* out, int parent, bool descendant, NodeId data) {
+    PatternNode pn;
+    pn.tag = rng_.Bernoulli(options_.wildcard_prob) ? "*"
+                                                    : doc_.TagName(data);
+    pn.descendant_axis = descendant;
+    pn.parent = parent;
+    // Value test only when the data node has a value (keeps satisfiability).
+    if (doc_.HasValue(data) && rng_.Bernoulli(options_.value_prob)) {
+      pn.has_value = true;
+      pn.value = std::string(doc_.Value(data));
+    }
+    int id = static_cast<int>(out->nodes.size());
+    out->nodes.push_back(std::move(pn));
+    if (parent >= 0) out->nodes[parent].children.push_back(id);
+    return id;
+  }
+
+  /// Attaches up to `budget` pattern nodes below pattern node `p`, following
+  /// real children/descendants of the data node `d`.
+  void Grow(PatternTree* out, int p, NodeId d, int budget) {
+    while (budget > 0 && doc_.SubtreeSize(d) > 1 && rng_.Bernoulli(0.75)) {
+      bool descendant = rng_.Bernoulli(options_.descendant_prob);
+      NodeId target;
+      if (descendant) {
+        // A uniform proper descendant.
+        target = d + 1 + static_cast<NodeId>(
+                             rng_.Uniform(doc_.SubtreeSize(d) - 1));
+      } else {
+        // A uniform child.
+        std::vector<NodeId> children;
+        for (NodeId c = doc_.FirstChild(d); c != kInvalidNode;
+             c = doc_.NextSibling(c)) {
+          children.push_back(c);
+        }
+        target = children[rng_.Uniform(children.size())];
+      }
+      int child = AddNode(out, p, descendant, target);
+      --budget;
+      // Sometimes deepen under the new branch, sometimes add siblings.
+      if (budget > 0 && rng_.Bernoulli(0.5)) {
+        int deep = 1 + static_cast<int>(rng_.Uniform(
+                           static_cast<uint64_t>(budget)));
+        Grow(out, child, target, deep);
+        budget -= deep;
+      }
+    }
+  }
+
+  const Document& doc_;
+  const QueryGenOptions& options_;
+  Rng rng_;
+};
+
+}  // namespace
+
+PatternTree GenerateTwigQuery(const Document& doc,
+                              const QueryGenOptions& options) {
+  Generator gen(doc, options);
+  return gen.Run();
+}
+
+}  // namespace secxml

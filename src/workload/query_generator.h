@@ -1,0 +1,40 @@
+#ifndef SECXML_WORKLOAD_QUERY_GENERATOR_H_
+#define SECXML_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "query/pattern_tree.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// The paper's benchmark queries (Table 1). Q3 is the corrected form (see
+/// DESIGN.md); index 0-2 are the NoK pattern queries, 3-5 the
+/// ancestor-descendant join queries.
+extern const char* const kTable1Queries[6];
+
+/// Options for random twig generation.
+struct QueryGenOptions {
+  uint64_t seed = 1;
+  /// Upper bound on pattern nodes.
+  int max_nodes = 6;
+  /// Probability that an edge uses the descendant axis.
+  double descendant_prob = 0.25;
+  /// Probability that a leaf pattern node gets a value-equality test taken
+  /// from the data (so it stays satisfiable).
+  double value_prob = 0.15;
+  /// Probability that a node test becomes the '*' wildcard.
+  double wildcard_prob = 0.1;
+};
+
+/// Generates a random twig pattern grown along real paths of `doc`, so the
+/// query usually has matches: a random data node seeds the pattern root
+/// (descendant axis), and branches follow actual children/descendants.
+/// The returning node is chosen uniformly among the pattern nodes. Used by
+/// the evaluator stress tests and available to downstream benchmarks.
+PatternTree GenerateTwigQuery(const Document& doc,
+                              const QueryGenOptions& options);
+
+}  // namespace secxml
+
+#endif  // SECXML_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,64 @@
+#include "workload/synthetic_acl.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "core/policy.h"
+
+namespace secxml {
+
+std::vector<NodeInterval> GenerateSyntheticAcl(
+    const Document& doc, const SyntheticAclOptions& options) {
+  Rng rng(options.seed);
+  NodeId n = static_cast<NodeId>(doc.NumNodes());
+
+  // Pick seeds and their labels, in document order (deterministic in the
+  // PRNG seed). The root is always a seed (Section 5).
+  std::vector<std::pair<NodeId, bool>> labels;
+  std::vector<char> is_seed(n, 0);
+  labels.emplace_back(0, options.force_root_accessible ||
+                             rng.Bernoulli(options.accessibility_ratio));
+  is_seed[0] = 1;
+  for (NodeId x = 1; x < n; ++x) {
+    if (rng.Bernoulli(options.propagation_ratio)) {
+      labels.emplace_back(x, rng.Bernoulli(options.accessibility_ratio));
+      is_seed[x] = 1;
+    }
+  }
+
+  // Horizontal locality: seeds' direct siblings copy the label, provided
+  // the siblings are not seeds themselves. Copies go first so that true
+  // seeds override any copy landing on the same node.
+  std::vector<AclSeed> seeds;
+  seeds.reserve(labels.size() * 3);
+  if (options.horizontal_locality) {
+    for (const auto& [node, accessible] : labels) {
+      NodeId p = doc.Parent(node);
+      if (p == kInvalidNode) continue;
+      for (NodeId sib = doc.FirstChild(p); sib != kInvalidNode;
+           sib = doc.NextSibling(sib)) {
+        if (sib != node && !is_seed[sib]) {
+          seeds.push_back({sib, accessible});
+        }
+      }
+    }
+  }
+  for (const auto& [node, accessible] : labels) {
+    seeds.push_back({node, accessible});
+  }
+  return PropagateMostSpecificOverride(doc, std::move(seeds));
+}
+
+IntervalAccessMap GenerateSyntheticAclMap(const Document& doc,
+                                          size_t num_subjects,
+                                          const SyntheticAclOptions& options) {
+  IntervalAccessMap map(static_cast<NodeId>(doc.NumNodes()), num_subjects);
+  for (SubjectId s = 0; s < num_subjects; ++s) {
+    SyntheticAclOptions per_subject = options;
+    per_subject.seed = options.seed * 1000003 + s;
+    map.SetSubjectIntervals(s, GenerateSyntheticAcl(doc, per_subject));
+  }
+  return map;
+}
+
+}  // namespace secxml

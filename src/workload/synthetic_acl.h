@@ -1,0 +1,48 @@
+#ifndef SECXML_WORKLOAD_SYNTHETIC_ACL_H_
+#define SECXML_WORKLOAD_SYNTHETIC_ACL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accessibility_map.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Parameters of the paper's synthetic access-control generator (Section 5):
+/// randomly chosen seed nodes are labeled accessible/non-accessible, seeds'
+/// direct siblings copy the label (horizontal locality), and labels
+/// propagate to descendants under Most-Specific-Override (vertical
+/// locality). The document root is always a seed so every node is labeled.
+struct SyntheticAclOptions {
+  /// Fraction of document nodes chosen as seeds ("propagation ratio").
+  double propagation_ratio = 0.03;
+
+  /// Fraction of seeds labeled accessible ("accessibility ratio").
+  double accessibility_ratio = 0.5;
+
+  /// Copy each seed's label to its direct siblings (unless they are seeds
+  /// themselves), simulating horizontal structural locality.
+  bool horizontal_locality = true;
+
+  /// Force the root seed to be labeled accessible. Useful for benchmarks of
+  /// the Gabillon-Bruno view semantics, where an inaccessible root makes
+  /// the entire instance degenerate (everything hidden).
+  bool force_root_accessible = false;
+
+  uint64_t seed = 1;
+};
+
+/// Generates one subject's accessible intervals.
+std::vector<NodeInterval> GenerateSyntheticAcl(const Document& doc,
+                                               const SyntheticAclOptions& options);
+
+/// Generates `num_subjects` independent subjects (each drawn with a distinct
+/// PRNG stream derived from options.seed).
+IntervalAccessMap GenerateSyntheticAclMap(const Document& doc,
+                                          size_t num_subjects,
+                                          const SyntheticAclOptions& options);
+
+}  // namespace secxml
+
+#endif  // SECXML_WORKLOAD_SYNTHETIC_ACL_H_

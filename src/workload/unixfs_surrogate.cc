@@ -1,0 +1,256 @@
+#include "workload/unixfs_surrogate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace secxml {
+
+namespace {
+
+/// Read-relevant permission bits.
+struct Perm {
+  bool owner_r = true;
+  bool group_r = false;
+  bool other_r = false;
+};
+
+constexpr Perm kPublic{true, true, true};     // 0755 / 0644
+constexpr Perm kGroupOnly{true, true, false}; // 0750 / 0640
+constexpr Perm kPrivate{true, false, false};  // 0700 / 0600
+
+/// Ownership context of a filesystem region.
+struct Ctx {
+  uint32_t owner = 0;  // user id
+  uint32_t group = 0;  // group id
+  Perm perm = kPublic;
+
+  uint64_t Key() const {
+    return (static_cast<uint64_t>(owner) << 32) |
+           (static_cast<uint64_t>(group) << 8) |
+           (perm.owner_r ? 4u : 0u) | (perm.group_r ? 2u : 0u) |
+           (perm.other_r ? 1u : 0u);
+  }
+};
+
+class Generator {
+ public:
+  Generator(const UnixFsOptions& options, UnixFsWorkload* out)
+      : options_(options), rng_(options.seed), out_(out) {}
+
+  Status Run() {
+    if (options_.num_users == 0 || options_.num_groups == 0) {
+      return Status::InvalidArgument("need at least one user and group");
+    }
+    AssignMemberships();
+    SECXML_RETURN_NOT_OK(BuildTree());
+    BuildMap();
+    return Status::OK();
+  }
+
+ private:
+  uint32_t U() const { return options_.num_users; }
+  uint32_t G() const { return options_.num_groups; }
+  static constexpr uint32_t kRoot = 0xffffffu;  // the superuser, not a subject
+
+  void AssignMemberships() {
+    members_.assign(G(), BitVector(options_.num_users));
+    primary_group_.resize(U());
+    for (uint32_t u = 0; u < U(); ++u) {
+      uint32_t g = rng_.Uniform(G());
+      primary_group_[u] = g;
+      members_[g].Set(u, true);
+      // Secondary memberships for some users.
+      int extras = rng_.Bernoulli(0.25) ? 1 + static_cast<int>(rng_.Uniform(3))
+                                        : 0;
+      for (int i = 0; i < extras; ++i) {
+        members_[rng_.Uniform(G())].Set(u, true);
+      }
+    }
+  }
+
+  /// Marks the start of a region with context `ctx` at the next node id.
+  void PushCtx(const Ctx& ctx) {
+    ctx_stack_.push_back(ctx);
+    AddBoundary(ctx);
+  }
+
+  void PopCtx() {
+    ctx_stack_.pop_back();
+    AddBoundary(ctx_stack_.back());
+  }
+
+  void AddBoundary(const Ctx& ctx) {
+    NodeId here = static_cast<NodeId>(b_.NumNodes());
+    if (!boundaries_.empty() && boundaries_.back().first == here) {
+      boundaries_.back().second = ctx;
+    } else {
+      boundaries_.emplace_back(here, ctx);
+    }
+  }
+
+  Status File(const char* tag, const Ctx& ctx, double private_prob) {
+    if (rng_.Bernoulli(private_prob)) {
+      Ctx priv = ctx;
+      priv.perm = kPrivate;
+      PushCtx(priv);
+      b_.BeginElement(tag);
+      SECXML_RETURN_NOT_OK(b_.EndElement());
+      PopCtx();
+      return Status::OK();
+    }
+    b_.BeginElement(tag);
+    return b_.EndElement();
+  }
+
+  /// Directory subtree of ~`budget` nodes in context `ctx`.
+  Status DirTree(int budget, int depth, const Ctx& ctx, double private_prob) {
+    while (budget > 0) {
+      if (depth < 12 && budget > 6 && rng_.Bernoulli(0.35)) {
+        b_.BeginElement("dir");
+        int take = 3 + static_cast<int>(rng_.Uniform(
+                           static_cast<uint64_t>(budget / 2 + 1)));
+        take = std::min(take, budget);
+        SECXML_RETURN_NOT_OK(DirTree(take - 1, depth + 1, ctx, private_prob));
+        SECXML_RETURN_NOT_OK(b_.EndElement());
+        budget -= take;
+      } else {
+        SECXML_RETURN_NOT_OK(File("file", ctx, private_prob));
+        --budget;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Section(const char* tag, int budget, const Ctx& ctx,
+                 double private_prob) {
+    PushCtx(ctx);
+    b_.BeginElement(tag);
+    SECXML_RETURN_NOT_OK(DirTree(budget, 2, ctx, private_prob));
+    SECXML_RETURN_NOT_OK(b_.EndElement());
+    PopCtx();
+    return Status::OK();
+  }
+
+  Status BuildTree() {
+    const uint32_t target = std::max(options_.target_nodes, 1000u);
+    Ctx system{kRoot, 0, kPublic};
+    // The root context covers everything not in an explicit section.
+    boundaries_.emplace_back(0, system);
+    ctx_stack_.push_back(system);
+    b_.BeginElement("fs");
+
+    // System areas (~25%): root-owned, world-readable, a few protected.
+    SECXML_RETURN_NOT_OK(
+        Section("etc", static_cast<int>(target * 0.02), system, 0.10));
+    SECXML_RETURN_NOT_OK(
+        Section("usr", static_cast<int>(target * 0.18), system, 0.0));
+    Ctx var{kRoot, 0, kGroupOnly};
+    SECXML_RETURN_NOT_OK(
+        Section("var", static_cast<int>(target * 0.05), var, 0.15));
+
+    // Home directories (~55%): one subtree per user, Zipf-ish sizes.
+    {
+      b_.BeginElement("home");
+      int home_budget = static_cast<int>(target * 0.55);
+      int per_user = std::max(3, home_budget / static_cast<int>(U()));
+      for (uint32_t u = 0; u < U(); ++u) {
+        Ctx ctx{u, primary_group_[u],
+                rng_.Bernoulli(0.35) ? kPrivate
+                                     : (rng_.Bernoulli(0.5) ? kGroupOnly
+                                                            : kPublic)};
+        int size = 1 + static_cast<int>(rng_.Uniform(
+                           static_cast<uint64_t>(per_user * 2 - 1)));
+        PushCtx(ctx);
+        b_.BeginElement("userdir");
+        SECXML_RETURN_NOT_OK(DirTree(size, 2, ctx, 0.10));
+        SECXML_RETURN_NOT_OK(b_.EndElement());
+        PopCtx();
+      }
+      SECXML_RETURN_NOT_OK(b_.EndElement());
+    }
+
+    // Project areas (~20%): group-owned collaborative trees.
+    {
+      b_.BeginElement("proj");
+      int proj_budget = static_cast<int>(target * 0.20);
+      while (proj_budget > 10) {
+        uint32_t g = rng_.Uniform(G());
+        uint32_t lead = rng_.Uniform(U());
+        Ctx ctx{lead, g, rng_.Bernoulli(0.8) ? kGroupOnly : kPublic};
+        int size = 10 + static_cast<int>(rng_.Uniform(
+                            static_cast<uint64_t>(proj_budget / 2 + 1)));
+        size = std::min(size, proj_budget);
+        PushCtx(ctx);
+        b_.BeginElement("projdir");
+        SECXML_RETURN_NOT_OK(DirTree(size - 1, 2, ctx, 0.05));
+        SECXML_RETURN_NOT_OK(b_.EndElement());
+        PopCtx();
+        proj_budget -= size;
+      }
+      SECXML_RETURN_NOT_OK(b_.EndElement());
+    }
+
+    SECXML_RETURN_NOT_OK(b_.EndElement());  // fs
+    return b_.Finish(&out_->doc);
+  }
+
+  /// Distinct ownership context -> subject ACL.
+  BitVector AclFor(const Ctx& ctx) {
+    size_t s = U() + G();
+    BitVector acl(s);
+    if (ctx.perm.other_r) {
+      // Everyone, including every group subject.
+      for (size_t i = 0; i < s; ++i) acl.Set(i, true);
+      return acl;
+    }
+    if (ctx.perm.group_r) {
+      const BitVector& m = members_[ctx.group];
+      for (uint32_t u = 0; u < U(); ++u) {
+        if (m.Get(u)) acl.Set(u, true);
+      }
+      acl.Set(U() + ctx.group, true);
+    }
+    if (ctx.perm.owner_r && ctx.owner != kRoot) acl.Set(ctx.owner, true);
+    return acl;
+  }
+
+  void BuildMap() {
+    out_->num_users = U();
+    out_->num_groups = G();
+    out_->read_map = std::make_unique<RunAccessMap>(
+        static_cast<NodeId>(out_->doc.NumNodes()), U() + G());
+    std::unordered_map<uint64_t, BitVector> cache;
+    const BitVector* prev = nullptr;
+    for (const auto& [start, ctx] : boundaries_) {
+      if (start >= out_->doc.NumNodes()) break;
+      auto it = cache.find(ctx.Key());
+      if (it == cache.end()) {
+        it = cache.emplace(ctx.Key(), AclFor(ctx)).first;
+      }
+      if (prev != nullptr && *prev == it->second) continue;
+      out_->read_map->AppendRun(start, it->second);
+      prev = &it->second;
+    }
+  }
+
+  const UnixFsOptions& options_;
+  Rng rng_;
+  UnixFsWorkload* out_;
+  DocumentBuilder b_;
+  std::vector<BitVector> members_;
+  std::vector<uint32_t> primary_group_;
+  std::vector<Ctx> ctx_stack_;
+  std::vector<std::pair<NodeId, Ctx>> boundaries_;
+};
+
+}  // namespace
+
+Status GenerateUnixFs(const UnixFsOptions& options, UnixFsWorkload* out) {
+  Generator gen(options, out);
+  return gen.Run();
+}
+
+}  // namespace secxml

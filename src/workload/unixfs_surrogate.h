@@ -1,0 +1,45 @@
+#ifndef SECXML_WORKLOAD_UNIXFS_SURROGATE_H_
+#define SECXML_WORKLOAD_UNIXFS_SURROGATE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/accessibility_map.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Surrogate for the multi-user University of Waterloo Unix filesystem
+/// dataset of paper Section 5: 182 users, 65 groups (247 subjects), and
+/// 1.3 million files/directories with standard Unix ownership and
+/// permission semantics. The defaults reproduce the published subject
+/// counts; the node count is a scale parameter (benchmarks raise it).
+struct UnixFsOptions {
+  uint32_t target_nodes = 200000;
+  uint32_t num_users = 182;
+  uint32_t num_groups = 65;
+  uint64_t seed = 11;
+};
+
+/// The generated workload. Subject ids: users first [0, num_users), then
+/// groups [num_users, num_users + num_groups).
+struct UnixFsWorkload {
+  Document doc;
+  /// Read-mode accessibility. A user reads a node if the other-read bit is
+  /// set, or they own it with owner-read, or they belong to its group with
+  /// group-read; a group subject reads what its membership confers.
+  /// Ownership is assigned at subtree granularity (home directories,
+  /// project trees, system areas) with per-file perturbations, so the map
+  /// is a run-length structure with strong locality.
+  std::unique_ptr<RunAccessMap> read_map;
+  size_t num_users = 0;
+  size_t num_groups = 0;
+  size_t num_subjects() const { return num_users + num_groups; }
+};
+
+Status GenerateUnixFs(const UnixFsOptions& options, UnixFsWorkload* out);
+
+}  // namespace secxml
+
+#endif  // SECXML_WORKLOAD_UNIXFS_SURROGATE_H_

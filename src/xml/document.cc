@@ -1,0 +1,73 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+uint16_t Document::MaxDepth() const {
+  uint16_t m = 0;
+  for (uint16_t d : depths_) m = std::max(m, d);
+  return m;
+}
+
+double Document::AvgDepth() const {
+  if (depths_.empty()) return 0.0;
+  double sum = 0;
+  for (uint16_t d : depths_) sum += d;
+  return sum / static_cast<double>(depths_.size());
+}
+
+NodeId DocumentBuilder::BeginElement(std::string_view tag) {
+  NodeId id = static_cast<NodeId>(doc_->tags_.size());
+  doc_->tags_.push_back(doc_->tags2_.Intern(tag));
+  doc_->sizes_.push_back(1);
+  doc_->parents_.push_back(stack_.empty() ? kInvalidNode : stack_.back());
+  doc_->depths_.push_back(static_cast<uint16_t>(stack_.size()));
+  doc_->values_.push_back(Document::kNoValue);
+  stack_.push_back(id);
+  pending_text_.emplace_back();
+  return id;
+}
+
+Status DocumentBuilder::Text(std::string_view data) {
+  if (stack_.empty()) {
+    return Status::InvalidArgument("Text() outside of any open element");
+  }
+  pending_text_.back().append(data);
+  return Status::OK();
+}
+
+Status DocumentBuilder::EndElement() {
+  if (stack_.empty()) {
+    return Status::InvalidArgument("EndElement() with no open element");
+  }
+  NodeId id = stack_.back();
+  stack_.pop_back();
+  std::string text = std::move(pending_text_.back());
+  pending_text_.pop_back();
+  if (!text.empty()) {
+    doc_->values_[id] = static_cast<uint32_t>(doc_->text_pool_.size());
+    doc_->text_pool_.push_back(std::move(text));
+  }
+  doc_->sizes_[id] = static_cast<NodeId>(doc_->tags_.size()) - id;
+  return Status::OK();
+}
+
+Status DocumentBuilder::Finish(Document* out) {
+  if (!stack_.empty()) {
+    return Status::InvalidArgument("Finish() with unclosed elements");
+  }
+  if (doc_->tags_.empty()) {
+    return Status::InvalidArgument("Finish() on an empty document");
+  }
+  // A well-formed document has exactly one root covering everything.
+  if (doc_->sizes_[0] != doc_->tags_.size()) {
+    return Status::InvalidArgument(
+        "document has multiple top-level elements");
+  }
+  *out = std::move(*doc_);
+  doc_.reset(new Document());
+  return Status::OK();
+}
+
+}  // namespace secxml

@@ -1,0 +1,141 @@
+#ifndef SECXML_XML_DOCUMENT_H_
+#define SECXML_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tag_dictionary.h"
+
+namespace secxml {
+
+/// Identifier of a document node: its preorder (document-order) rank,
+/// starting at 0 for the root. Document order is the basis of both the NoK
+/// physical layout and the DOL access-control labeling.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// In-memory XML document modeled as an ordered tree of elements, stored as
+/// a flat array in document order. Each node carries:
+///   - tag id,
+///   - subtree size (number of nodes in the subtree rooted here, self
+///     included) — an equivalent encoding of the NoK parenthesis string that
+///     allows O(1) next-sibling jumps,
+///   - parent id,
+///   - depth (root = 0),
+///   - optional text value (concatenated character data of the element).
+///
+/// The flat preorder layout is deliberately identical in shape to the NoK
+/// on-disk encoding so that NokStore construction is a single linear pass.
+class Document {
+ public:
+  Document() = default;
+
+  // Movable but not copyable: documents can be hundreds of MBs.
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  size_t NumNodes() const { return tags_.size(); }
+  bool empty() const { return tags_.empty(); }
+
+  TagId Tag(NodeId n) const { return tags_[n]; }
+  const std::string& TagName(NodeId n) const { return tags2_.Name(tags_[n]); }
+  uint32_t SubtreeSize(NodeId n) const { return sizes_[n]; }
+  NodeId Parent(NodeId n) const { return parents_[n]; }
+  uint16_t Depth(NodeId n) const { return depths_[n]; }
+
+  /// Text value of the element, or empty if none.
+  std::string_view Value(NodeId n) const {
+    uint32_t v = values_[n];
+    return v == kNoValue ? std::string_view() : std::string_view(text_pool_[v]);
+  }
+  bool HasValue(NodeId n) const { return values_[n] != kNoValue; }
+
+  /// First child in document order, or kInvalidNode if `n` is a leaf.
+  NodeId FirstChild(NodeId n) const {
+    return sizes_[n] > 1 ? n + 1 : kInvalidNode;
+  }
+
+  /// Next sibling in document order, or kInvalidNode if none.
+  NodeId NextSibling(NodeId n) const {
+    NodeId p = parents_[n];
+    if (p == kInvalidNode) return kInvalidNode;
+    NodeId cand = n + sizes_[n];
+    return cand < p + sizes_[p] ? cand : kInvalidNode;
+  }
+
+  /// One past the last node of n's subtree: [n, SubtreeEnd(n)) is exactly
+  /// the preorder interval of the subtree.
+  NodeId SubtreeEnd(NodeId n) const { return n + sizes_[n]; }
+
+  /// True if `anc` is a proper ancestor of `desc`.
+  bool IsAncestor(NodeId anc, NodeId desc) const {
+    return anc < desc && desc < SubtreeEnd(anc);
+  }
+
+  const TagDictionary& tags() const { return tags2_; }
+  TagDictionary* mutable_tags() { return &tags2_; }
+
+  /// Maximum depth over all nodes (root = 0); 0 for an empty document.
+  uint16_t MaxDepth() const;
+  /// Mean depth over all nodes.
+  double AvgDepth() const;
+
+ private:
+  friend class DocumentBuilder;
+
+  static constexpr uint32_t kNoValue = 0xffffffffu;
+
+  TagDictionary tags2_;
+  std::vector<TagId> tags_;
+  std::vector<uint32_t> sizes_;
+  std::vector<NodeId> parents_;
+  std::vector<uint16_t> depths_;
+  std::vector<uint32_t> values_;       // index into text_pool_, or kNoValue
+  std::vector<std::string> text_pool_;
+};
+
+/// Incremental document construction in document order, SAX-style:
+///   BeginElement(tag) ... Text(...) ... EndElement()
+/// This mirrors how DOL is constructed in a single pass over a labeled
+/// document stream (Section 2 of the paper).
+class DocumentBuilder {
+ public:
+  DocumentBuilder() : doc_(new Document()) {}
+
+  /// Opens a new element as the child of the currently open element (or as
+  /// the root if none is open). Returns the new node's id.
+  NodeId BeginElement(std::string_view tag);
+
+  /// Appends character data to the currently open element.
+  Status Text(std::string_view data);
+
+  /// Closes the most recently opened element.
+  Status EndElement();
+
+  /// Finalizes and returns the document. Fails if elements remain open or
+  /// the document is empty.
+  Status Finish(Document* out);
+
+  /// Number of nodes emitted so far.
+  size_t NumNodes() const { return doc_->tags_.size(); }
+
+  /// Depth of the currently open element stack.
+  size_t OpenDepth() const { return stack_.size(); }
+
+ private:
+  std::unique_ptr<Document> doc_;
+  std::vector<NodeId> stack_;
+  std::vector<std::string> pending_text_;  // parallel to stack_
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_XML_DOCUMENT_H_

@@ -1,0 +1,40 @@
+#ifndef SECXML_XML_SAX_H_
+#define SECXML_XML_SAX_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace secxml {
+
+/// Streaming (SAX-style) XML content handler. ParseXmlStream drives one of
+/// these; DocumentBuilder-backed parsing and the one-pass secure stream
+/// filter are both implemented on top of it.
+///
+/// Attribute handling: the parser surfaces attributes as child elements
+/// whose name is "@" + the attribute name, delivered as
+/// StartElement("@x") / Characters(value) / EndElement("@x") immediately
+/// after their owner's StartElement — matching the tree model in which
+/// every addressable item is a node.
+class XmlContentHandler {
+ public:
+  virtual ~XmlContentHandler() = default;
+
+  /// A new element opens. `name` is valid only for the duration of the call.
+  virtual Status StartElement(std::string_view name) = 0;
+
+  /// Character data inside the current element (entity references already
+  /// decoded). May be called multiple times per element.
+  virtual Status Characters(std::string_view text) = 0;
+
+  /// The current element closes.
+  virtual Status EndElement(std::string_view name) = 0;
+};
+
+/// Parses XML text, delivering events to `handler` in document order.
+/// Grammar support matches ParseXml (xml_parser.h).
+Status ParseXmlStream(std::string_view input, XmlContentHandler* handler);
+
+}  // namespace secxml
+
+#endif  // SECXML_XML_SAX_H_

@@ -1,0 +1,54 @@
+#ifndef SECXML_XML_TAG_DICTIONARY_H_
+#define SECXML_XML_TAG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace secxml {
+
+/// Identifier of an element tag name. Tag ids are dense, starting at 0, in
+/// order of first appearance.
+using TagId = uint32_t;
+
+/// Sentinel for "no tag".
+inline constexpr TagId kInvalidTag = 0xffffffffu;
+
+/// Bidirectional mapping between element tag names and dense integer ids.
+/// NoK structural records store tag ids, not strings, so pages stay compact;
+/// real XML vocabularies are tiny (XMark has 77 distinct tags).
+class TagDictionary {
+ public:
+  TagDictionary() = default;
+
+  /// Returns the id for `name`, interning it if previously unseen.
+  TagId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    TagId id = static_cast<TagId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or kInvalidTag if never interned.
+  TagId Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidTag : it->second;
+  }
+
+  /// Returns the name for a valid id.
+  const std::string& Name(TagId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_XML_TAG_DICTIONARY_H_

@@ -1,0 +1,308 @@
+#include "xml/xmark_generator.h"
+
+#include <array>
+#include <string>
+
+#include "common/rng.h"
+
+namespace secxml {
+
+namespace {
+
+// Word pool for text values, drawn (like XMark's) from Shakespeare-flavoured
+// vocabulary. Values only need to be plausible strings; queries in the
+// reproduced experiments are structural.
+constexpr std::array<const char*, 24> kWords = {
+    "great",   "sorrow",  "golden", "honest",  "virtue", "daggers",
+    "gentle",  "villain", "crown",  "tempest", "summer", "winter",
+    "fortune", "noble",   "merry",  "forest",  "sword",  "castle",
+    "shadow",  "promise", "silver", "garden",  "storm",  "harvest"};
+
+constexpr std::array<const char*, 6> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+// Share of items per region, roughly following XMark's fixed proportions.
+constexpr std::array<double, 6> kRegionShare = {0.025, 0.10, 0.10,
+                                                0.30,  0.40, 0.075};
+
+class Generator {
+ public:
+  Generator(const XMarkOptions& options, DocumentBuilder* b)
+      : options_(options), rng_(options.seed), b_(b) {}
+
+  Status Run() {
+    b_->BeginElement("site");
+    SECXML_RETURN_NOT_OK(Regions());
+    SECXML_RETURN_NOT_OK(Categories());
+    SECXML_RETURN_NOT_OK(People());
+    SECXML_RETURN_NOT_OK(OpenAuctions());
+    SECXML_RETURN_NOT_OK(ClosedAuctions());
+    return b_->EndElement();
+  }
+
+ private:
+  // Node-count budget thresholds per section, as fractions of the target.
+  // Roughly mirrors XMark's document composition.
+  static constexpr double kRegionsBudget = 0.40;
+  static constexpr double kCategoriesBudget = 0.48;
+  static constexpr double kPeopleBudget = 0.68;
+  static constexpr double kOpenBudget = 0.88;
+
+  bool Before(double fraction) const {
+    return b_->NumNodes() <
+           static_cast<size_t>(fraction * options_.target_nodes);
+  }
+
+  std::string Words(int min_count, int max_count) {
+    int n = static_cast<int>(rng_.UniformInt(min_count, max_count));
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out.push_back(' ');
+      out += kWords[rng_.Uniform(kWords.size())];
+    }
+    return out;
+  }
+
+  Status Leaf(const char* tag, std::string value) {
+    b_->BeginElement(tag);
+    SECXML_RETURN_NOT_OK(b_->Text(value));
+    return b_->EndElement();
+  }
+
+  /// <text> with inline markup children: bold / keyword / emph.
+  Status TextElement() {
+    b_->BeginElement("text");
+    SECXML_RETURN_NOT_OK(b_->Text(Words(2, 8)));
+    int inlines = static_cast<int>(rng_.UniformInt(0, 3));
+    for (int i = 0; i < inlines; ++i) {
+      switch (rng_.Uniform(3)) {
+        case 0:
+          SECXML_RETURN_NOT_OK(Leaf("bold", Words(1, 2)));
+          break;
+        case 1:
+          SECXML_RETURN_NOT_OK(Leaf("keyword", Words(1, 2)));
+          break;
+        default:
+          SECXML_RETURN_NOT_OK(Leaf("emph", Words(1, 2)));
+          break;
+      }
+    }
+    return b_->EndElement();
+  }
+
+  Status Parlist(int depth) {
+    b_->BeginElement("parlist");
+    int items = static_cast<int>(rng_.UniformInt(2, 4));
+    for (int i = 0; i < items; ++i) {
+      b_->BeginElement("listitem");
+      if (depth < options_.max_parlist_depth && rng_.Bernoulli(0.35)) {
+        SECXML_RETURN_NOT_OK(Parlist(depth + 1));
+      } else {
+        SECXML_RETURN_NOT_OK(TextElement());
+      }
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+    }
+    return b_->EndElement();
+  }
+
+  Status Description() {
+    b_->BeginElement("description");
+    if (rng_.Bernoulli(0.3)) {
+      SECXML_RETURN_NOT_OK(Parlist(1));
+    } else {
+      SECXML_RETURN_NOT_OK(TextElement());
+    }
+    return b_->EndElement();
+  }
+
+  Status Item(int region_index) {
+    b_->BeginElement("item");
+    // XMark elements carry id attributes; in this tree model attributes are
+    // "@"-prefixed leaf children, exactly as the XML parser materializes
+    // them.
+    SECXML_RETURN_NOT_OK(Leaf("@id", "item" + std::to_string(item_id_++)));
+    SECXML_RETURN_NOT_OK(Leaf("location", kRegions[region_index]));
+    SECXML_RETURN_NOT_OK(
+        Leaf("quantity", std::to_string(rng_.UniformInt(1, 10))));
+    SECXML_RETURN_NOT_OK(Leaf("name", Words(1, 3)));
+    SECXML_RETURN_NOT_OK(Leaf("payment", "Creditcard"));
+    SECXML_RETURN_NOT_OK(Description());
+    if (rng_.Bernoulli(0.6)) {
+      b_->BeginElement("shipping");
+      SECXML_RETURN_NOT_OK(b_->Text("Will ship internationally"));
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+    }
+    int cats = static_cast<int>(rng_.UniformInt(1, 3));
+    for (int i = 0; i < cats; ++i) {
+      SECXML_RETURN_NOT_OK(
+          Leaf("incategory", "category" + std::to_string(rng_.Uniform(100))));
+    }
+    b_->BeginElement("mailbox");
+    int mails = static_cast<int>(rng_.UniformInt(0, 2));
+    for (int i = 0; i < mails; ++i) {
+      b_->BeginElement("mail");
+      SECXML_RETURN_NOT_OK(Leaf("from", Words(1, 2)));
+      SECXML_RETURN_NOT_OK(Leaf("to", Words(1, 2)));
+      SECXML_RETURN_NOT_OK(Leaf("date", "07/05/2004"));
+      SECXML_RETURN_NOT_OK(TextElement());
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+    }
+    SECXML_RETURN_NOT_OK(b_->EndElement());  // mailbox
+    return b_->EndElement();                 // item
+  }
+
+  Status Regions() {
+    b_->BeginElement("regions");
+    for (size_t r = 0; r < kRegions.size(); ++r) {
+      b_->BeginElement(kRegions[r]);
+      // Budget for this region: its share of the regions section.
+      double section_end = kRegionsBudget * CumulativeShare(r + 1);
+      while (Before(section_end)) {
+        SECXML_RETURN_NOT_OK(Item(static_cast<int>(r)));
+      }
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+    }
+    return b_->EndElement();
+  }
+
+  static double CumulativeShare(size_t upto) {
+    double s = 0;
+    for (size_t i = 0; i < upto; ++i) s += kRegionShare[i];
+    return s;
+  }
+
+  Status Categories() {
+    b_->BeginElement("categories");
+    while (Before(kCategoriesBudget)) {
+      b_->BeginElement("category");
+      SECXML_RETURN_NOT_OK(
+          Leaf("@id", "category" + std::to_string(category_id_++)));
+      SECXML_RETURN_NOT_OK(Leaf("name", Words(1, 2)));
+      SECXML_RETURN_NOT_OK(Description());
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+    }
+    return b_->EndElement();
+  }
+
+  Status People() {
+    b_->BeginElement("people");
+    int id = 0;
+    while (Before(kPeopleBudget)) {
+      b_->BeginElement("person");
+      SECXML_RETURN_NOT_OK(Leaf("@id", "person" + std::to_string(id)));
+      SECXML_RETURN_NOT_OK(Leaf("name", Words(2, 2)));
+      SECXML_RETURN_NOT_OK(
+          Leaf("emailaddress", "mailto:person" + std::to_string(id) + "@x"));
+      if (rng_.Bernoulli(0.5)) {
+        SECXML_RETURN_NOT_OK(Leaf("phone", "+1 555 " + std::to_string(id)));
+      }
+      if (rng_.Bernoulli(0.4)) {
+        b_->BeginElement("address");
+        SECXML_RETURN_NOT_OK(Leaf("street", Words(2, 3)));
+        SECXML_RETURN_NOT_OK(Leaf("city", Words(1, 1)));
+        SECXML_RETURN_NOT_OK(Leaf("country", "United States"));
+        SECXML_RETURN_NOT_OK(Leaf("zipcode", std::to_string(10000 + id)));
+        SECXML_RETURN_NOT_OK(b_->EndElement());
+      }
+      b_->BeginElement("profile");
+      int interests = static_cast<int>(rng_.UniformInt(0, 3));
+      for (int i = 0; i < interests; ++i) {
+        SECXML_RETURN_NOT_OK(
+            Leaf("interest", "category" + std::to_string(rng_.Uniform(100))));
+      }
+      SECXML_RETURN_NOT_OK(Leaf("business", rng_.Bernoulli(0.5) ? "Yes" : "No"));
+      if (rng_.Bernoulli(0.6)) {
+        SECXML_RETURN_NOT_OK(
+            Leaf("age", std::to_string(rng_.UniformInt(18, 80))));
+      }
+      SECXML_RETURN_NOT_OK(b_->EndElement());  // profile
+      SECXML_RETURN_NOT_OK(b_->EndElement());  // person
+      ++id;
+    }
+    return b_->EndElement();
+  }
+
+  Status OpenAuctions() {
+    b_->BeginElement("open_auctions");
+    while (Before(kOpenBudget)) {
+      b_->BeginElement("open_auction");
+      SECXML_RETURN_NOT_OK(
+          Leaf("@id", "open_auction" + std::to_string(auction_id_++)));
+      SECXML_RETURN_NOT_OK(
+          Leaf("initial", std::to_string(rng_.UniformInt(1, 200))));
+      int bidders = static_cast<int>(rng_.UniformInt(0, 4));
+      for (int i = 0; i < bidders; ++i) {
+        b_->BeginElement("bidder");
+        SECXML_RETURN_NOT_OK(Leaf("date", "07/05/2004"));
+        SECXML_RETURN_NOT_OK(Leaf("time", "12:00:00"));
+        SECXML_RETURN_NOT_OK(
+            Leaf("increase", std::to_string(rng_.UniformInt(1, 20))));
+        SECXML_RETURN_NOT_OK(b_->EndElement());
+      }
+      SECXML_RETURN_NOT_OK(
+          Leaf("current", std::to_string(rng_.UniformInt(1, 400))));
+      SECXML_RETURN_NOT_OK(
+          Leaf("itemref", "item" + std::to_string(rng_.Uniform(10000))));
+      SECXML_RETURN_NOT_OK(
+          Leaf("seller", "person" + std::to_string(rng_.Uniform(10000))));
+      b_->BeginElement("annotation");
+      SECXML_RETURN_NOT_OK(Leaf("author", Words(2, 2)));
+      SECXML_RETURN_NOT_OK(Description());
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+      SECXML_RETURN_NOT_OK(
+          Leaf("quantity", std::to_string(rng_.UniformInt(1, 10))));
+      SECXML_RETURN_NOT_OK(Leaf("type", "Regular"));
+      b_->BeginElement("interval");
+      SECXML_RETURN_NOT_OK(Leaf("start", "01/01/2004"));
+      SECXML_RETURN_NOT_OK(Leaf("end", "12/31/2004"));
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+      SECXML_RETURN_NOT_OK(b_->EndElement());  // open_auction
+    }
+    return b_->EndElement();
+  }
+
+  Status ClosedAuctions() {
+    b_->BeginElement("closed_auctions");
+    while (Before(1.0)) {
+      b_->BeginElement("closed_auction");
+      SECXML_RETURN_NOT_OK(
+          Leaf("seller", "person" + std::to_string(rng_.Uniform(10000))));
+      SECXML_RETURN_NOT_OK(
+          Leaf("buyer", "person" + std::to_string(rng_.Uniform(10000))));
+      SECXML_RETURN_NOT_OK(
+          Leaf("itemref", "item" + std::to_string(rng_.Uniform(10000))));
+      SECXML_RETURN_NOT_OK(
+          Leaf("price", std::to_string(rng_.UniformInt(1, 500))));
+      SECXML_RETURN_NOT_OK(Leaf("date", "07/05/2004"));
+      SECXML_RETURN_NOT_OK(
+          Leaf("quantity", std::to_string(rng_.UniformInt(1, 10))));
+      SECXML_RETURN_NOT_OK(Leaf("type", "Regular"));
+      b_->BeginElement("annotation");
+      SECXML_RETURN_NOT_OK(Description());
+      SECXML_RETURN_NOT_OK(b_->EndElement());
+      SECXML_RETURN_NOT_OK(b_->EndElement());  // closed_auction
+    }
+    return b_->EndElement();
+  }
+
+  const XMarkOptions& options_;
+  Rng rng_;
+  DocumentBuilder* b_;
+  int item_id_ = 0;
+  int category_id_ = 0;
+  int auction_id_ = 0;
+};
+
+}  // namespace
+
+Status GenerateXMark(const XMarkOptions& options, Document* out) {
+  if (options.target_nodes == 0) {
+    return Status::InvalidArgument("target_nodes must be > 0");
+  }
+  DocumentBuilder builder;
+  Generator gen(options, &builder);
+  SECXML_RETURN_NOT_OK(gen.Run());
+  return builder.Finish(out);
+}
+
+}  // namespace secxml

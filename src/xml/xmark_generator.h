@@ -1,0 +1,39 @@
+#ifndef SECXML_XML_XMARK_GENERATOR_H_
+#define SECXML_XML_XMARK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Options for the synthetic XMark-like document generator.
+///
+/// The paper's evaluation (Section 5) uses documents produced by the XMark
+/// benchmark's xmlgen tool, which is not redistributable here. This generator
+/// reproduces the XMark element vocabulary and tree shape — auction site with
+/// regional items, categories, people, open/closed auctions, and recursively
+/// nested parlist/listitem description markup — which is all that DOL, NoK,
+/// and the Table 1 queries (Q1–Q6) depend on. Generation is deterministic in
+/// the seed.
+struct XMarkOptions {
+  /// PRNG seed; identical seeds produce identical documents.
+  uint64_t seed = 42;
+
+  /// Approximate number of element nodes to generate. The result is within
+  /// a few percent of this (generation stops at natural subtree boundaries).
+  uint32_t target_nodes = 100000;
+
+  /// Maximum recursion depth of nested <parlist> markup. XMark produces
+  /// parlists nested up to ~5 deep; Q4 (//parlist//parlist) requires >= 2.
+  int max_parlist_depth = 4;
+};
+
+/// Generates an XMark-like document. Returns InvalidArgument for a zero
+/// target size.
+Status GenerateXMark(const XMarkOptions& options, Document* out);
+
+}  // namespace secxml
+
+#endif  // SECXML_XML_XMARK_GENERATOR_H_

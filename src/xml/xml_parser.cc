@@ -1,0 +1,317 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "xml/sax.h"
+
+namespace secxml {
+
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool StartsWith(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  /// Advances past `s` if the input starts with it; returns whether it did.
+  bool Consume(std::string_view s) {
+    if (!StartsWith(s)) return false;
+    AdvanceBy(s.size());
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  size_t pos() const { return pos_; }
+  size_t line() const { return line_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return input_.substr(from, to - from);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+Status ErrorAt(const Cursor& c, const std::string& what) {
+  return Status::Corruption("XML parse error at line " +
+                            std::to_string(c.line()) + ": " + what);
+}
+
+/// Decodes an entity reference starting at '&'. Appends the decoded text.
+Status DecodeEntity(Cursor* c, std::string* out) {
+  // Cursor points at '&'.
+  c->Advance();
+  size_t start = c->pos();
+  while (!c->AtEnd() && c->Peek() != ';') {
+    if (c->pos() - start > 10) return ErrorAt(*c, "unterminated entity");
+    c->Advance();
+  }
+  if (c->AtEnd()) return ErrorAt(*c, "unterminated entity");
+  std::string_view name = c->Slice(start, c->pos());
+  c->Advance();  // past ';'
+  if (name == "lt") {
+    out->push_back('<');
+  } else if (name == "gt") {
+    out->push_back('>');
+  } else if (name == "amp") {
+    out->push_back('&');
+  } else if (name == "quot") {
+    out->push_back('"');
+  } else if (name == "apos") {
+    out->push_back('\'');
+  } else if (!name.empty() && name[0] == '#') {
+    // Numeric character reference; emit as UTF-8 for code points < 128,
+    // else substitute '?': values beyond ASCII are irrelevant to the
+    // reproduced experiments.
+    long code = 0;
+    if (name.size() > 1 && (name[1] == 'x' || name[1] == 'X')) {
+      code = std::strtol(std::string(name.substr(2)).c_str(), nullptr, 16);
+    } else {
+      code = std::strtol(std::string(name.substr(1)).c_str(), nullptr, 10);
+    }
+    out->push_back(code > 0 && code < 128 ? static_cast<char>(code) : '?');
+  } else {
+    return ErrorAt(*c, "unknown entity &" + std::string(name) + ";");
+  }
+  return Status::OK();
+}
+
+/// Parses a Name token.
+Status ParseName(Cursor* c, std::string* out) {
+  if (c->AtEnd() || !IsNameStartChar(c->Peek())) {
+    return ErrorAt(*c, "expected name");
+  }
+  size_t start = c->pos();
+  while (!c->AtEnd() && IsNameChar(c->Peek())) c->Advance();
+  *out = std::string(c->Slice(start, c->pos()));
+  return Status::OK();
+}
+
+/// Parses a quoted attribute value with entity decoding.
+Status ParseAttrValue(Cursor* c, std::string* out) {
+  if (c->AtEnd() || (c->Peek() != '"' && c->Peek() != '\'')) {
+    return ErrorAt(*c, "expected quoted attribute value");
+  }
+  char quote = c->Peek();
+  c->Advance();
+  out->clear();
+  while (!c->AtEnd() && c->Peek() != quote) {
+    if (c->Peek() == '&') {
+      SECXML_RETURN_NOT_OK(DecodeEntity(c, out));
+    } else {
+      out->push_back(c->Peek());
+      c->Advance();
+    }
+  }
+  if (c->AtEnd()) return ErrorAt(*c, "unterminated attribute value");
+  c->Advance();  // past closing quote
+  return Status::OK();
+}
+
+/// Skips <!-- ... -->, <? ... ?>, and bare <!DOCTYPE name ...> markup.
+Status SkipMisc(Cursor* c) {
+  if (c->Consume("<!--")) {
+    while (!c->AtEnd() && !c->StartsWith("-->")) c->Advance();
+    if (!c->Consume("-->")) return ErrorAt(*c, "unterminated comment");
+    return Status::OK();
+  }
+  if (c->Consume("<?")) {
+    while (!c->AtEnd() && !c->StartsWith("?>")) c->Advance();
+    if (!c->Consume("?>")) {
+      return ErrorAt(*c, "unterminated processing instruction");
+    }
+    return Status::OK();
+  }
+  if (c->Consume("<!DOCTYPE")) {
+    // Skip to matching '>' (no internal subset support).
+    int depth = 1;
+    while (!c->AtEnd() && depth > 0) {
+      if (c->Peek() == '<') ++depth;
+      if (c->Peek() == '>') --depth;
+      c->Advance();
+    }
+    if (depth != 0) return ErrorAt(*c, "unterminated DOCTYPE");
+    return Status::OK();
+  }
+  return ErrorAt(*c, "unexpected markup");
+}
+
+}  // namespace
+
+Status ParseXmlStream(std::string_view input, XmlContentHandler* handler) {
+  Cursor c(input);
+  std::vector<std::string> open_tags;
+  int open_elements = 0;
+  bool seen_root = false;
+
+  while (!c.AtEnd()) {
+    if (c.Peek() == '<') {
+      if (c.PeekAt(1) == '/') {
+        // End tag.
+        c.AdvanceBy(2);
+        std::string name;
+        SECXML_RETURN_NOT_OK(ParseName(&c, &name));
+        c.SkipWhitespace();
+        if (!c.Consume(">")) return ErrorAt(c, "expected '>' in end tag");
+        if (open_tags.empty() || open_tags.back() != name) {
+          return ErrorAt(c, "mismatched end tag </" + name + ">");
+        }
+        open_tags.pop_back();
+        SECXML_RETURN_NOT_OK(handler->EndElement(name));
+        --open_elements;
+      } else if (c.PeekAt(1) == '!' || c.PeekAt(1) == '?') {
+        if (c.StartsWith("<![CDATA[")) {
+          c.AdvanceBy(9);
+          size_t start = c.pos();
+          while (!c.AtEnd() && !c.StartsWith("]]>")) c.Advance();
+          if (c.AtEnd()) return ErrorAt(c, "unterminated CDATA");
+          if (open_elements == 0) {
+            return ErrorAt(c, "character data outside root element");
+          }
+          SECXML_RETURN_NOT_OK(handler->Characters(c.Slice(start, c.pos())));
+          c.AdvanceBy(3);
+        } else {
+          SECXML_RETURN_NOT_OK(SkipMisc(&c));
+        }
+      } else {
+        // Start tag.
+        if (seen_root && open_elements == 0) {
+          return ErrorAt(c, "multiple root elements");
+        }
+        c.Advance();  // past '<'
+        std::string name;
+        SECXML_RETURN_NOT_OK(ParseName(&c, &name));
+        SECXML_RETURN_NOT_OK(handler->StartElement(name));
+        open_tags.push_back(name);
+        seen_root = true;
+        ++open_elements;
+        // Attributes.
+        bool self_closing = false;
+        while (true) {
+          c.SkipWhitespace();
+          if (c.AtEnd()) return ErrorAt(c, "unterminated start tag");
+          if (c.Consume("/>")) {
+            self_closing = true;
+            break;
+          }
+          if (c.Consume(">")) break;
+          std::string attr;
+          SECXML_RETURN_NOT_OK(ParseName(&c, &attr));
+          c.SkipWhitespace();
+          if (!c.Consume("=")) return ErrorAt(c, "expected '=' after attribute");
+          c.SkipWhitespace();
+          std::string value;
+          SECXML_RETURN_NOT_OK(ParseAttrValue(&c, &value));
+          std::string attr_tag = "@" + attr;
+          SECXML_RETURN_NOT_OK(handler->StartElement(attr_tag));
+          SECXML_RETURN_NOT_OK(handler->Characters(value));
+          SECXML_RETURN_NOT_OK(handler->EndElement(attr_tag));
+        }
+        if (self_closing) {
+          open_tags.pop_back();
+          SECXML_RETURN_NOT_OK(handler->EndElement(name));
+          --open_elements;
+        }
+      }
+    } else {
+      // Character data.
+      std::string text;
+      while (!c.AtEnd() && c.Peek() != '<') {
+        if (c.Peek() == '&') {
+          SECXML_RETURN_NOT_OK(DecodeEntity(&c, &text));
+        } else {
+          text.push_back(c.Peek());
+          c.Advance();
+        }
+      }
+      // Whitespace between elements that is all blank is insignificant for
+      // our tree model.
+      bool all_space = true;
+      for (char ch : text) {
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!all_space) {
+        if (open_elements == 0) {
+          return ErrorAt(c, "character data outside root element");
+        }
+        SECXML_RETURN_NOT_OK(handler->Characters(text));
+      }
+    }
+  }
+
+  if (open_elements != 0) {
+    return Status::Corruption("XML parse error: " +
+                              std::to_string(open_elements) +
+                              " unclosed element(s) at end of input");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Adapter delivering stream events into a DocumentBuilder.
+class BuilderHandler final : public XmlContentHandler {
+ public:
+  Status StartElement(std::string_view name) override {
+    builder_.BeginElement(name);
+    return Status::OK();
+  }
+  Status Characters(std::string_view text) override {
+    return builder_.Text(text);
+  }
+  Status EndElement(std::string_view) override {
+    return builder_.EndElement();
+  }
+  Status Finish(Document* out) { return builder_.Finish(out); }
+
+ private:
+  DocumentBuilder builder_;
+};
+
+}  // namespace
+
+Status ParseXml(std::string_view input, Document* out) {
+  BuilderHandler handler;
+  SECXML_RETURN_NOT_OK(ParseXmlStream(input, &handler));
+  return handler.Finish(out);
+}
+
+}  // namespace secxml

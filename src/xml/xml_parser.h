@@ -1,0 +1,26 @@
+#ifndef SECXML_XML_XML_PARSER_H_
+#define SECXML_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Parses XML text into a Document.
+///
+/// Supported: elements, character data, CDATA sections, comments,
+/// processing instructions / XML declarations (skipped), the five predefined
+/// entities and numeric character references, and attributes. Attributes are
+/// materialized as leaf child elements whose tag is "@" + attribute name and
+/// whose value is the attribute value — this matches the tree model used by
+/// the paper (every addressable item is a node).
+///
+/// Not supported (returns Status): DTDs with internal subsets beyond a
+/// bare <!DOCTYPE name>, namespaces are treated as part of the tag name.
+Status ParseXml(std::string_view input, Document* out);
+
+}  // namespace secxml
+
+#endif  // SECXML_XML_XML_PARSER_H_

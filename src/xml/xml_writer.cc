@@ -1,0 +1,99 @@
+#include "xml/xml_writer.h"
+
+namespace secxml {
+
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendIndent(int depth, std::string* out) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+/// Recursive serializer. `visible` may be null (everything visible).
+void WriteNode(const Document& doc, NodeId n,
+               const std::function<bool(NodeId)>* visible, bool pretty,
+               int depth, std::string* out) {
+  const std::string& tag = doc.TagName(n);
+  if (pretty && depth > 0) AppendIndent(depth, out);
+  out->push_back('<');
+  out->append(tag);
+
+  // Attribute children first (they are always emitted immediately after the
+  // element in document order by the parser).
+  NodeId child = doc.FirstChild(n);
+  std::vector<NodeId> element_children;
+  while (child != kInvalidNode) {
+    if (visible == nullptr || (*visible)(child)) {
+      const std::string& ctag = doc.TagName(child);
+      if (!ctag.empty() && ctag[0] == '@') {
+        out->push_back(' ');
+        out->append(ctag.substr(1));
+        out->append("=\"");
+        AppendEscaped(doc.Value(child), out);
+        out->push_back('"');
+      } else {
+        element_children.push_back(child);
+      }
+    }
+    child = doc.NextSibling(child);
+  }
+
+  std::string_view value = doc.Value(n);
+  if (element_children.empty() && value.empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  AppendEscaped(value, out);
+  for (NodeId ec : element_children) {
+    WriteNode(doc, ec, visible, pretty, depth + 1, out);
+  }
+  if (pretty && !element_children.empty()) AppendIndent(depth, out);
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string WriteXml(const Document& doc, NodeId root,
+                     const XmlWriteOptions& options) {
+  std::string out;
+  if (root < doc.NumNodes()) {
+    WriteNode(doc, root, nullptr, options.pretty, 0, &out);
+  }
+  return out;
+}
+
+std::string WriteXmlFiltered(const Document& doc,
+                             const std::function<bool(NodeId)>& visible,
+                             NodeId root, const XmlWriteOptions& options) {
+  std::string out;
+  if (root < doc.NumNodes() && visible(root)) {
+    WriteNode(doc, root, &visible, options.pretty, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace secxml

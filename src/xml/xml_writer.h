@@ -1,0 +1,35 @@
+#ifndef SECXML_XML_XML_WRITER_H_
+#define SECXML_XML_XML_WRITER_H_
+
+#include <functional>
+#include <string>
+
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Options controlling XML serialization.
+struct XmlWriteOptions {
+  /// Indent children by two spaces per depth level and put each element on
+  /// its own line. Off by default (canonical compact form).
+  bool pretty = false;
+};
+
+/// Serializes `doc` (or the subtree rooted at `root`) to XML text.
+/// Attribute-children (tags beginning with '@') are rendered back as
+/// attributes of their parent element.
+std::string WriteXml(const Document& doc, NodeId root = 0,
+                     const XmlWriteOptions& options = {});
+
+/// Serializes only the nodes for which `visible(node)` returns true, under
+/// prune semantics: if a node is filtered out, its entire subtree is omitted.
+/// This is the "secure view" serialization used for selective dissemination
+/// (Section 7 of the paper notes DOL supports streaming dissemination).
+std::string WriteXmlFiltered(const Document& doc,
+                             const std::function<bool(NodeId)>& visible,
+                             NodeId root = 0,
+                             const XmlWriteOptions& options = {});
+
+}  // namespace secxml
+
+#endif  // SECXML_XML_XML_WRITER_H_

@@ -1,0 +1,141 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace secxml {
+namespace {
+
+TEST(BitVectorTest, ConstructAllClear) {
+  BitVector bv(70);
+  EXPECT_EQ(bv.size(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_FALSE(bv.Get(i));
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVectorTest, ConstructAllSet) {
+  BitVector bv(70, true);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(bv.Get(i));
+  EXPECT_EQ(bv.Count(), 70u);
+}
+
+TEST(BitVectorTest, SetAndGetAcrossWordBoundary) {
+  BitVector bv(130);
+  bv.Set(0, true);
+  bv.Set(63, true);
+  bv.Set(64, true);
+  bv.Set(129, true);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_FALSE(bv.Get(65));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Set(63, false);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitVectorTest, PushBackGrows) {
+  BitVector bv;
+  for (int i = 0; i < 100; ++i) bv.PushBack(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(bv.Get(i), i % 3 == 0);
+}
+
+TEST(BitVectorTest, EraseShiftsDown) {
+  BitVector bv;
+  // Pattern: 1 0 1 1 0
+  for (bool b : {true, false, true, true, false}) bv.PushBack(b);
+  bv.Erase(1);
+  ASSERT_EQ(bv.size(), 4u);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(1));
+  EXPECT_TRUE(bv.Get(2));
+  EXPECT_FALSE(bv.Get(3));
+}
+
+TEST(BitVectorTest, EraseAcrossWordBoundary) {
+  BitVector bv(130);
+  bv.Set(64, true);
+  bv.Set(129, true);
+  bv.Erase(0);
+  EXPECT_EQ(bv.size(), 129u);
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(128));
+  EXPECT_EQ(bv.Count(), 2u);
+}
+
+TEST(BitVectorTest, EqualityIgnoresNothing) {
+  BitVector a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.Set(64, true);
+  EXPECT_NE(a, b);
+  b.Set(64, true);
+  EXPECT_EQ(a, b);
+  BitVector c(64);
+  EXPECT_NE(a, c);  // different lengths differ
+}
+
+TEST(BitVectorTest, PaddingBitsDoNotAffectEquality) {
+  // Build the same logical value two ways: direct construction vs push/erase
+  // churn that could leave garbage in padding bits if unmasked.
+  BitVector a(10);
+  a.Set(3, true);
+  BitVector b(11, true);
+  b.Erase(10);
+  for (size_t i = 0; i < 10; ++i) b.Set(i, i == 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(BitVectorTest, HashDistinguishesValues) {
+  std::unordered_set<size_t> hashes;
+  for (size_t i = 0; i < 64; ++i) {
+    BitVector bv(64);
+    bv.Set(i, true);
+    hashes.insert(bv.Hash());
+  }
+  // All 64 single-bit vectors should hash distinctly (no collisions for
+  // such a trivial family).
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(BitVectorTest, ByteSizeRoundsUp) {
+  EXPECT_EQ(BitVector(0).ByteSize(), 0u);
+  EXPECT_EQ(BitVector(1).ByteSize(), 1u);
+  EXPECT_EQ(BitVector(8).ByteSize(), 1u);
+  EXPECT_EQ(BitVector(9).ByteSize(), 2u);
+  EXPECT_EQ(BitVector(8639).ByteSize(), 1080u);  // LiveLink subject count
+}
+
+TEST(BitVectorTest, ToStringMatchesBits) {
+  BitVector bv;
+  for (bool b : {true, false, false, true}) bv.PushBack(b);
+  EXPECT_EQ(bv.ToString(), "1001");
+}
+
+TEST(BitVectorTest, RandomizedEraseMatchesReference) {
+  Rng rng(99);
+  std::vector<bool> ref;
+  BitVector bv;
+  for (int i = 0; i < 500; ++i) {
+    bool b = rng.Bernoulli(0.5);
+    ref.push_back(b);
+    bv.PushBack(b);
+  }
+  for (int round = 0; round < 200; ++round) {
+    size_t i = rng.Uniform(ref.size());
+    ref.erase(ref.begin() + static_cast<long>(i));
+    bv.Erase(i);
+    ASSERT_EQ(bv.size(), ref.size());
+  }
+  for (size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(bv.Get(i), ref[i]);
+}
+
+}  // namespace
+}  // namespace secxml

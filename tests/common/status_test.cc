@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/result.h"
+
+namespace secxml {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::PermissionDenied("x").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::IOError("disk gone").message(), "disk gone");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::Corruption("bad page");
+  EXPECT_EQ(s.ToString(), "Corruption: bad page");
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "Corruption: bad page");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+Status FailingOperation() { return Status::IOError("boom"); }
+
+Status Caller() {
+  SECXML_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = Caller();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status UseAssignOrReturn(int in, int* out) {
+  SECXML_ASSIGN_OR_RETURN(*out, ParsePositive(in));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int v = 0;
+  EXPECT_TRUE(UseAssignOrReturn(5, &v).ok());
+  EXPECT_EQ(v, 5);
+  EXPECT_EQ(UseAssignOrReturn(-2, &v).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 3);
+}
+
+}  // namespace
+}  // namespace secxml

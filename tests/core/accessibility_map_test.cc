@@ -1,0 +1,144 @@
+#include "core/accessibility_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+TEST(DenseAccessMapTest, DefaultsAndSet) {
+  DenseAccessMap map(5, 3, /*default_access=*/false);
+  EXPECT_EQ(map.num_nodes(), 5u);
+  EXPECT_EQ(map.num_subjects(), 3u);
+  EXPECT_FALSE(map.Accessible(0, 0));
+  map.Set(1, 2, true);
+  EXPECT_TRUE(map.Accessible(1, 2));
+  EXPECT_FALSE(map.Accessible(1, 3));
+  BitVector acl;
+  map.AclFor(2, &acl);
+  EXPECT_EQ(acl.ToString(), "010");
+}
+
+TEST(DenseAccessMapTest, SetSubtree) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/><d/></b><e/></a>", &doc).ok());
+  DenseAccessMap map(static_cast<NodeId>(doc.NumNodes()), 1);
+  map.SetSubtree(doc, 0, /*root=*/1, true);  // subtree of b: b,c,d
+  EXPECT_FALSE(map.Accessible(0, 0));
+  EXPECT_TRUE(map.Accessible(0, 1));
+  EXPECT_TRUE(map.Accessible(0, 2));
+  EXPECT_TRUE(map.Accessible(0, 3));
+  EXPECT_FALSE(map.Accessible(0, 4));
+}
+
+TEST(IntervalAccessMapTest, AccessibleByBinarySearch) {
+  IntervalAccessMap map(100, 2);
+  map.SetSubjectIntervals(0, {{0, 10}, {50, 60}});
+  map.SetSubjectIntervals(1, {{5, 95}});
+  ASSERT_TRUE(map.Validate().ok());
+  EXPECT_TRUE(map.Accessible(0, 0));
+  EXPECT_TRUE(map.Accessible(0, 9));
+  EXPECT_FALSE(map.Accessible(0, 10));
+  EXPECT_FALSE(map.Accessible(0, 49));
+  EXPECT_TRUE(map.Accessible(0, 55));
+  EXPECT_FALSE(map.Accessible(0, 99));
+  EXPECT_FALSE(map.Accessible(1, 4));
+  EXPECT_TRUE(map.Accessible(1, 94));
+  EXPECT_FALSE(map.Accessible(1, 95));
+}
+
+TEST(IntervalAccessMapTest, ValidateCatchesBadIntervals) {
+  {
+    IntervalAccessMap map(10, 1);
+    map.SetSubjectIntervals(0, {{3, 3}});  // empty
+    EXPECT_FALSE(map.Validate().ok());
+  }
+  {
+    IntervalAccessMap map(10, 1);
+    map.SetSubjectIntervals(0, {{3, 12}});  // out of range
+    EXPECT_FALSE(map.Validate().ok());
+  }
+  {
+    IntervalAccessMap map(10, 1);
+    map.SetSubjectIntervals(0, {{0, 5}, {5, 8}});  // adjacent, not maximal
+    EXPECT_FALSE(map.Validate().ok());
+  }
+  {
+    IntervalAccessMap map(10, 1);
+    map.SetSubjectIntervals(0, {{5, 8}, {0, 3}});  // unsorted
+    EXPECT_FALSE(map.Validate().ok());
+  }
+}
+
+TEST(IntervalAccessMapTest, InitialAclAndEvents) {
+  IntervalAccessMap map(20, 3);
+  map.SetSubjectIntervals(0, {{0, 5}});
+  map.SetSubjectIntervals(1, {{3, 20}});
+  map.SetSubjectIntervals(2, {});
+  EXPECT_EQ(map.InitialAcl().ToString(), "100");
+  std::vector<AclEvent> events = map.CollectEvents();
+  // Expected events: (3,1,on), (5,0,off). The end of subject 1's interval is
+  // at num_nodes and thus not emitted.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pos, 3u);
+  EXPECT_EQ(events[0].subject, 1u);
+  EXPECT_TRUE(events[0].accessible);
+  EXPECT_EQ(events[1].pos, 5u);
+  EXPECT_EQ(events[1].subject, 0u);
+  EXPECT_FALSE(events[1].accessible);
+}
+
+TEST(IntervalAccessMapTest, SubsetRenumbersSubjects) {
+  IntervalAccessMap map(10, 4);
+  map.SetSubjectIntervals(0, {{0, 10}});
+  map.SetSubjectIntervals(1, {{2, 4}});
+  map.SetSubjectIntervals(2, {{0, 10}});
+  map.SetSubjectIntervals(3, {{6, 8}});
+  std::vector<SubjectId> subset = {1, 3};
+  EXPECT_EQ(map.InitialAcl(&subset).ToString(), "00");
+  std::vector<AclEvent> events = map.CollectEvents(&subset);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].pos, 2u);
+  EXPECT_EQ(events[0].subject, 0u);  // subject 1 renumbered to 0
+  EXPECT_EQ(events[2].pos, 6u);
+  EXPECT_EQ(events[2].subject, 1u);  // subject 3 renumbered to 1
+}
+
+TEST(IntervalAccessMapTest, EventsSortedByPosition) {
+  Rng rng(17);
+  IntervalAccessMap map(1000, 10);
+  for (SubjectId s = 0; s < 10; ++s) {
+    std::vector<NodeInterval> ivs;
+    NodeId pos = static_cast<NodeId>(rng.Uniform(50));
+    while (pos < 990) {
+      NodeId end = pos + 1 + static_cast<NodeId>(rng.Uniform(100));
+      end = std::min<NodeId>(end, 1000);
+      ivs.push_back({pos, end});
+      pos = end + 2 + static_cast<NodeId>(rng.Uniform(50));
+    }
+    map.SetSubjectIntervals(s, std::move(ivs));
+  }
+  ASSERT_TRUE(map.Validate().ok());
+  std::vector<AclEvent> events = map.CollectEvents();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].pos, events[i].pos);
+  }
+}
+
+TEST(AccessibilityMapTest, DefaultAclForLoopsSubjects) {
+  // IntervalAccessMap overrides AclFor; check it against per-subject checks.
+  IntervalAccessMap map(30, 5);
+  map.SetSubjectIntervals(0, {{0, 30}});
+  map.SetSubjectIntervals(2, {{10, 20}});
+  map.SetSubjectIntervals(4, {{15, 16}});
+  BitVector acl;
+  map.AclFor(15, &acl);
+  EXPECT_EQ(acl.ToString(), "10101");
+  map.AclFor(0, &acl);
+  EXPECT_EQ(acl.ToString(), "10000");
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+TEST(CodebookCompactionTest, CompactedDeduplicatesWithMapping) {
+  Codebook cb(3);
+  BitVector a(3), b(3), c(3);
+  a.Set(0, true);
+  b.Set(1, true);
+  c.Set(0, true);
+  c.Set(2, true);
+  AccessCodeId ca = cb.Intern(a);
+  AccessCodeId ccode = cb.Intern(c);
+  AccessCodeId cbb = cb.Intern(b);
+  // Removing subject 2 makes a and c identical ("10").
+  ASSERT_TRUE(cb.RemoveSubject(2).ok());
+  ASSERT_EQ(cb.size(), 3u);
+  ASSERT_EQ(cb.CountDistinct(), 2u);
+  std::vector<AccessCodeId> mapping;
+  Codebook compacted = cb.Compacted(&mapping);
+  EXPECT_EQ(compacted.size(), 2u);
+  EXPECT_EQ(mapping[ca], mapping[ccode]);
+  EXPECT_NE(mapping[ca], mapping[cbb]);
+  for (AccessCodeId old = 0; old < cb.size(); ++old) {
+    EXPECT_EQ(compacted.Entry(mapping[old]), cb.Entry(old));
+  }
+}
+
+TEST(CodebookCompactionTest, StoreCompactionPreservesAccessibility) {
+  XMarkOptions xopts;
+  xopts.target_nodes = 5000;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = 21;
+  constexpr size_t kSubjects = 6;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, kSubjects, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 64;
+  std::unique_ptr<SecureStore> store;
+  ASSERT_TRUE(SecureStore::Build(doc, labeling, &file, options, &store).ok());
+
+  // Remove two subjects; duplicates pile up in the codebook.
+  ASSERT_TRUE(store->RemoveSubject(5).ok());
+  ASSERT_TRUE(store->RemoveSubject(2).ok());
+  size_t entries_before = store->codebook().size();
+  size_t distinct = store->codebook().CountDistinct();
+  ASSERT_LT(distinct, entries_before);
+
+  // Snapshot accessibility for the surviving subjects (old ids 0,1,3,4 are
+  // now 0,1,2,3).
+  std::vector<std::vector<bool>> want(4);
+  for (SubjectId s = 0; s < 4; ++s) {
+    want[s].resize(doc.NumNodes());
+    for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+      auto r = store->Accessible(s, n);
+      ASSERT_TRUE(r.ok());
+      want[s][n] = *r;
+    }
+  }
+
+  ASSERT_TRUE(store->CompactCodebook().ok());
+  EXPECT_EQ(store->codebook().size(), distinct);
+  EXPECT_EQ(store->codebook().CountDistinct(), distinct);
+  ASSERT_TRUE(store->nok()->CheckIntegrity().ok());
+  for (SubjectId s = 0; s < 4; ++s) {
+    for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+      auto r = store->Accessible(s, n);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(*r, want[s][n]) << s << " " << n;
+    }
+  }
+  // Transitions that became redundant were merged away.
+  auto relabeled = store->ExtractLabeling();
+  ASSERT_TRUE(relabeled.ok());
+  EXPECT_TRUE(relabeled->CheckInvariants().ok());
+  EXPECT_LE(relabeled->num_transitions(), labeling.num_transitions());
+}
+
+TEST(CodebookCompactionTest, NoOpWhenAlreadyCompact) {
+  XMarkOptions xopts;
+  xopts.target_nodes = 1500;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  SyntheticAclOptions aopts;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, 3, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+  ASSERT_TRUE(SecureStore::Build(doc, labeling, &file, {}, &store).ok());
+  size_t before = store->codebook().size();
+  ASSERT_TRUE(store->nok()->buffer_pool()->FlushAll().ok());
+  uint64_t writes_before = store->io_stats().page_writes;
+  ASSERT_TRUE(store->CompactCodebook().ok());
+  ASSERT_TRUE(store->nok()->buffer_pool()->FlushAll().ok());
+  EXPECT_EQ(store->codebook().size(), before);
+  // No page needed rewriting.
+  EXPECT_EQ(store->io_stats().page_writes, writes_before);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,111 @@
+#include "core/codebook.h"
+
+#include <gtest/gtest.h>
+
+namespace secxml {
+namespace {
+
+BitVector Bits(const std::string& s) {
+  BitVector bv(s.size());
+  for (size_t i = 0; i < s.size(); ++i) bv.Set(i, s[i] == '1');
+  return bv;
+}
+
+TEST(CodebookTest, InternDeduplicates) {
+  Codebook cb(3);
+  AccessCodeId a = cb.Intern(Bits("101"));
+  AccessCodeId b = cb.Intern(Bits("011"));
+  AccessCodeId c = cb.Intern(Bits("101"));
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cb.size(), 2u);
+}
+
+TEST(CodebookTest, EntryAndAccessible) {
+  Codebook cb(3);
+  AccessCodeId code = cb.Intern(Bits("101"));
+  EXPECT_EQ(cb.Entry(code).ToString(), "101");
+  EXPECT_TRUE(cb.Accessible(code, 0));
+  EXPECT_FALSE(cb.Accessible(code, 1));
+  EXPECT_TRUE(cb.Accessible(code, 2));
+}
+
+TEST(CodebookTest, FindWithoutIntern) {
+  Codebook cb(2);
+  EXPECT_EQ(cb.Find(Bits("10")), kInvalidAccessCode);
+  AccessCodeId code = cb.Intern(Bits("10"));
+  EXPECT_EQ(cb.Find(Bits("10")), code);
+}
+
+TEST(CodebookTest, AddSubjectExtendsEntries) {
+  Codebook cb(2);
+  AccessCodeId a = cb.Intern(Bits("10"));
+  SubjectId s = cb.AddSubject(true);
+  EXPECT_EQ(s, 2u);
+  EXPECT_EQ(cb.num_subjects(), 3u);
+  EXPECT_EQ(cb.Entry(a).ToString(), "101");
+  // Existing codes stay stable; new interns use the new width.
+  AccessCodeId b = cb.Intern(Bits("110"));
+  EXPECT_NE(a, b);
+}
+
+TEST(CodebookTest, AddSubjectLikeCopiesColumn) {
+  Codebook cb(2);
+  AccessCodeId a = cb.Intern(Bits("10"));
+  AccessCodeId b = cb.Intern(Bits("01"));
+  SubjectId s = cb.AddSubjectLike(0);
+  EXPECT_EQ(s, 2u);
+  EXPECT_EQ(cb.Entry(a).ToString(), "101");
+  EXPECT_EQ(cb.Entry(b).ToString(), "010");
+}
+
+TEST(CodebookTest, RemoveSubjectKeepsIdsStable) {
+  Codebook cb(3);
+  AccessCodeId a = cb.Intern(Bits("110"));
+  AccessCodeId b = cb.Intern(Bits("010"));
+  AccessCodeId c = cb.Intern(Bits("011"));
+  ASSERT_TRUE(cb.RemoveSubject(0).ok());
+  EXPECT_EQ(cb.num_subjects(), 2u);
+  // All three entries remain (ids embedded in pages must stay valid), but
+  // a and b are now duplicates ("10").
+  EXPECT_EQ(cb.size(), 3u);
+  EXPECT_EQ(cb.Entry(a).ToString(), "10");
+  EXPECT_EQ(cb.Entry(b).ToString(), "10");
+  EXPECT_EQ(cb.Entry(c).ToString(), "11");
+  EXPECT_EQ(cb.CountDistinct(), 2u);
+  // Lookup resolves to the first duplicate deterministically.
+  EXPECT_EQ(cb.Find(Bits("10")), a);
+}
+
+TEST(CodebookTest, RemoveInvalidSubjectFails) {
+  Codebook cb(2);
+  EXPECT_FALSE(cb.RemoveSubject(5).ok());
+}
+
+TEST(CodebookTest, ByteSizeMatchesPaperArithmetic) {
+  // Paper Section 5.1.1: 8639 subjects -> ~1080-byte entries; 4000 entries
+  // occupy ~4 MB.
+  Codebook cb(8639);
+  BitVector acl(8639);
+  for (uint32_t i = 0; i < 4000; ++i) {
+    acl.Set(i % 8639, !acl.Get(i % 8639));
+    cb.Intern(acl);
+  }
+  EXPECT_EQ(cb.size(), 4000u);
+  EXPECT_EQ(cb.ByteSize(), 4000u * 1080u);
+  EXPECT_NEAR(static_cast<double>(cb.ByteSize()) / (1 << 20), 4.1, 0.1);
+}
+
+TEST(CodebookTest, ManyDistinctEntries) {
+  Codebook cb(16);
+  for (uint32_t v = 0; v < 65536; v += 7) {
+    BitVector acl(16);
+    for (int i = 0; i < 16; ++i) acl.Set(i, (v >> i) & 1);
+    cb.Intern(acl);
+  }
+  EXPECT_EQ(cb.size(), (65536u + 6) / 7);
+  EXPECT_EQ(cb.CountDistinct(), cb.size());
+}
+
+}  // namespace
+}  // namespace secxml

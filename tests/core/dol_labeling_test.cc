@@ -1,0 +1,309 @@
+#include "core/dol_labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/policy.h"
+#include "xml/xmark_generator.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+// Figure 1(b)-style example: two subjects over the 12-node tree
+// a(b c d e(f g h(i j k l))).
+Document Figure2Tree() {
+  Document doc;
+  EXPECT_TRUE(
+      ParseXml("<a><b/><c/><d/><e><f/><g/><h><i/><j/><k/><l/></h></e></a>",
+               &doc)
+          .ok());
+  return doc;
+}
+
+TEST(DolLabelingTest, SingleSubjectTransitions) {
+  Document doc = Figure2Tree();
+  DenseAccessMap map(12, 1);
+  // Accessible: a,b,c (0-2) and h..l (7-11); inaccessible: d,e,f,g (3-6).
+  for (NodeId n : {0, 1, 2, 7, 8, 9, 10, 11}) map.Set(0, n, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  // Transitions: 0(+), 3(-), 7(+).
+  ASSERT_EQ(dol.num_transitions(), 3u);
+  EXPECT_EQ(dol.transitions()[0].node, 0u);
+  EXPECT_EQ(dol.transitions()[1].node, 3u);
+  EXPECT_EQ(dol.transitions()[2].node, 7u);
+  // Only two distinct ACLs -> codebook size 2.
+  EXPECT_EQ(dol.codebook().size(), 2u);
+  for (NodeId n = 0; n < 12; ++n) {
+    EXPECT_EQ(dol.Accessible(0, n), map.Accessible(0, n)) << n;
+  }
+}
+
+TEST(DolLabelingTest, MultiSubjectSharedCodes) {
+  // Two subjects whose rights coincide on runs reuse codebook entries
+  // (Figure 1(c): only the distinct ACLs that actually occur are stored).
+  Document doc = Figure2Tree();
+  DenseAccessMap map(12, 2);
+  for (NodeId n = 0; n < 12; ++n) map.Set(0, n, n < 6);
+  for (NodeId n = 0; n < 12; ++n) map.Set(1, n, n < 6 || n >= 9);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  // ACL runs: [0,6)="11", [6,9)="00", [9,12)="01" -> 3 transitions, 3 codes.
+  EXPECT_EQ(dol.num_transitions(), 3u);
+  EXPECT_EQ(dol.codebook().size(), 3u);
+}
+
+TEST(DolLabelingTest, UniformDocumentHasOneTransition) {
+  DenseAccessMap map(100, 4, /*default_access=*/true);
+  DolLabeling dol = DolLabeling::Build(map);
+  EXPECT_EQ(dol.num_transitions(), 1u);
+  EXPECT_EQ(dol.codebook().size(), 1u);
+  EXPECT_TRUE(dol.Accessible(3, 99));
+}
+
+TEST(DolLabelingTest, BuildFromEventsMatchesDenseBuild) {
+  Rng rng(5);
+  XMarkOptions opts;
+  opts.target_nodes = 3000;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+  NodeId n = static_cast<NodeId>(doc.NumNodes());
+  constexpr size_t kSubjects = 6;
+  IntervalAccessMap imap(n, kSubjects);
+  DenseAccessMap dmap(n, kSubjects);
+  for (SubjectId s = 0; s < kSubjects; ++s) {
+    std::vector<AclSeed> seeds;
+    for (int i = 0; i < 25; ++i) {
+      seeds.push_back({static_cast<NodeId>(rng.Uniform(n)),
+                       rng.Bernoulli(0.5)});
+    }
+    auto ivs = PropagateMostSpecificOverride(doc, seeds);
+    for (const NodeInterval& iv : ivs) {
+      for (NodeId x = iv.begin; x < iv.end; ++x) dmap.Set(s, x, true);
+    }
+    imap.SetSubjectIntervals(s, std::move(ivs));
+  }
+  ASSERT_TRUE(imap.Validate().ok());
+  DolLabeling from_dense = DolLabeling::Build(dmap);
+  DolLabeling from_events = DolLabeling::BuildFromEvents(
+      n, imap.InitialAcl(), imap.CollectEvents());
+  ASSERT_TRUE(from_events.CheckInvariants().ok());
+  ASSERT_EQ(from_events.num_transitions(), from_dense.num_transitions());
+  EXPECT_EQ(from_events.codebook().size(), from_dense.codebook().size());
+  for (size_t i = 0; i < from_dense.transitions().size(); ++i) {
+    EXPECT_EQ(from_events.transitions()[i].node,
+              from_dense.transitions()[i].node);
+  }
+  for (NodeId x = 0; x < n; x += 13) {
+    for (SubjectId s = 0; s < kSubjects; ++s) {
+      ASSERT_EQ(from_events.Accessible(s, x), dmap.Accessible(s, x));
+    }
+  }
+}
+
+TEST(DolLabelingTest, CodeAtBinarySearch) {
+  DenseAccessMap map(50, 1);
+  for (NodeId n = 10; n < 20; ++n) map.Set(0, n, true);
+  for (NodeId n = 35; n < 50; ++n) map.Set(0, n, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_EQ(dol.num_transitions(), 4u);
+  EXPECT_EQ(dol.CodeAt(0), dol.CodeAt(9));
+  EXPECT_EQ(dol.CodeAt(10), dol.CodeAt(19));
+  EXPECT_EQ(dol.CodeAt(20), dol.CodeAt(0));
+  EXPECT_EQ(dol.CodeAt(35), dol.CodeAt(49));
+  EXPECT_NE(dol.CodeAt(0), dol.CodeAt(10));
+}
+
+// ---------------------------------------------------------------------
+// Updates and Proposition 1.
+
+TEST(DolLabelingTest, SetNodeAccessCreatesAtMostTwoTransitions) {
+  DenseAccessMap map(20, 2, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_EQ(dol.num_transitions(), 1u);
+  ASSERT_TRUE(dol.SetNodeAccess(7, 0, false).ok());
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  // New transitions at 7 and at 8 (revert): 1 + 2 = 3.
+  EXPECT_EQ(dol.num_transitions(), 3u);
+  EXPECT_FALSE(dol.Accessible(0, 7));
+  EXPECT_TRUE(dol.Accessible(1, 7));
+  EXPECT_TRUE(dol.Accessible(0, 6));
+  EXPECT_TRUE(dol.Accessible(0, 8));
+}
+
+TEST(DolLabelingTest, RedundantUpdateIsIdempotent) {
+  DenseAccessMap map(20, 1, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_TRUE(dol.SetNodeAccess(5, 0, true).ok());  // already accessible
+  EXPECT_EQ(dol.num_transitions(), 1u);
+  EXPECT_EQ(dol.codebook().size(), 1u);
+}
+
+TEST(DolLabelingTest, RangeUpdateMergesRuns) {
+  DenseAccessMap map(30, 1);
+  for (NodeId n = 10; n < 20; ++n) map.Set(0, n, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_EQ(dol.num_transitions(), 3u);
+  // Granting [0, 10) merges with the existing accessible run.
+  ASSERT_TRUE(dol.SetRangeAccess(0, 10, 0, true).ok());
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  EXPECT_EQ(dol.num_transitions(), 2u);  // [0,20)+ [20,30)-
+  EXPECT_TRUE(dol.Accessible(0, 0));
+  EXPECT_TRUE(dol.Accessible(0, 19));
+  EXPECT_FALSE(dol.Accessible(0, 20));
+}
+
+TEST(DolLabelingTest, UpdateValidation) {
+  DenseAccessMap map(10, 1);
+  DolLabeling dol = DolLabeling::Build(map);
+  EXPECT_FALSE(dol.SetRangeAccess(5, 5, 0, true).ok());   // empty range
+  EXPECT_FALSE(dol.SetRangeAccess(5, 11, 0, true).ok());  // beyond end
+  EXPECT_FALSE(dol.SetRangeAccess(0, 1, 3, true).ok());   // bad subject
+}
+
+TEST(DolLabelingTest, InsertNodesSplicesFragment) {
+  DenseAccessMap map(10, 1, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  DenseAccessMap frag_map(4, 1);
+  frag_map.Set(0, 1, true);
+  frag_map.Set(0, 2, true);
+  DolLabeling frag = DolLabeling::Build(frag_map);  // -++- pattern
+  ASSERT_TRUE(dol.InsertNodes(5, frag).ok());
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  EXPECT_EQ(dol.num_nodes(), 14u);
+  // Layout: [0,5)+ [5]- [6,8)+ [8]- [9,14)+
+  std::vector<bool> want = {true, true, true,  true,  true,  false, true,
+                            true, false, true, true,  true,  true,  true};
+  for (NodeId n = 0; n < 14; ++n) {
+    EXPECT_EQ(dol.Accessible(0, n), want[n]) << n;
+  }
+}
+
+TEST(DolLabelingTest, InsertRejectsSubjectMismatch) {
+  DenseAccessMap map(10, 2);
+  DolLabeling dol = DolLabeling::Build(map);
+  DenseAccessMap frag_map(3, 1);
+  DolLabeling frag = DolLabeling::Build(frag_map);
+  EXPECT_FALSE(dol.InsertNodes(0, frag).ok());
+}
+
+TEST(DolLabelingTest, DeleteNodesClosesGap) {
+  DenseAccessMap map(20, 1);
+  for (NodeId n = 5; n < 15; ++n) map.Set(0, n, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  // Delete [3, 12): removes the +run's start; remaining + nodes are 12..14,
+  // which shift to 3..5.
+  ASSERT_TRUE(dol.DeleteNodes(3, 12).ok());
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  EXPECT_EQ(dol.num_nodes(), 11u);
+  for (NodeId n = 0; n < 11; ++n) {
+    EXPECT_EQ(dol.Accessible(0, n), n >= 3 && n < 6) << n;
+  }
+}
+
+TEST(DolLabelingTest, DeleteEntireDocumentRejected) {
+  DenseAccessMap map(5, 1);
+  DolLabeling dol = DolLabeling::Build(map);
+  EXPECT_FALSE(dol.DeleteNodes(0, 5).ok());
+}
+
+// Property test: random updates never add more than 2 transitions beyond
+// those contributed by inserted fragments (Proposition 1), and the labeling
+// always agrees with a reference model.
+class DolUpdatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DolUpdatePropertyTest, Proposition1AndEquivalence) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 3);
+  constexpr size_t kSubjects = 3;
+  NodeId n = 200;
+  // Reference: per-node ACLs as bool matrix.
+  std::vector<BitVector> ref(n, BitVector(kSubjects));
+  DenseAccessMap init(n, kSubjects);
+  for (SubjectId s = 0; s < kSubjects; ++s) {
+    NodeId pos = 0;
+    while (pos < n) {
+      NodeId end = std::min<NodeId>(
+          n, pos + 1 + static_cast<NodeId>(rng.Uniform(40)));
+      bool v = rng.Bernoulli(0.5);
+      for (NodeId x = pos; x < end; ++x) {
+        if (v) {
+          init.Set(s, x, true);
+          ref[x].Set(s, true);
+        }
+      }
+      pos = end;
+    }
+  }
+  DolLabeling dol = DolLabeling::Build(init);
+
+  for (int round = 0; round < 60; ++round) {
+    int op = static_cast<int>(rng.Uniform(3));
+    size_t before = dol.num_transitions();
+    if (op == 0) {
+      // Range accessibility update.
+      NodeId begin = static_cast<NodeId>(rng.Uniform(dol.num_nodes()));
+      NodeId end = begin + 1 +
+                   static_cast<NodeId>(rng.Uniform(dol.num_nodes() - begin));
+      SubjectId s = static_cast<SubjectId>(rng.Uniform(kSubjects));
+      bool v = rng.Bernoulli(0.5);
+      ASSERT_TRUE(dol.SetRangeAccess(begin, end, s, v).ok());
+      for (NodeId x = begin; x < end; ++x) ref[x].Set(s, v);
+      EXPECT_LE(dol.num_transitions(), before + 2) << "round " << round;
+    } else if (op == 1) {
+      // Structural insert of a small random fragment.
+      NodeId count = 1 + static_cast<NodeId>(rng.Uniform(10));
+      DenseAccessMap frag_map(count, kSubjects);
+      std::vector<BitVector> frag_ref(count, BitVector(kSubjects));
+      for (NodeId x = 0; x < count; ++x) {
+        for (SubjectId s = 0; s < kSubjects; ++s) {
+          if (rng.Bernoulli(0.4)) {
+            frag_map.Set(s, x, true);
+            frag_ref[x].Set(s, true);
+          }
+        }
+      }
+      DolLabeling frag = DolLabeling::Build(frag_map);
+      size_t frag_transitions = frag.num_transitions();
+      NodeId pos = static_cast<NodeId>(rng.Uniform(dol.num_nodes() + 1));
+      ASSERT_TRUE(dol.InsertNodes(pos, frag).ok());
+      ref.insert(ref.begin() + pos, frag_ref.begin(), frag_ref.end());
+      EXPECT_LE(dol.num_transitions(), before + frag_transitions + 2)
+          << "round " << round;
+    } else if (dol.num_nodes() > 30) {
+      // Structural delete.
+      NodeId begin = static_cast<NodeId>(rng.Uniform(dol.num_nodes() - 20));
+      NodeId end = begin + 1 + static_cast<NodeId>(rng.Uniform(15));
+      ASSERT_TRUE(dol.DeleteNodes(begin, end).ok());
+      ref.erase(ref.begin() + begin, ref.begin() + end);
+      EXPECT_LE(dol.num_transitions(), before + 2) << "round " << round;
+    }
+    ASSERT_TRUE(dol.CheckInvariants().ok()) << "round " << round;
+    ASSERT_EQ(dol.num_nodes(), ref.size());
+    for (NodeId x = 0; x < dol.num_nodes(); ++x) {
+      for (SubjectId s = 0; s < kSubjects; ++s) {
+        ASSERT_EQ(dol.Accessible(s, x), ref[x].Get(s))
+            << "round " << round << " node " << x << " subject " << s;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, DolUpdatePropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(DolLabelingTest, StatsArithmetic) {
+  DenseAccessMap map(100, 16);
+  for (NodeId x = 40; x < 60; ++x) map.Set(2, x, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  // Runs: [0,40) [40,60) [60,100) -> 3 transitions, 2 distinct codes.
+  DolLabeling::Stats s = dol.ComputeStats(/*code_bytes=*/2);
+  EXPECT_EQ(s.num_transitions, 3u);
+  EXPECT_EQ(s.codebook_entries, 2u);
+  EXPECT_EQ(s.codebook_bytes, 2u * 2u);  // 16 subjects -> 2 bytes per entry
+  EXPECT_EQ(s.transition_bytes, 6u);
+  EXPECT_EQ(s.total_bytes, 10u);
+}
+
+}  // namespace
+}  // namespace secxml

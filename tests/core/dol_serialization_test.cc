@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+DolLabeling MakeLabeling(uint32_t nodes, size_t subjects, uint64_t seed) {
+  XMarkOptions xopts;
+  xopts.seed = seed;
+  xopts.target_nodes = nodes;
+  Document doc;
+  EXPECT_TRUE(GenerateXMark(xopts, &doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = seed * 3 + 1;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, subjects, aopts);
+  return DolLabeling::BuildFromEvents(map.num_nodes(), map.InitialAcl(),
+                                      map.CollectEvents());
+}
+
+TEST(DolSerializationTest, RoundTrip) {
+  DolLabeling dol = MakeLabeling(4000, 5, 3);
+  std::vector<uint8_t> bytes = dol.Serialize();
+  auto loaded = DolLabeling::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_nodes(), dol.num_nodes());
+  ASSERT_EQ(loaded->num_transitions(), dol.num_transitions());
+  ASSERT_EQ(loaded->codebook().size(), dol.codebook().size());
+  for (NodeId n = 0; n < dol.num_nodes(); n += 7) {
+    for (SubjectId s = 0; s < 5; ++s) {
+      ASSERT_EQ(loaded->Accessible(s, n), dol.Accessible(s, n))
+          << n << " " << s;
+    }
+  }
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+}
+
+TEST(DolSerializationTest, RoundTripManySubjects) {
+  // Subject counts straddling word boundaries exercise the bit packing.
+  for (size_t subjects : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 130u}) {
+    DolLabeling dol = MakeLabeling(800, subjects, subjects);
+    auto loaded = DolLabeling::Deserialize(dol.Serialize());
+    ASSERT_TRUE(loaded.ok()) << subjects;
+    ASSERT_EQ(loaded->codebook().num_subjects(), subjects);
+    for (NodeId n = 0; n < dol.num_nodes(); n += 13) {
+      for (SubjectId s = 0; s < subjects; ++s) {
+        ASSERT_EQ(loaded->Accessible(s, n), dol.Accessible(s, n))
+            << subjects << " " << n << " " << s;
+      }
+    }
+  }
+}
+
+TEST(DolSerializationTest, SizeMatchesStatsArithmetic) {
+  DolLabeling dol = MakeLabeling(4000, 16, 9);
+  std::vector<uint8_t> bytes = dol.Serialize();
+  // DOL header (3 u32) + transitions (8 B each) + codebook blob length (u32)
+  // + codebook blob (3 u32 header + 2 B per entry at 16 subjects).
+  size_t expected = 12 + dol.num_transitions() * 8 + 4 + 12 +
+                    dol.codebook().size() * 2;
+  EXPECT_EQ(bytes.size(), expected);
+}
+
+TEST(DolSerializationTest, RejectsCorruptInput) {
+  DolLabeling dol = MakeLabeling(500, 3, 1);
+  std::vector<uint8_t> bytes = dol.Serialize();
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] ^= 0xff;  // magic
+    EXPECT_FALSE(DolLabeling::Deserialize(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad(bytes.begin(), bytes.begin() + 10);  // truncated
+    EXPECT_FALSE(DolLabeling::Deserialize(bad).ok());
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad.resize(bad.size() - 1);  // truncated codebook
+    EXPECT_FALSE(DolLabeling::Deserialize(bad).ok());
+  }
+  EXPECT_FALSE(DolLabeling::Deserialize({}).ok());
+}
+
+TEST(DolSerializationTest, DuplicateCodebookEntriesRoundTripVerbatim) {
+  // Subject removal leaves duplicate codebook entries with distinct ids;
+  // serialization must preserve them exactly (codes embedded in pages would
+  // dangle otherwise).
+  DenseAccessMap map(4, 2);
+  map.Set(0, 0, true);               // node 0: "10"
+  map.Set(0, 2, true);               // node 2: "11"
+  map.Set(1, 2, true);
+  DolLabeling dol = DolLabeling::Build(map);
+  ASSERT_EQ(dol.codebook().size(), 3u);  // "10", "00", "11"
+  // Removing subject 1 collapses "10" and "11" into duplicates.
+  ASSERT_TRUE(dol.mutable_codebook()->RemoveSubject(1).ok());
+  ASSERT_LT(dol.codebook().CountDistinct(), dol.codebook().size());
+  auto loaded = DolLabeling::Deserialize(dol.Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->codebook().size(), 3u);
+  EXPECT_EQ(loaded->codebook().CountDistinct(), 2u);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(loaded->Accessible(0, n), dol.Accessible(0, n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace secxml

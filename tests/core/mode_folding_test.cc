@@ -1,0 +1,92 @@
+#include "core/mode_folding.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dol_labeling.h"
+#include "workload/livelink_surrogate.h"
+
+namespace secxml {
+namespace {
+
+TEST(ModeFoldingTest, FoldedSubjectNumbering) {
+  EXPECT_EQ(FoldedSubject(0, 0, 10), 0u);
+  EXPECT_EQ(FoldedSubject(0, 9, 10), 9u);
+  EXPECT_EQ(FoldedSubject(1, 0, 10), 10u);
+  EXPECT_EQ(FoldedSubject(3, 7, 10), 37u);
+}
+
+TEST(ModeFoldingTest, RejectsEmptyAndMismatched) {
+  auto empty = FoldModes({});
+  EXPECT_FALSE(empty.ok());
+  IntervalAccessMap a(10, 2), b(10, 3);
+  auto mismatched = FoldModes({&a, &b});
+  EXPECT_FALSE(mismatched.ok());
+  IntervalAccessMap c(11, 2);
+  EXPECT_FALSE(FoldModes({&a, &c}).ok());
+}
+
+TEST(ModeFoldingTest, PreservesPerModeAccessibility) {
+  LiveLinkOptions opts;
+  opts.target_nodes = 12000;
+  opts.num_departments = 4;
+  opts.teams_per_department = 3;
+  opts.num_users = 150;
+  opts.num_modes = 4;
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  std::vector<const IntervalAccessMap*> modes;
+  for (const auto& m : w.modes) modes.push_back(&m);
+  auto folded = FoldModes(modes);
+  ASSERT_TRUE(folded.ok());
+  ASSERT_TRUE(folded->Validate().ok());
+  EXPECT_EQ(folded->num_subjects(), w.num_subjects() * 4);
+  for (NodeId x = 0; x < w.doc.NumNodes(); x += 61) {
+    for (size_t m = 0; m < 4; ++m) {
+      for (SubjectId s = 0; s < w.num_subjects(); s += 13) {
+        ASSERT_EQ(folded->Accessible(
+                      FoldedSubject(static_cast<ModeId>(m), s,
+                                    w.num_subjects()),
+                      x),
+                  w.modes[m].Accessible(s, x))
+            << m << " " << s << " " << x;
+      }
+    }
+  }
+}
+
+TEST(ModeFoldingTest, CrossModeCorrelationCompressesCodebook) {
+  // Because higher modes are restrictions of lower ones, one folded DOL is
+  // far smaller than mode-count independent copies would suggest.
+  LiveLinkOptions opts;
+  opts.target_nodes = 15000;
+  opts.num_departments = 4;
+  opts.teams_per_department = 3;
+  opts.num_users = 200;
+  opts.num_modes = 10;
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  std::vector<const IntervalAccessMap*> modes;
+  for (const auto& m : w.modes) modes.push_back(&m);
+  auto folded = FoldModes(modes);
+  ASSERT_TRUE(folded.ok());
+  DolLabeling folded_dol = DolLabeling::BuildFromEvents(
+      folded->num_nodes(), folded->InitialAcl(), folded->CollectEvents());
+  ASSERT_TRUE(folded_dol.CheckInvariants().ok());
+
+  size_t per_mode_transitions = 0;
+  size_t per_mode_entries = 0;
+  for (const auto& m : w.modes) {
+    DolLabeling dol = DolLabeling::BuildFromEvents(
+        m.num_nodes(), m.InitialAcl(), m.CollectEvents());
+    per_mode_transitions += dol.num_transitions();
+    per_mode_entries += dol.codebook().size();
+  }
+  // One folded labeling needs fewer transition nodes than the sum of the
+  // ten separate ones (transitions at shared boundaries merge), at the cost
+  // of 10x wider codebook entries.
+  EXPECT_LT(folded_dol.num_transitions(), per_mode_transitions);
+  EXPECT_LT(folded_dol.codebook().size(), per_mode_entries * 2);
+}
+
+}  // namespace
+}  // namespace secxml

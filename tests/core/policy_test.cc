@@ -1,0 +1,137 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/xmark_generator.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+// Reference implementation: per-node nearest-seeded-ancestor-or-self.
+std::vector<bool> MsoBruteForce(const Document& doc,
+                                const std::vector<AclSeed>& seeds,
+                                bool default_access) {
+  std::vector<int> label(doc.NumNodes(), -1);
+  for (const AclSeed& s : seeds) label[s.node] = s.accessible ? 1 : 0;
+  std::vector<bool> out(doc.NumNodes());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    bool value = default_access;
+    for (NodeId a = n;; a = doc.Parent(a)) {
+      if (label[a] != -1) {
+        value = label[a] == 1;
+        break;
+      }
+      if (doc.Parent(a) == kInvalidNode) break;
+    }
+    out[n] = value;
+  }
+  return out;
+}
+
+std::vector<bool> IntervalsToBits(const std::vector<NodeInterval>& ivs,
+                                  size_t n) {
+  std::vector<bool> out(n, false);
+  for (const NodeInterval& iv : ivs) {
+    for (NodeId i = iv.begin; i < iv.end; ++i) out[i] = true;
+  }
+  return out;
+}
+
+TEST(PolicyTest, NoSeedsYieldsDefault) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/><c/></a>", &doc).ok());
+  EXPECT_TRUE(PropagateMostSpecificOverride(doc, {}, false).empty());
+  auto all = PropagateMostSpecificOverride(doc, {}, true);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], (NodeInterval{0, 3}));
+}
+
+TEST(PolicyTest, RootSeedCoversEverything) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/></b><d/></a>", &doc).ok());
+  auto ivs = PropagateMostSpecificOverride(doc, {{0, true}});
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0], (NodeInterval{0, 4}));
+}
+
+TEST(PolicyTest, OverrideInsideSubtree) {
+  // a(b(c d) e); grant at a, deny at b, grant back at d.
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/><d/></b><e/></a>", &doc).ok());
+  auto ivs = PropagateMostSpecificOverride(
+      doc, {{0, true}, {1, false}, {3, true}});
+  // a=+, b=-, c=-, d=+, e=+  => intervals [0,1), [3,5)
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0], (NodeInterval{0, 1}));
+  EXPECT_EQ(ivs[1], (NodeInterval{3, 5}));
+}
+
+TEST(PolicyTest, RevertAfterSubtreeEnd) {
+  // Denying a middle subtree splits the accessible region in two.
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/><c><d/><e/></c><f/></a>", &doc).ok());
+  auto ivs = PropagateMostSpecificOverride(doc, {{0, true}, {2, false}});
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_EQ(ivs[0], (NodeInterval{0, 2}));  // a, b
+  EXPECT_EQ(ivs[1], (NodeInterval{5, 6}));  // f
+}
+
+TEST(PolicyTest, DuplicateSeedLastWins) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &doc).ok());
+  auto ivs =
+      PropagateMostSpecificOverride(doc, {{0, false}, {0, true}});
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0], (NodeInterval{0, 2}));
+}
+
+TEST(PolicyTest, SeedsOutOfRangeIgnored) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &doc).ok());
+  auto ivs = PropagateMostSpecificOverride(doc, {{7, true}});
+  EXPECT_TRUE(ivs.empty());
+}
+
+TEST(PolicyTest, SameValueSeedProducesNoBoundary) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/></b></a>", &doc).ok());
+  auto ivs = PropagateMostSpecificOverride(doc, {{0, true}, {1, true}});
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_EQ(ivs[0], (NodeInterval{0, 3}));
+}
+
+class PolicyRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  XMarkOptions opts;
+  opts.seed = static_cast<uint64_t>(GetParam()) * 31 + 1;
+  opts.target_nodes = 2000;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+  std::vector<AclSeed> seeds;
+  int num_seeds = 1 + static_cast<int>(rng.Uniform(60));
+  for (int i = 0; i < num_seeds; ++i) {
+    seeds.push_back({static_cast<NodeId>(rng.Uniform(doc.NumNodes())),
+                     rng.Bernoulli(0.5)});
+  }
+  bool default_access = rng.Bernoulli(0.5);
+  auto ivs = PropagateMostSpecificOverride(doc, seeds, default_access);
+  // Intervals are sorted, disjoint, maximal.
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    EXPECT_LT(ivs[i].begin, ivs[i].end);
+    if (i > 0) EXPECT_GT(ivs[i].begin, ivs[i - 1].end);
+  }
+  std::vector<bool> got = IntervalsToBits(ivs, doc.NumNodes());
+  std::vector<bool> want = MsoBruteForce(doc, seeds, default_access);
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    ASSERT_EQ(got[n], want[n]) << "node " << n << " round " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace secxml

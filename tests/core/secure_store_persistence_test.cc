@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+struct Fixture {
+  Document doc;
+  DolLabeling labeling;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+std::unique_ptr<Fixture> MakeFixture(uint32_t nodes, size_t subjects) {
+  auto f = std::make_unique<Fixture>();
+  XMarkOptions xopts;
+  xopts.target_nodes = nodes;
+  EXPECT_TRUE(GenerateXMark(xopts, &f->doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = 77;
+  IntervalAccessMap map = GenerateSyntheticAclMap(f->doc, subjects, aopts);
+  f->labeling = DolLabeling::BuildFromEvents(map.num_nodes(), map.InitialAcl(),
+                                             map.CollectEvents());
+  EXPECT_TRUE(
+      SecureStore::Build(f->doc, f->labeling, &f->file, {}, &f->store).ok());
+  return f;
+}
+
+TEST(SecureStorePersistenceTest, RoundTripsCodebookAndCodes) {
+  auto f = MakeFixture(4000, 5);
+  ASSERT_TRUE(f->store->Persist().ok());
+  std::unique_ptr<SecureStore> reopened;
+  ASSERT_TRUE(SecureStore::Open(&f->file, {}, &reopened).ok());
+  ASSERT_EQ(reopened->codebook().size(), f->store->codebook().size());
+  ASSERT_EQ(reopened->codebook().num_subjects(), 5u);
+  for (NodeId n = 0; n < f->store->num_nodes(); n += 11) {
+    for (SubjectId s = 0; s < 5; ++s) {
+      auto a = f->store->Accessible(s, n);
+      auto b = reopened->Accessible(s, n);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(*a, *b) << n << " " << s;
+    }
+  }
+}
+
+TEST(SecureStorePersistenceTest, ReopenedStoreEvaluatesQueries) {
+  auto f = MakeFixture(6000, 3);
+  QueryEvaluator eval_before(f->store.get());
+  EvalOptions secure;
+  secure.semantics = AccessSemantics::kBinding;
+  auto want = eval_before.EvaluateXPath("//item[location='africa']/name",
+                                        secure);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(f->store->Persist().ok());
+
+  std::unique_ptr<SecureStore> reopened;
+  ASSERT_TRUE(SecureStore::Open(&f->file, {}, &reopened).ok());
+  QueryEvaluator eval_after(reopened.get());
+  // The value predicate works because the value pool is persisted too.
+  auto got = eval_after.EvaluateXPath("//item[location='africa']/name",
+                                      secure);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->answers, want->answers);
+}
+
+TEST(SecureStorePersistenceTest, SurvivesUpdatesAndSubjectChurn) {
+  auto f = MakeFixture(4000, 4);
+  ASSERT_TRUE(f->store->SetSubtreeAccess(500, 1, false).ok());
+  SubjectId added = f->store->AddSubjectLike(0);
+  ASSERT_TRUE(f->store->RemoveSubject(2).ok());
+  ASSERT_TRUE(f->store->Persist().ok());
+
+  std::unique_ptr<SecureStore> reopened;
+  ASSERT_TRUE(SecureStore::Open(&f->file, {}, &reopened).ok());
+  ASSERT_EQ(reopened->codebook().num_subjects(),
+            f->store->codebook().num_subjects());
+  for (NodeId n = 0; n < f->store->num_nodes(); n += 17) {
+    for (SubjectId s = 0; s < reopened->codebook().num_subjects(); ++s) {
+      auto a = f->store->Accessible(s, n);
+      auto b = reopened->Accessible(s, n);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(*a, *b) << n << " " << s << " (added=" << added << ")";
+    }
+  }
+}
+
+TEST(SecureStorePersistenceTest, OpenRejectsStoreWithoutCodebook) {
+  // A raw NokStore snapshot has no codebook in its user blob.
+  auto f = MakeFixture(1000, 2);
+  ASSERT_TRUE(f->store->nok()->Persist().ok());
+  std::unique_ptr<SecureStore> reopened;
+  EXPECT_FALSE(SecureStore::Open(&f->file, {}, &reopened).ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,319 @@
+#include "nok/nok_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/xmark_generator.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+Document SmallDoc() {
+  Document doc;
+  EXPECT_TRUE(ParseXml(
+                  "<a><b>v1</b><c/><d/><e><f/><g/><h><i/><j/><k/><l/></h></e></a>",
+                  &doc)
+                  .ok());
+  return doc;
+}
+
+Document XMarkDoc(uint32_t nodes, uint64_t seed = 1) {
+  XMarkOptions opts;
+  opts.seed = seed;
+  opts.target_nodes = nodes;
+  Document doc;
+  EXPECT_TRUE(GenerateXMark(opts, &doc).ok());
+  return doc;
+}
+
+std::unique_ptr<NokStore> BuildStore(
+    const Document& doc, PagedFile* file, NokStoreOptions options = {},
+    const std::function<uint32_t(NodeId)>& code_of = nullptr) {
+  std::unique_ptr<NokStore> store;
+  Status s = NokStore::Build(doc, file, options, code_of, &store);
+  EXPECT_TRUE(s.ok()) << s;
+  return store;
+}
+
+TEST(NokStoreTest, RecordsMirrorDocument) {
+  Document doc = SmallDoc();
+  MemPagedFile file;
+  auto store = BuildStore(doc, &file);
+  ASSERT_EQ(store->num_nodes(), doc.NumNodes());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    auto rec = store->Record(n);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->tag, doc.Tag(n));
+    EXPECT_EQ(rec->subtree_size, doc.SubtreeSize(n));
+    EXPECT_EQ(rec->depth, doc.Depth(n));
+    EXPECT_EQ(store->Value(*rec), doc.Value(n));
+  }
+}
+
+TEST(NokStoreTest, NavigationMatchesDocument) {
+  Document doc = XMarkDoc(5000);
+  MemPagedFile file;
+  auto store = BuildStore(doc, &file);
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    auto rec = store->Record(n);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(NokStore::FirstChild(n, *rec), doc.FirstChild(n));
+    NodeId parent = doc.Parent(n);
+    if (parent != kInvalidNode) {
+      NodeId parent_end = parent + doc.SubtreeSize(parent);
+      EXPECT_EQ(NokStore::FollowingSibling(n, *rec, parent_end),
+                doc.NextSibling(n));
+    }
+  }
+}
+
+TEST(NokStoreTest, MultiPageLayout) {
+  Document doc = XMarkDoc(3000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 64;
+  auto store = BuildStore(doc, &file, options);
+  EXPECT_GT(store->num_pages(), 40u);
+  // Page infos partition [0, num_nodes).
+  NodeId expect = 0;
+  for (const auto& info : store->page_infos()) {
+    EXPECT_EQ(info.first_node, expect);
+    EXPECT_GT(info.num_records, 0);
+    expect += info.num_records;
+  }
+  EXPECT_EQ(expect, store->num_nodes());
+  // PageOrdinalOf agrees with the partition.
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    NodeId n = static_cast<NodeId>(rng.Uniform(store->num_nodes()));
+    size_t ord = store->PageOrdinalOf(n);
+    const auto& info = store->page_infos()[ord];
+    EXPECT_GE(n, info.first_node);
+    EXPECT_LT(n, info.first_node + info.num_records);
+  }
+  EXPECT_TRUE(store->CheckIntegrity().ok());
+}
+
+TEST(NokStoreTest, PostingsAreDocumentOrdered) {
+  Document doc = XMarkDoc(4000);
+  MemPagedFile file;
+  auto store = BuildStore(doc, &file);
+  TagId item = store->tags().Lookup("item");
+  ASSERT_NE(item, kInvalidTag);
+  const auto& postings = store->Postings(item);
+  ASSERT_FALSE(postings.empty());
+  for (size_t i = 1; i < postings.size(); ++i) {
+    EXPECT_LT(postings[i - 1], postings[i]);
+  }
+  for (NodeId n : postings) {
+    auto rec = store->Record(n);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->tag, item);
+  }
+  // Absent tag -> empty postings.
+  EXPECT_TRUE(store->Postings(99999).empty());
+}
+
+TEST(NokStoreTest, EmbeddedCodesResolvePerNode) {
+  Document doc = XMarkDoc(3000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 50;
+  // Alternate codes in blocks of 37 nodes to create transitions that fall
+  // at arbitrary in-page slots and across page boundaries.
+  auto code_of = [](NodeId n) { return (n / 37) % 3; };
+  auto store = BuildStore(doc, &file, options, code_of);
+  for (NodeId n = 0; n < store->num_nodes(); ++n) {
+    auto code = store->AccessCode(n);
+    ASSERT_TRUE(code.ok());
+    ASSERT_EQ(*code, code_of(n)) << "node " << n;
+  }
+}
+
+TEST(NokStoreTest, UniformCodePagesHaveNoChangeBit) {
+  Document doc = XMarkDoc(2000);
+  MemPagedFile file;
+  auto store = BuildStore(doc, &file, {}, [](NodeId) { return 7u; });
+  for (const auto& info : store->page_infos()) {
+    EXPECT_FALSE(info.change_bit);
+    EXPECT_EQ(info.first_code, 7u);
+  }
+  auto count = store->CountEmbeddedTransitions();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST(NokStoreTest, AccessCodeUsesInMemoryHeaderWithoutIo) {
+  Document doc = XMarkDoc(3000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 64;
+  auto store = BuildStore(doc, &file, options, [](NodeId) { return 3u; });
+  ASSERT_TRUE(store->buffer_pool()->EvictAll().ok());
+  uint64_t reads_before = store->io_stats().page_reads;
+  // Uniform code => no change bits => every lookup is answered from the
+  // in-memory page header table.
+  for (NodeId n = 0; n < store->num_nodes(); n += 17) {
+    auto code = store->AccessCode(n);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(*code, 3u);
+  }
+  EXPECT_EQ(store->io_stats().page_reads, reads_before);
+}
+
+TEST(NokStoreTest, SetPageAclRewritesCodes) {
+  Document doc = XMarkDoc(1000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 100;
+  auto store = BuildStore(doc, &file, options);
+  ASSERT_GE(store->num_pages(), 2u);
+  const auto& info = store->page_infos()[1];
+  NodeId base = info.first_node;
+  uint16_t records = info.num_records;
+  ASSERT_GE(records, 10);
+  std::vector<DolTransition> ts = {{5, 0, 2u}, {9, 0, 0u}};
+  ASSERT_TRUE(store->SetPageAcl(1, 1u, ts).ok());
+  for (uint16_t s = 0; s < records; ++s) {
+    auto code = store->AccessCode(base + s);
+    ASSERT_TRUE(code.ok());
+    uint32_t want = s < 5 ? 1u : (s < 9 ? 2u : 0u);
+    EXPECT_EQ(*code, want) << "slot " << s;
+  }
+  auto readback = store->PageTransitions(1);
+  ASSERT_TRUE(readback.ok());
+  ASSERT_EQ(readback->size(), 2u);
+  EXPECT_EQ((*readback)[0].slot, 5);
+  EXPECT_EQ((*readback)[1].code, 0u);
+  EXPECT_TRUE(store->CheckIntegrity().ok());
+}
+
+TEST(NokStoreTest, SetPageAclValidatesSlots) {
+  Document doc = XMarkDoc(500);
+  MemPagedFile file;
+  auto store = BuildStore(doc, &file);
+  // Slot 0 is the implicit initial transition; not allowed explicitly.
+  EXPECT_FALSE(store->SetPageAcl(0, 0, {{0, 0, 1u}}).ok());
+  // Descending slots rejected.
+  EXPECT_FALSE(store->SetPageAcl(0, 0, {{5, 0, 1u}, {3, 0, 0u}}).ok());
+  // Slot beyond the record count rejected.
+  uint16_t records = store->page_infos()[0].num_records;
+  EXPECT_FALSE(store->SetPageAcl(0, 0, {{records, 0, 1u}}).ok());
+  // Bad ordinal rejected.
+  EXPECT_FALSE(store->SetPageAcl(store->num_pages(), 0, {}).ok());
+}
+
+TEST(NokStoreTest, SetPageAclSplitsOnOverflow) {
+  Document doc = XMarkDoc(2000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.transition_slack = 0;
+  auto store = BuildStore(doc, &file, options);
+  size_t pages_before = store->num_pages();
+  const auto info0 = store->page_infos()[0];
+  // A full default page (247 records) has room for only ~16 transitions;
+  // install one transition per odd slot to force a split.
+  std::vector<DolTransition> ts;
+  for (uint16_t s = 1; s < info0.num_records; ++s) {
+    ts.push_back(DolTransition{s, 0, s % 2 == 0 ? 4u : 9u});
+  }
+  ASSERT_FALSE(PageFits(info0.num_records, static_cast<uint32_t>(ts.size())));
+  ASSERT_TRUE(store->SetPageAcl(0, 4u, ts).ok());
+  EXPECT_EQ(store->num_pages(), pages_before + 1);
+  // Codes resolve as intended across the split.
+  for (uint16_t s = 0; s < info0.num_records; ++s) {
+    auto code = store->AccessCode(info0.first_node + s);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(*code, s % 2 == 0 ? 4u : 9u) << "slot " << s;
+  }
+  // Structure is still intact and later nodes unaffected.
+  EXPECT_TRUE(store->CheckIntegrity().ok());
+  auto rec = store->Record(store->num_nodes() - 1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->subtree_size, 1u);
+}
+
+TEST(NokStoreTest, OpenRebuildsFromDisk) {
+  Document doc = XMarkDoc(2500, /*seed=*/5);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 80;
+  auto code_of = [](NodeId n) { return (n / 53) % 2; };
+  {
+    auto store = BuildStore(doc, &file, options, code_of);
+    ASSERT_TRUE(store->buffer_pool()->FlushAll().ok());
+  }
+  std::unique_ptr<NokStore> reopened;
+  ASSERT_TRUE(NokStore::Open(&file, options, &reopened).ok());
+  ASSERT_EQ(reopened->num_nodes(), doc.NumNodes());
+  EXPECT_TRUE(reopened->CheckIntegrity().ok());
+  for (NodeId n = 0; n < doc.NumNodes(); n += 7) {
+    auto rec = reopened->Record(n);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->tag, doc.Tag(n));
+    EXPECT_EQ(rec->subtree_size, doc.SubtreeSize(n));
+    auto code = reopened->AccessCode(n);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(*code, code_of(n));
+  }
+  // Postings rebuilt: same count for "item".
+  TagId item_tag = doc.tags().Lookup("item");
+  ASSERT_NE(item_tag, kInvalidTag);
+  EXPECT_FALSE(reopened->Postings(item_tag).empty());
+}
+
+TEST(NokStoreTest, BuildRejectsBadInput) {
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  Document empty;
+  EXPECT_FALSE(NokStore::Build(empty, &file, {}, nullptr, &store).ok());
+  Document doc = SmallDoc();
+  ASSERT_TRUE(file.AllocatePage().ok());
+  EXPECT_FALSE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+}
+
+TEST(NokStoreTest, OpenRejectsCorruptPages) {
+  MemPagedFile file;
+  {
+    Document doc = SmallDoc();
+    auto store = BuildStore(doc, &file);
+    ASSERT_TRUE(store->buffer_pool()->FlushAll().ok());
+  }
+  // Corrupt the record count.
+  Page p;
+  ASSERT_TRUE(file.ReadPage(0, &p).ok());
+  NokPageHeader header = p.ReadAt<NokPageHeader>(0);
+  header.num_records = 0;
+  p.WriteAt(0, header);
+  ASSERT_TRUE(file.WritePage(0, p).ok());
+  std::unique_ptr<NokStore> reopened;
+  EXPECT_EQ(NokStore::Open(&file, {}, &reopened).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NokStoreTest, IntegrityCatchesCorruptSubtreeSize) {
+  MemPagedFile file;
+  Document doc = SmallDoc();
+  auto store = BuildStore(doc, &file);
+  ASSERT_TRUE(store->buffer_pool()->FlushAll().ok());
+  Page p;
+  ASSERT_TRUE(file.ReadPage(0, &p).ok());
+  NokRecord rec = p.ReadAt<NokRecord>(RecordOffset(3));
+  rec.subtree_size = 100;  // exceeds the document
+  p.WriteAt(RecordOffset(3), rec);
+  ASSERT_TRUE(file.WritePage(0, p).ok());
+  ASSERT_TRUE(store->buffer_pool()->EvictAll().ok());
+  EXPECT_FALSE(store->CheckIntegrity().ok());
+}
+
+TEST(NokStoreTest, RecordOutOfRangeFails) {
+  MemPagedFile file;
+  Document doc = SmallDoc();
+  auto store = BuildStore(doc, &file);
+  EXPECT_FALSE(store->Record(store->num_nodes()).ok());
+  EXPECT_FALSE(store->AccessCode(store->num_nodes()).ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "nok/nok_store.h"
+#include "storage/paged_file.h"
+#include "xml/xmark_generator.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+Document XMarkDoc(uint32_t nodes, uint64_t seed = 3) {
+  XMarkOptions opts;
+  opts.seed = seed;
+  opts.target_nodes = nodes;
+  Document doc;
+  EXPECT_TRUE(GenerateXMark(opts, &doc).ok());
+  return doc;
+}
+
+void ExpectStoresEqual(NokStore* a, NokStore* b) {
+  ASSERT_EQ(a->num_nodes(), b->num_nodes());
+  ASSERT_EQ(a->num_pages(), b->num_pages());
+  for (NodeId n = 0; n < a->num_nodes(); ++n) {
+    auto ra = a->Record(n);
+    auto rb = b->Record(n);
+    ASSERT_TRUE(ra.ok() && rb.ok()) << n;
+    ASSERT_EQ(a->tags().Name(ra->tag), b->tags().Name(rb->tag)) << n;
+    ASSERT_EQ(ra->subtree_size, rb->subtree_size) << n;
+    ASSERT_EQ(ra->depth, rb->depth) << n;
+    auto ca = a->AccessCode(n);
+    auto cb = b->AccessCode(n);
+    ASSERT_TRUE(ca.ok() && cb.ok()) << n;
+    ASSERT_EQ(*ca, *cb) << n;
+  }
+  ASSERT_TRUE(b->CheckIntegrity().ok());
+}
+
+TEST(NokPersistenceTest, SnapshotRoundTripsFreshStore) {
+  Document doc = XMarkDoc(3000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 64;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, options,
+                              [](NodeId n) { return n % 5; }, &store)
+                  .ok());
+  ASSERT_TRUE(store->Persist().ok());
+  std::unique_ptr<NokStore> reopened;
+  ASSERT_TRUE(NokStore::Open(&file, options, &reopened).ok());
+  ExpectStoresEqual(store.get(), reopened.get());
+  // The tag dictionary survives by name.
+  EXPECT_EQ(reopened->tags().Lookup("item"), store->tags().Lookup("item"));
+}
+
+TEST(NokPersistenceTest, SnapshotSurvivesSplitsAndStructuralUpdates) {
+  Document doc = XMarkDoc(4000, 7);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 48;
+  options.transition_slack = 0;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, options, nullptr, &store).ok());
+
+  // Force page churn: a transition-heavy ACL rewrite (splits), a subtree
+  // deletion, and an insertion.
+  std::vector<DolTransition> ts;
+  for (uint16_t s = 1; s < store->page_infos()[2].num_records; ++s) {
+    ts.push_back(DolTransition{s, 0, s % 2 ? 7u : 8u});
+  }
+  ASSERT_TRUE(store->SetPageAcl(2, 7u, ts).ok());
+  ASSERT_TRUE(store->DeleteSubtree(100).ok());
+  Document frag;
+  ASSERT_TRUE(ParseXml("<extra><one/><two>t</two></extra>", &frag).ok());
+  auto pos = store->InsertSubtree(0, kInvalidNode, frag,
+                                  [](NodeId) { return 9u; });
+  ASSERT_TRUE(pos.ok());
+  ASSERT_TRUE(store->CheckIntegrity().ok());
+
+  // Without a snapshot, physical order no longer matches document order;
+  // with one, Open restores the exact store.
+  ASSERT_TRUE(store->Persist().ok());
+  std::unique_ptr<NokStore> reopened;
+  ASSERT_TRUE(NokStore::Open(&file, options, &reopened).ok());
+  ExpectStoresEqual(store.get(), reopened.get());
+  // The inserted fragment is fully visible through the reopened store.
+  auto rec = reopened->Record(*pos);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(reopened->tags().Name(rec->tag), "extra");
+  auto code = reopened->AccessCode(*pos);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, 9u);
+}
+
+TEST(NokPersistenceTest, RepeatedPersistUsesLatestSnapshot) {
+  Document doc = XMarkDoc(1500);
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  ASSERT_TRUE(store->Persist().ok());
+  ASSERT_TRUE(store->DeleteSubtree(50).ok());
+  ASSERT_TRUE(store->Persist().ok());
+  std::unique_ptr<NokStore> reopened;
+  ASSERT_TRUE(NokStore::Open(&file, {}, &reopened).ok());
+  EXPECT_EQ(reopened->num_nodes(), store->num_nodes());
+  ExpectStoresEqual(store.get(), reopened.get());
+}
+
+TEST(NokPersistenceTest, OnDiskRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() / "secxml_store.db";
+  std::filesystem::remove(path);
+  Document doc = XMarkDoc(2000);
+  {
+    auto created = FilePagedFile::Create(path.string());
+    ASSERT_TRUE(created.ok());
+    std::unique_ptr<NokStore> store;
+    ASSERT_TRUE(NokStore::Build(doc, created->get(), {},
+                                [](NodeId n) { return n / 100; }, &store)
+                    .ok());
+    ASSERT_TRUE(store->DeleteSubtree(20).ok());
+    ASSERT_TRUE(store->Persist().ok());
+  }  // file closed
+  {
+    auto opened = FilePagedFile::Open(path.string());
+    ASSERT_TRUE(opened.ok());
+    std::unique_ptr<NokStore> store;
+    ASSERT_TRUE(NokStore::Open(opened->get(), {}, &store).ok());
+    EXPECT_EQ(store->num_nodes(), doc.NumNodes() - doc.SubtreeSize(20));
+    EXPECT_TRUE(store->CheckIntegrity().ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(NokPersistenceTest, ValuesSurvivePersistAndCompact) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b>hello</b><c attr=\"7\">world</c><d/></a>", &doc)
+                  .ok());
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  ASSERT_TRUE(store->Persist().ok());
+
+  std::unique_ptr<NokStore> reopened;
+  ASSERT_TRUE(NokStore::Open(&file, {}, &reopened).ok());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    auto rec = reopened->Record(n);
+    ASSERT_TRUE(rec.ok());
+    ASSERT_EQ(reopened->Value(*rec), doc.Value(n)) << n;
+  }
+
+  MemPagedFile compact_file;
+  std::unique_ptr<NokStore> compacted;
+  ASSERT_TRUE(reopened->CompactTo(&compact_file, {}, &compacted).ok());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    auto rec = compacted->Record(n);
+    ASSERT_TRUE(rec.ok());
+    ASSERT_EQ(compacted->Value(*rec), doc.Value(n)) << n;
+  }
+}
+
+TEST(NokPersistenceTest, CompactReclaimsOrphanedPages) {
+  Document doc = XMarkDoc(3000);
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 48;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, options, nullptr, &store).ok());
+  // Churn: deletions orphan pages, persists append snapshots.
+  for (NodeId victim : {400u, 800u, 1200u}) {
+    ASSERT_TRUE(store->DeleteSubtree(victim).ok());
+    ASSERT_TRUE(store->Persist().ok());
+  }
+  MemPagedFile compact_file;
+  std::unique_ptr<NokStore> compacted;
+  ASSERT_TRUE(store->CompactTo(&compact_file, options, &compacted).ok());
+  EXPECT_LT(compact_file.NumPages(), file.NumPages());
+  ASSERT_TRUE(compacted->CheckIntegrity().ok());
+  EXPECT_EQ(compacted->num_nodes(), store->num_nodes());
+  // And the compacted file reopens.
+  std::unique_ptr<NokStore> reopened;
+  ASSERT_TRUE(NokStore::Open(&compact_file, options, &reopened).ok());
+  EXPECT_EQ(reopened->num_nodes(), store->num_nodes());
+}
+
+TEST(NokPersistenceTest, CompactRequiresEmptyDestination) {
+  Document doc = XMarkDoc(500);
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  MemPagedFile dest;
+  ASSERT_TRUE(dest.AllocatePage().ok());
+  std::unique_ptr<NokStore> out;
+  EXPECT_FALSE(store->CompactTo(&dest, {}, &out).ok());
+}
+
+TEST(NokPersistenceTest, CorruptSuperblockRejected) {
+  Document doc = XMarkDoc(1000);
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  ASSERT_TRUE(store->Persist().ok());
+  // Corrupt the superblock's blob extent.
+  Page p;
+  PageId last = file.NumPages() - 1;
+  ASSERT_TRUE(file.ReadPage(last, &p).ok());
+  p.WriteAt<uint32_t>(16, 0xfffffff0u);  // blob_start out of range
+  ASSERT_TRUE(file.WritePage(last, p).ok());
+  std::unique_ptr<NokStore> reopened;
+  EXPECT_EQ(NokStore::Open(&file, {}, &reopened).code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "nok/nok_store.h"
+#include "storage/paged_file.h"
+#include "xml/xmark_generator.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+/// Flat reference model of a labeled document, spliced in O(n) per update.
+struct Model {
+  std::vector<std::string> tags;
+  std::vector<uint32_t> sizes;
+  std::vector<uint16_t> depths;
+  std::vector<std::string> values;
+  std::vector<uint32_t> codes;
+
+  size_t size() const { return tags.size(); }
+
+  static Model FromDocument(const Document& doc,
+                            const std::function<uint32_t(NodeId)>& code_of) {
+    Model m;
+    for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+      m.tags.push_back(doc.TagName(n));
+      m.sizes.push_back(doc.SubtreeSize(n));
+      m.depths.push_back(doc.Depth(n));
+      m.values.emplace_back(doc.Value(n));
+      m.codes.push_back(code_of ? code_of(n) : 0);
+    }
+    return m;
+  }
+
+  /// Ancestors-or-self of `n` (every a <= n whose interval covers n).
+  std::vector<NodeId> AncestorsOrSelf(NodeId n) const {
+    std::vector<NodeId> out;
+    for (NodeId a = 0; a <= n; ++a) {
+      if (a + sizes[a] > n) out.push_back(a);
+    }
+    return out;
+  }
+
+  void Delete(NodeId root) {
+    uint32_t count = sizes[root];
+    for (NodeId a : AncestorsOrSelf(root)) {
+      if (a != root) sizes[a] -= count;
+    }
+    auto erase_range = [&](auto& v) {
+      v.erase(v.begin() + root, v.begin() + root + count);
+    };
+    erase_range(tags);
+    erase_range(sizes);
+    erase_range(depths);
+    erase_range(values);
+    erase_range(codes);
+  }
+
+  void Insert(NodeId parent, NodeId p, const Document& frag,
+              const std::function<uint32_t(NodeId)>& code_of) {
+    uint32_t count = static_cast<uint32_t>(frag.NumNodes());
+    for (NodeId a : AncestorsOrSelf(parent)) sizes[a] += count;
+    uint16_t base_depth = static_cast<uint16_t>(depths[parent] + 1);
+    std::vector<std::string> ftags, fvalues;
+    std::vector<uint32_t> fsizes, fcodes;
+    std::vector<uint16_t> fdepths;
+    for (NodeId f = 0; f < count; ++f) {
+      ftags.push_back(frag.TagName(f));
+      fsizes.push_back(frag.SubtreeSize(f));
+      fdepths.push_back(static_cast<uint16_t>(base_depth + frag.Depth(f)));
+      fvalues.emplace_back(frag.Value(f));
+      fcodes.push_back(code_of ? code_of(f) : 0);
+    }
+    tags.insert(tags.begin() + p, ftags.begin(), ftags.end());
+    sizes.insert(sizes.begin() + p, fsizes.begin(), fsizes.end());
+    depths.insert(depths.begin() + p, fdepths.begin(), fdepths.end());
+    values.insert(values.begin() + p, fvalues.begin(), fvalues.end());
+    codes.insert(codes.begin() + p, fcodes.begin(), fcodes.end());
+  }
+};
+
+void ExpectStoreMatchesModel(NokStore* store, const Model& m) {
+  ASSERT_EQ(store->num_nodes(), m.size());
+  ASSERT_TRUE(store->CheckIntegrity().ok());
+  for (NodeId n = 0; n < m.size(); ++n) {
+    auto rec = store->Record(n);
+    ASSERT_TRUE(rec.ok()) << n;
+    ASSERT_EQ(store->tags().Name(rec->tag), m.tags[n]) << n;
+    ASSERT_EQ(rec->subtree_size, m.sizes[n]) << n;
+    ASSERT_EQ(rec->depth, m.depths[n]) << n;
+    ASSERT_EQ(store->Value(*rec), m.values[n]) << n;
+    auto code = store->AccessCode(n);
+    ASSERT_TRUE(code.ok()) << n;
+    ASSERT_EQ(*code, m.codes[n]) << n;
+  }
+  // Postings agree with a model recount for every tag seen.
+  for (size_t t = 0; t < store->tags().size(); ++t) {
+    std::vector<NodeId> want;
+    for (NodeId n = 0; n < m.size(); ++n) {
+      if (m.tags[n] == store->tags().Name(static_cast<TagId>(t))) {
+        want.push_back(n);
+      }
+    }
+    ASSERT_EQ(store->Postings(static_cast<TagId>(t)), want)
+        << store->tags().Name(static_cast<TagId>(t));
+  }
+}
+
+Document MakeFragment(Rng* rng, int max_nodes) {
+  DocumentBuilder b;
+  b.BeginElement("frag");
+  EXPECT_TRUE(b.Text("v" + std::to_string(rng->Uniform(100))).ok());
+  int n = 1 + static_cast<int>(rng->Uniform(static_cast<uint64_t>(max_nodes)));
+  int open = 1;
+  for (int i = 0; i < n; ++i) {
+    while (open > 1 && rng->Bernoulli(0.4)) {
+      EXPECT_TRUE(b.EndElement().ok());
+      --open;
+    }
+    b.BeginElement(rng->Bernoulli(0.3) ? "item" : "leafy");
+    ++open;
+  }
+  while (open-- > 0) EXPECT_TRUE(b.EndElement().ok());
+  Document doc;
+  EXPECT_TRUE(b.Finish(&doc).ok());
+  return doc;
+}
+
+TEST(StructuralUpdateTest, DeleteLeafAndSubtree) {
+  Document doc;
+  ASSERT_TRUE(
+      ParseXml("<a><b><c/><d/></b><e>x</e><f><g><h/></g></f></a>", &doc).ok());
+  auto code_of = [](NodeId n) { return n % 3; };
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, code_of, &store).ok());
+  Model m = Model::FromDocument(doc, code_of);
+
+  // Delete leaf c (node 2).
+  ASSERT_TRUE(store->DeleteSubtree(2).ok());
+  m.Delete(2);
+  ExpectStoreMatchesModel(store.get(), m);
+
+  // Delete subtree f (now at id 4: a b d e f g h).
+  ASSERT_TRUE(store->DeleteSubtree(4).ok());
+  m.Delete(4);
+  ExpectStoreMatchesModel(store.get(), m);
+  EXPECT_EQ(store->num_nodes(), 4u);
+}
+
+TEST(StructuralUpdateTest, DeleteRootRejected) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &doc).ok());
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  EXPECT_FALSE(store->DeleteSubtree(0).ok());
+}
+
+TEST(StructuralUpdateTest, InsertAsFirstAndAfterChild) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/><c><d/></c></a>", &doc).ok());
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  Model m = Model::FromDocument(doc, nullptr);
+
+  Document frag;
+  ASSERT_TRUE(ParseXml("<x><y>val</y></x>", &frag).ok());
+  auto fcode = [](NodeId f) { return f == 0 ? 5u : 7u; };
+
+  // Insert as first child of c (node 2): lands at id 3.
+  auto pos = store->InsertSubtree(2, kInvalidNode, frag, fcode);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 3u);
+  m.Insert(2, 3, frag, fcode);
+  ExpectStoreMatchesModel(store.get(), m);
+
+  // Insert after child b (node 1) of the root.
+  pos = store->InsertSubtree(0, 1, frag, fcode);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 2u);
+  m.Insert(0, 2, frag, fcode);
+  ExpectStoreMatchesModel(store.get(), m);
+}
+
+TEST(StructuralUpdateTest, InsertValidation) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/></b><d/></a>", &doc).ok());
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  Document frag;
+  ASSERT_TRUE(ParseXml("<x/>", &frag).ok());
+  // 'after' must be a child of 'parent': c (2) is a grandchild of a (0).
+  EXPECT_FALSE(store->InsertSubtree(0, 2, frag, nullptr).ok());
+  // 'after' outside the parent entirely.
+  EXPECT_FALSE(store->InsertSubtree(1, 3, frag, nullptr).ok());
+  Document empty;
+  EXPECT_FALSE(store->InsertSubtree(0, kInvalidNode, empty, nullptr).ok());
+}
+
+TEST(StructuralUpdateTest, AncestorChain) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c><d/></c></b><e/></a>", &doc).ok());
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {}, nullptr, &store).ok());
+  std::vector<NodeId> chain;
+  ASSERT_TRUE(store->AncestorChain(3, &chain).ok());  // d
+  EXPECT_EQ(chain, (std::vector<NodeId>{0, 1, 2}));
+  ASSERT_TRUE(store->AncestorChain(4, &chain).ok());  // e
+  EXPECT_EQ(chain, (std::vector<NodeId>{0}));
+  ASSERT_TRUE(store->AncestorChain(0, &chain).ok());
+  EXPECT_TRUE(chain.empty());
+}
+
+class StructuralUpdatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuralUpdatePropertyTest, RandomOpsMatchReferenceModel) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 733 + 5);
+  XMarkOptions xopts;
+  xopts.seed = static_cast<uint64_t>(GetParam()) + 100;
+  xopts.target_nodes = 2500;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  auto code_of = [](NodeId n) { return (n / 41) % 4; };
+  MemPagedFile file;
+  NokStoreOptions options;
+  options.max_records_per_page = 48;  // many pages; exercises boundary cases
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, options, code_of, &store).ok());
+  Model m = Model::FromDocument(doc, code_of);
+
+  for (int round = 0; round < 12; ++round) {
+    if (rng.Bernoulli(0.5) && m.size() > 100) {
+      // Delete a random subtree of bounded size.
+      NodeId root = 0;
+      for (int tries = 0; tries < 50; ++tries) {
+        NodeId cand = 1 + static_cast<NodeId>(rng.Uniform(m.size() - 1));
+        if (m.sizes[cand] <= 400) {
+          root = cand;
+          break;
+        }
+      }
+      if (root == 0) continue;
+      ASSERT_TRUE(store->DeleteSubtree(root).ok()) << "round " << round;
+      m.Delete(root);
+    } else {
+      Document frag = MakeFragment(&rng, 30);
+      auto fcode = [](NodeId f) { return 2 + f % 3; };
+      NodeId parent = static_cast<NodeId>(rng.Uniform(m.size()));
+      // Choose a random child of parent to insert after (or first child).
+      NodeId after = kInvalidNode;
+      if (m.sizes[parent] > 1 && rng.Bernoulli(0.7)) {
+        std::vector<NodeId> children;
+        NodeId c = parent + 1;
+        while (c < parent + m.sizes[parent]) {
+          children.push_back(c);
+          c += m.sizes[c];
+        }
+        after = children[rng.Uniform(children.size())];
+      }
+      NodeId p = after == kInvalidNode ? parent + 1 : after + m.sizes[after];
+      auto pos = store->InsertSubtree(parent, after, frag, fcode);
+      ASSERT_TRUE(pos.ok()) << "round " << round << ": " << pos.status();
+      ASSERT_EQ(*pos, p);
+      m.Insert(parent, p, frag, fcode);
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectStoreMatchesModel(store.get(), m))
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, StructuralUpdatePropertyTest,
+                         ::testing::Range(0, 6));
+
+TEST(StructuralUpdateTest, SecureStoreInsertInternsCodes) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/><c/></a>", &doc).ok());
+  DenseAccessMap map(3, 2);
+  map.Set(0, 0, true);
+  map.Set(0, 1, true);
+  map.Set(1, 0, true);
+  DolLabeling labeling = DolLabeling::Build(map);
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+  ASSERT_TRUE(SecureStore::Build(doc, labeling, &file, {}, &store).ok());
+
+  Document frag;
+  ASSERT_TRUE(ParseXml("<x><secret/></x>", &frag).ok());
+  DenseAccessMap fmap(2, 2);
+  fmap.Set(1, 0, true);  // x: only subject 1
+  fmap.Set(0, 1, true);  // secret: only subject 0 (same ACL as node b!)
+  fmap.Set(1, 1, false);
+  DolLabeling flab = DolLabeling::Build(fmap);
+
+  size_t entries_before = store->codebook().size();
+  auto pos = store->InsertSubtree(0, 2, frag, flab);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 3u);
+  ASSERT_EQ(store->num_nodes(), 5u);
+  // x's ACL ("01") is new; secret's ACL ("10") already existed — dedup.
+  EXPECT_EQ(store->codebook().size(), entries_before + 1);
+  struct Want {
+    NodeId n;
+    bool s0, s1;
+  };
+  for (const Want& w : {Want{0, true, true}, Want{1, true, false},
+                        Want{2, false, false}, Want{3, false, true},
+                        Want{4, true, false}}) {
+    auto a0 = store->Accessible(0, w.n);
+    auto a1 = store->Accessible(1, w.n);
+    ASSERT_TRUE(a0.ok() && a1.ok());
+    EXPECT_EQ(*a0, w.s0) << w.n;
+    EXPECT_EQ(*a1, w.s1) << w.n;
+  }
+
+  // Mismatched subject widths rejected.
+  DenseAccessMap bad(2, 3);
+  DolLabeling bad_lab = DolLabeling::Build(bad);
+  EXPECT_FALSE(store->InsertSubtree(0, kInvalidNode, frag, bad_lab).ok());
+}
+
+TEST(StructuralUpdateTest, DeletePreservesFollowingCodes) {
+  // The code of the node right after the deleted range must be preserved
+  // even when the deletion removes the transition that established it.
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/><d/></b><e/><f/></a>", &doc).ok());
+  // Codes: a=1 b=2 c=2 d=2 e=3 f=3.
+  std::vector<uint32_t> codes = {1, 2, 2, 2, 3, 3};
+  MemPagedFile file;
+  std::unique_ptr<NokStore> store;
+  ASSERT_TRUE(NokStore::Build(doc, &file, {},
+                              [&codes](NodeId n) { return codes[n]; }, &store)
+                  .ok());
+  ASSERT_TRUE(store->DeleteSubtree(1).ok());  // removes b,c,d
+  // Remaining: a(1) e(3) f(3) at ids 0,1,2.
+  for (NodeId n : {0u, 1u, 2u}) {
+    auto code = store->AccessCode(n);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(*code, n == 0 ? 1u : 3u) << n;
+  }
+  EXPECT_TRUE(store->CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,103 @@
+#include "nok/tag_index.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+struct Fixture {
+  Document doc;
+  MemPagedFile store_file;
+  MemPagedFile index_file;
+  std::unique_ptr<NokStore> store;
+  std::unique_ptr<DiskTagIndex> index;
+};
+
+std::unique_ptr<Fixture> MakeFixture(uint32_t nodes) {
+  auto f = std::make_unique<Fixture>();
+  XMarkOptions opts;
+  opts.target_nodes = nodes;
+  EXPECT_TRUE(GenerateXMark(opts, &f->doc).ok());
+  EXPECT_TRUE(
+      NokStore::Build(f->doc, &f->store_file, {}, nullptr, &f->store).ok());
+  Status st = DiskTagIndex::Build(f->store.get(), &f->index_file, 64,
+                                  &f->index);
+  EXPECT_TRUE(st.ok()) << st;
+  return f;
+}
+
+TEST(DiskTagIndexTest, IndexesEveryNode) {
+  auto f = MakeFixture(8000);
+  EXPECT_EQ(f->index->num_entries(), f->doc.NumNodes());
+}
+
+TEST(DiskTagIndexTest, PostingsMatchInMemoryIndex) {
+  auto f = MakeFixture(8000);
+  for (const char* tag : {"item", "keyword", "parlist", "site", "bold"}) {
+    TagId id = f->store->tags().Lookup(tag);
+    ASSERT_NE(id, kInvalidTag) << tag;
+    auto disk = f->index->Postings(id);
+    ASSERT_TRUE(disk.ok());
+    const std::vector<NodeId>& mem = f->store->Postings(id);
+    ASSERT_EQ(disk->size(), mem.size()) << tag;
+    for (size_t i = 0; i < mem.size(); ++i) {
+      ASSERT_EQ((*disk)[i].node, mem[i]);
+      ASSERT_EQ((*disk)[i].subtree_size, f->doc.SubtreeSize(mem[i]));
+    }
+  }
+}
+
+TEST(DiskTagIndexTest, AbsentTagYieldsEmptyPostings) {
+  auto f = MakeFixture(2000);
+  auto got = f->index->Postings(9999);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(DiskTagIndexTest, AddAndRemove) {
+  auto f = MakeFixture(2000);
+  TagId item = f->store->tags().Lookup("item");
+  ASSERT_NE(item, kInvalidTag);
+  auto before = f->index->Postings(item);
+  ASSERT_TRUE(before.ok());
+  NodeId victim = (*before)[0].node;
+  ASSERT_TRUE(f->index->Remove(item, victim).ok());
+  auto after = f->index->Postings(item);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before->size() - 1);
+  ASSERT_TRUE(f->index->Add(item, victim, f->doc.SubtreeSize(victim)).ok());
+  auto restored = f->index->Postings(item);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), before->size());
+  EXPECT_EQ((*restored)[0].node, victim);
+}
+
+TEST(DiskTagIndexTest, PersistsAcrossReopen) {
+  auto f = MakeFixture(4000);
+  ASSERT_TRUE(f->index->Flush().ok());
+  std::unique_ptr<DiskTagIndex> reopened;
+  ASSERT_TRUE(DiskTagIndex::Open(&f->index_file, 32, &reopened).ok());
+  EXPECT_EQ(reopened->num_entries(), f->doc.NumNodes());
+  TagId keyword = f->store->tags().Lookup("keyword");
+  auto got = reopened->Postings(keyword);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), f->store->Postings(keyword).size());
+}
+
+TEST(DiskTagIndexTest, ScanIsPageEfficient) {
+  auto f = MakeFixture(20000);
+  TagId item = f->store->tags().Lookup("item");
+  ASSERT_TRUE(f->index->tree()->buffer_pool()->EvictAll().ok());
+  f->index->tree()->buffer_pool()->mutable_stats()->Reset();
+  auto got = f->index->Postings(item);
+  ASSERT_TRUE(got.ok());
+  // A range scan reads ~height + ceil(postings / leaf capacity) pages, far
+  // fewer than one page per posting.
+  uint64_t reads = f->index->io_stats().page_reads;
+  EXPECT_LT(reads, got->size() / 50 + 10);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,104 @@
+#include "query/decomposer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/xpath_parser.h"
+
+namespace secxml {
+namespace {
+
+DecomposedQuery Decomposed(const std::string& q) {
+  PatternTree t;
+  EXPECT_TRUE(ParseXPath(q, &t).ok());
+  DecomposedQuery d;
+  Status s = Decompose(t, &d);
+  EXPECT_TRUE(s.ok()) << s;
+  return d;
+}
+
+TEST(DecomposerTest, PureChildPathIsOneFragment) {
+  DecomposedQuery d =
+      Decomposed("/site/regions/africa/item[location][name][quantity]");
+  ASSERT_EQ(d.fragments.size(), 1u);
+  const QueryFragment& f = d.fragments[0];
+  EXPECT_TRUE(f.root_anchored);
+  EXPECT_EQ(f.tree.nodes.size(), 7u);
+  EXPECT_EQ(f.returning_local, 3);
+  EXPECT_EQ(d.returning_fragment, 0);
+  ASSERT_TRUE(f.tree.Validate().ok());
+}
+
+TEST(DecomposerTest, DescendantChainSplits) {
+  DecomposedQuery d = Decomposed("//parlist//parlist");
+  ASSERT_EQ(d.fragments.size(), 2u);
+  EXPECT_FALSE(d.fragments[0].root_anchored);
+  EXPECT_EQ(d.fragments[0].tree.nodes.size(), 1u);
+  EXPECT_EQ(d.fragments[1].tree.nodes.size(), 1u);
+  EXPECT_EQ(d.fragments[1].parent_fragment, 0);
+  EXPECT_EQ(d.fragments[1].source_in_parent, 0);
+  EXPECT_EQ(d.returning_fragment, 1);
+  EXPECT_EQ(d.fragments[1].returning_local, 0);
+}
+
+TEST(DecomposerTest, MixedAxesSplitAtDescendantEdges) {
+  // /site//item[name]/quantity -> fragment {site}, fragment {item,name,quantity}
+  DecomposedQuery d = Decomposed("/site//item[name]/quantity");
+  ASSERT_EQ(d.fragments.size(), 2u);
+  EXPECT_TRUE(d.fragments[0].root_anchored);
+  EXPECT_EQ(d.fragments[0].tree.nodes.size(), 1u);
+  const QueryFragment& f1 = d.fragments[1];
+  EXPECT_EQ(f1.tree.nodes.size(), 3u);
+  EXPECT_EQ(f1.tree.nodes[0].tag, "item");
+  EXPECT_EQ(f1.tree.nodes[1].tag, "name");
+  EXPECT_EQ(f1.tree.nodes[2].tag, "quantity");
+  EXPECT_EQ(f1.returning_local, 2);
+  EXPECT_EQ(f1.parent_fragment, 0);
+  EXPECT_EQ(f1.source_in_parent, 0);
+  ASSERT_TRUE(f1.tree.Validate().ok());
+}
+
+TEST(DecomposerTest, DescendantPredicateBranches) {
+  // /a[//b]/c: fragment {a, c} plus fragment {b} hanging off a.
+  DecomposedQuery d = Decomposed("/a[//b]/c");
+  ASSERT_EQ(d.fragments.size(), 2u);
+  const QueryFragment& f0 = d.fragments[0];
+  ASSERT_EQ(f0.tree.nodes.size(), 2u);
+  EXPECT_EQ(f0.tree.nodes[0].tag, "a");
+  EXPECT_EQ(f0.tree.nodes[1].tag, "c");
+  EXPECT_EQ(f0.returning_local, 1);
+  const QueryFragment& f1 = d.fragments[1];
+  EXPECT_EQ(f1.tree.nodes[0].tag, "b");
+  EXPECT_EQ(f1.parent_fragment, 0);
+  EXPECT_EQ(f1.source_in_parent, 0);  // hangs off 'a'
+  EXPECT_EQ(d.returning_fragment, 0);
+}
+
+TEST(DecomposerTest, FragmentLocalIdsMapBack) {
+  DecomposedQuery d = Decomposed("/site//item[name]/quantity");
+  const QueryFragment& f1 = d.fragments[1];
+  ASSERT_EQ(f1.orig_ids.size(), 3u);
+  EXPECT_EQ(f1.orig_ids[0], 1);  // item was pattern node 1
+  EXPECT_EQ(f1.orig_ids[1], 2);
+  EXPECT_EQ(f1.orig_ids[2], 3);
+}
+
+TEST(DecomposerTest, ThreeLevelChain) {
+  DecomposedQuery d = Decomposed("//a/b//c//d[e]");
+  ASSERT_EQ(d.fragments.size(), 3u);
+  EXPECT_EQ(d.fragments[0].tree.nodes.size(), 2u);  // a/b
+  EXPECT_EQ(d.fragments[1].tree.nodes.size(), 1u);  // c
+  EXPECT_EQ(d.fragments[2].tree.nodes.size(), 2u);  // d[e]
+  EXPECT_EQ(d.fragments[1].parent_fragment, 0);
+  EXPECT_EQ(d.fragments[1].source_in_parent, 1);    // under b
+  EXPECT_EQ(d.fragments[2].parent_fragment, 1);
+  EXPECT_EQ(d.returning_fragment, 2);
+}
+
+TEST(DecomposerTest, RejectsInvalidPattern) {
+  PatternTree t;  // empty
+  DecomposedQuery d;
+  EXPECT_FALSE(Decompose(t, &d).ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,114 @@
+// Randomized cross-validation: hundreds of generated twig queries over
+// random documents and access controls must agree with the oracle evaluator
+// under all three semantics.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+#include "reference_eval.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+class EvaluatorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvaluatorFuzzTest, RandomTwigsMatchOracle) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  XMarkOptions xopts;
+  xopts.seed = seed + 500;
+  xopts.target_nodes = 3000;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = seed + 900;
+  aopts.accessibility_ratio = 0.6;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, 3, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  MemPagedFile file;
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 64;
+  std::unique_ptr<SecureStore> store;
+  ASSERT_TRUE(SecureStore::Build(doc, labeling, &file, sopts, &store).ok());
+  QueryEvaluator eval(store.get());
+
+  // Accessibility / visibility predicates for the oracle.
+  std::vector<bool> accessible(doc.NumNodes()), visible(doc.NumNodes());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    accessible[n] = labeling.Accessible(0, n);
+    NodeId p = doc.Parent(n);
+    visible[n] = accessible[n] && (p == kInvalidNode || visible[p]);
+  }
+
+  constexpr int kQueries = 40;
+  for (int qi = 0; qi < kQueries; ++qi) {
+    QueryGenOptions qopts;
+    qopts.seed = seed * 1000 + static_cast<uint64_t>(qi);
+    qopts.max_nodes = 2 + qi % 6;
+    PatternTree pattern = GenerateTwigQuery(doc, qopts);
+    ASSERT_TRUE(pattern.Validate().ok()) << pattern.ToString();
+
+    struct Case {
+      AccessSemantics semantics;
+      const std::vector<bool>* filter;
+    };
+    const Case cases[] = {
+        {AccessSemantics::kNone, nullptr},
+        {AccessSemantics::kBinding, &accessible},
+        {AccessSemantics::kView, &visible},
+    };
+    for (const Case& c : cases) {
+      EvalOptions opts;
+      opts.semantics = c.semantics;
+      auto got = eval.Evaluate(pattern, opts);
+      ASSERT_TRUE(got.ok()) << pattern.ToString() << ": " << got.status();
+      auto want = ReferenceEvaluate(
+          doc, pattern, [&c](NodeId n) {
+            return c.filter == nullptr || (*c.filter)[n];
+          });
+      ASSERT_EQ(got->answers, want)
+          << "query " << qi << " seed " << seed << ": " << pattern.ToString()
+          << " semantics " << static_cast<int>(c.semantics);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorFuzzTest, ::testing::Range(0, 8));
+
+TEST(QueryGeneratorTest, GeneratedQueriesUsuallyHaveMatches) {
+  XMarkOptions xopts;
+  xopts.target_nodes = 3000;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  int with_matches = 0;
+  constexpr int kN = 60;
+  for (int i = 0; i < kN; ++i) {
+    QueryGenOptions qopts;
+    qopts.seed = static_cast<uint64_t>(i);
+    PatternTree pattern = GenerateTwigQuery(doc, qopts);
+    auto answers =
+        ReferenceEvaluate(doc, pattern, [](NodeId) { return true; });
+    with_matches += answers.empty() ? 0 : 1;
+  }
+  // Grown along real paths, the bulk of queries must be satisfiable.
+  EXPECT_GT(with_matches, kN / 2);
+}
+
+TEST(QueryGeneratorTest, Table1QueriesParse) {
+  for (const char* q : kTable1Queries) {
+    PatternTree t;
+    ASSERT_TRUE(ParseXPath(q, &t).ok()) << q;
+    ASSERT_TRUE(t.Validate().ok()) << q;
+  }
+}
+
+}  // namespace
+}  // namespace secxml

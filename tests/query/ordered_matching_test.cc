@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xml_parser.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+/// Brute-force ordered twig oracle: enumerates assignments of pattern
+/// children to strictly ascending data children, recursively. Exponential,
+/// fine for small fixtures.
+class OrderedOracle {
+ public:
+  OrderedOracle(const Document& doc, const PatternTree& pattern,
+                std::function<bool(NodeId)> allowed)
+      : doc_(doc), pattern_(pattern), allowed_(std::move(allowed)) {}
+
+  /// All data nodes the returning pattern node can bind to over complete
+  /// ordered matches rooted anywhere valid. Pattern edges below the root
+  /// must be child edges (the tests use descendant axes only at the root).
+  std::vector<NodeId> Answers() {
+    std::vector<NodeId> out;
+    std::vector<NodeId> binding(pattern_.nodes.size(), kInvalidNode);
+    for (NodeId d = 0; d < doc_.NumNodes(); ++d) {
+      if (!pattern_.nodes[0].descendant_axis && d != 0) break;
+      if (!NodeMatches(0, d)) continue;
+      binding[0] = d;
+      RecurseInto(0, d, &binding, [&]() {
+        out.push_back(binding[pattern_.returning_node]);
+      });
+      binding[0] = kInvalidNode;
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  bool NodeMatches(int p, NodeId d) {
+    const PatternNode& pn = pattern_.nodes[p];
+    if (!allowed_(d)) return false;
+    if (pn.tag != "*" && doc_.TagName(d) != pn.tag) return false;
+    if (pn.has_value && doc_.Value(d) != pn.value) return false;
+    return true;
+  }
+
+  /// Assigns p's pattern subtree below an already-bound data node d, then
+  /// calls `cont` for every complete assignment.
+  void RecurseInto(int p, NodeId d, std::vector<NodeId>* binding,
+                   const std::function<void()>& cont) {
+    RecurseChildren(p, 0, d, kInvalidNode, binding, cont);
+  }
+
+  void RecurseChildren(int p, size_t idx, NodeId d, NodeId min_after,
+                       std::vector<NodeId>* binding,
+                       const std::function<void()>& cont) {
+    const PatternNode& pn = pattern_.nodes[p];
+    if (idx == pn.children.size()) {
+      cont();
+      return;
+    }
+    int c = pn.children[idx];
+    for (NodeId e = doc_.FirstChild(d); e != kInvalidNode;
+         e = doc_.NextSibling(e)) {
+      if (min_after != kInvalidNode && e <= min_after) continue;
+      if (!NodeMatches(c, e)) continue;
+      (*binding)[c] = e;
+      RecurseInto(c, e, binding, [&]() {
+        RecurseChildren(p, idx + 1, d, e, binding, cont);
+      });
+      (*binding)[c] = kInvalidNode;
+    }
+  }
+
+  const Document& doc_;
+  const PatternTree& pattern_;
+  std::function<bool(NodeId)> allowed_;
+};
+
+std::unique_ptr<SecureStore> BuildStore(const Document& doc,
+                                        const DolLabeling& labeling,
+                                        MemPagedFile* file) {
+  std::unique_ptr<SecureStore> store;
+  EXPECT_TRUE(SecureStore::Build(doc, labeling, file, {}, &store).ok());
+  return store;
+}
+
+DolLabeling AllAccessible(const Document& doc) {
+  DenseAccessMap map(static_cast<NodeId>(doc.NumNodes()), 1, true);
+  return DolLabeling::Build(map);
+}
+
+TEST(OrderedMatchingTest, SiblingOrderFiltersMatches) {
+  // a(b c) matches /a[b][c] ordered, but a(c b) does not.
+  for (auto [xml, expect] : {std::make_pair("<a><b/><c/></a>", true),
+                             std::make_pair("<a><c/><b/></a>", false)}) {
+    Document doc;
+    ASSERT_TRUE(ParseXml(xml, &doc).ok());
+    DolLabeling labeling = AllAccessible(doc);
+    MemPagedFile file;
+    auto store = BuildStore(doc, labeling, &file);
+    QueryEvaluator eval(store.get());
+    EvalOptions opts;
+    opts.ordered_siblings = true;
+    auto got = eval.EvaluateXPath("/a[b][c]", opts);
+    ASSERT_TRUE(got.ok()) << xml;
+    EXPECT_EQ(got->answers.size(), expect ? 1u : 0u) << xml;
+    // Unordered matching accepts both.
+    EvalOptions unordered;
+    auto loose = eval.EvaluateXPath("/a[b][c]", unordered);
+    ASSERT_TRUE(loose.ok());
+    EXPECT_EQ(loose->answers.size(), 1u) << xml;
+  }
+}
+
+TEST(OrderedMatchingTest, StrictlyAscendingNoSharedBinding) {
+  // Pattern /a[b][b]: unordered lets both pattern children share the single
+  // b; ordered needs two distinct ascending b children.
+  Document one;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &one).ok());
+  Document two;
+  ASSERT_TRUE(ParseXml("<a><b/><b/></a>", &two).ok());
+  for (auto [docp, expect] :
+       {std::make_pair(&one, false), std::make_pair(&two, true)}) {
+    DolLabeling labeling = AllAccessible(*docp);
+    MemPagedFile file;
+    auto store = BuildStore(*docp, labeling, &file);
+    QueryEvaluator eval(store.get());
+    EvalOptions opts;
+    opts.ordered_siblings = true;
+    auto got = eval.EvaluateXPath("/a[b][b]", opts);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->answers.size(), expect ? 1u : 0u);
+  }
+}
+
+TEST(OrderedMatchingTest, GreedyPitfallHandled) {
+  // Pattern /a[b][b/c]: the first data b (with c) must not be consumed by
+  // the looser first pattern child in a way that starves the second.
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/><b><c/></b></a>", &doc).ok());
+  DolLabeling labeling = AllAccessible(doc);
+  MemPagedFile file;
+  auto store = BuildStore(doc, labeling, &file);
+  QueryEvaluator eval(store.get());
+  EvalOptions opts;
+  opts.ordered_siblings = true;
+  auto got = eval.EvaluateXPath("/a[b][b/c]", opts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->answers.size(), 1u);
+  // Swapped data order: b(c) then b — pattern [b][b/c] now unsatisfiable.
+  Document swapped;
+  ASSERT_TRUE(ParseXml("<a><b><c/></b><b/></a>", &swapped).ok());
+  DolLabeling lab2 = AllAccessible(swapped);
+  MemPagedFile file2;
+  auto store2 = BuildStore(swapped, lab2, &file2);
+  QueryEvaluator eval2(store2.get());
+  auto got2 = eval2.EvaluateXPath("/a[b][b/c]", opts);
+  ASSERT_TRUE(got2.ok());
+  EXPECT_TRUE(got2->answers.empty());
+}
+
+class OrderedOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderedOracleTest, MatchesBruteForceWithAccessControl) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 53 + 11);
+  XMarkOptions xopts;
+  xopts.seed = static_cast<uint64_t>(GetParam()) + 40;
+  xopts.target_nodes = 1200;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = static_cast<uint64_t>(GetParam());
+  aopts.accessibility_ratio = 0.7;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, 2, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  MemPagedFile file;
+  auto store = BuildStore(doc, labeling, &file);
+  QueryEvaluator eval(store.get());
+
+  for (const char* q :
+       {"//item[location][name][quantity]", "//item[location][quantity]/name",
+        "//text[bold][keyword]", "//category[name][description]",
+        "//description/text[bold]"}) {
+    PatternTree pattern;
+    ASSERT_TRUE(ParseXPath(q, &pattern).ok());
+    for (bool secure : {false, true}) {
+      EvalOptions opts;
+      opts.ordered_siblings = true;
+      opts.semantics =
+          secure ? AccessSemantics::kBinding : AccessSemantics::kNone;
+      auto got = eval.Evaluate(pattern, opts);
+      ASSERT_TRUE(got.ok()) << q;
+      std::function<bool(NodeId)> allowed;
+      if (secure) {
+        allowed = [&labeling](NodeId n) { return labeling.Accessible(0, n); };
+      } else {
+        allowed = [](NodeId) { return true; };
+      }
+      OrderedOracle oracle(doc, pattern, allowed);
+      ASSERT_EQ(got->answers, oracle.Answers())
+          << q << " secure=" << secure << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderedOracleTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,90 @@
+#ifndef SECXML_TESTS_QUERY_REFERENCE_EVAL_H_
+#define SECXML_TESTS_QUERY_REFERENCE_EVAL_H_
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "query/pattern_tree.h"
+#include "xml/document.h"
+
+namespace secxml {
+
+/// Oracle twig evaluator used by the query tests: straightforward
+/// set-at-a-time dynamic programming over the in-memory Document, entirely
+/// independent of the NoK/DOL machinery under test. `candidate(n)` restricts
+/// which data nodes may be bound at all (true = usable); pass an
+/// accessibility or visibility predicate to model the secure semantics.
+/// Returns the distinct data nodes bound to the returning node over all
+/// homomorphisms, in document order.
+inline std::vector<NodeId> ReferenceEvaluate(
+    const Document& doc, const PatternTree& pattern,
+    const std::function<bool(NodeId)>& candidate) {
+  const size_t np = pattern.nodes.size();
+  std::vector<std::vector<NodeId>> match(np);
+
+  auto tag_ok = [&](const PatternNode& p, NodeId d) {
+    if (p.tag != "*" && doc.TagName(d) != p.tag) return false;
+    if (p.has_value && doc.Value(d) != p.value) return false;
+    return true;
+  };
+
+  // Bottom-up feasibility (pattern nodes are in preorder).
+  for (size_t pi = np; pi-- > 0;) {
+    const PatternNode& p = pattern.nodes[pi];
+    for (NodeId d = 0; d < doc.NumNodes(); ++d) {
+      if (!candidate(d) || !tag_ok(p, d)) continue;
+      bool ok = true;
+      for (int c : p.children) {
+        const PatternNode& pc = pattern.nodes[c];
+        const std::vector<NodeId>& mc = match[c];
+        auto it = std::upper_bound(mc.begin(), mc.end(), d);
+        bool found = false;
+        for (; it != mc.end() && *it < doc.SubtreeEnd(d); ++it) {
+          if (pc.descendant_axis || doc.Parent(*it) == d) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) match[pi].push_back(d);
+    }
+  }
+
+  // Top-down reachability.
+  std::vector<std::unordered_set<NodeId>> reach(np);
+  for (NodeId d : match[0]) {
+    if (pattern.nodes[0].descendant_axis || d == 0) reach[0].insert(d);
+  }
+  for (size_t pi = 1; pi < np; ++pi) {
+    const PatternNode& p = pattern.nodes[pi];
+    const std::unordered_set<NodeId>& rp = reach[p.parent];
+    for (NodeId d : match[pi]) {
+      if (p.descendant_axis) {
+        for (NodeId a = doc.Parent(d); a != kInvalidNode; a = doc.Parent(a)) {
+          if (rp.count(a)) {
+            reach[pi].insert(d);
+            break;
+          }
+        }
+      } else {
+        NodeId a = doc.Parent(d);
+        if (a != kInvalidNode && rp.count(a)) reach[pi].insert(d);
+      }
+    }
+  }
+
+  std::vector<NodeId> answers(reach[pattern.returning_node].begin(),
+                              reach[pattern.returning_node].end());
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+}  // namespace secxml
+
+#endif  // SECXML_TESTS_QUERY_REFERENCE_EVAL_H_

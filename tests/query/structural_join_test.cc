@@ -1,0 +1,133 @@
+#include "query/structural_join.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+std::vector<JoinItem> ItemsFor(const Document& doc,
+                               const std::vector<NodeId>& nodes) {
+  std::vector<JoinItem> items;
+  for (NodeId n : nodes) items.push_back({n, doc.SubtreeEnd(n)});
+  return items;
+}
+
+std::vector<NodeId> NodesWithTag(const Document& doc, const std::string& tag) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    if (doc.TagName(n) == tag) out.push_back(n);
+  }
+  return out;
+}
+
+TEST(StructuralJoinTest, SimplePairs) {
+  // Tree intervals: a=[0,6) containing b=[1,3), with descendants at 2 and 4.
+  std::vector<JoinItem> anc = {{0, 6}, {1, 3}};
+  std::vector<NodeId> desc = {2, 4, 7};
+  auto pairs = StackTreeDesc(anc, desc);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], std::make_pair(0u, 2u));
+  EXPECT_EQ(pairs[1], std::make_pair(1u, 2u));
+  EXPECT_EQ(pairs[2], std::make_pair(0u, 4u));
+}
+
+TEST(StructuralJoinTest, AncestorNotBeforeDescendantExcluded) {
+  std::vector<JoinItem> anc = {{5, 10}};
+  std::vector<NodeId> desc = {5};  // equal: a node is not its own descendant
+  EXPECT_TRUE(StackTreeDesc(anc, desc).empty());
+}
+
+TEST(StructuralJoinTest, MatchesBruteForceOnXMark) {
+  XMarkOptions opts;
+  opts.target_nodes = 8000;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+  for (auto [atag, dtag] :
+       {std::make_pair("parlist", "parlist"), std::make_pair("listitem", "keyword"),
+        std::make_pair("item", "emph")}) {
+    std::vector<NodeId> a_nodes = NodesWithTag(doc, atag);
+    std::vector<NodeId> d_nodes = NodesWithTag(doc, dtag);
+    auto pairs = StackTreeDesc(ItemsFor(doc, a_nodes), d_nodes);
+    // Brute force.
+    std::vector<std::pair<NodeId, NodeId>> want;
+    for (NodeId d : d_nodes) {
+      for (NodeId a : a_nodes) {
+        if (doc.IsAncestor(a, d)) want.emplace_back(a, d);
+      }
+    }
+    auto sorted_pairs = pairs;
+    std::sort(sorted_pairs.begin(), sorted_pairs.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(sorted_pairs, want) << atag << "//" << dtag;
+  }
+}
+
+TEST(StructuralJoinTest, SemiJoinDescendants) {
+  std::vector<JoinItem> anc = {{0, 4}, {10, 12}};
+  std::vector<NodeId> desc = {1, 3, 4, 11, 20};
+  auto got = SemiJoinDescendants(anc, desc);
+  EXPECT_EQ(got, (std::vector<NodeId>{1, 3, 11}));
+}
+
+TEST(StructuralJoinTest, SemiJoinDescendantsHandlesNestedAncestors) {
+  // Outer [0,100) plus inner [1,3): descendant 50 is only under the outer,
+  // which the max-end sweep must remember after the inner closes.
+  std::vector<JoinItem> anc = {{0, 100}, {1, 3}};
+  std::vector<NodeId> desc = {2, 50};
+  EXPECT_EQ(SemiJoinDescendants(anc, desc), (std::vector<NodeId>{2, 50}));
+}
+
+TEST(StructuralJoinTest, SemiJoinAncestors) {
+  std::vector<JoinItem> anc = {{0, 4}, {5, 9}, {10, 12}};
+  std::vector<NodeId> desc = {2, 11};
+  auto got = SemiJoinAncestors(anc, desc);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].node, 0u);
+  EXPECT_EQ(got[1].node, 10u);
+}
+
+TEST(StructuralJoinTest, FilterVisible) {
+  std::vector<NodeInterval> hidden = {{3, 6}, {10, 11}};
+  std::vector<NodeId> nodes = {0, 3, 5, 6, 9, 10, 12};
+  EXPECT_EQ(FilterVisible(hidden, nodes), (std::vector<NodeId>{0, 6, 9, 12}));
+  EXPECT_EQ(FilterVisible({}, nodes), nodes);
+  std::vector<JoinItem> items = {{0, 2}, {4, 5}, {12, 20}};
+  auto kept = FilterVisibleItems(hidden, items);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].node, 0u);
+  EXPECT_EQ(kept[1].node, 12u);
+}
+
+TEST(StructuralJoinTest, RandomizedSemiJoinAgainstBruteForce) {
+  Rng rng(23);
+  for (int round = 0; round < 20; ++round) {
+    // Random nested intervals via a random tree walk.
+    XMarkOptions opts;
+    opts.seed = 100 + static_cast<uint64_t>(round);
+    opts.target_nodes = 1000;
+    Document doc;
+    ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+    std::vector<NodeId> anc_nodes, desc_nodes;
+    for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+      if (rng.Bernoulli(0.05)) anc_nodes.push_back(n);
+      if (rng.Bernoulli(0.05)) desc_nodes.push_back(n);
+    }
+    auto got = SemiJoinDescendants(ItemsFor(doc, anc_nodes), desc_nodes);
+    std::vector<NodeId> want;
+    for (NodeId d : desc_nodes) {
+      for (NodeId a : anc_nodes) {
+        if (doc.IsAncestor(a, d)) {
+          want.push_back(d);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(got, want) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,169 @@
+#include "query/xpath_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace secxml {
+namespace {
+
+PatternTree Parse(const std::string& q) {
+  PatternTree t;
+  Status s = ParseXPath(q, &t);
+  EXPECT_TRUE(s.ok()) << q << ": " << s;
+  return t;
+}
+
+TEST(XPathParserTest, SimplePath) {
+  PatternTree t = Parse("/site/regions/africa");
+  ASSERT_EQ(t.nodes.size(), 3u);
+  EXPECT_EQ(t.nodes[0].tag, "site");
+  EXPECT_FALSE(t.nodes[0].descendant_axis);
+  EXPECT_EQ(t.nodes[1].tag, "regions");
+  EXPECT_EQ(t.nodes[1].parent, 0);
+  EXPECT_EQ(t.nodes[2].tag, "africa");
+  EXPECT_EQ(t.returning_node, 2);
+}
+
+TEST(XPathParserTest, LeadingDescendantAxis) {
+  PatternTree t = Parse("//parlist//parlist");
+  ASSERT_EQ(t.nodes.size(), 2u);
+  EXPECT_TRUE(t.nodes[0].descendant_axis);
+  EXPECT_TRUE(t.nodes[1].descendant_axis);
+  EXPECT_EQ(t.returning_node, 1);
+}
+
+TEST(XPathParserTest, Q1FromTable1) {
+  PatternTree t = Parse("/site/regions/africa/item[location][name][quantity]");
+  ASSERT_EQ(t.nodes.size(), 7u);
+  EXPECT_EQ(t.nodes[3].tag, "item");
+  EXPECT_EQ(t.returning_node, 3);  // the trunk tail, not a predicate
+  EXPECT_EQ(t.nodes[4].tag, "location");
+  EXPECT_EQ(t.nodes[4].parent, 3);
+  EXPECT_EQ(t.nodes[5].tag, "name");
+  EXPECT_EQ(t.nodes[6].tag, "quantity");
+  EXPECT_EQ(t.nodes[3].children.size(), 3u);
+}
+
+TEST(XPathParserTest, Q2PredicateThenTrunkContinues) {
+  PatternTree t = Parse("/site/categories/category[name]/description/text/bold");
+  ASSERT_EQ(t.nodes.size(), 7u);
+  EXPECT_EQ(t.nodes[2].tag, "category");
+  EXPECT_EQ(t.nodes[3].tag, "name");
+  EXPECT_EQ(t.nodes[3].parent, 2);
+  EXPECT_EQ(t.nodes[4].tag, "description");
+  EXPECT_EQ(t.nodes[4].parent, 2);  // trunk resumes at category
+  EXPECT_EQ(t.nodes[6].tag, "bold");
+  EXPECT_EQ(t.returning_node, 6);
+}
+
+TEST(XPathParserTest, Q3BranchAtEnd) {
+  PatternTree t = Parse("/site/categories/category/name[description/text/bold]");
+  ASSERT_EQ(t.nodes.size(), 7u);
+  EXPECT_EQ(t.nodes[3].tag, "name");
+  EXPECT_EQ(t.returning_node, 3);
+  EXPECT_EQ(t.nodes[4].tag, "description");
+  EXPECT_EQ(t.nodes[4].parent, 3);
+  EXPECT_EQ(t.nodes[5].tag, "text");
+  EXPECT_EQ(t.nodes[5].parent, 4);
+  EXPECT_EQ(t.nodes[6].tag, "bold");
+}
+
+TEST(XPathParserTest, DescendantInsidePredicate) {
+  PatternTree t = Parse("/a[//b]/c");
+  ASSERT_EQ(t.nodes.size(), 3u);
+  EXPECT_EQ(t.nodes[1].tag, "b");
+  EXPECT_TRUE(t.nodes[1].descendant_axis);
+  EXPECT_EQ(t.nodes[2].tag, "c");
+  EXPECT_EQ(t.returning_node, 2);
+}
+
+TEST(XPathParserTest, ValueConstraint) {
+  PatternTree t = Parse("/item[location='africa']/name");
+  ASSERT_EQ(t.nodes.size(), 3u);
+  EXPECT_TRUE(t.nodes[1].has_value);
+  EXPECT_EQ(t.nodes[1].value, "africa");
+  EXPECT_FALSE(t.nodes[0].has_value);
+}
+
+TEST(XPathParserTest, Wildcard) {
+  PatternTree t = Parse("/site/*/item");
+  ASSERT_EQ(t.nodes.size(), 3u);
+  EXPECT_EQ(t.nodes[1].tag, "*");
+}
+
+TEST(XPathParserTest, MixedAxes) {
+  PatternTree t = Parse("/site//item/name");
+  ASSERT_EQ(t.nodes.size(), 3u);
+  EXPECT_FALSE(t.nodes[0].descendant_axis);
+  EXPECT_TRUE(t.nodes[1].descendant_axis);
+  EXPECT_FALSE(t.nodes[2].descendant_axis);
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  PatternTree t = Parse("/a[b[c][d]/e]/f");
+  ASSERT_EQ(t.nodes.size(), 6u);
+  EXPECT_EQ(t.nodes[0].tag, "a");
+  EXPECT_EQ(t.nodes[1].tag, "b");
+  EXPECT_EQ(t.nodes[1].parent, 0);
+  EXPECT_EQ(t.nodes[2].tag, "c");
+  EXPECT_EQ(t.nodes[2].parent, 1);
+  EXPECT_EQ(t.nodes[3].tag, "d");
+  EXPECT_EQ(t.nodes[3].parent, 1);
+  EXPECT_EQ(t.nodes[4].tag, "e");
+  EXPECT_EQ(t.nodes[4].parent, 1);
+  EXPECT_EQ(t.nodes[5].tag, "f");
+  EXPECT_EQ(t.nodes[5].parent, 0);
+  EXPECT_EQ(t.returning_node, 5);
+  ASSERT_TRUE(t.Validate().ok());
+}
+
+TEST(XPathParserTest, NestedPredicateWithDescendantAndValue) {
+  PatternTree t = Parse("//item[description[//keyword='x']]/name");
+  ASSERT_EQ(t.nodes.size(), 4u);
+  EXPECT_EQ(t.nodes[2].tag, "keyword");
+  EXPECT_TRUE(t.nodes[2].descendant_axis);
+  EXPECT_TRUE(t.nodes[2].has_value);
+  EXPECT_EQ(t.nodes[2].value, "x");
+  EXPECT_EQ(t.returning_node, 3);
+}
+
+TEST(XPathParserTest, RejectsAbsurdNesting) {
+  std::string q = "/a";
+  for (int i = 0; i < 40; ++i) q += "[a";
+  for (int i = 0; i < 40; ++i) q += "]";
+  PatternTree t;
+  EXPECT_FALSE(ParseXPath(q, &t).ok());
+}
+
+TEST(XPathParserTest, RejectsMalformed) {
+  PatternTree t;
+  EXPECT_FALSE(ParseXPath("", &t).ok());
+  EXPECT_FALSE(ParseXPath("site", &t).ok());           // no leading axis
+  EXPECT_FALSE(ParseXPath("/", &t).ok());              // no step
+  EXPECT_FALSE(ParseXPath("/a[", &t).ok());            // unterminated pred
+  EXPECT_FALSE(ParseXPath("/a[b", &t).ok());
+  EXPECT_FALSE(ParseXPath("/a[]", &t).ok());           // empty predicate
+  EXPECT_FALSE(ParseXPath("/a[b='x]", &t).ok());       // unterminated value
+  EXPECT_FALSE(ParseXPath("/a/", &t).ok());            // trailing slash
+  EXPECT_FALSE(ParseXPath("/a]b", &t).ok());           // stray bracket
+}
+
+TEST(XPathParserTest, ToStringRendersPattern) {
+  PatternTree t = Parse("//listitem//keyword");
+  EXPECT_EQ(t.ToString(), "//listitem[//keyword$]");
+  PatternTree t2 = Parse("/a[b='x']");
+  EXPECT_EQ(t2.ToString(), "/a$[/b='x']");
+}
+
+TEST(XPathParserTest, ValidateRejectsCorruptTrees) {
+  PatternTree t = Parse("/a/b");
+  t.nodes[1].parent = 5;
+  EXPECT_FALSE(t.Validate().ok());
+  PatternTree t2 = Parse("/a/b");
+  t2.returning_node = 9;
+  EXPECT_FALSE(t2.Validate().ok());
+  PatternTree t3;
+  EXPECT_FALSE(t3.Validate().ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,212 @@
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace secxml {
+namespace {
+
+std::unique_ptr<BPlusTree> NewTree(MemPagedFile* file, size_t pool = 64) {
+  std::unique_ptr<BPlusTree> tree;
+  Status st = BPlusTree::Create(file, pool, &tree);
+  EXPECT_TRUE(st.ok()) << st;
+  return tree;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  EXPECT_EQ(tree->num_entries(), 0u);
+  EXPECT_EQ(tree->height(), 1u);
+  EXPECT_EQ(tree->Get(42).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree->CheckIntegrity().ok());
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  ASSERT_TRUE(tree->ScanToVector(0, ~0ULL, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BPlusTreeTest, InsertAndGetFewKeys) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  for (uint64_t k : {5u, 1u, 9u, 3u, 7u}) {
+    ASSERT_TRUE(tree->Insert(k, k * 100).ok());
+  }
+  EXPECT_EQ(tree->num_entries(), 5u);
+  for (uint64_t k : {1u, 3u, 5u, 7u, 9u}) {
+    auto v = tree->Get(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(*v, k * 100);
+  }
+  EXPECT_EQ(tree->Get(4).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree->CheckIntegrity().ok());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  ASSERT_TRUE(tree->Insert(7, 1).ok());
+  EXPECT_EQ(tree->Insert(7, 2).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree->num_entries(), 1u);
+  auto v = tree->Get(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1u);
+}
+
+TEST(BPlusTreeTest, SequentialInsertForcesSplits) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  constexpr uint64_t kN = 20000;
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(tree->Insert(k, k ^ 0xabcdu).ok()) << k;
+  }
+  EXPECT_EQ(tree->num_entries(), kN);
+  EXPECT_GE(tree->height(), 2u);
+  ASSERT_TRUE(tree->CheckIntegrity().ok());
+  for (uint64_t k = 0; k < kN; k += 97) {
+    auto v = tree->Get(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(*v, k ^ 0xabcdu);
+  }
+}
+
+TEST(BPlusTreeTest, RandomInsertMatchesReferenceMap) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  Rng rng(7);
+  std::map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.Uniform(100000);
+    uint64_t v = rng.Next();
+    if (reference.emplace(k, v).second) {
+      ASSERT_TRUE(tree->Insert(k, v).ok());
+    } else {
+      ASSERT_EQ(tree->Insert(k, v).code(), StatusCode::kAlreadyExists);
+    }
+  }
+  ASSERT_EQ(tree->num_entries(), reference.size());
+  ASSERT_TRUE(tree->CheckIntegrity().ok());
+  // Full scan equals the reference map.
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  ASSERT_TRUE(tree->ScanToVector(0, ~0ULL, &out).ok());
+  ASSERT_EQ(out.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [k, v] : reference) {
+    ASSERT_EQ(out[i].first, k);
+    ASSERT_EQ(out[i].second, v);
+    ++i;
+  }
+}
+
+TEST(BPlusTreeTest, RangeScan) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(tree->Insert(k * 2, k).ok());  // even keys only
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  ASSERT_TRUE(tree->ScanToVector(100, 121, &out).ok());
+  // Keys 100, 102, ..., 120.
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_EQ(out.front().first, 100u);
+  EXPECT_EQ(out.back().first, 120u);
+  // Scan starting between keys.
+  ASSERT_TRUE(tree->ScanToVector(101, 105, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 102u);
+  // Empty and inverted ranges.
+  ASSERT_TRUE(tree->ScanToVector(1, 2, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(tree->ScanToVector(50, 50, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree->Insert(k, k).ok());
+  }
+  int seen = 0;
+  ASSERT_TRUE(tree->Scan(0, 1000, [&seen](uint64_t, uint64_t) {
+    return ++seen < 10;
+  }).ok());
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(BPlusTreeTest, DeleteRemovesKeys) {
+  MemPagedFile file;
+  auto tree = NewTree(&file);
+  for (uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(tree->Insert(k, k).ok());
+  }
+  for (uint64_t k = 0; k < 3000; k += 3) {
+    ASSERT_TRUE(tree->Delete(k).ok());
+  }
+  EXPECT_EQ(tree->num_entries(), 2000u);
+  EXPECT_EQ(tree->Delete(0).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tree->CheckIntegrity().ok());
+  for (uint64_t k = 0; k < 3000; ++k) {
+    EXPECT_EQ(tree->Get(k).ok(), k % 3 != 0) << k;
+  }
+}
+
+TEST(BPlusTreeTest, PersistsAcrossReopen) {
+  MemPagedFile file;
+  {
+    auto tree = NewTree(&file);
+    for (uint64_t k = 0; k < 10000; ++k) {
+      ASSERT_TRUE(tree->Insert(k * 7, k).ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  std::unique_ptr<BPlusTree> reopened;
+  ASSERT_TRUE(BPlusTree::Open(&file, 64, &reopened).ok());
+  EXPECT_EQ(reopened->num_entries(), 10000u);
+  ASSERT_TRUE(reopened->CheckIntegrity().ok());
+  auto v = reopened->Get(7 * 1234);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1234u);
+}
+
+TEST(BPlusTreeTest, OpenRejectsGarbage) {
+  MemPagedFile file;
+  std::unique_ptr<BPlusTree> tree;
+  EXPECT_FALSE(BPlusTree::Open(&file, 8, &tree).ok());
+  ASSERT_TRUE(file.AllocatePage().ok());
+  ASSERT_TRUE(file.AllocatePage().ok());
+  EXPECT_EQ(BPlusTree::Open(&file, 8, &tree).code(), StatusCode::kCorruption);
+}
+
+TEST(BPlusTreeTest, CreateRejectsNonEmptyFile) {
+  MemPagedFile file;
+  ASSERT_TRUE(file.AllocatePage().ok());
+  std::unique_ptr<BPlusTree> tree;
+  EXPECT_FALSE(BPlusTree::Create(&file, 8, &tree).ok());
+}
+
+TEST(BPlusTreeTest, WorksWithTinyBufferPool) {
+  // A 4-frame pool forces constant eviction; correctness must not depend on
+  // residency.
+  MemPagedFile file;
+  auto tree = NewTree(&file, /*pool=*/4);
+  Rng rng(13);
+  std::map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 8000; ++i) {
+    uint64_t k = rng.Uniform(1u << 20);
+    if (reference.emplace(k, k + 1).second) {
+      ASSERT_TRUE(tree->Insert(k, k + 1).ok());
+    }
+  }
+  ASSERT_TRUE(tree->CheckIntegrity().ok());
+  for (const auto& [k, v] : reference) {
+    auto got = tree->Get(k);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, v);
+  }
+}
+
+}  // namespace
+}  // namespace secxml

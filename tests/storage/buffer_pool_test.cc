@@ -1,0 +1,170 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace secxml {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void FillFile(int pages) {
+    for (int i = 0; i < pages; ++i) {
+      auto r = file_.AllocatePage();
+      ASSERT_TRUE(r.ok());
+      Page p;
+      p.Zero();
+      p.WriteAt<uint32_t>(0, static_cast<uint32_t>(i + 100));
+      ASSERT_TRUE(file_.WritePage(*r, p).ok());
+    }
+  }
+
+  MemPagedFile file_;
+};
+
+TEST_F(BufferPoolTest, FetchReadsThrough) {
+  FillFile(3);
+  BufferPool pool(&file_, 2);
+  auto h = pool.Fetch(1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->page().ReadAt<uint32_t>(0), 101u);
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+}
+
+TEST_F(BufferPoolTest, SecondFetchHitsCache) {
+  FillFile(2);
+  BufferPool pool(&file_, 2);
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  FillFile(3);
+  BufferPool pool(&file_, 2);
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }
+  // Touch 0 so 1 becomes the LRU victim.
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(2); ASSERT_TRUE(h.ok()); }  // evicts 1
+  EXPECT_EQ(pool.stats().page_reads, 3u);
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }  // still cached
+  EXPECT_EQ(pool.stats().page_reads, 3u);
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }  // must re-read
+  EXPECT_EQ(pool.stats().page_reads, 4u);
+}
+
+TEST_F(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  FillFile(2);
+  BufferPool pool(&file_, 1);
+  {
+    auto h = pool.Fetch(0);
+    ASSERT_TRUE(h.ok());
+    h->mutable_page()->WriteAt<uint32_t>(0, 777u);
+    h->MarkDirty();
+  }
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }  // evicts dirty page 0
+  EXPECT_EQ(pool.stats().page_writes, 1u);
+  Page p;
+  ASSERT_TRUE(file_.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 777u);
+}
+
+TEST_F(BufferPoolTest, CleanPagesNotWrittenBack) {
+  FillFile(2);
+  BufferPool pool(&file_, 1);
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  { auto h = pool.Fetch(1); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(pool.stats().page_writes, 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  FillFile(3);
+  BufferPool pool(&file_, 2);
+  auto h0 = pool.Fetch(0);
+  ASSERT_TRUE(h0.ok());
+  auto h1 = pool.Fetch(1);
+  ASSERT_TRUE(h1.ok());
+  // Both frames pinned: a third fetch must fail.
+  auto h2 = pool.Fetch(2);
+  EXPECT_FALSE(h2.ok());
+  EXPECT_EQ(h2.status().code(), StatusCode::kIOError);
+  // Releasing one pin frees a frame.
+  h0->Release();
+  auto h2b = pool.Fetch(2);
+  EXPECT_TRUE(h2b.ok());
+}
+
+TEST_F(BufferPoolTest, AllocateCreatesZeroedDirtyPage) {
+  BufferPool pool(&file_, 2);
+  auto h = pool.Allocate();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->page_id(), 0u);
+  EXPECT_EQ(file_.NumPages(), 1u);
+  EXPECT_EQ(h->page().ReadAt<uint32_t>(0), 0u);
+  h->mutable_page()->WriteAt<uint32_t>(0, 5u);
+  h->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page p;
+  ASSERT_TRUE(file_.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 5u);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesAllDirty) {
+  FillFile(3);
+  BufferPool pool(&file_, 3);
+  for (PageId i = 0; i < 3; ++i) {
+    auto h = pool.Fetch(i);
+    ASSERT_TRUE(h.ok());
+    h->mutable_page()->WriteAt<uint32_t>(4, i + 1);
+    h->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().page_writes, 3u);
+  for (PageId i = 0; i < 3; ++i) {
+    Page p;
+    ASSERT_TRUE(file_.ReadPage(i, &p).ok());
+    EXPECT_EQ(p.ReadAt<uint32_t>(4), i + 1);
+  }
+  // Second flush is a no-op.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().page_writes, 3u);
+}
+
+TEST_F(BufferPoolTest, EvictAllDropsUnpinned) {
+  FillFile(2);
+  BufferPool pool(&file_, 2);
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  auto pinned = pool.Fetch(1);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  EXPECT_EQ(pool.num_cached(), 1u);  // the pinned one stays
+  { auto h = pool.Fetch(0); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(pool.stats().page_reads, 3u);  // 0 was re-read
+}
+
+TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
+  FillFile(1);
+  BufferPool pool(&file_, 1);
+  auto h = pool.Fetch(0);
+  ASSERT_TRUE(h.ok());
+  PageHandle moved = std::move(*h);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(pool.num_pinned(), 1u);
+  moved.Release();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST_F(BufferPoolTest, FetchUnallocatedPageFails) {
+  BufferPool pool(&file_, 1);
+  auto h = pool.Fetch(9);
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kOutOfRange);
+  // The frame grabbed for the failed read is returned to the free list.
+  FillFile(1);
+  EXPECT_TRUE(pool.Fetch(0).ok());
+}
+
+}  // namespace
+}  // namespace secxml

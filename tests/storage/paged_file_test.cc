@@ -1,0 +1,139 @@
+#include "storage/paged_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace secxml {
+namespace {
+
+class PagedFileTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      path_ = std::filesystem::temp_directory_path() /
+              ("secxml_paged_file_test_" +
+               std::to_string(::getpid()) + ".db");
+      auto created = FilePagedFile::Create(path_.string());
+      ASSERT_TRUE(created.ok()) << created.status();
+      file_ = std::move(created).value();
+    } else {
+      file_ = std::make_unique<MemPagedFile>();
+    }
+  }
+
+  void TearDown() override {
+    file_.reset();
+    if (GetParam()) std::filesystem::remove(path_);
+  }
+
+  std::unique_ptr<PagedFile> file_;
+  std::filesystem::path path_;
+};
+
+TEST_P(PagedFileTest, StartsEmpty) { EXPECT_EQ(file_->NumPages(), 0u); }
+
+TEST_P(PagedFileTest, AllocateGrowsAndZeroes) {
+  auto r = file_->AllocatePage();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  EXPECT_EQ(file_->NumPages(), 1u);
+  Page p;
+  p.data.fill(0xab);
+  ASSERT_TRUE(file_->ReadPage(0, &p).ok());
+  for (uint8_t b : p.data) ASSERT_EQ(b, 0);
+}
+
+TEST_P(PagedFileTest, WriteThenReadRoundTrips) {
+  ASSERT_TRUE(file_->AllocatePage().ok());
+  ASSERT_TRUE(file_->AllocatePage().ok());
+  Page w;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    w.data[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(file_->WritePage(1, w).ok());
+  Page r;
+  ASSERT_TRUE(file_->ReadPage(1, &r).ok());
+  EXPECT_EQ(r.data, w.data);
+  // Page 0 still zero.
+  ASSERT_TRUE(file_->ReadPage(0, &r).ok());
+  EXPECT_EQ(r.data[0], 0);
+}
+
+TEST_P(PagedFileTest, OutOfRangeAccessFails) {
+  Page p;
+  EXPECT_EQ(file_->ReadPage(0, &p).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(file_->WritePage(0, p).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(file_->AllocatePage().ok());
+  EXPECT_EQ(file_->ReadPage(1, &p).code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(PagedFileTest, ManyPages) {
+  constexpr int kN = 50;
+  for (int i = 0; i < kN; ++i) {
+    auto r = file_->AllocatePage();
+    ASSERT_TRUE(r.ok());
+    Page p;
+    p.Zero();
+    p.WriteAt<uint32_t>(0, static_cast<uint32_t>(i * 31));
+    ASSERT_TRUE(file_->WritePage(*r, p).ok());
+  }
+  for (int i = 0; i < kN; ++i) {
+    Page p;
+    ASSERT_TRUE(file_->ReadPage(static_cast<PageId>(i), &p).ok());
+    EXPECT_EQ(p.ReadAt<uint32_t>(0), static_cast<uint32_t>(i * 31));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndDisk, PagedFileTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Disk" : "Mem";
+                         });
+
+TEST(FilePagedFileTest, PersistsAcrossReopen) {
+  auto path = std::filesystem::temp_directory_path() / "secxml_reopen.db";
+  {
+    auto created = FilePagedFile::Create(path.string());
+    ASSERT_TRUE(created.ok());
+    auto& f = *created;
+    ASSERT_TRUE(f->AllocatePage().ok());
+    Page p;
+    p.Zero();
+    p.WriteAt<uint64_t>(8, 0xdeadbeefcafef00dULL);
+    ASSERT_TRUE(f->WritePage(0, p).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  {
+    auto opened = FilePagedFile::Open(path.string());
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    EXPECT_EQ((*opened)->NumPages(), 1u);
+    Page p;
+    ASSERT_TRUE((*opened)->ReadPage(0, &p).ok());
+    EXPECT_EQ(p.ReadAt<uint64_t>(8), 0xdeadbeefcafef00dULL);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FilePagedFileTest, OpenMissingFileFails) {
+  auto r = FilePagedFile::Open("/nonexistent/dir/x.db");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(FilePagedFileTest, OpenMisalignedFileFails) {
+  auto path = std::filesystem::temp_directory_path() / "secxml_misaligned.db";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a page", f);
+    std::fclose(f);
+  }
+  auto r = FilePagedFile::Open(path.string());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,148 @@
+#include "workload/livelink_surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dol_labeling.h"
+
+namespace secxml {
+namespace {
+
+LiveLinkOptions SmallOptions() {
+  LiveLinkOptions opts;
+  opts.target_nodes = 20000;
+  opts.num_departments = 6;
+  opts.teams_per_department = 4;
+  opts.num_users = 500;
+  opts.num_modes = 10;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(LiveLinkSurrogateTest, GeneratesRequestedShape) {
+  LiveLinkOptions opts = SmallOptions();
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  EXPECT_EQ(w.num_users, 500u);
+  EXPECT_EQ(w.num_groups, 2u + 6u + 24u);
+  EXPECT_EQ(w.modes.size(), 10u);
+  EXPECT_GT(w.doc.NumNodes(), 15000u);
+  EXPECT_LT(w.doc.NumNodes(), 30000u);
+  for (const auto& mode : w.modes) {
+    ASSERT_TRUE(mode.Validate().ok());
+    EXPECT_EQ(mode.num_subjects(), w.num_subjects());
+    EXPECT_EQ(mode.num_nodes(), w.doc.NumNodes());
+  }
+}
+
+TEST(LiveLinkSurrogateTest, DefaultSubjectCountMatchesPaper) {
+  LiveLinkOptions opts;  // defaults
+  // 8469 users + 2 + 24 + 144 groups = 8639 subjects as in the paper.
+  EXPECT_EQ(opts.num_users + 2 + opts.num_departments +
+                opts.num_departments * opts.teams_per_department,
+            8639u);
+}
+
+TEST(LiveLinkSurrogateTest, DepthStatisticsResembleLiveLink) {
+  LiveLinkOptions opts = SmallOptions();
+  opts.target_nodes = 60000;
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  // Paper: average depth 7.9, maximum 19.
+  EXPECT_GT(w.doc.AvgDepth(), 4.0);
+  EXPECT_LT(w.doc.AvgDepth(), 11.0);
+  EXPECT_LE(w.doc.MaxDepth(), 19);
+  EXPECT_GE(w.doc.MaxDepth(), 8);
+}
+
+TEST(LiveLinkSurrogateTest, DeterministicInSeed) {
+  LiveLinkOptions opts = SmallOptions();
+  LiveLinkWorkload a, b;
+  ASSERT_TRUE(GenerateLiveLink(opts, &a).ok());
+  ASSERT_TRUE(GenerateLiveLink(opts, &b).ok());
+  ASSERT_EQ(a.doc.NumNodes(), b.doc.NumNodes());
+  for (SubjectId s = 0; s < a.num_subjects(); s += 17) {
+    ASSERT_EQ(a.modes[0].SubjectIntervals(s), b.modes[0].SubjectIntervals(s));
+  }
+}
+
+TEST(LiveLinkSurrogateTest, SubjectRightsAreCorrelated) {
+  // The paper's key observation (Figures 5-6): the codebook grows far
+  // slower than 2^subjects, and transitions grow sublinearly, because
+  // subjects share group-derived rights.
+  LiveLinkOptions opts = SmallOptions();
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  const IntervalAccessMap& mode0 = w.modes[0];
+  NodeId n = static_cast<NodeId>(w.doc.NumNodes());
+  DolLabeling all = DolLabeling::BuildFromEvents(n, mode0.InitialAcl(),
+                                                 mode0.CollectEvents());
+  // Codebook entries far below both node count and 2^subjects.
+  EXPECT_LT(all.codebook().size(), w.doc.NumNodes() / 4);
+  EXPECT_GT(all.codebook().size(), 10u);
+  // Transition density well under 1 per 10 nodes (paper Section 5.1.1).
+  EXPECT_LT(all.num_transitions(), w.doc.NumNodes() / 10);
+
+  // Single-subject labelings are much smaller but not trivial.
+  std::vector<SubjectId> one = {3};
+  DolLabeling single = DolLabeling::BuildFromEvents(
+      n, mode0.InitialAcl(&one), mode0.CollectEvents(&one));
+  EXPECT_LT(single.num_transitions(), all.num_transitions());
+  // Sublinear growth: all-subject transitions are far below
+  // single-subject-count * num_subjects.
+  EXPECT_LT(all.num_transitions(),
+            single.num_transitions() * w.num_subjects() / 4);
+}
+
+TEST(LiveLinkSurrogateTest, ModesAreNested) {
+  // Higher modes are restrictions: a user's delete scope is inside their
+  // read scope.
+  LiveLinkOptions opts = SmallOptions();
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  int checked = 0;
+  const auto& read = w.modes[0];
+  const auto& del = w.modes[6];
+  for (SubjectId u = 0; u < w.num_users; ++u) {
+    for (const NodeInterval& iv : del.SubjectIntervals(u)) {
+      for (NodeId x : {iv.begin, static_cast<NodeId>((iv.begin + iv.end) / 2),
+                       static_cast<NodeId>(iv.end - 1)}) {
+        EXPECT_TRUE(read.Accessible(u, x)) << u << " " << x;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(LiveLinkSurrogateTest, ManagersSeeEverythingUsersDoNot) {
+  LiveLinkOptions opts = SmallOptions();
+  LiveLinkWorkload w;
+  ASSERT_TRUE(GenerateLiveLink(opts, &w).ok());
+  SubjectId managers = static_cast<SubjectId>(w.num_users + 1);
+  const auto& mode0 = w.modes[0];
+  for (NodeId x = 0; x < w.doc.NumNodes(); x += 1009) {
+    EXPECT_TRUE(mode0.Accessible(managers, x));
+  }
+  // An ordinary user cannot see other departments' projects: coverage is
+  // partial.
+  size_t visible = 0, total = 0;
+  for (NodeId x = 0; x < w.doc.NumNodes(); x += 101) {
+    ++total;
+    visible += mode0.Accessible(0, x) ? 1 : 0;
+  }
+  EXPECT_LT(visible, total);
+  EXPECT_GT(visible, 0u);
+}
+
+TEST(LiveLinkSurrogateTest, RejectsBadOptions) {
+  LiveLinkOptions opts = SmallOptions();
+  LiveLinkWorkload w;
+  opts.num_modes = 11;
+  EXPECT_FALSE(GenerateLiveLink(opts, &w).ok());
+  opts = SmallOptions();
+  opts.num_departments = 0;
+  EXPECT_FALSE(GenerateLiveLink(opts, &w).ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,144 @@
+#include "workload/unixfs_surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dol_labeling.h"
+
+namespace secxml {
+namespace {
+
+UnixFsOptions SmallOptions() {
+  UnixFsOptions opts;
+  opts.target_nodes = 30000;
+  opts.num_users = 40;
+  opts.num_groups = 12;
+  opts.seed = 5;
+  return opts;
+}
+
+TEST(UnixFsSurrogateTest, GeneratesRequestedShape) {
+  UnixFsOptions opts = SmallOptions();
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(opts, &w).ok());
+  EXPECT_EQ(w.num_users, 40u);
+  EXPECT_EQ(w.num_groups, 12u);
+  EXPECT_GT(w.doc.NumNodes(), 25000u);
+  ASSERT_NE(w.read_map, nullptr);
+  ASSERT_TRUE(w.read_map->Validate().ok());
+  EXPECT_EQ(w.read_map->num_nodes(), w.doc.NumNodes());
+  EXPECT_EQ(w.read_map->num_subjects(), 52u);
+}
+
+TEST(UnixFsSurrogateTest, PaperDefaultsMatchSubjectCounts) {
+  UnixFsOptions opts;
+  EXPECT_EQ(opts.num_users, 182u);
+  EXPECT_EQ(opts.num_groups, 65u);
+  EXPECT_EQ(opts.num_users + opts.num_groups, 247u);
+}
+
+TEST(UnixFsSurrogateTest, DeterministicInSeed) {
+  UnixFsOptions opts = SmallOptions();
+  UnixFsWorkload a, b;
+  ASSERT_TRUE(GenerateUnixFs(opts, &a).ok());
+  ASSERT_TRUE(GenerateUnixFs(opts, &b).ok());
+  ASSERT_EQ(a.doc.NumNodes(), b.doc.NumNodes());
+  ASSERT_EQ(a.read_map->num_runs(), b.read_map->num_runs());
+  for (size_t i = 0; i < a.read_map->num_runs(); i += 7) {
+    ASSERT_EQ(a.read_map->run_start(i), b.read_map->run_start(i));
+    ASSERT_EQ(a.read_map->run_acl(i), b.read_map->run_acl(i));
+  }
+}
+
+TEST(UnixFsSurrogateTest, TopLevelLayout) {
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(SmallOptions(), &w).ok());
+  EXPECT_EQ(w.doc.TagName(0), "fs");
+  std::vector<std::string> sections;
+  for (NodeId c = w.doc.FirstChild(0); c != kInvalidNode;
+       c = w.doc.NextSibling(c)) {
+    sections.push_back(w.doc.TagName(c));
+  }
+  EXPECT_EQ(sections,
+            (std::vector<std::string>{"etc", "usr", "var", "home", "proj"}));
+}
+
+TEST(UnixFsSurrogateTest, SystemAreaIsWorldReadable) {
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(SmallOptions(), &w).ok());
+  // /usr is generated without private perturbations: everything readable
+  // by every subject.
+  NodeId usr = kInvalidNode;
+  for (NodeId c = w.doc.FirstChild(0); c != kInvalidNode;
+       c = w.doc.NextSibling(c)) {
+    if (w.doc.TagName(c) == "usr") usr = c;
+  }
+  ASSERT_NE(usr, kInvalidNode);
+  for (NodeId x = usr; x < w.doc.SubtreeEnd(usr); x += 53) {
+    for (SubjectId s = 0; s < w.num_subjects(); s += 9) {
+      ASSERT_TRUE(w.read_map->Accessible(s, x)) << x << " " << s;
+    }
+  }
+}
+
+TEST(UnixFsSurrogateTest, RunsHaveStrongLocality) {
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(SmallOptions(), &w).ok());
+  // Ownership is subtree-granular: run count is far below node count.
+  EXPECT_LT(w.read_map->num_runs(), w.doc.NumNodes() / 10);
+  EXPECT_GT(w.read_map->num_runs(), 50u);
+}
+
+TEST(UnixFsSurrogateTest, GroupMembersShareProjectAccess) {
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(SmallOptions(), &w).ok());
+  // For every run that is group-readable but not world-readable, the group
+  // subject and at least one user can read it, and correlation holds: users
+  // reading it form exactly the group membership (plus the owner).
+  size_t group_runs = 0;
+  for (size_t r = 0; r < w.read_map->num_runs(); ++r) {
+    const BitVector& acl = w.read_map->run_acl(r);
+    size_t readers = acl.Count();
+    if (readers == 0 || readers == acl.size()) continue;
+    ++group_runs;
+  }
+  EXPECT_GT(group_runs, 10u);
+}
+
+TEST(UnixFsSurrogateTest, DolFromRunsMatchesPerNodeChecks) {
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(SmallOptions(), &w).ok());
+  DolLabeling dol = DolLabeling::BuildFromRuns(*w.read_map);
+  ASSERT_TRUE(dol.CheckInvariants().ok());
+  for (NodeId x = 0; x < w.doc.NumNodes(); x += 31) {
+    for (SubjectId s = 0; s < w.num_subjects(); s += 5) {
+      ASSERT_EQ(dol.Accessible(s, x), w.read_map->Accessible(s, x))
+          << x << " " << s;
+    }
+  }
+  EXPECT_EQ(dol.num_transitions(), w.read_map->num_runs());
+}
+
+TEST(UnixFsSurrogateTest, ProjectSubjectsSubsetting) {
+  UnixFsWorkload w;
+  ASSERT_TRUE(GenerateUnixFs(SmallOptions(), &w).ok());
+  std::vector<SubjectId> subset = {0, 5, 41};  // two users + a group
+  RunAccessMap projected = w.read_map->ProjectSubjects(subset);
+  ASSERT_TRUE(projected.Validate().ok());
+  EXPECT_LE(projected.num_runs(), w.read_map->num_runs());
+  for (NodeId x = 0; x < w.doc.NumNodes(); x += 47) {
+    for (size_t j = 0; j < subset.size(); ++j) {
+      ASSERT_EQ(projected.Accessible(static_cast<SubjectId>(j), x),
+                w.read_map->Accessible(subset[j], x));
+    }
+  }
+}
+
+TEST(UnixFsSurrogateTest, RejectsBadOptions) {
+  UnixFsOptions opts = SmallOptions();
+  opts.num_users = 0;
+  UnixFsWorkload w;
+  EXPECT_FALSE(GenerateUnixFs(opts, &w).ok());
+}
+
+}  // namespace
+}  // namespace secxml

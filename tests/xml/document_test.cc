@@ -1,0 +1,174 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+namespace secxml {
+namespace {
+
+// Builds the data tree from Figure 2 of the paper:
+// (a (b) (c) (d) (e (f) (g) (h (i) (j) (k) (l))))
+Document BuildFigure2Tree() {
+  DocumentBuilder b;
+  b.BeginElement("a");
+  b.BeginElement("b");
+  EXPECT_TRUE(b.EndElement().ok());
+  b.BeginElement("c");
+  EXPECT_TRUE(b.EndElement().ok());
+  b.BeginElement("d");
+  EXPECT_TRUE(b.EndElement().ok());
+  b.BeginElement("e");
+  b.BeginElement("f");
+  EXPECT_TRUE(b.EndElement().ok());
+  b.BeginElement("g");
+  EXPECT_TRUE(b.EndElement().ok());
+  b.BeginElement("h");
+  for (const char* t : {"i", "j", "k", "l"}) {
+    b.BeginElement(t);
+    EXPECT_TRUE(b.EndElement().ok());
+  }
+  EXPECT_TRUE(b.EndElement().ok());  // h
+  EXPECT_TRUE(b.EndElement().ok());  // e
+  EXPECT_TRUE(b.EndElement().ok());  // a
+  Document doc;
+  EXPECT_TRUE(b.Finish(&doc).ok());
+  return doc;
+}
+
+TEST(DocumentTest, Figure2TreeShape) {
+  Document doc = BuildFigure2Tree();
+  ASSERT_EQ(doc.NumNodes(), 12u);
+  // Document order: a b c d e f g h i j k l
+  EXPECT_EQ(doc.TagName(0), "a");
+  EXPECT_EQ(doc.TagName(1), "b");
+  EXPECT_EQ(doc.TagName(4), "e");
+  EXPECT_EQ(doc.TagName(7), "h");
+  EXPECT_EQ(doc.TagName(11), "l");
+
+  EXPECT_EQ(doc.SubtreeSize(0), 12u);
+  EXPECT_EQ(doc.SubtreeSize(4), 8u);   // e subtree: e f g h i j k l
+  EXPECT_EQ(doc.SubtreeSize(7), 5u);   // h subtree: h i j k l
+  EXPECT_EQ(doc.SubtreeSize(1), 1u);   // b is a leaf
+}
+
+TEST(DocumentTest, ParentsAndDepths) {
+  Document doc = BuildFigure2Tree();
+  EXPECT_EQ(doc.Parent(0), kInvalidNode);
+  EXPECT_EQ(doc.Parent(1), 0u);
+  EXPECT_EQ(doc.Parent(5), 4u);   // f's parent is e
+  EXPECT_EQ(doc.Parent(8), 7u);   // i's parent is h
+  EXPECT_EQ(doc.Depth(0), 0);
+  EXPECT_EQ(doc.Depth(4), 1);
+  EXPECT_EQ(doc.Depth(7), 2);
+  EXPECT_EQ(doc.Depth(8), 3);
+  EXPECT_EQ(doc.MaxDepth(), 3);
+  EXPECT_NEAR(doc.AvgDepth(), (0 + 1 * 4 + 2 * 3 + 3 * 4) / 12.0, 1e-9);
+}
+
+TEST(DocumentTest, FirstChildAndNextSibling) {
+  Document doc = BuildFigure2Tree();
+  EXPECT_EQ(doc.FirstChild(0), 1u);             // a -> b
+  EXPECT_EQ(doc.FirstChild(1), kInvalidNode);   // b is a leaf
+  EXPECT_EQ(doc.FirstChild(4), 5u);             // e -> f
+  EXPECT_EQ(doc.NextSibling(1), 2u);            // b -> c
+  EXPECT_EQ(doc.NextSibling(3), 4u);            // d -> e
+  EXPECT_EQ(doc.NextSibling(4), kInvalidNode);  // e is last child of a
+  EXPECT_EQ(doc.NextSibling(6), 7u);            // g -> h
+  EXPECT_EQ(doc.NextSibling(11), kInvalidNode); // l is last child of h
+  EXPECT_EQ(doc.NextSibling(0), kInvalidNode);  // root has no sibling
+}
+
+TEST(DocumentTest, SiblingIterationVisitsAllChildren) {
+  Document doc = BuildFigure2Tree();
+  std::vector<std::string> tags;
+  for (NodeId c = doc.FirstChild(7); c != kInvalidNode; c = doc.NextSibling(c)) {
+    tags.push_back(doc.TagName(c));
+  }
+  EXPECT_EQ(tags, (std::vector<std::string>{"i", "j", "k", "l"}));
+}
+
+TEST(DocumentTest, IsAncestor) {
+  Document doc = BuildFigure2Tree();
+  EXPECT_TRUE(doc.IsAncestor(0, 11));
+  EXPECT_TRUE(doc.IsAncestor(4, 7));
+  EXPECT_TRUE(doc.IsAncestor(7, 9));
+  EXPECT_FALSE(doc.IsAncestor(7, 4));
+  EXPECT_FALSE(doc.IsAncestor(1, 2));  // siblings
+  EXPECT_FALSE(doc.IsAncestor(3, 3));  // not a proper ancestor of itself
+  EXPECT_FALSE(doc.IsAncestor(4, 3));  // d precedes e
+}
+
+TEST(DocumentTest, SubtreeEndIsPreorderInterval) {
+  Document doc = BuildFigure2Tree();
+  EXPECT_EQ(doc.SubtreeEnd(4), 12u);
+  EXPECT_EQ(doc.SubtreeEnd(7), 12u);
+  EXPECT_EQ(doc.SubtreeEnd(1), 2u);
+  // Every descendant of e falls in [4, 12).
+  for (NodeId n = 5; n < 12; ++n) EXPECT_TRUE(doc.IsAncestor(4, n));
+}
+
+TEST(DocumentTest, ValuesAttachToElements) {
+  DocumentBuilder b;
+  b.BeginElement("root");
+  ASSERT_TRUE(b.Text("hello ").ok());
+  b.BeginElement("child");
+  ASSERT_TRUE(b.Text("inner").ok());
+  ASSERT_TRUE(b.EndElement().ok());
+  ASSERT_TRUE(b.Text("world").ok());
+  ASSERT_TRUE(b.EndElement().ok());
+  Document doc;
+  ASSERT_TRUE(b.Finish(&doc).ok());
+  EXPECT_EQ(doc.Value(0), "hello world");
+  EXPECT_EQ(doc.Value(1), "inner");
+  EXPECT_TRUE(doc.HasValue(0));
+}
+
+TEST(DocumentTest, EmptyValueIsDistinctFromNoValue) {
+  DocumentBuilder b;
+  b.BeginElement("root");
+  ASSERT_TRUE(b.EndElement().ok());
+  Document doc;
+  ASSERT_TRUE(b.Finish(&doc).ok());
+  EXPECT_FALSE(doc.HasValue(0));
+  EXPECT_EQ(doc.Value(0), "");
+}
+
+TEST(DocumentBuilderTest, ErrorsOnMisuse) {
+  {
+    DocumentBuilder b;
+    EXPECT_FALSE(b.EndElement().ok());  // nothing open
+  }
+  {
+    DocumentBuilder b;
+    EXPECT_FALSE(b.Text("x").ok());  // text before root
+  }
+  {
+    DocumentBuilder b;
+    b.BeginElement("a");
+    Document doc;
+    EXPECT_FALSE(b.Finish(&doc).ok());  // unclosed element
+  }
+  {
+    DocumentBuilder b;
+    Document doc;
+    EXPECT_FALSE(b.Finish(&doc).ok());  // empty document
+  }
+}
+
+TEST(DocumentBuilderTest, TagDictionaryInternsOnce) {
+  DocumentBuilder b;
+  b.BeginElement("x");
+  b.BeginElement("y");
+  ASSERT_TRUE(b.EndElement().ok());
+  b.BeginElement("y");
+  ASSERT_TRUE(b.EndElement().ok());
+  ASSERT_TRUE(b.EndElement().ok());
+  Document doc;
+  ASSERT_TRUE(b.Finish(&doc).ok());
+  EXPECT_EQ(doc.tags().size(), 2u);
+  EXPECT_EQ(doc.Tag(1), doc.Tag(2));
+  EXPECT_EQ(doc.tags().Lookup("y"), doc.Tag(1));
+  EXPECT_EQ(doc.tags().Lookup("zzz"), kInvalidTag);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,127 @@
+// Robustness tests for the XML parser: random garbage, random mutations of
+// valid documents, and generator round-trips must never crash, hang, or
+// violate parser invariants — every input either parses into a well-formed
+// Document or returns a clean Status.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+/// Structural sanity of any successfully parsed document.
+void ExpectWellFormed(const Document& doc) {
+  ASSERT_GT(doc.NumNodes(), 0u);
+  ASSERT_EQ(doc.SubtreeSize(0), doc.NumNodes());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    ASSERT_GE(doc.SubtreeSize(n), 1u);
+    ASSERT_LE(n + doc.SubtreeSize(n), doc.NumNodes());
+    NodeId p = doc.Parent(n);
+    if (n == 0) {
+      ASSERT_EQ(p, kInvalidNode);
+    } else {
+      ASSERT_LT(p, n);
+      ASSERT_TRUE(doc.IsAncestor(p, n));
+      ASSERT_EQ(doc.Depth(n), doc.Depth(p) + 1);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(1);
+  const char alphabet[] = "<>/=\"'abc& ;![]-?x\n\t";
+  for (int round = 0; round < 3000; ++round) {
+    std::string input;
+    size_t len = rng.Uniform(80);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Document doc;
+    Status st = ParseXml(input, &doc);
+    if (st.ok()) ExpectWellFormed(doc);
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidDocuments) {
+  XMarkOptions opts;
+  opts.target_nodes = 300;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+  std::string xml = WriteXml(doc);
+  Rng rng(2);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = xml;
+    int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(128));
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.Uniform(5));
+          break;
+        default:
+          mutated.insert(pos, round % 2 ? "<" : ">");
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    Document out;
+    Status st = ParseXml(mutated, &out);
+    if (st.ok()) ExpectWellFormed(out);
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsOfValidDocument) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a x=\"1\"><b>text &amp; more</b><!--c--><d/></a>",
+                       &doc)
+                  .ok());
+  std::string xml = WriteXml(doc);
+  for (size_t cut = 0; cut < xml.size(); ++cut) {
+    Document out;
+    Status st = ParseXml(xml.substr(0, cut), &out);
+    if (st.ok()) ExpectWellFormed(out);
+  }
+}
+
+TEST(ParserFuzzTest, GeneratorRoundTripAtScale) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    XMarkOptions opts;
+    opts.seed = seed;
+    opts.target_nodes = 4000;
+    Document doc;
+    ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+    std::string xml = WriteXml(doc);
+    Document round;
+    ASSERT_TRUE(ParseXml(xml, &round).ok());
+    ASSERT_EQ(round.NumNodes(), doc.NumNodes());
+    for (NodeId n = 0; n < doc.NumNodes(); n += 11) {
+      ASSERT_EQ(round.TagName(n), doc.TagName(n));
+      ASSERT_EQ(round.SubtreeSize(n), doc.SubtreeSize(n));
+      ASSERT_EQ(round.Value(n), doc.Value(n));
+    }
+  }
+}
+
+TEST(ParserFuzzTest, PathologicalNesting) {
+  // Very deep but legal nesting parses; mismatched depth fails cleanly.
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "<n>";
+  for (int i = 0; i < 5000; ++i) deep += "</n>";
+  Document doc;
+  ASSERT_TRUE(ParseXml(deep, &doc).ok());
+  EXPECT_EQ(doc.NumNodes(), 5000u);
+  std::string unbalanced = deep.substr(0, deep.size() - 4);
+  EXPECT_FALSE(ParseXml(unbalanced, &doc).ok());
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,182 @@
+#include "xml/xmark_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace secxml {
+namespace {
+
+Document Generate(uint32_t target, uint64_t seed = 42) {
+  XMarkOptions opts;
+  opts.seed = seed;
+  opts.target_nodes = target;
+  Document doc;
+  EXPECT_TRUE(GenerateXMark(opts, &doc).ok());
+  return doc;
+}
+
+TEST(XMarkGeneratorTest, HitsTargetSizeApproximately) {
+  for (uint32_t target : {5000u, 20000u, 60000u}) {
+    Document doc = Generate(target);
+    EXPECT_GT(doc.NumNodes(), target * 0.9) << target;
+    EXPECT_LT(doc.NumNodes(), target * 1.15) << target;
+  }
+}
+
+TEST(XMarkGeneratorTest, DeterministicInSeed) {
+  Document a = Generate(8000, 7);
+  Document b = Generate(8000, 7);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId n = 0; n < a.NumNodes(); ++n) {
+    ASSERT_EQ(a.TagName(n), b.TagName(n));
+    ASSERT_EQ(a.SubtreeSize(n), b.SubtreeSize(n));
+    ASSERT_EQ(a.Value(n), b.Value(n));
+  }
+  Document c = Generate(8000, 8);
+  EXPECT_NE(c.NumNodes(), a.NumNodes());
+}
+
+TEST(XMarkGeneratorTest, TopLevelStructure) {
+  Document doc = Generate(10000);
+  EXPECT_EQ(doc.TagName(0), "site");
+  std::vector<std::string> sections;
+  for (NodeId c = doc.FirstChild(0); c != kInvalidNode; c = doc.NextSibling(c)) {
+    sections.push_back(doc.TagName(c));
+  }
+  EXPECT_EQ(sections,
+            (std::vector<std::string>{"regions", "categories", "people",
+                                      "open_auctions", "closed_auctions"}));
+}
+
+TEST(XMarkGeneratorTest, AllSixRegionsPresent) {
+  Document doc = Generate(20000);
+  NodeId regions = doc.FirstChild(0);
+  std::set<std::string> names;
+  for (NodeId c = doc.FirstChild(regions); c != kInvalidNode;
+       c = doc.NextSibling(c)) {
+    names.insert(doc.TagName(c));
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"africa", "asia", "australia",
+                                          "europe", "namerica", "samerica"}));
+}
+
+// Counts nodes whose tag matches, anywhere in the document.
+size_t CountTag(const Document& doc, const std::string& tag) {
+  TagId id = doc.tags().Lookup(tag);
+  if (id == kInvalidTag) return 0;
+  size_t count = 0;
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    if (doc.Tag(n) == id) ++count;
+  }
+  return count;
+}
+
+TEST(XMarkGeneratorTest, QueryRelevantVocabularyExists) {
+  Document doc = Generate(30000);
+  // Tags needed by Table 1 queries Q1-Q6.
+  for (const char* tag :
+       {"item", "location", "name", "quantity", "category", "description",
+        "text", "bold", "parlist", "listitem", "keyword", "emph"}) {
+    EXPECT_GT(CountTag(doc, tag), 0u) << tag;
+  }
+}
+
+TEST(XMarkGeneratorTest, ItemsHaveRequiredChildren) {
+  Document doc = Generate(15000);
+  TagId item = doc.tags().Lookup("item");
+  ASSERT_NE(item, kInvalidTag);
+  int items_checked = 0;
+  for (NodeId n = 0; n < doc.NumNodes() && items_checked < 50; ++n) {
+    if (doc.Tag(n) != item) continue;
+    ++items_checked;
+    std::set<std::string> child_tags;
+    for (NodeId c = doc.FirstChild(n); c != kInvalidNode;
+         c = doc.NextSibling(c)) {
+      child_tags.insert(doc.TagName(c));
+    }
+    EXPECT_TRUE(child_tags.count("location")) << n;
+    EXPECT_TRUE(child_tags.count("name")) << n;
+    EXPECT_TRUE(child_tags.count("quantity")) << n;
+    EXPECT_TRUE(child_tags.count("description")) << n;
+  }
+  EXPECT_GT(items_checked, 0);
+}
+
+TEST(XMarkGeneratorTest, NestedParlistsExist) {
+  Document doc = Generate(30000);
+  TagId parlist = doc.tags().Lookup("parlist");
+  ASSERT_NE(parlist, kInvalidTag);
+  // Q4 = //parlist//parlist must have matches: find a parlist with a parlist
+  // descendant.
+  bool found = false;
+  for (NodeId n = 0; n < doc.NumNodes() && !found; ++n) {
+    if (doc.Tag(n) != parlist) continue;
+    for (NodeId d = n + 1; d < doc.SubtreeEnd(n); ++d) {
+      if (doc.Tag(d) == parlist) {
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(XMarkGeneratorTest, RegionShareRoughlyFollowsXMark) {
+  Document doc = Generate(60000);
+  NodeId regions = doc.FirstChild(0);
+  size_t total_items = CountTag(doc, "item");
+  ASSERT_GT(total_items, 100u);
+  // Find africa and europe subtree item counts.
+  size_t africa_items = 0, europe_items = 0;
+  TagId item = doc.tags().Lookup("item");
+  for (NodeId c = doc.FirstChild(regions); c != kInvalidNode;
+       c = doc.NextSibling(c)) {
+    size_t count = 0;
+    for (NodeId d = c + 1; d < doc.SubtreeEnd(c); ++d) {
+      if (doc.Tag(d) == item) ++count;
+    }
+    if (doc.TagName(c) == "africa") africa_items = count;
+    if (doc.TagName(c) == "europe") europe_items = count;
+  }
+  // Africa is a small region (~2.5% of items), Europe a large one (~30%).
+  EXPECT_LT(africa_items, europe_items);
+  EXPECT_LT(static_cast<double>(africa_items) / total_items, 0.10);
+  EXPECT_GT(static_cast<double>(europe_items) / total_items, 0.15);
+}
+
+TEST(XMarkGeneratorTest, RejectsZeroTarget) {
+  XMarkOptions opts;
+  opts.target_nodes = 0;
+  Document doc;
+  EXPECT_FALSE(GenerateXMark(opts, &doc).ok());
+}
+
+TEST(XMarkGeneratorTest, ParlistDepthBounded) {
+  XMarkOptions opts;
+  opts.target_nodes = 30000;
+  opts.max_parlist_depth = 2;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(opts, &doc).ok());
+  TagId parlist = doc.tags().Lookup("parlist");
+  // Count the deepest chain of nested parlists.
+  int max_chain = 0;
+  std::vector<int> chain(doc.NumNodes(), 0);
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    if (doc.Tag(n) != parlist) continue;
+    int depth = 1;
+    for (NodeId a = doc.Parent(n); a != kInvalidNode; a = doc.Parent(a)) {
+      if (doc.Tag(a) == parlist) {
+        depth = chain[a] + 1;
+        break;
+      }
+    }
+    chain[n] = depth;
+    max_chain = std::max(max_chain, depth);
+  }
+  EXPECT_LE(max_chain, 2);
+  EXPECT_GE(max_chain, 2);  // recursion does occur
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,122 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace secxml {
+namespace {
+
+TEST(XmlParserTest, SingleElement) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<root/>", &doc).ok());
+  ASSERT_EQ(doc.NumNodes(), 1u);
+  EXPECT_EQ(doc.TagName(0), "root");
+}
+
+TEST(XmlParserTest, NestedElements) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c/></b><d/></a>", &doc).ok());
+  ASSERT_EQ(doc.NumNodes(), 4u);
+  EXPECT_EQ(doc.TagName(0), "a");
+  EXPECT_EQ(doc.TagName(1), "b");
+  EXPECT_EQ(doc.TagName(2), "c");
+  EXPECT_EQ(doc.TagName(3), "d");
+  EXPECT_EQ(doc.Parent(2), 1u);
+  EXPECT_EQ(doc.Parent(3), 0u);
+}
+
+TEST(XmlParserTest, TextContent) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a>hello <b>bold</b> world</a>", &doc).ok());
+  EXPECT_EQ(doc.Value(0), "hello  world");
+  EXPECT_EQ(doc.Value(1), "bold");
+}
+
+TEST(XmlParserTest, EntitiesDecoded) {
+  Document doc;
+  ASSERT_TRUE(
+      ParseXml("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>", &doc)
+          .ok());
+  EXPECT_EQ(doc.Value(0), "<tag> & \"q\" 's'");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a>&#65;&#x42;</a>", &doc).ok());
+  EXPECT_EQ(doc.Value(0), "AB");
+}
+
+TEST(XmlParserTest, AttributesBecomeAttributeChildren) {
+  Document doc;
+  ASSERT_TRUE(ParseXml(R"(<item id="7" cat="a&amp;b"><name/></item>)", &doc).ok());
+  ASSERT_EQ(doc.NumNodes(), 4u);
+  EXPECT_EQ(doc.TagName(1), "@id");
+  EXPECT_EQ(doc.Value(1), "7");
+  EXPECT_EQ(doc.TagName(2), "@cat");
+  EXPECT_EQ(doc.Value(2), "a&b");
+  EXPECT_EQ(doc.TagName(3), "name");
+}
+
+TEST(XmlParserTest, CommentsAndPIsSkipped) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<?xml version=\"1.0\"?><!-- hi --><a><!-- x --><b/></a>",
+                       &doc)
+                  .ok());
+  ASSERT_EQ(doc.NumNodes(), 2u);
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<!DOCTYPE site><site/>", &doc).ok());
+  EXPECT_EQ(doc.TagName(0), "site");
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><![CDATA[<raw> & text]]></a>", &doc).ok());
+  EXPECT_EQ(doc.Value(0), "<raw> & text");
+}
+
+TEST(XmlParserTest, WhitespaceBetweenElementsIgnored) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a>\n  <b/>\n  <c/>\n</a>", &doc).ok());
+  ASSERT_EQ(doc.NumNodes(), 3u);
+  EXPECT_FALSE(doc.HasValue(0));
+}
+
+TEST(XmlParserTest, RejectsMalformedInput) {
+  Document doc;
+  EXPECT_FALSE(ParseXml("<a><b></a></b>", &doc).ok());  // bad nesting arity ok
+  EXPECT_FALSE(ParseXml("<a>", &doc).ok());             // unclosed
+  EXPECT_FALSE(ParseXml("<a/><b/>", &doc).ok());        // two roots
+  EXPECT_FALSE(ParseXml("text only", &doc).ok());       // no root
+  EXPECT_FALSE(ParseXml("<a attr></a>", &doc).ok());    // attr without value
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>", &doc).ok());  // unknown entity
+  EXPECT_FALSE(ParseXml("<a><!-- unterminated</a>", &doc).ok());
+}
+
+TEST(XmlParserTest, MismatchedCloseCountsCaught) {
+  Document doc;
+  // One extra close tag.
+  EXPECT_FALSE(ParseXml("<a><b/></a></a>", &doc).ok());
+}
+
+TEST(XmlParserTest, DeeplyNestedDocument) {
+  std::string input;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) input += "<n>";
+  for (int i = 0; i < kDepth; ++i) input += "</n>";
+  Document doc;
+  ASSERT_TRUE(ParseXml(input, &doc).ok());
+  EXPECT_EQ(doc.NumNodes(), static_cast<size_t>(kDepth));
+  EXPECT_EQ(doc.MaxDepth(), kDepth - 1);
+}
+
+TEST(XmlParserTest, ErrorMessagesIncludeLineNumbers) {
+  Document doc;
+  Status s = ParseXml("<a>\n<b>\n&oops;</b></a>", &doc);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+}
+
+}  // namespace
+}  // namespace secxml

@@ -1,0 +1,89 @@
+#include "xml/xml_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+TEST(XmlWriterTest, RoundTripSimple) {
+  const std::string input = "<a><b>hi</b><c/></a>";
+  Document doc;
+  ASSERT_TRUE(ParseXml(input, &doc).ok());
+  EXPECT_EQ(WriteXml(doc), input);
+}
+
+TEST(XmlWriterTest, AttributesRestored) {
+  const std::string input = R"(<item id="7"><name>x</name></item>)";
+  Document doc;
+  ASSERT_TRUE(ParseXml(input, &doc).ok());
+  EXPECT_EQ(WriteXml(doc), input);
+}
+
+TEST(XmlWriterTest, SpecialCharactersEscaped) {
+  DocumentBuilder b;
+  b.BeginElement("a");
+  ASSERT_TRUE(b.Text("x < y & z").ok());
+  ASSERT_TRUE(b.EndElement().ok());
+  Document doc;
+  ASSERT_TRUE(b.Finish(&doc).ok());
+  EXPECT_EQ(WriteXml(doc), "<a>x &lt; y &amp; z</a>");
+}
+
+TEST(XmlWriterTest, RoundTripPreservesStructure) {
+  const std::string input =
+      R"(<site><regions><africa><item id="1"><name>n</name></item></africa>)"
+      R"(</regions><people/></site>)";
+  Document doc;
+  ASSERT_TRUE(ParseXml(input, &doc).ok());
+  std::string emitted = WriteXml(doc);
+  Document doc2;
+  ASSERT_TRUE(ParseXml(emitted, &doc2).ok());
+  ASSERT_EQ(doc2.NumNodes(), doc.NumNodes());
+  for (NodeId n = 0; n < doc.NumNodes(); ++n) {
+    EXPECT_EQ(doc2.TagName(n), doc.TagName(n));
+    EXPECT_EQ(doc2.SubtreeSize(n), doc.SubtreeSize(n));
+    EXPECT_EQ(doc2.Value(n), doc.Value(n));
+  }
+}
+
+TEST(XmlWriterTest, SubtreeSerialization) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b><c>x</c></b><d/></a>", &doc).ok());
+  EXPECT_EQ(WriteXml(doc, /*root=*/1), "<b><c>x</c></b>");
+  EXPECT_EQ(WriteXml(doc, /*root=*/3), "<d/>");
+}
+
+TEST(XmlWriterTest, PrettyPrinting) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/><c/></a>", &doc).ok());
+  XmlWriteOptions opts;
+  opts.pretty = true;
+  EXPECT_EQ(WriteXml(doc, 0, opts), "<a>\n  <b/>\n  <c/>\n</a>");
+}
+
+TEST(XmlWriterTest, FilteredOmitsSubtrees) {
+  Document doc;
+  // a(b(c) d(e))
+  ASSERT_TRUE(ParseXml("<a><b><c/></b><d><e/></d></a>", &doc).ok());
+  // Hide b (node 1): its whole subtree disappears even though c is "visible".
+  auto visible = [](NodeId n) { return n != 1; };
+  EXPECT_EQ(WriteXmlFiltered(doc, visible), "<a><d><e/></d></a>");
+}
+
+TEST(XmlWriterTest, FilteredHiddenRootYieldsEmpty) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a><b/></a>", &doc).ok());
+  auto visible = [](NodeId n) { return n != 0; };
+  EXPECT_EQ(WriteXmlFiltered(doc, visible), "");
+}
+
+TEST(XmlWriterTest, OutOfRangeRootYieldsEmpty) {
+  Document doc;
+  ASSERT_TRUE(ParseXml("<a/>", &doc).ok());
+  EXPECT_EQ(WriteXml(doc, 5), "");
+}
+
+}  // namespace
+}  // namespace secxml
