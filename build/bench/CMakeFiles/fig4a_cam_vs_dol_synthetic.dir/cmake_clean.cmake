@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_cam_vs_dol_synthetic.dir/fig4a_cam_vs_dol_synthetic.cc.o"
+  "CMakeFiles/fig4a_cam_vs_dol_synthetic.dir/fig4a_cam_vs_dol_synthetic.cc.o.d"
+  "fig4a_cam_vs_dol_synthetic"
+  "fig4a_cam_vs_dol_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_cam_vs_dol_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

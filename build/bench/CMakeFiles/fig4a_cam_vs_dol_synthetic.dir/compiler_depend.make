@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4a_cam_vs_dol_synthetic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4a_cam_vs_dol_synthetic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_cam_vs_dol_livelink.dir/fig4b_cam_vs_dol_livelink.cc.o"
+  "CMakeFiles/fig4b_cam_vs_dol_livelink.dir/fig4b_cam_vs_dol_livelink.cc.o.d"
+  "fig4b_cam_vs_dol_livelink"
+  "fig4b_cam_vs_dol_livelink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_cam_vs_dol_livelink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

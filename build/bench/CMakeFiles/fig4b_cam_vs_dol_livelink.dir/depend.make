@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4b_cam_vs_dol_livelink.
+# This may be replaced when dependencies are built.

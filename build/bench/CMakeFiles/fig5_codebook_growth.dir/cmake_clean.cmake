@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_codebook_growth.dir/fig5_codebook_growth.cc.o"
+  "CMakeFiles/fig5_codebook_growth.dir/fig5_codebook_growth.cc.o.d"
+  "fig5_codebook_growth"
+  "fig5_codebook_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_codebook_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

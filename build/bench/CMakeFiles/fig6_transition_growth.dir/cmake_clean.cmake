@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_transition_growth.dir/fig6_transition_growth.cc.o"
+  "CMakeFiles/fig6_transition_growth.dir/fig6_transition_growth.cc.o.d"
+  "fig6_transition_growth"
+  "fig6_transition_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_transition_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

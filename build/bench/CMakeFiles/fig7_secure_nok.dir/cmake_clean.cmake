@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_secure_nok.dir/fig7_secure_nok.cc.o"
+  "CMakeFiles/fig7_secure_nok.dir/fig7_secure_nok.cc.o.d"
+  "fig7_secure_nok"
+  "fig7_secure_nok.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_secure_nok.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookup_micro.dir/lookup_micro.cc.o"
+  "CMakeFiles/lookup_micro.dir/lookup_micro.cc.o.d"
+  "lookup_micro"
+  "lookup_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookup_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_folding_ablation.dir/mode_folding_ablation.cc.o"
+  "CMakeFiles/mode_folding_ablation.dir/mode_folding_ablation.cc.o.d"
+  "mode_folding_ablation"
+  "mode_folding_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_folding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mode_folding_ablation.
+# This may be replaced when dependencies are built.

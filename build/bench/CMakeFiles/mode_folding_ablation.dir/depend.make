@@ -1,0 +1,2 @@
+# Empty dependencies file for mode_folding_ablation.
+# This may be replaced when dependencies are built.

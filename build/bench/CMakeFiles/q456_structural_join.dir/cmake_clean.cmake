@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q456_structural_join.dir/q456_structural_join.cc.o"
+  "CMakeFiles/q456_structural_join.dir/q456_structural_join.cc.o.d"
+  "q456_structural_join"
+  "q456_structural_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q456_structural_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

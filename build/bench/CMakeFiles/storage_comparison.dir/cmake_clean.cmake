@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_comparison.dir/storage_comparison.cc.o"
+  "CMakeFiles/storage_comparison.dir/storage_comparison.cc.o.d"
+  "storage_comparison"
+  "storage_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

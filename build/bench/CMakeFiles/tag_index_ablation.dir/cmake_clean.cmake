@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_index_ablation.dir/tag_index_ablation.cc.o"
+  "CMakeFiles/tag_index_ablation.dir/tag_index_ablation.cc.o.d"
+  "tag_index_ablation"
+  "tag_index_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_index_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_bench.dir/updates_bench.cc.o"
+  "CMakeFiles/updates_bench.dir/updates_bench.cc.o.d"
+  "updates_bench"
+  "updates_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

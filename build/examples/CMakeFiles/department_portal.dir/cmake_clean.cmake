@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/department_portal.dir/department_portal.cpp.o"
+  "CMakeFiles/department_portal.dir/department_portal.cpp.o.d"
+  "department_portal"
+  "department_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/department_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_acl_audit.dir/fs_acl_audit.cpp.o"
+  "CMakeFiles/fs_acl_audit.dir/fs_acl_audit.cpp.o.d"
+  "fs_acl_audit"
+  "fs_acl_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_acl_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

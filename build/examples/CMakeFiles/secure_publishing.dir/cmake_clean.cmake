@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_publishing.dir/secure_publishing.cpp.o"
+  "CMakeFiles/secure_publishing.dir/secure_publishing.cpp.o.d"
+  "secure_publishing"
+  "secure_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

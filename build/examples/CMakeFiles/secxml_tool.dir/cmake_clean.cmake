@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_tool.dir/secxml_tool.cpp.o"
+  "CMakeFiles/secxml_tool.dir/secxml_tool.cpp.o.d"
+  "secxml_tool"
+  "secxml_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

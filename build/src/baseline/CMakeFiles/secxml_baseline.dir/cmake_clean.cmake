@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_baseline.dir/cam.cc.o"
+  "CMakeFiles/secxml_baseline.dir/cam.cc.o.d"
+  "libsecxml_baseline.a"
+  "libsecxml_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_common.dir/status.cc.o"
+  "CMakeFiles/secxml_common.dir/status.cc.o.d"
+  "libsecxml_common.a"
+  "libsecxml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accessibility_map.cc" "src/core/CMakeFiles/secxml_core.dir/accessibility_map.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/accessibility_map.cc.o.d"
+  "/root/repo/src/core/codebook.cc" "src/core/CMakeFiles/secxml_core.dir/codebook.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/codebook.cc.o.d"
+  "/root/repo/src/core/dol_labeling.cc" "src/core/CMakeFiles/secxml_core.dir/dol_labeling.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/dol_labeling.cc.o.d"
+  "/root/repo/src/core/mode_folding.cc" "src/core/CMakeFiles/secxml_core.dir/mode_folding.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/mode_folding.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/secxml_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/secure_store.cc" "src/core/CMakeFiles/secxml_core.dir/secure_store.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/secure_store.cc.o.d"
+  "/root/repo/src/core/stream_filter.cc" "src/core/CMakeFiles/secxml_core.dir/stream_filter.cc.o" "gcc" "src/core/CMakeFiles/secxml_core.dir/stream_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nok/CMakeFiles/secxml_nok.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/secxml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/secxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

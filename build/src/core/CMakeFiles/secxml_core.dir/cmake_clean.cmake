@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_core.dir/accessibility_map.cc.o"
+  "CMakeFiles/secxml_core.dir/accessibility_map.cc.o.d"
+  "CMakeFiles/secxml_core.dir/codebook.cc.o"
+  "CMakeFiles/secxml_core.dir/codebook.cc.o.d"
+  "CMakeFiles/secxml_core.dir/dol_labeling.cc.o"
+  "CMakeFiles/secxml_core.dir/dol_labeling.cc.o.d"
+  "CMakeFiles/secxml_core.dir/mode_folding.cc.o"
+  "CMakeFiles/secxml_core.dir/mode_folding.cc.o.d"
+  "CMakeFiles/secxml_core.dir/policy.cc.o"
+  "CMakeFiles/secxml_core.dir/policy.cc.o.d"
+  "CMakeFiles/secxml_core.dir/secure_store.cc.o"
+  "CMakeFiles/secxml_core.dir/secure_store.cc.o.d"
+  "CMakeFiles/secxml_core.dir/stream_filter.cc.o"
+  "CMakeFiles/secxml_core.dir/stream_filter.cc.o.d"
+  "libsecxml_core.a"
+  "libsecxml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

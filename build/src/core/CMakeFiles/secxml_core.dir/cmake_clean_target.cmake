@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsecxml_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nok/nok_store.cc" "src/nok/CMakeFiles/secxml_nok.dir/nok_store.cc.o" "gcc" "src/nok/CMakeFiles/secxml_nok.dir/nok_store.cc.o.d"
+  "/root/repo/src/nok/tag_index.cc" "src/nok/CMakeFiles/secxml_nok.dir/tag_index.cc.o" "gcc" "src/nok/CMakeFiles/secxml_nok.dir/tag_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/secxml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/secxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_nok.dir/nok_store.cc.o"
+  "CMakeFiles/secxml_nok.dir/nok_store.cc.o.d"
+  "CMakeFiles/secxml_nok.dir/tag_index.cc.o"
+  "CMakeFiles/secxml_nok.dir/tag_index.cc.o.d"
+  "libsecxml_nok.a"
+  "libsecxml_nok.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_nok.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/decomposer.cc" "src/query/CMakeFiles/secxml_query.dir/decomposer.cc.o" "gcc" "src/query/CMakeFiles/secxml_query.dir/decomposer.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/secxml_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/secxml_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/matcher.cc" "src/query/CMakeFiles/secxml_query.dir/matcher.cc.o" "gcc" "src/query/CMakeFiles/secxml_query.dir/matcher.cc.o.d"
+  "/root/repo/src/query/pattern_tree.cc" "src/query/CMakeFiles/secxml_query.dir/pattern_tree.cc.o" "gcc" "src/query/CMakeFiles/secxml_query.dir/pattern_tree.cc.o.d"
+  "/root/repo/src/query/structural_join.cc" "src/query/CMakeFiles/secxml_query.dir/structural_join.cc.o" "gcc" "src/query/CMakeFiles/secxml_query.dir/structural_join.cc.o.d"
+  "/root/repo/src/query/xpath_parser.cc" "src/query/CMakeFiles/secxml_query.dir/xpath_parser.cc.o" "gcc" "src/query/CMakeFiles/secxml_query.dir/xpath_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/secxml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nok/CMakeFiles/secxml_nok.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/secxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secxml_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/secxml_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_query.dir/decomposer.cc.o"
+  "CMakeFiles/secxml_query.dir/decomposer.cc.o.d"
+  "CMakeFiles/secxml_query.dir/evaluator.cc.o"
+  "CMakeFiles/secxml_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/secxml_query.dir/matcher.cc.o"
+  "CMakeFiles/secxml_query.dir/matcher.cc.o.d"
+  "CMakeFiles/secxml_query.dir/pattern_tree.cc.o"
+  "CMakeFiles/secxml_query.dir/pattern_tree.cc.o.d"
+  "CMakeFiles/secxml_query.dir/structural_join.cc.o"
+  "CMakeFiles/secxml_query.dir/structural_join.cc.o.d"
+  "CMakeFiles/secxml_query.dir/xpath_parser.cc.o"
+  "CMakeFiles/secxml_query.dir/xpath_parser.cc.o.d"
+  "libsecxml_query.a"
+  "libsecxml_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

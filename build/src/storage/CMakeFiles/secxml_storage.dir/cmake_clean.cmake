@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/secxml_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/secxml_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/secxml_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/secxml_storage.dir/paged_file.cc.o"
+  "CMakeFiles/secxml_storage.dir/paged_file.cc.o.d"
+  "libsecxml_storage.a"
+  "libsecxml_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_workload.dir/livelink_surrogate.cc.o"
+  "CMakeFiles/secxml_workload.dir/livelink_surrogate.cc.o.d"
+  "CMakeFiles/secxml_workload.dir/query_generator.cc.o"
+  "CMakeFiles/secxml_workload.dir/query_generator.cc.o.d"
+  "CMakeFiles/secxml_workload.dir/synthetic_acl.cc.o"
+  "CMakeFiles/secxml_workload.dir/synthetic_acl.cc.o.d"
+  "CMakeFiles/secxml_workload.dir/unixfs_surrogate.cc.o"
+  "CMakeFiles/secxml_workload.dir/unixfs_surrogate.cc.o.d"
+  "libsecxml_workload.a"
+  "libsecxml_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secxml_xml.dir/document.cc.o"
+  "CMakeFiles/secxml_xml.dir/document.cc.o.d"
+  "CMakeFiles/secxml_xml.dir/xmark_generator.cc.o"
+  "CMakeFiles/secxml_xml.dir/xmark_generator.cc.o.d"
+  "CMakeFiles/secxml_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/secxml_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/secxml_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/secxml_xml.dir/xml_writer.cc.o.d"
+  "libsecxml_xml.a"
+  "libsecxml_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secxml_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accessibility_map_test.dir/core/accessibility_map_test.cc.o"
+  "CMakeFiles/accessibility_map_test.dir/core/accessibility_map_test.cc.o.d"
+  "accessibility_map_test"
+  "accessibility_map_test.pdb"
+  "accessibility_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accessibility_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

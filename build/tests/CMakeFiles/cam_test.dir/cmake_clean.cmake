@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cam_test.dir/baseline/cam_test.cc.o"
+  "CMakeFiles/cam_test.dir/baseline/cam_test.cc.o.d"
+  "cam_test"
+  "cam_test.pdb"
+  "cam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

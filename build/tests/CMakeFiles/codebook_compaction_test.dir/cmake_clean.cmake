@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebook_compaction_test.dir/core/codebook_compaction_test.cc.o"
+  "CMakeFiles/codebook_compaction_test.dir/core/codebook_compaction_test.cc.o.d"
+  "codebook_compaction_test"
+  "codebook_compaction_test.pdb"
+  "codebook_compaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebook_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

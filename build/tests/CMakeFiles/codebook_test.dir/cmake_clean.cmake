@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codebook_test.dir/core/codebook_test.cc.o"
+  "CMakeFiles/codebook_test.dir/core/codebook_test.cc.o.d"
+  "codebook_test"
+  "codebook_test.pdb"
+  "codebook_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codebook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

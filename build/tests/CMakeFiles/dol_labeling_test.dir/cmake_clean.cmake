@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_labeling_test.dir/core/dol_labeling_test.cc.o"
+  "CMakeFiles/dol_labeling_test.dir/core/dol_labeling_test.cc.o.d"
+  "dol_labeling_test"
+  "dol_labeling_test.pdb"
+  "dol_labeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_labeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dol_serialization_test.cc" "tests/CMakeFiles/dol_serialization_test.dir/core/dol_serialization_test.cc.o" "gcc" "tests/CMakeFiles/dol_serialization_test.dir/core/dol_serialization_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/secxml_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/secxml_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/secxml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/secxml_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nok/CMakeFiles/secxml_nok.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/secxml_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/secxml_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/secxml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dol_serialization_test.dir/core/dol_serialization_test.cc.o"
+  "CMakeFiles/dol_serialization_test.dir/core/dol_serialization_test.cc.o.d"
+  "dol_serialization_test"
+  "dol_serialization_test.pdb"
+  "dol_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dol_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

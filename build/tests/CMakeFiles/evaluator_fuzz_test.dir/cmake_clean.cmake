@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_fuzz_test.dir/query/evaluator_fuzz_test.cc.o"
+  "CMakeFiles/evaluator_fuzz_test.dir/query/evaluator_fuzz_test.cc.o.d"
+  "evaluator_fuzz_test"
+  "evaluator_fuzz_test.pdb"
+  "evaluator_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

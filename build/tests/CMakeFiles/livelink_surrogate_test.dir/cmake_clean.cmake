@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livelink_surrogate_test.dir/workload/livelink_surrogate_test.cc.o"
+  "CMakeFiles/livelink_surrogate_test.dir/workload/livelink_surrogate_test.cc.o.d"
+  "livelink_surrogate_test"
+  "livelink_surrogate_test.pdb"
+  "livelink_surrogate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livelink_surrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

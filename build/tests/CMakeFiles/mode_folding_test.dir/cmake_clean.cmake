@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_folding_test.dir/core/mode_folding_test.cc.o"
+  "CMakeFiles/mode_folding_test.dir/core/mode_folding_test.cc.o.d"
+  "mode_folding_test"
+  "mode_folding_test.pdb"
+  "mode_folding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_folding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nok_store_test.dir/nok/nok_store_test.cc.o"
+  "CMakeFiles/nok_store_test.dir/nok/nok_store_test.cc.o.d"
+  "nok_store_test"
+  "nok_store_test.pdb"
+  "nok_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nok_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

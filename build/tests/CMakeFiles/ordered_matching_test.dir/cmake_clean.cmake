@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_matching_test.dir/query/ordered_matching_test.cc.o"
+  "CMakeFiles/ordered_matching_test.dir/query/ordered_matching_test.cc.o.d"
+  "ordered_matching_test"
+  "ordered_matching_test.pdb"
+  "ordered_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

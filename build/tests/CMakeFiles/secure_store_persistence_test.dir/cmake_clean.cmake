@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_store_persistence_test.dir/core/secure_store_persistence_test.cc.o"
+  "CMakeFiles/secure_store_persistence_test.dir/core/secure_store_persistence_test.cc.o.d"
+  "secure_store_persistence_test"
+  "secure_store_persistence_test.pdb"
+  "secure_store_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_store_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_filter_test.dir/core/stream_filter_test.cc.o"
+  "CMakeFiles/stream_filter_test.dir/core/stream_filter_test.cc.o.d"
+  "stream_filter_test"
+  "stream_filter_test.pdb"
+  "stream_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_update_test.dir/nok/structural_update_test.cc.o"
+  "CMakeFiles/structural_update_test.dir/nok/structural_update_test.cc.o.d"
+  "structural_update_test"
+  "structural_update_test.pdb"
+  "structural_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

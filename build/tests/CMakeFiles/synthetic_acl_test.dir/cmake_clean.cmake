@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_acl_test.dir/workload/synthetic_acl_test.cc.o"
+  "CMakeFiles/synthetic_acl_test.dir/workload/synthetic_acl_test.cc.o.d"
+  "synthetic_acl_test"
+  "synthetic_acl_test.pdb"
+  "synthetic_acl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_acl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unixfs_surrogate_test.dir/workload/unixfs_surrogate_test.cc.o"
+  "CMakeFiles/unixfs_surrogate_test.dir/workload/unixfs_surrogate_test.cc.o.d"
+  "unixfs_surrogate_test"
+  "unixfs_surrogate_test.pdb"
+  "unixfs_surrogate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unixfs_surrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

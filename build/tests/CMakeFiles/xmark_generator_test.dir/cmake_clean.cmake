@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_generator_test.dir/xml/xmark_generator_test.cc.o"
+  "CMakeFiles/xmark_generator_test.dir/xml/xmark_generator_test.cc.o.d"
+  "xmark_generator_test"
+  "xmark_generator_test.pdb"
+  "xmark_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
