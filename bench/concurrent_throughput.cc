@@ -1,0 +1,170 @@
+// Concurrent multi-subject secure query serving: threads x subjects sweep
+// over one shared SecureStore, driven by QueryDriver.
+//
+// The paper evaluates DOL by page-read counts; here those reads cost
+// simulated device latency (LatencyPagedFile), which is exactly what
+// concurrent serving overlaps: with the buffer pool's sharded latches,
+// N worker threads keep up to N page reads in flight. Expected shape:
+// aggregate throughput scales with threads until the pool or the single
+// simulated device saturates, while per-query answers stay byte-identical
+// to serial evaluation (the DOL read path is shared-read-safe).
+//
+// Output: one JSON line per (threads) configuration, plus a summary.
+// argv[1] = document nodes (default 12000), argv[2] = read latency in
+// microseconds (default 150), argv[3] = queries in the batch (default 192).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/query_driver.h"
+#include "query/xpath_parser.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kNumSubjects = 8;
+
+int Run(int argc, char** argv) {
+  uint32_t nodes = bench::ScaleArg(argc, argv, 12000);
+  uint32_t latency_us = 150;
+  if (argc > 2) latency_us = static_cast<uint32_t>(std::atoi(argv[2]));
+  size_t num_queries = 192;
+  if (argc > 3) num_queries = static_cast<size_t>(std::atoi(argv[3]));
+
+  bench::Banner("Concurrent multi-subject secure query throughput");
+  std::printf("nodes=%u subjects=%zu queries=%zu read_latency_us=%u\n",
+              nodes, kNumSubjects, num_queries, latency_us);
+
+  XMarkOptions xopts;
+  xopts.seed = 17;
+  xopts.target_nodes = nodes;
+  Document doc;
+  Status st = GenerateXMark(xopts, &doc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "xmark: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  SyntheticAclOptions aopts;
+  aopts.seed = 23;
+  aopts.accessibility_ratio = 0.7;
+  IntervalAccessMap map = GenerateSyntheticAclMap(doc, kNumSubjects, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+
+  MemPagedFile base;
+  LatencyPagedFile file(&base, std::chrono::microseconds(latency_us));
+  NokStoreOptions sopts;
+  // Pool far smaller than the document so queries keep missing (cold I/O),
+  // with enough latch shards that concurrent misses overlap their reads.
+  sopts.buffer_pool_pages = 64;
+  sopts.buffer_pool_shards = 16;
+  sopts.max_records_per_page = 64;
+  std::unique_ptr<SecureStore> store;
+  st = SecureStore::Build(doc, labeling, &file, sopts, &store);
+  if (!st.ok()) {
+    std::fprintf(stderr, "build: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("store: %zu pages, pool %zu frames / %zu shards\n",
+              store->nok()->num_pages(), sopts.buffer_pool_pages,
+              sopts.buffer_pool_shards);
+
+  // The batch: Table 1 pattern queries plus random twigs grown along real
+  // document paths, round-robined over the subjects.
+  std::vector<QueryJob> jobs;
+  jobs.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    QueryJob job;
+    job.subject = static_cast<SubjectId>(i % kNumSubjects);
+    if (i % 4 == 0) {
+      st = ParseXPath(kTable1Queries[(i / 4) % 6], &job.pattern);
+      if (!st.ok()) {
+        std::fprintf(stderr, "parse: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    } else {
+      QueryGenOptions qopts;
+      qopts.seed = 1000 + i;
+      qopts.max_nodes = 2 + static_cast<int>(i % 5);
+      job.pattern = GenerateTwigQuery(doc, qopts);
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  // Serial baseline first; each configuration starts from a cold cache.
+  BatchResult serial;
+  double serial_qps = 0;
+  bool all_identical = true;
+  int exit_code = 0;
+  double speedup_at_4 = 0;
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    st = store->nok()->buffer_pool()->EvictAll();
+    if (!st.ok()) {
+      std::fprintf(stderr, "evict: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    QueryDriverOptions dopts;
+    dopts.num_threads = threads;
+    dopts.semantics = AccessSemantics::kBinding;
+    QueryDriver driver(store.get(), dopts);
+    BatchResult batch = driver.Run(jobs);
+
+    bool identical = true;
+    if (threads == 1) {
+      serial = batch;
+      serial_qps = batch.stats.QueriesPerSecond(jobs.size());
+    } else {
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (batch.outcomes[i].status.ok() != serial.outcomes[i].status.ok() ||
+            batch.outcomes[i].result.answers !=
+                serial.outcomes[i].result.answers) {
+          identical = false;
+        }
+      }
+      all_identical = all_identical && identical;
+    }
+    double qps = batch.stats.QueriesPerSecond(jobs.size());
+    double speedup = serial_qps > 0 ? qps / serial_qps : 1.0;
+    if (threads == 4) speedup_at_4 = speedup;
+    std::printf(
+        "{\"threads\":%zu,\"queries\":%zu,\"failed\":%zu,"
+        "\"wall_ms\":%.1f,\"qps\":%.1f,\"speedup_vs_serial\":%.2f,"
+        "\"mean_latency_us\":%.0f,\"p95_latency_us\":%lld,"
+        "\"page_reads\":%llu,\"cache_hits\":%llu,\"pages_skipped\":%llu,"
+        "\"identical_to_serial\":%s}\n",
+        threads, jobs.size(), batch.stats.failed,
+        batch.stats.wall_micros / 1000.0, qps, speedup,
+        batch.stats.mean_latency_micros,
+        static_cast<long long>(batch.stats.p95_latency_micros),
+        static_cast<unsigned long long>(batch.stats.io.page_reads),
+        static_cast<unsigned long long>(batch.stats.io.cache_hits),
+        static_cast<unsigned long long>(batch.stats.io.pages_skipped),
+        threads == 1 ? "true" : (identical ? "true" : "false"));
+    if (batch.stats.failed != 0) exit_code = 1;
+  }
+
+  std::printf("\nsummary: speedup at 4 threads = %.2fx, results %s\n",
+              speedup_at_4,
+              all_identical ? "byte-identical to serial" : "DIVERGED");
+  if (!all_identical) exit_code = 1;
+  if (speedup_at_4 < 2.0) {
+    std::printf("WARNING: speedup below the 2x acceptance threshold\n");
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

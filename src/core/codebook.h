@@ -42,7 +42,11 @@ class Codebook {
 
   const BitVector& Entry(AccessCodeId code) const { return entries_[code]; }
 
-  /// True if the ACL behind `code` grants access to `subject`.
+  /// True if the ACL behind `code` grants access to `subject`. This is the
+  /// per-node check on the secure query hot path; it is a pure read, so any
+  /// number of query threads may call it (and Entry/Find/num_subjects)
+  /// concurrently as long as no thread mutates the codebook (Intern,
+  /// Add/RemoveSubject) at the same time.
   bool Accessible(AccessCodeId code, SubjectId subject) const {
     return entries_[code].Get(subject);
   }

@@ -188,6 +188,11 @@ Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
   if (subject >= codebook_.num_subjects()) {
     return Status::InvalidArgument("no such subject");
   }
+  // The mutex is held across the miss computation: concurrent queries for
+  // the same subject then compute the sweep once, and the only lock taken
+  // underneath it is the buffer pool's shard latch (a leaf lock), so the
+  // ordering stays acyclic.
+  std::lock_guard<std::mutex> lock(hidden_cache_mu_);
   auto it = hidden_cache_.find(subject);
   if (it != hidden_cache_.end()) return it->second;
   SECXML_ASSIGN_OR_RETURN(std::vector<NodeInterval> hidden,

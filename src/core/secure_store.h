@@ -2,6 +2,7 @@
 #define SECXML_CORE_SECURE_STORE_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,16 @@ namespace secxml {
 /// A secured XML store: NoK block storage of the document structure with the
 /// DOL physically embedded (paper Section 3), plus the in-memory codebook.
 /// This is the object the secure query processor runs against.
+///
+/// Thread safety: the query-time read path — Accessible,
+/// PageWhollyInaccessible, PageWhollyAccessible, HiddenSubtreeIntervals,
+/// codebook(), and everything NokStore documents as read-safe — may be
+/// called from many threads concurrently (this is what QueryDriver does:
+/// one shared SecureStore, many subjects). The codebook is immutable during
+/// reads and Codebook::Accessible is const; HiddenSubtreeIntervals guards
+/// its per-subject cache with an internal mutex. Updates (SetNodeAccess,
+/// SetSubtreeAccess, SetRangeAccess, DeleteSubtree, InsertSubtree,
+/// Add/RemoveSubject, CompactCodebook, Persist) require exclusive access.
 class SecureStore {
  public:
   /// Builds the physical store from a document and its logical DOL in one
@@ -46,6 +57,7 @@ class SecureStore {
   /// Accessibility check for one node (Section 3.3). Costs at most one
   /// buffer-pool fetch of the node's own page, and zero I/O when the page's
   /// change bit is clear (answered from the in-memory header table).
+  /// Safe for concurrent callers.
   Result<bool> Accessible(SubjectId subject, NodeId node);
 
   /// True if, judging from the in-memory page header alone, every node in
@@ -132,7 +144,9 @@ class SecureStore {
   ///
   /// Results are cached per subject and invalidated by any accessibility or
   /// structural update, so repeated view-semantics queries by one subject
-  /// pay the sweep once.
+  /// pay the sweep once. Safe for concurrent callers: the cache is guarded
+  /// by an internal mutex (held across a miss's sweep, so concurrent
+  /// view-semantics queries serialize on the first computation).
   Result<std::vector<NodeInterval>> HiddenSubtreeIntervals(SubjectId subject);
 
   /// Rebuilds the logical DolLabeling from the physical pages (for tests
@@ -149,10 +163,14 @@ class SecureStore {
   Result<std::vector<NodeInterval>> ComputeHiddenSubtreeIntervals(
       SubjectId subject);
 
-  void InvalidateVisibilityCache() { hidden_cache_.clear(); }
+  void InvalidateVisibilityCache() {
+    std::lock_guard<std::mutex> lock(hidden_cache_mu_);
+    hidden_cache_.clear();
+  }
 
   std::unique_ptr<NokStore> nok_;
   Codebook codebook_;
+  std::mutex hidden_cache_mu_;
   std::unordered_map<SubjectId, std::vector<NodeInterval>> hidden_cache_;
 };
 

@@ -22,6 +22,11 @@ struct NokStoreOptions {
   /// Buffer pool capacity in pages.
   size_t buffer_pool_pages = 256;
 
+  /// Buffer pool latch shards (0 = automatic; see BufferPool). Raise this
+  /// when many threads serve queries over one store so that concurrent page
+  /// fetches latch different shards.
+  size_t buffer_pool_shards = 0;
+
   /// Transition slots reserved per page at build time beyond those the page
   /// initially needs, so in-place accessibility updates (which add at most 2
   /// transitions each, Proposition 1) rarely force a page split.
@@ -46,6 +51,16 @@ struct NokStoreOptions {
 ///
 /// Access-control *codes* here are opaque 32-bit values; their meaning (which
 /// subjects may access) is defined by the DOL codebook in src/core.
+///
+/// Thread safety: the read API — Record, RecordAndCode, AccessCode,
+/// FirstAtDepthInPage, PageTransitions, Postings, PageOrdinalOf, page_infos,
+/// tags, Value, num_nodes/num_pages — is safe to call from many threads
+/// concurrently: it reads only immutable-after-build in-memory tables (page
+/// directory, tag postings, value pool) plus the internally synchronized
+/// buffer pool. Updates (SetPageAcl, DeleteSubtree, InsertSubtree, Persist,
+/// CompactTo) mutate those tables and require exclusive access: no reader or
+/// other writer may run concurrently with them (see DESIGN.md, "Concurrency
+/// model").
 class NokStore {
  public:
   /// In-memory mirror of a page's header plus its position in document
@@ -209,7 +224,8 @@ class NokStore {
 
  private:
   NokStore(PagedFile* file, const NokStoreOptions& options)
-      : options_(options), pool_(file, options.buffer_pool_pages) {}
+      : options_(options),
+        pool_(file, options.buffer_pool_pages, options.buffer_pool_shards) {}
 
   /// Splits page `ordinal`, moving its tail records to a new page so that
   /// `needed_transitions` entries fit somewhere. Transition lists for both

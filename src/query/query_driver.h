@@ -1,0 +1,96 @@
+#ifndef SECXML_QUERY_QUERY_DRIVER_H_
+#define SECXML_QUERY_QUERY_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "query/pattern_tree.h"
+#include "storage/io_stats.h"
+
+namespace secxml {
+
+/// One unit of work for the parallel driver: one subject evaluating one twig
+/// pattern against the shared store.
+struct QueryJob {
+  SubjectId subject = 0;
+  PatternTree pattern;
+};
+
+/// Driver-wide evaluation settings; per-job settings live in QueryJob.
+struct QueryDriverOptions {
+  /// Worker threads. 1 runs the batch inline on the calling thread (the
+  /// serial baseline); the driver never spawns more workers than jobs.
+  size_t num_threads = 1;
+  AccessSemantics semantics = AccessSemantics::kBinding;
+  bool page_skip = true;
+  bool ordered_siblings = false;
+};
+
+/// Outcome of one job, index-aligned with the submitted batch.
+struct QueryOutcome {
+  Status status = Status::OK();
+  EvalResult result;
+  int64_t latency_micros = 0;
+};
+
+/// Aggregates over one batch run.
+struct BatchStats {
+  int64_t wall_micros = 0;
+  double mean_latency_micros = 0;
+  int64_t p95_latency_micros = 0;
+  int64_t max_latency_micros = 0;
+  size_t failed = 0;
+  /// Buffer-pool traffic incurred by this batch (delta of the store's
+  /// counters across the run).
+  IoStatsSnapshot io;
+
+  double QueriesPerSecond(size_t num_queries) const {
+    return wall_micros > 0
+               ? static_cast<double>(num_queries) * 1e6 /
+                     static_cast<double>(wall_micros)
+               : 0.0;
+  }
+};
+
+struct BatchResult {
+  std::vector<QueryOutcome> outcomes;
+  BatchStats stats;
+};
+
+/// Parallel secure-query driver: evaluates a batch of (subject, pattern)
+/// jobs over one shared SecureStore on a fixed-size worker pool. Each worker
+/// owns its QueryEvaluator/NokMatcher state; the store is only read (the
+/// thread-safe surface documented on SecureStore/NokStore/BufferPool), so
+/// per-query results are identical to evaluating the same jobs serially.
+/// Jobs are handed out through an atomic cursor, so long and short queries
+/// balance across workers.
+///
+/// The driver itself is stateless between Run() calls; do not run store
+/// updates (ACL or structural) concurrently with Run().
+class QueryDriver {
+ public:
+  QueryDriver(SecureStore* store, const QueryDriverOptions& options)
+      : store_(store), options_(options) {}
+
+  /// Evaluates the batch; outcomes[i] corresponds to jobs[i]. A failed
+  /// query fails only its own outcome, never the batch.
+  BatchResult Run(const std::vector<QueryJob>& jobs);
+
+  /// Convenience: builds jobs from (subject, XPath) pairs. Fails on the
+  /// first unparsable query.
+  static Result<std::vector<QueryJob>> MakeJobs(
+      const std::vector<std::pair<SubjectId, std::string>>& queries);
+
+ private:
+  SecureStore* store_;
+  QueryDriverOptions options_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_QUERY_DRIVER_H_

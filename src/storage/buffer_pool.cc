@@ -21,7 +21,7 @@ PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
 }
 
 void PageHandle::Release() {
@@ -32,11 +32,27 @@ void PageHandle::Release() {
   }
 }
 
-BufferPool::BufferPool(PagedFile* file, size_t capacity) : file_(file) {
+size_t BufferPool::AutoShards(size_t capacity) {
+  size_t shards = 1;
+  while (shards < 16 && capacity / (shards * 2) >= 32) shards *= 2;
+  return shards;
+}
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity, size_t num_shards)
+    : file_(file), capacity_(capacity) {
   assert(capacity > 0);
-  frames_.resize(capacity);
-  free_frames_.reserve(capacity);
-  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+  if (num_shards == 0) num_shards = AutoShards(capacity);
+  if (num_shards > capacity) num_shards = capacity;
+  shards_ = std::vector<Shard>(num_shards);
+  frames_ = std::make_unique<Frame[]>(capacity);
+  // Frames are partitioned round-robin so every shard owns
+  // floor(capacity/num_shards) or one more frames, permanently.
+  for (size_t i = capacity; i > 0; --i) {
+    size_t idx = i - 1;
+    uint32_t home = static_cast<uint32_t>(idx % num_shards);
+    frames_[idx].home_shard = home;
+    shards_[home].free_frames.push_back(idx);
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -44,114 +60,161 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
-size_t BufferPool::num_pinned() const {
+size_t BufferPool::num_cached() const {
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.id != kInvalidPage && f.pins > 0) ++n;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    n += sh.map.size();
+  }
+  return n;
+}
+
+size_t BufferPool::num_pinned() const {
+  // Exact while the pool is quiescent; a consistent approximation otherwise.
+  size_t n = 0;
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Frame& f = frames_[i];
+    if (f.id != kInvalidPage && f.pins.load(std::memory_order_relaxed) > 0) {
+      ++n;
+    }
   }
   return n;
 }
 
 void BufferPool::Unpin(size_t frame_index) {
   Frame& f = frames_[frame_index];
-  assert(f.pins > 0);
-  if (--f.pins == 0) {
-    lru_.push_back(frame_index);
-    f.lru_pos = std::prev(lru_.end());
+  // The home shard is fixed at construction, so it is safe to read without
+  // the latch even though the frame may be concurrently re-pinned or
+  // evicted once our pin is gone.
+  Shard& sh = shards_[f.home_shard];
+  uint32_t prev = f.pins.fetch_sub(1, std::memory_order_acq_rel);
+  assert(prev > 0);
+  if (prev != 1) return;
+  // Last pin dropped: queue the frame for eviction. Re-check the frame's
+  // state under the latch — between the decrement and the lock another
+  // thread may have re-pinned, evicted, or already requeued it. The push is
+  // guarded by the current state, so whichever unpinner gets the latch
+  // first does the requeue and the others back off.
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (f.id != kInvalidPage && !f.in_lru &&
+      f.pins.load(std::memory_order_relaxed) == 0) {
+    sh.lru.push_back(frame_index);
+    f.lru_pos = std::prev(sh.lru.end());
     f.in_lru = true;
   }
 }
 
-Status BufferPool::EvictFrame(size_t frame_index) {
+Status BufferPool::EvictFrameLocked(Shard* shard, size_t frame_index) {
   Frame& f = frames_[frame_index];
-  assert(f.pins == 0);
-  if (f.dirty) {
+  assert(f.pins.load(std::memory_order_relaxed) == 0);
+  if (f.dirty.load(std::memory_order_acquire)) {
     SECXML_RETURN_NOT_OK(file_->WritePage(f.id, f.page));
-    ++stats_.page_writes;
-    f.dirty = false;
+    stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+    f.dirty.store(false, std::memory_order_relaxed);
   }
-  map_.erase(f.id);
+  shard->map.erase(f.id);
   if (f.in_lru) {
-    lru_.erase(f.lru_pos);
+    shard->lru.erase(f.lru_pos);
     f.in_lru = false;
   }
   f.id = kInvalidPage;
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GrabFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GrabFrameLocked(Shard* shard) {
+  if (!shard->free_frames.empty()) {
+    size_t idx = shard->free_frames.back();
+    shard->free_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
-    return Status::IOError("buffer pool exhausted: all frames pinned");
+  if (shard->lru.empty()) {
+    return Status::IOError(
+        "buffer pool shard exhausted: all frames pinned");
   }
-  size_t victim = lru_.front();
-  SECXML_RETURN_NOT_OK(EvictFrame(victim));
+  size_t victim = shard->lru.front();
+  SECXML_RETURN_NOT_OK(EvictFrameLocked(shard, victim));
   return victim;
 }
 
+Result<PageHandle> BufferPool::InstallLocked(Shard* shard, size_t frame_index,
+                                             PageId id) {
+  Frame& f = frames_[frame_index];
+  f.id = id;
+  f.pins.store(1, std::memory_order_relaxed);
+  f.in_lru = false;
+  shard->map[id] = frame_index;
+  return PageHandle(this, id, &f.page, frame_index);
+}
+
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
+  Shard& sh = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.map.find(id);
+  if (it != sh.map.end()) {
     size_t idx = it->second;
     Frame& f = frames_[idx];
     if (f.in_lru) {
-      lru_.erase(f.lru_pos);
+      sh.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
-    ++f.pins;
-    ++stats_.cache_hits;
+    f.pins.fetch_add(1, std::memory_order_relaxed);
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     return PageHandle(this, id, &f.page, idx);
   }
-  SECXML_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  SECXML_ASSIGN_OR_RETURN(size_t idx, GrabFrameLocked(&sh));
   Frame& f = frames_[idx];
+  // The physical read happens under the shard latch: the frame is not yet
+  // mapped, so no other thread can observe it, and misses for pages of
+  // other shards proceed in parallel.
   Status read = file_->ReadPage(id, &f.page);
   if (!read.ok()) {
-    free_frames_.push_back(idx);
+    sh.free_frames.push_back(idx);
     return read;
   }
-  ++stats_.page_reads;
-  f.id = id;
-  f.pins = 1;
-  f.dirty = false;
-  f.in_lru = false;
-  map_[id] = idx;
-  return PageHandle(this, id, &f.page, idx);
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  f.dirty.store(false, std::memory_order_relaxed);
+  return InstallLocked(&sh, idx, id);
 }
 
 Result<PageHandle> BufferPool::Allocate() {
   SECXML_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
-  SECXML_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Shard& sh = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  SECXML_ASSIGN_OR_RETURN(size_t idx, GrabFrameLocked(&sh));
   Frame& f = frames_[idx];
   f.page.Zero();
-  f.id = id;
-  f.pins = 1;
-  f.dirty = true;
-  f.in_lru = false;
-  map_[id] = idx;
-  return PageHandle(this, id, &f.page, idx);
+  f.dirty.store(true, std::memory_order_relaxed);
+  return InstallLocked(&sh, idx, id);
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.id != kInvalidPage && f.dirty) {
-      SECXML_RETURN_NOT_OK(file_->WritePage(f.id, f.page));
-      ++stats_.page_writes;
-      f.dirty = false;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [id, idx] : sh.map) {
+      Frame& f = frames_[idx];
+      if (f.dirty.load(std::memory_order_acquire)) {
+        SECXML_RETURN_NOT_OK(file_->WritePage(f.id, f.page));
+        stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+        f.dirty.store(false, std::memory_order_relaxed);
+      }
     }
   }
   return file_->Sync();
 }
 
 Status BufferPool::EvictAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (f.id != kInvalidPage && f.pins == 0) {
-      SECXML_RETURN_NOT_OK(EvictFrame(i));
-      free_frames_.push_back(i);
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    std::vector<size_t> victims;
+    victims.reserve(sh.map.size());
+    for (const auto& [id, idx] : sh.map) {
+      if (frames_[idx].pins.load(std::memory_order_relaxed) == 0) {
+        victims.push_back(idx);
+      }
+    }
+    for (size_t idx : victims) {
+      SECXML_RETURN_NOT_OK(EvictFrameLocked(&sh, idx));
+      sh.free_frames.push_back(idx);
     }
   }
   return Status::OK();

@@ -1,8 +1,11 @@
 #ifndef SECXML_STORAGE_BUFFER_POOL_H_
 #define SECXML_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +22,13 @@ class BufferPool;
 /// RAII pin on a buffered page. While alive, the frame will not be evicted
 /// and the Page pointer stays valid. Mark the page dirty before dropping the
 /// handle if it was modified.
+///
+/// A PageHandle may be used (and destroyed) on any thread, but a single
+/// handle must not be shared between threads without external
+/// synchronization. Two handles on the same page see the same bytes:
+/// concurrent readers are safe; a writer requires that no other thread
+/// touches that page's content concurrently (see DESIGN.md, "Concurrency
+/// model").
 class PageHandle {
  public:
   PageHandle() = default;
@@ -52,12 +62,31 @@ class PageHandle {
 };
 
 /// Fixed-capacity LRU buffer pool over a PagedFile, with pin counting and
-/// I/O statistics. Single-threaded by design: the reproduced experiments run
-/// one query at a time, as the paper's do.
+/// I/O statistics.
+///
+/// Thread-safe: the frame table is partitioned into shards, each guarded by
+/// its own latch. A page belongs to the shard `page_id % num_shards`, and
+/// every shard owns a disjoint subset of the frames, so Fetch/Allocate/
+/// Unpin/eviction for pages in different shards never contend. Pin counts
+/// and the dirty flag are atomics, so MarkDirty and handle release take no
+/// latch on the hot path (release only latches when the pin count drops to
+/// zero, to requeue the frame on its shard's LRU list).
+///
+/// Latch ordering (see DESIGN.md): a thread holds at most one shard latch at
+/// a time, and may acquire the PagedFile's internal lock underneath it
+/// (physical I/O happens while the owning shard latch is held). Shard
+/// latches are never nested; whole-pool sweeps (FlushAll, EvictAll) visit
+/// shards one at a time in ascending index order.
 class BufferPool {
  public:
-  /// `capacity` is the number of page frames held in memory.
-  BufferPool(PagedFile* file, size_t capacity);
+  /// `capacity` is the number of page frames held in memory. `num_shards`
+  /// selects the latch sharding; 0 picks automatically (one shard per 32
+  /// frames, rounded down to a power of two, at most 16 — so small pools,
+  /// including every unit-test pool, behave exactly like the historical
+  /// single-LRU pool). Capacity is partitioned across shards, so a shard
+  /// can be exhausted while others have free frames; callers that fetch
+  /// with high skew should use fewer shards.
+  BufferPool(PagedFile* file, size_t capacity, size_t num_shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -65,24 +94,28 @@ class BufferPool {
   ~BufferPool();
 
   /// Pins page `id`, reading it from the file on a miss. Fails if every
-  /// frame is pinned or the read fails.
+  /// frame in the page's shard is pinned or the read fails.
   Result<PageHandle> Fetch(PageId id);
 
   /// Allocates a fresh page in the file and pins it (zeroed, dirty).
   Result<PageHandle> Allocate();
 
-  /// Writes back all dirty pages (keeps them cached).
+  /// Writes back all dirty pages (keeps them cached). Requires that no
+  /// other thread is concurrently *modifying* page contents (readers and
+  /// fetches are fine).
   Status FlushAll();
 
   /// Drops every unpinned page from the cache, writing dirty ones back.
-  /// Benchmarks use this to measure cold-cache behaviour.
+  /// Benchmarks use this to measure cold-cache behaviour. Safe to run
+  /// concurrently with fetches; pinned pages are left alone.
   Status EvictAll();
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
-  size_t capacity() const { return frames_.size(); }
-  size_t num_cached() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_cached() const;
   size_t num_pinned() const;
 
  private:
@@ -91,23 +124,43 @@ class BufferPool {
   struct Frame {
     Page page;
     PageId id = kInvalidPage;
-    uint32_t pins = 0;
-    bool dirty = false;
-    /// Position in lru_ when pins == 0 and resident.
+    std::atomic<uint32_t> pins{0};
+    std::atomic<bool> dirty{false};
+    /// Shard owning this frame; fixed at construction.
+    uint32_t home_shard = 0;
+    /// Position in the shard's lru list when pins == 0 and resident.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
+  /// One latch shard: a slice of the frame table with its own page map,
+  /// LRU list, and free list. All three, plus the non-atomic Frame fields
+  /// (id, lru_pos, in_lru) of the shard's frames, are guarded by `mu`.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, size_t> map;  // page id -> frame index
+    std::list<size_t> lru;                   // front = least recently used
+    std::vector<size_t> free_frames;
+  };
+
+  static size_t AutoShards(size_t capacity);
+
+  size_t ShardOf(PageId id) const { return id % shards_.size(); }
+
   void Unpin(size_t frame_index);
-  Status EvictFrame(size_t frame_index);
-  /// Finds a frame to (re)use: a free one, else the LRU unpinned victim.
-  Result<size_t> GrabFrame();
+  /// Requires `shard.mu` held and frames_[frame_index].pins == 0.
+  Status EvictFrameLocked(Shard* shard, size_t frame_index);
+  /// Finds a frame to (re)use within `shard`: a free one, else the LRU
+  /// unpinned victim. Requires `shard.mu` held.
+  Result<size_t> GrabFrameLocked(Shard* shard);
+  /// Shared tail of Fetch-miss and Allocate. Requires `shard.mu` held.
+  Result<PageHandle> InstallLocked(Shard* shard, size_t frame_index,
+                                   PageId id);
 
   PagedFile* file_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> map_;
-  std::list<size_t> lru_;  // front = least recently used
+  size_t capacity_;
+  std::unique_ptr<Frame[]> frames_;
+  std::vector<Shard> shards_;
   IoStats stats_;
 };
 

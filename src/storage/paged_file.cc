@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace secxml {
 
@@ -14,12 +15,14 @@ Status Errno(const std::string& what, const std::string& path) {
 }  // namespace
 
 Result<PageId> MemPagedFile::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.push_back(std::make_unique<Page>());
   pages_.back()->Zero();
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status MemPagedFile::ReadPage(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("read of unallocated page " + std::to_string(id));
   }
@@ -28,6 +31,7 @@ Status MemPagedFile::ReadPage(PageId id, Page* out) {
 }
 
 Status MemPagedFile::WritePage(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
@@ -66,6 +70,7 @@ FilePagedFile::~FilePagedFile() {
 }
 
 Result<PageId> FilePagedFile::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   Page zero;
   zero.Zero();
   PageId id = num_pages_;
@@ -81,6 +86,7 @@ Result<PageId> FilePagedFile::AllocatePage() {
 }
 
 Status FilePagedFile::ReadPage(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::OutOfRange("read of unallocated page " + std::to_string(id));
   }
@@ -95,6 +101,7 @@ Status FilePagedFile::ReadPage(PageId id, Page* out) {
 }
 
 Status FilePagedFile::WritePage(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
@@ -110,8 +117,18 @@ Status FilePagedFile::WritePage(PageId id, const Page& page) {
 }
 
 Status FilePagedFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
   return Status::OK();
+}
+
+Status LatencyPagedFile::ReadPage(PageId id, Page* out) {
+  if (read_latency_.count() > 0) {
+    std::this_thread::sleep_for(read_latency_);
+    delay_micros_.fetch_add(static_cast<uint64_t>(read_latency_.count()),
+                            std::memory_order_relaxed);
+  }
+  return base_->ReadPage(id, out);
 }
 
 }  // namespace secxml

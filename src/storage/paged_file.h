@@ -1,8 +1,11 @@
 #ifndef SECXML_STORAGE_PAGED_FILE_H_
 #define SECXML_STORAGE_PAGED_FILE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,7 +16,9 @@
 namespace secxml {
 
 /// Abstract page-granular storage device. Implementations must support random
-/// page reads and writes plus appending new pages.
+/// page reads and writes plus appending new pages, and must be safe to call
+/// from multiple threads concurrently (the shared buffer pool issues reads
+/// and write-backs from every query thread).
 class PagedFile {
  public:
   virtual ~PagedFile() = default;
@@ -36,12 +41,13 @@ class PagedFile {
 
 /// Heap-backed paged file, used by unit tests and by benchmarks that model
 /// I/O via counters rather than real disk latency (the paper reports ratios,
-/// not absolute disk times).
+/// not absolute disk times). Internally synchronized.
 class MemPagedFile final : public PagedFile {
  public:
   MemPagedFile() = default;
 
   PageId NumPages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<PageId>(pages_.size());
   }
   Result<PageId> AllocatePage() override;
@@ -50,10 +56,13 @@ class MemPagedFile final : public PagedFile {
   Status Sync() override { return Status::OK(); }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
 /// File-backed paged file over stdio with explicit error propagation.
+/// Internally synchronized: the single FILE* position is shared, so every
+/// seek+transfer pair happens under one lock.
 class FilePagedFile final : public PagedFile {
  public:
   /// Creates (truncating) a new paged file at `path`.
@@ -67,7 +76,10 @@ class FilePagedFile final : public PagedFile {
   FilePagedFile(const FilePagedFile&) = delete;
   FilePagedFile& operator=(const FilePagedFile&) = delete;
 
-  PageId NumPages() const override { return num_pages_; }
+  PageId NumPages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_pages_;
+  }
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
@@ -77,9 +89,43 @@ class FilePagedFile final : public PagedFile {
   FilePagedFile(std::FILE* f, std::string path, PageId num_pages)
       : file_(f), path_(std::move(path)), num_pages_(num_pages) {}
 
+  mutable std::mutex mu_;
   std::FILE* file_;
   std::string path_;
   PageId num_pages_;
+};
+
+/// Decorator that adds a fixed service delay to every physical page read,
+/// modeling device read latency on top of any base file (typically a
+/// MemPagedFile). The paper's evaluation abstracts disks as page-read
+/// counts; this makes those counts cost wall-clock time, which is what a
+/// concurrent query driver overlaps across threads. Delays are slept
+/// *outside* the base file's lock, so reads issued from different buffer
+/// pool shards overlap. Writes are not delayed (modeling a write-back cache
+/// absorbing them).
+class LatencyPagedFile final : public PagedFile {
+ public:
+  LatencyPagedFile(PagedFile* base, std::chrono::microseconds read_latency)
+      : base_(base), read_latency_(read_latency) {}
+
+  PageId NumPages() const override { return base_->NumPages(); }
+  Result<PageId> AllocatePage() override { return base_->AllocatePage(); }
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override {
+    return base_->WritePage(id, page);
+  }
+  Status Sync() override { return base_->Sync(); }
+
+  /// Total simulated read delay incurred so far.
+  std::chrono::microseconds total_delay() const {
+    return std::chrono::microseconds(
+        delay_micros_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  PagedFile* base_;
+  std::chrono::microseconds read_latency_;
+  std::atomic<uint64_t> delay_micros_{0};
 };
 
 }  // namespace secxml

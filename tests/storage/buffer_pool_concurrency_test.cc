@@ -1,0 +1,197 @@
+// Concurrency stress tests for the sharded BufferPool: N threads doing
+// mixed Fetch/Allocate/MarkDirty/EvictAll against a pool smaller than the
+// working set. Invariants checked:
+//  - no lost dirty writes (every increment a thread applied under a pin is
+//    visible in the final page image, i.e. the contents match what a
+//    single-threaded replay of the same per-thread operation counts gives),
+//  - pin-count accounting (nothing stays pinned after all handles drop),
+//  - hit/read accounting (every successful fetch is exactly one of the two),
+//  - graceful exhaustion (all-pinned shards fail the fetch, never deadlock).
+//
+// Run under SECXML_SANITIZE=thread these double as data-race detectors for
+// the latch protocol.
+
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/paged_file.h"
+
+namespace secxml {
+namespace {
+
+// Each thread owns one uint64 slot in every page; an increment is a
+// read-modify-write done while the page is pinned, so pages may travel
+// through eviction/re-fetch between increments but never during one.
+constexpr size_t kMaxThreads = 8;
+
+uint64_t ReadSlot(const Page& page, size_t thread) {
+  return page.ReadAt<uint64_t>(8 * thread);
+}
+
+void BumpSlot(Page* page, size_t thread) {
+  page->WriteAt<uint64_t>(8 * thread, ReadSlot(*page, thread) + 1);
+}
+
+TEST(BufferPoolConcurrencyTest, MixedStressNoLostDirtyWrites) {
+  constexpr size_t kThreads = 4;
+  constexpr PageId kInitialPages = 48;
+  constexpr int kItersPerThread = 4000;
+
+  MemPagedFile file;
+  for (PageId i = 0; i < kInitialPages; ++i) {
+    auto r = file.AllocatePage();
+    ASSERT_TRUE(r.ok());
+  }
+  // 12 frames over 48+ pages: constant eviction pressure; 4 explicit shards
+  // so the latch protocol (not a single global lock) is what is exercised.
+  BufferPool pool(&file, 12, 4);
+  ASSERT_EQ(pool.num_shards(), 4u);
+
+  // counts[t][page] = increments thread t applied to page's slot t.
+  std::vector<std::map<PageId, uint64_t>> counts(kThreads);
+  std::atomic<bool> failed{false};
+
+  auto body = [&](size_t t) {
+    Rng rng(977 + t);
+    for (int i = 0; i < kItersPerThread && !failed.load(); ++i) {
+      uint64_t op = rng.Uniform(100);
+      if (op < 2) {
+        // Whole-pool eviction concurrent with everyone else's fetches.
+        Status st = pool.EvictAll();
+        if (!st.ok()) {
+          ADD_FAILURE() << "EvictAll: " << st.ToString();
+          failed = true;
+        }
+      } else if (op < 5) {
+        // Grow the working set.
+        auto h = pool.Allocate();
+        if (!h.ok()) {
+          // Shard exhaustion (every frame of the new page's shard pinned at
+          // this instant) is legal under pressure; anything else is a bug.
+          if (h.status().code() != StatusCode::kIOError) {
+            ADD_FAILURE() << "Allocate: " << h.status().ToString();
+            failed = true;
+          }
+          continue;
+        }
+        BumpSlot(h->mutable_page(), t);
+        h->MarkDirty();
+        counts[t][h->page_id()] += 1;
+      } else {
+        PageId id = static_cast<PageId>(rng.Uniform(kInitialPages));
+        auto h = pool.Fetch(id);
+        if (!h.ok()) {
+          // Shard exhaustion is legal under pressure; nothing else is.
+          if (h.status().code() != StatusCode::kIOError) {
+            ADD_FAILURE() << "Fetch: " << h.status().ToString();
+            failed = true;
+          }
+          continue;
+        }
+        if (op < 60) {
+          BumpSlot(h->mutable_page(), t);
+          h->MarkDirty();
+          counts[t][id] += 1;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) threads.emplace_back(body, t);
+  for (std::thread& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+
+  // Quiescent invariants.
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  // Single-threaded replay: each page slot must hold exactly the number of
+  // increments its owning thread applied — a lost dirty write (eviction
+  // dropping a MarkDirty, or a stale frame reused without writeback) shows
+  // up as a smaller value.
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (const auto& [page_id, expected] : counts[t]) {
+      Page p;
+      ASSERT_TRUE(file.ReadPage(page_id, &p).ok());
+      EXPECT_EQ(ReadSlot(p, t), expected)
+          << "lost write: thread " << t << " page " << page_id;
+    }
+  }
+}
+
+TEST(BufferPoolConcurrencyTest, ConcurrentFetchSamePageCountsOnce) {
+  constexpr size_t kThreads = 4;
+  constexpr int kFetches = 2000;
+  MemPagedFile file;
+  ASSERT_TRUE(file.AllocatePage().ok());
+  BufferPool pool(&file, 8, 2);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool]() {
+      for (int i = 0; i < kFetches; ++i) {
+        auto h = pool.Fetch(0);
+        ASSERT_TRUE(h.ok());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // One physical read, everything else hits; the sum is exact (no torn or
+  // dropped counter increments).
+  EXPECT_EQ(pool.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().cache_hits, kThreads * kFetches - 1u);
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(BufferPoolConcurrencyTest, PinInvariantsAcrossThreads) {
+  MemPagedFile file;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(file.AllocatePage().ok());
+  BufferPool pool(&file, 4, 1);
+
+  // Handles can be released on a different thread than they were pinned on.
+  auto h = pool.Fetch(2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(pool.num_pinned(), 1u);
+  PageHandle moved = std::move(*h);
+  std::thread releaser([&moved]() { moved.Release(); });
+  releaser.join();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(BufferPoolConcurrencyTest, AllPinnedShardFailsWithoutDeadlock) {
+  constexpr size_t kThreads = 6;
+  MemPagedFile file;
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(file.AllocatePage().ok());
+  BufferPool pool(&file, 4, 1);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < 500; ++i) {
+        // Hold two pins at once to create transient exhaustion.
+        auto a = pool.Fetch(static_cast<PageId>((t + i) % 16));
+        auto b = pool.Fetch(static_cast<PageId>((t * 3 + i) % 16));
+        if (!a.ok()) failures.fetch_add(1);
+        if (!b.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Exhaustion may or may not happen depending on scheduling; the invariant
+  // is that we got here (no deadlock) with nothing left pinned.
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  EXPECT_EQ(pool.num_cached(), std::min<size_t>(4, pool.capacity()));
+}
+
+}  // namespace
+}  // namespace secxml
