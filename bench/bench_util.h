@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace secxml::bench {
 
@@ -24,6 +27,101 @@ inline void Banner(const std::string& title) {
   std::printf("\n==========================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==========================================================\n");
+}
+
+/// Minimal order-preserving JSON object builder for machine-readable bench
+/// output. Keys render in insertion order; nesting and arrays of objects
+/// are supported (enough for per-point measurement records — no parsing,
+/// no escapes beyond quotes/backslashes).
+class Json {
+ public:
+  Json& Set(const std::string& key, const std::string& v) {
+    return Raw(key, Quote(v));
+  }
+  Json& Set(const std::string& key, const char* v) {
+    return Raw(key, Quote(v));
+  }
+  template <typename T,
+            typename std::enable_if<std::is_arithmetic<T>::value, int>::type = 0>
+  Json& Set(const std::string& key, T v) {
+    if constexpr (std::is_same<T, bool>::value) {
+      return Raw(key, v ? "true" : "false");
+    } else if constexpr (std::is_floating_point<T>::value) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", static_cast<double>(v));
+      return Raw(key, buf);
+    } else {
+      return Raw(key, std::to_string(v));
+    }
+  }
+  Json& Set(const std::string& key, const Json& v) {
+    return Raw(key, v.Dump());
+  }
+  Json& Set(const std::string& key, const std::vector<Json>& arr) {
+    std::string s = "[";
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i) s += ", ";
+      s += "\n  " + Indented(arr[i].Dump());
+    }
+    s += arr.empty() ? "]" : "\n]";
+    return Raw(key, s);
+  }
+
+  std::string Dump() const {
+    std::string s = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += ",";
+      s += "\n  " + Quote(fields_[i].first) + ": " +
+           Indented(fields_[i].second);
+    }
+    s += fields_.empty() ? "}" : "\n}";
+    return s;
+  }
+
+ private:
+  Json& Raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;
+    }
+    q += '"';
+    return q;
+  }
+  /// Re-indents an already-rendered multi-line value for embedding.
+  static std::string Indented(const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      out += c;
+      if (c == '\n') out += "  ";
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes `doc` to BENCH_<name>.json in $SECXML_BENCH_DIR (or the current
+/// directory) so bench results land as committed, diffable artifacts next
+/// to the human-readable stdout tables.
+inline void WriteBenchJson(const std::string& name, const Json& doc) {
+  const char* dir = std::getenv("SECXML_BENCH_DIR");
+  std::string path =
+      (dir != nullptr && dir[0] != '\0' ? std::string(dir) : std::string("."))
+      + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string body = doc.Dump();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\n[bench json] %s\n", path.c_str());
 }
 
 }  // namespace secxml::bench

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/timer.h"
 #include "core/dol_labeling.h"
 #include "core/secure_store.h"
 #include "query/query_driver.h"
@@ -107,6 +108,7 @@ int Run(int argc, char** argv) {
   bool all_identical = true;
   int exit_code = 0;
   double speedup_at_4 = 0;
+  std::vector<bench::Json> thread_points;
 
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     st = store->nok()->buffer_pool()->EvictAll();
@@ -152,6 +154,20 @@ int Run(int argc, char** argv) {
         static_cast<unsigned long long>(batch.stats.io.pages_skipped),
         threads == 1 ? "true" : (identical ? "true" : "false"));
     if (batch.stats.failed != 0) exit_code = 1;
+    thread_points.push_back(
+        bench::Json()
+            .Set("threads", static_cast<uint64_t>(threads))
+            .Set("wall_ms", batch.stats.wall_micros / 1000.0)
+            .Set("qps", qps)
+            .Set("speedup_vs_serial", speedup)
+            .Set("mean_latency_us", batch.stats.mean_latency_micros)
+            .Set("p95_latency_us",
+                 static_cast<int64_t>(batch.stats.p95_latency_micros))
+            .Set("page_reads", batch.stats.io.page_reads)
+            .Set("cache_hits", batch.stats.io.cache_hits)
+            .Set("pages_skipped", batch.stats.io.pages_skipped)
+            .Set("failed", static_cast<uint64_t>(batch.stats.failed))
+            .Set("identical_to_serial", threads == 1 || identical));
   }
 
   std::printf("\nsummary: speedup at 4 threads = %.2fx, results %s\n",
@@ -161,6 +177,76 @@ int Run(int argc, char** argv) {
   if (speedup_at_4 < 2.0) {
     std::printf("WARNING: speedup below the 2x acceptance threshold\n");
   }
+
+  // Readahead A/B over the ε-STD visibility sweep: HiddenSubtreeIntervals
+  // walks pages in document order, so the background prefetcher can hide
+  // the simulated device latency of the next pages behind the current
+  // page's processing. Window 0 is the synchronous baseline.
+  std::printf("\nreadahead A/B: HiddenSubtreeIntervals sweep over %zu "
+              "subjects, cold pool, %u us/read\n",
+              kNumSubjects, latency_us);
+  struct RaConfig {
+    size_t window;
+    size_t workers;
+  };
+  const RaConfig ra_configs[] = {{0, 0}, {8, 4}};
+  double sweep_ms[2] = {0, 0};
+  uint64_t sweep_reads[2] = {0, 0};
+  std::vector<bench::Json> ra_points;
+  constexpr int kSweepReps = 3;
+  for (int ci = 0; ci < 2; ++ci) {
+    store->nok()->SetReadahead(ra_configs[ci].window, ra_configs[ci].workers);
+    double total = 0;
+    for (int r = 0; r < kSweepReps; ++r) {
+      store->DropVisibilityCaches();
+      st = store->nok()->buffer_pool()->EvictAll();
+      if (!st.ok()) {
+        std::fprintf(stderr, "evict: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      store->nok()->buffer_pool()->mutable_stats()->Reset();
+      Timer timer;
+      for (SubjectId s = 0; s < kNumSubjects; ++s) {
+        auto got = store->HiddenSubtreeIntervals(s);
+        if (!got.ok()) {
+          std::fprintf(stderr, "sweep: %s\n", got.status().ToString().c_str());
+          return 1;
+        }
+      }
+      total += timer.ElapsedSeconds();
+      sweep_reads[ci] = store->io_stats().page_reads;
+    }
+    sweep_ms[ci] = total / kSweepReps * 1000;
+    std::printf("  window=%zu workers=%zu: %.1f ms/sweep, %llu page reads\n",
+                ra_configs[ci].window, ra_configs[ci].workers, sweep_ms[ci],
+                static_cast<unsigned long long>(sweep_reads[ci]));
+    ra_points.push_back(
+        bench::Json()
+            .Set("window", static_cast<uint64_t>(ra_configs[ci].window))
+            .Set("workers", static_cast<uint64_t>(ra_configs[ci].workers))
+            .Set("sweep_wall_ms", sweep_ms[ci])
+            .Set("page_reads", sweep_reads[ci]));
+  }
+  store->nok()->SetReadahead(0, 0);
+  double ra_speedup = sweep_ms[1] > 0 ? sweep_ms[0] / sweep_ms[1] : 0.0;
+  std::printf("  readahead speedup: %.2fx\n", ra_speedup);
+  if (ra_speedup <= 1.0) {
+    std::printf("WARNING: readahead did not improve the sweep\n");
+  }
+
+  bench::WriteBenchJson(
+      "concurrent_throughput",
+      bench::Json()
+          .Set("bench", "concurrent_throughput")
+          .Set("nodes", nodes)
+          .Set("read_latency_us", latency_us)
+          .Set("queries", static_cast<uint64_t>(num_queries))
+          .Set("subjects", static_cast<uint64_t>(kNumSubjects))
+          .Set("all_identical_to_serial", all_identical)
+          .Set("speedup_at_4_threads", speedup_at_4)
+          .Set("threads_sweep", thread_points)
+          .Set("readahead_sweep", ra_points)
+          .Set("readahead_speedup", ra_speedup));
   return exit_code;
 }
 

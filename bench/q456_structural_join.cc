@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
@@ -37,6 +38,7 @@ int Run(int argc, char** argv) {
   Status st = GenerateXMark(xopts, &doc);
   if (!st.ok()) return 1;
 
+  std::vector<bench::Json> points;
   for (int acc : {50, 70, 90}) {
     SyntheticAclOptions aopts;
     aopts.propagation_ratio = 0.03;
@@ -104,11 +106,33 @@ int Run(int argc, char** argv) {
                   static_cast<unsigned long long>(reads_first[2]),
                   static_cast<unsigned long long>(reads[2]),
                   store->nok()->num_pages());
+      points.push_back(
+          bench::Json()
+              .Set("query", q)
+              .Set("accessibility_pct", acc)
+              .Set("std_ms", ms[0])
+              .Set("enok_ms", ms[1])
+              .Set("estd_ms", ms[2])
+              .Set("std_answers", static_cast<uint64_t>(answers[0]))
+              .Set("enok_answers", static_cast<uint64_t>(answers[1]))
+              .Set("estd_answers", static_cast<uint64_t>(answers[2]))
+              .Set("std_page_reads", reads[0])
+              .Set("enok_page_reads", reads[1])
+              .Set("estd_page_reads_first", reads_first[2])
+              .Set("estd_page_reads_cached", reads[2])
+              .Set("store_pages",
+                   static_cast<uint64_t>(store->nok()->num_pages())));
     }
   }
   std::printf("\n(view semantics prunes at least as much as binding "
               "semantics; the visibility pass touches each page at most "
               "once)\n");
+
+  bench::WriteBenchJson("q456_structural_join",
+                        bench::Json()
+                            .Set("bench", "q456_structural_join")
+                            .Set("nodes", nodes)
+                            .Set("points", points));
   return 0;
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/dcheck.h"
+
 namespace secxml {
 
 /// Fixed-width dynamic bit vector used for per-subject access control lists.
@@ -26,10 +28,19 @@ class BitVector {
   bool empty() const { return nbits_ == 0; }
 
   bool Get(size_t i) const {
+    SECXML_DCHECK(i < nbits_);
+    return GetUnchecked(i);
+  }
+
+  /// The word-indexed fast path of Get, without the bounds DCHECK: callers
+  /// that have already validated `i` (the codebook's per-node accessibility
+  /// probe) use this directly.
+  bool GetUnchecked(size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
   void Set(size_t i, bool value) {
+    SECXML_DCHECK(i < nbits_);
     if (value) {
       words_[i >> 6] |= (1ULL << (i & 63));
     } else {

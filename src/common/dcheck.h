@@ -1,0 +1,12 @@
+#ifndef SECXML_COMMON_DCHECK_H_
+#define SECXML_COMMON_DCHECK_H_
+
+#include <cassert>
+
+/// Debug-only invariant check for hot paths. Compiles to nothing under
+/// NDEBUG (the default RelWithDebInfo build), so the release fast paths stay
+/// branch-free; Debug and sanitizer builds get bounds checking on the
+/// innermost accessibility lookups.
+#define SECXML_DCHECK(cond) assert(cond)
+
+#endif  // SECXML_COMMON_DCHECK_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "common/dcheck.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/access_types.h"
@@ -48,7 +49,9 @@ class Codebook {
   /// concurrently as long as no thread mutates the codebook (Intern,
   /// Add/RemoveSubject) at the same time.
   bool Accessible(AccessCodeId code, SubjectId subject) const {
-    return entries_[code].Get(subject);
+    SECXML_DCHECK(code < entries_.size());
+    SECXML_DCHECK(subject < num_subjects_);
+    return entries_[code].GetUnchecked(subject);
   }
 
   /// Appends a new subject column to every entry, initialized to

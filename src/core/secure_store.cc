@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "storage/readahead.h"
+
 namespace secxml {
 
 Status SecureStore::Build(const Document& doc, const DolLabeling& labeling,
@@ -128,9 +130,29 @@ Status SecureStore::SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
 }
 
 Status SecureStore::CompactCodebook() {
+  // Compaction renumbers codes, so compiled views (whose code->accessible
+  // tables are indexed by code) and cached intervals go stale the moment
+  // pages start rewriting. Drop them before touching any page, and again
+  // after the codebook swap in case a concurrent-read epoch recompiled one
+  // against the half-rewritten state.
+  InvalidateVisibilityCache();
   std::vector<AccessCodeId> mapping;
   Codebook compacted = codebook_.Compacted(&mapping);
+  // The rewrite is one sequential pass; stream the next pages in through
+  // the background prefetcher so the pass overlaps I/O with remapping.
+  Readahead* ra = nok_->readahead();
+  const size_t window = nok_->readahead_window();
+  ReadaheadDrainGuard drain(ra);
+  size_t prefetch_cursor = 0;
   for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
+    if (ra != nullptr && window > 0) {
+      if (prefetch_cursor < ordinal + 1) prefetch_cursor = ordinal + 1;
+      while (prefetch_cursor < nok_->num_pages() &&
+             prefetch_cursor <= ordinal + window) {
+        ra->Request(nok_->page_infos()[prefetch_cursor].page_id);
+        ++prefetch_cursor;
+      }
+    }
     const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
     SECXML_ASSIGN_OR_RETURN(std::vector<DolTransition> ts,
                             nok_->PageTransitions(ordinal));
@@ -156,6 +178,7 @@ Status SecureStore::CompactCodebook() {
     }
   }
   codebook_ = std::move(compacted);
+  InvalidateVisibilityCache();
   return Status::OK();
 }
 
@@ -183,6 +206,26 @@ Result<NodeId> SecureStore::InsertSubtree(NodeId parent, NodeId after,
   return nok_->InsertSubtree(parent, after, fragment, code_of);
 }
 
+Result<std::shared_ptr<const SubjectView>> SecureStore::View(
+    SubjectId subject) {
+  if (subject >= codebook_.num_subjects()) {
+    return Status::InvalidArgument("no such subject");
+  }
+  // Held across the miss: concurrent first users of one subject serialize
+  // briefly and share one snapshot. Compilation scans changed pages for
+  // the check-free bits, taking only buffer-pool shard latches (and the
+  // readahead queue mutex) below us — view_cache_mu_ stays above both in
+  // the lock order.
+  std::lock_guard<std::mutex> lock(view_cache_mu_);
+  auto it = view_cache_.find(subject);
+  if (it != view_cache_.end()) return it->second;
+  auto view = std::make_shared<const SubjectView>(
+      SubjectView::Compile(codebook_, nok_->page_infos(), subject,
+                           nok_.get()));
+  view_cache_.emplace(subject, view);
+  return view;
+}
+
 Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
     SubjectId subject) {
   if (subject >= codebook_.num_subjects()) {
@@ -203,23 +246,54 @@ Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
 
 Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
     SubjectId subject) {
+  // The compiled view answers both per-page verdicts and the inner
+  // per-code test with one indexed load each. View() takes view_cache_mu_
+  // underneath our caller's hidden_cache_mu_ — the fixed hidden->view
+  // order also used by InvalidateVisibilityCache.
+  SECXML_ASSIGN_OR_RETURN(std::shared_ptr<const SubjectView> view,
+                          View(subject));
   std::vector<NodeInterval> hidden;
   NodeId blocked_end = 0;  // exclusive end of the current hidden interval
+
+  // Background readahead: the sweep visits pages in document order and
+  // (mostly) fetches those the view cannot prove wholly live, so stream
+  // those in ahead of the cursor. Wholly-live pages are only ever fetched
+  // when a hidden subtree spills into them — rare enough that missing the
+  // prefetch there just costs a synchronous read. The guard drains every
+  // in-flight fetch before we return, so no background read outlives the
+  // sweep (the no-overlap-with-exclusive-updates contract).
+  Readahead* ra = nok_->readahead();
+  const size_t window = nok_->readahead_window();
+  ReadaheadDrainGuard drain(ra);
+  size_t prefetch_cursor = 0;
+  auto prefetch_ahead = [&](size_t from) {
+    if (ra == nullptr || window == 0) return;
+    if (prefetch_cursor < from + 1) prefetch_cursor = from + 1;
+    size_t issued = 0;
+    while (issued < window && prefetch_cursor < nok_->num_pages()) {
+      size_t ord = prefetch_cursor++;
+      if (view->PageCheckFree(ord)) continue;
+      ra->Request(nok_->page_infos()[ord].page_id);
+      ++issued;
+    }
+  };
 
   for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
     const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
     NodeId page_begin = info.first_node;
     NodeId page_end = info.first_node + info.num_records;
-    // Header-only page skip: a uniformly accessible page beyond any hidden
-    // subtree cannot start a new hidden interval.
-    if (!info.change_bit && codebook_.Accessible(info.first_code, subject) &&
-        page_begin >= blocked_end) {
+    // Page skip from the compiled view: a page whose every node is
+    // accessible (check-free covers changed pages whose transitions are
+    // all live for this subject, which the header alone cannot prove)
+    // beyond any hidden subtree cannot start a new hidden interval.
+    if (view->PageCheckFree(ordinal) && page_begin >= blocked_end) {
       continue;
     }
     // A uniformly *inaccessible* page fully covered by the current hidden
     // interval also needs no inspection.
     if (page_end <= blocked_end) continue;
 
+    prefetch_ahead(ordinal);
     SECXML_ASSIGN_OR_RETURN(PageHandle handle,
                             nok_->buffer_pool()->Fetch(info.page_id));
     NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
@@ -242,7 +316,7 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
       }
       NodeId n = page_begin + slot;
       if (n < blocked_end) continue;  // inside an already-hidden subtree
-      if (codebook_.Accessible(code, subject)) continue;
+      if (view->CodeAccessible(code)) continue;
       NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
       NodeId subtree_end = n + rec.subtree_size;
       if (!hidden.empty() && hidden.back().end == n) {

@@ -11,6 +11,7 @@
 #include "core/accessibility_map.h"
 #include "core/codebook.h"
 #include "core/dol_labeling.h"
+#include "core/subject_view.h"
 #include "nok/nok_store.h"
 
 namespace secxml {
@@ -149,6 +150,20 @@ class SecureStore {
   /// view-semantics queries serialize on the first computation).
   Result<std::vector<NodeInterval>> HiddenSubtreeIntervals(SubjectId subject);
 
+  /// The compiled access view for `subject` (flat code->accessible table,
+  /// per-page verdicts, dead-run skip index — see SubjectView). Compiled on
+  /// first use and cached; every accessibility, structural, or subject
+  /// update drops the cache, so a later call recompiles against the new
+  /// state. Safe for concurrent callers: the cache is guarded by an
+  /// internal mutex (held across a miss's compilation, which performs no
+  /// I/O), and the returned shared_ptr keeps the snapshot alive for the
+  /// caller even after invalidation.
+  Result<std::shared_ptr<const SubjectView>> View(SubjectId subject);
+
+  /// Drops the cached hidden intervals and compiled views, as any update
+  /// would. Benchmarks and tests use this to measure cold recomputation.
+  void DropVisibilityCaches() { InvalidateVisibilityCache(); }
+
   /// Rebuilds the logical DolLabeling from the physical pages (for tests
   /// and for re-deriving statistics after updates).
   Result<DolLabeling> ExtractLabeling();
@@ -163,15 +178,25 @@ class SecureStore {
   Result<std::vector<NodeInterval>> ComputeHiddenSubtreeIntervals(
       SubjectId subject);
 
+  /// Drops everything derived from the current accessibility state: the
+  /// per-subject hidden intervals and the compiled SubjectViews. Lock order
+  /// is hidden_cache_mu_ before view_cache_mu_, matching the miss path of
+  /// HiddenSubtreeIntervals (which compiles a view while holding the hidden
+  /// cache mutex).
   void InvalidateVisibilityCache() {
-    std::lock_guard<std::mutex> lock(hidden_cache_mu_);
+    std::lock_guard<std::mutex> hidden_lock(hidden_cache_mu_);
+    std::lock_guard<std::mutex> view_lock(view_cache_mu_);
     hidden_cache_.clear();
+    view_cache_.clear();
   }
 
   std::unique_ptr<NokStore> nok_;
   Codebook codebook_;
   std::mutex hidden_cache_mu_;
   std::unordered_map<SubjectId, std::vector<NodeInterval>> hidden_cache_;
+  std::mutex view_cache_mu_;
+  std::unordered_map<SubjectId, std::shared_ptr<const SubjectView>>
+      view_cache_;
 };
 
 }  // namespace secxml

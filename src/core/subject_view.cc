@@ -1,0 +1,85 @@
+#include "core/subject_view.h"
+
+#include "storage/readahead.h"
+
+namespace secxml {
+
+SubjectView SubjectView::Compile(const Codebook& codebook,
+                                 const std::vector<NokStore::PageInfo>& pages,
+                                 SubjectId subject, NokStore* nok) {
+  SECXML_DCHECK(subject < codebook.num_subjects());
+  SubjectView view;
+  view.subject_ = subject;
+  view.num_pages_ = pages.size();
+
+  view.code_accessible_.resize(codebook.size());
+  for (size_t code = 0; code < codebook.size(); ++code) {
+    view.code_accessible_[code] =
+        codebook.Accessible(static_cast<AccessCodeId>(code), subject) ? 1 : 0;
+  }
+
+  view.verdicts_.assign((pages.size() + 3) / 4, 0);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    PageVerdict v;
+    if (pages[i].change_bit) {
+      v = PageVerdict::kMixed;
+    } else if (view.code_accessible_[pages[i].first_code] != 0) {
+      v = PageVerdict::kLive;
+    } else {
+      v = PageVerdict::kDead;
+    }
+    view.verdicts_[i >> 2] |= static_cast<uint8_t>(static_cast<uint8_t>(v)
+                                                   << ((i & 3) * 2));
+  }
+
+  view.next_live_.resize(pages.size());
+  uint32_t next = static_cast<uint32_t>(pages.size());
+  for (size_t i = pages.size(); i-- > 0;) {
+    if (!view.PageWhollyDead(i)) next = static_cast<uint32_t>(i);
+    view.next_live_[i] = next;
+  }
+
+  // Check-free bits. Header-provable wholly-live pages qualify outright;
+  // changed pages qualify only if a scan of their transition list (one
+  // page read, prefetched when the store has readahead) finds no
+  // inaccessible code. Scan failures just leave the bit conservative.
+  view.check_free_.assign((pages.size() + 7) / 8, 0);
+  Readahead* ra = nok != nullptr ? nok->readahead() : nullptr;
+  size_t window = nok != nullptr ? nok->readahead_window() : 0;
+  ReadaheadDrainGuard drain(ra);
+  size_t prefetch_cursor = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    bool free = false;
+    if (!pages[i].change_bit) {
+      free = view.code_accessible_[pages[i].first_code] != 0;
+    } else if (nok != nullptr &&
+               view.code_accessible_[pages[i].first_code] != 0) {
+      if (ra != nullptr && window > 0) {
+        if (prefetch_cursor < i + 1) prefetch_cursor = i + 1;
+        size_t issued = 0;
+        while (issued < window && prefetch_cursor < pages.size()) {
+          size_t ord = prefetch_cursor++;
+          if (!pages[ord].change_bit) continue;
+          ra->Request(pages[ord].page_id);
+          ++issued;
+        }
+      }
+      auto transitions = nok->PageTransitions(i);
+      if (transitions.ok()) {
+        free = true;
+        for (const DolTransition& t : *transitions) {
+          if (view.code_accessible_[t.code] == 0) {
+            free = false;
+            break;
+          }
+        }
+      }
+    }
+    if (free) {
+      view.check_free_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+    }
+  }
+  return view;
+}
+
+}  // namespace secxml

@@ -1,0 +1,120 @@
+#ifndef SECXML_CORE_SUBJECT_VIEW_H_
+#define SECXML_CORE_SUBJECT_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dcheck.h"
+#include "core/access_types.h"
+#include "core/codebook.h"
+#include "nok/nok_store.h"
+
+namespace secxml {
+
+/// A per-subject compilation of the DOL codebook and the in-memory page
+/// header table into flat arrays, so the secure-query hot path pays one
+/// indexed load where it used to pay a bit-vector probe or a header-plus-
+/// codebook recomputation:
+///
+///  - `CodeAccessible(code)`: one byte load per ACCESS check (the innermost
+///    test of ε-NoK matching), replacing the two dependent loads of
+///    `Codebook::Accessible` (entry vector, then ACL words),
+///  - `Verdict(ordinal)`: a 2-bit-per-page verdict — wholly dead / wholly
+///    live / mixed — precomputed from the same in-memory header fields that
+///    `SecureStore::PageWhollyInaccessible` re-derives on every probe,
+///  - `NextLivePage(ordinal)`: a skip index giving the first not-wholly-dead
+///    page at or after `ordinal`, so sibling skipping and candidate
+///    filtering jump a whole run of dead pages in O(1) instead of probing
+///    each header in turn (Section 3.3's page skip, amortized),
+///  - `PageCheckFree(ordinal)`: a per-subject refinement the header alone
+///    cannot express — the change bit is subject-agnostic, so a page whose
+///    embedded transitions all belong to *other* subjects still reads as
+///    "mixed" even though every node in it is accessible to this one.
+///    Compilation scans each changed page's transition list once and
+///    records whether all of its codes are accessible; the matcher then
+///    fetches plain records on check-free pages, eliding the per-node
+///    transition walk and ACCESS check entirely.
+///
+/// A view is an immutable snapshot of the store at compile time. SecureStore
+/// caches one per subject and drops the cache on every accessibility,
+/// structural, or subject update; queries hold their view via shared_ptr so
+/// an evaluation in flight keeps a consistent snapshot. All methods are
+/// const and safe for any number of concurrent readers. Compilation costs
+/// O(codebook entries + pages); when given a NokStore it additionally reads
+/// each changed page once (prefetched through the store's readahead when
+/// enabled) to compile the check-free bits — amortized across every query
+/// the cached view serves.
+class SubjectView {
+ public:
+  enum class PageVerdict : uint8_t {
+    /// Header proves every node in the page inaccessible to the subject.
+    kDead = 0,
+    /// Header proves every node accessible.
+    kLive = 1,
+    /// The page's change bit is set (embedded transitions): must look inside.
+    kMixed = 2,
+  };
+
+  /// Compiles the view for `subject` from the codebook and the in-memory
+  /// page directory. `subject` must be a valid subject of `codebook`.
+  /// With a non-null `nok`, also scans each changed page's transitions to
+  /// compile the check-free bits; without one, check-free falls back to
+  /// exactly the header-provable wholly-live pages.
+  static SubjectView Compile(const Codebook& codebook,
+                             const std::vector<NokStore::PageInfo>& pages,
+                             SubjectId subject, NokStore* nok = nullptr);
+
+  SubjectId subject() const { return subject_; }
+  size_t num_codes() const { return code_accessible_.size(); }
+  size_t num_pages() const { return num_pages_; }
+
+  /// The ε-NoK inner ACCESS check: one indexed byte load.
+  bool CodeAccessible(uint32_t code) const {
+    SECXML_DCHECK(code < code_accessible_.size());
+    return code_accessible_[code] != 0;
+  }
+
+  PageVerdict Verdict(size_t ordinal) const {
+    SECXML_DCHECK(ordinal < num_pages_);
+    return static_cast<PageVerdict>(
+        (verdicts_[ordinal >> 2] >> ((ordinal & 3) * 2)) & 3u);
+  }
+
+  /// Equivalent of SecureStore::PageWhollyInaccessible, precompiled.
+  bool PageWhollyDead(size_t ordinal) const {
+    return Verdict(ordinal) == PageVerdict::kDead;
+  }
+
+  /// Equivalent of SecureStore::PageWhollyAccessible, precompiled.
+  bool PageWhollyLive(size_t ordinal) const {
+    return Verdict(ordinal) == PageVerdict::kLive;
+  }
+
+  /// First ordinal at or after `ordinal` whose page is not wholly dead;
+  /// num_pages() if every remaining page is dead. O(1).
+  size_t NextLivePage(size_t ordinal) const {
+    SECXML_DCHECK(ordinal <= num_pages_);
+    return ordinal >= num_pages_ ? num_pages_ : next_live_[ordinal];
+  }
+
+  /// True if every node in the page is accessible to the subject — even
+  /// when the page's change bit is set by other subjects' transitions.
+  /// On such pages the matcher needs no access code and no ACCESS check.
+  /// Conservative: false never lies, it only forfeits the fast path.
+  bool PageCheckFree(size_t ordinal) const {
+    SECXML_DCHECK(ordinal < num_pages_);
+    return (check_free_[ordinal >> 3] >> (ordinal & 7)) & 1u;
+  }
+
+ private:
+  SubjectId subject_ = 0;
+  size_t num_pages_ = 0;
+  std::vector<uint8_t> code_accessible_;  // one byte per codebook entry
+  std::vector<uint8_t> verdicts_;         // 2 bits per page, 4 pages per byte
+  std::vector<uint32_t> next_live_;       // skip index, one entry per page
+  std::vector<uint8_t> check_free_;       // 1 bit per page
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_SUBJECT_VIEW_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/dcheck.h"
+
 namespace secxml {
 
 namespace {
@@ -310,6 +312,15 @@ Status NokStore::Open(PagedFile* file, const NokStoreOptions& options,
   return Status::OK();
 }
 
+void NokStore::SetReadahead(size_t window, size_t workers) {
+  readahead_.reset();
+  options_.readahead_window = window;
+  options_.readahead_workers = workers;
+  if (window > 0) {
+    readahead_ = std::make_unique<Readahead>(&pool_, workers);
+  }
+}
+
 size_t NokStore::PageOrdinalOf(NodeId n) const {
   assert(n < num_nodes_);
   // Largest ordinal with first_node <= n.
@@ -330,8 +341,12 @@ Result<NokRecord> NokStore::Record(NodeId n) {
     return Status::OutOfRange("node id " + std::to_string(n) +
                               " out of range");
   }
-  size_t ordinal = PageOrdinalOf(n);
+  return RecordInPage(PageOrdinalOf(n), n);
+}
+
+Result<NokRecord> NokStore::RecordInPage(size_t ordinal, NodeId n) {
   const PageInfo& info = pages_[ordinal];
+  SECXML_DCHECK(n >= info.first_node && n - info.first_node < info.num_records);
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t slot = n - info.first_node;
   return handle.page().ReadAt<NokRecord>(RecordOffset(slot));
@@ -342,8 +357,13 @@ Status NokStore::RecordAndCode(NodeId n, NokRecord* record, uint32_t* code) {
     return Status::OutOfRange("node id " + std::to_string(n) +
                               " out of range");
   }
-  size_t ordinal = PageOrdinalOf(n);
+  return RecordAndCodeInPage(PageOrdinalOf(n), n, record, code);
+}
+
+Status NokStore::RecordAndCodeInPage(size_t ordinal, NodeId n,
+                                     NokRecord* record, uint32_t* code) {
   const PageInfo& info = pages_[ordinal];
+  SECXML_DCHECK(n >= info.first_node && n - info.first_node < info.num_records);
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t slot = n - info.first_node;
   *record = handle.page().ReadAt<NokRecord>(RecordOffset(slot));

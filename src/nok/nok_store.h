@@ -13,6 +13,7 @@
 #include "nok/nok_format.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
+#include "storage/readahead.h"
 #include "xml/document.h"
 
 namespace secxml {
@@ -35,6 +36,17 @@ struct NokStoreOptions {
   /// Cap on records per page; lowering it below the physical maximum models
   /// smaller pages without changing kPageSize. 0 = physical maximum.
   uint32_t max_records_per_page = 0;
+
+  /// Document-order readahead window in pages (0 = no prefetching). When
+  /// positive, the store owns a background Readahead over its buffer pool
+  /// and the sequential sweeps (hidden-interval computation, codebook
+  /// compaction) keep up to this many upcoming pages in flight, overlapping
+  /// device read latency with computation.
+  size_t readahead_window = 0;
+
+  /// Background prefetch worker threads (only used when readahead_window
+  /// is positive). More workers keep more physical reads in flight.
+  size_t readahead_workers = 2;
 };
 
 /// Block-oriented NoK storage of an XML document's structure with embedded
@@ -124,6 +136,13 @@ class NokStore {
   /// code is found on the same page as the node, so checking accessibility
   /// right after loading the record costs no additional I/O or lookup).
   Status RecordAndCode(NodeId n, NokRecord* record, uint32_t* code);
+
+  /// Record / RecordAndCode for a caller that already knows n's page
+  /// ordinal (the secure matcher tracks it for page-verdict checks),
+  /// skipping the ordinal binary search.
+  Result<NokRecord> RecordInPage(size_t ordinal, NodeId n);
+  Status RecordAndCodeInPage(size_t ordinal, NodeId n, NokRecord* record,
+                             uint32_t* code);
 
   /// First child of `n`, or kInvalidNode if `n` is a leaf. `rec` must be the
   /// record of `n`.
@@ -218,6 +237,20 @@ class NokStore {
   BufferPool* buffer_pool() { return &pool_; }
   const IoStats& io_stats() const { return pool_.stats(); }
 
+  /// The background prefetcher, or nullptr when readahead is disabled
+  /// (readahead_window == 0). Issuers must Drain() before returning (see
+  /// ReadaheadDrainGuard) so no background fetch overlaps a later update.
+  Readahead* readahead() { return readahead_.get(); }
+
+  /// Configured readahead window in pages (0 = disabled).
+  size_t readahead_window() const { return options_.readahead_window; }
+
+  /// Reconfigures readahead (0 window disables it). Requires exclusive
+  /// access, like updates: the old prefetcher is torn down and no reader
+  /// may be issuing requests concurrently. Benchmarks use this to A/B the
+  /// same store with prefetching off and on.
+  void SetReadahead(size_t window, size_t workers = 2);
+
   /// Verifies structural invariants (subtree sizes, depths, page headers);
   /// used by tests and after updates.
   Status CheckIntegrity();
@@ -225,7 +258,12 @@ class NokStore {
  private:
   NokStore(PagedFile* file, const NokStoreOptions& options)
       : options_(options),
-        pool_(file, options.buffer_pool_pages, options.buffer_pool_shards) {}
+        pool_(file, options.buffer_pool_pages, options.buffer_pool_shards) {
+    if (options_.readahead_window > 0) {
+      readahead_ = std::make_unique<Readahead>(&pool_,
+                                               options_.readahead_workers);
+    }
+  }
 
   /// Splits page `ordinal`, moving its tail records to a new page so that
   /// `needed_transitions` entries fit somewhere. Transition lists for both
@@ -266,6 +304,8 @@ class NokStore {
   std::vector<std::string> values_;
   std::vector<std::vector<NodeId>> postings_;  // indexed by TagId
   std::vector<NodeId> empty_postings_;
+  // Declared last: destroyed (joined and drained) before the pool it reads.
+  std::unique_ptr<Readahead> readahead_;
 };
 
 }  // namespace secxml

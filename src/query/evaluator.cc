@@ -54,6 +54,7 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
   mopts.secure = options.semantics != AccessSemantics::kNone;
   mopts.subject = options.subject;
   mopts.page_skip = options.page_skip;
+  mopts.use_view = options.use_view;
   mopts.ordered_siblings = options.ordered_siblings;
   NokMatcher matcher(store_, mopts);
   std::vector<std::vector<FragmentMatch>> matches(nf);

@@ -18,13 +18,29 @@ Result<NodeId> NokMatcher::SkipToNextSibling(NodeId u, uint16_t depth,
   NokStore* nok = store_->nok();
   size_t ordinal = nok->PageOrdinalOf(u) + 1;
   while (ordinal < nok->num_pages()) {
+    if (view_ != nullptr) {
+      // The skip index jumps the whole run of wholly-dead pages in O(1)
+      // instead of probing each header in turn. Pages of the run before
+      // `limit` are ones we avoided loading; count each (at most once per
+      // MatchFragment, same as the probing path).
+      size_t next = view_->NextLivePage(ordinal);
+      for (; ordinal < next; ++ordinal) {
+        if (nok->page_infos()[ordinal].first_node >= limit) {
+          return kInvalidNode;
+        }
+        CountSkippedPage(ordinal);
+      }
+      if (ordinal >= nok->num_pages()) return kInvalidNode;
+    }
     const NokStore::PageInfo& info = nok->page_infos()[ordinal];
     if (info.first_node >= limit) return kInvalidNode;
-    if (store_->PageWhollyInaccessible(ordinal, options_.subject)) {
+    if (PageDead(ordinal)) {
       // Everything in this page is inaccessible: any sibling inside it
       // would be pruned anyway, and the records we would need are exactly
-      // the ones the paper's header check lets us avoid reading.
-      ++nok->buffer_pool()->mutable_stats()->pages_skipped;
+      // the ones the paper's header check lets us avoid reading. (Reached
+      // only without a view; the skip index already stepped past dead
+      // pages above.)
+      CountSkippedPage(ordinal);
       ++ordinal;
       continue;
     }
@@ -35,6 +51,20 @@ Result<NodeId> NokMatcher::SkipToNextSibling(NodeId u, uint16_t depth,
     ++ordinal;
   }
   return kInvalidNode;
+}
+
+Result<NokRecord> NokMatcher::SecureFetch(size_t ordinal, NodeId u,
+                                          bool* accessible) {
+  NokStore* nok = store_->nok();
+  if (view_ != nullptr && view_->PageCheckFree(ordinal)) {
+    *accessible = true;
+    return nok->RecordInPage(ordinal, u);
+  }
+  NokRecord rec;
+  uint32_t code = 0;
+  SECXML_RETURN_NOT_OK(nok->RecordAndCodeInPage(ordinal, u, &rec, &code));
+  *accessible = Accessible(code);
+  return rec;
 }
 
 Result<bool> NokMatcher::MatchChildrenOrdered(
@@ -54,9 +84,8 @@ Result<bool> NokMatcher::MatchChildrenOrdered(
       NokRecord urec;
       bool accessible = true;
       if (options_.secure) {
-        uint32_t code = 0;
-        SECXML_RETURN_NOT_OK(store_->nok()->RecordAndCode(u, &urec, &code));
-        accessible = Accessible(code);
+        SECXML_ASSIGN_OR_RETURN(
+            urec, SecureFetch(store_->nok()->PageOrdinalOf(u), u, &accessible));
       } else {
         SECXML_ASSIGN_OR_RETURN(urec, store_->nok()->Record(u));
       }
@@ -77,15 +106,19 @@ Result<bool> NokMatcher::MatchChildrenOrdered(
     const ResolvedPattern& rp = resolved_[pchildren[k]];
     bool ok = false;
     if (TagValueMatches(rp, data[d].rec)) {
-      std::vector<size_t> marks(match->bindings.size());
-      for (size_t i = 0; i < marks.size(); ++i) {
-        marks[i] = match->bindings[i].size();
+      // Feasibility probes always roll back; marks live on the shared
+      // stack rather than a fresh vector per probe.
+      const size_t nb = match->bindings.size();
+      const size_t base = mark_stack_.size();
+      for (size_t i = 0; i < nb; ++i) {
+        mark_stack_.push_back(match->bindings[i].size());
       }
       SECXML_ASSIGN_OR_RETURN(
           ok, Npm(pchildren[k], data[d].node, data[d].rec, match));
-      for (size_t i = 0; i < marks.size(); ++i) {
-        match->bindings[i].resize(marks[i]);
+      for (size_t i = 0; i < nb; ++i) {
+        match->bindings[i].resize(mark_stack_[base + i]);
       }
+      mark_stack_.resize(base);
     }
     slot = ok ? 1 : 0;
     return ok;
@@ -151,10 +184,21 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
                              FragmentMatch* match) {
   const ResolvedPattern& pat = resolved_[pnode];
   // Save rollback marks for designated bindings appended in this subtree.
-  std::vector<size_t> marks(match->bindings.size());
-  for (size_t i = 0; i < marks.size(); ++i) {
-    marks[i] = match->bindings[i].size();
+  // The marks live as a frame on the matcher's shared stack — Npm recurses
+  // once per pattern-data binding attempt, and a heap allocation per
+  // recursion dominated the ACCESS-check fast path. The frame is popped on
+  // every non-error exit; on error the whole fragment match aborts and
+  // MatchFragment resets the stack.
+  const size_t nb = match->bindings.size();
+  const size_t base = mark_stack_.size();
+  for (size_t i = 0; i < nb; ++i) {
+    mark_stack_.push_back(match->bindings[i].size());
   }
+  auto rollback = [&]() {
+    for (size_t i = 0; i < nb; ++i) {
+      match->bindings[i].resize(mark_stack_[base + i]);
+    }
+  };
   if (pat.designated_slot >= 0) {
     match->bindings[pat.designated_slot].emplace_back(
         sroot, sroot + srec.subtree_size);
@@ -162,13 +206,9 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
   if (options_.ordered_siblings && !pat.children->empty()) {
     SECXML_ASSIGN_OR_RETURN(
         bool ok, MatchChildrenOrdered(*pat.children, sroot, srec, match));
-    if (!ok) {
-      for (size_t i = 0; i < marks.size(); ++i) {
-        match->bindings[i].resize(marks[i]);
-      }
-      return false;
-    }
-    return true;
+    if (!ok) rollback();
+    mark_stack_.resize(base);
+    return ok;
   }
 
   // S <- all pattern children of pnode (Algorithm 1 line 3). Children whose
@@ -186,19 +226,22 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
     // Cached page extent of the last header check, so consecutive siblings
     // in one page cost no repeated page-table lookups.
     NodeId page_begin = 0, page_end = 0;
+    size_t page_ordinal = 0;
     bool page_dead = false;
     while (u != kInvalidNode && (unsatisfied > 0 || has_collectors)) {
-      // ε-NoK: consult the in-memory header before touching u's page.
+      // ε-NoK: consult the page verdict (compiled or from the in-memory
+      // header) before touching u's page.
       if (options_.secure && options_.page_skip) {
         if (u < page_begin || u >= page_end) {
-          size_t ordinal = store_->nok()->PageOrdinalOf(u);
-          const NokStore::PageInfo& info = store_->nok()->page_infos()[ordinal];
+          page_ordinal = store_->nok()->PageOrdinalOf(u);
+          const NokStore::PageInfo& info =
+              store_->nok()->page_infos()[page_ordinal];
           page_begin = info.first_node;
           page_end = info.first_node + info.num_records;
-          page_dead = store_->PageWhollyInaccessible(ordinal, options_.subject);
+          page_dead = PageDead(page_ordinal);
         }
         if (page_dead) {
-          ++store_->nok()->buffer_pool()->mutable_stats()->pages_skipped;
+          CountSkippedPage(page_ordinal);
           SECXML_ASSIGN_OR_RETURN(
               u, SkipToNextSibling(u, child_depth, parent_end));
           continue;
@@ -209,10 +252,12 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
       if (options_.secure) {
         // One fetch returns both the record and its access code: the code
         // lives in u's own page (Section 3.3), so the check is free of
-        // extra I/O.
-        uint32_t code = 0;
-        SECXML_RETURN_NOT_OK(store_->nok()->RecordAndCode(u, &urec, &code));
-        accessible = Accessible(code);
+        // extra I/O. With page skipping on, the ordinal is the one cached
+        // by the verdict check above; check-free pages skip the code
+        // resolution entirely.
+        size_t ordinal = options_.page_skip ? page_ordinal
+                                            : store_->nok()->PageOrdinalOf(u);
+        SECXML_ASSIGN_OR_RETURN(urec, SecureFetch(ordinal, u, &accessible));
       } else {
         SECXML_ASSIGN_OR_RETURN(urec, store_->nok()->Record(u));
       }
@@ -236,11 +281,11 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
 
   if (unsatisfied > 0) {
     // Algorithm 1 lines 14-16: roll back this subtree's bindings.
-    for (size_t i = 0; i < marks.size(); ++i) {
-      match->bindings[i].resize(marks[i]);
-    }
+    rollback();
+    mark_stack_.resize(base);
     return false;
   }
+  mark_stack_.resize(base);
   return true;
 }
 
@@ -250,6 +295,26 @@ Status NokMatcher::MatchFragment(const QueryFragment& fragment,
   out->clear();
   SECXML_RETURN_NOT_OK(fragment.tree.Validate());
   NokStore* nok = store_->nok();
+
+  // Acquire the compiled view snapshot for this evaluation (cached in the
+  // store; compiled on first use per subject). The holder keeps the
+  // snapshot consistent even if an update invalidates the store's cache
+  // while we run.
+  view_holder_.reset();
+  view_ = nullptr;
+  if (options_.secure && options_.use_view) {
+    SECXML_ASSIGN_OR_RETURN(view_holder_, store_->View(options_.subject));
+    view_ = view_holder_.get();
+  }
+  // Reset per-call scratch: the rollback-marks stack (stale frames may
+  // linger after an aborted earlier call) and the skipped-page bitmap that
+  // dedupes pages_skipped accounting across skip sites.
+  mark_stack_.clear();
+  if (options_.secure && options_.page_skip) {
+    skip_counted_.assign(nok->num_pages(), 0);
+  } else {
+    skip_counted_.clear();
+  }
 
   // Resolve pattern tags once.
   resolved_.clear();
@@ -293,18 +358,20 @@ Status NokMatcher::MatchFragment(const QueryFragment& fragment,
   }
 
   for (NodeId cand : candidates) {
-    if (options_.secure && options_.page_skip &&
-        store_->PageWhollyInaccessible(nok->PageOrdinalOf(cand),
-                                       options_.subject)) {
-      ++nok->buffer_pool()->mutable_stats()->pages_skipped;
-      continue;
-    }
     NokRecord rec;
     if (options_.secure) {
-      uint32_t code = 0;
-      SECXML_RETURN_NOT_OK(nok->RecordAndCode(cand, &rec, &code));
+      size_t ordinal = nok->PageOrdinalOf(cand);
+      if (options_.page_skip && PageDead(ordinal)) {
+        // The whole page of postings is dead; each distinct page counts
+        // once toward pages_skipped no matter how many candidates fall
+        // into it.
+        CountSkippedPage(ordinal);
+        continue;
+      }
+      bool accessible = true;
+      SECXML_ASSIGN_OR_RETURN(rec, SecureFetch(ordinal, cand, &accessible));
       if (!TagValueMatches(resolved_[0], rec)) continue;
-      if (!Accessible(code)) continue;  // Algorithm 1 pre-condition
+      if (!accessible) continue;  // Algorithm 1 pre-condition
     } else {
       SECXML_ASSIGN_OR_RETURN(rec, nok->Record(cand));
       if (!TagValueMatches(resolved_[0], rec)) continue;

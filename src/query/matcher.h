@@ -1,12 +1,14 @@
 #ifndef SECXML_QUERY_MATCHER_H_
 #define SECXML_QUERY_MATCHER_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/secure_store.h"
+#include "core/subject_view.h"
 #include "query/decomposer.h"
 
 namespace secxml {
@@ -35,6 +37,13 @@ class NokMatcher {
     bool secure = false;
     SubjectId subject = 0;
     bool page_skip = true;
+    /// Run the secure checks through the subject-compiled access view
+    /// (SubjectView): the inner ACCESS test becomes one byte load, page
+    /// verdicts come precompiled, and sibling skipping jumps whole dead-page
+    /// runs through the skip index. Results are identical to the direct
+    /// codebook/header path; only the lookup machinery changes. Ignored
+    /// unless `secure`.
+    bool use_view = true;
     /// Ordered pattern trees (the paper's footnote: "we use ordered pattern
     /// tree in real experiments"): sibling pattern nodes must bind to data
     /// children in strictly ascending document order. Matching remains
@@ -91,13 +100,54 @@ class NokMatcher {
   /// extent `limit`, loading no wholly-inaccessible page (ε-NoK page skip).
   Result<NodeId> SkipToNextSibling(NodeId u, uint16_t depth, NodeId limit);
 
+  /// Secure record fetch for node `u` on the page at `ordinal`: on a
+  /// check-free page (every node accessible to the subject — knowable only
+  /// through the compiled view) the access code is never decoded and the
+  /// ACCESS check is skipped; otherwise the record and code come from one
+  /// fetch and `*accessible` is the check's result.
+  Result<NokRecord> SecureFetch(size_t ordinal, NodeId u, bool* accessible);
+
+  /// The ε-NoK inner ACCESS check: one byte load through the compiled view
+  /// when available, else the codebook bit probe.
   bool Accessible(uint32_t code) const {
-    return store_->codebook().Accessible(code, options_.subject);
+    return view_ != nullptr
+               ? view_->CodeAccessible(code)
+               : store_->codebook().Accessible(code, options_.subject);
+  }
+
+  /// Header page-skip test: precompiled verdict when the view is active,
+  /// else recomputed from the header and codebook.
+  bool PageDead(size_t ordinal) const {
+    return view_ != nullptr
+               ? view_->PageWhollyDead(ordinal)
+               : store_->PageWhollyInaccessible(ordinal, options_.subject);
+  }
+
+  /// Counts `ordinal` toward IoStats::pages_skipped, once per distinct page
+  /// per MatchFragment call — the candidate filter, the inline sibling skip,
+  /// and SkipToNextSibling can all reject the same page, and each avoided
+  /// page load should be counted exactly once.
+  void CountSkippedPage(size_t ordinal) {
+    if (ordinal < skip_counted_.size() && !skip_counted_[ordinal]) {
+      skip_counted_[ordinal] = 1;
+      ++store_->nok()->buffer_pool()->mutable_stats()->pages_skipped;
+    }
   }
 
   SecureStore* store_;
   Options options_;
   std::vector<ResolvedPattern> resolved_;
+  /// Compiled view snapshot for the current MatchFragment call (null when
+  /// disabled). The shared_ptr keeps the snapshot alive even if the store's
+  /// cache is invalidated mid-evaluation.
+  std::shared_ptr<const SubjectView> view_holder_;
+  const SubjectView* view_ = nullptr;
+  /// Reusable rollback-marks stack: Npm and the ordered-children feasibility
+  /// probe push one frame of per-binding sizes instead of allocating a fresh
+  /// vector per recursion.
+  std::vector<size_t> mark_stack_;
+  /// Per-MatchFragment bitmap of pages already counted as skipped.
+  std::vector<char> skip_counted_;
 };
 
 }  // namespace secxml

@@ -28,6 +28,10 @@ struct QueryDriverOptions {
   size_t num_threads = 1;
   AccessSemantics semantics = AccessSemantics::kBinding;
   bool page_skip = true;
+  /// Per-worker evaluators run through subject-compiled access views (the
+  /// store caches one per subject, so a batch with many jobs per subject
+  /// compiles each view once). Identical answers either way.
+  bool use_view = true;
   bool ordered_siblings = false;
 };
 

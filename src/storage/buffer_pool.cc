@@ -208,7 +208,11 @@ Status BufferPool::EvictAll() {
     std::vector<size_t> victims;
     victims.reserve(sh.map.size());
     for (const auto& [id, idx] : sh.map) {
-      if (frames_[idx].pins.load(std::memory_order_relaxed) == 0) {
+      // Acquire pairs with the unpinner's fetch_sub release: a frame seen
+      // at zero pins here has all of its holder's page writes visible, so
+      // the dirty flush below reads settled bytes. (Frames that reached
+      // the LRU get this edge through sh.mu; this scan bypasses it.)
+      if (frames_[idx].pins.load(std::memory_order_acquire) == 0) {
         victims.push_back(idx);
       }
     }

@@ -1,0 +1,289 @@
+// SubjectView compilation and cache-invalidation contract: the compiled
+// tables must agree with the direct codebook/header computation, the store
+// must hand out one cached snapshot per subject, and *every* mutating
+// SecureStore entry point — accessibility, structural, subject-set, and
+// codebook compaction — must drop the compiled views so the next View()
+// call recompiles against the new state.
+
+#include "core/subject_view.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/accessibility_map.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "storage/paged_file.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xml_parser.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kNumSubjects = 3;
+
+struct Fixture {
+  Document doc;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+void BuildFixture(Fixture* f, double accessibility = 0.5) {
+  XMarkOptions xopts;
+  xopts.seed = 11;
+  xopts.target_nodes = 1500;
+  ASSERT_TRUE(GenerateXMark(xopts, &f->doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = 31;
+  aopts.accessibility_ratio = accessibility;
+  IntervalAccessMap map = GenerateSyntheticAclMap(f->doc, kNumSubjects, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;  // many pages => non-trivial skip index
+  ASSERT_TRUE(
+      SecureStore::Build(f->doc, labeling, &f->file, sopts, &f->store).ok());
+}
+
+/// Checks every compiled table against the direct computation it replaces.
+void ExpectViewMatchesStore(SecureStore* store, SubjectId subject) {
+  auto got = store->View(subject);
+  ASSERT_TRUE(got.ok()) << got.status();
+  const SubjectView& view = **got;
+  EXPECT_EQ(view.subject(), subject);
+
+  const Codebook& cb = store->codebook();
+  ASSERT_EQ(view.num_codes(), cb.size());
+  for (size_t code = 0; code < cb.size(); ++code) {
+    EXPECT_EQ(view.CodeAccessible(static_cast<uint32_t>(code)),
+              cb.Accessible(static_cast<AccessCodeId>(code), subject))
+        << "code " << code;
+  }
+
+  size_t num_pages = store->nok()->num_pages();
+  ASSERT_EQ(view.num_pages(), num_pages);
+  for (size_t p = 0; p < num_pages; ++p) {
+    EXPECT_EQ(view.PageWhollyDead(p),
+              store->PageWhollyInaccessible(p, subject))
+        << "page " << p;
+    EXPECT_EQ(view.PageWhollyLive(p), store->PageWhollyAccessible(p, subject))
+        << "page " << p;
+    bool mixed = store->nok()->page_infos()[p].change_bit;
+    EXPECT_EQ(view.Verdict(p) == SubjectView::PageVerdict::kMixed, mixed)
+        << "page " << p;
+  }
+
+  // The skip index equals the linear scan it replaces.
+  for (size_t p = 0; p <= num_pages; ++p) {
+    size_t want = p;
+    while (want < num_pages && view.PageWhollyDead(want)) ++want;
+    EXPECT_EQ(view.NextLivePage(p), want) << "from page " << p;
+  }
+
+  // Check-free == every node in the page has an accessible code (stronger
+  // than the header verdict: changed pages whose transitions are all live
+  // for this subject qualify too, wholly-live pages always qualify).
+  for (size_t p = 0; p < num_pages; ++p) {
+    const auto& info = store->nok()->page_infos()[p];
+    bool want_free = true;
+    for (NodeId n = info.first_node; n < info.first_node + info.num_records;
+         ++n) {
+      auto code = store->nok()->AccessCode(n);
+      ASSERT_TRUE(code.ok());
+      if (!cb.Accessible(static_cast<AccessCodeId>(*code), subject)) {
+        want_free = false;
+        break;
+      }
+    }
+    EXPECT_EQ(view.PageCheckFree(p), want_free) << "page " << p;
+    if (view.PageWhollyLive(p)) EXPECT_TRUE(view.PageCheckFree(p));
+  }
+}
+
+TEST(SubjectViewTest, CompiledTablesMatchDirectComputation) {
+  Fixture f;
+  BuildFixture(&f);
+  for (SubjectId s = 0; s < kNumSubjects; ++s) {
+    ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), s));
+  }
+}
+
+TEST(SubjectViewTest, LowAccessibilityViewHasDeadRuns) {
+  Fixture f;
+  BuildFixture(&f, /*accessibility=*/0.1);
+  auto view = f.store->View(0);
+  ASSERT_TRUE(view.ok());
+  // Sanity: the fixture actually exercises the skip index (some page is
+  // wholly dead, so NextLivePage really jumps).
+  bool any_dead = false;
+  for (size_t p = 0; p < (*view)->num_pages(); ++p) {
+    any_dead |= (*view)->PageWhollyDead(p);
+  }
+  EXPECT_TRUE(any_dead);
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 0));
+}
+
+TEST(SubjectViewTest, CheckFreeRefinesChangedPages) {
+  // Two subjects over a flat 200-child document; subject 1 is denied the
+  // (page-misaligned) node range [40, 120), which plants transitions in
+  // two pages. Those pages read as "mixed" from the header — but for
+  // subject 0 every code in them is accessible, so the compiled scan must
+  // mark them check-free, while for subject 1 they must stay checked.
+  Document doc;
+  std::string xml = "<root>";
+  for (int i = 0; i < 200; ++i) xml += "<x/>";
+  xml += "</root>";
+  ASSERT_TRUE(ParseXml(xml, &doc).ok());
+  DenseAccessMap map(doc.NumNodes(), /*num_subjects=*/2,
+                     /*default_access=*/true);
+  for (NodeId n = 40; n < 120; ++n) map.Set(1, n, false);
+  DolLabeling labeling = DolLabeling::Build(map);
+  MemPagedFile file;
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+  std::unique_ptr<SecureStore> store;
+  ASSERT_TRUE(SecureStore::Build(doc, labeling, &file, sopts, &store).ok());
+
+  auto v0 = store->View(0);
+  auto v1 = store->View(1);
+  ASSERT_TRUE(v0.ok() && v1.ok());
+  bool any_changed = false;
+  for (size_t p = 0; p < (*v0)->num_pages(); ++p) {
+    if (!store->nok()->page_infos()[p].change_bit) continue;
+    any_changed = true;
+    EXPECT_FALSE((*v0)->PageWhollyLive(p)) << "header can't prove page " << p;
+    EXPECT_TRUE((*v0)->PageCheckFree(p))
+        << "subject 0 sees every code in page " << p;
+    EXPECT_FALSE((*v1)->PageCheckFree(p))
+        << "page " << p << " holds nodes denied to subject 1";
+  }
+  EXPECT_TRUE(any_changed) << "fixture should produce changed pages";
+}
+
+TEST(SubjectViewTest, ViewIsCachedPerSubject) {
+  Fixture f;
+  BuildFixture(&f);
+  auto v1 = f.store->View(1);
+  auto v2 = f.store->View(1);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(v1->get(), v2->get()) << "second View() should hit the cache";
+  auto other = f.store->View(2);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(v1->get(), other->get());
+
+  f.store->DropVisibilityCaches();
+  auto v3 = f.store->View(1);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_NE(v1->get(), v3->get()) << "drop must force recompilation";
+}
+
+TEST(SubjectViewTest, RejectsUnknownSubject) {
+  Fixture f;
+  BuildFixture(&f);
+  EXPECT_FALSE(f.store->View(kNumSubjects).ok());
+}
+
+/// Returns the currently cached view snapshot for `subject`. Callers keep
+/// the shared_ptr alive across the mutation under test so the freed-and-
+/// reallocated-at-the-same-address case can't fake a pointer inequality.
+std::shared_ptr<const SubjectView> CachedView(SecureStore* store,
+                                              SubjectId subject) {
+  auto v = store->View(subject);
+  EXPECT_TRUE(v.ok());
+  return v.ok() ? *v : nullptr;
+}
+
+TEST(SubjectViewTest, SetRangeAccessDropsViews) {
+  Fixture f;
+  BuildFixture(&f);
+  std::shared_ptr<const SubjectView> before = CachedView(f.store.get(), 0);
+  ASSERT_TRUE(f.store->SetRangeAccess(10, 40, /*subject=*/0, false).ok());
+  EXPECT_NE(CachedView(f.store.get(), 0), before);
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 0));
+}
+
+TEST(SubjectViewTest, SetNodeAccessDropsViewsOfAllSubjects) {
+  Fixture f;
+  BuildFixture(&f);
+  // An update for subject 1 can intern new codes, which extends the code
+  // table every subject's view indexes — all views must drop, not just the
+  // updated subject's.
+  std::shared_ptr<const SubjectView> other_before = CachedView(f.store.get(), 2);
+  ASSERT_TRUE(f.store->SetNodeAccess(5, /*subject=*/1, false).ok());
+  EXPECT_NE(CachedView(f.store.get(), 2), other_before);
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 2));
+}
+
+TEST(SubjectViewTest, InsertSubtreeDropsViews) {
+  Fixture f;
+  BuildFixture(&f);
+  std::shared_ptr<const SubjectView> before = CachedView(f.store.get(), 0);
+
+  Document frag;
+  ASSERT_TRUE(ParseXml("<note><stamp>v</stamp></note>", &frag).ok());
+  DenseAccessMap fmap(frag.NumNodes(), kNumSubjects);
+  for (SubjectId s = 0; s < kNumSubjects; ++s) {
+    fmap.SetSubtree(frag, s, 0, s != 1);
+  }
+  DolLabeling flab = DolLabeling::Build(fmap);
+  ASSERT_TRUE(f.store->InsertSubtree(0, kInvalidNode, frag, flab).ok());
+
+  EXPECT_NE(CachedView(f.store.get(), 0), before);
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 0));
+}
+
+TEST(SubjectViewTest, DeleteSubtreeDropsViews) {
+  Fixture f;
+  BuildFixture(&f);
+  std::shared_ptr<const SubjectView> before = CachedView(f.store.get(), 0);
+  ASSERT_TRUE(f.store->DeleteSubtree(2).ok());
+  EXPECT_NE(CachedView(f.store.get(), 0), before);
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 0));
+}
+
+TEST(SubjectViewTest, RemoveSubjectDropsViews) {
+  Fixture f;
+  BuildFixture(&f);
+  std::shared_ptr<const SubjectView> before = CachedView(f.store.get(), 0);
+  ASSERT_TRUE(f.store->RemoveSubject(kNumSubjects - 1).ok());
+  EXPECT_NE(CachedView(f.store.get(), 0), before);
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 0));
+}
+
+TEST(SubjectViewTest, CompactCodebookDropsViews) {
+  Fixture f;
+  BuildFixture(&f);
+  // Leave duplicates behind so compaction actually remaps codes.
+  ASSERT_TRUE(f.store->RemoveSubject(kNumSubjects - 1).ok());
+  std::shared_ptr<const SubjectView> before = CachedView(f.store.get(), 0);
+  ASSERT_TRUE(f.store->CompactCodebook().ok());
+  EXPECT_NE(CachedView(f.store.get(), 0), before);
+  // The recompiled view indexes the *renumbered* codes correctly.
+  ASSERT_NO_FATAL_FAILURE(ExpectViewMatchesStore(f.store.get(), 0));
+}
+
+TEST(SubjectViewTest, HeldSnapshotSurvivesInvalidation) {
+  Fixture f;
+  BuildFixture(&f);
+  auto v = f.store->View(0);
+  ASSERT_TRUE(v.ok());
+  std::shared_ptr<const SubjectView> held = *v;
+  size_t codes = held->num_codes();
+  size_t pages = held->num_pages();
+  ASSERT_TRUE(f.store->SetNodeAccess(3, 0, false).ok());
+  // The held snapshot stays alive and internally consistent (it describes
+  // the pre-update state) even though the store's cache dropped it.
+  EXPECT_EQ(held->num_codes(), codes);
+  EXPECT_EQ(held->num_pages(), pages);
+  for (size_t p = 0; p <= pages; ++p) {
+    size_t next = held->NextLivePage(p);
+    EXPECT_GE(next, p);
+    EXPECT_LE(next, pages);
+  }
+}
+
+}  // namespace
+}  // namespace secxml

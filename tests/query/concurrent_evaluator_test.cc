@@ -131,6 +131,54 @@ TEST_P(ConcurrentEvaluatorTest, RepeatedRunsAreDeterministic) {
   }
 }
 
+TEST_P(ConcurrentEvaluatorTest, ViewsAndReadaheadMatchDirectPath) {
+  // The full new query-time machinery at once: per-subject compiled views
+  // shared by four workers (first users of a subject race to compile) and
+  // background readahead feeding the kView visibility sweeps. Answers must
+  // equal the serial, view-off, no-readahead reference.
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Fixture f;
+  BuildFixture(seed, &f);
+  std::vector<QueryJob> jobs = MakeBatch(f.doc, seed + 2);
+
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    QueryEvaluator eval(f.store.get());
+    std::vector<std::vector<NodeId>> want;
+    for (const QueryJob& job : jobs) {
+      EvalOptions opts;
+      opts.semantics = sem;
+      opts.subject = job.subject;
+      opts.use_view = false;
+      auto r = eval.Evaluate(job.pattern, opts);
+      ASSERT_TRUE(r.ok()) << r.status();
+      want.push_back(r->answers);
+    }
+
+    // Cold start for the concurrent run: caches dropped, views recompile
+    // under contention, sweeps re-run with prefetching.
+    f.store->DropVisibilityCaches();
+    ASSERT_TRUE(f.store->nok()->buffer_pool()->EvictAll().ok());
+    f.store->nok()->SetReadahead(/*window=*/4, /*workers=*/2);
+    QueryDriverOptions dopts;
+    dopts.num_threads = 4;
+    dopts.semantics = sem;
+    dopts.use_view = true;
+    QueryDriver driver(f.store.get(), dopts);
+    BatchResult batch = driver.Run(jobs);
+    f.store->nok()->SetReadahead(0, 0);
+
+    ASSERT_EQ(batch.outcomes.size(), jobs.size());
+    EXPECT_EQ(batch.stats.failed, 0u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_TRUE(batch.outcomes[i].status.ok()) << batch.outcomes[i].status;
+      EXPECT_EQ(batch.outcomes[i].result.answers, want[i])
+          << "seed " << seed << " query " << i << " semantics "
+          << static_cast<int>(sem) << ": " << jobs[i].pattern.ToString();
+    }
+  }
+}
+
 TEST(ConcurrentEvaluatorTest, SingleThreadDriverEqualsEvaluator) {
   Fixture f;
   BuildFixture(99, &f);

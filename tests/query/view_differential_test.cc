@@ -1,0 +1,187 @@
+// Differential test for the subject-compiled access view: evaluating the
+// same randomized (subject, query) batch with use_view on and off must
+// produce identical answers AND identical pages_skipped accounting, across
+// all three access semantics, ordered and unordered matching, and several
+// RNG seeds. The view changes the lookup machinery (byte table, compiled
+// verdicts, skip index), never what is matched or skipped.
+//
+// Also the exact-count regression for pages_skipped: a query over a store
+// with a known dead-page layout must count each distinct avoided page
+// exactly once, no matter how many candidates or siblings fall into it
+// (the old accounting incremented once per candidate).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xml_parser.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kNumSubjects = 4;
+
+struct Fixture {
+  Document doc;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+void BuildFixture(uint64_t seed, Fixture* f) {
+  XMarkOptions xopts;
+  xopts.seed = seed + 500;
+  xopts.target_nodes = 2500;
+  ASSERT_TRUE(GenerateXMark(xopts, &f->doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = seed + 900;
+  aopts.accessibility_ratio = 0.5;
+  IntervalAccessMap map = GenerateSyntheticAclMap(f->doc, kNumSubjects, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+  ASSERT_TRUE(
+      SecureStore::Build(f->doc, labeling, &f->file, sopts, &f->store).ok());
+}
+
+class ViewDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViewDifferentialTest, ViewOnOffIdenticalAnswersAndSkips) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Fixture f;
+  BuildFixture(seed, &f);
+  QueryEvaluator eval(f.store.get());
+
+  const AccessSemantics semantics[] = {
+      AccessSemantics::kNone, AccessSemantics::kBinding,
+      AccessSemantics::kView};
+  for (AccessSemantics sem : semantics) {
+    for (bool ordered : {false, true}) {
+      for (int qi = 0; qi < 30; ++qi) {
+        QueryGenOptions qopts;
+        qopts.seed = seed * 5000 + static_cast<uint64_t>(qi);
+        qopts.max_nodes = 2 + qi % 5;
+        PatternTree pattern = GenerateTwigQuery(f.doc, qopts);
+
+        EvalOptions opts;
+        opts.semantics = sem;
+        opts.subject = static_cast<SubjectId>(qi % kNumSubjects);
+        opts.ordered_siblings = ordered;
+
+        auto run = [&](bool use_view, uint64_t* skipped) {
+          // Cold cache + fresh counters so both modes are measured alike;
+          // the hidden-interval cache is dropped too so kView recomputes
+          // its sweep both times.
+          f.store->DropVisibilityCaches();
+          EXPECT_TRUE(f.store->nok()->buffer_pool()->EvictAll().ok());
+          f.store->nok()->buffer_pool()->mutable_stats()->Reset();
+          opts.use_view = use_view;
+          auto r = eval.Evaluate(pattern, opts);
+          *skipped = f.store->io_stats().pages_skipped;
+          return r;
+        };
+
+        uint64_t skipped_on = 0, skipped_off = 0;
+        auto with_view = run(true, &skipped_on);
+        auto without_view = run(false, &skipped_off);
+        ASSERT_TRUE(with_view.ok()) << with_view.status();
+        ASSERT_TRUE(without_view.ok()) << without_view.status();
+        EXPECT_EQ(with_view->answers, without_view->answers)
+            << "seed " << seed << " query " << qi << " semantics "
+            << static_cast<int>(sem) << " ordered " << ordered << ": "
+            << pattern.ToString();
+        EXPECT_EQ(with_view->fragment_matches, without_view->fragment_matches)
+            << pattern.ToString();
+        EXPECT_EQ(skipped_on, skipped_off)
+            << "pages_skipped accounting diverged on " << pattern.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewDifferentialTest,
+                         ::testing::Values(1, 2, 3));
+
+// --- Exact-count pages_skipped regression --------------------------------
+
+struct FlatFixture {
+  Document doc;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+/// 200 <x/> children under one root, 32 records/page, subject 0 denied the
+/// page-aligned node range [32, 128) — pages 1-3 wholly dead, everything
+/// else accessible.
+void BuildFlatFixture(FlatFixture* f) {
+  std::string xml = "<root>";
+  for (int i = 0; i < 200; ++i) xml += "<x/>";
+  xml += "</root>";
+  ASSERT_TRUE(ParseXml(xml, &f->doc).ok());
+  ASSERT_EQ(f->doc.NumNodes(), 201u);
+
+  DenseAccessMap map(f->doc.NumNodes(), /*num_subjects=*/1,
+                     /*default_access=*/true);
+  for (NodeId n = 32; n < 128; ++n) map.Set(0, n, false);
+  DolLabeling labeling = DolLabeling::Build(map);
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+  ASSERT_TRUE(
+      SecureStore::Build(f->doc, labeling, &f->file, sopts, &f->store).ok());
+}
+
+uint64_t RunAndCountSkips(FlatFixture* f, const std::string& xpath,
+                          bool use_view) {
+  QueryEvaluator eval(f->store.get());
+  EvalOptions opts;
+  opts.semantics = AccessSemantics::kBinding;
+  opts.subject = 0;
+  opts.use_view = use_view;
+  EXPECT_TRUE(f->store->nok()->buffer_pool()->EvictAll().ok());
+  f->store->nok()->buffer_pool()->mutable_stats()->Reset();
+  auto r = eval.EvaluateXPath(xpath, opts);
+  EXPECT_TRUE(r.ok()) << r.status();
+  // Every accessible x is an answer: 200 children minus the 96 denied.
+  if (r.ok()) EXPECT_EQ(r->answers.size(), 104u);
+  return f->store->io_stats().pages_skipped;
+}
+
+TEST(PagesSkippedExactCountTest, OneIncrementPerDistinctDeadPage) {
+  FlatFixture f;
+  BuildFlatFixture(&f);
+
+  // Expected: the number of distinct wholly-dead pages holding at least
+  // one <x> posting, computed from the store itself.
+  uint64_t expected = 0;
+  for (size_t p = 0; p < f.store->nok()->num_pages(); ++p) {
+    if (f.store->PageWhollyInaccessible(p, 0)) ++expected;
+  }
+  // The denied range [32, 128) is page-aligned at 32 records/page: three
+  // uniform pages, each full of x postings.
+  ASSERT_EQ(expected, 3u);
+
+  for (bool use_view : {true, false}) {
+    // Unanchored single-node query: only the candidate filter skips. The
+    // dead pages hold 96 candidate postings; each page must count once,
+    // not once per candidate.
+    EXPECT_EQ(RunAndCountSkips(&f, "//x", use_view), expected)
+        << "use_view=" << use_view;
+    // Anchored child query: the sibling walk skips — the inline verdict
+    // check plus SkipToNextSibling's run jump must also count each page
+    // exactly once between them.
+    EXPECT_EQ(RunAndCountSkips(&f, "/root/x", use_view), expected)
+        << "use_view=" << use_view;
+  }
+}
+
+}  // namespace
+}  // namespace secxml
