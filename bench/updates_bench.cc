@@ -192,7 +192,9 @@ int Run(int argc, char** argv) {
     pool->mutable_stats()->Reset();
     Timer timer;
     SubjectId added = store->AddSubject(false);
-    SubjectId cloned = store->AddSubjectLike(0);
+    auto cloned_or = store->AddSubjectLike(0);
+    if (!cloned_or.ok()) return 1;
+    SubjectId cloned = *cloned_or;
     if (!store->RemoveSubject(added).ok()) return 1;
     double ms = timer.ElapsedSeconds() * 1000;
     std::printf("\nsubject add/clone/remove (ids %u, %u): %.3f ms, %llu page "

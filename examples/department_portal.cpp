@@ -76,7 +76,13 @@ int main(int argc, char** argv) {
   std::printf("\nonboarding a new hire with user %u's rights:\n", user);
   SubjectId hire = 0;
   for (size_t m = 0; m < stores.size(); ++m) {
-    hire = stores[m]->AddSubjectLike(user);
+    auto hire_or = stores[m]->AddSubjectLike(user);
+    if (!hire_or.ok()) {
+      std::fprintf(stderr, "AddSubjectLike: %s\n",
+                   hire_or.status().ToString().c_str());
+      return 1;
+    }
+    hire = *hire_or;
   }
   std::printf("  new subject id %u added to all %zu modes (codebook-only, "
               "zero page writes)\n", hire, stores.size());

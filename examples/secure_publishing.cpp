@@ -99,7 +99,13 @@ int main(int argc, char** argv) {
 
   // A new subscriber class can be added without touching any page: clone
   // the analyst's rights in the codebook only.
-  SubjectId intern = store->AddSubjectLike(1);
+  auto intern_or = store->AddSubjectLike(1);
+  if (!intern_or.ok()) {
+    std::fprintf(stderr, "AddSubjectLike: %s\n",
+                 intern_or.status().ToString().c_str());
+    return 1;
+  }
+  SubjectId intern = *intern_or;
   auto check = store->Accessible(intern, 0);
   std::printf("\nadded subject %u cloned from the analyst (codebook-only); "
               "root accessible: %s\n", intern,

@@ -94,8 +94,10 @@ SubjectId Codebook::AddSubject(bool default_access) {
   return id;
 }
 
-SubjectId Codebook::AddSubjectLike(SubjectId like) {
-  assert(like < num_subjects_);
+Result<SubjectId> Codebook::AddSubjectLike(SubjectId like) {
+  if (like >= num_subjects_) {
+    return Status::InvalidArgument("no such subject to copy rights from");
+  }
   SubjectId id = static_cast<SubjectId>(num_subjects_);
   ++num_subjects_;
   for (BitVector& entry : entries_) entry.PushBack(entry.Get(like));

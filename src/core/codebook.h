@@ -48,9 +48,13 @@ class Codebook {
   /// number of query threads may call it (and Entry/Find/num_subjects)
   /// concurrently as long as no thread mutates the codebook (Intern,
   /// Add/RemoveSubject) at the same time.
+  ///
+  /// Fails closed: an out-of-range code (corrupt page bytes, stale caller
+  /// state) or subject denies access instead of reading out of bounds —
+  /// this check runs against values decoded straight from disk pages, so
+  /// it must stay total in release builds.
   bool Accessible(AccessCodeId code, SubjectId subject) const {
-    SECXML_DCHECK(code < entries_.size());
-    SECXML_DCHECK(subject < num_subjects_);
+    if (code >= entries_.size() || subject >= num_subjects_) return false;
     return entries_[code].GetUnchecked(subject);
   }
 
@@ -60,8 +64,10 @@ class Codebook {
   SubjectId AddSubject(bool default_access);
 
   /// Appends a new subject whose rights are copied from `like`; also
-  /// codebook-only.
-  SubjectId AddSubjectLike(SubjectId like);
+  /// codebook-only. Fails with InvalidArgument if `like` is not an existing
+  /// subject — subject ids arrive from administrative callers outside the
+  /// store, so this path must reject bad ids instead of asserting.
+  Result<SubjectId> AddSubjectLike(SubjectId like);
 
   /// Removes a subject column from every entry. Entries that become
   /// identical are left in place (ids must stay stable); the dictionary

@@ -65,7 +65,7 @@ DolLabeling DolLabeling::BuildFromRuns(const RunAccessMap& map) {
 }
 
 size_t DolLabeling::TransitionIndexFor(NodeId node) const {
-  assert(!transitions_.empty());
+  // Caller guarantees transitions_ is non-empty.
   // Last index with transitions_[idx].node <= node.
   size_t lo = 0, hi = transitions_.size();
   while (hi - lo > 1) {
@@ -80,7 +80,11 @@ size_t DolLabeling::TransitionIndexFor(NodeId node) const {
 }
 
 AccessCodeId DolLabeling::CodeAt(NodeId node) const {
-  assert(node < num_nodes_);
+  // Fail closed instead of asserting: an empty labeling or an out-of-range
+  // node (corrupt caller state) yields the invalid code, which
+  // Codebook::Accessible denies — release builds must not read out of
+  // bounds here.
+  if (transitions_.empty() || node >= num_nodes_) return kInvalidAccessCode;
   return transitions_[TransitionIndexFor(node)].code;
 }
 

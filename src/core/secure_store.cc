@@ -192,6 +192,9 @@ Result<NodeId> SecureStore::InsertSubtree(NodeId parent, NodeId after,
   if (fragment_labeling.codebook().num_subjects() != codebook_.num_subjects()) {
     return Status::InvalidArgument("fragment has a different subject set");
   }
+  // A malformed labeling (no transition at node 0, descending nodes) would
+  // otherwise make the CodeAt calls below misresolve codes.
+  SECXML_RETURN_NOT_OK(fragment_labeling.CheckInvariants());
   // Re-intern the fragment's codes into this store's codebook once.
   std::unordered_map<AccessCodeId, uint32_t> mapped;
   auto code_of = [this, &fragment_labeling, &mapped](NodeId f) -> uint32_t {
@@ -297,6 +300,7 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
     SECXML_ASSIGN_OR_RETURN(PageHandle handle,
                             nok_->buffer_pool()->Fetch(info.page_id));
     NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
     uint32_t code = header.first_code;
     uint32_t next_transition = 0;
     DolTransition trans{};

@@ -115,7 +115,8 @@ class SecureStore {
   }
 
   /// Adds a subject whose rights mirror an existing subject's; codebook-only.
-  SubjectId AddSubjectLike(SubjectId like) {
+  /// Fails with InvalidArgument if `like` does not exist.
+  Result<SubjectId> AddSubjectLike(SubjectId like) {
     return codebook_.AddSubjectLike(like);
   }
 

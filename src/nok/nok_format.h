@@ -2,7 +2,9 @@
 #define SECXML_NOK_NOK_FORMAT_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/status.h"
 #include "storage/page.h"
 #include "xml/document.h"
 
@@ -94,6 +96,23 @@ inline constexpr bool PageFits(uint32_t records, uint32_t transitions) {
   return sizeof(NokPageHeader) + static_cast<size_t>(records) * sizeof(NokRecord) +
              static_cast<size_t>(transitions) * sizeof(DolTransition) <=
          kPageSize;
+}
+
+/// Validates a header freshly read from page bytes before its counts are
+/// used to index into the page. Pages can arrive corrupt (bit rot, torn
+/// write, truncated file); trusting num_records/num_transitions from disk
+/// would turn such corruption into out-of-bounds page accesses in release
+/// builds, where asserts are compiled out.
+inline Status CheckOnDiskHeader(const NokPageHeader& header, PageId page_id) {
+  if (header.num_records == 0 ||
+      !PageFits(header.num_records, header.num_transitions)) {
+    return Status::Corruption(
+        "corrupt header on page " + std::to_string(page_id) + ": " +
+        std::to_string(header.num_records) + " records / " +
+        std::to_string(header.num_transitions) +
+        " transitions cannot fit one page");
+  }
+  return Status::OK();
 }
 
 }  // namespace secxml

@@ -321,9 +321,28 @@ void NokStore::SetReadahead(size_t window, size_t workers) {
   }
 }
 
+namespace {
+
+/// Validates that node `n` lies inside the page described by `info`; the
+/// directory entry is trusted (in-memory, validated at open), the node id
+/// is not — corrupt subtree_size fields can aim navigation anywhere.
+Status CheckNodeInPage(const NokStore::PageInfo& info, NodeId n) {
+  if (n < info.first_node || n - info.first_node >= info.num_records) {
+    return Status::Corruption("node " + std::to_string(n) +
+                              " lies outside page " +
+                              std::to_string(info.page_id) +
+                              " (corrupt node id or directory)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 size_t NokStore::PageOrdinalOf(NodeId n) const {
-  assert(n < num_nodes_);
-  // Largest ordinal with first_node <= n.
+  // Largest ordinal with first_node <= n. Total for any n (a corrupt or
+  // out-of-range id maps to the last page and is rejected downstream by
+  // CheckNodeInPage) so release builds never index out of bounds here.
+  if (pages_.empty()) return 0;
   size_t lo = 0, hi = pages_.size();
   while (hi - lo > 1) {
     size_t mid = (lo + hi) / 2;
@@ -345,8 +364,12 @@ Result<NokRecord> NokStore::Record(NodeId n) {
 }
 
 Result<NokRecord> NokStore::RecordInPage(size_t ordinal, NodeId n) {
+  if (ordinal >= pages_.size()) {
+    return Status::Corruption("page ordinal " + std::to_string(ordinal) +
+                              " out of range");
+  }
   const PageInfo& info = pages_[ordinal];
-  SECXML_DCHECK(n >= info.first_node && n - info.first_node < info.num_records);
+  SECXML_RETURN_NOT_OK(CheckNodeInPage(info, n));
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t slot = n - info.first_node;
   return handle.page().ReadAt<NokRecord>(RecordOffset(slot));
@@ -362,14 +385,19 @@ Status NokStore::RecordAndCode(NodeId n, NokRecord* record, uint32_t* code) {
 
 Status NokStore::RecordAndCodeInPage(size_t ordinal, NodeId n,
                                      NokRecord* record, uint32_t* code) {
+  if (ordinal >= pages_.size()) {
+    return Status::Corruption("page ordinal " + std::to_string(ordinal) +
+                              " out of range");
+  }
   const PageInfo& info = pages_[ordinal];
-  SECXML_DCHECK(n >= info.first_node && n - info.first_node < info.num_records);
+  SECXML_RETURN_NOT_OK(CheckNodeInPage(info, n));
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t slot = n - info.first_node;
   *record = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
   *code = info.first_code;
   if (info.change_bit && slot > 0) {
     NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
     for (uint32_t i = 0; i < header.num_transitions; ++i) {
       DolTransition t =
           handle.page().ReadAt<DolTransition>(TransitionOffset(i));
@@ -393,6 +421,7 @@ Result<uint32_t> NokStore::AccessCode(NodeId n) {
   if (!info.change_bit || slot == 0) return info.first_code;
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+  SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
   uint32_t code = header.first_code;
   // Transitions are slot-ascending; take the last one at or before `slot`.
   for (uint32_t i = 0; i < header.num_transitions; ++i) {
@@ -433,6 +462,7 @@ Result<std::vector<DolTransition>> NokStore::PageTransitions(size_t ordinal) {
   SECXML_ASSIGN_OR_RETURN(PageHandle handle,
                           pool_.Fetch(pages_[ordinal].page_id));
   NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+  SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, pages_[ordinal].page_id));
   std::vector<DolTransition> result;
   result.reserve(header.num_transitions);
   for (uint32_t i = 0; i < header.num_transitions; ++i) {

@@ -57,7 +57,10 @@ BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
   latencies.reserve(jobs.size());
   int64_t total = 0;
   for (const QueryOutcome& out : batch.outcomes) {
-    if (!out.status.ok()) ++batch.stats.failed;
+    if (!out.status.ok()) {
+      ++batch.stats.failed;
+      if (batch.stats.first_error.ok()) batch.stats.first_error = out.status;
+    }
     latencies.push_back(out.latency_micros);
     total += out.latency_micros;
   }

@@ -49,6 +49,10 @@ struct BatchStats {
   int64_t p95_latency_micros = 0;
   int64_t max_latency_micros = 0;
   size_t failed = 0;
+  /// Status of the first failed outcome in batch order (OK when failed == 0).
+  /// A failed query never poisons the batch; this is a summary for callers
+  /// that only look at stats.
+  Status first_error = Status::OK();
   /// Buffer-pool traffic incurred by this batch (delta of the store's
   /// counters across the run).
   IoStatsSnapshot io;

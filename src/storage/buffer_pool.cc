@@ -94,10 +94,14 @@ void BufferPool::Unpin(size_t frame_index) {
   // state under the latch — between the decrement and the lock another
   // thread may have re-pinned, evicted, or already requeued it. The push is
   // guarded by the current state, so whichever unpinner gets the latch
-  // first does the requeue and the others back off.
+  // first does the requeue and the others back off. The pin load must be
+  // acquire: a stalled unpinner can requeue on behalf of a *later* holder
+  // whose decrement it observes only through this load, and the requeue
+  // makes the frame evictable — without the acquire edge that holder's
+  // page reads would race with the evictor's read into the frame.
   std::lock_guard<std::mutex> lock(sh.mu);
   if (f.id != kInvalidPage && !f.in_lru &&
-      f.pins.load(std::memory_order_relaxed) == 0) {
+      f.pins.load(std::memory_order_acquire) == 0) {
     sh.lru.push_back(frame_index);
     f.lru_pos = std::prev(sh.lru.end());
     f.in_lru = true;
@@ -188,21 +192,38 @@ Result<PageHandle> BufferPool::Allocate() {
 }
 
 Status BufferPool::FlushAll() {
+  Status first_error;
   for (Shard& sh : shards_) {
     std::lock_guard<std::mutex> lock(sh.mu);
     for (const auto& [id, idx] : sh.map) {
       Frame& f = frames_[idx];
+      // A pinned frame may be mid-modification by its holder: writing it
+      // now could persist a torn page, and clearing dirty afterwards would
+      // silently drop the holder's update. Leave it dirty; it is written
+      // back on eviction or a later flush, after the pin is gone. (Acquire
+      // pairs with the unpinner's fetch_sub release, so a frame seen at
+      // zero pins has all of its holder's page writes visible.)
+      if (f.pins.load(std::memory_order_acquire) > 0) continue;
       if (f.dirty.load(std::memory_order_acquire)) {
-        SECXML_RETURN_NOT_OK(file_->WritePage(f.id, f.page));
+        Status write = file_->WritePage(f.id, f.page);
+        if (!write.ok()) {
+          // Keep the frame dirty (no lost update — a later flush retries)
+          // and keep flushing the rest: one bad page must not strand every
+          // other dirty page in memory.
+          if (first_error.ok()) first_error = write;
+          continue;
+        }
         stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
         f.dirty.store(false, std::memory_order_relaxed);
       }
     }
   }
+  SECXML_RETURN_NOT_OK(first_error);
   return file_->Sync();
 }
 
 Status BufferPool::EvictAll() {
+  Status first_error;
   for (Shard& sh : shards_) {
     std::lock_guard<std::mutex> lock(sh.mu);
     std::vector<size_t> victims;
@@ -217,11 +238,17 @@ Status BufferPool::EvictAll() {
       }
     }
     for (size_t idx : victims) {
-      SECXML_RETURN_NOT_OK(EvictFrameLocked(&sh, idx));
+      Status evict = EvictFrameLocked(&sh, idx);
+      if (!evict.ok()) {
+        // Write-back failed: the frame stays resident and dirty (consistent,
+        // retryable), and the sweep moves on to the other victims.
+        if (first_error.ok()) first_error = evict;
+        continue;
+      }
       sh.free_frames.push_back(idx);
     }
   }
-  return Status::OK();
+  return first_error;
 }
 
 }  // namespace secxml

@@ -100,14 +100,19 @@ class BufferPool {
   /// Allocates a fresh page in the file and pins it (zeroed, dirty).
   Result<PageHandle> Allocate();
 
-  /// Writes back all dirty pages (keeps them cached). Requires that no
-  /// other thread is concurrently *modifying* page contents (readers and
-  /// fetches are fine).
+  /// Writes back all dirty *unpinned* pages (keeps them cached). Pinned
+  /// frames are skipped — their holder may be mid-modification, so flushing
+  /// could persist a torn page and lose the holder's update; they are
+  /// written back on eviction or a later flush once unpinned. On a write
+  /// error the frame stays dirty (retryable), the sweep continues over the
+  /// remaining frames, and the first error is returned at the end.
   Status FlushAll();
 
   /// Drops every unpinned page from the cache, writing dirty ones back.
   /// Benchmarks use this to measure cold-cache behaviour. Safe to run
-  /// concurrently with fetches; pinned pages are left alone.
+  /// concurrently with fetches; pinned pages are left alone. A frame whose
+  /// write-back fails stays resident and dirty; the sweep continues and the
+  /// first error is returned at the end.
   Status EvictAll();
 
   const IoStats& stats() const { return stats_; }

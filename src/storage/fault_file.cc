@@ -1,0 +1,248 @@
+#include "storage/fault_file.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+namespace secxml {
+
+namespace {
+
+const char* OpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kAllocate:
+      return "allocate";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultInjectingPagedFile::FaultInjectingPagedFile(PagedFile* base,
+                                                 const FaultOptions& options)
+    : base_(base), options_(options), rng_(options.seed) {}
+
+void FaultInjectingPagedFile::SetOptions(const FaultOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  rng_.Seed(options.seed);
+}
+
+void FaultInjectingPagedFile::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+void FaultInjectingPagedFile::FailNext(FaultOp op, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[static_cast<size_t>(op)] += count;
+}
+
+void FaultInjectingPagedFile::SetPageFault(PageId id, bool fail_reads,
+                                           bool fail_writes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fail_reads) {
+    bad_read_pages_.insert(id);
+  } else {
+    bad_read_pages_.erase(id);
+  }
+  if (fail_writes) {
+    bad_write_pages_.insert(id);
+  } else {
+    bad_write_pages_.erase(id);
+  }
+}
+
+void FaultInjectingPagedFile::ClearPageFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bad_read_pages_.clear();
+  bad_write_pages_.clear();
+}
+
+FaultInjectingPagedFile::Stats FaultInjectingPagedFile::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status FaultInjectingPagedFile::Injected(FaultOp op, PageId id) {
+  std::string msg = std::string("injected ") + OpName(op) + " fault";
+  if (op == FaultOp::kRead || op == FaultOp::kWrite) {
+    msg += " on page " + std::to_string(id);
+  }
+  return Status::IOError(std::move(msg));
+}
+
+bool FaultInjectingPagedFile::DrawLocked(FaultOp op, PageId id) {
+  if (!enabled_) return false;
+  int& armed = armed_[static_cast<size_t>(op)];
+  if (armed > 0) {
+    --armed;
+    return true;
+  }
+  if (op == FaultOp::kRead && bad_read_pages_.count(id) != 0) return true;
+  if (op == FaultOp::kWrite && bad_write_pages_.count(id) != 0) return true;
+  double prob = 0;
+  switch (op) {
+    case FaultOp::kRead:
+      prob = options_.read_fault_prob;
+      break;
+    case FaultOp::kWrite:
+      prob = options_.write_fault_prob;
+      break;
+    case FaultOp::kSync:
+      prob = options_.sync_fault_prob;
+      break;
+    case FaultOp::kAllocate:
+      prob = options_.allocate_fault_prob;
+      break;
+  }
+  if (prob <= 0 || !rng_.Bernoulli(prob)) return false;
+  if (options_.persistent) {
+    // The page has gone bad for good; remember it so retries keep failing.
+    if (op == FaultOp::kRead) bad_read_pages_.insert(id);
+    if (op == FaultOp::kWrite) bad_write_pages_.insert(id);
+  }
+  return true;
+}
+
+Result<PageId> FaultInjectingPagedFile::AllocatePage() {
+  bool fault, short_extend;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault = DrawLocked(FaultOp::kAllocate, kInvalidPage);
+    short_extend = fault && options_.short_extends;
+    if (fault) {
+      ++stats_.injected_allocates;
+      if (short_extend) ++stats_.short_extends;
+    }
+  }
+  if (!fault) return base_->AllocatePage();
+  if (short_extend) {
+    // The extend reaches the device but the completion is lost: the base
+    // file grows while the caller sees a failure.
+    (void)base_->AllocatePage();
+  }
+  return Injected(FaultOp::kAllocate, kInvalidPage);
+}
+
+Status FaultInjectingPagedFile::ReadPage(PageId id, Page* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (DrawLocked(FaultOp::kRead, id)) {
+      ++stats_.injected_reads;
+      return Injected(FaultOp::kRead, id);
+    }
+  }
+  return base_->ReadPage(id, out);
+}
+
+Status FaultInjectingPagedFile::WritePage(PageId id, const Page& page) {
+  bool fault, torn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault = DrawLocked(FaultOp::kWrite, id);
+    torn = fault && options_.torn_writes;
+    if (fault) {
+      ++stats_.injected_writes;
+      if (torn) ++stats_.torn_writes;
+    }
+  }
+  if (!fault) return base_->WritePage(id, page);
+  if (torn) {
+    // First half of the new image lands, the rest keeps the old bytes —
+    // the classic torn sector write. Ignore base errors here: the caller
+    // is told the write failed either way.
+    Page old;
+    if (base_->ReadPage(id, &old).ok()) {
+      Page mixed = old;
+      std::copy(page.data.begin(), page.data.begin() + kPageSize / 2,
+                mixed.data.begin());
+      (void)base_->WritePage(id, mixed);
+    }
+  }
+  return Injected(FaultOp::kWrite, id);
+}
+
+Status FaultInjectingPagedFile::Sync() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (DrawLocked(FaultOp::kSync, kInvalidPage)) {
+      ++stats_.injected_syncs;
+      return Injected(FaultOp::kSync, kInvalidPage);
+    }
+  }
+  return base_->Sync();
+}
+
+RetryingPagedFile::RetryingPagedFile(PagedFile* base,
+                                     const RetryOptions& options)
+    : base_(base), options_(options) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+RetryingPagedFile::Stats RetryingPagedFile::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+template <typename Op>
+Status RetryingPagedFile::WithRetry(Op&& op) {
+  std::chrono::microseconds backoff = options_.initial_backoff;
+  uint64_t attempts_used = 0;
+  Status st;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++attempts_used;
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
+    }
+    st = op();
+    // Only an I/O error is plausibly transient; every other code describes
+    // the request itself and retrying would just repeat it.
+    if (st.ok() || st.code() != StatusCode::kIOError) break;
+  }
+  if (attempts_used > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.retries += attempts_used;
+    if (st.ok()) {
+      ++stats_.recovered;
+    } else {
+      ++stats_.gave_up;
+    }
+  }
+  return st;
+}
+
+Result<PageId> RetryingPagedFile::AllocatePage() {
+  PageId id = kInvalidPage;
+  Status st = WithRetry([&]() -> Status {
+    Result<PageId> r = base_->AllocatePage();
+    if (!r.ok()) return r.status();
+    id = *r;
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return id;
+}
+
+Status RetryingPagedFile::ReadPage(PageId id, Page* out) {
+  return WithRetry([&] { return base_->ReadPage(id, out); });
+}
+
+Status RetryingPagedFile::WritePage(PageId id, const Page& page) {
+  return WithRetry([&] { return base_->WritePage(id, page); });
+}
+
+Status RetryingPagedFile::Sync() {
+  return WithRetry([&] { return base_->Sync(); });
+}
+
+}  // namespace secxml

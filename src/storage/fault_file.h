@@ -1,0 +1,172 @@
+#ifndef SECXML_STORAGE_FAULT_FILE_H_
+#define SECXML_STORAGE_FAULT_FILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/paged_file.h"
+
+namespace secxml {
+
+/// Which PagedFile operation a fault targets.
+enum class FaultOp : uint8_t { kRead = 0, kWrite = 1, kSync = 2, kAllocate = 3 };
+
+/// Configuration of a FaultInjectingPagedFile. All probabilities are drawn
+/// from one seeded deterministic RNG, so a given (seed, operation sequence)
+/// pair injects exactly the same faults on every run.
+struct FaultOptions {
+  uint64_t seed = 1;
+  /// Independent per-call fault probabilities (0 disables that class).
+  double read_fault_prob = 0.0;
+  double write_fault_prob = 0.0;
+  double sync_fault_prob = 0.0;
+  double allocate_fault_prob = 0.0;
+  /// Persistent faults: a page that draws a read/write fault is remembered
+  /// and every later read/write of it fails too (a bad-sector model, which
+  /// no amount of retrying cures). Transient (false): every call draws
+  /// independently, so a retry usually succeeds.
+  bool persistent = false;
+  /// Torn writes: an injected write fault first pushes a half-new/half-old
+  /// page image into the base file before reporting failure, modeling a
+  /// sector-granular torn write.
+  bool torn_writes = false;
+  /// Short extends: an injected allocate fault lets the base allocation
+  /// happen before reporting failure, so the file grew but the caller
+  /// believes it did not — a partially applied extend.
+  bool short_extends = false;
+};
+
+/// Decorator that injects deterministic, seeded faults into a base
+/// PagedFile. Stackable anywhere a PagedFile goes (under a BufferPool, under
+/// a RetryingPagedFile, over a LatencyPagedFile). Internally synchronized,
+/// like every PagedFile.
+///
+/// Besides the probabilistic chaos mode configured by FaultOptions, tests
+/// can arm exact one-shot faults (FailNext) and per-page persistent faults
+/// (SetPageFault) for precise error-path coverage. Injected faults always
+/// surface as Status::IOError with an "injected" message, so tests can tell
+/// them from real failures of the base file.
+class FaultInjectingPagedFile final : public PagedFile {
+ public:
+  /// Plain-value counters of injected faults, taken at one instant.
+  struct Stats {
+    uint64_t injected_reads = 0;
+    uint64_t injected_writes = 0;
+    uint64_t injected_syncs = 0;
+    uint64_t injected_allocates = 0;
+    /// Subset of injected_writes that also tore the page in the base file.
+    uint64_t torn_writes = 0;
+    /// Subset of injected_allocates where the base file silently grew.
+    uint64_t short_extends = 0;
+
+    uint64_t total_injected() const {
+      return injected_reads + injected_writes + injected_syncs +
+             injected_allocates;
+    }
+  };
+
+  explicit FaultInjectingPagedFile(PagedFile* base,
+                                   const FaultOptions& options = {});
+
+  PageId NumPages() const override { return base_->NumPages(); }
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+
+  /// Swaps in a new fault configuration (and reseeds the RNG). Lets a test
+  /// build a store fault-free through this file, then turn faults on for
+  /// the query phase.
+  void SetOptions(const FaultOptions& options);
+
+  /// Master switch: while disabled, every call passes straight through
+  /// (armed and per-page faults included). Enabled by construction.
+  void set_enabled(bool enabled);
+
+  /// Arms `count` one-shot faults on `op`: the next `count` calls of that
+  /// kind fail deterministically, regardless of probabilities.
+  void FailNext(FaultOp op, int count = 1);
+
+  /// Marks page `id` persistently faulty for reads and/or writes until
+  /// ClearPageFaults(). Passing false for both clears that page.
+  void SetPageFault(PageId id, bool fail_reads, bool fail_writes);
+
+  /// Clears all per-page persistent faults (explicit and drawn).
+  void ClearPageFaults();
+
+  Stats stats() const;
+
+ private:
+  /// Draws whether this call faults; updates persistent sets and counters.
+  /// Requires mu_ held.
+  bool DrawLocked(FaultOp op, PageId id);
+
+  static Status Injected(FaultOp op, PageId id);
+
+  PagedFile* base_;
+  mutable std::mutex mu_;
+  FaultOptions options_;
+  Rng rng_;
+  bool enabled_ = true;
+  int armed_[4] = {0, 0, 0, 0};
+  std::unordered_set<PageId> bad_read_pages_;
+  std::unordered_set<PageId> bad_write_pages_;
+  Stats stats_;
+};
+
+/// Retry policy of a RetryingPagedFile.
+struct RetryOptions {
+  /// Total attempts per operation (first try included). Must be >= 1.
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles after each failed retry. Zero
+  /// disables sleeping (unit tests).
+  std::chrono::microseconds initial_backoff{0};
+};
+
+/// Decorator that retries transient failures of a base PagedFile with
+/// bounded attempts and exponential backoff. Only Status::IOError is
+/// considered transient (a flaky device or injected transient fault);
+/// OutOfRange, Corruption, and every other code describe the *request*, not
+/// the device, and propagate immediately. Stack it between a BufferPool and
+/// a flaky base so that one transient fault degrades nothing.
+class RetryingPagedFile final : public PagedFile {
+ public:
+  struct Stats {
+    /// Individual retry attempts issued (beyond each operation's first try).
+    uint64_t retries = 0;
+    /// Operations that failed once but succeeded within the budget.
+    uint64_t recovered = 0;
+    /// Operations that exhausted max_attempts and propagated the error.
+    uint64_t gave_up = 0;
+  };
+
+  explicit RetryingPagedFile(PagedFile* base, const RetryOptions& options = {});
+
+  PageId NumPages() const override { return base_->NumPages(); }
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+
+  Stats stats() const;
+
+ private:
+  /// Runs `op` (returning Status) under the retry budget.
+  template <typename Op>
+  Status WithRetry(Op&& op);
+
+  PagedFile* base_;
+  RetryOptions options_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_FAULT_FILE_H_

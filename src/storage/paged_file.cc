@@ -1,5 +1,8 @@
 #include "storage/paged_file.h"
 
+#include <sys/types.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -10,6 +13,13 @@ namespace {
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Seeks to the byte offset of page `id`. off_t arithmetic, so files beyond
+/// 2 GB don't overflow the long used by plain fseek on 32-bit off_t ABIs.
+int SeekToPage(std::FILE* f, PageId id) {
+  return ::fseeko(f, static_cast<off_t>(id) * static_cast<off_t>(kPageSize),
+                  SEEK_SET);
 }
 
 }  // namespace
@@ -51,17 +61,31 @@ Result<std::unique_ptr<FilePagedFile>> FilePagedFile::Open(
     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb+");
   if (f == nullptr) return Errno("cannot open", path);
-  if (std::fseek(f, 0, SEEK_END) != 0) {
+  if (::fseeko(f, 0, SEEK_END) != 0) {
     std::fclose(f);
     return Errno("cannot seek", path);
   }
-  long size = std::ftell(f);
-  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+  off_t size = ::ftello(f);
+  if (size < 0) {
     std::fclose(f);
-    return Status::Corruption("file size of '" + path +
-                              "' is not a multiple of the page size");
+    return Errno("cannot tell size of", path);
   }
-  PageId pages = static_cast<PageId>(size / static_cast<long>(kPageSize));
+  if (size % static_cast<off_t>(kPageSize) != 0) {
+    // A trailing partial page is the signature of an extend that died
+    // between growing the file and completing the page write (power loss,
+    // full disk). The allocation was never acknowledged, so discarding the
+    // fragment restores the last consistent state.
+    off_t aligned = size - size % static_cast<off_t>(kPageSize);
+    if (std::fflush(f) != 0 || ::ftruncate(::fileno(f), aligned) != 0) {
+      std::fclose(f);
+      return Status::Corruption(
+          "file size of '" + path +
+          "' is not a multiple of the page size and the partial tail "
+          "could not be truncated away");
+    }
+    size = aligned;
+  }
+  PageId pages = static_cast<PageId>(size / static_cast<off_t>(kPageSize));
   return std::unique_ptr<FilePagedFile>(new FilePagedFile(f, path, pages));
 }
 
@@ -74,12 +98,23 @@ Result<PageId> FilePagedFile::AllocatePage() {
   Page zero;
   zero.Zero();
   PageId id = num_pages_;
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
+  if (SeekToPage(file_, id) != 0) {
+    std::clearerr(file_);
     return Errno("cannot seek", path_);
   }
+  errno = 0;
   if (std::fwrite(zero.data.data(), kPageSize, 1, file_) != 1) {
-    return Errno("cannot extend", path_);
+    Status failure = Errno("cannot extend", path_);
+    // A short fwrite may have grown the file by a fraction of a page. Left
+    // in place it makes the size non-page-aligned, so every later Open()
+    // would reject the store; truncate back so the failed allocate leaves
+    // no trace. clearerr first: the sticky stdio error flag would otherwise
+    // fail every subsequent call on this FILE*.
+    std::clearerr(file_);
+    (void)std::fflush(file_);
+    (void)::ftruncate(::fileno(file_),
+                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+    return failure;
   }
   ++num_pages_;
   return id;
@@ -90,12 +125,24 @@ Status FilePagedFile::ReadPage(PageId id, Page* out) {
   if (id >= num_pages_) {
     return Status::OutOfRange("read of unallocated page " + std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
+  if (SeekToPage(file_, id) != 0) {
+    std::clearerr(file_);
     return Errno("cannot seek", path_);
   }
+  errno = 0;
   if (std::fread(out->data.data(), kPageSize, 1, file_) != 1) {
-    return Errno("short read from", path_);
+    // EOF means the file is shorter than the directory says (truncated
+    // underneath us) — that is corruption, not a device error, and errno is
+    // stale there, so don't report strerror noise. Either way clear the
+    // sticky stdio flags so one failed read doesn't poison every later
+    // operation on this shared FILE*.
+    bool eof = std::feof(file_) != 0;
+    Status failure =
+        eof ? Status::Corruption("page " + std::to_string(id) + " of '" +
+                                 path_ + "' lies beyond end of file")
+            : Errno("cannot read page " + std::to_string(id) + " from", path_);
+    std::clearerr(file_);
+    return failure;
   }
   return Status::OK();
 }
@@ -106,19 +153,28 @@ Status FilePagedFile::WritePage(PageId id, const Page& page) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
+  if (SeekToPage(file_, id) != 0) {
+    std::clearerr(file_);
     return Errno("cannot seek", path_);
   }
+  errno = 0;
   if (std::fwrite(page.data.data(), kPageSize, 1, file_) != 1) {
-    return Errno("short write to", path_);
+    Status failure =
+        Errno("cannot write page " + std::to_string(id) + " to", path_);
+    std::clearerr(file_);
+    return failure;
   }
   return Status::OK();
 }
 
 Status FilePagedFile::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (std::fflush(file_) != 0) return Errno("cannot flush", path_);
+  errno = 0;
+  if (std::fflush(file_) != 0) {
+    Status failure = Errno("cannot flush", path_);
+    std::clearerr(file_);
+    return failure;
+  }
   return Status::OK();
 }
 

@@ -68,7 +68,9 @@ class FilePagedFile final : public PagedFile {
   /// Creates (truncating) a new paged file at `path`.
   static Result<std::unique_ptr<FilePagedFile>> Create(const std::string& path);
 
-  /// Opens an existing paged file. Fails if the size is not page-aligned.
+  /// Opens an existing paged file. A trailing partial page (the footprint of
+  /// an extend that died mid-write) is truncated away; the open fails only
+  /// if that repair itself fails.
   static Result<std::unique_ptr<FilePagedFile>> Open(const std::string& path);
 
   ~FilePagedFile() override;

@@ -61,18 +61,21 @@ void Readahead::WorkerLoop() {
     queued_.erase(id);
     ++in_flight_;
     lock.unlock();
-    bool ok;
+    Status fetch_status;
     {
       // Fetch, then immediately drop the pin: the page stays resident at
       // the MRU end of its shard's LRU list, so the sweep's synchronous
       // Fetch shortly after is a hit.
       Result<PageHandle> r = pool_->Fetch(id);
-      ok = r.ok();
+      if (!r.ok()) fetch_status = r.status();
     }
     lock.lock();
     --in_flight_;
     ++stats_.completed;
-    if (!ok) ++stats_.failed;
+    if (!fetch_status.ok()) {
+      ++stats_.failed;
+      if (stats_.first_error.ok()) stats_.first_error = fetch_status;
+    }
     if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
   }
 }

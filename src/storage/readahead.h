@@ -40,9 +40,13 @@ class Readahead {
     uint64_t dropped = 0;
     /// Background fetches finished (buffer-pool hit or physical read).
     uint64_t completed = 0;
-    /// Background fetches that returned an error (e.g. shard exhausted);
-    /// harmless — the sweep's own Fetch retries synchronously.
+    /// Background fetches that returned an error (e.g. shard exhausted, or
+    /// an I/O fault); harmless for correctness — the sweep's own Fetch
+    /// retries synchronously — but surfaced so callers can see a device
+    /// going bad even when the foreground path later succeeds.
     uint64_t failed = 0;
+    /// Status of the first failed background fetch (OK when failed == 0).
+    Status first_error = Status::OK();
   };
 
   explicit Readahead(BufferPool* pool, size_t num_workers = 2,

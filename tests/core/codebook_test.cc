@@ -37,6 +37,25 @@ TEST(CodebookTest, FindWithoutIntern) {
   EXPECT_EQ(cb.Find(Bits("10")), code);
 }
 
+TEST(CodebookTest, AddSubjectLikeRejectsUnknownSubject) {
+  Codebook cb(2);
+  auto r = cb.AddSubjectLike(5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cb.num_subjects(), 2u);  // nothing changed
+}
+
+TEST(CodebookTest, AccessibleFailsClosedOnBadInputs) {
+  Codebook cb(2);
+  AccessCodeId code = cb.Intern(Bits("11"));
+  // Out-of-range code or subject (corrupt page bytes, stale caller state)
+  // must deny, never read out of bounds.
+  EXPECT_FALSE(cb.Accessible(code + 100, 0));
+  EXPECT_FALSE(cb.Accessible(kInvalidAccessCode, 0));
+  EXPECT_FALSE(cb.Accessible(code, 7));
+  EXPECT_TRUE(cb.Accessible(code, 0));  // valid inputs still work
+}
+
 TEST(CodebookTest, AddSubjectExtendsEntries) {
   Codebook cb(2);
   AccessCodeId a = cb.Intern(Bits("10"));
@@ -53,8 +72,9 @@ TEST(CodebookTest, AddSubjectLikeCopiesColumn) {
   Codebook cb(2);
   AccessCodeId a = cb.Intern(Bits("10"));
   AccessCodeId b = cb.Intern(Bits("01"));
-  SubjectId s = cb.AddSubjectLike(0);
-  EXPECT_EQ(s, 2u);
+  auto s = cb.AddSubjectLike(0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 2u);
   EXPECT_EQ(cb.Entry(a).ToString(), "101");
   EXPECT_EQ(cb.Entry(b).ToString(), "010");
 }

@@ -118,6 +118,20 @@ TEST(DolLabelingTest, CodeAtBinarySearch) {
 // ---------------------------------------------------------------------
 // Updates and Proposition 1.
 
+TEST(DolLabelingTest, CodeAtFailsClosedOnBadInputs) {
+  // An empty labeling or an out-of-range node yields the invalid code,
+  // which no codebook entry backs — Accessible() then denies.
+  DolLabeling empty;
+  EXPECT_EQ(empty.CodeAt(0), kInvalidAccessCode);
+  DenseAccessMap map(10, 1);
+  for (NodeId n = 0; n < 10; ++n) map.Set(0, n, n < 5);
+  DolLabeling dol = DolLabeling::Build(map);
+  EXPECT_EQ(dol.CodeAt(10), kInvalidAccessCode);
+  EXPECT_EQ(dol.CodeAt(0xffffffffu), kInvalidAccessCode);
+  EXPECT_NE(dol.CodeAt(9), kInvalidAccessCode);
+  EXPECT_FALSE(dol.Accessible(0, 10));
+}
+
 TEST(DolLabelingTest, SetNodeAccessCreatesAtMostTwoTransitions) {
   DenseAccessMap map(20, 2, true);
   DolLabeling dol = DolLabeling::Build(map);

@@ -71,7 +71,9 @@ TEST(SecureStorePersistenceTest, ReopenedStoreEvaluatesQueries) {
 TEST(SecureStorePersistenceTest, SurvivesUpdatesAndSubjectChurn) {
   auto f = MakeFixture(4000, 4);
   ASSERT_TRUE(f->store->SetSubtreeAccess(500, 1, false).ok());
-  SubjectId added = f->store->AddSubjectLike(0);
+  auto added_or = f->store->AddSubjectLike(0);
+  ASSERT_TRUE(added_or.ok());
+  SubjectId added = *added_or;
   ASSERT_TRUE(f->store->RemoveSubject(2).ok());
   ASSERT_TRUE(f->store->Persist().ok());
 

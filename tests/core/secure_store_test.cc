@@ -120,21 +120,22 @@ TEST(SecureStoreTest, AddRemoveSubjectsAreCodebookOnly) {
   auto f = MakeFixture(2000, 2, 23);
   uint64_t writes_before = f->store->io_stats().page_writes;
   SubjectId s2 = f->store->AddSubject(false);
-  SubjectId s3 = f->store->AddSubjectLike(0);
+  auto s3 = f->store->AddSubjectLike(0);
+  ASSERT_TRUE(s3.ok());
   EXPECT_EQ(f->store->io_stats().page_writes, writes_before);
   EXPECT_EQ(s2, 2u);
-  EXPECT_EQ(s3, 3u);
+  EXPECT_EQ(*s3, 3u);
   for (NodeId x = 0; x < f->store->num_nodes(); x += 29) {
     auto a = f->store->Accessible(s2, x);
     ASSERT_TRUE(a.ok());
     EXPECT_FALSE(*a);
-    auto b = f->store->Accessible(s3, x);
+    auto b = f->store->Accessible(*s3, x);
     auto orig = f->store->Accessible(0, x);
     ASSERT_TRUE(b.ok());
     ASSERT_TRUE(orig.ok());
     EXPECT_EQ(*b, *orig);
   }
-  ASSERT_TRUE(f->store->RemoveSubject(s3).ok());
+  ASSERT_TRUE(f->store->RemoveSubject(*s3).ok());
   EXPECT_EQ(f->store->io_stats().page_writes, writes_before);
   EXPECT_EQ(f->store->codebook().num_subjects(), 3u);
 }

@@ -1,0 +1,246 @@
+// Randomized fault-injection differential suite for the secure query stack
+// (run under ASan/TSan via -L fault). The full stack — MemPagedFile under a
+// FaultInjectingPagedFile, optionally under a RetryingPagedFile, under the
+// sharded BufferPool, NokStore, SecureStore, and a 4-worker QueryDriver —
+// is driven with seeded chaos and held to two contracts:
+//
+//  * Transient faults + retry are invisible: every query succeeds and the
+//    answers are identical to the fault-free run of the same batch.
+//  * Persistent faults degrade, never corrupt: each query either succeeds
+//    with the fault-free answer or fails with a clean Status; no pins leak,
+//    no worker deadlocks, and once the faults clear a rerun over the same
+//    (possibly partially warmed) pool matches the baseline exactly — a
+//    failed read must never install a poisoned frame.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/query_driver.h"
+#include "storage/fault_file.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kNumSubjects = 4;
+constexpr size_t kNumThreads = 4;
+
+struct ChaosFixture {
+  Document doc;
+  MemPagedFile base;
+  std::unique_ptr<FaultInjectingPagedFile> fault;
+  std::unique_ptr<RetryingPagedFile> retry;  // null when built without retry
+  std::unique_ptr<SecureStore> store;
+};
+
+// Builds the store fault-free through the final decorator stack (the fault
+// layer starts disabled), so chaos only ever hits the query phase.
+void BuildChaosFixture(uint64_t seed, bool with_retry, ChaosFixture* f) {
+  XMarkOptions xopts;
+  xopts.seed = seed + 500;
+  xopts.target_nodes = 2500;
+  ASSERT_TRUE(GenerateXMark(xopts, &f->doc).ok());
+  SyntheticAclOptions aopts;
+  aopts.seed = seed + 900;
+  aopts.accessibility_ratio = 0.6;
+  IntervalAccessMap map = GenerateSyntheticAclMap(f->doc, kNumSubjects, aopts);
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+
+  f->fault = std::make_unique<FaultInjectingPagedFile>(&f->base);
+  f->fault->set_enabled(false);
+  PagedFile* top = f->fault.get();
+  if (with_retry) {
+    RetryOptions ropts;
+    ropts.max_attempts = 10;  // Bernoulli(0.1)^10: effectively never gives up
+    f->retry = std::make_unique<RetryingPagedFile>(f->fault.get(), ropts);
+    top = f->retry.get();
+  }
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+  // Tiny sharded pool: the batch constantly evicts and re-reads, so faults
+  // hit live query I/O, not a warm cache.
+  sopts.buffer_pool_pages = 16;
+  sopts.buffer_pool_shards = 4;
+  ASSERT_TRUE(
+      SecureStore::Build(f->doc, labeling, top, sopts, &f->store).ok());
+}
+
+std::vector<QueryJob> MakeBatch(const Document& doc, uint64_t seed) {
+  std::vector<QueryJob> jobs;
+  for (int i = 0; i < 48; ++i) {
+    QueryJob job;
+    job.subject = static_cast<SubjectId>(i % kNumSubjects);
+    QueryGenOptions qopts;
+    qopts.seed = seed * 5000 + static_cast<uint64_t>(i);
+    qopts.max_nodes = 2 + i % 5;
+    job.pattern = GenerateTwigQuery(doc, qopts);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+// Runs the batch with faults disabled and caches cold; returns the
+// per-query answers (the differential baseline).
+std::vector<std::vector<NodeId>> RunClean(ChaosFixture* f,
+                                          const std::vector<QueryJob>& jobs,
+                                          AccessSemantics sem) {
+  f->fault->set_enabled(false);
+  f->store->DropVisibilityCaches();
+  EXPECT_TRUE(f->store->nok()->buffer_pool()->EvictAll().ok());
+  QueryDriverOptions dopts;
+  dopts.num_threads = kNumThreads;
+  dopts.semantics = sem;
+  QueryDriver driver(f->store.get(), dopts);
+  BatchResult batch = driver.Run(jobs);
+  EXPECT_EQ(batch.stats.failed, 0u);
+  EXPECT_TRUE(batch.stats.first_error.ok());
+  std::vector<std::vector<NodeId>> answers;
+  answers.reserve(batch.outcomes.size());
+  for (const QueryOutcome& out : batch.outcomes) {
+    EXPECT_TRUE(out.status.ok()) << out.status;
+    answers.push_back(out.result.answers);
+  }
+  return answers;
+}
+
+class FaultInjectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultInjectionTest, TransientFaultsWithRetryAreInvisible) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  ChaosFixture f;
+  BuildChaosFixture(seed, /*with_retry=*/true, &f);
+  std::vector<QueryJob> jobs = MakeBatch(f.doc, seed);
+
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    std::vector<std::vector<NodeId>> want = RunClean(&f, jobs, sem);
+
+    f.fault->set_enabled(false);
+    f.store->DropVisibilityCaches();
+    ASSERT_TRUE(f.store->nok()->buffer_pool()->EvictAll().ok());
+    FaultOptions chaos;
+    chaos.seed = seed * 977 + static_cast<uint64_t>(sem) + 1;
+    chaos.read_fault_prob = 0.1;  // transient: every retry redraws
+    f.fault->SetOptions(chaos);
+    f.fault->set_enabled(true);
+
+    QueryDriverOptions dopts;
+    dopts.num_threads = kNumThreads;
+    dopts.semantics = sem;
+    QueryDriver driver(f.store.get(), dopts);
+    BatchResult batch = driver.Run(jobs);
+
+    EXPECT_GT(f.fault->stats().injected_reads, 0u) << "chaos never fired";
+    EXPECT_GT(f.retry->stats().recovered, 0u);
+    EXPECT_EQ(batch.stats.failed, 0u);
+    EXPECT_TRUE(batch.stats.first_error.ok());
+    ASSERT_EQ(batch.outcomes.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_TRUE(batch.outcomes[i].status.ok()) << batch.outcomes[i].status;
+      EXPECT_EQ(batch.outcomes[i].result.answers, want[i])
+          << "seed " << seed << " query " << i << " semantics "
+          << static_cast<int>(sem) << ": " << jobs[i].pattern.ToString();
+    }
+    EXPECT_EQ(f.store->nok()->buffer_pool()->num_pinned(), 0u);
+  }
+}
+
+TEST_P(FaultInjectionTest, PersistentFaultsFailCleanlyWithoutPoisoning) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  ChaosFixture f;
+  BuildChaosFixture(seed, /*with_retry=*/false, &f);
+  std::vector<QueryJob> jobs = MakeBatch(f.doc, seed + 1);
+
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    std::vector<std::vector<NodeId>> want = RunClean(&f, jobs, sem);
+
+    f.fault->set_enabled(false);
+    f.store->DropVisibilityCaches();
+    ASSERT_TRUE(f.store->nok()->buffer_pool()->EvictAll().ok());
+    FaultOptions chaos;
+    chaos.seed = seed * 1301 + static_cast<uint64_t>(sem) + 1;
+    chaos.read_fault_prob = 0.05;
+    chaos.persistent = true;  // bad sectors: no retry could cure these
+    f.fault->SetOptions(chaos);
+    f.fault->set_enabled(true);
+
+    QueryDriverOptions dopts;
+    dopts.num_threads = kNumThreads;
+    dopts.semantics = sem;
+    QueryDriver driver(f.store.get(), dopts);
+    BatchResult batch = driver.Run(jobs);
+
+    EXPECT_GT(f.fault->stats().injected_reads, 0u) << "chaos never fired";
+    ASSERT_EQ(batch.outcomes.size(), jobs.size());
+    size_t failed = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const QueryOutcome& out = batch.outcomes[i];
+      if (out.status.ok()) {
+        // A query that dodged every bad page must still be exactly right.
+        EXPECT_EQ(out.result.answers, want[i])
+            << "seed " << seed << " query " << i << " semantics "
+            << static_cast<int>(sem);
+      } else {
+        ++failed;
+        EXPECT_EQ(out.status.code(), StatusCode::kIOError) << out.status;
+      }
+    }
+    EXPECT_EQ(batch.stats.failed, failed);
+    EXPECT_EQ(batch.stats.first_error.ok(), failed == 0);
+    // No worker leaked a pin on any error path.
+    EXPECT_EQ(f.store->nok()->buffer_pool()->num_pinned(), 0u);
+
+    // The device heals: with the faults cleared, the same batch over the
+    // same pool must match the baseline without an explicit cache purge —
+    // failed reads never installed a frame, so nothing stale can surface.
+    f.fault->set_enabled(false);
+    f.fault->ClearPageFaults();
+    f.store->DropVisibilityCaches();
+    BatchResult healed = driver.Run(jobs);
+    EXPECT_EQ(healed.stats.failed, 0u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_TRUE(healed.outcomes[i].status.ok()) << healed.outcomes[i].status;
+      EXPECT_EQ(healed.outcomes[i].result.answers, want[i])
+          << "seed " << seed << " query " << i << " semantics "
+          << static_cast<int>(sem) << " (post-heal)";
+    }
+  }
+}
+
+TEST(FaultInjectionTest, PersistFailsCleanlyAndRecovers) {
+  ChaosFixture f;
+  BuildChaosFixture(4242, /*with_retry=*/false, &f);
+  std::vector<QueryJob> jobs = MakeBatch(f.doc, 4242);
+  std::vector<std::vector<NodeId>> want =
+      RunClean(&f, jobs, AccessSemantics::kBinding);
+
+  // A dying sync mid-Persist surfaces as a clean error...
+  f.fault->set_enabled(true);
+  f.fault->FailNext(FaultOp::kSync, 1);
+  Status st = f.store->Persist();
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st;
+  // ...and the store remains fully usable: queries still match, and a
+  // second Persist attempt goes through.
+  f.fault->set_enabled(false);
+  BatchResult batch = QueryDriver(f.store.get(), {}).Run(jobs);
+  EXPECT_EQ(batch.stats.failed, 0u);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(batch.outcomes[i].result.answers, want[i]) << "query " << i;
+  }
+  EXPECT_TRUE(f.store->Persist().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInjectionTest,
+                         ::testing::Range(1, 13));  // 12 seeds
+
+}  // namespace
+}  // namespace secxml

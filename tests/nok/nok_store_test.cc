@@ -315,5 +315,68 @@ TEST(NokStoreTest, RecordOutOfRangeFails) {
   EXPECT_FALSE(store->AccessCode(store->num_nodes()).ok());
 }
 
+TEST(NokStoreTest, PageScopedLookupsFailClosedOnCorruptIds) {
+  MemPagedFile file;
+  Document doc = XMarkDoc(3000);
+  NokStoreOptions options;
+  options.max_records_per_page = 64;
+  auto store = BuildStore(doc, &file, options);
+  ASSERT_GT(store->num_pages(), 2u);
+  // The ordinal lookup is total: even an id far beyond the document maps to
+  // some directory entry (the last page) instead of indexing out of bounds.
+  NodeId bogus = store->num_nodes() + 12345;
+  EXPECT_EQ(store->PageOrdinalOf(bogus), store->num_pages() - 1);
+  // A node belonging to a different page than the claimed ordinal — the
+  // shape a corrupt subtree_size jump produces — is rejected as corruption.
+  NodeId foreign = store->page_infos()[1].first_node;
+  EXPECT_EQ(store->RecordInPage(0, foreign).status().code(),
+            StatusCode::kCorruption);
+  NokRecord rec;
+  uint32_t code;
+  EXPECT_EQ(store->RecordAndCodeInPage(0, foreign, &rec, &code).code(),
+            StatusCode::kCorruption);
+  // So is an ordinal beyond the directory.
+  EXPECT_EQ(store->RecordInPage(store->num_pages() + 7, 0).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NokStoreTest, CorruptOnDiskHeaderIsDetected) {
+  MemPagedFile file;
+  Document doc = XMarkDoc(2000);
+  NokStoreOptions options;
+  options.max_records_per_page = 64;
+  // Alternate codes so pages carry embedded transitions (change bit set).
+  auto store = BuildStore(doc, &file, options,
+                          [](NodeId n) { return n / 7 % 2; });
+  ASSERT_TRUE(store->buffer_pool()->FlushAll().ok());
+  // Blow up the transition count of page 0: TransitionOffset would walk far
+  // outside the page if the count were trusted.
+  PageId target = store->page_infos()[0].page_id;
+  Page p;
+  ASSERT_TRUE(file.ReadPage(target, &p).ok());
+  NokPageHeader header = p.ReadAt<NokPageHeader>(0);
+  header.num_transitions = 0xffff;
+  p.WriteAt(0, header);
+  ASSERT_TRUE(file.WritePage(target, p).ok());
+  ASSERT_TRUE(store->buffer_pool()->EvictAll().ok());
+  EXPECT_EQ(store->PageTransitions(0).status().code(),
+            StatusCode::kCorruption);
+  NodeId last_in_page = store->page_infos()[0].num_records - 1;
+  EXPECT_EQ(store->AccessCode(last_in_page).status().code(),
+            StatusCode::kCorruption);
+  NokRecord rec;
+  uint32_t code;
+  EXPECT_EQ(store->RecordAndCode(last_in_page, &rec, &code).code(),
+            StatusCode::kCorruption);
+  // A zeroed record count is equally impossible for a live page.
+  header.num_transitions = 0;
+  header.num_records = 0;
+  p.WriteAt(0, header);
+  ASSERT_TRUE(file.WritePage(target, p).ok());
+  ASSERT_TRUE(store->buffer_pool()->EvictAll().ok());
+  EXPECT_EQ(store->PageTransitions(0).status().code(),
+            StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace secxml

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/fault_file.h"
+
 namespace secxml {
 namespace {
 
@@ -154,6 +156,104 @@ TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
   EXPECT_EQ(pool.num_pinned(), 1u);
   moved.Release();
   EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST_F(BufferPoolTest, FlushAllSkipsPinnedFrames) {
+  FillFile(2);
+  BufferPool pool(&file_, 2);
+  auto h = pool.Fetch(0);
+  ASSERT_TRUE(h.ok());
+  h->mutable_page()->WriteAt<uint32_t>(0, 999u);
+  h->MarkDirty();
+  // The holder is mid-modification: flushing now would persist a torn page
+  // and clearing the dirty bit would lose the rest of the update.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().page_writes, 0u);
+  Page p;
+  ASSERT_TRUE(file_.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 100u);  // on-disk image untouched
+  h->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().page_writes, 1u);
+  ASSERT_TRUE(file_.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 999u);  // written once unpinned
+}
+
+TEST_F(BufferPoolTest, FetchFailureReturnsFrameToFreeList) {
+  FillFile(2);
+  FaultInjectingPagedFile fault(&file_);
+  BufferPool pool(&fault, 2);
+  fault.FailNext(FaultOp::kRead, 1);
+  auto h = pool.Fetch(0);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kIOError);
+  // No leaked pin, no half-installed frame.
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  EXPECT_EQ(pool.num_cached(), 0u);
+  // Both frames still usable, and the failed page was not cached: the next
+  // fetch re-reads it (and gets fresh bytes, not a poisoned image).
+  auto h0 = pool.Fetch(0);
+  ASSERT_TRUE(h0.ok());
+  EXPECT_EQ(h0->page().ReadAt<uint32_t>(0), 100u);
+  auto h1 = pool.Fetch(1);
+  ASSERT_TRUE(h1.ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllContinuesPastWriteError) {
+  FillFile(3);
+  FaultInjectingPagedFile fault(&file_);
+  BufferPool pool(&fault, 3);
+  for (PageId i = 0; i < 3; ++i) {
+    auto h = pool.Fetch(i);
+    ASSERT_TRUE(h.ok());
+    h->mutable_page()->WriteAt<uint32_t>(0, 200u + i);
+    h->MarkDirty();
+  }
+  fault.SetPageFault(1, /*fail_reads=*/false, /*fail_writes=*/true);
+  Status st = pool.FlushAll();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // The healthy pages were not abandoned because of the sick one.
+  Page p;
+  ASSERT_TRUE(file_.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 200u);
+  ASSERT_TRUE(file_.ReadPage(2, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 202u);
+  ASSERT_TRUE(file_.ReadPage(1, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 101u);  // failed write changed nothing
+  // The failed frame stayed dirty: once the fault clears, a flush retries
+  // it and nothing is lost.
+  fault.ClearPageFaults();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(file_.ReadPage(1, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 201u);
+}
+
+TEST_F(BufferPoolTest, EvictAllContinuesPastWriteError) {
+  FillFile(3);
+  FaultInjectingPagedFile fault(&file_);
+  BufferPool pool(&fault, 3);
+  for (PageId i = 0; i < 3; ++i) {
+    auto h = pool.Fetch(i);
+    ASSERT_TRUE(h.ok());
+    h->mutable_page()->WriteAt<uint32_t>(0, 300u + i);
+    h->MarkDirty();
+  }
+  fault.SetPageFault(1, /*fail_reads=*/false, /*fail_writes=*/true);
+  Status st = pool.EvictAll();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // Healthy frames were evicted (written back and dropped); the failed one
+  // stays resident and dirty rather than losing its update.
+  EXPECT_EQ(pool.num_cached(), 1u);
+  Page p;
+  ASSERT_TRUE(file_.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 300u);
+  ASSERT_TRUE(file_.ReadPage(2, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 302u);
+  fault.ClearPageFaults();
+  ASSERT_TRUE(pool.EvictAll().ok());
+  EXPECT_EQ(pool.num_cached(), 0u);
+  ASSERT_TRUE(file_.ReadPage(1, &p).ok());
+  EXPECT_EQ(p.ReadAt<uint32_t>(0), 301u);
 }
 
 TEST_F(BufferPoolTest, FetchUnallocatedPageFails) {

@@ -1,0 +1,231 @@
+#include "storage/fault_file.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace secxml {
+namespace {
+
+// Fills `base` with `n` pages, page i filled with byte (i * 13 + 1).
+void FillBase(MemPagedFile* base, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto id = base->AllocatePage();
+    EXPECT_TRUE(id.ok());
+    Page p;
+    p.data.fill(static_cast<uint8_t>(i * 13 + 1));
+    EXPECT_TRUE(base->WritePage(*id, p).ok());
+  }
+}
+
+TEST(FaultInjectingPagedFileTest, PassesThroughWithoutFaults) {
+  MemPagedFile base;
+  FillBase(&base, 3);
+  FaultInjectingPagedFile fault(&base);
+  EXPECT_EQ(fault.NumPages(), 3u);
+  Page p;
+  ASSERT_TRUE(fault.ReadPage(1, &p).ok());
+  EXPECT_EQ(p.data[0], 1 * 13 + 1);
+  ASSERT_TRUE(fault.WritePage(1, p).ok());
+  ASSERT_TRUE(fault.Sync().ok());
+  ASSERT_TRUE(fault.AllocatePage().ok());
+  EXPECT_EQ(fault.stats().total_injected(), 0u);
+}
+
+TEST(FaultInjectingPagedFileTest, FailNextArmsExactCount) {
+  MemPagedFile base;
+  FillBase(&base, 2);
+  FaultInjectingPagedFile fault(&base);
+  fault.FailNext(FaultOp::kRead, 2);
+  Page p;
+  Status st = fault.ReadPage(0, &p);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("injected"), std::string::npos);
+  EXPECT_EQ(fault.ReadPage(1, &p).code(), StatusCode::kIOError);
+  // Third read passes; other operation kinds were never armed.
+  EXPECT_TRUE(fault.ReadPage(0, &p).ok());
+  EXPECT_TRUE(fault.WritePage(0, p).ok());
+  EXPECT_TRUE(fault.Sync().ok());
+  EXPECT_EQ(fault.stats().injected_reads, 2u);
+  EXPECT_EQ(fault.stats().total_injected(), 2u);
+}
+
+TEST(FaultInjectingPagedFileTest, ProbabilityOneFailsEverything) {
+  MemPagedFile base;
+  FillBase(&base, 2);
+  FaultOptions opts;
+  opts.read_fault_prob = 1.0;
+  opts.write_fault_prob = 1.0;
+  opts.sync_fault_prob = 1.0;
+  opts.allocate_fault_prob = 1.0;
+  FaultInjectingPagedFile fault(&base, opts);
+  Page p;
+  EXPECT_EQ(fault.ReadPage(0, &p).code(), StatusCode::kIOError);
+  EXPECT_EQ(fault.WritePage(0, p).code(), StatusCode::kIOError);
+  EXPECT_EQ(fault.Sync().code(), StatusCode::kIOError);
+  EXPECT_FALSE(fault.AllocatePage().ok());
+  // Without short_extends the base must not have grown.
+  EXPECT_EQ(base.NumPages(), 2u);
+  EXPECT_EQ(fault.stats().total_injected(), 4u);
+}
+
+TEST(FaultInjectingPagedFileTest, DeterministicBySeed) {
+  auto trace = [](uint64_t seed) {
+    MemPagedFile base;
+    FillBase(&base, 4);
+    FaultOptions opts;
+    opts.seed = seed;
+    opts.read_fault_prob = 0.3;
+    FaultInjectingPagedFile fault(&base, opts);
+    std::vector<bool> outcomes;
+    Page p;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(fault.ReadPage(static_cast<PageId>(i % 4), &p).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  EXPECT_NE(trace(7), trace(8));
+}
+
+TEST(FaultInjectingPagedFileTest, DisableBypassesEvenArmedFaults) {
+  MemPagedFile base;
+  FillBase(&base, 1);
+  FaultOptions opts;
+  opts.read_fault_prob = 1.0;
+  FaultInjectingPagedFile fault(&base, opts);
+  fault.FailNext(FaultOp::kWrite, 1);
+  fault.SetPageFault(0, /*fail_reads=*/true, /*fail_writes=*/false);
+  fault.set_enabled(false);
+  Page p;
+  EXPECT_TRUE(fault.ReadPage(0, &p).ok());
+  EXPECT_TRUE(fault.WritePage(0, p).ok());
+  fault.set_enabled(true);
+  EXPECT_EQ(fault.ReadPage(0, &p).code(), StatusCode::kIOError);
+}
+
+TEST(FaultInjectingPagedFileTest, PageFaultsArePersistentUntilCleared) {
+  MemPagedFile base;
+  FillBase(&base, 3);
+  FaultInjectingPagedFile fault(&base);
+  fault.SetPageFault(1, /*fail_reads=*/true, /*fail_writes=*/true);
+  Page p;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fault.ReadPage(1, &p).code(), StatusCode::kIOError);
+    EXPECT_EQ(fault.WritePage(1, p).code(), StatusCode::kIOError);
+  }
+  EXPECT_TRUE(fault.ReadPage(0, &p).ok());
+  EXPECT_TRUE(fault.ReadPage(2, &p).ok());
+  fault.ClearPageFaults();
+  EXPECT_TRUE(fault.ReadPage(1, &p).ok());
+  EXPECT_TRUE(fault.WritePage(1, p).ok());
+}
+
+TEST(FaultInjectingPagedFileTest, PersistentModeRemembersDrawnPages) {
+  MemPagedFile base;
+  FillBase(&base, 1);
+  FaultOptions opts;
+  opts.read_fault_prob = 1.0;
+  opts.persistent = true;
+  FaultInjectingPagedFile fault(&base, opts);
+  Page p;
+  EXPECT_EQ(fault.ReadPage(0, &p).code(), StatusCode::kIOError);
+  // Drop the probability to zero: the page stays bad (bad-sector model).
+  FaultOptions calm;
+  calm.persistent = true;
+  fault.SetOptions(calm);
+  EXPECT_EQ(fault.ReadPage(0, &p).code(), StatusCode::kIOError);
+  fault.ClearPageFaults();
+  EXPECT_TRUE(fault.ReadPage(0, &p).ok());
+}
+
+TEST(FaultInjectingPagedFileTest, TornWriteLeavesMixedImage) {
+  MemPagedFile base;
+  FillBase(&base, 1);
+  FaultOptions opts;
+  opts.torn_writes = true;
+  FaultInjectingPagedFile fault(&base, opts);
+  fault.FailNext(FaultOp::kWrite, 1);
+  Page neu;
+  neu.data.fill(0xee);
+  EXPECT_EQ(fault.WritePage(0, neu).code(), StatusCode::kIOError);
+  Page got;
+  ASSERT_TRUE(base.ReadPage(0, &got).ok());
+  for (size_t i = 0; i < kPageSize / 2; ++i) {
+    ASSERT_EQ(got.data[i], 0xee) << "byte " << i;  // new half
+  }
+  for (size_t i = kPageSize / 2; i < kPageSize; ++i) {
+    ASSERT_EQ(got.data[i], 1u) << "byte " << i;  // old half (fill of page 0)
+  }
+  EXPECT_EQ(fault.stats().torn_writes, 1u);
+}
+
+TEST(FaultInjectingPagedFileTest, ShortExtendGrowsBaseBehindCallersBack) {
+  MemPagedFile base;
+  FillBase(&base, 2);
+  FaultOptions opts;
+  opts.short_extends = true;
+  FaultInjectingPagedFile fault(&base, opts);
+  fault.FailNext(FaultOp::kAllocate, 1);
+  EXPECT_FALSE(fault.AllocatePage().ok());
+  EXPECT_EQ(base.NumPages(), 3u);  // grew despite the reported failure
+  EXPECT_EQ(fault.stats().short_extends, 1u);
+}
+
+TEST(RetryingPagedFileTest, RecoversFromTransientFaults) {
+  MemPagedFile base;
+  FillBase(&base, 2);
+  FaultInjectingPagedFile fault(&base);
+  RetryOptions ropts;
+  ropts.max_attempts = 3;
+  RetryingPagedFile retry(&fault, ropts);
+
+  fault.FailNext(FaultOp::kRead, 2);
+  Page p;
+  ASSERT_TRUE(retry.ReadPage(0, &p).ok());
+  EXPECT_EQ(p.data[0], 1u);
+  EXPECT_EQ(retry.stats().retries, 2u);
+  EXPECT_EQ(retry.stats().recovered, 1u);
+  EXPECT_EQ(retry.stats().gave_up, 0u);
+
+  fault.FailNext(FaultOp::kWrite, 1);
+  EXPECT_TRUE(retry.WritePage(0, p).ok());
+  fault.FailNext(FaultOp::kSync, 1);
+  EXPECT_TRUE(retry.Sync().ok());
+  fault.FailNext(FaultOp::kAllocate, 1);
+  auto id = retry.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2u);
+  EXPECT_EQ(retry.stats().recovered, 4u);
+}
+
+TEST(RetryingPagedFileTest, GivesUpOnPersistentFaults) {
+  MemPagedFile base;
+  FillBase(&base, 2);
+  FaultInjectingPagedFile fault(&base);
+  fault.SetPageFault(1, /*fail_reads=*/true, /*fail_writes=*/false);
+  RetryOptions ropts;
+  ropts.max_attempts = 4;
+  RetryingPagedFile retry(&fault, ropts);
+  Page p;
+  EXPECT_EQ(retry.ReadPage(1, &p).code(), StatusCode::kIOError);
+  EXPECT_EQ(retry.stats().retries, 3u);  // max_attempts - first try
+  EXPECT_EQ(retry.stats().gave_up, 1u);
+  EXPECT_EQ(retry.stats().recovered, 0u);
+}
+
+TEST(RetryingPagedFileTest, DoesNotRetryNonTransientErrors) {
+  MemPagedFile base;
+  FillBase(&base, 1);
+  FaultInjectingPagedFile fault(&base);
+  RetryingPagedFile retry(&fault, {});
+  Page p;
+  // OutOfRange describes the request; exactly one attempt must reach the
+  // base (no retries recorded).
+  EXPECT_EQ(retry.ReadPage(9, &p).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(retry.stats().retries, 0u);
+  EXPECT_EQ(retry.stats().gave_up, 0u);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 namespace secxml {
 namespace {
@@ -121,7 +122,9 @@ TEST(FilePagedFileTest, OpenMissingFileFails) {
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
 }
 
-TEST(FilePagedFileTest, OpenMisalignedFileFails) {
+TEST(FilePagedFileTest, OpenRepairsTrailingPartialPage) {
+  // A trailing partial page is what a crash mid-AllocatePage leaves behind.
+  // Open truncates it away and recovers the intact prefix.
   auto path = std::filesystem::temp_directory_path() / "secxml_misaligned.db";
   {
     std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -129,9 +132,48 @@ TEST(FilePagedFileTest, OpenMisalignedFileFails) {
     std::fputs("not a page", f);
     std::fclose(f);
   }
-  auto r = FilePagedFile::Open(path.string());
-  EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  {
+    auto r = FilePagedFile::Open(path.string());
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ((*r)->NumPages(), 0u);
+  }
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(FilePagedFileTest, OpenRepairKeepsIntactPages) {
+  auto path = std::filesystem::temp_directory_path() / "secxml_partial.db";
+  {
+    auto created = FilePagedFile::Create(path.string());
+    ASSERT_TRUE(created.ok());
+    auto& f = *created;
+    ASSERT_TRUE(f->AllocatePage().ok());
+    ASSERT_TRUE(f->AllocatePage().ok());
+    Page p;
+    p.Zero();
+    p.WriteAt<uint32_t>(0, 0xfeedu);
+    ASSERT_TRUE(f->WritePage(1, p).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  {
+    // Simulate a crash mid-extend: append half a page of garbage.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> junk(kPageSize / 2, 'x');
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+    std::fclose(f);
+  }
+  {
+    auto r = FilePagedFile::Open(path.string());
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ((*r)->NumPages(), 2u);
+    Page p;
+    ASSERT_TRUE((*r)->ReadPage(1, &p).ok());
+    EXPECT_EQ(p.ReadAt<uint32_t>(0), 0xfeedu);
+    // The dropped tail must not resurface as a readable page.
+    EXPECT_EQ((*r)->ReadPage(2, &p).code(), StatusCode::kOutOfRange);
+  }
+  EXPECT_EQ(std::filesystem::file_size(path), 2 * kPageSize);
   std::filesystem::remove(path);
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/fault_file.h"
 #include "storage/paged_file.h"
 
 namespace secxml {
@@ -101,6 +102,32 @@ TEST_F(ReadaheadTest, DestructorJoinsWorkers) {
 TEST_F(ReadaheadTest, DrainGuardToleratesNull) {
   { ReadaheadDrainGuard guard(nullptr); }
   SUCCEED();
+}
+
+TEST_F(ReadaheadTest, FailedPrefetchesAreCountedAndSurfaceFirstError) {
+  FillFile(4);
+  FaultInjectingPagedFile fault(&file_);
+  BufferPool pool(&fault, 8);
+  Readahead ra(&pool, /*num_workers=*/1);
+
+  fault.SetPageFault(1, /*fail_reads=*/true, /*fail_writes=*/false);
+  fault.SetPageFault(3, /*fail_reads=*/true, /*fail_writes=*/false);
+  for (PageId id = 0; id < 4; ++id) ra.Request(id);
+  // Drain must not deadlock on failed fetches: every accepted request
+  // completes, successfully or not.
+  ra.Drain();
+  Readahead::Stats stats = ra.stats();
+  EXPECT_EQ(stats.completed, stats.requested);
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.first_error.code(), StatusCode::kIOError);
+  EXPECT_NE(stats.first_error.message().find("injected"), std::string::npos);
+
+  // A failed prefetch degrades, never poisons: the foreground fetch gets
+  // the real bytes once the fault clears.
+  fault.ClearPageFaults();
+  auto h = pool.Fetch(1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->page().ReadAt<uint32_t>(0), 101u);
 }
 
 TEST_F(ReadaheadTest, ConcurrentRequestersAndForegroundFetches) {
