@@ -167,6 +167,7 @@ int Run(int argc, char** argv) {
             .Set("cache_hits", batch.stats.io.cache_hits)
             .Set("pages_skipped", batch.stats.io.pages_skipped)
             .Set("failed", static_cast<uint64_t>(batch.stats.failed))
+            .Set("exec", bench::ExecStatsJson(batch.stats.exec))
             .Set("identical_to_serial", threads == 1 || identical));
   }
 

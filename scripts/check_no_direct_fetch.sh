@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Lint: the query and core layers must reach NoK pages through the execution
+# layer (src/exec), never through the raw scan primitives. The exec layer is
+# where fetch, DOL decode, ACCESS check, check-free elision, dead-page skip
+# and readahead hints are fused — a direct call site bypasses the ExecStats
+# accounting and reintroduces the per-caller access-check copies this layer
+# removed.
+#
+# Whitelisted direct uses (legitimately outside the scan path):
+#   - src/core/secure_store.cc: PageTransitions on the UPDATE/extract paths
+#     (SetRangeAccess page rewrite, CompactCodebook remap, ExtractLabeling);
+#   - src/core/secure_store.{h,cc}: Codebook::Accessible for the point-probe
+#     oracle SecureStore::Accessible and the header-only first_code
+#     classification feeding SubjectView::ClassifyPage;
+#   - src/core/dol_labeling.h: the labeling's own definition of node
+#     accessibility (the exec LabelStreamCursor's non-view fallback).
+#
+# Run from the repo root; exits nonzero listing any violation.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  # $1 = description, stdin = offending grep lines (possibly empty)
+  lines=$(cat)
+  if [ -n "$lines" ]; then
+    echo "DIRECT ACCESS VIOLATION: $1" >&2
+    echo "$lines" >&2
+    fail=1
+  fi
+}
+
+# Raw scan primitives: forbidden everywhere in query/ and core/. These are
+# the calls SecureCursor/PageSweep/PageCodeWalker own.
+grep -rn "RecordAndCode\|FirstAtDepthInPage\|buffer_pool()->Fetch\|buffer_pool_\.Fetch" \
+    src/query src/core --include='*.cc' --include='*.h' \
+  | report "scan primitive outside src/exec (use SecureCursor/PageSweep)"
+
+# Per-node access checks in the query layer: must go through the cursor.
+grep -rn "Codebook::Accessible\|codebook()\.Accessible\|codebook_\.Accessible\|->Accessible(" \
+    src/query --include='*.cc' --include='*.h' \
+  | report "direct access check in src/query (use SecureCursor)"
+
+# Page transition walks in the query layer: PageCodeWalker owns the decode.
+grep -rn "PageTransitions" src/query --include='*.cc' --include='*.h' \
+  | report "direct DOL transition walk in src/query (use PageCodeWalker)"
+
+# In core/, PageTransitions is only legitimate on secure_store.cc's update
+# and extraction paths; everything else must use PageCodeWalker.
+grep -rn "PageTransitions" src/core --include='*.cc' --include='*.h' \
+  | grep -v '^src/core/secure_store\.cc:' \
+  | report "DOL transition walk in src/core outside the update paths"
+
+# Codebook probes in core/ outside the whitelisted definitional sites.
+grep -rn "codebook_\.Accessible\|codebook()\.Accessible" \
+    src/core --include='*.cc' --include='*.h' \
+  | grep -v '^src/core/secure_store\.\(h\|cc\):' \
+  | grep -v '^src/core/dol_labeling\.h:' \
+  | report "codebook probe in src/core outside whitelisted oracle sites"
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_no_direct_fetch: OK (query/core layers go through src/exec)"
+fi
+exit "$fail"

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "storage/readahead.h"
+#include "exec/secure_cursor.h"
 
 namespace secxml {
 
@@ -139,20 +139,14 @@ Status SecureStore::CompactCodebook() {
   std::vector<AccessCodeId> mapping;
   Codebook compacted = codebook_.Compacted(&mapping);
   // The rewrite is one sequential pass; stream the next pages in through
-  // the background prefetcher so the pass overlaps I/O with remapping.
-  Readahead* ra = nok_->readahead();
-  const size_t window = nok_->readahead_window();
-  ReadaheadDrainGuard drain(ra);
-  size_t prefetch_cursor = 0;
+  // the background prefetcher so the pass overlaps I/O with remapping. The
+  // bounded window keeps the prefetch cursor from running far ahead of
+  // pages SetPageAcl may still split or rewrite; the sweep's destructor
+  // drains every in-flight fetch before we return.
+  PageSweep sweep(nok_.get(), /*skip=*/{}, /*stats=*/nullptr,
+                  /*bounded_window=*/true);
   for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
-    if (ra != nullptr && window > 0) {
-      if (prefetch_cursor < ordinal + 1) prefetch_cursor = ordinal + 1;
-      while (prefetch_cursor < nok_->num_pages() &&
-             prefetch_cursor <= ordinal + window) {
-        ra->Request(nok_->page_infos()[prefetch_cursor].page_id);
-        ++prefetch_cursor;
-      }
-    }
+    sweep.PrefetchFrom(ordinal);
     const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
     SECXML_ASSIGN_OR_RETURN(std::vector<DolTransition> ts,
                             nok_->PageTransitions(ordinal));
@@ -230,7 +224,7 @@ Result<std::shared_ptr<const SubjectView>> SecureStore::View(
 }
 
 Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
-    SubjectId subject) {
+    SubjectId subject, ExecStats* stats) {
   if (subject >= codebook_.num_subjects()) {
     return Status::InvalidArgument("no such subject");
   }
@@ -242,13 +236,13 @@ Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
   auto it = hidden_cache_.find(subject);
   if (it != hidden_cache_.end()) return it->second;
   SECXML_ASSIGN_OR_RETURN(std::vector<NodeInterval> hidden,
-                          ComputeHiddenSubtreeIntervals(subject));
+                          ComputeHiddenSubtreeIntervals(subject, stats));
   hidden_cache_.emplace(subject, hidden);
   return hidden;
 }
 
 Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
-    SubjectId subject) {
+    SubjectId subject, ExecStats* stats) {
   // The compiled view answers both per-page verdicts and the inner
   // per-code test with one indexed load each. View() takes view_cache_mu_
   // underneath our caller's hidden_cache_mu_ — the fixed hidden->view
@@ -258,28 +252,19 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
   std::vector<NodeInterval> hidden;
   NodeId blocked_end = 0;  // exclusive end of the current hidden interval
 
-  // Background readahead: the sweep visits pages in document order and
-  // (mostly) fetches those the view cannot prove wholly live, so stream
-  // those in ahead of the cursor. Wholly-live pages are only ever fetched
-  // when a hidden subtree spills into them — rare enough that missing the
-  // prefetch there just costs a synchronous read. The guard drains every
-  // in-flight fetch before we return, so no background read outlives the
-  // sweep (the no-overlap-with-exclusive-updates contract).
-  Readahead* ra = nok_->readahead();
-  const size_t window = nok_->readahead_window();
-  ReadaheadDrainGuard drain(ra);
-  size_t prefetch_cursor = 0;
-  auto prefetch_ahead = [&](size_t from) {
-    if (ra == nullptr || window == 0) return;
-    if (prefetch_cursor < from + 1) prefetch_cursor = from + 1;
-    size_t issued = 0;
-    while (issued < window && prefetch_cursor < nok_->num_pages()) {
-      size_t ord = prefetch_cursor++;
-      if (view->PageCheckFree(ord)) continue;
-      ra->Request(nok_->page_infos()[ord].page_id);
-      ++issued;
-    }
-  };
+  // Page-scoped iteration through the exec layer: the sweep visits pages
+  // in document order and (mostly) fetches those the view cannot prove
+  // wholly live, so stream those in ahead of the cursor. Wholly-live pages
+  // are only ever fetched when a hidden subtree spills into them — rare
+  // enough that missing the prefetch there just costs a synchronous read.
+  // The sweep's destructor drains every in-flight fetch before we return,
+  // so no background read outlives the sweep (the no-overlap-with-
+  // exclusive-updates contract).
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  PageSweep sweep(
+      nok_.get(),
+      [&view](size_t ord) { return view->PageCheckFree(ord); }, stats);
 
   for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
     const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
@@ -288,7 +273,9 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
     // Page skip from the compiled view: a page whose every node is
     // accessible (check-free covers changed pages whose transitions are
     // all live for this subject, which the header alone cannot prove)
-    // beyond any hidden subtree cannot start a new hidden interval.
+    // beyond any hidden subtree cannot start a new hidden interval. Not
+    // counted as pages_skipped — that counter belongs to the matcher's
+    // cursor (see HiddenSubtreeIntervals).
     if (view->PageCheckFree(ordinal) && page_begin >= blocked_end) {
       continue;
     }
@@ -296,32 +283,22 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
     // interval also needs no inspection.
     if (page_end <= blocked_end) continue;
 
-    prefetch_ahead(ordinal);
-    SECXML_ASSIGN_OR_RETURN(PageHandle handle,
-                            nok_->buffer_pool()->Fetch(info.page_id));
+    sweep.PrefetchFrom(ordinal);
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, sweep.Fetch(ordinal));
     NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
     SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
-    uint32_t code = header.first_code;
-    uint32_t next_transition = 0;
-    DolTransition trans{};
-    if (next_transition < header.num_transitions) {
-      trans = handle.page().ReadAt<DolTransition>(
-          TransitionOffset(next_transition));
-    }
+    // The walker must see every slot (codes resolve from the run in
+    // effect), so slots inside an already-hidden subtree still advance it
+    // — they are just not probed or counted.
+    PageCodeWalker walker(handle.page(), header);
     for (uint32_t slot = 0; slot < header.num_records; ++slot) {
-      while (next_transition < header.num_transitions &&
-             trans.slot == slot) {
-        code = trans.code;
-        ++next_transition;
-        if (next_transition < header.num_transitions) {
-          trans = handle.page().ReadAt<DolTransition>(
-              TransitionOffset(next_transition));
-        }
-      }
+      uint32_t code = walker.CodeFor(slot);
       NodeId n = page_begin + slot;
       if (n < blocked_end) continue;  // inside an already-hidden subtree
+      ++stats->nodes_scanned;
+      ++stats->codes_checked;
       if (view->CodeAccessible(code)) continue;
-      NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+      NokRecord rec = walker.RecordAt(slot);
       NodeId subtree_end = n + rec.subtree_size;
       if (!hidden.empty() && hidden.back().end == n) {
         hidden.back().end = subtree_end;  // adjacent subtrees merge

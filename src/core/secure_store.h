@@ -12,6 +12,7 @@
 #include "core/codebook.h"
 #include "core/dol_labeling.h"
 #include "core/subject_view.h"
+#include "exec/exec_stats.h"
 #include "nok/nok_store.h"
 
 namespace secxml {
@@ -64,15 +65,21 @@ class SecureStore {
   /// True if, judging from the in-memory page header alone, every node in
   /// the page is inaccessible to `subject` — the page-skipping test of
   /// Section 3.3. Never performs I/O; false means "must look inside".
+  /// Classification is shared with the compiled SubjectView verdict table
+  /// (SubjectView::ClassifyPage), so the two paths agree by construction.
   bool PageWhollyInaccessible(size_t page_ordinal, SubjectId subject) const {
     const NokStore::PageInfo& info = nok_->page_infos()[page_ordinal];
-    return !info.change_bit && !codebook_.Accessible(info.first_code, subject);
+    return SubjectView::ClassifyPage(
+               info, codebook_.Accessible(info.first_code, subject)) ==
+           SubjectView::PageVerdict::kDead;
   }
 
   /// Likewise, true if the header alone proves every node accessible.
   bool PageWhollyAccessible(size_t page_ordinal, SubjectId subject) const {
     const NokStore::PageInfo& info = nok_->page_infos()[page_ordinal];
-    return !info.change_bit && codebook_.Accessible(info.first_code, subject);
+    return SubjectView::ClassifyPage(
+               info, codebook_.Accessible(info.first_code, subject)) ==
+           SubjectView::PageVerdict::kLive;
   }
 
   // --- Updates (paper Section 3.4) -------------------------------------
@@ -149,7 +156,15 @@ class SecureStore {
   /// pay the sweep once. Safe for concurrent callers: the cache is guarded
   /// by an internal mutex (held across a miss's sweep, so concurrent
   /// view-semantics queries serialize on the first computation).
-  Result<std::vector<NodeInterval>> HiddenSubtreeIntervals(SubjectId subject);
+  ///
+  /// With a non-null `stats`, a cache miss's sweep counts its work there
+  /// (nodes_scanned per probed slot, codes_checked per ACCESS probe,
+  /// fetch_waits and pages_prefetched for its page I/O); a cache hit counts
+  /// nothing. The sweep never counts pages_skipped: skipped-page accounting
+  /// belongs to the matcher's cursor, keeping EvalResult.exec.pages_skipped
+  /// equal to the IoStats::pages_skipped delta of the evaluation.
+  Result<std::vector<NodeInterval>> HiddenSubtreeIntervals(
+      SubjectId subject, ExecStats* stats = nullptr);
 
   /// The compiled access view for `subject` (flat code->accessible table,
   /// per-page verdicts, dead-run skip index — see SubjectView). Compiled on
@@ -175,9 +190,10 @@ class SecureStore {
   SecureStore(std::unique_ptr<NokStore> nok, Codebook codebook)
       : nok_(std::move(nok)), codebook_(std::move(codebook)) {}
 
-  /// Computes hidden intervals without consulting the cache.
+  /// Computes hidden intervals without consulting the cache, counting the
+  /// sweep's work into `stats` when non-null.
   Result<std::vector<NodeInterval>> ComputeHiddenSubtreeIntervals(
-      SubjectId subject);
+      SubjectId subject, ExecStats* stats);
 
   /// Drops everything derived from the current accessibility state: the
   /// per-subject hidden intervals and the compiled SubjectViews. Lock order

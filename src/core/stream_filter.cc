@@ -40,7 +40,7 @@ Status SecureStreamFilter::StartElement(std::string_view name) {
     return Status::InvalidArgument(
         "stream has more elements than the labeling covers");
   }
-  if (!labeling_->Accessible(subject_, node)) {
+  if (!cursor_.Accessible(node)) {
     // View semantics: the whole subtree disappears.
     suppress_depth_ = 1;
     return Status::OK();

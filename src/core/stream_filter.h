@@ -6,6 +6,8 @@
 
 #include "common/status.h"
 #include "core/dol_labeling.h"
+#include "exec/exec_stats.h"
+#include "exec/label_cursor.h"
 #include "xml/sax.h"
 
 namespace secxml {
@@ -27,10 +29,16 @@ namespace secxml {
 class SecureStreamFilter final : public XmlContentHandler {
  public:
   /// `labeling` must cover at least as many nodes as the stream contains
-  /// and outlive the filter. Output is appended to `*out`.
+  /// and outlive the filter. Output is appended to `*out`. Per-node checks
+  /// run through the exec layer's LabelStreamCursor (a monotone
+  /// transition-list cursor plus the subject-compiled byte table);
+  /// `use_view` = false falls back to per-node codebook probes, with
+  /// byte-identical output.
   SecureStreamFilter(const DolLabeling* labeling, SubjectId subject,
-                     std::string* out)
-      : labeling_(labeling), subject_(subject), out_(out) {}
+                     std::string* out, bool use_view = true)
+      : labeling_(labeling),
+        out_(out),
+        cursor_(labeling, subject, use_view) {}
 
   Status StartElement(std::string_view name) override;
   Status Characters(std::string_view text) override;
@@ -40,13 +48,18 @@ class SecureStreamFilter final : public XmlContentHandler {
   /// labeling's document size).
   NodeId nodes_seen() const { return next_node_; }
 
+  /// Execution counters of the underlying cursor: one nodes_scanned /
+  /// codes_checked pair per subtree-root accessibility decision (nodes
+  /// inside suppressed subtrees are never checked).
+  const ExecStats& exec_stats() const { return cursor_.stats(); }
+
  private:
   void CloseStartTagIfOpen();
   void AppendEscaped(std::string_view text);
 
   const DolLabeling* labeling_;
-  SubjectId subject_;
   std::string* out_;
+  LabelStreamCursor cursor_;
 
   NodeId next_node_ = 0;
   /// Number of currently open elements inside a suppressed subtree; 0 means

@@ -1,6 +1,6 @@
 #include "core/subject_view.h"
 
-#include "storage/readahead.h"
+#include "exec/secure_cursor.h"
 
 namespace secxml {
 
@@ -20,14 +20,8 @@ SubjectView SubjectView::Compile(const Codebook& codebook,
 
   view.verdicts_.assign((pages.size() + 3) / 4, 0);
   for (size_t i = 0; i < pages.size(); ++i) {
-    PageVerdict v;
-    if (pages[i].change_bit) {
-      v = PageVerdict::kMixed;
-    } else if (view.code_accessible_[pages[i].first_code] != 0) {
-      v = PageVerdict::kLive;
-    } else {
-      v = PageVerdict::kDead;
-    }
+    PageVerdict v =
+        ClassifyPage(pages[i], view.code_accessible_[pages[i].first_code] != 0);
     view.verdicts_[i >> 2] |= static_cast<uint8_t>(static_cast<uint8_t>(v)
                                                    << ((i & 3) * 2));
   }
@@ -41,36 +35,36 @@ SubjectView SubjectView::Compile(const Codebook& codebook,
 
   // Check-free bits. Header-provable wholly-live pages qualify outright;
   // changed pages qualify only if a scan of their transition list (one
-  // page read, prefetched when the store has readahead) finds no
-  // inaccessible code. Scan failures just leave the bit conservative.
+  // page read, streamed through PageSweep's readahead when the store has
+  // one) finds no inaccessible code. Scan failures just leave the bit
+  // conservative.
   view.check_free_.assign((pages.size() + 7) / 8, 0);
-  Readahead* ra = nok != nullptr ? nok->readahead() : nullptr;
-  size_t window = nok != nullptr ? nok->readahead_window() : 0;
-  ReadaheadDrainGuard drain(ra);
-  size_t prefetch_cursor = 0;
+  std::unique_ptr<PageSweep> sweep;
+  if (nok != nullptr) {
+    // Unchanged pages are decided from the header alone; only changed pages
+    // are worth streaming in.
+    sweep = std::make_unique<PageSweep>(
+        nok, [&pages](size_t ord) { return !pages[ord].change_bit; },
+        /*stats=*/nullptr);
+  }
   for (size_t i = 0; i < pages.size(); ++i) {
     bool free = false;
     if (!pages[i].change_bit) {
       free = view.code_accessible_[pages[i].first_code] != 0;
     } else if (nok != nullptr &&
                view.code_accessible_[pages[i].first_code] != 0) {
-      if (ra != nullptr && window > 0) {
-        if (prefetch_cursor < i + 1) prefetch_cursor = i + 1;
-        size_t issued = 0;
-        while (issued < window && prefetch_cursor < pages.size()) {
-          size_t ord = prefetch_cursor++;
-          if (!pages[ord].change_bit) continue;
-          ra->Request(pages[ord].page_id);
-          ++issued;
-        }
-      }
-      auto transitions = nok->PageTransitions(i);
-      if (transitions.ok()) {
-        free = true;
-        for (const DolTransition& t : *transitions) {
-          if (view.code_accessible_[t.code] == 0) {
-            free = false;
-            break;
+      sweep->PrefetchFrom(i);
+      Result<PageHandle> handle = sweep->Fetch(i);
+      if (handle.ok()) {
+        NokPageHeader header = handle->page().ReadAt<NokPageHeader>(0);
+        if (CheckOnDiskHeader(header, pages[i].page_id).ok()) {
+          PageCodeWalker walker(handle->page(), header);
+          free = true;
+          for (uint32_t t = 0; t < walker.num_transitions(); ++t) {
+            if (view.code_accessible_[walker.TransitionAt(t).code] == 0) {
+              free = false;
+              break;
+            }
           }
         }
       }

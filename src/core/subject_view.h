@@ -64,6 +64,18 @@ class SubjectView {
                              const std::vector<NokStore::PageInfo>& pages,
                              SubjectId subject, NokStore* nok = nullptr);
 
+  /// The one place an in-memory page header is classified into a verdict:
+  /// `first_code_accessible` is the subject's accessibility of
+  /// `info.first_code` (byte-table or codebook probe — the caller's choice).
+  /// Both Compile's verdict table and SecureStore's header-direct
+  /// PageWhollyInaccessible/PageWhollyAccessible call this, so the compiled
+  /// and recomputed page-skip tests cannot drift (Section 3.3).
+  static PageVerdict ClassifyPage(const NokStore::PageInfo& info,
+                                  bool first_code_accessible) {
+    if (info.change_bit) return PageVerdict::kMixed;
+    return first_code_accessible ? PageVerdict::kLive : PageVerdict::kDead;
+  }
+
   SubjectId subject() const { return subject_; }
   size_t num_codes() const { return code_accessible_.size(); }
   size_t num_pages() const { return num_pages_; }

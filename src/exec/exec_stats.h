@@ -1,0 +1,68 @@
+#ifndef SECXML_EXEC_EXEC_STATS_H_
+#define SECXML_EXEC_EXEC_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace secxml {
+
+/// Per-cursor / per-operator execution counters for the secure query path.
+/// Every SecureCursor accumulates one of these while it runs; operators roll
+/// their cursors' stats into the query's EvalResult and QueryDriver rolls
+/// queries into BatchStats. The counters make the paper's central claim —
+/// accessibility checks add no I/O to NoK evaluation — a *measured* value
+/// (`access_only_fetches == 0` on the DOL path) instead of an inference.
+///
+/// A single ExecStats is only ever written by one thread (each worker owns
+/// its cursors); aggregation happens after workers join, so plain uint64
+/// fields suffice.
+struct ExecStats {
+  /// Records materialized by a cursor (candidates, children, swept slots).
+  uint64_t nodes_scanned = 0;
+  /// ACCESS checks actually performed (a DOL code decoded and probed).
+  uint64_t codes_checked = 0;
+  /// ACCESS checks elided outright because the page is check-free in the
+  /// subject-compiled view (record fetched, code never decoded).
+  uint64_t checks_elided = 0;
+  /// Distinct page loads avoided via wholly-dead page verdicts (the
+  /// Section 3.3 page skip). Matches IoStats::pages_skipped accounting.
+  uint64_t pages_skipped = 0;
+  /// Pages handed to the background readahead by this cursor.
+  uint64_t pages_prefetched = 0;
+  /// Buffer-pool fetches that had to wait on a physical read (misses);
+  /// cache hits and skipped pages cost no wait.
+  uint64_t fetch_waits = 0;
+  /// Page fetches issued *solely* to resolve an access code, i.e. I/O the
+  /// structural scan would not have done anyway. Structurally zero for the
+  /// DOL cursor (the code is decoded from the record's own page within the
+  /// same fetch); a non-zero value means the zero-extra-I/O property broke.
+  uint64_t access_only_fetches = 0;
+
+  ExecStats& operator+=(const ExecStats& o) {
+    nodes_scanned += o.nodes_scanned;
+    codes_checked += o.codes_checked;
+    checks_elided += o.checks_elided;
+    pages_skipped += o.pages_skipped;
+    pages_prefetched += o.pages_prefetched;
+    fetch_waits += o.fetch_waits;
+    access_only_fetches += o.access_only_fetches;
+    return *this;
+  }
+};
+
+/// One named operator's contribution to a query (scan, visibility, join).
+struct OperatorStats {
+  const char* op = "";
+  ExecStats stats;
+};
+
+/// Rolls a per-operator breakdown up into one total.
+inline ExecStats RollUp(const std::vector<OperatorStats>& operators) {
+  ExecStats total;
+  for (const OperatorStats& o : operators) total += o.stats;
+  return total;
+}
+
+}  // namespace secxml
+
+#endif  // SECXML_EXEC_EXEC_STATS_H_

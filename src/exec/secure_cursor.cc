@@ -1,0 +1,286 @@
+#include "exec/secure_cursor.h"
+
+#include <string>
+
+namespace secxml {
+
+namespace {
+
+/// Mirror of the store's node-in-page validation: the directory entry is
+/// trusted (in-memory, validated at open), the node id is not — corrupt
+/// subtree_size fields can aim navigation anywhere.
+Status CheckNodeInPage(const NokStore::PageInfo& info, NodeId n) {
+  if (n < info.first_node || n - info.first_node >= info.num_records) {
+    return Status::Corruption("node " + std::to_string(n) +
+                              " lies outside page " +
+                              std::to_string(info.page_id) +
+                              " (corrupt node id or directory)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SecureCursor::Attach() {
+  view_holder_.reset();
+  view_ = nullptr;
+  if (options_.secure && options_.use_view) {
+    SECXML_ASSIGN_OR_RETURN(view_holder_, store_->View(options_.subject));
+    view_ = view_holder_.get();
+  }
+  return Status::OK();
+}
+
+void SecureCursor::BeginScan() {
+  if (options_.secure && options_.page_skip) {
+    skip_counted_.assign(store_->nok()->num_pages(), 0);
+  } else {
+    skip_counted_.clear();
+  }
+}
+
+void SecureCursor::CountSkippedPage(size_t ordinal) {
+  if (ordinal < skip_counted_.size() && !skip_counted_[ordinal]) {
+    skip_counted_[ordinal] = 1;
+    ++stats_.pages_skipped;
+    ++store_->nok()->buffer_pool()->mutable_stats()->pages_skipped;
+  }
+}
+
+Result<PageHandle> SecureCursor::PinPage(size_t ordinal, NodeId u) {
+  NokStore* nok = store_->nok();
+  if (ordinal >= nok->num_pages()) {
+    return Status::Corruption("page ordinal " + std::to_string(ordinal) +
+                              " out of range");
+  }
+  const NokStore::PageInfo& info = nok->page_infos()[ordinal];
+  SECXML_RETURN_NOT_OK(CheckNodeInPage(info, u));
+  bool miss = false;
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                          nok->buffer_pool()->Fetch(info.page_id, &miss));
+  if (miss) ++stats_.fetch_waits;
+  return handle;
+}
+
+Result<NokRecord> SecureCursor::FetchChecked(size_t ordinal, NodeId u,
+                                             bool* accessible) {
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, PinPage(ordinal, u));
+  const NokStore::PageInfo& info = store_->nok()->page_infos()[ordinal];
+  uint32_t slot = u - info.first_node;
+  NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+  ++stats_.nodes_scanned;
+  if (view_ != nullptr && view_->PageCheckFree(ordinal)) {
+    // Every node of this page is accessible to the subject: the record
+    // fetch stands, the code is never decoded.
+    ++stats_.checks_elided;
+    *accessible = true;
+    return rec;
+  }
+  // The code lives in u's own page (Section 3.3), so resolving it costs no
+  // additional I/O: same pin, a transition walk at worst.
+  uint32_t code = info.first_code;
+  if (info.change_bit && slot > 0) {
+    NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
+    for (uint32_t i = 0; i < header.num_transitions; ++i) {
+      DolTransition t =
+          handle.page().ReadAt<DolTransition>(TransitionOffset(i));
+      if (t.slot > slot) break;
+      code = t.code;
+    }
+  }
+  ++stats_.codes_checked;
+  *accessible = CodeAccessible(code);
+  return rec;
+}
+
+Result<NokRecord> SecureCursor::Fetch(NodeId u) {
+  NokStore* nok = store_->nok();
+  if (u >= nok->num_nodes()) {
+    return Status::OutOfRange("node id " + std::to_string(u) +
+                              " out of range");
+  }
+  size_t ordinal = nok->PageOrdinalOf(u);
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, PinPage(ordinal, u));
+  const NokStore::PageInfo& info = nok->page_infos()[ordinal];
+  ++stats_.nodes_scanned;
+  return handle.page().ReadAt<NokRecord>(
+      RecordOffset(u - info.first_node));
+}
+
+Result<bool> SecureCursor::FetchCandidate(NodeId cand, NokRecord* rec,
+                                          bool* accessible) {
+  *accessible = true;
+  if (!options_.secure) {
+    SECXML_ASSIGN_OR_RETURN(*rec, Fetch(cand));
+    return true;
+  }
+  size_t ordinal = store_->nok()->PageOrdinalOf(cand);
+  if (options_.page_skip && PageWhollyDead(ordinal)) {
+    // The whole page of postings is dead; each distinct page counts once
+    // toward pages_skipped no matter how many candidates fall into it.
+    CountSkippedPage(ordinal);
+    return false;
+  }
+  SECXML_ASSIGN_OR_RETURN(*rec, FetchChecked(ordinal, cand, accessible));
+  return true;
+}
+
+Result<NodeId> SecureCursor::NextSiblingSkippingDead(NodeId u, uint16_t depth,
+                                                     NodeId limit) {
+  NokStore* nok = store_->nok();
+  size_t ordinal = nok->PageOrdinalOf(u) + 1;
+  while (ordinal < nok->num_pages()) {
+    if (view_ != nullptr) {
+      // The skip index jumps the whole run of wholly-dead pages in O(1)
+      // instead of probing each header in turn. Pages of the run before
+      // `limit` are ones we avoided loading; count each (at most once per
+      // scan, same as the probing path).
+      size_t next = view_->NextLivePage(ordinal);
+      for (; ordinal < next; ++ordinal) {
+        if (nok->page_infos()[ordinal].first_node >= limit) {
+          return kInvalidNode;
+        }
+        CountSkippedPage(ordinal);
+      }
+      if (ordinal >= nok->num_pages()) return kInvalidNode;
+    }
+    const NokStore::PageInfo& info = nok->page_infos()[ordinal];
+    if (info.first_node >= limit) return kInvalidNode;
+    if (PageWhollyDead(ordinal)) {
+      // Everything in this page is inaccessible: any sibling inside it
+      // would be pruned anyway, and the records we would need are exactly
+      // the ones the paper's header check lets us avoid reading. (Reached
+      // only without a view; the skip index already stepped past dead
+      // pages above.)
+      CountSkippedPage(ordinal);
+      ++ordinal;
+      continue;
+    }
+    // Probe this live page for the first node at the sibling depth. One
+    // pin; the scanned records are probes, not yields, so they do not
+    // count toward nodes_scanned.
+    bool miss = false;
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                            nok->buffer_pool()->Fetch(info.page_id, &miss));
+    if (miss) ++stats_.fetch_waits;
+    for (uint32_t slot = 0; slot < info.num_records; ++slot) {
+      NodeId n = info.first_node + slot;
+      if (n >= limit) break;
+      NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+      if (rec.depth == depth) return n;
+    }
+    ++ordinal;
+  }
+  return kInvalidNode;
+}
+
+SecureCursor::ChildWalk::ChildWalk(SecureCursor* cursor, NodeId parent,
+                                   const NokRecord& parent_rec)
+    : c_(cursor),
+      next_(NokStore::FirstChild(parent, parent_rec)),
+      parent_end_(parent + parent_rec.subtree_size),
+      child_depth_(static_cast<uint16_t>(parent_rec.depth + 1)) {}
+
+Result<bool> SecureCursor::ChildWalk::Next(NodeId* u, NokRecord* rec,
+                                           bool* accessible) {
+  const Options& opts = c_->options_;
+  NokStore* nok = c_->store_->nok();
+  while (next_ != kInvalidNode) {
+    NodeId n = next_;
+    // ε-NoK: consult the page verdict (compiled or from the in-memory
+    // header) before touching n's page.
+    if (opts.secure && opts.page_skip) {
+      if (n < page_begin_ || n >= page_end_) {
+        page_ordinal_ = nok->PageOrdinalOf(n);
+        const NokStore::PageInfo& info = nok->page_infos()[page_ordinal_];
+        page_begin_ = info.first_node;
+        page_end_ = info.first_node + info.num_records;
+        page_dead_ = c_->PageWhollyDead(page_ordinal_);
+      }
+      if (page_dead_) {
+        c_->CountSkippedPage(page_ordinal_);
+        SECXML_ASSIGN_OR_RETURN(
+            next_, c_->NextSiblingSkippingDead(n, child_depth_, parent_end_));
+        continue;
+      }
+    }
+    *accessible = true;
+    if (opts.secure) {
+      // With page skipping on, the ordinal is the one cached by the verdict
+      // check above.
+      size_t ordinal =
+          opts.page_skip ? page_ordinal_ : nok->PageOrdinalOf(n);
+      SECXML_ASSIGN_OR_RETURN(*rec, c_->FetchChecked(ordinal, n, accessible));
+    } else {
+      SECXML_ASSIGN_OR_RETURN(*rec, c_->Fetch(n));
+    }
+    next_ = NokStore::FollowingSibling(n, *rec, parent_end_);
+    *u = n;
+    return true;
+  }
+  return false;
+}
+
+PageSweep::PageSweep(NokStore* nok, std::function<bool(size_t)> skip,
+                     ExecStats* stats, bool bounded_window)
+    : nok_(nok),
+      ra_(nok->readahead()),
+      window_(nok->readahead_window()),
+      skip_(std::move(skip)),
+      stats_(stats),
+      bounded_window_(bounded_window) {}
+
+PageSweep::~PageSweep() {
+  // No background fetch may outlive the sweep that issued it (the
+  // no-overlap-with-exclusive-updates contract).
+  if (ra_ != nullptr) ra_->Drain();
+}
+
+void PageSweep::PrefetchFrom(size_t ordinal) {
+  if (ra_ == nullptr || window_ == 0) return;
+  if (prefetch_cursor_ < ordinal + 1) prefetch_cursor_ = ordinal + 1;
+  size_t issued = 0;
+  while (issued < window_ && prefetch_cursor_ < nok_->num_pages()) {
+    if (bounded_window_ && prefetch_cursor_ > ordinal + window_) break;
+    size_t ord = prefetch_cursor_++;
+    if (skip_ && skip_(ord)) continue;
+    ra_->Request(nok_->page_infos()[ord].page_id);
+    if (stats_ != nullptr) ++stats_->pages_prefetched;
+    ++issued;
+  }
+}
+
+Result<PageHandle> PageSweep::Fetch(size_t ordinal) {
+  if (ordinal >= nok_->num_pages()) {
+    return Status::OutOfRange("page ordinal out of range");
+  }
+  bool miss = false;
+  SECXML_ASSIGN_OR_RETURN(
+      PageHandle handle,
+      nok_->buffer_pool()->Fetch(nok_->page_infos()[ordinal].page_id, &miss));
+  if (miss && stats_ != nullptr) ++stats_->fetch_waits;
+  return handle;
+}
+
+PageCodeWalker::PageCodeWalker(const Page& page, const NokPageHeader& header)
+    : page_(&page), header_(header), code_(header.first_code) {
+  if (next_transition_ < header_.num_transitions) {
+    pending_ =
+        page_->ReadAt<DolTransition>(TransitionOffset(next_transition_));
+  }
+}
+
+uint32_t PageCodeWalker::CodeFor(uint32_t slot) {
+  while (next_transition_ < header_.num_transitions && pending_.slot <= slot) {
+    code_ = pending_.code;
+    ++next_transition_;
+    if (next_transition_ < header_.num_transitions) {
+      pending_ =
+          page_->ReadAt<DolTransition>(TransitionOffset(next_transition_));
+    }
+  }
+  return code_;
+}
+
+}  // namespace secxml

@@ -1,0 +1,240 @@
+#ifndef SECXML_EXEC_SECURE_CURSOR_H_
+#define SECXML_EXEC_SECURE_CURSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/secure_store.h"
+#include "core/subject_view.h"
+#include "exec/exec_stats.h"
+#include "nok/nok_format.h"
+#include "nok/nok_store.h"
+
+namespace secxml {
+
+/// The one secure scan primitive of the execution layer. A SecureCursor owns
+/// the full ε-NoK access pipeline over NoK document-order pages:
+///
+///   fetch (one buffer-pool pin per record, miss counted as a fetch wait)
+///     → DOL code decode (from the record's own page — never a second fetch,
+///       which is the paper's zero-extra-I/O property, kept honest by the
+///       `access_only_fetches` counter staying 0)
+///     → ACCESS check (one byte load through the subject-compiled view, or
+///       the codebook bit probe when the view is off)
+///     → check-free fast path (pages the view proves wholly accessible skip
+///       the decode and the check entirely)
+///     → dead-page skip (wholly-inaccessible pages are never loaded; runs of
+///       them are jumped through the view's next_live_page index)
+///     → readahead hints (sequential sweeps stream upcoming pages through
+///       the store's background prefetcher; see PageSweep).
+///
+/// Iteration modes:
+///  - document-order: ChildWalk yields a parent's children in order, page
+///    verdicts consulted before each page is touched;
+///  - tag-index-driven: FetchCandidate screens tag-posting candidates
+///    against page verdicts before fetching;
+///  - page-scoped: PageSweep + PageCodeWalker iterate whole pages for the
+///    sequential consumers (hidden-interval sweep, view compilation,
+///    codebook compaction).
+///
+/// Every consumer of secure record access — the NoK matcher, the structural
+/// join's input scans, the visibility sweep, view compilation, the stream
+/// filter (via LabelStreamCursor) — goes through this layer; direct
+/// NokStore/Codebook probing outside it is linted away
+/// (scripts/check_no_direct_fetch.sh).
+///
+/// A cursor is single-threaded (each QueryDriver worker owns its own); the
+/// store underneath is the documented thread-safe read surface. Stats
+/// accumulate in the cursor's ExecStats across scans until reset by the
+/// owner.
+class SecureCursor {
+ public:
+  struct Options {
+    /// Off = the original non-secure NoK scan (records only, no checks).
+    bool secure = false;
+    SubjectId subject = 0;
+    /// Consult page verdicts to skip wholly-inaccessible pages (Sec. 3.3).
+    bool page_skip = true;
+    /// Run checks through the subject-compiled SubjectView; off falls back
+    /// to codebook probes and header recomputation. Identical results.
+    bool use_view = true;
+  };
+
+  SecureCursor(SecureStore* store, const Options& options)
+      : store_(store), options_(options) {}
+
+  /// Acquires the compiled view snapshot for this evaluation (secure +
+  /// use_view only; cached per subject in the store). Call once per query;
+  /// the held shared_ptr keeps the snapshot consistent even if an update
+  /// invalidates the store's cache mid-evaluation.
+  Status Attach();
+
+  /// Begins a fragment-scoped scan: resets the distinct-page dedup map so
+  /// each avoided page counts toward pages_skipped exactly once per scan.
+  void BeginScan();
+
+  // --- Node-at-a-time access -------------------------------------------
+
+  /// Secure fetch of node `u` on the page at `ordinal`: record and access
+  /// verdict from one page pin. On a check-free page the code is never
+  /// decoded (checks_elided); otherwise the code is resolved from the same
+  /// page and probed (codes_checked).
+  Result<NokRecord> FetchChecked(size_t ordinal, NodeId u, bool* accessible);
+
+  /// Non-secure record fetch (plain NoK scan).
+  Result<NokRecord> Fetch(NodeId u);
+
+  /// Tag-index candidate screening: consults the page verdict first; a
+  /// candidate on a wholly-dead page is skipped without loading the page
+  /// (returns false, page counted once). Otherwise fetches and checks like
+  /// FetchChecked. In non-secure mode always fetches with *accessible=true.
+  Result<bool> FetchCandidate(NodeId cand, NokRecord* rec, bool* accessible);
+
+  /// Next sibling of `u` at `depth` within the parent extent `limit`,
+  /// loading no wholly-dead page (runs of dead pages are jumped through the
+  /// view's skip index in O(1)).
+  Result<NodeId> NextSiblingSkippingDead(NodeId u, uint16_t depth,
+                                         NodeId limit);
+
+  /// The inner ACCESS check: one byte load through the compiled view when
+  /// attached, else the codebook bit probe.
+  bool CodeAccessible(uint32_t code) const {
+    return view_ != nullptr
+               ? view_->CodeAccessible(code)
+               : store_->codebook().Accessible(code, options_.subject);
+  }
+
+  /// Page-skip verdict: precompiled when the view is attached, else derived
+  /// from the in-memory header and codebook (one shared classification —
+  /// SubjectView::ClassifyPage — so the two paths cannot drift).
+  bool PageWhollyDead(size_t ordinal) const {
+    return view_ != nullptr ? view_->PageWhollyDead(ordinal)
+                            : store_->PageWhollyInaccessible(ordinal,
+                                                             options_.subject);
+  }
+
+  /// Counts `ordinal` toward pages_skipped (ExecStats and the store's
+  /// IoStats), once per distinct page per scan — the candidate filter, the
+  /// inline sibling skip, and NextSiblingSkippingDead can all reject the
+  /// same page, and each avoided page load counts exactly once.
+  void CountSkippedPage(size_t ordinal);
+
+  /// Document-order child iteration: yields the children of one parent,
+  /// skipping (and counting) wholly-dead pages in secure page-skip mode.
+  /// Inaccessible children on live pages are still yielded (with
+  /// *accessible = false) because the walk needs their subtree size to jump
+  /// to the following sibling.
+  class ChildWalk {
+   public:
+    /// `parent_rec` must be the record of `parent`.
+    ChildWalk(SecureCursor* cursor, NodeId parent,
+              const NokRecord& parent_rec);
+
+    /// Advances to the next child; false when the walk is exhausted.
+    Result<bool> Next(NodeId* u, NokRecord* rec, bool* accessible);
+
+   private:
+    SecureCursor* c_;
+    NodeId next_ = kInvalidNode;
+    NodeId parent_end_ = 0;
+    uint16_t child_depth_ = 0;
+    /// Cached page extent of the last verdict check, so consecutive
+    /// siblings in one page cost no repeated page-table lookups.
+    NodeId page_begin_ = 0, page_end_ = 0;
+    size_t page_ordinal_ = 0;
+    bool page_dead_ = false;
+  };
+
+  const Options& options() const { return options_; }
+  SecureStore* store() { return store_; }
+  const SubjectView* view() const { return view_; }
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  /// Pins the page at `ordinal` after validating that it holds `u`;
+  /// counts a fetch wait when the pin required a physical read.
+  Result<PageHandle> PinPage(size_t ordinal, NodeId u);
+
+  SecureStore* store_;
+  Options options_;
+  /// Compiled view snapshot (null when secure checks run codebook-direct).
+  std::shared_ptr<const SubjectView> view_holder_;
+  const SubjectView* view_ = nullptr;
+  /// Per-scan bitmap of pages already counted as skipped.
+  std::vector<char> skip_counted_;
+  ExecStats stats_;
+};
+
+/// Sequential document-order page sweep with background readahead: the
+/// page-scoped iteration mode shared by the hidden-interval sweep, subject
+/// view compilation, and codebook compaction. Prefetch requests stream
+/// through the store's Readahead (when configured) so device latency
+/// overlaps the per-page computation; the destructor drains every in-flight
+/// fetch, preserving the no-overlap-with-exclusive-updates contract.
+class PageSweep {
+ public:
+  /// Pages for which `skip` returns true are not prefetched (the consumer
+  /// will not fetch them either). `bounded_window` caps the prefetch cursor
+  /// at `ordinal + window` (used by in-place rewriters so prefetching never
+  /// runs far ahead of pages that may still change); unbounded mode issues
+  /// up to `window` not-skipped pages per PrefetchFrom call.
+  PageSweep(NokStore* nok, std::function<bool(size_t)> skip, ExecStats* stats,
+            bool bounded_window = false);
+  ~PageSweep();
+
+  PageSweep(const PageSweep&) = delete;
+  PageSweep& operator=(const PageSweep&) = delete;
+
+  /// Tops up the prefetch window beyond `ordinal`. Cheap no-op when the
+  /// store has no readahead configured.
+  void PrefetchFrom(size_t ordinal);
+
+  /// Pins the page at `ordinal`; counts a fetch wait on a physical read.
+  Result<PageHandle> Fetch(size_t ordinal);
+
+ private:
+  NokStore* nok_;
+  Readahead* ra_;
+  size_t window_;
+  std::function<bool(size_t)> skip_;
+  ExecStats* stats_;
+  bool bounded_window_;
+  size_t prefetch_cursor_ = 0;
+};
+
+/// Decodes one pinned page: walks its records in slot order, resolving each
+/// slot's DOL code from the embedded transition list in O(1) amortized (the
+/// decode step of the cursor pipeline, exposed for page-scoped consumers).
+/// Slots passed to CodeFor must ascend.
+class PageCodeWalker {
+ public:
+  /// `header` must be the page's validated on-disk header (CheckOnDiskHeader).
+  PageCodeWalker(const Page& page, const NokPageHeader& header);
+
+  /// DOL code in effect at `slot`.
+  uint32_t CodeFor(uint32_t slot);
+
+  NokRecord RecordAt(uint32_t slot) const {
+    return page_->ReadAt<NokRecord>(RecordOffset(slot));
+  }
+
+  uint32_t num_transitions() const { return header_.num_transitions; }
+  DolTransition TransitionAt(uint32_t i) const {
+    return page_->ReadAt<DolTransition>(TransitionOffset(i));
+  }
+
+ private:
+  const Page* page_;
+  NokPageHeader header_;
+  uint32_t code_;
+  uint32_t next_transition_ = 0;
+  DolTransition pending_{};
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_EXEC_SECURE_CURSOR_H_

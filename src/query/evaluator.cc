@@ -65,23 +65,42 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
     result.fragment_matches += matches[f].size();
   }
 
-  // View semantics: a fragment root inside a hidden subtree cannot
-  // contribute (every other bound node in the fragment is then visible too,
-  // since fragments are child-edge chains of accessible nodes).
+  // The scan operator is done once every fragment is matched; its counters
+  // are the matcher's cursor stats.
+  result.operators.push_back({"scan", matcher.exec_stats()});
+
+  // Visibility operator (view semantics): a fragment root inside a hidden
+  // subtree cannot contribute (every other bound node in the fragment is
+  // then visible too, since fragments are child-edge chains of accessible
+  // nodes). The hidden-interval sweep's own page I/O is attributed here on
+  // the query that computes it; later queries hit the store's cache.
   if (options.semantics == AccessSemantics::kView) {
-    SECXML_ASSIGN_OR_RETURN(std::vector<NodeInterval> hidden,
-                            store_->HiddenSubtreeIntervals(options.subject));
+    ExecStats vis_stats;
+    SECXML_ASSIGN_OR_RETURN(
+        std::vector<NodeInterval> hidden,
+        store_->HiddenSubtreeIntervals(options.subject, &vis_stats));
     for (size_t f = 0; f < nf; ++f) {
+      // Match roots ascend (candidates are visited in document order), so
+      // the ε-STD visibility filter applies directly; surviving roots map
+      // back to matches with one merge pass.
+      std::vector<NodeId> roots;
+      roots.reserve(matches[f].size());
+      for (const FragmentMatch& m : matches[f]) roots.push_back(m.root);
+      std::vector<NodeId> visible = FilterVisible(hidden, roots, &vis_stats);
       std::vector<FragmentMatch> kept;
-      size_t h = 0;
+      kept.reserve(visible.size());
+      size_t vi = 0;
       for (FragmentMatch& m : matches[f]) {
-        while (h < hidden.size() && hidden[h].end <= m.root) ++h;
-        if (h < hidden.size() && hidden[h].begin <= m.root) continue;
-        kept.push_back(std::move(m));
+        if (vi < visible.size() && visible[vi] == m.root) {
+          kept.push_back(std::move(m));
+          ++vi;
+        }
       }
       matches[f] = std::move(kept);
     }
+    result.operators.push_back({"visibility", vis_stats});
   }
+  ExecStats join_stats;
 
   // Bottom-up validity: a match is valid iff, for every child fragment,
   // some binding of the join-source node has a valid child root in its
@@ -97,6 +116,7 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
         const std::vector<NodeId>& roots = valid_roots[c];
         bool connected = false;
         for (const auto& [b, bend] : m.bindings[child_slot[fi][ci]]) {
+          ++join_stats.nodes_scanned;
           auto it = std::upper_bound(roots.begin(), roots.end(), b);
           if (it != roots.end() && *it < bend) {
             connected = true;
@@ -139,18 +159,20 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
               [](const JoinItem& a, const JoinItem& b) {
                 return a.node < b.node;
               });
-    // Sweep: a match is reachable iff valid and its root lies under some
-    // source (Stack-Tree-Desc semijoin over sorted inputs).
+    // A match is reachable iff valid and its root lies under some source:
+    // the Stack-Tree-Desc semijoin over sorted inputs (match roots ascend),
+    // merged back onto the match list.
+    std::vector<NodeId> roots;
+    roots.reserve(matches[f].size());
+    for (const FragmentMatch& m : matches[f]) roots.push_back(m.root);
+    std::vector<NodeId> under =
+        SemiJoinDescendants(sources, roots, &join_stats);
     reach[f].assign(matches[f].size(), 0);
-    NodeId max_end = 0;
-    size_t si = 0;
+    size_t ui = 0;
     for (size_t mi = 0; mi < matches[f].size(); ++mi) {
-      NodeId root = matches[f][mi].root;
-      while (si < sources.size() && sources[si].node < root) {
-        max_end = std::max(max_end, sources[si].end);
-        ++si;
-      }
-      reach[f][mi] = valid[f][mi] && root < max_end;
+      while (ui < under.size() && under[ui] < roots[mi]) ++ui;
+      reach[f][mi] =
+          valid[f][mi] && ui < under.size() && under[ui] == roots[mi];
     }
   }
 
@@ -167,6 +189,8 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
   result.answers.erase(
       std::unique(result.answers.begin(), result.answers.end()),
       result.answers.end());
+  result.operators.push_back({"join", join_stats});
+  result.exec = RollUp(result.operators);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "core/secure_store.h"
+#include "exec/exec_stats.h"
 #include "query/decomposer.h"
 #include "query/matcher.h"
 #include "query/pattern_tree.h"
@@ -46,6 +47,15 @@ struct EvalResult {
   std::vector<NodeId> answers;
   /// Fragment matches found before joining (diagnostic).
   size_t fragment_matches = 0;
+  /// Per-operator execution counters: "scan" (the ε-NoK matcher's cursor),
+  /// "visibility" (the hidden-interval sweep + root filtering, view
+  /// semantics only; sweep costs appear on the query that computed the
+  /// cached intervals), "join" (validity + reachability semijoins).
+  std::vector<OperatorStats> operators;
+  /// Rollup of `operators`. `exec.access_only_fetches` staying 0 is the
+  /// paper's zero-extra-I/O claim as a measured value; `exec.pages_skipped`
+  /// matches the IoStats::pages_skipped delta of this evaluation.
+  ExecStats exec;
 };
 
 /// Secure twig query evaluator: decomposes the pattern into NoK fragments,

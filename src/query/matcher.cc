@@ -13,84 +13,26 @@ bool NokMatcher::TagValueMatches(const ResolvedPattern& p,
   return true;
 }
 
-Result<NodeId> NokMatcher::SkipToNextSibling(NodeId u, uint16_t depth,
-                                             NodeId limit) {
-  NokStore* nok = store_->nok();
-  size_t ordinal = nok->PageOrdinalOf(u) + 1;
-  while (ordinal < nok->num_pages()) {
-    if (view_ != nullptr) {
-      // The skip index jumps the whole run of wholly-dead pages in O(1)
-      // instead of probing each header in turn. Pages of the run before
-      // `limit` are ones we avoided loading; count each (at most once per
-      // MatchFragment, same as the probing path).
-      size_t next = view_->NextLivePage(ordinal);
-      for (; ordinal < next; ++ordinal) {
-        if (nok->page_infos()[ordinal].first_node >= limit) {
-          return kInvalidNode;
-        }
-        CountSkippedPage(ordinal);
-      }
-      if (ordinal >= nok->num_pages()) return kInvalidNode;
-    }
-    const NokStore::PageInfo& info = nok->page_infos()[ordinal];
-    if (info.first_node >= limit) return kInvalidNode;
-    if (PageDead(ordinal)) {
-      // Everything in this page is inaccessible: any sibling inside it
-      // would be pruned anyway, and the records we would need are exactly
-      // the ones the paper's header check lets us avoid reading. (Reached
-      // only without a view; the skip index already stepped past dead
-      // pages above.)
-      CountSkippedPage(ordinal);
-      ++ordinal;
-      continue;
-    }
-    SECXML_ASSIGN_OR_RETURN(
-        NodeId found,
-        nok->FirstAtDepthInPage(ordinal, depth, info.first_node, limit));
-    if (found != kInvalidNode) return found;
-    ++ordinal;
-  }
-  return kInvalidNode;
-}
-
-Result<NokRecord> NokMatcher::SecureFetch(size_t ordinal, NodeId u,
-                                          bool* accessible) {
-  NokStore* nok = store_->nok();
-  if (view_ != nullptr && view_->PageCheckFree(ordinal)) {
-    *accessible = true;
-    return nok->RecordInPage(ordinal, u);
-  }
-  NokRecord rec;
-  uint32_t code = 0;
-  SECXML_RETURN_NOT_OK(nok->RecordAndCodeInPage(ordinal, u, &rec, &code));
-  *accessible = Accessible(code);
-  return rec;
-}
-
 Result<bool> NokMatcher::MatchChildrenOrdered(
     const std::vector<int>& pchildren, NodeId sroot, const NokRecord& srec,
     FragmentMatch* match) {
   // Materialize the accessible data children (inaccessible ones can never
-  // participate, per Algorithm 1's pruning).
+  // participate, per Algorithm 1's pruning; children inside wholly-dead
+  // pages are skipped without loading those pages, like the unordered walk).
   struct Child {
     NodeId node;
     NokRecord rec;
   };
   std::vector<Child> data;
   {
-    NodeId parent_end = sroot + srec.subtree_size;
-    NodeId u = NokStore::FirstChild(sroot, srec);
-    while (u != kInvalidNode) {
-      NokRecord urec;
-      bool accessible = true;
-      if (options_.secure) {
-        SECXML_ASSIGN_OR_RETURN(
-            urec, SecureFetch(store_->nok()->PageOrdinalOf(u), u, &accessible));
-      } else {
-        SECXML_ASSIGN_OR_RETURN(urec, store_->nok()->Record(u));
-      }
+    SecureCursor::ChildWalk walk(&cursor_, sroot, srec);
+    NodeId u = kInvalidNode;
+    NokRecord urec;
+    bool accessible = true;
+    for (;;) {
+      SECXML_ASSIGN_OR_RETURN(bool more, walk.Next(&u, &urec, &accessible));
+      if (!more) break;
       if (accessible) data.push_back({u, urec});
-      u = NokStore::FollowingSibling(u, urec, parent_end);
     }
   }
   const size_t K = pchildren.size();
@@ -220,47 +162,16 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
   bool has_collectors = false;
   for (int s : pchildren) has_collectors |= resolved_[s].contains_designated;
   if (!pchildren.empty()) {
-    NodeId parent_end = sroot + srec.subtree_size;
-    uint16_t child_depth = static_cast<uint16_t>(srec.depth + 1);
-    NodeId u = NokStore::FirstChild(sroot, srec);
-    // Cached page extent of the last header check, so consecutive siblings
-    // in one page cost no repeated page-table lookups.
-    NodeId page_begin = 0, page_end = 0;
-    size_t page_ordinal = 0;
-    bool page_dead = false;
-    while (u != kInvalidNode && (unsatisfied > 0 || has_collectors)) {
-      // ε-NoK: consult the page verdict (compiled or from the in-memory
-      // header) before touching u's page.
-      if (options_.secure && options_.page_skip) {
-        if (u < page_begin || u >= page_end) {
-          page_ordinal = store_->nok()->PageOrdinalOf(u);
-          const NokStore::PageInfo& info =
-              store_->nok()->page_infos()[page_ordinal];
-          page_begin = info.first_node;
-          page_end = info.first_node + info.num_records;
-          page_dead = PageDead(page_ordinal);
-        }
-        if (page_dead) {
-          CountSkippedPage(page_ordinal);
-          SECXML_ASSIGN_OR_RETURN(
-              u, SkipToNextSibling(u, child_depth, parent_end));
-          continue;
-        }
-      }
-      NokRecord urec;
-      bool accessible = true;
-      if (options_.secure) {
-        // One fetch returns both the record and its access code: the code
-        // lives in u's own page (Section 3.3), so the check is free of
-        // extra I/O. With page skipping on, the ordinal is the one cached
-        // by the verdict check above; check-free pages skip the code
-        // resolution entirely.
-        size_t ordinal = options_.page_skip ? page_ordinal
-                                            : store_->nok()->PageOrdinalOf(u);
-        SECXML_ASSIGN_OR_RETURN(urec, SecureFetch(ordinal, u, &accessible));
-      } else {
-        SECXML_ASSIGN_OR_RETURN(urec, store_->nok()->Record(u));
-      }
+    // The cursor's child walk owns the ε-NoK mechanics — page verdicts
+    // before each page is touched, dead-run jumps, one fetch per record
+    // with the ACCESS check resolved from the same page.
+    SecureCursor::ChildWalk walk(&cursor_, sroot, srec);
+    NodeId u = kInvalidNode;
+    NokRecord urec;
+    bool accessible = true;
+    while (unsatisfied > 0 || has_collectors) {
+      SECXML_ASSIGN_OR_RETURN(bool more, walk.Next(&u, &urec, &accessible));
+      if (!more) break;
       if (accessible) {
         // Algorithm 1 lines 7-11: try every active pattern child whose
         // tag/value constraints u satisfies.
@@ -275,7 +186,6 @@ Result<bool> NokMatcher::Npm(int pnode, NodeId sroot, const NokRecord& srec,
           }
         }
       }
-      u = NokStore::FollowingSibling(u, urec, parent_end);
     }
   }
 
@@ -296,25 +206,12 @@ Status NokMatcher::MatchFragment(const QueryFragment& fragment,
   SECXML_RETURN_NOT_OK(fragment.tree.Validate());
   NokStore* nok = store_->nok();
 
-  // Acquire the compiled view snapshot for this evaluation (cached in the
-  // store; compiled on first use per subject). The holder keeps the
-  // snapshot consistent even if an update invalidates the store's cache
-  // while we run.
-  view_holder_.reset();
-  view_ = nullptr;
-  if (options_.secure && options_.use_view) {
-    SECXML_ASSIGN_OR_RETURN(view_holder_, store_->View(options_.subject));
-    view_ = view_holder_.get();
-  }
-  // Reset per-call scratch: the rollback-marks stack (stale frames may
-  // linger after an aborted earlier call) and the skipped-page bitmap that
-  // dedupes pages_skipped accounting across skip sites.
+  // Acquire the compiled view snapshot for this evaluation and reset the
+  // cursor's per-scan skipped-page dedup map; the rollback-marks stack may
+  // hold stale frames after an aborted earlier call.
+  SECXML_RETURN_NOT_OK(cursor_.Attach());
+  cursor_.BeginScan();
   mark_stack_.clear();
-  if (options_.secure && options_.page_skip) {
-    skip_counted_.assign(nok->num_pages(), 0);
-  } else {
-    skip_counted_.clear();
-  }
 
   // Resolve pattern tags once.
   resolved_.clear();
@@ -359,23 +256,12 @@ Status NokMatcher::MatchFragment(const QueryFragment& fragment,
 
   for (NodeId cand : candidates) {
     NokRecord rec;
-    if (options_.secure) {
-      size_t ordinal = nok->PageOrdinalOf(cand);
-      if (options_.page_skip && PageDead(ordinal)) {
-        // The whole page of postings is dead; each distinct page counts
-        // once toward pages_skipped no matter how many candidates fall
-        // into it.
-        CountSkippedPage(ordinal);
-        continue;
-      }
-      bool accessible = true;
-      SECXML_ASSIGN_OR_RETURN(rec, SecureFetch(ordinal, cand, &accessible));
-      if (!TagValueMatches(resolved_[0], rec)) continue;
-      if (!accessible) continue;  // Algorithm 1 pre-condition
-    } else {
-      SECXML_ASSIGN_OR_RETURN(rec, nok->Record(cand));
-      if (!TagValueMatches(resolved_[0], rec)) continue;
-    }
+    bool accessible = true;
+    SECXML_ASSIGN_OR_RETURN(bool fetched,
+                            cursor_.FetchCandidate(cand, &rec, &accessible));
+    if (!fetched) continue;  // wholly-dead page, skipped without loading
+    if (!TagValueMatches(resolved_[0], rec)) continue;
+    if (!accessible) continue;  // Algorithm 1 pre-condition
     FragmentMatch match;
     match.root = cand;
     match.root_end = cand + rec.subtree_size;

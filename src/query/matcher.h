@@ -1,14 +1,14 @@
 #ifndef SECXML_QUERY_MATCHER_H_
 #define SECXML_QUERY_MATCHER_H_
 
-#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/secure_store.h"
-#include "core/subject_view.h"
+#include "exec/exec_stats.h"
+#include "exec/secure_cursor.h"
 #include "query/decomposer.h"
 
 namespace secxml {
@@ -31,6 +31,10 @@ struct FragmentMatch {
 /// children is skipped. With `page_skip` on, runs of children inside pages
 /// whose in-memory header proves them wholly inaccessible are skipped
 /// without loading those pages at all (Section 3.3).
+///
+/// All record access and every ACCESS check goes through the matcher's
+/// SecureCursor (src/exec) — the matcher owns Algorithm 1's control flow,
+/// the cursor owns the fetch/decode/check/skip pipeline and its ExecStats.
 class NokMatcher {
  public:
   struct Options {
@@ -54,7 +58,11 @@ class NokMatcher {
   };
 
   NokMatcher(SecureStore* store, const Options& options)
-      : store_(store), options_(options) {}
+      : store_(store),
+        options_(options),
+        cursor_(store, SecureCursor::Options{options.secure, options.subject,
+                                             options.page_skip,
+                                             options.use_view}) {}
 
   /// Finds all matches of `fragment` in the document. `designated` lists
   /// fragment-local pattern node indices whose bindings must be recorded
@@ -63,6 +71,11 @@ class NokMatcher {
   Status MatchFragment(const QueryFragment& fragment,
                        const std::vector<int>& designated,
                        std::vector<FragmentMatch>* out);
+
+  /// Cursor counters accumulated across every MatchFragment call on this
+  /// matcher (the evaluator constructs one matcher per query, so this is
+  /// the query's scan-operator contribution).
+  const ExecStats& exec_stats() const { return cursor_.stats(); }
 
  private:
   /// Resolved per-pattern-node match state for the current fragment.
@@ -96,58 +109,14 @@ class NokMatcher {
                                     NodeId sroot, const NokRecord& srec,
                                     FragmentMatch* match);
 
-  /// Next sibling of an inaccessible child `u` at `depth` within the parent
-  /// extent `limit`, loading no wholly-inaccessible page (ε-NoK page skip).
-  Result<NodeId> SkipToNextSibling(NodeId u, uint16_t depth, NodeId limit);
-
-  /// Secure record fetch for node `u` on the page at `ordinal`: on a
-  /// check-free page (every node accessible to the subject — knowable only
-  /// through the compiled view) the access code is never decoded and the
-  /// ACCESS check is skipped; otherwise the record and code come from one
-  /// fetch and `*accessible` is the check's result.
-  Result<NokRecord> SecureFetch(size_t ordinal, NodeId u, bool* accessible);
-
-  /// The ε-NoK inner ACCESS check: one byte load through the compiled view
-  /// when available, else the codebook bit probe.
-  bool Accessible(uint32_t code) const {
-    return view_ != nullptr
-               ? view_->CodeAccessible(code)
-               : store_->codebook().Accessible(code, options_.subject);
-  }
-
-  /// Header page-skip test: precompiled verdict when the view is active,
-  /// else recomputed from the header and codebook.
-  bool PageDead(size_t ordinal) const {
-    return view_ != nullptr
-               ? view_->PageWhollyDead(ordinal)
-               : store_->PageWhollyInaccessible(ordinal, options_.subject);
-  }
-
-  /// Counts `ordinal` toward IoStats::pages_skipped, once per distinct page
-  /// per MatchFragment call — the candidate filter, the inline sibling skip,
-  /// and SkipToNextSibling can all reject the same page, and each avoided
-  /// page load should be counted exactly once.
-  void CountSkippedPage(size_t ordinal) {
-    if (ordinal < skip_counted_.size() && !skip_counted_[ordinal]) {
-      skip_counted_[ordinal] = 1;
-      ++store_->nok()->buffer_pool()->mutable_stats()->pages_skipped;
-    }
-  }
-
   SecureStore* store_;
   Options options_;
+  SecureCursor cursor_;
   std::vector<ResolvedPattern> resolved_;
-  /// Compiled view snapshot for the current MatchFragment call (null when
-  /// disabled). The shared_ptr keeps the snapshot alive even if the store's
-  /// cache is invalidated mid-evaluation.
-  std::shared_ptr<const SubjectView> view_holder_;
-  const SubjectView* view_ = nullptr;
   /// Reusable rollback-marks stack: Npm and the ordered-children feasibility
   /// probe push one frame of per-binding sizes instead of allocating a fresh
   /// vector per recursion.
   std::vector<size_t> mark_stack_;
-  /// Per-MatchFragment bitmap of pages already counted as skipped.
-  std::vector<char> skip_counted_;
 };
 
 }  // namespace secxml

@@ -60,6 +60,8 @@ BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
     if (!out.status.ok()) {
       ++batch.stats.failed;
       if (batch.stats.first_error.ok()) batch.stats.first_error = out.status;
+    } else {
+      batch.stats.exec += out.result.exec;
     }
     latencies.push_back(out.latency_micros);
     total += out.latency_micros;

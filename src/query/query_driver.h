@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/secure_store.h"
+#include "exec/exec_stats.h"
 #include "query/evaluator.h"
 #include "query/pattern_tree.h"
 #include "storage/io_stats.h"
@@ -56,6 +57,11 @@ struct BatchStats {
   /// Buffer-pool traffic incurred by this batch (delta of the store's
   /// counters across the run).
   IoStatsSnapshot io;
+  /// Execution-counter rollup over the batch's successful outcomes (sum of
+  /// each EvalResult's operator rollup). `exec.access_only_fetches` staying
+  /// 0 across a whole batch is the paper's zero-extra-I/O claim at batch
+  /// granularity.
+  ExecStats exec;
 
   double QueriesPerSecond(size_t num_queries) const {
     return wall_micros > 0

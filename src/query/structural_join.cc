@@ -6,7 +6,10 @@ namespace secxml {
 
 std::vector<std::pair<NodeId, NodeId>> StackTreeDesc(
     const std::vector<JoinItem>& ancestors,
-    const std::vector<NodeId>& descendants) {
+    const std::vector<NodeId>& descendants, ExecStats* stats) {
+  if (stats != nullptr) {
+    stats->nodes_scanned += ancestors.size() + descendants.size();
+  }
   std::vector<std::pair<NodeId, NodeId>> out;
   std::vector<JoinItem> stack;
   size_t i = 0;
@@ -28,7 +31,11 @@ std::vector<std::pair<NodeId, NodeId>> StackTreeDesc(
 }
 
 std::vector<NodeId> SemiJoinDescendants(const std::vector<JoinItem>& ancestors,
-                                        const std::vector<NodeId>& descendants) {
+                                        const std::vector<NodeId>& descendants,
+                                        ExecStats* stats) {
+  if (stats != nullptr) {
+    stats->nodes_scanned += ancestors.size() + descendants.size();
+  }
   std::vector<NodeId> out;
   // Track only the furthest-reaching open ancestor: d has an ancestor iff
   // d < max end among ancestors starting before d.
@@ -47,7 +54,11 @@ std::vector<NodeId> SemiJoinDescendants(const std::vector<JoinItem>& ancestors,
 }
 
 std::vector<JoinItem> SemiJoinAncestors(const std::vector<JoinItem>& ancestors,
-                                        const std::vector<NodeId>& descendants) {
+                                        const std::vector<NodeId>& descendants,
+                                        ExecStats* stats) {
+  if (stats != nullptr) {
+    stats->nodes_scanned += ancestors.size();
+  }
   std::vector<JoinItem> out;
   for (const JoinItem& a : ancestors) {
     // First descendant strictly after a.
@@ -58,7 +69,9 @@ std::vector<JoinItem> SemiJoinAncestors(const std::vector<JoinItem>& ancestors,
 }
 
 std::vector<NodeId> FilterVisible(const std::vector<NodeInterval>& hidden,
-                                  const std::vector<NodeId>& nodes) {
+                                  const std::vector<NodeId>& nodes,
+                                  ExecStats* stats) {
+  if (stats != nullptr) stats->nodes_scanned += nodes.size();
   std::vector<NodeId> out;
   out.reserve(nodes.size());
   size_t i = 0;
@@ -72,7 +85,8 @@ std::vector<NodeId> FilterVisible(const std::vector<NodeInterval>& hidden,
 
 std::vector<JoinItem> FilterVisibleItems(
     const std::vector<NodeInterval>& hidden,
-    const std::vector<JoinItem>& items) {
+    const std::vector<JoinItem>& items, ExecStats* stats) {
+  if (stats != nullptr) stats->nodes_scanned += items.size();
   std::vector<JoinItem> out;
   out.reserve(items.size());
   size_t i = 0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/accessibility_map.h"
+#include "exec/exec_stats.h"
 #include "xml/document.h"
 
 namespace secxml {
@@ -17,6 +18,10 @@ struct JoinItem {
   bool operator==(const JoinItem&) const = default;
 };
 
+// Each function takes an optional ExecStats into which it counts the items
+// it consumed (nodes_scanned); the evaluator attributes these to its "join"
+// and "visibility" operators.
+
 /// Stack-Tree-Desc structural join (Al-Khalifa et al., ICDE 2002), the
 /// algorithm the paper's ε-STD secure join extends (Section 4.2).
 /// Inputs must be sorted by node id (document order); `ancestors` may
@@ -24,26 +29,30 @@ struct JoinItem {
 /// descendant strictly inside the ancestor's subtree, sorted by descendant.
 std::vector<std::pair<NodeId, NodeId>> StackTreeDesc(
     const std::vector<JoinItem>& ancestors,
-    const std::vector<NodeId>& descendants);
+    const std::vector<NodeId>& descendants, ExecStats* stats = nullptr);
 
 /// Semijoin form: the descendants that have at least one ancestor in
 /// `ancestors`. Inputs sorted; output sorted and duplicate-free.
 std::vector<NodeId> SemiJoinDescendants(const std::vector<JoinItem>& ancestors,
-                                        const std::vector<NodeId>& descendants);
+                                        const std::vector<NodeId>& descendants,
+                                        ExecStats* stats = nullptr);
 
 /// Semijoin form: the ancestors that contain at least one descendant.
 std::vector<JoinItem> SemiJoinAncestors(const std::vector<JoinItem>& ancestors,
-                                        const std::vector<NodeId>& descendants);
+                                        const std::vector<NodeId>& descendants,
+                                        ExecStats* stats = nullptr);
 
 /// Removes the nodes falling inside any of the `hidden` intervals (sorted,
 /// disjoint). This is how ε-STD enforces the Gabillon-Bruno view semantics:
 /// a binding inside a hidden subtree cannot contribute answers.
 std::vector<NodeId> FilterVisible(const std::vector<NodeInterval>& hidden,
-                                  const std::vector<NodeId>& nodes);
+                                  const std::vector<NodeId>& nodes,
+                                  ExecStats* stats = nullptr);
 
 /// JoinItem overload of FilterVisible.
 std::vector<JoinItem> FilterVisibleItems(
-    const std::vector<NodeInterval>& hidden, const std::vector<JoinItem>& items);
+    const std::vector<NodeInterval>& hidden, const std::vector<JoinItem>& items,
+    ExecStats* stats = nullptr);
 
 }  // namespace secxml
 

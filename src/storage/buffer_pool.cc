@@ -150,7 +150,8 @@ Result<PageHandle> BufferPool::InstallLocked(Shard* shard, size_t frame_index,
   return PageHandle(this, id, &f.page, frame_index);
 }
 
-Result<PageHandle> BufferPool::Fetch(PageId id) {
+Result<PageHandle> BufferPool::Fetch(PageId id, bool* was_miss) {
+  if (was_miss != nullptr) *was_miss = false;
   Shard& sh = shards_[ShardOf(id)];
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.map.find(id);
@@ -176,6 +177,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     return read;
   }
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  if (was_miss != nullptr) *was_miss = true;
   f.dirty.store(false, std::memory_order_relaxed);
   return InstallLocked(&sh, idx, id);
 }

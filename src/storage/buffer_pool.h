@@ -94,8 +94,11 @@ class BufferPool {
   ~BufferPool();
 
   /// Pins page `id`, reading it from the file on a miss. Fails if every
-  /// frame in the page's shard is pinned or the read fails.
-  Result<PageHandle> Fetch(PageId id);
+  /// frame in the page's shard is pinned or the read fails. When `was_miss`
+  /// is non-null it is set to whether this fetch had to wait on a physical
+  /// read (cursors use it to attribute fetch waits to themselves; the shared
+  /// IoStats counters cannot be attributed under concurrency).
+  Result<PageHandle> Fetch(PageId id, bool* was_miss = nullptr);
 
   /// Allocates a fresh page in the file and pins it (zeroed, dirty).
   Result<PageHandle> Allocate();

@@ -106,6 +106,19 @@ TEST_P(ConcurrentEvaluatorTest, ParallelMatchesSerial) {
           << static_cast<int>(sem) << ": "
           << jobs[i].pattern.ToString();
     }
+
+    // The batch-level ExecStats rollup is exactly the sum of the per-query
+    // rollups, and the zero-extra-I/O property survives concurrency.
+    ExecStats summed;
+    for (const QueryOutcome& out : batch.outcomes) {
+      if (out.status.ok()) summed += out.result.exec;
+    }
+    EXPECT_EQ(batch.stats.exec.nodes_scanned, summed.nodes_scanned);
+    EXPECT_EQ(batch.stats.exec.codes_checked, summed.codes_checked);
+    EXPECT_EQ(batch.stats.exec.checks_elided, summed.checks_elided);
+    EXPECT_EQ(batch.stats.exec.pages_skipped, summed.pages_skipped);
+    EXPECT_EQ(batch.stats.exec.fetch_waits, summed.fetch_waits);
+    EXPECT_EQ(batch.stats.exec.access_only_fetches, 0u);
   }
 }
 

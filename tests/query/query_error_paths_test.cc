@@ -1,0 +1,176 @@
+// Negative paths of the query front end: malformed XPath strings and
+// malformed pattern trees must come back as clean InvalidArgument statuses
+// (exercised under ASan in CI — no crashes, no leaks), and evaluating
+// against unknown tags or subjects must degrade gracefully rather than
+// fault.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/accessibility_map.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/decomposer.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+#include "storage/paged_file.h"
+#include "xml/xml_parser.h"
+
+namespace secxml {
+namespace {
+
+void ExpectParseError(const std::string& xpath, const std::string& needle) {
+  PatternTree tree;
+  Status st = ParseXPath(xpath, &tree);
+  ASSERT_FALSE(st.ok()) << "parsed: " << xpath;
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << xpath;
+  EXPECT_NE(st.ToString().find(needle), std::string::npos)
+      << xpath << " -> " << st.ToString();
+}
+
+TEST(XPathErrorPathsTest, MalformedQueriesReturnInvalidArgument) {
+  ExpectParseError("", "query must start with '/' or '//'");
+  ExpectParseError("site", "query must start with '/' or '//'");
+  ExpectParseError("/", "expected name");
+  ExpectParseError("//", "expected name");
+  ExpectParseError("/site/", "expected name");
+  ExpectParseError("/site//", "expected name");
+  ExpectParseError("/site[", "expected name");
+  ExpectParseError("/site[]", "expected name");
+  ExpectParseError("/site[name", "expected ']'");
+  ExpectParseError("/site[name]extra", "expected '/' or '//'");
+  ExpectParseError("/site[name=", "expected quoted value");
+  ExpectParseError("/site[name=x]", "expected quoted value");
+  ExpectParseError("/site[name='v]", "unterminated value");
+  ExpectParseError("/site[a[b[c", "expected ']'");
+}
+
+TEST(XPathErrorPathsTest, DeeplyNestedPredicatesAreRejectedNotOverflowed) {
+  // 40 nested predicates exceed the parser's depth cap; the error must be a
+  // clean status, not a stack overflow.
+  std::string q = "/r";
+  for (int i = 0; i < 40; ++i) q += "[a";
+  for (int i = 0; i < 40; ++i) q += "]";
+  ExpectParseError(q, "nested too deeply");
+}
+
+TEST(XPathErrorPathsTest, BoundaryDepthStillParses) {
+  std::string q = "/r";
+  for (int i = 0; i < 30; ++i) q += "[a";
+  for (int i = 0; i < 30; ++i) q += "]";
+  PatternTree tree;
+  EXPECT_TRUE(ParseXPath(q, &tree).ok());
+}
+
+TEST(PatternTreeErrorPathsTest, DecomposeRejectsMalformedTrees) {
+  // Decompose revalidates; every malformed tree must bounce cleanly.
+  DecomposedQuery out;
+
+  PatternTree empty;
+  EXPECT_EQ(Decompose(empty, &out).code(), StatusCode::kInvalidArgument);
+
+  PatternTree rooted;
+  rooted.nodes.emplace_back();
+  rooted.nodes[0].tag = "a";
+  rooted.nodes[0].parent = 0;  // root may not have a parent
+  EXPECT_EQ(Decompose(rooted, &out).code(), StatusCode::kInvalidArgument);
+
+  PatternTree bad_return;
+  bad_return.nodes.emplace_back();
+  bad_return.nodes[0].tag = "a";
+  bad_return.returning_node = 3;
+  EXPECT_EQ(Decompose(bad_return, &out).code(),
+            StatusCode::kInvalidArgument);
+
+  PatternTree empty_tag;
+  empty_tag.nodes.emplace_back();
+  empty_tag.nodes[0].tag = "a";
+  empty_tag.nodes.emplace_back();
+  empty_tag.nodes[1].parent = 0;
+  empty_tag.nodes[0].children.push_back(1);  // tag left empty
+  EXPECT_EQ(Decompose(empty_tag, &out).code(), StatusCode::kInvalidArgument);
+
+  PatternTree bad_link;
+  bad_link.nodes.emplace_back();
+  bad_link.nodes[0].tag = "a";
+  bad_link.nodes.emplace_back();
+  bad_link.nodes[1].tag = "b";
+  bad_link.nodes[1].parent = 7;  // dangling parent
+  EXPECT_EQ(Decompose(bad_link, &out).code(), StatusCode::kInvalidArgument);
+
+  PatternTree mislinked;
+  mislinked.nodes.emplace_back();
+  mislinked.nodes[0].tag = "a";
+  mislinked.nodes.emplace_back();
+  mislinked.nodes[1].tag = "b";
+  mislinked.nodes[1].parent = 0;
+  mislinked.nodes.emplace_back();
+  mislinked.nodes[2].tag = "c";
+  mislinked.nodes[2].parent = 1;
+  mislinked.nodes[0].children = {1, 2};  // 2's parent is 1, not 0
+  mislinked.nodes[1].children = {2};
+  EXPECT_EQ(Decompose(mislinked, &out).code(), StatusCode::kInvalidArgument);
+}
+
+struct Fixture {
+  Document doc;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+void BuildTinyFixture(Fixture* f) {
+  ASSERT_TRUE(
+      ParseXml("<r><a><b/></a><a><b/><c/></a></r>", &f->doc).ok());
+  DenseAccessMap map(f->doc.NumNodes(), /*num_subjects=*/1,
+                     /*default_access=*/true);
+  DolLabeling labeling = DolLabeling::Build(map);
+  NokStoreOptions sopts;
+  ASSERT_TRUE(
+      SecureStore::Build(f->doc, labeling, &f->file, sopts, &f->store).ok());
+}
+
+TEST(EvaluatorErrorPathsTest, UnknownTagsYieldEmptyAnswersNotErrors) {
+  Fixture f;
+  BuildTinyFixture(&f);
+  QueryEvaluator eval(f.store.get());
+  EvalOptions opts;
+  for (const char* q : {"//nosuch", "/r/nosuch", "//a[nosuch]",
+                        "/nosuch//a"}) {
+    auto r = eval.EvaluateXPath(q, opts);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    EXPECT_TRUE(r->answers.empty()) << q;
+  }
+}
+
+TEST(EvaluatorErrorPathsTest, UnknownSubjectIsInvalidArgument) {
+  Fixture f;
+  BuildTinyFixture(&f);
+  QueryEvaluator eval(f.store.get());
+  EvalOptions opts;
+  opts.semantics = AccessSemantics::kBinding;
+  opts.subject = 99;  // only subject 0 exists
+  auto r = eval.EvaluateXPath("//a", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  opts.semantics = AccessSemantics::kView;
+  r = eval.EvaluateXPath("//a", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluatorErrorPathsTest, MalformedXPathSurfacesThroughEvaluate) {
+  Fixture f;
+  BuildTinyFixture(&f);
+  QueryEvaluator eval(f.store.get());
+  EvalOptions opts;
+  auto r = eval.EvaluateXPath("a[b", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -103,13 +103,28 @@ TEST_P(ViewDifferentialTest, ViewOnOffIdenticalAnswersAndSkips) {
             << pattern.ToString();
         EXPECT_EQ(skipped_on, skipped_off)
             << "pages_skipped accounting diverged on " << pattern.ToString();
+        // The per-query ExecStats rollup and the store's IoStats must agree
+        // on pages skipped (the sweep operators contribute none; only the
+        // scan cursor counts, into both).
+        EXPECT_EQ(with_view->exec.pages_skipped, skipped_on)
+            << pattern.ToString();
+        EXPECT_EQ(without_view->exec.pages_skipped, skipped_off)
+            << pattern.ToString();
+        // The zero-extra-I/O property, per query.
+        EXPECT_EQ(with_view->exec.access_only_fetches, 0u);
+        EXPECT_EQ(without_view->exec.access_only_fetches, 0u);
+        // Every scanned record was either checked or provably check-free.
+        if (sem == AccessSemantics::kNone) {
+          EXPECT_EQ(with_view->exec.codes_checked, 0u);
+          EXPECT_EQ(with_view->exec.checks_elided, 0u);
+        }
       }
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ViewDifferentialTest,
-                         ::testing::Values(1, 2, 3));
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 // --- Exact-count pages_skipped regression --------------------------------
 
@@ -152,6 +167,11 @@ uint64_t RunAndCountSkips(FlatFixture* f, const std::string& xpath,
   EXPECT_TRUE(r.ok()) << r.status();
   // Every accessible x is an answer: 200 children minus the 96 denied.
   if (r.ok()) EXPECT_EQ(r->answers.size(), 104u);
+  // The query's ExecStats rollup counts the same skips as the store.
+  if (r.ok()) {
+    EXPECT_EQ(r->exec.pages_skipped, f->store->io_stats().pages_skipped);
+    EXPECT_EQ(r->exec.access_only_fetches, 0u);
+  }
   return f->store->io_stats().pages_skipped;
 }
 
