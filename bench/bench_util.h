@@ -117,7 +117,10 @@ inline Json ExecStatsJson(const ExecStats& s) {
       .Set("pages_skipped", s.pages_skipped)
       .Set("pages_prefetched", s.pages_prefetched)
       .Set("fetch_waits", s.fetch_waits)
-      .Set("extra_access_io", s.access_only_fetches);
+      .Set("extra_access_io", s.access_only_fetches)
+      .Set("subjects_batched", s.subjects_batched)
+      .Set("classes_evaluated", s.classes_evaluated)
+      .Set("class_dedup_hits", s.class_dedup_hits);
 }
 
 /// Writes `doc` to BENCH_<name>.json in $SECXML_BENCH_DIR (or the current

@@ -1,0 +1,264 @@
+// Word-parallel multi-subject batch evaluation throughput: one twig query
+// answered for N subjects at once (QueryDriver::EvaluateForSubjects) versus
+// the one-query-per-subject serial QueryDriver baseline.
+//
+// Expected shape: per-subject amortized cost drops along two multiplicative
+// axes — subjects drawn from a fixed pool of role profiles collapse into
+// visibility equivalence classes (identical codebook columns => identical
+// answers, computed once), and the remaining distinct classes share ONE
+// structural NoK scan whose accessibility checks are single word-wide ANDs.
+// Target: >= 4x amortized speedup at a 64-subject batch, with every
+// subject's answers byte-identical to its per-subject evaluation and zero
+// access-only I/O on both paths.
+//
+// argv: [nodes] [--smoke]. --smoke shrinks the document and rep count for
+// CI, and exits non-zero on answer divergence or extra access I/O (the
+// speedup itself is reported, not gated, in smoke mode — CI machines have
+// noisy clocks; the committed artifact records the measured value).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/codebook.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/query_driver.h"
+#include "query/xpath_parser.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kSubjectPool = 64;
+constexpr size_t kProfiles = 12;
+
+struct Fixture {
+  Document doc;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+// Subjects model users holding one of kProfiles roles: subject s draws the
+// ACL stream of profile (s % kProfiles), so same-role subjects have
+// identical codebook columns — the dedup structure real multi-tenant
+// workloads have and the batch evaluator collapses.
+std::unique_ptr<Fixture> Build(uint32_t nodes) {
+  auto f = std::make_unique<Fixture>();
+  XMarkOptions xopts;
+  xopts.seed = 29;
+  xopts.target_nodes = nodes;
+  if (!GenerateXMark(xopts, &f->doc).ok()) return nullptr;
+  IntervalAccessMap map(static_cast<NodeId>(f->doc.NumNodes()), kSubjectPool);
+  for (SubjectId s = 0; s < kSubjectPool; ++s) {
+    SyntheticAclOptions aopts;
+    aopts.seed = 9000 + s % kProfiles;
+    aopts.accessibility_ratio = 0.6;
+    map.SetSubjectIntervals(s, GenerateSyntheticAcl(f->doc, aopts));
+  }
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  sopts.buffer_pool_pages = 64;  // smaller than the document: real I/O path
+  if (!SecureStore::Build(f->doc, labeling, &f->file, sopts, &f->store).ok()) {
+    return nullptr;
+  }
+  return f;
+}
+
+/// Minimum-of-reps wall time (see fig7_secure_nok.cc for why the floor):
+/// both variants run within every rep, cold pool each measurement.
+struct Measured {
+  double serial_s = 0;
+  double batch_s = 0;
+  bool identical = true;
+  uint64_t extra_access_io = 0;
+  ExecStats batch_exec;
+  size_t classes = 0;
+};
+
+bool RunPoint(SecureStore* store, const PatternTree& pattern,
+              const std::vector<SubjectId>& subjects, AccessSemantics sem,
+              int reps, Measured* out) {
+  QueryDriverOptions dopts;
+  dopts.num_threads = 1;
+  dopts.semantics = sem;
+  QueryDriver driver(store, dopts);
+  std::vector<QueryJob> jobs;
+  for (SubjectId s : subjects) jobs.push_back({s, pattern});
+
+  std::vector<double> serial_times, batch_times;
+  BatchResult serial;
+  SubjectBatchResult batch;
+  Timer timer;
+  for (int r = -1; r < reps; ++r) {  // rep -1 = untimed warm-up
+    (void)store->nok()->buffer_pool()->EvictAll();
+    timer.Reset();
+    serial = driver.Run(jobs);
+    double serial_elapsed = timer.ElapsedSeconds();
+    if (serial.stats.failed != 0) {
+      std::fprintf(stderr, "serial run failed: %s\n",
+                   serial.stats.first_error.ToString().c_str());
+      return false;
+    }
+    (void)store->nok()->buffer_pool()->EvictAll();
+    timer.Reset();
+    auto br = driver.EvaluateForSubjects(pattern, subjects);
+    double batch_elapsed = timer.ElapsedSeconds();
+    if (!br.ok()) {
+      std::fprintf(stderr, "batch run failed: %s\n",
+                   br.status().ToString().c_str());
+      return false;
+    }
+    if (r < 0) continue;
+    serial_times.push_back(serial_elapsed);
+    batch_times.push_back(batch_elapsed);
+    batch = std::move(*br);
+  }
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    if (batch.ResultFor(i).answers != serial.outcomes[i].result.answers) {
+      out->identical = false;
+    }
+  }
+  out->serial_s = *std::min_element(serial_times.begin(), serial_times.end());
+  out->batch_s = *std::min_element(batch_times.begin(), batch_times.end());
+  out->extra_access_io =
+      serial.stats.exec.access_only_fetches + batch.exec.access_only_fetches;
+  out->batch_exec = batch.exec;
+  out->classes = batch.classes.size();
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  uint32_t nodes = bench::ScaleArg(argc, argv, smoke ? 8000 : 60000);
+  const int reps = smoke ? 2 : 5;
+
+  bench::Banner("Multi-subject batch evaluation: one scan, all subjects (" +
+                std::to_string(nodes) + "-node XMark, " +
+                std::to_string(kSubjectPool) + "-subject pool, " +
+                std::to_string(kProfiles) + " role profiles)");
+
+  auto f = Build(nodes);
+  if (f == nullptr) {
+    std::fprintf(stderr, "fixture build failed\n");
+    return 1;
+  }
+
+  // Workload: two Table 1 queries plus two random twigs grown along real
+  // document paths.
+  std::vector<std::pair<std::string, PatternTree>> queries;
+  for (int qi : {0, 1}) {
+    PatternTree p;
+    if (!ParseXPath(kTable1Queries[qi], &p).ok()) return 1;
+    queries.emplace_back(kTable1Queries[qi], std::move(p));
+  }
+  for (uint64_t seed : {5u, 9u}) {
+    QueryGenOptions qopts;
+    qopts.seed = seed;
+    qopts.max_nodes = 4;
+    PatternTree p = GenerateTwigQuery(f->doc, qopts);
+    queries.emplace_back(p.ToString(), std::move(p));
+  }
+
+  bool all_identical = true;
+  uint64_t extra_access_io = 0;
+  double speedup_at_64 = 0;
+  size_t points_at_64 = 0;
+  std::vector<bench::Json> points;
+
+  std::printf("%-9s %-6s %7s %8s %11s %11s %9s\n", "semantics", "batch",
+              "classes", "speedup", "serial ms", "batch ms", "identical");
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    const char* sem_name = sem == AccessSemantics::kBinding ? "binding"
+                                                            : "view";
+    for (size_t batch_size : {4u, 16u, 64u}) {
+      // Subjects 0..B-1: profiles repeat every kProfiles, so small batches
+      // are mostly distinct classes and the 64-batch is ~12 classes.
+      std::vector<SubjectId> subjects;
+      for (SubjectId s = 0; s < batch_size; ++s) subjects.push_back(s);
+
+      double serial_s = 0, batch_s = 0;
+      bool identical = true;
+      ExecStats exec;
+      size_t classes = 0;
+      for (const auto& [name, pattern] : queries) {
+        Measured m;
+        if (!RunPoint(f->store.get(), pattern, subjects, sem, reps, &m)) {
+          return 1;
+        }
+        serial_s += m.serial_s;
+        batch_s += m.batch_s;
+        identical = identical && m.identical;
+        extra_access_io += m.extra_access_io;
+        exec += m.batch_exec;
+        classes = m.classes;
+      }
+      all_identical = all_identical && identical;
+      double speedup = batch_s > 0 ? serial_s / batch_s : 0.0;
+      if (batch_size == 64 && sem == AccessSemantics::kBinding) {
+        speedup_at_64 += speedup;
+        ++points_at_64;
+      }
+      std::printf("%-9s %-6zu %7zu %7.2fx %11.2f %11.2f %9s\n", sem_name,
+                  batch_size, classes, speedup, serial_s * 1000,
+                  batch_s * 1000, identical ? "yes" : "NO");
+      points.push_back(
+          bench::Json()
+              .Set("semantics", sem_name)
+              .Set("batch_size", static_cast<uint64_t>(batch_size))
+              .Set("classes", static_cast<uint64_t>(classes))
+              .Set("serial_ms", serial_s * 1000)
+              .Set("batch_ms", batch_s * 1000)
+              .Set("amortized_speedup", speedup)
+              .Set("identical", identical)
+              .Set("batch_exec", bench::ExecStatsJson(exec)));
+    }
+  }
+  if (points_at_64 > 0) speedup_at_64 /= static_cast<double>(points_at_64);
+
+  std::printf("\nsummary: %.2fx amortized speedup at 64 subjects (binding), "
+              "answers %s, extra access I/O %llu\n",
+              speedup_at_64,
+              all_identical ? "byte-identical to per-subject" : "DIVERGED",
+              static_cast<unsigned long long>(extra_access_io));
+  if (speedup_at_64 < 4.0) {
+    std::printf("WARNING: speedup below the 4x acceptance threshold\n");
+  }
+
+  bench::WriteBenchJson(
+      "multi_subject_throughput",
+      bench::Json()
+          .Set("bench", "multi_subject_throughput")
+          .Set("nodes", nodes)
+          .Set("repetitions", reps)
+          .Set("subject_pool", static_cast<uint64_t>(kSubjectPool))
+          .Set("role_profiles", static_cast<uint64_t>(kProfiles))
+          .Set("all_identical", all_identical)
+          .Set("extra_access_io", extra_access_io)
+          .Set("speedup_at_64_subjects", speedup_at_64)
+          .Set("sweep", points));
+
+  int exit_code = 0;
+  if (!all_identical) exit_code = 1;
+  if (extra_access_io != 0) exit_code = 1;
+  if (!smoke && speedup_at_64 < 4.0) exit_code = 1;
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

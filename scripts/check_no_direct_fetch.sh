@@ -38,10 +38,19 @@ grep -rn "RecordAndCode\|FirstAtDepthInPage\|buffer_pool()->Fetch\|buffer_pool_\
     src/query src/core --include='*.cc' --include='*.h' \
   | report "scan primitive outside src/exec (use SecureCursor/PageSweep)"
 
-# Per-node access checks in the query layer: must go through the cursor.
+# Per-node access checks in the query layer: must go through the cursor
+# (SecureCursor per subject, MultiSubjectCursor for batches).
 grep -rn "Codebook::Accessible\|codebook()\.Accessible\|codebook_\.Accessible\|->Accessible(" \
     src/query --include='*.cc' --include='*.h' \
   | report "direct access check in src/query (use SecureCursor)"
+
+# Codebook column extraction in the query layer: the batch path's word-wide
+# checks are MultiSubjectCursor's (it transposes the columns in Attach);
+# grouping goes through core's GroupSubjectsByColumn. A direct Column()
+# probe in src/query would be a per-caller copy of that machinery.
+grep -rn "Codebook::Column\|codebook()\.Column\|codebook_\.Column\|->Column(\|\.Column(" \
+    src/query --include='*.cc' --include='*.h' \
+  | report "direct codebook column extraction in src/query (use MultiSubjectCursor / GroupSubjectsByColumn)"
 
 # Page transition walks in the query layer: PageCodeWalker owns the decode.
 grep -rn "PageTransitions" src/query --include='*.cc' --include='*.h' \

@@ -115,6 +115,28 @@ Status Codebook::RemoveSubject(SubjectId subject) {
   return Status::OK();
 }
 
+BitVector Codebook::Column(SubjectId subject) const {
+  BitVector column(entries_.size());
+  if (subject >= num_subjects_) return column;  // fail closed: all denied
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].GetUnchecked(subject)) column.Set(e, true);
+  }
+  return column;
+}
+
+std::vector<SubjectClass> GroupSubjectsByColumn(
+    const Codebook& codebook, const std::vector<SubjectId>& subjects) {
+  std::vector<SubjectClass> classes;
+  std::unordered_map<BitVector, size_t, BitVectorHash> by_column;
+  for (SubjectId s : subjects) {
+    BitVector column = codebook.Column(s);
+    auto [it, inserted] = by_column.emplace(std::move(column), classes.size());
+    if (inserted) classes.emplace_back();
+    classes[it->second].members.push_back(s);
+  }
+  return classes;
+}
+
 size_t Codebook::CountDistinct() const {
   std::unordered_set<BitVector, BitVectorHash> seen(entries_.begin(),
                                                     entries_.end());

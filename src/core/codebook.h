@@ -74,6 +74,17 @@ class Codebook {
   /// index re-points to the first of each duplicate family.
   Status RemoveSubject(SubjectId subject);
 
+  /// One subject's codebook column: bit e of the result is this subject's
+  /// accessibility under entry e, i.e. Accessible(e, subject) for every
+  /// code. Two subjects with equal columns are indistinguishable to every
+  /// secure-evaluation path (per-node checks, page verdicts, and hidden
+  /// intervals all reduce to column bits), which is what the multi-subject
+  /// batch evaluator's equivalence classes rely on.
+  ///
+  /// Fails closed like Accessible: an out-of-range subject yields the
+  /// all-denied column rather than reading out of bounds.
+  BitVector Column(SubjectId subject) const;
+
   /// Number of distinct entries (collapsing duplicates left by removal).
   size_t CountDistinct() const;
 
@@ -105,6 +116,23 @@ class Codebook {
   std::vector<BitVector> entries_;
   std::unordered_map<BitVector, AccessCodeId, BitVectorHash> index_;
 };
+
+/// One visibility equivalence class of a subject batch: subjects whose
+/// codebook columns are bit-identical. Every secure evaluation answers
+/// byte-identically for all members, so a batch evaluator computes each
+/// class once and fans the result out (members keep the caller's order;
+/// members.front() is the class representative).
+struct SubjectClass {
+  std::vector<SubjectId> members;
+  SubjectId representative() const { return members.front(); }
+};
+
+/// Partitions `subjects` into visibility equivalence classes by comparing
+/// their codebook columns (hash + exact compare, no false merges).
+/// Duplicate subject ids land in the same class. Classes appear in order of
+/// first occurrence, so the partition is deterministic.
+std::vector<SubjectClass> GroupSubjectsByColumn(
+    const Codebook& codebook, const std::vector<SubjectId>& subjects);
 
 }  // namespace secxml
 

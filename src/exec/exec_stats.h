@@ -38,6 +38,18 @@ struct ExecStats {
   /// same fetch); a non-zero value means the zero-extra-I/O property broke.
   uint64_t access_only_fetches = 0;
 
+  // Multi-subject batch evaluation counters (zero on single-subject paths).
+
+  /// Subjects answered by this evaluation. 1 for a per-subject query; the
+  /// batch size for QueryDriver::EvaluateForSubjects.
+  uint64_t subjects_batched = 0;
+  /// Visibility equivalence classes actually evaluated (each class runs the
+  /// structural scan once; its members share the answer byte-for-byte).
+  uint64_t classes_evaluated = 0;
+  /// Subjects served from another class member's evaluation:
+  /// subjects_batched - classes_evaluated.
+  uint64_t class_dedup_hits = 0;
+
   ExecStats& operator+=(const ExecStats& o) {
     nodes_scanned += o.nodes_scanned;
     codes_checked += o.codes_checked;
@@ -46,6 +58,9 @@ struct ExecStats {
     pages_prefetched += o.pages_prefetched;
     fetch_waits += o.fetch_waits;
     access_only_fetches += o.access_only_fetches;
+    subjects_batched += o.subjects_batched;
+    classes_evaluated += o.classes_evaluated;
+    class_dedup_hits += o.class_dedup_hits;
     return *this;
   }
 };

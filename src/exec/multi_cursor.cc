@@ -1,0 +1,222 @@
+#include "exec/multi_cursor.h"
+
+#include <string>
+
+#include "common/bitvector.h"
+
+namespace secxml {
+
+namespace {
+
+/// Mirror of the store's node-in-page validation (see secure_cursor.cc):
+/// the directory entry is trusted, the node id is not.
+Status CheckNodeInPage(const NokStore::PageInfo& info, NodeId n) {
+  if (n < info.first_node || n - info.first_node >= info.num_records) {
+    return Status::Corruption("node " + std::to_string(n) +
+                              " lies outside page " +
+                              std::to_string(info.page_id) +
+                              " (corrupt node id or directory)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MultiSubjectCursor::MultiSubjectCursor(SecureStore* store,
+                                       const std::vector<SubjectId>& class_reps,
+                                       const Options& options)
+    : store_(store), class_reps_(class_reps), options_(options) {
+  SECXML_DCHECK(!class_reps_.empty() &&
+                class_reps_.size() <= kMaxBatchClasses);
+}
+
+Status MultiSubjectCursor::Attach() {
+  if (class_reps_.empty() || class_reps_.size() > kMaxBatchClasses) {
+    return Status::InvalidArgument("batch cursor needs 1.." +
+                                   std::to_string(kMaxBatchClasses) +
+                                   " classes, got " +
+                                   std::to_string(class_reps_.size()));
+  }
+  const Codebook& codebook = store_->codebook();
+  // Transpose the representatives' columns: bit k of code_mask_[c] is
+  // class k's accessibility under entry c. Column() fails closed for an
+  // unknown subject, so a bad representative denies rather than misreads.
+  code_mask_.assign(codebook.size(), 0);
+  for (size_t k = 0; k < class_reps_.size(); ++k) {
+    BitVector column = codebook.Column(class_reps_[k]);
+    for (size_t c = 0; c < column.size(); ++c) {
+      if (column.GetUnchecked(c)) code_mask_[c] |= (1ULL << k);
+    }
+  }
+  // Per-page batch verdicts from the in-memory directory alone: a clear
+  // change bit means every slot carries first_code, so the page is dead for
+  // exactly the classes that cannot access first_code — the same
+  // classification SubjectView::ClassifyPage applies per subject.
+  const std::vector<NokStore::PageInfo>& pages = store_->nok()->page_infos();
+  page_dead_.assign(pages.size(), 0);
+  const ClassMask full = FullMask();
+  for (size_t p = 0; p < pages.size(); ++p) {
+    page_dead_[p] = pages[p].change_bit ? 0
+                                        : (~AccessMask(pages[p].first_code) &
+                                           full);
+  }
+  return Status::OK();
+}
+
+void MultiSubjectCursor::BeginScan() {
+  if (options_.page_skip) {
+    skip_counted_.assign(store_->nok()->num_pages(), 0);
+  } else {
+    skip_counted_.clear();
+  }
+}
+
+void MultiSubjectCursor::CountSkippedPage(size_t ordinal) {
+  if (ordinal < skip_counted_.size() && !skip_counted_[ordinal]) {
+    skip_counted_[ordinal] = 1;
+    ++stats_.pages_skipped;
+    ++store_->nok()->buffer_pool()->mutable_stats()->pages_skipped;
+  }
+}
+
+Result<PageHandle> MultiSubjectCursor::PinPage(size_t ordinal, NodeId u) {
+  NokStore* nok = store_->nok();
+  if (ordinal >= nok->num_pages()) {
+    return Status::Corruption("page ordinal " + std::to_string(ordinal) +
+                              " out of range");
+  }
+  const NokStore::PageInfo& info = nok->page_infos()[ordinal];
+  SECXML_RETURN_NOT_OK(CheckNodeInPage(info, u));
+  bool miss = false;
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                          nok->buffer_pool()->Fetch(info.page_id, &miss));
+  if (miss) ++stats_.fetch_waits;
+  return handle;
+}
+
+Result<NokRecord> MultiSubjectCursor::FetchChecked(size_t ordinal, NodeId u,
+                                                   ClassMask* access) {
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, PinPage(ordinal, u));
+  const NokStore::PageInfo& info = store_->nok()->page_infos()[ordinal];
+  uint32_t slot = u - info.first_node;
+  NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+  ++stats_.nodes_scanned;
+  // The code lives in u's own page (Section 3.3), so resolving it costs no
+  // additional I/O: same pin, a transition walk at worst. One table load
+  // then answers accessibility for the whole batch.
+  uint32_t code = info.first_code;
+  if (info.change_bit && slot > 0) {
+    NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
+    SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
+    for (uint32_t i = 0; i < header.num_transitions; ++i) {
+      DolTransition t =
+          handle.page().ReadAt<DolTransition>(TransitionOffset(i));
+      if (t.slot > slot) break;
+      code = t.code;
+    }
+  }
+  ++stats_.codes_checked;
+  *access = AccessMask(code);
+  return rec;
+}
+
+Result<bool> MultiSubjectCursor::FetchCandidate(NodeId cand, ClassMask live,
+                                                NokRecord* rec,
+                                                ClassMask* access) {
+  NokStore* nok = store_->nok();
+  if (cand >= nok->num_nodes()) {
+    return Status::OutOfRange("node id " + std::to_string(cand) +
+                              " out of range");
+  }
+  size_t ordinal = nok->PageOrdinalOf(cand);
+  if (options_.page_skip && PageWhollyDeadFor(ordinal, live)) {
+    // The whole page of postings is dead for every live class; each
+    // distinct page counts once no matter how many candidates fall into it.
+    CountSkippedPage(ordinal);
+    return false;
+  }
+  SECXML_ASSIGN_OR_RETURN(*rec, FetchChecked(ordinal, cand, access));
+  *access &= live;
+  return true;
+}
+
+Result<NodeId> MultiSubjectCursor::NextSiblingSkippingDead(NodeId u,
+                                                           uint16_t depth,
+                                                           NodeId limit,
+                                                           ClassMask live) {
+  NokStore* nok = store_->nok();
+  size_t ordinal = nok->PageOrdinalOf(u) + 1;
+  while (ordinal < nok->num_pages()) {
+    const NokStore::PageInfo& info = nok->page_infos()[ordinal];
+    if (info.first_node >= limit) return kInvalidNode;
+    if (PageWhollyDeadFor(ordinal, live)) {
+      // Nothing in this page is visible to any live class: any sibling
+      // inside it would be pruned for everyone, so the page is never
+      // loaded. The dead-mask table makes this test one in-memory AND.
+      CountSkippedPage(ordinal);
+      ++ordinal;
+      continue;
+    }
+    // Probe this live page for the first node at the sibling depth. One
+    // pin; the scanned records are probes, not yields, so they do not
+    // count toward nodes_scanned.
+    bool miss = false;
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                            nok->buffer_pool()->Fetch(info.page_id, &miss));
+    if (miss) ++stats_.fetch_waits;
+    for (uint32_t slot = 0; slot < info.num_records; ++slot) {
+      NodeId n = info.first_node + slot;
+      if (n >= limit) break;
+      NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
+      if (rec.depth == depth) return n;
+    }
+    ++ordinal;
+  }
+  return kInvalidNode;
+}
+
+MultiSubjectCursor::ChildWalk::ChildWalk(MultiSubjectCursor* cursor,
+                                         NodeId parent,
+                                         const NokRecord& parent_rec,
+                                         ClassMask live)
+    : c_(cursor),
+      live_(live),
+      next_(NokStore::FirstChild(parent, parent_rec)),
+      parent_end_(parent + parent_rec.subtree_size),
+      child_depth_(static_cast<uint16_t>(parent_rec.depth + 1)) {}
+
+Result<bool> MultiSubjectCursor::ChildWalk::Next(NodeId* u, NokRecord* rec,
+                                                 ClassMask* access) {
+  NokStore* nok = c_->store_->nok();
+  while (next_ != kInvalidNode) {
+    NodeId n = next_;
+    // Consult the batch page verdict before touching n's page: skipped iff
+    // dead for every class still live in this walk.
+    if (c_->options_.page_skip) {
+      if (n < page_begin_ || n >= page_end_) {
+        page_ordinal_ = nok->PageOrdinalOf(n);
+        const NokStore::PageInfo& info = nok->page_infos()[page_ordinal_];
+        page_begin_ = info.first_node;
+        page_end_ = info.first_node + info.num_records;
+        page_dead_ = c_->PageWhollyDeadFor(page_ordinal_, live_);
+      }
+      if (page_dead_) {
+        c_->CountSkippedPage(page_ordinal_);
+        SECXML_ASSIGN_OR_RETURN(
+            next_,
+            c_->NextSiblingSkippingDead(n, child_depth_, parent_end_, live_));
+        continue;
+      }
+    }
+    size_t ordinal =
+        c_->options_.page_skip ? page_ordinal_ : nok->PageOrdinalOf(n);
+    SECXML_ASSIGN_OR_RETURN(*rec, c_->FetchChecked(ordinal, n, access));
+    *access &= live_;
+    next_ = NokStore::FollowingSibling(n, *rec, parent_end_);
+    *u = n;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace secxml

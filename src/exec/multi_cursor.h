@@ -1,0 +1,177 @@
+#ifndef SECXML_EXEC_MULTI_CURSOR_H_
+#define SECXML_EXEC_MULTI_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/secure_store.h"
+#include "exec/exec_stats.h"
+#include "nok/nok_format.h"
+#include "nok/nok_store.h"
+
+namespace secxml {
+
+/// One bit per visibility equivalence class of a subject batch. A cursor
+/// serves at most kMaxBatchClasses classes so every ACCESS check is a single
+/// word operation; batches with more distinct classes run in chunks.
+using ClassMask = uint64_t;
+inline constexpr size_t kMaxBatchClasses = 64;
+
+/// The multi-subject analogue of SecureCursor: one structural scan answering
+/// accessibility for a whole batch of visibility equivalence classes at
+/// once. Where the per-subject cursor resolves a DOL code and probes one
+/// codebook bit, this cursor resolves the code once and loads one
+/// precomputed word whose bit k is class k's accessibility — 64 subjects
+/// per word-AND, in the bit-sliced style of columnar word-parallel scans.
+///
+/// Attach() compiles two tables from the codebook columns of the class
+/// representatives:
+///   - code mask: for every codebook entry, the word of per-class
+///     accessibility bits (the transposed columns);
+///   - page dead mask: for every page, the word of classes for which the
+///     in-memory header proves the page wholly inaccessible — exactly
+///     SubjectView::ClassifyPage per class, so the batch page skip agrees
+///     with the per-subject one by construction.
+///
+/// The scan carries a live mask of classes still interested in the current
+/// fragment; a page is skipped (never loaded) when its dead mask covers the
+/// whole live mask, so pages_skipped scales with how many classes die
+/// mid-scan. All accessibility masks returned to callers are already
+/// restricted to the requesting live mask.
+///
+/// Zero-extra-I/O holds exactly as for the per-subject cursor: codes are
+/// decoded from the record's own pinned page, so access_only_fetches stays
+/// structurally 0 no matter the batch width.
+///
+/// A cursor is single-threaded; the store underneath is the documented
+/// thread-safe read surface. Stats accumulate across scans until the owner
+/// resets them; the batch counters (subjects_batched, classes_evaluated,
+/// class_dedup_hits) are filled in by the batch evaluator, not here.
+class MultiSubjectCursor {
+ public:
+  struct Options {
+    /// Consult batch page verdicts to skip pages wholly inaccessible to
+    /// every live class (Section 3.3, generalized to the batch).
+    bool page_skip = true;
+  };
+
+  /// `class_reps` holds one representative subject per equivalence class,
+  /// at most kMaxBatchClasses of them; bit k of every mask refers to
+  /// class_reps[k].
+  MultiSubjectCursor(SecureStore* store,
+                     const std::vector<SubjectId>& class_reps,
+                     const Options& options);
+
+  /// Compiles the code and page mask tables from the current codebook and
+  /// page directory. Call once per evaluation (the tables are a snapshot;
+  /// updates must not run concurrently, same as every query path).
+  Status Attach();
+
+  /// Begins a fragment-scoped scan: resets the distinct-page dedup map so
+  /// each avoided page counts toward pages_skipped exactly once per scan.
+  void BeginScan();
+
+  size_t num_classes() const { return class_reps_.size(); }
+  /// Mask with one bit per class of this batch.
+  ClassMask FullMask() const {
+    return class_reps_.size() >= 64
+               ? ~0ULL
+               : ((1ULL << class_reps_.size()) - 1);
+  }
+
+  /// Word of per-class accessibility bits for `code`. Fails closed: an
+  /// out-of-range code denies every class, matching Codebook::Accessible.
+  ClassMask AccessMask(uint32_t code) const {
+    return code < code_mask_.size() ? code_mask_[code] : 0;
+  }
+
+  /// Word of classes for which the page at `ordinal` is provably wholly
+  /// inaccessible (per-class SubjectView::ClassifyPage == kDead).
+  ClassMask PageDeadMask(size_t ordinal) const {
+    return ordinal < page_dead_.size() ? page_dead_[ordinal] : FullMask();
+  }
+
+  /// True when no class in `live` can see anything on the page.
+  bool PageWhollyDeadFor(size_t ordinal, ClassMask live) const {
+    return (PageDeadMask(ordinal) & live) == live;
+  }
+
+  /// Secure fetch of node `u` on the page at `ordinal`: record plus the
+  /// whole batch's access verdict from one page pin. The DOL code is
+  /// resolved from the same page (zero extra I/O) and answered for every
+  /// class with one table load (*access is not yet masked by any live set).
+  Result<NokRecord> FetchChecked(size_t ordinal, NodeId u, ClassMask* access);
+
+  /// Tag-index candidate screening for the batch: a candidate on a page
+  /// dead for every class in `live` is skipped without loading the page
+  /// (returns false, page counted once). Otherwise fetches and checks like
+  /// FetchChecked, returning *access already restricted to `live`.
+  Result<bool> FetchCandidate(NodeId cand, ClassMask live, NokRecord* rec,
+                              ClassMask* access);
+
+  /// Next sibling of `u` at `depth` within the parent extent `limit`,
+  /// loading no page that is wholly dead for every class in `live` (the
+  /// in-memory dead-mask table makes each page test O(1), no I/O).
+  Result<NodeId> NextSiblingSkippingDead(NodeId u, uint16_t depth,
+                                         NodeId limit, ClassMask live);
+
+  /// Counts `ordinal` toward pages_skipped (ExecStats and the store's
+  /// IoStats), once per distinct page per scan.
+  void CountSkippedPage(size_t ordinal);
+
+  /// Document-order child iteration for the batch: yields the children of
+  /// one parent with per-class access masks (restricted to the walk's live
+  /// mask), skipping and counting pages dead for every live class. Children
+  /// inaccessible to every live class are still yielded (*access == 0) on
+  /// live pages, because the walk needs their subtree size to jump to the
+  /// following sibling — mirroring the per-subject ChildWalk.
+  class ChildWalk {
+   public:
+    /// `parent_rec` must be the record of `parent`; `live` is fixed for the
+    /// walk (a recursion frame's live set never grows).
+    ChildWalk(MultiSubjectCursor* cursor, NodeId parent,
+              const NokRecord& parent_rec, ClassMask live);
+
+    /// Advances to the next child; false when the walk is exhausted.
+    Result<bool> Next(NodeId* u, NokRecord* rec, ClassMask* access);
+
+   private:
+    MultiSubjectCursor* c_;
+    ClassMask live_;
+    NodeId next_ = kInvalidNode;
+    NodeId parent_end_ = 0;
+    uint16_t child_depth_ = 0;
+    /// Cached page extent of the last verdict check, so consecutive
+    /// siblings in one page cost no repeated page-table lookups.
+    NodeId page_begin_ = 0, page_end_ = 0;
+    size_t page_ordinal_ = 0;
+    bool page_dead_ = false;
+  };
+
+  const Options& options() const { return options_; }
+  SecureStore* store() { return store_; }
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  /// Pins the page at `ordinal` after validating that it holds `u`;
+  /// counts a fetch wait when the pin required a physical read.
+  Result<PageHandle> PinPage(size_t ordinal, NodeId u);
+
+  SecureStore* store_;
+  std::vector<SubjectId> class_reps_;
+  Options options_;
+  /// Transposed codebook columns: one word of per-class bits per entry.
+  std::vector<ClassMask> code_mask_;
+  /// Per-page word of classes for which the page is wholly dead.
+  std::vector<ClassMask> page_dead_;
+  /// Per-scan bitmap of pages already counted as skipped.
+  std::vector<char> skip_counted_;
+  ExecStats stats_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_EXEC_MULTI_CURSOR_H_

@@ -1,0 +1,139 @@
+#include "query/batch_evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/codebook.h"
+#include "query/batch_matcher.h"
+
+namespace secxml {
+
+namespace {
+
+/// Batch accounting for one chunk, reported as a "batch" operator on the
+/// chunk's first class (the same attribution convention as the visibility
+/// sweep: shared work lands on the evaluation that performed it, and the
+/// rollup-sum identity over classes stays exact).
+ExecStats BatchCounters(size_t subjects, size_t classes) {
+  ExecStats s;
+  s.subjects_batched = subjects;
+  s.classes_evaluated = classes;
+  s.class_dedup_hits = subjects - classes;
+  return s;
+}
+
+}  // namespace
+
+Result<SubjectBatchResult> BatchEvaluator::Evaluate(
+    const PatternTree& pattern, std::span<const SubjectId> subjects,
+    const EvalOptions& options) {
+  if (subjects.empty()) {
+    return Status::InvalidArgument("batch evaluation needs subjects");
+  }
+  SubjectBatchResult batch;
+
+  // Without access control every subject sees the whole document: the batch
+  // is one equivalence class, evaluated once by the per-subject path.
+  if (options.semantics == AccessSemantics::kNone) {
+    QueryEvaluator eval(store_);
+    SECXML_ASSIGN_OR_RETURN(EvalResult r, eval.Evaluate(pattern, options));
+    r.operators.push_back({"batch", BatchCounters(subjects.size(), 1)});
+    r.exec = RollUp(r.operators);
+    ClassEvalResult cls;
+    cls.subjects.assign(subjects.begin(), subjects.end());
+    cls.result = std::move(r);
+    batch.classes.push_back(std::move(cls));
+    batch.class_of.assign(subjects.size(), 0);
+    batch.exec = batch.classes[0].result.exec;
+    return batch;
+  }
+
+  // Group by codebook column: classes are exact (every subject-dependent
+  // step of evaluation — node checks, page verdicts, hidden intervals —
+  // is a function of the column alone).
+  std::vector<SubjectId> subject_list(subjects.begin(), subjects.end());
+  std::vector<SubjectClass> groups =
+      GroupSubjectsByColumn(store_->codebook(), subject_list);
+  std::unordered_map<SubjectId, size_t> class_index;
+  for (size_t k = 0; k < groups.size(); ++k) {
+    for (SubjectId s : groups[k].members) class_index.emplace(s, k);
+  }
+  batch.class_of.reserve(subjects.size());
+  for (SubjectId s : subjects) batch.class_of.push_back(class_index.at(s));
+
+  PreparedQuery pq;
+  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
+  const size_t nf = pq.query.fragments.size();
+
+  batch.classes.resize(groups.size());
+
+  // Evaluate in chunks of up to kMaxBatchClasses classes: one structural
+  // scan per chunk, word-wide accessibility per node.
+  for (size_t chunk_begin = 0; chunk_begin < groups.size();
+       chunk_begin += kMaxBatchClasses) {
+    const size_t chunk_end =
+        std::min(groups.size(), chunk_begin + kMaxBatchClasses);
+    const size_t width = chunk_end - chunk_begin;
+    std::vector<SubjectId> reps;
+    reps.reserve(width);
+    size_t chunk_subjects = 0;
+    for (size_t k = chunk_begin; k < chunk_end; ++k) {
+      reps.push_back(groups[k].representative());
+      chunk_subjects += groups[k].members.size();
+    }
+
+    MultiSubjectMatcher::Options mopts;
+    mopts.page_skip = options.page_skip;
+    mopts.ordered_siblings = options.ordered_siblings;
+    MultiSubjectMatcher matcher(store_, reps, mopts);
+
+    std::vector<std::vector<BatchFragmentMatch>> bmatches(nf);
+    for (size_t f = 0; f < nf; ++f) {
+      SECXML_RETURN_NOT_OK(matcher.MatchFragment(pq.query.fragments[f],
+                                                 pq.designated[f],
+                                                 &bmatches[f]));
+    }
+
+    for (size_t k = chunk_begin; k < chunk_end; ++k) {
+      ClassEvalResult& cls = batch.classes[k];
+      cls.subjects = groups[k].members;
+      EvalResult& r = cls.result;
+
+      std::vector<std::vector<FragmentMatch>> matches(nf);
+      for (size_t f = 0; f < nf; ++f) {
+        matches[f] = ProjectClassMatches(bmatches[f], k - chunk_begin);
+        r.fragment_matches += matches[f].size();
+      }
+
+      // The chunk's shared scan is attributed to its first class; other
+      // classes carry an empty scan operator so every class result has the
+      // per-subject operator shape.
+      r.operators.push_back(
+          {"scan", k == chunk_begin ? matcher.exec_stats() : ExecStats()});
+
+      if (options.semantics == AccessSemantics::kView) {
+        // Hidden intervals are a function of the codebook column, so the
+        // representative's intervals are every member's.
+        ExecStats vis_stats;
+        SECXML_ASSIGN_OR_RETURN(
+            std::vector<NodeInterval> hidden,
+            store_->HiddenSubtreeIntervals(groups[k].representative(),
+                                           &vis_stats));
+        FilterMatchesVisible(hidden, &matches, &vis_stats);
+        r.operators.push_back({"visibility", vis_stats});
+      }
+
+      ExecStats join_stats;
+      JoinMatches(pq, matches, &r.answers, &join_stats);
+      r.operators.push_back({"join", join_stats});
+      if (k == chunk_begin) {
+        r.operators.push_back({"batch", BatchCounters(chunk_subjects, width)});
+      }
+      r.exec = RollUp(r.operators);
+      batch.exec += r.exec;
+    }
+  }
+  return batch;
+}
+
+}  // namespace secxml

@@ -1,0 +1,79 @@
+#ifndef SECXML_QUERY_BATCH_EVALUATOR_H_
+#define SECXML_QUERY_BATCH_EVALUATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/secure_store.h"
+#include "exec/exec_stats.h"
+#include "query/evaluator.h"
+#include "query/pattern_tree.h"
+
+namespace secxml {
+
+/// One visibility equivalence class of a subject batch: every member has the
+/// same codebook column, so every member's answer is byte-identical to the
+/// class result — computed once and fanned out.
+struct ClassEvalResult {
+  /// Members in request order (first member is the representative).
+  std::vector<SubjectId> subjects;
+  EvalResult result;
+};
+
+/// Outcome of one multi-subject batch evaluation.
+struct SubjectBatchResult {
+  std::vector<ClassEvalResult> classes;
+  /// Index into `classes`, parallel to the requested subject span.
+  std::vector<size_t> class_of;
+  /// Rollup: the sum of every class's result.exec. The batch counters
+  /// (subjects_batched, classes_evaluated, class_dedup_hits) live in a
+  /// "batch" operator attributed to each chunk's first class, so the sum
+  /// identity holds by construction; access_only_fetches staying 0 is the
+  /// zero-extra-I/O claim at batch granularity.
+  ExecStats exec;
+
+  /// The (shared) evaluation result for the i-th requested subject.
+  const EvalResult& ResultFor(size_t subject_index) const {
+    return classes[class_of[subject_index]].result;
+  }
+};
+
+/// Multi-subject batch evaluator: answers one twig query for a whole batch
+/// of subjects with one structural scan per ≤64-class chunk.
+///
+///  1. Subjects are grouped into visibility equivalence classes by codebook
+///     column (GroupSubjectsByColumn). Identical columns imply identical
+///     page verdicts, node checks, and hidden intervals, hence
+///     byte-identical answers: each class is evaluated once.
+///  2. Each chunk of up to kMaxBatchClasses classes runs the NoK structural
+///     scan ONCE through MultiSubjectMatcher, testing the whole chunk per
+///     node with a word-wide AND and skipping pages only when dead for
+///     every live class.
+///  3. The post-scan pipeline (view-semantics visibility filter, ε-STD
+///     joins, answer collection) is the per-subject evaluator's own code
+///     (FilterMatchesVisible/JoinMatches), run per class on the projected
+///     matches — so per-class results equal QueryEvaluator::Evaluate for
+///     the class representative, element for element.
+///
+/// Under AccessSemantics::kNone answers are subject-independent: the whole
+/// batch is one class evaluated by the per-subject path.
+///
+/// EvalOptions::subject is ignored (the span governs) and
+/// EvalOptions::use_view does not apply: the batch cursor's compiled mask
+/// tables are the batch analogue of the subject-compiled access view.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(SecureStore* store) : store_(store) {}
+
+  Result<SubjectBatchResult> Evaluate(const PatternTree& pattern,
+                                      std::span<const SubjectId> subjects,
+                                      const EvalOptions& options);
+
+ private:
+  SecureStore* store_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_QUERY_BATCH_EVALUATOR_H_

@@ -7,100 +7,69 @@
 
 namespace secxml {
 
-Result<EvalResult> QueryEvaluator::EvaluateXPath(std::string_view xpath,
-                                                 const EvalOptions& options) {
-  PatternTree pattern;
-  SECXML_RETURN_NOT_OK(ParseXPath(xpath, &pattern));
-  return Evaluate(pattern, options);
-}
+Status PrepareQuery(const PatternTree& pattern, PreparedQuery* out) {
+  *out = PreparedQuery();
+  SECXML_RETURN_NOT_OK(Decompose(pattern, &out->query));
+  const size_t nf = out->query.fragments.size();
 
-Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
-                                            const EvalOptions& options) {
-  DecomposedQuery query;
-  SECXML_RETURN_NOT_OK(Decompose(pattern, &query));
-  const size_t nf = query.fragments.size();
-
-  // Child fragments of each fragment.
-  std::vector<std::vector<int>> children(nf);
+  out->children.resize(nf);
   for (size_t f = 1; f < nf; ++f) {
-    children[query.fragments[f].parent_fragment].push_back(
+    out->children[out->query.fragments[f].parent_fragment].push_back(
         static_cast<int>(f));
   }
 
-  // Designated pattern nodes per fragment: one slot per child-fragment join
-  // source plus one for the returning node (slots may coincide).
-  std::vector<std::vector<int>> designated(nf);
-  std::vector<std::vector<int>> child_slot(nf);  // parallel to children[f]
-  std::vector<int> ret_slot(nf, -1);
+  out->designated.resize(nf);
+  out->child_slot.resize(nf);
+  out->ret_slot.assign(nf, -1);
   for (size_t f = 0; f < nf; ++f) {
     auto slot_for = [&](int local) {
-      auto& des = designated[f];
+      auto& des = out->designated[f];
       for (size_t i = 0; i < des.size(); ++i) {
         if (des[i] == local) return static_cast<int>(i);
       }
       des.push_back(local);
       return static_cast<int>(des.size() - 1);
     };
-    for (int c : children[f]) {
-      child_slot[f].push_back(slot_for(query.fragments[c].source_in_parent));
+    for (int c : out->children[f]) {
+      out->child_slot[f].push_back(
+          slot_for(out->query.fragments[c].source_in_parent));
     }
-    if (query.fragments[f].returning_local >= 0) {
-      ret_slot[f] = slot_for(query.fragments[f].returning_local);
+    if (out->query.fragments[f].returning_local >= 0) {
+      out->ret_slot[f] = slot_for(out->query.fragments[f].returning_local);
     }
   }
+  return Status::OK();
+}
 
-  // Match every fragment.
-  NokMatcher::Options mopts;
-  mopts.secure = options.semantics != AccessSemantics::kNone;
-  mopts.subject = options.subject;
-  mopts.page_skip = options.page_skip;
-  mopts.use_view = options.use_view;
-  mopts.ordered_siblings = options.ordered_siblings;
-  NokMatcher matcher(store_, mopts);
-  std::vector<std::vector<FragmentMatch>> matches(nf);
-  EvalResult result;
-  for (size_t f = 0; f < nf; ++f) {
-    SECXML_RETURN_NOT_OK(
-        matcher.MatchFragment(query.fragments[f], designated[f], &matches[f]));
-    result.fragment_matches += matches[f].size();
-  }
-
-  // The scan operator is done once every fragment is matched; its counters
-  // are the matcher's cursor stats.
-  result.operators.push_back({"scan", matcher.exec_stats()});
-
-  // Visibility operator (view semantics): a fragment root inside a hidden
-  // subtree cannot contribute (every other bound node in the fragment is
-  // then visible too, since fragments are child-edge chains of accessible
-  // nodes). The hidden-interval sweep's own page I/O is attributed here on
-  // the query that computes it; later queries hit the store's cache.
-  if (options.semantics == AccessSemantics::kView) {
-    ExecStats vis_stats;
-    SECXML_ASSIGN_OR_RETURN(
-        std::vector<NodeInterval> hidden,
-        store_->HiddenSubtreeIntervals(options.subject, &vis_stats));
-    for (size_t f = 0; f < nf; ++f) {
-      // Match roots ascend (candidates are visited in document order), so
-      // the ε-STD visibility filter applies directly; surviving roots map
-      // back to matches with one merge pass.
-      std::vector<NodeId> roots;
-      roots.reserve(matches[f].size());
-      for (const FragmentMatch& m : matches[f]) roots.push_back(m.root);
-      std::vector<NodeId> visible = FilterVisible(hidden, roots, &vis_stats);
-      std::vector<FragmentMatch> kept;
-      kept.reserve(visible.size());
-      size_t vi = 0;
-      for (FragmentMatch& m : matches[f]) {
-        if (vi < visible.size() && visible[vi] == m.root) {
-          kept.push_back(std::move(m));
-          ++vi;
-        }
+void FilterMatchesVisible(const std::vector<NodeInterval>& hidden,
+                          std::vector<std::vector<FragmentMatch>>* matches,
+                          ExecStats* stats) {
+  // A fragment root inside a hidden subtree cannot contribute (every other
+  // bound node in the fragment is then visible too, since fragments are
+  // child-edge chains of accessible nodes). Surviving roots map back to
+  // matches with one merge pass.
+  for (std::vector<FragmentMatch>& fm : *matches) {
+    std::vector<NodeId> roots;
+    roots.reserve(fm.size());
+    for (const FragmentMatch& m : fm) roots.push_back(m.root);
+    std::vector<NodeId> visible = FilterVisible(hidden, roots, stats);
+    std::vector<FragmentMatch> kept;
+    kept.reserve(visible.size());
+    size_t vi = 0;
+    for (FragmentMatch& m : fm) {
+      if (vi < visible.size() && visible[vi] == m.root) {
+        kept.push_back(std::move(m));
+        ++vi;
       }
-      matches[f] = std::move(kept);
     }
-    result.operators.push_back({"visibility", vis_stats});
+    fm = std::move(kept);
   }
-  ExecStats join_stats;
+}
+
+void JoinMatches(const PreparedQuery& pq,
+                 const std::vector<std::vector<FragmentMatch>>& matches,
+                 std::vector<NodeId>* answers, ExecStats* join_stats) {
+  const size_t nf = pq.query.fragments.size();
 
   // Bottom-up validity: a match is valid iff, for every child fragment,
   // some binding of the join-source node has a valid child root in its
@@ -111,12 +80,12 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
     valid[fi].assign(matches[fi].size(), 1);
     for (size_t mi = 0; mi < matches[fi].size(); ++mi) {
       const FragmentMatch& m = matches[fi][mi];
-      for (size_t ci = 0; ci < children[fi].size(); ++ci) {
-        int c = children[fi][ci];
+      for (size_t ci = 0; ci < pq.children[fi].size(); ++ci) {
+        int c = pq.children[fi][ci];
         const std::vector<NodeId>& roots = valid_roots[c];
         bool connected = false;
-        for (const auto& [b, bend] : m.bindings[child_slot[fi][ci]]) {
-          ++join_stats.nodes_scanned;
+        for (const auto& [b, bend] : m.bindings[pq.child_slot[fi][ci]]) {
+          ++join_stats->nodes_scanned;
           auto it = std::upper_bound(roots.begin(), roots.end(), b);
           if (it != roots.end() && *it < bend) {
             connected = true;
@@ -139,12 +108,12 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
   std::vector<std::vector<char>> reach(nf);
   reach[0] = valid[0];
   for (size_t f = 1; f < nf; ++f) {
-    int p = query.fragments[f].parent_fragment;
+    int p = pq.query.fragments[f].parent_fragment;
     // Collect join-source bindings from reachable parent matches.
     int slot = -1;
-    for (size_t ci = 0; ci < children[p].size(); ++ci) {
-      if (children[p][ci] == static_cast<int>(f)) {
-        slot = child_slot[p][ci];
+    for (size_t ci = 0; ci < pq.children[p].size(); ++ci) {
+      if (pq.children[p][ci] == static_cast<int>(f)) {
+        slot = pq.child_slot[p][ci];
         break;
       }
     }
@@ -165,8 +134,7 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
     std::vector<NodeId> roots;
     roots.reserve(matches[f].size());
     for (const FragmentMatch& m : matches[f]) roots.push_back(m.root);
-    std::vector<NodeId> under =
-        SemiJoinDescendants(sources, roots, &join_stats);
+    std::vector<NodeId> under = SemiJoinDescendants(sources, roots, join_stats);
     reach[f].assign(matches[f].size(), 0);
     size_t ui = 0;
     for (size_t mi = 0; mi < matches[f].size(); ++mi) {
@@ -177,18 +145,66 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
   }
 
   // Answers: returning-node bindings of valid, reachable matches.
-  int rf = query.returning_fragment;
+  int rf = pq.query.returning_fragment;
   for (size_t mi = 0; mi < matches[rf].size(); ++mi) {
     if (!reach[rf][mi]) continue;
-    for (const auto& [b, bend] : matches[rf][mi].bindings[ret_slot[rf]]) {
+    for (const auto& [b, bend] : matches[rf][mi].bindings[pq.ret_slot[rf]]) {
       (void)bend;
-      result.answers.push_back(b);
+      answers->push_back(b);
     }
   }
-  std::sort(result.answers.begin(), result.answers.end());
-  result.answers.erase(
-      std::unique(result.answers.begin(), result.answers.end()),
-      result.answers.end());
+  std::sort(answers->begin(), answers->end());
+  answers->erase(std::unique(answers->begin(), answers->end()),
+                 answers->end());
+}
+
+Result<EvalResult> QueryEvaluator::EvaluateXPath(std::string_view xpath,
+                                                 const EvalOptions& options) {
+  PatternTree pattern;
+  SECXML_RETURN_NOT_OK(ParseXPath(xpath, &pattern));
+  return Evaluate(pattern, options);
+}
+
+Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
+                                            const EvalOptions& options) {
+  PreparedQuery pq;
+  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
+  const size_t nf = pq.query.fragments.size();
+
+  // Match every fragment.
+  NokMatcher::Options mopts;
+  mopts.secure = options.semantics != AccessSemantics::kNone;
+  mopts.subject = options.subject;
+  mopts.page_skip = options.page_skip;
+  mopts.use_view = options.use_view;
+  mopts.ordered_siblings = options.ordered_siblings;
+  NokMatcher matcher(store_, mopts);
+  std::vector<std::vector<FragmentMatch>> matches(nf);
+  EvalResult result;
+  for (size_t f = 0; f < nf; ++f) {
+    SECXML_RETURN_NOT_OK(matcher.MatchFragment(pq.query.fragments[f],
+                                               pq.designated[f], &matches[f]));
+    result.fragment_matches += matches[f].size();
+  }
+
+  // The scan operator is done once every fragment is matched; its counters
+  // are the matcher's cursor stats.
+  result.operators.push_back({"scan", matcher.exec_stats()});
+
+  // Visibility operator (view semantics): the hidden-interval sweep's own
+  // page I/O is attributed here on the query that computes it; later
+  // queries hit the store's cache.
+  if (options.semantics == AccessSemantics::kView) {
+    ExecStats vis_stats;
+    SECXML_ASSIGN_OR_RETURN(
+        std::vector<NodeInterval> hidden,
+        store_->HiddenSubtreeIntervals(options.subject, &vis_stats));
+    FilterMatchesVisible(hidden, &matches, &vis_stats);
+    result.operators.push_back({"visibility", vis_stats});
+  }
+
+  ExecStats join_stats;
+  JoinMatches(pq, matches, &result.answers, &join_stats);
   result.operators.push_back({"join", join_stats});
   result.exec = RollUp(result.operators);
   return result;

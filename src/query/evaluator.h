@@ -58,6 +58,44 @@ struct EvalResult {
   ExecStats exec;
 };
 
+/// A pattern tree decomposed and wired for evaluation: the fragment list
+/// plus the slot bookkeeping every evaluation needs (which pattern nodes are
+/// designated per fragment, which slot joins to each child fragment, which
+/// slot returns answers). Pattern-only — shared verbatim by the per-subject
+/// evaluator and the multi-subject batch evaluator, which is what pins the
+/// two pipelines to the same plan.
+struct PreparedQuery {
+  DecomposedQuery query;
+  /// Child fragments of each fragment.
+  std::vector<std::vector<int>> children;
+  /// Designated pattern nodes per fragment: one slot per child-fragment
+  /// join source plus one for the returning node (slots may coincide).
+  std::vector<std::vector<int>> designated;
+  /// Slot (into designated[f]) joining to children[f][i]; parallel lists.
+  std::vector<std::vector<int>> child_slot;
+  /// Slot of the returning node, -1 for fragments that return nothing.
+  std::vector<int> ret_slot;
+};
+
+/// Decomposes `pattern` and computes the slot wiring above.
+Status PrepareQuery(const PatternTree& pattern, PreparedQuery* out);
+
+/// View-semantics visibility filter (ε-STD, Section 4.2): drops every
+/// fragment match whose root lies inside a hidden interval, in place. Match
+/// roots must ascend (the matcher visits candidates in document order).
+/// Counts consumed items into `stats`.
+void FilterMatchesVisible(const std::vector<NodeInterval>& hidden,
+                          std::vector<std::vector<FragmentMatch>>* matches,
+                          ExecStats* stats);
+
+/// Connects fragment matches with the (ε-)STD ancestor-descendant semijoins
+/// (bottom-up validity, then top-down reachability) and collects the
+/// returning-node bindings of complete matches into sorted, duplicate-free
+/// `answers`. Counts join work into `join_stats`.
+void JoinMatches(const PreparedQuery& pq,
+                 const std::vector<std::vector<FragmentMatch>>& matches,
+                 std::vector<NodeId>* answers, ExecStats* join_stats);
+
 /// Secure twig query evaluator: decomposes the pattern into NoK fragments,
 /// matches them with (ε-)NoK, and connects fragments with (ε-)STD
 /// ancestor-descendant joins (paper Sections 3-4).

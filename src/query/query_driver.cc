@@ -75,6 +75,16 @@ BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
   return batch;
 }
 
+Result<SubjectBatchResult> QueryDriver::EvaluateForSubjects(
+    const PatternTree& pattern, std::span<const SubjectId> subjects) {
+  BatchEvaluator eval(store_);
+  EvalOptions eopts;
+  eopts.semantics = options_.semantics;
+  eopts.page_skip = options_.page_skip;
+  eopts.ordered_siblings = options_.ordered_siblings;
+  return eval.Evaluate(pattern, subjects, eopts);
+}
+
 Result<std::vector<QueryJob>> QueryDriver::MakeJobs(
     const std::vector<std::pair<SubjectId, std::string>>& queries) {
   std::vector<QueryJob> jobs;

@@ -2,6 +2,7 @@
 #define SECXML_QUERY_QUERY_DRIVER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/result.h"
 #include "core/secure_store.h"
 #include "exec/exec_stats.h"
+#include "query/batch_evaluator.h"
 #include "query/evaluator.h"
 #include "query/pattern_tree.h"
 #include "storage/io_stats.h"
@@ -94,6 +96,16 @@ class QueryDriver {
   /// Evaluates the batch; outcomes[i] corresponds to jobs[i]. A failed
   /// query fails only its own outcome, never the batch.
   BatchResult Run(const std::vector<QueryJob>& jobs);
+
+  /// Evaluates one pattern for a whole batch of subjects with the
+  /// word-parallel batch pipeline (BatchEvaluator): subjects collapse into
+  /// visibility equivalence classes, each ≤64-class chunk shares one
+  /// structural scan, and every subject's answer is byte-identical to a
+  /// per-subject Run() of the same query. Uses the driver's semantics,
+  /// page_skip, and ordered_siblings settings (use_view has no batch
+  /// analogue; the compiled mask tables play that role).
+  Result<SubjectBatchResult> EvaluateForSubjects(
+      const PatternTree& pattern, std::span<const SubjectId> subjects);
 
   /// Convenience: builds jobs from (subject, XPath) pairs. Fails on the
   /// first unparsable query.

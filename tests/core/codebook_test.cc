@@ -116,6 +116,59 @@ TEST(CodebookTest, ByteSizeMatchesPaperArithmetic) {
   EXPECT_NEAR(static_cast<double>(cb.ByteSize()) / (1 << 20), 4.1, 0.1);
 }
 
+TEST(CodebookTest, ColumnMatchesPerEntryAccessible) {
+  Codebook cb(5);
+  std::vector<AccessCodeId> codes;
+  codes.push_back(cb.Intern(Bits("10110")));
+  codes.push_back(cb.Intern(Bits("01011")));
+  codes.push_back(cb.Intern(Bits("11111")));
+  codes.push_back(cb.Intern(Bits("00000")));
+  for (SubjectId s = 0; s < 5; ++s) {
+    BitVector column = cb.Column(s);
+    ASSERT_EQ(column.size(), cb.size());
+    for (AccessCodeId c : codes) {
+      EXPECT_EQ(column.Get(c), cb.Accessible(c, s))
+          << "subject " << s << " code " << c;
+    }
+  }
+}
+
+TEST(CodebookTest, ColumnFailsClosedOnUnknownSubject) {
+  Codebook cb(2);
+  cb.Intern(Bits("11"));
+  cb.Intern(Bits("10"));
+  BitVector column = cb.Column(9);
+  ASSERT_EQ(column.size(), cb.size());
+  for (size_t e = 0; e < column.size(); ++e) EXPECT_FALSE(column.Get(e));
+}
+
+TEST(CodebookTest, GroupSubjectsByColumnFindsEqualColumns) {
+  Codebook cb(4);
+  // Subjects 0 and 2 agree on every entry; 1 and 3 each differ somewhere.
+  cb.Intern(Bits("1011"));
+  cb.Intern(Bits("0100"));
+  cb.Intern(Bits("1110"));
+  std::vector<SubjectClass> classes =
+      GroupSubjectsByColumn(cb, {0, 1, 2, 3});
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0].members, (std::vector<SubjectId>{0, 2}));
+  EXPECT_EQ(classes[0].representative(), 0u);
+  EXPECT_EQ(classes[1].members, (std::vector<SubjectId>{1}));
+  EXPECT_EQ(classes[2].members, (std::vector<SubjectId>{3}));
+}
+
+TEST(CodebookTest, GroupSubjectsByColumnGroupsUnknownSubjectsTogether) {
+  Codebook cb(2);
+  cb.Intern(Bits("10"));
+  // Unknown subjects all have the fail-closed all-zero column — one class,
+  // distinct from subject 0 but identical to subject 1 (denied everywhere).
+  std::vector<SubjectClass> classes =
+      GroupSubjectsByColumn(cb, {0, 7, 1, 9});
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].members, (std::vector<SubjectId>{0}));
+  EXPECT_EQ(classes[1].members, (std::vector<SubjectId>{7, 1, 9}));
+}
+
 TEST(CodebookTest, ManyDistinctEntries) {
   Codebook cb(16);
   for (uint32_t v = 0; v < 65536; v += 7) {
