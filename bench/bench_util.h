@@ -120,7 +120,8 @@ inline Json ExecStatsJson(const ExecStats& s) {
       .Set("extra_access_io", s.access_only_fetches)
       .Set("subjects_batched", s.subjects_batched)
       .Set("classes_evaluated", s.classes_evaluated)
-      .Set("class_dedup_hits", s.class_dedup_hits);
+      .Set("class_dedup_hits", s.class_dedup_hits)
+      .Set("epoch_pins", s.epoch_pins);
 }
 
 /// Writes `doc` to BENCH_<name>.json in $SECXML_BENCH_DIR (or the current

@@ -191,7 +191,9 @@ int Run(int argc, char** argv) {
     (void)pool->EvictAll();
     pool->mutable_stats()->Reset();
     Timer timer;
-    SubjectId added = store->AddSubject(false);
+    auto added_or = store->AddSubject(false);
+    if (!added_or.ok()) return 1;
+    SubjectId added = *added_or;
     auto cloned_or = store->AddSubjectLike(0);
     if (!cloned_or.ok()) return 1;
     SubjectId cloned = *cloned_or;

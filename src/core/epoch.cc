@@ -1,0 +1,103 @@
+#include "core/epoch.h"
+
+#include <cassert>
+#include <utility>
+
+namespace secxml {
+
+EpochManager::~EpochManager() {
+  // By destruction time no reader may hold a pin, so every deferred
+  // callback's grace period has trivially elapsed: drain them all.
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(pins_.empty());
+    for (auto& [epoch, fn] : retired_) run.push_back(std::move(fn));
+    retired_.clear();
+    stats_.reclaimed += run.size();
+  }
+  for (auto& fn : run) fn();
+}
+
+EpochManager::Epoch EpochManager::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+EpochManager::Epoch EpochManager::PinCurrent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[current_];
+  ++stats_.pins;
+  return current_;
+}
+
+void EpochManager::PinAt(Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(epoch != 0 && epoch <= current_);
+  ++pins_[epoch];
+  ++stats_.pins;
+}
+
+void EpochManager::Unpin(Epoch epoch) {
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    assert(it != pins_.end());
+    ++stats_.unpins;
+    if (--it->second == 0) pins_.erase(it);
+    run = CollectReclaimableLocked();
+  }
+  for (auto& fn : run) fn();
+}
+
+EpochManager::Epoch EpochManager::Advance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.advances;
+  return ++current_;
+}
+
+void EpochManager::Retire(Epoch epoch, std::function<void()> reclaim) {
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.retired;
+    retired_.emplace(epoch, std::move(reclaim));
+    run = CollectReclaimableLocked();
+  }
+  for (auto& fn : run) fn();
+}
+
+size_t EpochManager::active_pins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [epoch, count] : pins_) n += count;
+  return n;
+}
+
+EpochManager::Epoch EpochManager::oldest_pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_.empty() ? 0 : pins_.begin()->first;
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<std::function<void()>> EpochManager::CollectReclaimableLocked() {
+  std::vector<std::function<void()>> run;
+  // A callback retired at epoch e is safe once no pin at any epoch ≤ e
+  // remains. pins_ is ordered, so the oldest pin bounds what can drain;
+  // with no pins at all, everything retired drains.
+  auto end = pins_.empty() ? retired_.end()
+                           : retired_.lower_bound(pins_.begin()->first);
+  for (auto it = retired_.begin(); it != end; ++it) {
+    run.push_back(std::move(it->second));
+  }
+  retired_.erase(retired_.begin(), end);
+  stats_.reclaimed += run.size();
+  return run;
+}
+
+}  // namespace secxml

@@ -1,0 +1,91 @@
+#ifndef SECXML_CORE_EPOCH_H_
+#define SECXML_CORE_EPOCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace secxml {
+
+/// Monotonic epoch counter with reader pins and deferred reclamation, the
+/// snapshot-isolation backbone of the secure store's online-update path
+/// (DESIGN.md §11).
+///
+/// Every committed update advances the epoch. A reader pins the epoch that
+/// was current when it started and evaluates its whole query against that
+/// snapshot; a writer retires the superseded snapshot's resources with a
+/// callback that runs only once no reader can still reference them (no pin
+/// at an epoch ≤ the retired one remains). This is RCU-style grace-period
+/// reclamation with explicit pin counts instead of quiescent states —
+/// queries are long and reentrant, so explicit pins are the simpler
+/// invariant to test (active_pins() must return to zero).
+///
+/// Thread-safe; retire callbacks run outside the internal mutex, so they may
+/// themselves pin, retire, or destroy heavyweight objects.
+class EpochManager {
+ public:
+  using Epoch = uint64_t;
+
+  struct Stats {
+    uint64_t pins = 0;       ///< total successful PinCurrent/PinAt calls
+    uint64_t unpins = 0;     ///< total Unpin calls
+    uint64_t advances = 0;   ///< total Advance calls
+    uint64_t retired = 0;    ///< callbacks handed to Retire
+    uint64_t reclaimed = 0;  ///< callbacks actually run
+  };
+
+  EpochManager() = default;
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The current epoch. Starts at 1 so epoch 0 can mean "never pinned".
+  Epoch current() const;
+
+  /// Pins the current epoch and returns it.
+  Epoch PinCurrent();
+
+  /// Adds one pin at `epoch` (used by nested snapshots adopting an outer
+  /// pin's epoch). `epoch` must be ≤ current().
+  void PinAt(Epoch epoch);
+
+  /// Releases one pin taken at `epoch`. Runs any retire callbacks whose
+  /// grace period this release completes.
+  void Unpin(Epoch epoch);
+
+  /// Advances to a new epoch and returns it. Called by the writer at commit,
+  /// after publishing the new snapshot.
+  Epoch Advance();
+
+  /// Registers `reclaim` to run once no pin at an epoch ≤ `epoch` remains.
+  /// Runs immediately (on this thread) if that is already true.
+  void Retire(Epoch epoch, std::function<void()> reclaim);
+
+  /// Number of outstanding pins across all epochs.
+  size_t active_pins() const;
+
+  /// Oldest epoch that still has a pin, or 0 when nothing is pinned.
+  Epoch oldest_pinned() const;
+
+  Stats stats() const;
+
+ private:
+  /// Pops every callback whose grace period has elapsed. Caller must hold
+  /// `mu_`; the popped callbacks are run by the caller after unlocking.
+  std::vector<std::function<void()>> CollectReclaimableLocked();
+
+  mutable std::mutex mu_;
+  Epoch current_ = 1;
+  /// pin count per epoch; erased when it drops to zero.
+  std::map<Epoch, uint64_t> pins_;
+  /// retired callbacks keyed by the epoch whose readers must drain first.
+  std::multimap<Epoch, std::function<void()>> retired_;
+  Stats stats_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_CORE_EPOCH_H_

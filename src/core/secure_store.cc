@@ -1,11 +1,218 @@
 #include "core/secure_store.h"
 
 #include <algorithm>
+#include <cstring>
+#include <deque>
 #include <unordered_map>
+#include <utility>
 
+#include "common/dcheck.h"
 #include "exec/secure_cursor.h"
 
 namespace secxml {
+
+namespace {
+
+// --- WAL payload / checkpoint-blob codec helpers (little-endian) ---------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutBytes(std::string* out, const std::vector<uint8_t>& b) {
+  PutU32(out, static_cast<uint32_t>(b.size()));
+  out->append(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+bool TakeU8(std::string_view in, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > in.size()) return false;
+  *v = static_cast<uint8_t>(in[*pos]);
+  *pos += 1;
+  return true;
+}
+
+bool TakeU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool TakeU64(std::string_view in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool TakeStr(std::string_view in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!TakeU32(in, pos, &len) || *pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+bool TakeBytes(std::string_view in, size_t* pos, std::vector<uint8_t>* b) {
+  uint32_t len = 0;
+  if (!TakeU32(in, pos, &len) || *pos + len > in.size()) return false;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in.data() + *pos);
+  b->assign(p, p + len);
+  *pos += len;
+  return true;
+}
+
+/// Leading magic of a checkpoint blob ("SXCP" on disk); distinguishes the
+/// wrapped [magic][lsn][codebook] form from a legacy bare codebook blob
+/// (whose own magic differs).
+constexpr uint32_t kCheckpointMagic = 0x50435853u;
+
+std::vector<uint8_t> EncodeCheckpointBlob(const Codebook& cb, uint64_t lsn) {
+  std::string head;
+  PutU32(&head, kCheckpointMagic);
+  PutU64(&head, lsn);
+  std::vector<uint8_t> out(head.begin(), head.end());
+  std::vector<uint8_t> body = cb.Serialize();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Status DecodeStoreBlob(const std::vector<uint8_t>& blob, Codebook* cb,
+                       uint64_t* lsn) {
+  *lsn = 0;
+  uint32_t magic = 0;
+  if (blob.size() >= 12) std::memcpy(&magic, blob.data(), 4);
+  if (magic == kCheckpointMagic) {
+    std::memcpy(lsn, blob.data() + 4, 8);
+    std::vector<uint8_t> body(blob.begin() + 12, blob.end());
+    SECXML_ASSIGN_OR_RETURN(*cb, Codebook::Deserialize(body));
+    return Status::OK();
+  }
+  // Legacy form: the blob is the codebook itself (pre-WAL Persist).
+  SECXML_ASSIGN_OR_RETURN(*cb, Codebook::Deserialize(blob));
+  return Status::OK();
+}
+
+/// Serializes a fragment document for the InsertSubtree WAL record
+/// (Document has no native serialization; replay rebuilds it node by node).
+std::string EncodeFragment(const Document& frag) {
+  std::string out;
+  PutU32(&out, frag.NumNodes());
+  for (NodeId n = 0; n < frag.NumNodes(); ++n) {
+    PutU32(&out, frag.SubtreeSize(n));
+    PutStr(&out, frag.TagName(n));
+    const bool has = frag.HasValue(n);
+    PutU8(&out, has ? 1 : 0);
+    if (has) PutStr(&out, frag.Value(n));
+  }
+  return out;
+}
+
+Status DecodeFragment(std::string_view in, size_t* pos, Document* out) {
+  uint32_t num = 0;
+  if (!TakeU32(in, pos, &num)) {
+    return Status::Corruption("truncated fragment header in WAL record");
+  }
+  DocumentBuilder builder;
+  std::vector<NodeId> ends;  // innermost-last exclusive subtree ends
+  for (NodeId n = 0; n < num; ++n) {
+    while (!ends.empty() && ends.back() == n) {
+      SECXML_RETURN_NOT_OK(builder.EndElement());
+      ends.pop_back();
+    }
+    uint32_t size = 0;
+    std::string tag;
+    uint8_t has = 0;
+    if (!TakeU32(in, pos, &size) || !TakeStr(in, pos, &tag) ||
+        !TakeU8(in, pos, &has)) {
+      return Status::Corruption("truncated fragment node in WAL record");
+    }
+    if (size == 0 || n + size > num ||
+        (!ends.empty() && n + size > ends.back())) {
+      return Status::Corruption("malformed fragment subtree sizes");
+    }
+    builder.BeginElement(tag);
+    if (has != 0) {
+      std::string value;
+      if (!TakeStr(in, pos, &value)) {
+        return Status::Corruption("truncated fragment value in WAL record");
+      }
+      SECXML_RETURN_NOT_OK(builder.Text(value));
+    }
+    ends.push_back(n + size);
+  }
+  while (!ends.empty()) {
+    SECXML_RETURN_NOT_OK(builder.EndElement());
+    ends.pop_back();
+  }
+  return builder.Finish(out);
+}
+
+/// The thread's innermost-first chain of snapshot pins (across all stores;
+/// codebook()/PinnedEpoch walk it looking for one on this store).
+thread_local SecureStore::SnapshotPin* tl_secure_pins = nullptr;
+
+}  // namespace
+
+// --- SnapshotPin ---------------------------------------------------------
+
+SecureStore::SnapshotPin::SnapshotPin(SecureStore* store)
+    : store_(store), next_(tl_secure_pins) {
+  // Adopt an enclosing pin's snapshot on this thread so nested pins never
+  // straddle a commit; otherwise latch the latest committed snapshot under
+  // snapshot_mu_, which makes (epoch, codebook, NokStore state) one
+  // consistent triple even against a concurrent commit.
+  for (SnapshotPin* p = next_; p != nullptr; p = p->next_) {
+    if (p->store_ == store) {
+      epoch_ = p->epoch_;
+      codebook_ = p->codebook_;
+      store->epochs_.PinAt(epoch_);
+      nok_pin_.emplace(store->nok_.get());  // adopts the outer nok pin
+      break;
+    }
+  }
+  if (codebook_ == nullptr) {
+    std::lock_guard<std::mutex> lock(store->snapshot_mu_);
+    epoch_ = store->epochs_.PinCurrent();
+    codebook_ = store->codebook_;
+    nok_pin_.emplace(store->nok_.get());
+  }
+  tl_secure_pins = this;
+}
+
+SecureStore::SnapshotPin::~SnapshotPin() {
+  SECXML_DCHECK(tl_secure_pins == this);
+  tl_secure_pins = next_;
+  nok_pin_.reset();
+  store_->epochs_.Unpin(epoch_);
+}
+
+// --- Construction / open -------------------------------------------------
+
+SecureStore::SecureStore(std::unique_ptr<NokStore> nok, Codebook codebook)
+    : nok_(std::move(nok)),
+      codebook_(std::make_shared<const Codebook>(std::move(codebook))) {
+  codebook_raw_.store(codebook_.get(), std::memory_order_release);
+}
+
+SecureStore::~SecureStore() = default;
 
 Status SecureStore::Build(const Document& doc, const DolLabeling& labeling,
                           PagedFile* file, const NokStoreOptions& options,
@@ -38,40 +245,276 @@ Status SecureStore::Open(PagedFile* file, const NokStoreOptions& options,
     return Status::InvalidArgument(
         "file holds no codebook; use SecureStore::Persist() when saving");
   }
-  SECXML_ASSIGN_OR_RETURN(Codebook codebook, Codebook::Deserialize(blob));
+  Codebook codebook;
+  uint64_t lsn = 0;
+  SECXML_RETURN_NOT_OK(DecodeStoreBlob(blob, &codebook, &lsn));
   out->reset(new SecureStore(std::move(nok), std::move(codebook)));
+  (*out)->applied_lsn_.store(lsn, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<bool> SecureStore::Accessible(SubjectId subject, NodeId node) {
-  if (subject >= codebook_.num_subjects()) {
-    return Status::InvalidArgument("no such subject");
-  }
-  SECXML_ASSIGN_OR_RETURN(uint32_t code, nok_->AccessCode(node));
-  return codebook_.Accessible(code, subject);
+Status SecureStore::BuildWithWal(const Document& doc,
+                                 const DolLabeling& labeling,
+                                 PagedFile* data_file, PagedFile* wal_file,
+                                 const NokStoreOptions& options,
+                                 std::unique_ptr<SecureStore>* out) {
+  SECXML_RETURN_NOT_OK(Build(doc, labeling, data_file, options, out));
+  SECXML_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                          WriteAheadLog::Open(wal_file));
+  (*out)->wal_ = std::move(wal);
+  // Seal the build with a durable checkpoint so recovery always has a base
+  // snapshot to replay onto.
+  return (*out)->Checkpoint();
 }
+
+Status SecureStore::OpenWithWal(PagedFile* data_file, PagedFile* wal_file,
+                                const NokStoreOptions& options,
+                                std::unique_ptr<SecureStore>* out,
+                                RecoveryStats* recovery) {
+  NokStoreOptions opts = options;
+  opts.recover_superblock = true;
+  std::unique_ptr<NokStore> nok;
+  std::vector<uint8_t> blob;
+  SECXML_RETURN_NOT_OK(NokStore::Open(data_file, opts, &nok, &blob));
+  if (blob.empty()) {
+    return Status::Corruption("recovered store holds no checkpoint blob");
+  }
+  Codebook codebook;
+  uint64_t checkpoint_lsn = 0;
+  SECXML_RETURN_NOT_OK(DecodeStoreBlob(blob, &codebook, &checkpoint_lsn));
+  SECXML_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                          WriteAheadLog::Open(wal_file));
+  std::unique_ptr<SecureStore> store(
+      new SecureStore(std::move(nok), std::move(codebook)));
+  store->wal_ = std::move(wal);
+  store->applied_lsn_.store(checkpoint_lsn, std::memory_order_relaxed);
+
+  RecoveryStats rs;
+  rs.checkpoint_lsn = checkpoint_lsn;
+  rs.records_in_log = store->wal_->num_records();
+  rs.torn_tail = store->wal_->stats().torn_tail;
+  store->recovering_ = true;
+  Status replayed = store->wal_->Replay(
+      checkpoint_lsn, [&](const WriteAheadLog::Record& rec) {
+        Status st = store->ReplayRecord(rec);
+        if (st.ok()) ++rs.records_replayed;
+        return st;
+      });
+  store->recovering_ = false;
+  if (recovery != nullptr) *recovery = rs;
+  SECXML_RETURN_NOT_OK(replayed);
+  *out = std::move(store);
+  return Status::OK();
+}
+
+// --- Snapshot resolution -------------------------------------------------
+
+const Codebook& SecureStore::codebook() const {
+  // Mid-update the writer thread reads its own staged copy so staged
+  // mutations compose; other threads never pass the tid test.
+  if (writer_tid_.load(std::memory_order_relaxed) ==
+          std::this_thread::get_id() &&
+      wcodebook_ != nullptr) {
+    return *wcodebook_;
+  }
+  for (SnapshotPin* p = tl_secure_pins; p != nullptr; p = p->next_) {
+    if (p->store_ == this) return *p->codebook_;
+  }
+  return *codebook_raw_.load(std::memory_order_acquire);
+}
+
+EpochManager::Epoch SecureStore::PinnedEpoch() const {
+  for (SnapshotPin* p = tl_secure_pins; p != nullptr; p = p->next_) {
+    if (p->store_ == this) return p->epoch_;
+  }
+  return 0;
+}
+
+// --- Update transaction machinery ---------------------------------------
+
+Status SecureStore::BeginStaged() {
+  SECXML_RETURN_NOT_OK(nok_->BeginUpdate());
+  // The staged codebook starts from the *committed* one (not a pinned
+  // snapshot the calling thread might hold), so updates always stack on the
+  // latest state.
+  wcodebook_ = std::make_unique<Codebook>(
+      *codebook_raw_.load(std::memory_order_acquire));
+  writer_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void SecureStore::AbortStaged() {
+  nok_->AbortUpdate();
+  writer_tid_.store(std::thread::id(), std::memory_order_relaxed);
+  wcodebook_.reset();
+}
+
+Status SecureStore::CommitStaged(uint32_t wal_type, const std::string& payload,
+                                 CacheEffect effect) {
+  // WAL first: the record must be durable before any reader can observe the
+  // update (write-ahead rule). A failed append aborts the whole update —
+  // fail-closed, the committed snapshot never changed.
+  uint64_t lsn = applied_lsn_.load(std::memory_order_relaxed);
+  if (recovering_) {
+    lsn = replay_lsn_;
+  } else if (wal_ != nullptr) {
+    Result<uint64_t> appended = wal_->Append(wal_type, payload);
+    if (!appended.ok()) {
+      AbortStaged();
+      return appended.status();
+    }
+    lsn = appended.value();
+  }
+
+  // Capture the staged directory before publication: after the commit this
+  // thread's own pins (if any) would alias an older snapshot.
+  const std::vector<NokStore::PageInfo> pages = nok_->page_infos();
+
+  NokStore::UpdateDelta delta;
+  std::shared_ptr<const Codebook> old_codebook;
+  EpochManager::Epoch old_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    Status committed = nok_->CommitUpdate(&delta);
+    if (!committed.ok()) {
+      AbortStaged();
+      return committed;
+    }
+    const size_t old_codes = codebook_->size();
+    auto next = std::make_shared<const Codebook>(std::move(*wcodebook_));
+    old_codebook = std::move(codebook_);
+    codebook_ = next;
+    codebook_raw_.store(next.get(), std::memory_order_release);
+    wcodebook_.reset();
+    writer_tid_.store(std::thread::id(), std::memory_order_relaxed);
+    applied_lsn_.store(lsn, std::memory_order_relaxed);
+    old_epoch = epochs_.current();
+    EpochManager::Epoch new_epoch = epochs_.Advance();
+    MaintainCaches(effect, delta, pages, codebook_, new_epoch, old_codes);
+  }
+  // The superseded codebook lives until every reader pinned at or before
+  // old_epoch drains (their SnapshotPins also hold their own shared_ptr, so
+  // this retire is about bounding the retire queue, not correctness).
+  epochs_.Retire(old_epoch,
+                 [cb = std::move(old_codebook)]() mutable { cb.reset(); });
+  (recovering_ ? counters_.updates_replayed : counters_.updates_applied)
+      .fetch_add(1, std::memory_order_relaxed);
+  counters_.epochs_advanced.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void SecureStore::MaintainCaches(CacheEffect effect,
+                                 const NokStore::UpdateDelta& delta,
+                                 const std::vector<NokStore::PageInfo>& pages,
+                                 const std::shared_ptr<const Codebook>& cb,
+                                 EpochManager::Epoch new_epoch,
+                                 size_t old_codebook_size) {
+  std::lock_guard<std::mutex> hidden_lock(hidden_cache_mu_);
+  std::lock_guard<std::mutex> view_lock(view_cache_mu_);
+  std::lock_guard<std::mutex> column_lock(column_cache_mu_);
+  switch (effect) {
+    case CacheEffect::kDropAll:
+      counters_.views_dropped.fetch_add(view_cache_.size(),
+                                        std::memory_order_relaxed);
+      hidden_cache_.clear();
+      view_cache_.clear();
+      column_cache_.clear();
+      break;
+    case CacheEffect::kSubjectAdded:
+      // A new subject column changes nothing an existing subject's view,
+      // column, or hidden intervals depend on — restamp only.
+      break;
+    case CacheEffect::kPatch: {
+      // Hidden intervals are whole-document aggregates; recompute lazily.
+      hidden_cache_.clear();
+      for (auto& [subject, view] : view_cache_) {
+        view = std::make_shared<const SubjectView>(
+            SubjectView::Patched(*view, *cb, pages, delta));
+        counters_.views_patched.fetch_add(1, std::memory_order_relaxed);
+      }
+      // ACL updates only append codebook entries, so a cached column is
+      // extended in place, never recomputed.
+      for (auto& [subject, column] : column_cache_) {
+        SECXML_DCHECK(column.size() == old_codebook_size);
+        for (size_t code = old_codebook_size; code < cb->size(); ++code) {
+          column.PushBack(
+              cb->Accessible(static_cast<AccessCodeId>(code), subject));
+        }
+        counters_.columns_patched.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+  hidden_cache_epoch_ = new_epoch;
+  view_cache_epoch_ = new_epoch;
+  column_cache_epoch_ = new_epoch;
+}
+
+// --- Mutators ------------------------------------------------------------
 
 Status SecureStore::SetSubtreeAccess(NodeId root, SubjectId subject,
                                      bool accessible) {
-  SECXML_ASSIGN_OR_RETURN(NokRecord rec, nok_->Record(root));
-  return SetRangeAccess(root, root + rec.subtree_size, subject, accessible);
+  std::lock_guard<std::mutex> lock(update_mu_);
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  // Resolve the subtree against the staged state (== committed at this
+  // point) so the logged range is exact, making replay deterministic.
+  Result<NokRecord> rec = nok_->Record(root);
+  if (!rec.ok()) {
+    AbortStaged();
+    return rec.status();
+  }
+  const NodeId end = root + rec->subtree_size;
+  Status staged = SetRangeAccessStaged(root, end, subject, accessible);
+  if (!staged.ok()) {
+    AbortStaged();
+    return staged;
+  }
+  std::string payload;
+  PutU64(&payload, root);
+  PutU64(&payload, end);
+  PutU32(&payload, subject);
+  PutU8(&payload, accessible ? 1 : 0);
+  return CommitStaged(kWalSetRangeAccess, payload, CacheEffect::kPatch);
 }
 
 Status SecureStore::SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
                                    bool accessible) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return SetRangeAccessLocked(begin, end, subject, accessible);
+}
+
+Status SecureStore::SetRangeAccessLocked(NodeId begin, NodeId end,
+                                         SubjectId subject, bool accessible) {
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  Status staged = SetRangeAccessStaged(begin, end, subject, accessible);
+  if (!staged.ok()) {
+    AbortStaged();
+    return staged;
+  }
+  std::string payload;
+  PutU64(&payload, begin);
+  PutU64(&payload, end);
+  PutU32(&payload, subject);
+  PutU8(&payload, accessible ? 1 : 0);
+  return CommitStaged(kWalSetRangeAccess, payload, CacheEffect::kPatch);
+}
+
+Status SecureStore::SetRangeAccessStaged(NodeId begin, NodeId end,
+                                         SubjectId subject, bool accessible) {
   if (begin >= end || end > nok_->num_nodes()) {
     return Status::InvalidArgument("bad node range");
   }
-  if (subject >= codebook_.num_subjects()) {
+  Codebook& cb = *wcodebook_;
+  if (subject >= cb.num_subjects()) {
     return Status::InvalidArgument("no such subject");
   }
   std::unordered_map<AccessCodeId, AccessCodeId> mapped;
   auto map_code = [&](AccessCodeId old) {
     auto it = mapped.find(old);
     if (it != mapped.end()) return it->second;
-    BitVector acl = codebook_.Entry(old);  // copy: Intern may reallocate
+    BitVector acl = cb.Entry(old);  // copy: Intern may reallocate
     acl.Set(subject, accessible);
-    AccessCodeId neu = codebook_.Intern(acl);
+    AccessCodeId neu = cb.Intern(acl);
     mapped.emplace(old, neu);
     return neu;
   };
@@ -121,7 +564,6 @@ Status SecureStore::SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
       prev = new_runs[i].code;
     }
     size_t pages_before = nok_->num_pages();
-    InvalidateVisibilityCache();
     SECXML_RETURN_NOT_OK(nok_->SetPageAcl(ordinal, first_code, new_ts));
     // A split distributes the new ACL over both halves; skip past them.
     ordinal += (nok_->num_pages() > pages_before) ? 2 : 1;
@@ -129,33 +571,152 @@ Status SecureStore::SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
   return Status::OK();
 }
 
+Status SecureStore::DeleteSubtree(NodeId root) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return DeleteSubtreeLocked(root);
+}
+
+Status SecureStore::DeleteSubtreeLocked(NodeId root) {
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  Status staged = nok_->DeleteSubtree(root);  // runs inside our transaction
+  if (!staged.ok()) {
+    AbortStaged();
+    return staged;
+  }
+  std::string payload;
+  PutU64(&payload, root);
+  return CommitStaged(kWalDeleteSubtree, payload, CacheEffect::kPatch);
+}
+
+Result<NodeId> SecureStore::InsertSubtree(
+    NodeId parent, NodeId after, const Document& fragment,
+    const DolLabeling& fragment_labeling) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return InsertSubtreeLocked(parent, after, fragment, fragment_labeling);
+}
+
+Result<NodeId> SecureStore::InsertSubtreeLocked(
+    NodeId parent, NodeId after, const Document& fragment,
+    const DolLabeling& fragment_labeling) {
+  if (fragment_labeling.num_nodes() != fragment.NumNodes()) {
+    return Status::InvalidArgument(
+        "fragment labeling does not match the fragment size");
+  }
+  // A malformed labeling (no transition at node 0, descending nodes) would
+  // otherwise make the CodeAt calls below misresolve codes.
+  SECXML_RETURN_NOT_OK(fragment_labeling.CheckInvariants());
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  if (fragment_labeling.codebook().num_subjects() !=
+      wcodebook_->num_subjects()) {
+    AbortStaged();
+    return Status::InvalidArgument("fragment has a different subject set");
+  }
+  // Re-intern the fragment's codes into this store's codebook once.
+  std::unordered_map<AccessCodeId, uint32_t> mapped;
+  auto code_of = [this, &fragment_labeling, &mapped](NodeId f) -> uint32_t {
+    AccessCodeId frag_code = fragment_labeling.CodeAt(f);
+    auto it = mapped.find(frag_code);
+    if (it != mapped.end()) return it->second;
+    uint32_t code =
+        wcodebook_->Intern(fragment_labeling.codebook().Entry(frag_code));
+    mapped.emplace(frag_code, code);
+    return code;
+  };
+  Result<NodeId> landed =
+      nok_->InsertSubtree(parent, after, fragment, code_of);
+  if (!landed.ok()) {
+    AbortStaged();
+    return landed.status();
+  }
+  std::string payload;
+  PutU64(&payload, parent);
+  PutU64(&payload, after);
+  payload += EncodeFragment(fragment);
+  PutBytes(&payload, fragment_labeling.Serialize());
+  SECXML_RETURN_NOT_OK(
+      CommitStaged(kWalInsertSubtree, payload, CacheEffect::kPatch));
+  return landed.value();
+}
+
+Result<SubjectId> SecureStore::AddSubject(bool default_access) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return AddSubjectLocked(default_access);
+}
+
+Result<SubjectId> SecureStore::AddSubjectLocked(bool default_access) {
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  SubjectId id = wcodebook_->AddSubject(default_access);
+  std::string payload;
+  PutU8(&payload, default_access ? 1 : 0);
+  SECXML_RETURN_NOT_OK(
+      CommitStaged(kWalAddSubject, payload, CacheEffect::kSubjectAdded));
+  return id;
+}
+
+Result<SubjectId> SecureStore::AddSubjectLike(SubjectId like) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return AddSubjectLikeLocked(like);
+}
+
+Result<SubjectId> SecureStore::AddSubjectLikeLocked(SubjectId like) {
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  Result<SubjectId> id = wcodebook_->AddSubjectLike(like);
+  if (!id.ok()) {
+    AbortStaged();
+    return id.status();
+  }
+  std::string payload;
+  PutU32(&payload, like);
+  SECXML_RETURN_NOT_OK(
+      CommitStaged(kWalAddSubjectLike, payload, CacheEffect::kSubjectAdded));
+  return id.value();
+}
+
+Status SecureStore::RemoveSubject(SubjectId subject) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return RemoveSubjectLocked(subject);
+}
+
+Status SecureStore::RemoveSubjectLocked(SubjectId subject) {
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  Status staged = wcodebook_->RemoveSubject(subject);
+  if (!staged.ok()) {
+    AbortStaged();
+    return staged;
+  }
+  std::string payload;
+  PutU32(&payload, subject);
+  // Remaining subjects renumber: views and columns are keyed by subject id,
+  // so everything recompiles lazily under the new epoch.
+  return CommitStaged(kWalRemoveSubject, payload, CacheEffect::kDropAll);
+}
+
 Status SecureStore::CompactCodebook() {
-  // Compaction renumbers codes, so compiled views (whose code->accessible
-  // tables are indexed by code) and cached intervals go stale the moment
-  // pages start rewriting. Drop them before touching any page, and again
-  // after the codebook swap in case a concurrent-read epoch recompiled one
-  // against the half-rewritten state.
-  InvalidateVisibilityCache();
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return CompactCodebookLocked();
+}
+
+Status SecureStore::CompactCodebookLocked() {
+  SECXML_RETURN_NOT_OK(BeginStaged());
   std::vector<AccessCodeId> mapping;
-  Codebook compacted = codebook_.Compacted(&mapping);
-  // The rewrite is one sequential pass; stream the next pages in through
-  // the background prefetcher so the pass overlaps I/O with remapping. The
-  // bounded window keeps the prefetch cursor from running far ahead of
-  // pages SetPageAcl may still split or rewrite; the sweep's destructor
-  // drains every in-flight fetch before we return.
-  PageSweep sweep(nok_.get(), /*skip=*/{}, /*stats=*/nullptr,
-                  /*bounded_window=*/true);
+  Codebook compacted = wcodebook_->Compacted(&mapping);
+  // One sequential pass over the staged directory. Pinned readers keep
+  // resolving codes against the pre-compaction snapshot until commit; no
+  // prefetch sweep here because background workers resolve ordinals against
+  // the committed state, not the staged one.
   for (size_t ordinal = 0; ordinal < nok_->num_pages(); ++ordinal) {
-    sweep.PrefetchFrom(ordinal);
-    const NokStore::PageInfo& info = nok_->page_infos()[ordinal];
-    SECXML_ASSIGN_OR_RETURN(std::vector<DolTransition> ts,
-                            nok_->PageTransitions(ordinal));
+    const NokStore::PageInfo info = nok_->page_infos()[ordinal];
+    Result<std::vector<DolTransition>> ts = nok_->PageTransitions(ordinal);
+    if (!ts.ok()) {
+      AbortStaged();
+      return ts.status();
+    }
     uint32_t first_code = mapping[info.first_code];
     bool changed = first_code != info.first_code;
     // Remap and drop transitions that became no-ops.
     std::vector<DolTransition> remapped;
     uint32_t prev = first_code;
-    for (DolTransition t : ts) {
+    for (DolTransition t : *ts) {
       uint32_t neu = mapping[t.code];
       changed |= neu != t.code;
       if (neu == prev) {
@@ -167,77 +728,172 @@ Status SecureStore::CompactCodebook() {
       prev = neu;
     }
     if (changed) {
-      SECXML_RETURN_NOT_OK(nok_->SetPageAcl(ordinal, first_code,
-                                            std::move(remapped)));
+      Status staged =
+          nok_->SetPageAcl(ordinal, first_code, std::move(remapped));
+      if (!staged.ok()) {
+        AbortStaged();
+        return staged;
+      }
     }
   }
-  codebook_ = std::move(compacted);
-  InvalidateVisibilityCache();
+  *wcodebook_ = std::move(compacted);
+  return CommitStaged(kWalCompactCodebook, std::string(),
+                      CacheEffect::kDropAll);
+}
+
+// --- WAL replay ----------------------------------------------------------
+
+Status SecureStore::ReplayRecord(const WriteAheadLog::Record& record) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  replay_lsn_ = record.lsn;
+  std::string_view p(record.payload);
+  size_t pos = 0;
+  switch (record.type) {
+    case kWalSetRangeAccess: {
+      uint64_t begin = 0, end = 0;
+      uint32_t subject = 0;
+      uint8_t accessible = 0;
+      if (!TakeU64(p, &pos, &begin) || !TakeU64(p, &pos, &end) ||
+          !TakeU32(p, &pos, &subject) || !TakeU8(p, &pos, &accessible) ||
+          pos != p.size()) {
+        return Status::Corruption("malformed SetRangeAccess WAL record");
+      }
+      return SetRangeAccessLocked(static_cast<NodeId>(begin),
+                                  static_cast<NodeId>(end), subject,
+                                  accessible != 0);
+    }
+    case kWalAddSubject: {
+      uint8_t default_access = 0;
+      if (!TakeU8(p, &pos, &default_access) || pos != p.size()) {
+        return Status::Corruption("malformed AddSubject WAL record");
+      }
+      Result<SubjectId> id = AddSubjectLocked(default_access != 0);
+      return id.ok() ? Status::OK() : id.status();
+    }
+    case kWalAddSubjectLike: {
+      uint32_t like = 0;
+      if (!TakeU32(p, &pos, &like) || pos != p.size()) {
+        return Status::Corruption("malformed AddSubjectLike WAL record");
+      }
+      Result<SubjectId> id = AddSubjectLikeLocked(like);
+      return id.ok() ? Status::OK() : id.status();
+    }
+    case kWalRemoveSubject: {
+      uint32_t subject = 0;
+      if (!TakeU32(p, &pos, &subject) || pos != p.size()) {
+        return Status::Corruption("malformed RemoveSubject WAL record");
+      }
+      return RemoveSubjectLocked(subject);
+    }
+    case kWalDeleteSubtree: {
+      uint64_t root = 0;
+      if (!TakeU64(p, &pos, &root) || pos != p.size()) {
+        return Status::Corruption("malformed DeleteSubtree WAL record");
+      }
+      return DeleteSubtreeLocked(static_cast<NodeId>(root));
+    }
+    case kWalInsertSubtree: {
+      uint64_t parent = 0, after = 0;
+      if (!TakeU64(p, &pos, &parent) || !TakeU64(p, &pos, &after)) {
+        return Status::Corruption("malformed InsertSubtree WAL record");
+      }
+      Document fragment;
+      SECXML_RETURN_NOT_OK(DecodeFragment(p, &pos, &fragment));
+      std::vector<uint8_t> labeling_bytes;
+      if (!TakeBytes(p, &pos, &labeling_bytes) || pos != p.size()) {
+        return Status::Corruption("malformed InsertSubtree WAL record");
+      }
+      SECXML_ASSIGN_OR_RETURN(DolLabeling labeling,
+                              DolLabeling::Deserialize(labeling_bytes));
+      Result<NodeId> landed =
+          InsertSubtreeLocked(static_cast<NodeId>(parent),
+                              static_cast<NodeId>(after), fragment, labeling);
+      return landed.ok() ? Status::OK() : landed.status();
+    }
+    case kWalCompactCodebook: {
+      if (!p.empty()) {
+        return Status::Corruption("malformed CompactCodebook WAL record");
+      }
+      return CompactCodebookLocked();
+    }
+    default:
+      return Status::Corruption("unknown WAL record type");
+  }
+}
+
+// --- Durability ----------------------------------------------------------
+
+Status SecureStore::Persist() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return PersistLocked();
+}
+
+Status SecureStore::PersistLocked() {
+  const Codebook* cb = codebook_raw_.load(std::memory_order_acquire);
+  return nok_->Persist(
+      EncodeCheckpointBlob(*cb, applied_lsn_.load(std::memory_order_relaxed)));
+}
+
+Status SecureStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  SECXML_RETURN_NOT_OK(PersistLocked());
+  if (wal_ != nullptr) SECXML_RETURN_NOT_OK(wal_->Truncate());
+  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<NodeId> SecureStore::InsertSubtree(NodeId parent, NodeId after,
-                                          const Document& fragment,
-                                          const DolLabeling& fragment_labeling) {
-  if (fragment_labeling.num_nodes() != fragment.NumNodes()) {
-    return Status::InvalidArgument(
-        "fragment labeling does not match the fragment size");
+// --- Pinned read paths ---------------------------------------------------
+
+Result<bool> SecureStore::Accessible(SubjectId subject, NodeId node) {
+  SnapshotPin pin(this);
+  const Codebook& cb = codebook();
+  if (subject >= cb.num_subjects()) {
+    return Status::InvalidArgument("no such subject");
   }
-  if (fragment_labeling.codebook().num_subjects() != codebook_.num_subjects()) {
-    return Status::InvalidArgument("fragment has a different subject set");
-  }
-  // A malformed labeling (no transition at node 0, descending nodes) would
-  // otherwise make the CodeAt calls below misresolve codes.
-  SECXML_RETURN_NOT_OK(fragment_labeling.CheckInvariants());
-  // Re-intern the fragment's codes into this store's codebook once.
-  std::unordered_map<AccessCodeId, uint32_t> mapped;
-  auto code_of = [this, &fragment_labeling, &mapped](NodeId f) -> uint32_t {
-    AccessCodeId frag_code = fragment_labeling.CodeAt(f);
-    auto it = mapped.find(frag_code);
-    if (it != mapped.end()) return it->second;
-    uint32_t code = codebook_.Intern(fragment_labeling.codebook().Entry(frag_code));
-    mapped.emplace(frag_code, code);
-    return code;
-  };
-  InvalidateVisibilityCache();
-  return nok_->InsertSubtree(parent, after, fragment, code_of);
+  SECXML_ASSIGN_OR_RETURN(uint32_t code, nok_->AccessCode(node));
+  return cb.Accessible(code, subject);
 }
 
 Result<std::shared_ptr<const SubjectView>> SecureStore::View(
     SubjectId subject) {
-  if (subject >= codebook_.num_subjects()) {
+  SnapshotPin pin(this);
+  const Codebook& cb = codebook();
+  if (subject >= cb.num_subjects()) {
     return Status::InvalidArgument("no such subject");
   }
   // Held across the miss: concurrent first users of one subject serialize
-  // briefly and share one snapshot. Compilation scans changed pages for
-  // the check-free bits, taking only buffer-pool shard latches (and the
-  // readahead queue mutex) below us — view_cache_mu_ stays above both in
-  // the lock order.
+  // briefly and share one compilation. Compilation reads pages through this
+  // thread's pin, so it sees exactly the pinned snapshot. A caller at an
+  // older epoch (stamp mismatch) compiles from its snapshot without
+  // polluting the cache.
   std::lock_guard<std::mutex> lock(view_cache_mu_);
-  auto it = view_cache_.find(subject);
-  if (it != view_cache_.end()) return it->second;
+  const bool current = view_cache_epoch_ == pin.epoch();
+  if (current) {
+    auto it = view_cache_.find(subject);
+    if (it != view_cache_.end()) return it->second;
+  }
   auto view = std::make_shared<const SubjectView>(
-      SubjectView::Compile(codebook_, nok_->page_infos(), subject,
-                           nok_.get()));
-  view_cache_.emplace(subject, view);
+      SubjectView::Compile(cb, nok_->page_infos(), subject, nok_.get()));
+  if (current) view_cache_.emplace(subject, view);
   return view;
 }
 
 Result<std::vector<NodeInterval>> SecureStore::HiddenSubtreeIntervals(
     SubjectId subject, ExecStats* stats) {
-  if (subject >= codebook_.num_subjects()) {
+  SnapshotPin pin(this);
+  const Codebook& cb = codebook();
+  if (subject >= cb.num_subjects()) {
     return Status::InvalidArgument("no such subject");
   }
-  // The mutex is held across the miss computation: concurrent queries for
-  // the same subject then compute the sweep once, and the only lock taken
-  // underneath it is the buffer pool's shard latch (a leaf lock), so the
-  // ordering stays acyclic.
   std::lock_guard<std::mutex> lock(hidden_cache_mu_);
-  auto it = hidden_cache_.find(subject);
-  if (it != hidden_cache_.end()) return it->second;
+  const bool current = hidden_cache_epoch_ == pin.epoch();
+  if (current) {
+    auto it = hidden_cache_.find(subject);
+    if (it != hidden_cache_.end()) return it->second;
+  }
   SECXML_ASSIGN_OR_RETURN(std::vector<NodeInterval> hidden,
                           ComputeHiddenSubtreeIntervals(subject, stats));
-  hidden_cache_.emplace(subject, hidden);
+  if (current) hidden_cache_.emplace(subject, hidden);
   return hidden;
 }
 
@@ -246,7 +902,7 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
   // The compiled view answers both per-page verdicts and the inner
   // per-code test with one indexed load each. View() takes view_cache_mu_
   // underneath our caller's hidden_cache_mu_ — the fixed hidden->view
-  // order also used by InvalidateVisibilityCache.
+  // order also used by MaintainCaches.
   SECXML_ASSIGN_OR_RETURN(std::shared_ptr<const SubjectView> view,
                           View(subject));
   std::vector<NodeInterval> hidden;
@@ -311,7 +967,54 @@ Result<std::vector<NodeInterval>> SecureStore::ComputeHiddenSubtreeIntervals(
   return hidden;
 }
 
+std::vector<SubjectClass> SecureStore::GroupSubjects(
+    const std::vector<SubjectId>& subjects) {
+  SnapshotPin pin(this);
+  const Codebook& cb = codebook();
+  std::unique_lock<std::mutex> lock(column_cache_mu_);
+  if (column_cache_epoch_ != pin.epoch()) {
+    // Pinned at an older epoch than the cache serves: group directly from
+    // the pinned codebook without touching the cache.
+    lock.unlock();
+    return GroupSubjectsByColumn(cb, subjects);
+  }
+  // Mirror GroupSubjectsByColumn exactly (first-occurrence class order),
+  // serving columns from the cache. Out-of-range subjects get the fail-
+  // closed all-denied column but are never cached: a later AddSubject could
+  // make the id valid with different rights.
+  std::vector<SubjectClass> classes;
+  std::unordered_map<BitVector, size_t, BitVectorHash> index;
+  std::deque<BitVector> scratch;  // stable addresses for uncached columns
+  for (SubjectId s : subjects) {
+    const BitVector* column;
+    auto it = column_cache_.find(s);
+    if (it != column_cache_.end()) {
+      column = &it->second;
+    } else if (s < cb.num_subjects()) {
+      column = &column_cache_.emplace(s, cb.Column(s)).first->second;
+    } else {
+      scratch.push_back(cb.Column(s));
+      column = &scratch.back();
+    }
+    auto [cit, inserted] = index.emplace(*column, classes.size());
+    if (inserted) classes.emplace_back();
+    classes[cit->second].members.push_back(s);
+  }
+  return classes;
+}
+
+void SecureStore::DropVisibilityCaches() {
+  std::lock_guard<std::mutex> hidden_lock(hidden_cache_mu_);
+  std::lock_guard<std::mutex> view_lock(view_cache_mu_);
+  std::lock_guard<std::mutex> column_lock(column_cache_mu_);
+  hidden_cache_.clear();
+  view_cache_.clear();
+  column_cache_.clear();
+}
+
 Result<DolLabeling> SecureStore::ExtractLabeling() {
+  SnapshotPin pin(this);
+  const Codebook& cb = codebook();
   // Reconstruct per-node codes from the pages, then rebuild a labeling via
   // a map adapter so invariants (normalization) are re-established.
   class CodeMap final : public AccessibilityMap {
@@ -349,7 +1052,23 @@ Result<DolLabeling> SecureStore::ExtractLabeling() {
       codes[info.first_node + slot] = code;
     }
   }
-  return DolLabeling::Build(CodeMap(&codebook_, std::move(codes)));
+  return DolLabeling::Build(CodeMap(&cb, std::move(codes)));
+}
+
+SecureStore::UpdateStats SecureStore::update_stats() const {
+  UpdateStats s;
+  s.updates_applied =
+      counters_.updates_applied.load(std::memory_order_relaxed);
+  s.updates_replayed =
+      counters_.updates_replayed.load(std::memory_order_relaxed);
+  s.epochs_advanced =
+      counters_.epochs_advanced.load(std::memory_order_relaxed);
+  s.views_patched = counters_.views_patched.load(std::memory_order_relaxed);
+  s.views_dropped = counters_.views_dropped.load(std::memory_order_relaxed);
+  s.columns_patched =
+      counters_.columns_patched.load(std::memory_order_relaxed);
+  s.checkpoints = counters_.checkpoints.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace secxml

@@ -1,8 +1,12 @@
 #ifndef SECXML_CORE_SECURE_STORE_H_
 #define SECXML_CORE_SECURE_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -11,9 +15,11 @@
 #include "core/accessibility_map.h"
 #include "core/codebook.h"
 #include "core/dol_labeling.h"
+#include "core/epoch.h"
 #include "core/subject_view.h"
 #include "exec/exec_stats.h"
 #include "nok/nok_store.h"
+#include "storage/wal.h"
 
 namespace secxml {
 
@@ -21,17 +27,85 @@ namespace secxml {
 /// DOL physically embedded (paper Section 3), plus the in-memory codebook.
 /// This is the object the secure query processor runs against.
 ///
-/// Thread safety: the query-time read path — Accessible,
-/// PageWhollyInaccessible, PageWhollyAccessible, HiddenSubtreeIntervals,
-/// codebook(), and everything NokStore documents as read-safe — may be
-/// called from many threads concurrently (this is what QueryDriver does:
-/// one shared SecureStore, many subjects). The codebook is immutable during
-/// reads and Codebook::Accessible is const; HiddenSubtreeIntervals guards
-/// its per-subject cache with an internal mutex. Updates (SetNodeAccess,
+/// Thread safety (DESIGN.md §11): the store is an epoch-versioned snapshot
+/// machine. Every committed update publishes a new immutable snapshot
+/// (codebook + NokStore state + visibility caches) and advances the epoch;
+/// a query takes a SnapshotPin and evaluates entirely against the snapshot
+/// that was current when the pin was taken, so one writer may run
+/// concurrently with any number of query threads and no query ever observes
+/// a half-applied update. Updates themselves (SetNodeAccess,
 /// SetSubtreeAccess, SetRangeAccess, DeleteSubtree, InsertSubtree,
-/// Add/RemoveSubject, CompactCodebook, Persist) require exclusive access.
+/// Add/RemoveSubject, CompactCodebook) are serialized on an internal writer
+/// mutex and are atomic: they either commit completely or leave the store
+/// unchanged (fail-closed).
+///
+/// Durability: with an attached write-ahead log (BuildWithWal/OpenWithWal)
+/// every update is appended and synced to the log *before* it is published
+/// to readers, so a crash at any point either recovers the update completely
+/// or not at all. Checkpoint() persists the current snapshot and truncates
+/// the log; OpenWithWal() recovers the last checkpoint (scanning backward
+/// for the superblock — shadow paging keeps it intact) and replays the
+/// log's tail.
 class SecureStore {
  public:
+  /// WAL record types (logical redo records; replay re-executes the same
+  /// update code that originally ran).
+  enum WalRecordType : uint32_t {
+    kWalSetRangeAccess = 1,
+    kWalAddSubject = 2,
+    kWalAddSubjectLike = 3,
+    kWalRemoveSubject = 4,
+    kWalDeleteSubtree = 5,
+    kWalInsertSubtree = 6,
+    kWalCompactCodebook = 7,
+  };
+
+  /// What OpenWithWal() did to bring the store back.
+  struct RecoveryStats {
+    uint64_t checkpoint_lsn = 0;    ///< LSN recorded by the last checkpoint
+    uint64_t records_in_log = 0;    ///< valid records the WAL scan found
+    uint64_t records_replayed = 0;  ///< records with lsn > checkpoint_lsn
+    uint64_t torn_tail = 0;         ///< 1 if the WAL dropped a torn tail
+  };
+
+  /// Update-path counters (all monotonically increasing; readable from any
+  /// thread while updates run).
+  struct UpdateStats {
+    uint64_t updates_applied = 0;   ///< committed updates (live, not replay)
+    uint64_t updates_replayed = 0;  ///< updates re-executed from the WAL
+    uint64_t epochs_advanced = 0;
+    uint64_t views_patched = 0;     ///< cached views maintained incrementally
+    uint64_t views_dropped = 0;     ///< cached views discarded (recompile)
+    uint64_t columns_patched = 0;   ///< cached codebook columns extended
+    uint64_t checkpoints = 0;
+  };
+
+  /// RAII epoch pin: while alive, every read made *on this thread* against
+  /// this store — codebook(), Accessible, page verdicts, View,
+  /// HiddenSubtreeIntervals, GroupSubjects, and all NokStore reads — resolves
+  /// against the snapshot that was committed when the pin was taken,
+  /// regardless of concurrent update commits. Pins nest: an inner pin on the
+  /// same store adopts the outer pin's epoch, so helper code can pin
+  /// defensively without ever straddling two snapshots. Queries take one pin
+  /// for their whole evaluation (QueryEvaluator/BatchEvaluator do this).
+  class SnapshotPin {
+   public:
+    explicit SnapshotPin(SecureStore* store);
+    ~SnapshotPin();
+    SnapshotPin(const SnapshotPin&) = delete;
+    SnapshotPin& operator=(const SnapshotPin&) = delete;
+
+    EpochManager::Epoch epoch() const { return epoch_; }
+
+   private:
+    friend class SecureStore;
+    SecureStore* store_;
+    EpochManager::Epoch epoch_ = 0;
+    std::shared_ptr<const Codebook> codebook_;
+    std::optional<NokStore::ReadPin> nok_pin_;
+    SnapshotPin* next_ = nullptr;  ///< previous head of the thread's chain
+  };
+
   /// Builds the physical store from a document and its logical DOL in one
   /// document-order pass (structure and access codes are laid out together,
   /// Section 3.2). The labeling's codebook is copied in.
@@ -40,19 +114,50 @@ class SecureStore {
                       std::unique_ptr<SecureStore>* out);
 
   /// Reopens a store previously saved with Persist() (structure, embedded
-  /// codes, and codebook all restored).
+  /// codes, and codebook all restored). No write-ahead log is attached.
   static Status Open(PagedFile* file, const NokStoreOptions& options,
                      std::unique_ptr<SecureStore>* out);
 
-  /// Persists the store: NoK snapshot plus the codebook (kept in the
-  /// snapshot's user blob).
-  Status Persist() { return nok_->Persist(codebook_.Serialize()); }
+  /// Build() plus an attached write-ahead log on `wal_file`, sealed with an
+  /// initial checkpoint, so every later update is crash-recoverable.
+  static Status BuildWithWal(const Document& doc, const DolLabeling& labeling,
+                             PagedFile* data_file, PagedFile* wal_file,
+                             const NokStoreOptions& options,
+                             std::unique_ptr<SecureStore>* out);
+
+  /// Crash-recovering open: restores the most recent durable checkpoint from
+  /// `data_file` (backward superblock scan; shadow paging guarantees the
+  /// checkpoint's pages are intact even when later update pages landed after
+  /// it), then replays every WAL record past the checkpoint's LSN. Updates
+  /// that never reached the log (crash before the append synced) are rolled
+  /// back by omission — exactly the fail-closed contract of the update path.
+  static Status OpenWithWal(PagedFile* data_file, PagedFile* wal_file,
+                            const NokStoreOptions& options,
+                            std::unique_ptr<SecureStore>* out,
+                            RecoveryStats* recovery = nullptr);
+
+  /// Persists the current snapshot: NoK superblock plus a checkpoint blob
+  /// (codebook + the LSN of the last applied update) in the superblock's
+  /// user area. Requires no update in flight; queries may continue.
+  Status Persist();
+
+  /// Persist() followed by WAL truncation: the log's records are now
+  /// redundant with the durable checkpoint. A crash between the two steps is
+  /// safe — replay skips records at or below the checkpoint LSN.
+  Status Checkpoint();
 
   SecureStore(const SecureStore&) = delete;
   SecureStore& operator=(const SecureStore&) = delete;
+  ~SecureStore();
 
   NokStore* nok() { return nok_.get(); }
-  const Codebook& codebook() const { return codebook_; }
+
+  /// The codebook of the calling thread's snapshot: the pinned epoch's
+  /// codebook under a SnapshotPin, the staged working copy on the writer
+  /// thread mid-update, else the latest committed one. The reference is
+  /// valid for the pin's lifetime (pinned) or until the next commit
+  /// (unpinned — the historical single-threaded contract).
+  const Codebook& codebook() const;
 
   NodeId num_nodes() const { return nok_->num_nodes(); }
 
@@ -70,7 +175,7 @@ class SecureStore {
   bool PageWhollyInaccessible(size_t page_ordinal, SubjectId subject) const {
     const NokStore::PageInfo& info = nok_->page_infos()[page_ordinal];
     return SubjectView::ClassifyPage(
-               info, codebook_.Accessible(info.first_code, subject)) ==
+               info, codebook().Accessible(info.first_code, subject)) ==
            SubjectView::PageVerdict::kDead;
   }
 
@@ -78,11 +183,21 @@ class SecureStore {
   bool PageWhollyAccessible(size_t page_ordinal, SubjectId subject) const {
     const NokStore::PageInfo& info = nok_->page_infos()[page_ordinal];
     return SubjectView::ClassifyPage(
-               info, codebook_.Accessible(info.first_code, subject)) ==
+               info, codebook().Accessible(info.first_code, subject)) ==
            SubjectView::PageVerdict::kLive;
   }
 
   // --- Updates (paper Section 3.4) -------------------------------------
+  //
+  // Every mutator is one atomic transaction: it stages against private
+  // copies (shadow-paged pages, a working codebook), appends one WAL record
+  // (when a log is attached), and only then publishes the new snapshot and
+  // advances the epoch. Any failure — staging error, WAL append error —
+  // aborts the whole update and leaves the committed snapshot untouched.
+  // Cached SubjectViews and codebook columns are maintained *incrementally*
+  // at commit from the update's page delta (Proposition 1 keeps the delta
+  // small); only subject removal and codebook compaction, which renumber
+  // codes or subjects, drop caches for recompilation.
 
   /// Sets `subject`'s accessibility for a single node. Touches only the
   /// node's page (read + write).
@@ -101,10 +216,7 @@ class SecureStore {
   /// Structural deletion (Section 3.4): removes the subtree rooted at
   /// `root` together with its embedded labels; later nodes renumber
   /// implicitly and keep their access codes.
-  Status DeleteSubtree(NodeId root) {
-    InvalidateVisibilityCache();
-    return nok_->DeleteSubtree(root);
-  }
+  Status DeleteSubtree(NodeId root);
 
   /// Structural insertion (Section 3.4): splices `fragment` (whose nodes
   /// already carry access controls via `fragment_labeling`, over the same
@@ -116,31 +228,25 @@ class SecureStore {
                                const DolLabeling& fragment_labeling);
 
   /// Adds a subject with uniform `default_access`; codebook-only (no page
-  /// I/O), per Section 3.4.
-  SubjectId AddSubject(bool default_access) {
-    return codebook_.AddSubject(default_access);
-  }
+  /// I/O), per Section 3.4. Fails only when the WAL append fails (the
+  /// update is then not applied).
+  Result<SubjectId> AddSubject(bool default_access);
 
   /// Adds a subject whose rights mirror an existing subject's; codebook-only.
   /// Fails with InvalidArgument if `like` does not exist.
-  Result<SubjectId> AddSubjectLike(SubjectId like) {
-    return codebook_.AddSubjectLike(like);
-  }
+  Result<SubjectId> AddSubjectLike(SubjectId like);
 
   /// Removes a subject; codebook-only. Embedded codes stay valid; duplicate
   /// codebook entries are tolerated and cleaned lazily.
-  Status RemoveSubject(SubjectId subject) {
-    // Remaining subjects renumber, so cached per-subject intervals would be
-    // misattributed.
-    InvalidateVisibilityCache();
-    return codebook_.RemoveSubject(subject);
-  }
+  Status RemoveSubject(SubjectId subject);
 
   /// The lazy maintenance pass of Section 3.4: deduplicates the codebook
   /// (duplicates accumulate after subject removals) and rewrites every
   /// page's embedded codes through the remapping, merging transitions that
   /// became redundant. One sequential pass; pages whose codes are already
-  /// canonical and merged are left untouched.
+  /// canonical and merged are left untouched. Runs as one update
+  /// transaction: concurrent pinned queries keep reading the pre-compaction
+  /// snapshot until it commits.
   Status CompactCodebook();
 
   // --- Support for the stricter view semantics (Section 4.2) -----------
@@ -151,11 +257,12 @@ class SecureStore {
   /// once, and pages whose in-memory header proves them wholly accessible
   /// and not under a hidden subtree are not loaded at all.
   ///
-  /// Results are cached per subject and invalidated by any accessibility or
-  /// structural update, so repeated view-semantics queries by one subject
-  /// pay the sweep once. Safe for concurrent callers: the cache is guarded
-  /// by an internal mutex (held across a miss's sweep, so concurrent
-  /// view-semantics queries serialize on the first computation).
+  /// Results are cached per subject for the current epoch; any
+  /// accessibility or structural update moves the cache to the new epoch
+  /// (dropping entries the update could have changed), so repeated
+  /// view-semantics queries by one subject pay the sweep once per epoch.
+  /// Safe for concurrent callers; a pinned caller at an older epoch
+  /// computes from its snapshot without polluting the cache.
   ///
   /// With a non-null `stats`, a cache miss's sweep counts its work there
   /// (nodes_scanned per probed slot, codes_checked per ACCESS probe,
@@ -168,17 +275,25 @@ class SecureStore {
 
   /// The compiled access view for `subject` (flat code->accessible table,
   /// per-page verdicts, dead-run skip index — see SubjectView). Compiled on
-  /// first use and cached; every accessibility, structural, or subject
-  /// update drops the cache, so a later call recompiles against the new
-  /// state. Safe for concurrent callers: the cache is guarded by an
-  /// internal mutex (held across a miss's compilation, which performs no
-  /// I/O), and the returned shared_ptr keeps the snapshot alive for the
-  /// caller even after invalidation.
+  /// first use and cached per epoch. At commit, an update patches the
+  /// cached views incrementally from its page delta (SubjectView::Patched)
+  /// instead of dropping them, so the next query pays O(delta) maintenance,
+  /// not a recompile; a view compiled for one epoch is never served at
+  /// another. Safe for concurrent callers; the returned shared_ptr keeps
+  /// the snapshot alive for the caller across later commits.
   Result<std::shared_ptr<const SubjectView>> View(SubjectId subject);
 
-  /// Drops the cached hidden intervals and compiled views, as any update
-  /// would. Benchmarks and tests use this to measure cold recomputation.
-  void DropVisibilityCaches() { InvalidateVisibilityCache(); }
+  /// Partitions `subjects` into visibility equivalence classes (equal
+  /// codebook columns — see GroupSubjectsByColumn), serving columns from an
+  /// epoch-stamped cache that updates patch incrementally (ACL updates only
+  /// append codebook entries, so a cached column is extended, not
+  /// recomputed). The batch evaluator's entry point.
+  std::vector<SubjectClass> GroupSubjects(
+      const std::vector<SubjectId>& subjects);
+
+  /// Drops the cached hidden intervals, compiled views, and codebook
+  /// columns. Benchmarks and tests use this to measure cold recomputation.
+  void DropVisibilityCaches();
 
   /// Rebuilds the logical DolLabeling from the physical pages (for tests
   /// and for re-deriving statistics after updates).
@@ -186,34 +301,143 @@ class SecureStore {
 
   const IoStats& io_stats() const { return nok_->io_stats(); }
 
+  /// The epoch manager (pin accounting; tests assert zero leaked pins).
+  EpochManager* epochs() { return &epochs_; }
+
+  /// The attached write-ahead log, or nullptr when none.
+  const WriteAheadLog* wal() const { return wal_.get(); }
+
+  /// LSN of the last update applied to the in-memory state (0 = none /
+  /// checkpoint only).
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_relaxed);
+  }
+
+  UpdateStats update_stats() const;
+
  private:
-  SecureStore(std::unique_ptr<NokStore> nok, Codebook codebook)
-      : nok_(std::move(nok)), codebook_(std::move(codebook)) {}
+  /// How a committed update affects the epoch-stamped visibility caches.
+  enum class CacheEffect {
+    /// Pages and/or codebook entries changed; patch views and columns from
+    /// the delta, drop hidden intervals.
+    kPatch,
+    /// A subject column was appended; existing subjects' views, columns,
+    /// and hidden intervals all stay valid — restamp only.
+    kSubjectAdded,
+    /// Codes or subjects renumbered; everything recompiles lazily.
+    kDropAll,
+  };
+
+  SecureStore(std::unique_ptr<NokStore> nok, Codebook codebook);
+
+  /// The calling thread's pinned epoch for this store, or 0 when unpinned.
+  EpochManager::Epoch PinnedEpoch() const;
+
+  /// Opens the staged side of an update: a NokStore transaction plus a
+  /// private working codebook (codebook() resolves to it on this thread).
+  Status BeginStaged();
+  /// Discards the staged side; the committed snapshot never changed.
+  void AbortStaged();
+  /// Seals an update: appends its WAL record (unless replaying), publishes
+  /// the staged NokStore state and codebook, advances the epoch, maintains
+  /// the visibility caches per `effect`, and retires the superseded
+  /// codebook into the epoch manager.
+  Status CommitStaged(uint32_t wal_type, const std::string& payload,
+                      CacheEffect effect);
+
+  /// Cache maintenance at commit; caller holds snapshot_mu_. `pages` is the
+  /// just-committed page directory (passed in rather than re-read so a pin
+  /// held by the calling thread cannot alias an older snapshot);
+  /// `old_codebook_size` is the entry count before the update (cached
+  /// columns are extended from there — ACL updates only append entries).
+  void MaintainCaches(CacheEffect effect, const NokStore::UpdateDelta& delta,
+                      const std::vector<NokStore::PageInfo>& pages,
+                      const std::shared_ptr<const Codebook>& codebook,
+                      EpochManager::Epoch new_epoch, size_t old_codebook_size);
+
+  // Update bodies running under update_mu_ (shared by the public mutators
+  // and WAL replay; replay passes through with recovering_ set so no new
+  // records are logged).
+  Status SetRangeAccessLocked(NodeId begin, NodeId end, SubjectId subject,
+                              bool accessible);
+  Status DeleteSubtreeLocked(NodeId root);
+  Result<NodeId> InsertSubtreeLocked(NodeId parent, NodeId after,
+                                     const Document& fragment,
+                                     const DolLabeling& fragment_labeling);
+  Result<SubjectId> AddSubjectLocked(bool default_access);
+  Result<SubjectId> AddSubjectLikeLocked(SubjectId like);
+  Status RemoveSubjectLocked(SubjectId subject);
+  Status CompactCodebookLocked();
+
+  /// The page-rewriting body of SetRangeAccess, already inside a staged
+  /// transaction.
+  Status SetRangeAccessStaged(NodeId begin, NodeId end, SubjectId subject,
+                              bool accessible);
+
+  /// Re-executes one WAL record through the update bodies above.
+  Status ReplayRecord(const WriteAheadLog::Record& record);
+
+  /// Persist body; caller holds update_mu_.
+  Status PersistLocked();
 
   /// Computes hidden intervals without consulting the cache, counting the
   /// sweep's work into `stats` when non-null.
   Result<std::vector<NodeInterval>> ComputeHiddenSubtreeIntervals(
       SubjectId subject, ExecStats* stats);
 
-  /// Drops everything derived from the current accessibility state: the
-  /// per-subject hidden intervals and the compiled SubjectViews. Lock order
-  /// is hidden_cache_mu_ before view_cache_mu_, matching the miss path of
-  /// HiddenSubtreeIntervals (which compiles a view while holding the hidden
-  /// cache mutex).
-  void InvalidateVisibilityCache() {
-    std::lock_guard<std::mutex> hidden_lock(hidden_cache_mu_);
-    std::lock_guard<std::mutex> view_lock(view_cache_mu_);
-    hidden_cache_.clear();
-    view_cache_.clear();
-  }
-
   std::unique_ptr<NokStore> nok_;
-  Codebook codebook_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  EpochManager epochs_;
+
+  /// Serializes all mutators, Persist, and Checkpoint (the single-writer
+  /// contract). Never held by readers.
+  std::mutex update_mu_;
+
+  /// Guards snapshot publication against pin acquisition: a commit holds it
+  /// while swapping in the new NokStore state, codebook, and epoch, so a
+  /// pin taken concurrently sees either all of an update or none of it.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Codebook> codebook_;
+  /// Lock-free mirror of codebook_.get() for unpinned readers.
+  std::atomic<const Codebook*> codebook_raw_{nullptr};
+
+  /// Staged working codebook of the open update (writer thread only).
+  std::unique_ptr<Codebook> wcodebook_;
+  std::atomic<std::thread::id> writer_tid_{};
+
+  /// True while OpenWithWal replays the log (suppresses re-logging).
+  bool recovering_ = false;
+  /// LSN of the record currently being replayed.
+  uint64_t replay_lsn_ = 0;
+  std::atomic<uint64_t> applied_lsn_{0};
+
+  // Epoch-stamped visibility caches. Each cache's stamp names the epoch its
+  // entries were computed (or patched) for; a lookup only hits when the
+  // caller's epoch equals the stamp, so a view compiled for one epoch is
+  // never served at another. Lock order: hidden before view before column
+  // (MaintainCaches and the hidden-miss path, which compiles a view while
+  // holding the hidden mutex).
   std::mutex hidden_cache_mu_;
+  EpochManager::Epoch hidden_cache_epoch_ = 1;
   std::unordered_map<SubjectId, std::vector<NodeInterval>> hidden_cache_;
   std::mutex view_cache_mu_;
+  EpochManager::Epoch view_cache_epoch_ = 1;
   std::unordered_map<SubjectId, std::shared_ptr<const SubjectView>>
       view_cache_;
+  std::mutex column_cache_mu_;
+  EpochManager::Epoch column_cache_epoch_ = 1;
+  std::unordered_map<SubjectId, BitVector> column_cache_;
+
+  struct Counters {
+    std::atomic<uint64_t> updates_applied{0};
+    std::atomic<uint64_t> updates_replayed{0};
+    std::atomic<uint64_t> epochs_advanced{0};
+    std::atomic<uint64_t> views_patched{0};
+    std::atomic<uint64_t> views_dropped{0};
+    std::atomic<uint64_t> columns_patched{0};
+    std::atomic<uint64_t> checkpoints{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace secxml

@@ -76,4 +76,75 @@ SubjectView SubjectView::Compile(const Codebook& codebook,
   return view;
 }
 
+SubjectView SubjectView::Patched(const SubjectView& old,
+                                 const Codebook& codebook,
+                                 const std::vector<NokStore::PageInfo>& pages,
+                                 const NokStore::UpdateDelta& delta) {
+  SECXML_DCHECK(old.subject_ < codebook.num_subjects());
+  SubjectView view;
+  view.subject_ = old.subject_;
+  view.num_pages_ = pages.size();
+
+  // ACL updates only append codebook entries; extend the byte table for the
+  // new codes and keep the old prefix verbatim.
+  view.code_accessible_ = old.code_accessible_;
+  const size_t old_codes = view.code_accessible_.size();
+  SECXML_DCHECK(old_codes <= codebook.size());
+  view.code_accessible_.resize(codebook.size());
+  for (size_t code = old_codes; code < codebook.size(); ++code) {
+    view.code_accessible_[code] =
+        codebook.Accessible(static_cast<AccessCodeId>(code), old.subject_)
+            ? 1
+            : 0;
+  }
+
+  view.verdicts_.assign((pages.size() + 3) / 4, 0);
+  view.check_free_.assign((pages.size() + 7) / 8, 0);
+  size_t fi = 0;  // cursor into delta.fresh (ordinal-ascending)
+  for (size_t i = 0; i < pages.size(); ++i) {
+    const int64_t old_ord =
+        i < delta.old_ordinal_of.size() ? delta.old_ordinal_of[i] : -1;
+    PageVerdict v;
+    bool free;
+    if (old_ord >= 0 && static_cast<size_t>(old_ord) < old.num_pages_) {
+      // Untouched page: bytes identical, codes' accessibility unchanged.
+      v = old.Verdict(static_cast<size_t>(old_ord));
+      free = old.PageCheckFree(static_cast<size_t>(old_ord));
+    } else {
+      v = ClassifyPage(pages[i],
+                       view.code_accessible_[pages[i].first_code] != 0);
+      while (fi < delta.fresh.size() && delta.fresh[fi].ordinal < i) ++fi;
+      if (fi < delta.fresh.size() && delta.fresh[fi].ordinal == i) {
+        // The delta's run codes are exactly what Compile's check-free scan
+        // would read off the page (first code, then each transition).
+        free = true;
+        for (uint32_t code : delta.fresh[fi].run_codes) {
+          if (code >= view.code_accessible_.size() ||
+              view.code_accessible_[code] == 0) {
+            free = false;  // fail closed on any inaccessible / foreign code
+            break;
+          }
+        }
+      } else {
+        // A fresh page without recorded runs should not happen; stay
+        // conservative (forfeits the fast path, never lies).
+        free = v == PageVerdict::kLive;
+      }
+    }
+    view.verdicts_[i >> 2] |= static_cast<uint8_t>(static_cast<uint8_t>(v)
+                                                   << ((i & 3) * 2));
+    if (free) {
+      view.check_free_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+    }
+  }
+
+  view.next_live_.resize(pages.size());
+  uint32_t next = static_cast<uint32_t>(pages.size());
+  for (size_t i = pages.size(); i-- > 0;) {
+    if (!view.PageWhollyDead(i)) next = static_cast<uint32_t>(i);
+    view.next_live_[i] = next;
+  }
+  return view;
+}
+
 }  // namespace secxml

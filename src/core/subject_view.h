@@ -64,6 +64,23 @@ class SubjectView {
                              const std::vector<NokStore::PageInfo>& pages,
                              SubjectId subject, NokStore* nok = nullptr);
 
+  /// Incremental maintenance at update commit (DESIGN.md §11): derives the
+  /// new epoch's view from `old` (compiled against the pre-update snapshot)
+  /// and the committed transaction's page delta, without reading any page.
+  /// Untouched pages carry their verdict and check-free bits over verbatim
+  /// (their bytes are unchanged and ACL updates never mutate existing
+  /// codebook entries — only append; mutating updates renumber and drop the
+  /// cache instead of patching). Fresh pages are classified from their
+  /// header and their delta-recorded code runs — exactly the bits Compile
+  /// would read off the page. Proposition 1 bounds the delta at a handful
+  /// of pages per update, so the patch is O(pages copied) bookkeeping where
+  /// a recompile is O(codebook + pages + changed-page I/O).
+  /// `pages` must be the post-commit page directory; `codebook` the
+  /// post-commit codebook, of which `old`'s codebook must be a prefix.
+  static SubjectView Patched(const SubjectView& old, const Codebook& codebook,
+                             const std::vector<NokStore::PageInfo>& pages,
+                             const NokStore::UpdateDelta& delta);
+
   /// The one place an in-memory page header is classified into a verdict:
   /// `first_code_accessible` is the subject's accessibility of
   /// `info.first_code` (byte-table or codebook probe — the caller's choice).

@@ -50,6 +50,11 @@ struct ExecStats {
   /// subjects_batched - classes_evaluated.
   uint64_t class_dedup_hits = 0;
 
+  /// Epoch snapshot pins taken by this evaluation (one per query or batch:
+  /// the whole evaluation runs against the pinned snapshot while updates
+  /// commit concurrently — DESIGN.md §11).
+  uint64_t epoch_pins = 0;
+
   ExecStats& operator+=(const ExecStats& o) {
     nodes_scanned += o.nodes_scanned;
     codes_checked += o.codes_checked;
@@ -61,6 +66,7 @@ struct ExecStats {
     subjects_batched += o.subjects_batched;
     classes_evaluated += o.classes_evaluated;
     class_dedup_hits += o.class_dedup_hits;
+    epoch_pins += o.epoch_pins;
     return *this;
   }
 };

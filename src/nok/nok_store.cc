@@ -51,7 +51,260 @@ void ComposePage(const NokPageHeader& header,
   }
 }
 
+/// Everything a superblock restores, parsed into temporaries so a recovery
+/// scan can discard a torn candidate and keep looking.
+struct ParsedSuper {
+  std::vector<PageId> directory;
+  TagDictionary tags;
+  std::vector<std::string> values;
+  std::vector<uint8_t> user_blob;
+};
+
+/// Validates `super` (already read from a candidate page) and parses its
+/// blob pages. Returns Corruption for any inconsistency.
+Status ParseSuperblock(BufferPool* pool, PagedFile* file,
+                       const Superblock& super, ParsedSuper* out) {
+  if (super.version != 1 ||
+      super.blob_start + super.blob_pages > file->NumPages() ||
+      super.payload_bytes >
+          static_cast<uint64_t>(super.blob_pages) * kPageSize) {
+    return Status::Corruption("invalid superblock");
+  }
+  std::vector<uint8_t> blob(super.payload_bytes);
+  size_t read = 0;
+  for (uint32_t i = 0; i < super.blob_pages; ++i) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(super.blob_start + i));
+    size_t chunk = std::min(kPageSize, blob.size() - read);
+    std::memcpy(blob.data() + read, page.page().data.data(), chunk);
+    read += chunk;
+  }
+  size_t pos = 0;
+  if (blob.size() < static_cast<size_t>(super.dir_entries) * 4 + 4) {
+    return Status::Corruption("truncated superblock payload");
+  }
+  for (uint32_t i = 0; i < super.dir_entries; ++i) {
+    out->directory.push_back(ReadU32(blob, &pos));
+  }
+  uint32_t tag_count = ReadU32(blob, &pos);
+  for (uint32_t t = 0; t < tag_count; ++t) {
+    if (pos + 4 > blob.size()) {
+      return Status::Corruption("truncated tag dictionary");
+    }
+    uint32_t len = ReadU32(blob, &pos);
+    if (pos + len > blob.size()) {
+      return Status::Corruption("truncated tag dictionary");
+    }
+    out->tags.Intern(std::string_view(
+        reinterpret_cast<const char*>(blob.data() + pos), len));
+    pos += len;
+  }
+  if (pos + 4 > blob.size()) {
+    return Status::Corruption("truncated value pool");
+  }
+  uint32_t value_count = ReadU32(blob, &pos);
+  out->values.reserve(value_count);
+  for (uint32_t v = 0; v < value_count; ++v) {
+    if (pos + 4 > blob.size()) {
+      return Status::Corruption("truncated value pool");
+    }
+    uint32_t len = ReadU32(blob, &pos);
+    if (pos + len > blob.size()) {
+      return Status::Corruption("truncated value pool");
+    }
+    out->values.emplace_back(reinterpret_cast<const char*>(blob.data() + pos),
+                             len);
+    pos += len;
+  }
+  if (pos + 4 > blob.size()) {
+    return Status::Corruption("truncated user blob");
+  }
+  uint32_t user_len = ReadU32(blob, &pos);
+  if (pos + user_len > blob.size()) {
+    return Status::Corruption("truncated user blob");
+  }
+  out->user_blob.assign(blob.begin() + static_cast<long>(pos),
+                        blob.begin() + static_cast<long>(pos + user_len));
+  return Status::OK();
+}
+
+/// The thread's innermost-first chain of snapshot pins (across all stores;
+/// read_state walks it looking for this store).
+thread_local NokStore::ReadPin* tl_pins = nullptr;
+
 }  // namespace
+
+const std::vector<NodeId> NokStore::empty_postings_;
+
+NokStore::NokStore(PagedFile* file, const NokStoreOptions& options)
+    : options_(options),
+      pool_(file, options.buffer_pool_pages, options.buffer_pool_shards),
+      state_(std::make_shared<const State>()) {
+  state_raw_.store(state_.get(), std::memory_order_release);
+  if (options_.readahead_window > 0) {
+    readahead_ =
+        std::make_unique<Readahead>(&pool_, options_.readahead_workers);
+  }
+}
+
+NokStore::ReadPin::ReadPin(const NokStore* store)
+    : store_(store), next_(tl_pins) {
+  // Adopt an enclosing pin's snapshot on this thread so nested pins can
+  // never straddle a commit; otherwise latch the latest committed state.
+  for (ReadPin* p = next_; p != nullptr; p = p->next_) {
+    if (p->store_ == store) {
+      state_ = p->state_;
+      break;
+    }
+  }
+  if (state_ == nullptr) {
+    std::lock_guard<std::mutex> lock(store->state_mu_);
+    state_ = store->state_;
+  }
+  tl_pins = this;
+}
+
+NokStore::ReadPin::~ReadPin() {
+  assert(tl_pins == this);
+  tl_pins = next_;
+}
+
+const NokStore::State& NokStore::read_state() const {
+  // The writer thread sees its own staged state mid-transaction, so staged
+  // mutations compose (e.g. the multi-page run rewrite of a range update).
+  // Other threads never dereference work_: they fail the tid test first.
+  if (writer_tid_.load(std::memory_order_relaxed) ==
+          std::this_thread::get_id() &&
+      work_ != nullptr) {
+    return *work_;
+  }
+  for (ReadPin* p = tl_pins; p != nullptr; p = p->next_) {
+    if (p->store_ == this) return *p->state_;
+  }
+  return *state_raw_.load(std::memory_order_acquire);
+}
+
+Status NokStore::BeginUpdate() {
+  if (work_ != nullptr) {
+    return Status::InvalidArgument("update transaction already open");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    work_ = std::make_unique<State>(*state_);
+  }
+  fresh_codes_.clear();
+  writer_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status NokStore::CommitUpdate(UpdateDelta* delta) {
+  if (work_ == nullptr) {
+    return Status::InvalidArgument("no open update transaction");
+  }
+  if (delta != nullptr) {
+    delta->fresh.clear();
+    delta->old_ordinal_of.assign(work_->pages.size(), -1);
+    std::unordered_map<PageId, size_t> old_ordinals;
+    old_ordinals.reserve(state_->pages.size());
+    for (size_t i = 0; i < state_->pages.size(); ++i) {
+      old_ordinals.emplace(state_->pages[i].page_id, i);
+    }
+    for (size_t i = 0; i < work_->pages.size(); ++i) {
+      PageId id = work_->pages[i].page_id;
+      auto fresh = fresh_codes_.find(id);
+      if (fresh != fresh_codes_.end()) {
+        delta->fresh.push_back(UpdateDelta::PageCodePatch{i, fresh->second});
+        continue;
+      }
+      auto old = old_ordinals.find(id);
+      if (old != old_ordinals.end()) {
+        delta->old_ordinal_of[i] = static_cast<int64_t>(old->second);
+      }
+    }
+    delta->pages_changed = !delta->fresh.empty() ||
+                           work_->pages.size() != state_->pages.size() ||
+                           work_->num_nodes != state_->num_nodes;
+  }
+  auto next = std::make_shared<const State>(std::move(*work_));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(next);
+    state_raw_.store(state_.get(), std::memory_order_release);
+  }
+  work_.reset();
+  wtags_.reset();
+  wvalues_.reset();
+  wpostings_.reset();
+  fresh_codes_.clear();
+  writer_tid_.store(std::thread::id(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void NokStore::AbortUpdate() {
+  work_.reset();
+  wtags_.reset();
+  wvalues_.reset();
+  wpostings_.reset();
+  fresh_codes_.clear();
+  writer_tid_.store(std::thread::id(), std::memory_order_relaxed);
+}
+
+TagDictionary& NokStore::wip_tags() {
+  if (wtags_ == nullptr) {
+    wtags_ = std::make_shared<TagDictionary>(*work_->tags);
+    work_->tags = wtags_;
+  }
+  return *wtags_;
+}
+
+std::vector<std::string>& NokStore::wip_values() {
+  if (wvalues_ == nullptr) {
+    wvalues_ = std::make_shared<std::vector<std::string>>(*work_->values);
+    work_->values = wvalues_;
+  }
+  return *wvalues_;
+}
+
+std::vector<std::vector<NodeId>>& NokStore::wip_postings() {
+  if (wpostings_ == nullptr) {
+    wpostings_ =
+        std::make_shared<std::vector<std::vector<NodeId>>>(*work_->postings);
+    work_->postings = wpostings_;
+  }
+  return *wpostings_;
+}
+
+void NokStore::NoteFreshPage(PageId id, uint32_t first_code,
+                             const std::vector<DolTransition>& transitions) {
+  std::vector<uint32_t> runs;
+  runs.reserve(transitions.size() + 1);
+  runs.push_back(first_code);
+  for (const DolTransition& t : transitions) runs.push_back(t.code);
+  fresh_codes_[id] = std::move(runs);
+}
+
+Result<PageHandle> NokStore::CowFetch(size_t ordinal) {
+  PageInfo& info = wip().pages[ordinal];
+  if (fresh_codes_.count(info.page_id) != 0) {
+    // Already shadow-copied (or composed) by this transaction.
+    return pool_.Fetch(info.page_id);
+  }
+  SECXML_ASSIGN_OR_RETURN(PageHandle old, pool_.Fetch(info.page_id));
+  SECXML_ASSIGN_OR_RETURN(PageHandle fresh, pool_.Allocate());
+  fresh.mutable_page()->data = old.page().data;
+  fresh.MarkDirty();
+  NokPageHeader header = fresh.page().ReadAt<NokPageHeader>(0);
+  SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, info.page_id));
+  std::vector<uint32_t> runs;
+  runs.reserve(header.num_transitions + 1u);
+  runs.push_back(header.first_code);
+  for (uint32_t i = 0; i < header.num_transitions; ++i) {
+    runs.push_back(
+        fresh.page().ReadAt<DolTransition>(TransitionOffset(i)).code);
+  }
+  fresh_codes_.emplace(fresh.page_id(), std::move(runs));
+  info.page_id = fresh.page_id();
+  return fresh;
+}
 
 Status NokStore::Build(const Document& doc, PagedFile* file,
                        const NokStoreOptions& options,
@@ -62,9 +315,12 @@ Status NokStore::Build(const Document& doc, PagedFile* file,
     return Status::InvalidArgument("Build requires an empty paged file");
   }
   std::unique_ptr<NokStore> store(new NokStore(file, options));
-  store->num_nodes_ = static_cast<NodeId>(doc.NumNodes());
-  store->tags_ = doc.tags();
-  store->postings_.resize(store->tags_.size());
+  SECXML_RETURN_NOT_OK(store->BeginUpdate());
+  store->wip().num_nodes = static_cast<NodeId>(doc.NumNodes());
+  store->wip_tags() = doc.tags();
+  std::vector<std::string>& values = store->wip_values();
+  std::vector<std::vector<NodeId>>& postings = store->wip_postings();
+  postings.resize(store->wip().tags->size());
 
   const uint32_t max_records =
       options.max_records_per_page == 0
@@ -94,7 +350,7 @@ Status NokStore::Build(const Document& doc, PagedFile* file,
     info.first_depth = header.first_depth;
     info.first_code = header.first_code;
     info.change_bit = header.change_bit();
-    store->pages_.push_back(info);
+    store->wip().pages.push_back(info);
     records.clear();
     transitions.clear();
     return Status::OK();
@@ -130,34 +386,39 @@ Status NokStore::Build(const Document& doc, PagedFile* file,
     rec.subtree_size = doc.SubtreeSize(n);
     rec.depth = doc.Depth(n);
     if (doc.HasValue(n)) {
-      rec.value_ref = static_cast<uint32_t>(store->values_.size());
-      store->values_.emplace_back(doc.Value(n));
+      rec.value_ref = static_cast<uint32_t>(values.size());
+      values.emplace_back(doc.Value(n));
     }
     records.push_back(rec);
-    store->postings_[rec.tag].push_back(n);
+    postings[rec.tag].push_back(n);
     prev_code = code;
   }
   if (!records.empty()) {
     SECXML_RETURN_NOT_OK(flush_page());
   }
+  SECXML_RETURN_NOT_OK(store->CommitUpdate());
   SECXML_RETURN_NOT_OK(store->pool_.FlushAll());
   *out = std::move(store);
   return Status::OK();
 }
 
 Status NokStore::Persist(const std::vector<uint8_t>& user_blob) {
+  if (work_ != nullptr) {
+    return Status::InvalidArgument("Persist inside an update transaction");
+  }
   SECXML_RETURN_NOT_OK(pool_.FlushAll());
+  const State& st = read_state();
   // Serialize the directory (ordered page ids) and the tag dictionary.
   std::vector<uint8_t> blob;
-  for (const PageInfo& info : pages_) AppendU32(&blob, info.page_id);
-  AppendU32(&blob, static_cast<uint32_t>(tags_.size()));
-  for (TagId t = 0; t < tags_.size(); ++t) {
-    const std::string& name = tags_.Name(t);
+  for (const PageInfo& info : st.pages) AppendU32(&blob, info.page_id);
+  AppendU32(&blob, static_cast<uint32_t>(st.tags->size()));
+  for (TagId t = 0; t < st.tags->size(); ++t) {
+    const std::string& name = st.tags->Name(t);
     AppendU32(&blob, static_cast<uint32_t>(name.size()));
     blob.insert(blob.end(), name.begin(), name.end());
   }
-  AppendU32(&blob, static_cast<uint32_t>(values_.size()));
-  for (const std::string& v : values_) {
+  AppendU32(&blob, static_cast<uint32_t>(st.values->size()));
+  for (const std::string& v : *st.values) {
     AppendU32(&blob, static_cast<uint32_t>(v.size()));
     blob.insert(blob.end(), v.begin(), v.end());
   }
@@ -165,8 +426,8 @@ Status NokStore::Persist(const std::vector<uint8_t>& user_blob) {
   blob.insert(blob.end(), user_blob.begin(), user_blob.end());
 
   Superblock super;
-  super.num_nodes = num_nodes_;
-  super.dir_entries = static_cast<uint32_t>(pages_.size());
+  super.num_nodes = st.num_nodes;
+  super.dir_entries = static_cast<uint32_t>(st.pages.size());
   super.payload_bytes = blob.size();
   super.blob_pages =
       static_cast<uint32_t>((blob.size() + kPageSize - 1) / kPageSize);
@@ -198,89 +459,57 @@ Status NokStore::Open(PagedFile* file, const NokStoreOptions& options,
   }
   std::unique_ptr<NokStore> store(new NokStore(file, options));
 
-  // A Persist() snapshot? The last page carries the superblock.
-  std::vector<PageId> directory;
+  ParsedSuper parsed;
   bool have_snapshot = false;
-  {
+  if (options.recover_superblock) {
+    // Crash recovery: updates after the last checkpoint appended pages past
+    // its superblock, and a torn Persist may have left garbage at the end.
+    // Shadow paging never overwrites a checkpoint's pages, so scanning
+    // backward for the first fully parseable superblock always lands on the
+    // latest durable checkpoint.
+    for (PageId p = file->NumPages(); p-- > 0;) {
+      Page raw;
+      SECXML_RETURN_NOT_OK(file->ReadPage(p, &raw));
+      Superblock super = raw.ReadAt<Superblock>(0);
+      if (super.magic != kSuperMagic) continue;
+      parsed = ParsedSuper();
+      Status st = ParseSuperblock(&store->pool_, file, super, &parsed);
+      if (st.ok()) {
+        have_snapshot = true;
+        break;
+      }
+      if (st.code() != StatusCode::kCorruption) return st;
+    }
+    if (!have_snapshot) {
+      return Status::Corruption(
+          "recovery found no valid superblock (no checkpoint on device)");
+    }
+  } else {
+    // A Persist() snapshot? The last page carries the superblock.
     SECXML_ASSIGN_OR_RETURN(PageHandle last,
                             store->pool_.Fetch(file->NumPages() - 1));
     Superblock super = last.page().ReadAt<Superblock>(0);
     if (super.magic == kSuperMagic) {
-      if (super.version != 1 ||
-          super.blob_start + super.blob_pages > file->NumPages() ||
-          super.payload_bytes > static_cast<uint64_t>(super.blob_pages) *
-                                    kPageSize) {
-        return Status::Corruption("invalid superblock");
-      }
-      std::vector<uint8_t> blob(super.payload_bytes);
-      size_t read = 0;
-      for (uint32_t i = 0; i < super.blob_pages; ++i) {
-        SECXML_ASSIGN_OR_RETURN(PageHandle page,
-                                store->pool_.Fetch(super.blob_start + i));
-        size_t chunk = std::min(kPageSize, blob.size() - read);
-        std::memcpy(blob.data() + read, page.page().data.data(), chunk);
-        read += chunk;
-      }
-      size_t pos = 0;
-      if (blob.size() < static_cast<size_t>(super.dir_entries) * 4 + 4) {
-        return Status::Corruption("truncated superblock payload");
-      }
-      for (uint32_t i = 0; i < super.dir_entries; ++i) {
-        directory.push_back(ReadU32(blob, &pos));
-      }
-      uint32_t tag_count = ReadU32(blob, &pos);
-      for (uint32_t t = 0; t < tag_count; ++t) {
-        if (pos + 4 > blob.size()) {
-          return Status::Corruption("truncated tag dictionary");
-        }
-        uint32_t len = ReadU32(blob, &pos);
-        if (pos + len > blob.size()) {
-          return Status::Corruption("truncated tag dictionary");
-        }
-        store->tags_.Intern(std::string_view(
-            reinterpret_cast<const char*>(blob.data() + pos), len));
-        pos += len;
-      }
-      if (pos + 4 > blob.size()) {
-        return Status::Corruption("truncated value pool");
-      }
-      uint32_t value_count = ReadU32(blob, &pos);
-      store->values_.reserve(value_count);
-      for (uint32_t v = 0; v < value_count; ++v) {
-        if (pos + 4 > blob.size()) {
-          return Status::Corruption("truncated value pool");
-        }
-        uint32_t len = ReadU32(blob, &pos);
-        if (pos + len > blob.size()) {
-          return Status::Corruption("truncated value pool");
-        }
-        store->values_.emplace_back(
-            reinterpret_cast<const char*>(blob.data() + pos), len);
-        pos += len;
-      }
-      if (pos + 4 > blob.size()) {
-        return Status::Corruption("truncated user blob");
-      }
-      uint32_t user_len = ReadU32(blob, &pos);
-      if (pos + user_len > blob.size()) {
-        return Status::Corruption("truncated user blob");
-      }
-      if (user_blob != nullptr) {
-        user_blob->assign(blob.begin() + static_cast<long>(pos),
-                          blob.begin() + static_cast<long>(pos + user_len));
-      }
+      SECXML_RETURN_NOT_OK(
+          ParseSuperblock(&store->pool_, file, super, &parsed));
       have_snapshot = true;
     }
   }
   if (!have_snapshot) {
     // Legacy layout: pages in physical order equal document order (true for
     // freshly built stores; splits and structural updates require Persist).
-    directory.resize(file->NumPages());
-    for (PageId id = 0; id < file->NumPages(); ++id) directory[id] = id;
+    parsed.directory.resize(file->NumPages());
+    for (PageId id = 0; id < file->NumPages(); ++id) parsed.directory[id] = id;
   }
+  if (user_blob != nullptr) *user_blob = std::move(parsed.user_blob);
+
+  SECXML_RETURN_NOT_OK(store->BeginUpdate());
+  store->wip_tags() = std::move(parsed.tags);
+  store->wip_values() = std::move(parsed.values);
+  std::vector<std::vector<NodeId>>& postings = store->wip_postings();
 
   NodeId next_node = 0;
-  for (PageId id : directory) {
+  for (PageId id : parsed.directory) {
     SECXML_ASSIGN_OR_RETURN(PageHandle handle, store->pool_.Fetch(id));
     NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
     if (header.num_records == 0 ||
@@ -295,19 +524,20 @@ Status NokStore::Open(PagedFile* file, const NokStoreOptions& options,
     info.first_depth = header.first_depth;
     info.first_code = header.first_code;
     info.change_bit = header.change_bit();
-    store->pages_.push_back(info);
+    store->wip().pages.push_back(info);
 
     // Rebuild the tag index while the page is resident.
     for (uint32_t slot = 0; slot < header.num_records; ++slot) {
       NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
-      while (store->postings_.size() <= rec.tag) {
-        store->postings_.emplace_back();
+      while (postings.size() <= rec.tag) {
+        postings.emplace_back();
       }
-      store->postings_[rec.tag].push_back(next_node + slot);
+      postings[rec.tag].push_back(next_node + slot);
     }
     next_node += header.num_records;
   }
-  store->num_nodes_ = next_node;
+  store->wip().num_nodes = next_node;
+  SECXML_RETURN_NOT_OK(store->CommitUpdate());
   *out = std::move(store);
   return Status::OK();
 }
@@ -338,15 +568,32 @@ Status CheckNodeInPage(const NokStore::PageInfo& info, NodeId n) {
 
 }  // namespace
 
+NodeId NokStore::num_nodes() const { return read_state().num_nodes; }
+
+size_t NokStore::num_pages() const { return read_state().pages.size(); }
+
+const std::vector<NokStore::PageInfo>& NokStore::page_infos() const {
+  return read_state().pages;
+}
+
+const TagDictionary& NokStore::tags() const { return *read_state().tags; }
+
+std::string_view NokStore::Value(const NokRecord& rec) const {
+  return rec.value_ref == kNoValueRef
+             ? std::string_view()
+             : std::string_view((*read_state().values)[rec.value_ref]);
+}
+
 size_t NokStore::PageOrdinalOf(NodeId n) const {
   // Largest ordinal with first_node <= n. Total for any n (a corrupt or
   // out-of-range id maps to the last page and is rejected downstream by
   // CheckNodeInPage) so release builds never index out of bounds here.
-  if (pages_.empty()) return 0;
-  size_t lo = 0, hi = pages_.size();
+  const std::vector<PageInfo>& pages = read_state().pages;
+  if (pages.empty()) return 0;
+  size_t lo = 0, hi = pages.size();
   while (hi - lo > 1) {
     size_t mid = (lo + hi) / 2;
-    if (pages_[mid].first_node <= n) {
+    if (pages[mid].first_node <= n) {
       lo = mid;
     } else {
       hi = mid;
@@ -356,7 +603,7 @@ size_t NokStore::PageOrdinalOf(NodeId n) const {
 }
 
 Result<NokRecord> NokStore::Record(NodeId n) {
-  if (n >= num_nodes_) {
+  if (n >= read_state().num_nodes) {
     return Status::OutOfRange("node id " + std::to_string(n) +
                               " out of range");
   }
@@ -364,11 +611,12 @@ Result<NokRecord> NokStore::Record(NodeId n) {
 }
 
 Result<NokRecord> NokStore::RecordInPage(size_t ordinal, NodeId n) {
-  if (ordinal >= pages_.size()) {
+  const std::vector<PageInfo>& pages = read_state().pages;
+  if (ordinal >= pages.size()) {
     return Status::Corruption("page ordinal " + std::to_string(ordinal) +
                               " out of range");
   }
-  const PageInfo& info = pages_[ordinal];
+  const PageInfo& info = pages[ordinal];
   SECXML_RETURN_NOT_OK(CheckNodeInPage(info, n));
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t slot = n - info.first_node;
@@ -376,7 +624,7 @@ Result<NokRecord> NokStore::RecordInPage(size_t ordinal, NodeId n) {
 }
 
 Status NokStore::RecordAndCode(NodeId n, NokRecord* record, uint32_t* code) {
-  if (n >= num_nodes_) {
+  if (n >= read_state().num_nodes) {
     return Status::OutOfRange("node id " + std::to_string(n) +
                               " out of range");
   }
@@ -385,11 +633,12 @@ Status NokStore::RecordAndCode(NodeId n, NokRecord* record, uint32_t* code) {
 
 Status NokStore::RecordAndCodeInPage(size_t ordinal, NodeId n,
                                      NokRecord* record, uint32_t* code) {
-  if (ordinal >= pages_.size()) {
+  const std::vector<PageInfo>& pages = read_state().pages;
+  if (ordinal >= pages.size()) {
     return Status::Corruption("page ordinal " + std::to_string(ordinal) +
                               " out of range");
   }
-  const PageInfo& info = pages_[ordinal];
+  const PageInfo& info = pages[ordinal];
   SECXML_RETURN_NOT_OK(CheckNodeInPage(info, n));
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t slot = n - info.first_node;
@@ -409,12 +658,13 @@ Status NokStore::RecordAndCodeInPage(size_t ordinal, NodeId n,
 }
 
 Result<uint32_t> NokStore::AccessCode(NodeId n) {
-  if (n >= num_nodes_) {
+  const State& st = read_state();
+  if (n >= st.num_nodes) {
     return Status::OutOfRange("node id " + std::to_string(n) +
                               " out of range");
   }
   size_t ordinal = PageOrdinalOf(n);
-  const PageInfo& info = pages_[ordinal];
+  const PageInfo& info = st.pages[ordinal];
   uint32_t slot = n - info.first_node;
   // Without the change bit, every node in the page shares the initial code;
   // this is the in-memory-header fast path of Section 3.3.
@@ -433,16 +683,18 @@ Result<uint32_t> NokStore::AccessCode(NodeId n) {
 }
 
 const std::vector<NodeId>& NokStore::Postings(TagId tag) const {
-  if (tag >= postings_.size()) return empty_postings_;
-  return postings_[tag];
+  const std::vector<std::vector<NodeId>>& postings = *read_state().postings;
+  if (tag >= postings.size()) return empty_postings_;
+  return postings[tag];
 }
 
 Result<NodeId> NokStore::FirstAtDepthInPage(size_t ordinal, uint16_t depth,
                                             NodeId from_node, NodeId limit) {
-  if (ordinal >= pages_.size()) {
+  const std::vector<PageInfo>& pages = read_state().pages;
+  if (ordinal >= pages.size()) {
     return Status::OutOfRange("page ordinal out of range");
   }
-  const PageInfo& info = pages_[ordinal];
+  const PageInfo& info = pages[ordinal];
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   uint32_t first_slot =
       from_node > info.first_node ? from_node - info.first_node : 0;
@@ -456,13 +708,14 @@ Result<NodeId> NokStore::FirstAtDepthInPage(size_t ordinal, uint16_t depth,
 }
 
 Result<std::vector<DolTransition>> NokStore::PageTransitions(size_t ordinal) {
-  if (ordinal >= pages_.size()) {
+  const std::vector<PageInfo>& pages = read_state().pages;
+  if (ordinal >= pages.size()) {
     return Status::OutOfRange("page ordinal out of range");
   }
   SECXML_ASSIGN_OR_RETURN(PageHandle handle,
-                          pool_.Fetch(pages_[ordinal].page_id));
+                          pool_.Fetch(pages[ordinal].page_id));
   NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
-  SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, pages_[ordinal].page_id));
+  SECXML_RETURN_NOT_OK(CheckOnDiskHeader(header, pages[ordinal].page_id));
   std::vector<DolTransition> result;
   result.reserve(header.num_transitions);
   for (uint32_t i = 0; i < header.num_transitions; ++i) {
@@ -473,10 +726,23 @@ Result<std::vector<DolTransition>> NokStore::PageTransitions(size_t ordinal) {
 
 Status NokStore::SetPageAcl(size_t ordinal, uint32_t first_code,
                             std::vector<DolTransition> transitions) {
-  if (ordinal >= pages_.size()) {
+  bool auto_txn = !InUpdate();
+  if (auto_txn) SECXML_RETURN_NOT_OK(BeginUpdate());
+  Status st = SetPageAclStaged(ordinal, first_code, std::move(transitions));
+  if (!auto_txn) return st;
+  if (!st.ok()) {
+    AbortUpdate();
+    return st;
+  }
+  return CommitUpdate();
+}
+
+Status NokStore::SetPageAclStaged(size_t ordinal, uint32_t first_code,
+                                  std::vector<DolTransition> transitions) {
+  if (ordinal >= wip().pages.size()) {
     return Status::OutOfRange("page ordinal out of range");
   }
-  PageInfo& info = pages_[ordinal];
+  PageInfo& info = wip().pages[ordinal];
   for (size_t i = 0; i < transitions.size(); ++i) {
     if (transitions[i].slot == 0 || transitions[i].slot >= info.num_records ||
         (i > 0 && transitions[i].slot <= transitions[i - 1].slot)) {
@@ -488,7 +754,7 @@ Status NokStore::SetPageAcl(size_t ordinal, uint32_t first_code,
                 static_cast<uint32_t>(transitions.size()))) {
     return SplitAndSet(ordinal, first_code, transitions);
   }
-  SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+  SECXML_ASSIGN_OR_RETURN(PageHandle handle, CowFetch(ordinal));
   NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
   header.first_code = first_code;
   header.num_transitions = static_cast<uint16_t>(transitions.size());
@@ -498,26 +764,29 @@ Status NokStore::SetPageAcl(size_t ordinal, uint32_t first_code,
     handle.mutable_page()->WriteAt(TransitionOffset(i), transitions[i]);
   }
   handle.MarkDirty();
-  info.first_code = first_code;
-  info.change_bit = header.change_bit();
+  // Re-read info: CowFetch may have repointed the entry's page_id.
+  PageInfo& fresh_info = wip().pages[ordinal];
+  fresh_info.first_code = first_code;
+  fresh_info.change_bit = header.change_bit();
+  NoteFreshPage(fresh_info.page_id, first_code, transitions);
   return Status::OK();
 }
 
 Status NokStore::SplitAndSet(size_t ordinal, uint32_t first_code,
                              const std::vector<DolTransition>& transitions) {
-  PageInfo& left_info = pages_[ordinal];
-  if (left_info.num_records < 2) {
+  if (wip().pages[ordinal].num_records < 2) {
     return Status::Corruption("cannot split a page with fewer than 2 records");
   }
-  // Read all records of the overfull page.
-  std::vector<NokRecord> records(left_info.num_records);
+  // Read all records of the overfull page (committed or staged image).
+  std::vector<NokRecord> records(wip().pages[ordinal].num_records);
   {
-    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(left_info.page_id));
-    for (uint32_t i = 0; i < left_info.num_records; ++i) {
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle,
+                            pool_.Fetch(wip().pages[ordinal].page_id));
+    for (uint32_t i = 0; i < records.size(); ++i) {
       records[i] = handle.page().ReadAt<NokRecord>(RecordOffset(i));
     }
   }
-  uint32_t split = left_info.num_records / 2;
+  uint32_t split = static_cast<uint32_t>(records.size()) / 2;
 
   // Partition the intended transitions; compute the code in effect at the
   // split point for the right page's header.
@@ -535,7 +804,9 @@ Status NokStore::SplitAndSet(size_t ordinal, uint32_t first_code,
     }
   }
 
-  // Write the right page (new), then shrink the left page in place.
+  // Both halves are composed into fresh pages: the right one is new, and
+  // the left one shadow-replaces the original so the committed image
+  // survives for pinned readers and recovery.
   SECXML_ASSIGN_OR_RETURN(PageHandle right, pool_.Allocate());
   NokPageHeader right_header;
   right_header.num_records = static_cast<uint16_t>(records.size() - split);
@@ -546,9 +817,17 @@ Status NokStore::SplitAndSet(size_t ordinal, uint32_t first_code,
   ComposePage(right_header, records.data() + split, right_ts,
               right.mutable_page());
   right.MarkDirty();
+  NoteFreshPage(right.page_id(), right_first_code, right_ts);
 
   {
-    SECXML_ASSIGN_OR_RETURN(PageHandle left, pool_.Fetch(left_info.page_id));
+    PageInfo& left_info = wip().pages[ordinal];
+    PageHandle left;
+    if (fresh_codes_.count(left_info.page_id) != 0) {
+      SECXML_ASSIGN_OR_RETURN(left, pool_.Fetch(left_info.page_id));
+    } else {
+      SECXML_ASSIGN_OR_RETURN(left, pool_.Allocate());
+      left_info.page_id = left.page_id();
+    }
     NokPageHeader left_header;
     left_header.num_records = static_cast<uint16_t>(split);
     left_header.first_depth = records[0].depth;
@@ -557,8 +836,10 @@ Status NokStore::SplitAndSet(size_t ordinal, uint32_t first_code,
     left_header.set_change_bit(!left_ts.empty());
     ComposePage(left_header, records.data(), left_ts, left.mutable_page());
     left.MarkDirty();
+    NoteFreshPage(left_info.page_id, first_code, left_ts);
   }
 
+  PageInfo& left_info = wip().pages[ordinal];
   PageInfo right_info;
   right_info.page_id = right.page_id();
   right_info.first_node = left_info.first_node + split;
@@ -571,17 +852,19 @@ Status NokStore::SplitAndSet(size_t ordinal, uint32_t first_code,
   left_info.first_code = first_code;
   left_info.change_bit = !left_ts.empty();
 
-  pages_.insert(pages_.begin() + static_cast<long>(ordinal) + 1, right_info);
+  wip().pages.insert(wip().pages.begin() + static_cast<long>(ordinal) + 1,
+                     right_info);
   return Status::OK();
 }
 
 Status NokStore::ReadPageContents(size_t ordinal,
                                   std::vector<NokRecord>* records,
                                   std::vector<uint32_t>* codes) {
-  if (ordinal >= pages_.size()) {
+  const std::vector<PageInfo>& pages = read_state().pages;
+  if (ordinal >= pages.size()) {
     return Status::OutOfRange("page ordinal out of range");
   }
-  const PageInfo& info = pages_[ordinal];
+  const PageInfo& info = pages[ordinal];
   SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
   NokPageHeader header = handle.page().ReadAt<NokPageHeader>(0);
   records->clear();
@@ -608,7 +891,7 @@ Status NokStore::ReadPageContents(size_t ordinal,
 
 void NokStore::RebuildFirstNodes() {
   NodeId next = 0;
-  for (PageInfo& info : pages_) {
+  for (PageInfo& info : wip().pages) {
     info.first_node = next;
     next += info.num_records;
   }
@@ -617,7 +900,7 @@ void NokStore::RebuildFirstNodes() {
 Status NokStore::ReplacePageRange(size_t begin_ord, size_t end_ord,
                                   const std::vector<NokRecord>& records,
                                   const std::vector<uint32_t>& codes) {
-  assert(begin_ord <= end_ord && end_ord <= pages_.size());
+  assert(begin_ord <= end_ord && end_ord <= wip().pages.size());
   assert(records.size() == codes.size());
   const uint32_t max_records =
       options_.max_records_per_page == 0
@@ -654,6 +937,7 @@ Status NokStore::ReplacePageRange(size_t begin_ord, size_t end_ord,
     header.set_change_bit(!ts.empty());
     ComposePage(header, records.data() + i, ts, handle.mutable_page());
     handle.MarkDirty();
+    NoteFreshPage(handle.page_id(), header.first_code, ts);
     PageInfo info;
     info.page_id = handle.page_id();
     info.num_records = header.num_records;
@@ -664,17 +948,18 @@ Status NokStore::ReplacePageRange(size_t begin_ord, size_t end_ord,
     i += count;
   }
 
-  pages_.erase(pages_.begin() + static_cast<long>(begin_ord),
-               pages_.begin() + static_cast<long>(end_ord));
-  pages_.insert(pages_.begin() + static_cast<long>(begin_ord),
-                new_infos.begin(), new_infos.end());
+  std::vector<PageInfo>& pages = wip().pages;
+  pages.erase(pages.begin() + static_cast<long>(begin_ord),
+              pages.begin() + static_cast<long>(end_ord));
+  pages.insert(pages.begin() + static_cast<long>(begin_ord),
+               new_infos.begin(), new_infos.end());
   RebuildFirstNodes();
   return Status::OK();
 }
 
 Status NokStore::AncestorChain(NodeId target, std::vector<NodeId>* chain) {
   chain->clear();
-  if (target >= num_nodes_) {
+  if (target >= read_state().num_nodes) {
     return Status::OutOfRange("node id out of range");
   }
   NodeId x = 0;
@@ -695,8 +980,8 @@ Status NokStore::AdjustSubtreeSizes(const std::vector<NodeId>& chain,
                                     int64_t delta) {
   for (NodeId n : chain) {
     size_t ordinal = PageOrdinalOf(n);
-    const PageInfo& info = pages_[ordinal];
-    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, CowFetch(ordinal));
+    const PageInfo& info = wip().pages[ordinal];
     uint32_t slot = n - info.first_node;
     NokRecord rec = handle.page().ReadAt<NokRecord>(RecordOffset(slot));
     rec.subtree_size = static_cast<uint32_t>(
@@ -708,7 +993,7 @@ Status NokStore::AdjustSubtreeSizes(const std::vector<NodeId>& chain,
 }
 
 void NokStore::SplicePostings(NodeId pos, NodeId removed, NodeId added) {
-  for (std::vector<NodeId>& list : postings_) {
+  for (std::vector<NodeId>& list : wip_postings()) {
     size_t out = 0;
     for (size_t i = 0; i < list.size(); ++i) {
       NodeId id = list[i];
@@ -724,6 +1009,18 @@ void NokStore::SplicePostings(NodeId pos, NodeId removed, NodeId added) {
 }
 
 Status NokStore::DeleteSubtree(NodeId root) {
+  bool auto_txn = !InUpdate();
+  if (auto_txn) SECXML_RETURN_NOT_OK(BeginUpdate());
+  Status st = DeleteSubtreeStaged(root);
+  if (!auto_txn) return st;
+  if (!st.ok()) {
+    AbortUpdate();
+    return st;
+  }
+  return CommitUpdate();
+}
+
+Status NokStore::DeleteSubtreeStaged(NodeId root) {
   if (root == 0) {
     return Status::InvalidArgument("cannot delete the document root");
   }
@@ -743,7 +1040,7 @@ Status NokStore::DeleteSubtree(NodeId root) {
     std::vector<NokRecord> recs;
     std::vector<uint32_t> codes;
     SECXML_RETURN_NOT_OK(ReadPageContents(first_ord, &recs, &codes));
-    uint32_t cut = root - pages_[first_ord].first_node;
+    uint32_t cut = root - wip().pages[first_ord].first_node;
     kept.assign(recs.begin(), recs.begin() + cut);
     kept_codes.assign(codes.begin(), codes.begin() + cut);
   }
@@ -751,18 +1048,37 @@ Status NokStore::DeleteSubtree(NodeId root) {
     std::vector<NokRecord> recs;
     std::vector<uint32_t> codes;
     SECXML_RETURN_NOT_OK(ReadPageContents(last_ord, &recs, &codes));
-    uint32_t cut = end - pages_[last_ord].first_node;
+    uint32_t cut = end - wip().pages[last_ord].first_node;
     kept.insert(kept.end(), recs.begin() + cut, recs.end());
     kept_codes.insert(kept_codes.end(), codes.begin() + cut, codes.end());
   }
   SECXML_RETURN_NOT_OK(
       ReplacePageRange(first_ord, last_ord + 1, kept, kept_codes));
-  num_nodes_ -= count;
+  wip().num_nodes -= count;
   SplicePostings(root, count, 0);
   return Status::OK();
 }
 
 Result<NodeId> NokStore::InsertSubtree(
+    NodeId parent, NodeId after, const Document& fragment,
+    const std::function<uint32_t(NodeId)>& code_of) {
+  bool auto_txn = !InUpdate();
+  if (auto_txn) {
+    Status st = BeginUpdate();
+    if (!st.ok()) return st;
+  }
+  Result<NodeId> r = InsertSubtreeStaged(parent, after, fragment, code_of);
+  if (!auto_txn) return r;
+  if (!r.ok()) {
+    AbortUpdate();
+    return r;
+  }
+  Status st = CommitUpdate();
+  if (!st.ok()) return st;
+  return r;
+}
+
+Result<NodeId> NokStore::InsertSubtreeStaged(
     NodeId parent, NodeId after, const Document& fragment,
     const std::function<uint32_t(NodeId)>& code_of) {
   if (fragment.empty()) {
@@ -796,27 +1112,28 @@ Result<NodeId> NokStore::InsertSubtree(
   uint16_t base_depth = static_cast<uint16_t>(prec.depth + 1);
   for (NodeId f = 0; f < count; ++f) {
     NokRecord r;
-    r.tag = tags_.Intern(fragment.TagName(f));
-    while (postings_.size() <= r.tag) postings_.emplace_back();
+    r.tag = wip_tags().Intern(fragment.TagName(f));
+    while (wip_postings().size() <= r.tag) wip_postings().emplace_back();
     r.subtree_size = fragment.SubtreeSize(f);
     r.depth = static_cast<uint16_t>(base_depth + fragment.Depth(f));
     if (fragment.HasValue(f)) {
-      r.value_ref = static_cast<uint32_t>(values_.size());
-      values_.emplace_back(fragment.Value(f));
+      r.value_ref = static_cast<uint32_t>(wip_values().size());
+      wip_values().emplace_back(fragment.Value(f));
     }
     frag_recs[f] = r;
     frag_codes[f] = code_of ? code_of(f) : 0;
   }
 
-  if (p == num_nodes_) {
-    SECXML_RETURN_NOT_OK(ReplacePageRange(pages_.size(), pages_.size(),
-                                          frag_recs, frag_codes));
+  if (p == wip().num_nodes) {
+    SECXML_RETURN_NOT_OK(ReplacePageRange(wip().pages.size(),
+                                          wip().pages.size(), frag_recs,
+                                          frag_codes));
   } else {
     size_t ord = PageOrdinalOf(p);
     std::vector<NokRecord> recs;
     std::vector<uint32_t> codes;
     SECXML_RETURN_NOT_OK(ReadPageContents(ord, &recs, &codes));
-    uint32_t cut = p - pages_[ord].first_node;
+    uint32_t cut = p - wip().pages[ord].first_node;
     std::vector<NokRecord> combined(recs.begin(), recs.begin() + cut);
     std::vector<uint32_t> combined_codes(codes.begin(), codes.begin() + cut);
     combined.insert(combined.end(), frag_recs.begin(), frag_recs.end());
@@ -828,10 +1145,10 @@ Result<NodeId> NokStore::InsertSubtree(
     SECXML_RETURN_NOT_OK(
         ReplacePageRange(ord, ord + 1, combined, combined_codes));
   }
-  num_nodes_ += count;
+  wip().num_nodes += count;
   SplicePostings(p, 0, count);
   for (NodeId f = 0; f < count; ++f) {
-    std::vector<NodeId>& list = postings_[frag_recs[f].tag];
+    std::vector<NodeId>& list = wip_postings()[frag_recs[f].tag];
     NodeId id = p + f;
     list.insert(std::lower_bound(list.begin(), list.end(), id), id);
   }
@@ -843,19 +1160,21 @@ Status NokStore::CompactTo(PagedFile* dest, const NokStoreOptions& options,
   if (dest->NumPages() != 0) {
     return Status::InvalidArgument("CompactTo requires an empty paged file");
   }
+  const State& src = read_state();
   std::unique_ptr<NokStore> compacted(new NokStore(dest, options));
-  compacted->num_nodes_ = num_nodes_;
-  compacted->tags_ = tags_;
-  compacted->values_ = values_;
-  compacted->postings_ = postings_;
+  SECXML_RETURN_NOT_OK(compacted->BeginUpdate());
+  compacted->wip().num_nodes = src.num_nodes;
+  compacted->wip().tags = src.tags;
+  compacted->wip().values = src.values;
+  compacted->wip().postings = src.postings;
 
   // Collect records and codes in document order (16 bytes per node), then
   // repack them densely.
   std::vector<NokRecord> records;
   std::vector<uint32_t> codes;
-  records.reserve(num_nodes_);
-  codes.reserve(num_nodes_);
-  for (size_t ordinal = 0; ordinal < pages_.size(); ++ordinal) {
+  records.reserve(src.num_nodes);
+  codes.reserve(src.num_nodes);
+  for (size_t ordinal = 0; ordinal < src.pages.size(); ++ordinal) {
     std::vector<NokRecord> page_records;
     std::vector<uint32_t> page_codes;
     SECXML_RETURN_NOT_OK(ReadPageContents(ordinal, &page_records, &page_codes));
@@ -863,6 +1182,7 @@ Status NokStore::CompactTo(PagedFile* dest, const NokStoreOptions& options,
     codes.insert(codes.end(), page_codes.begin(), page_codes.end());
   }
   SECXML_RETURN_NOT_OK(compacted->ReplacePageRange(0, 0, records, codes));
+  SECXML_RETURN_NOT_OK(compacted->CommitUpdate());
   SECXML_RETURN_NOT_OK(compacted->Persist());
   *out = std::move(compacted);
   return Status::OK();
@@ -870,7 +1190,7 @@ Status NokStore::CompactTo(PagedFile* dest, const NokStoreOptions& options,
 
 Result<uint64_t> NokStore::CountEmbeddedTransitions() {
   uint64_t total = 0;
-  for (const PageInfo& info : pages_) {
+  for (const PageInfo& info : read_state().pages) {
     if (!info.change_bit) continue;
     SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Fetch(info.page_id));
     total += handle.page().ReadAt<NokPageHeader>(0).num_transitions;
@@ -879,11 +1199,12 @@ Result<uint64_t> NokStore::CountEmbeddedTransitions() {
 }
 
 Status NokStore::CheckIntegrity() {
+  const State& st = read_state();
   NodeId expected_first = 0;
   // Stack of subtree end positions; depth = stack size.
   std::vector<NodeId> ends;
-  for (size_t ordinal = 0; ordinal < pages_.size(); ++ordinal) {
-    const PageInfo& info = pages_[ordinal];
+  for (size_t ordinal = 0; ordinal < st.pages.size(); ++ordinal) {
+    const PageInfo& info = st.pages[ordinal];
     if (info.first_node != expected_first) {
       return Status::Corruption("page first_node mismatch at ordinal " +
                                 std::to_string(ordinal));
@@ -910,7 +1231,7 @@ Status NokStore::CheckIntegrity() {
                                   std::to_string(ordinal));
       }
       if (rec.subtree_size == 0 ||
-          n + rec.subtree_size > num_nodes_ ||
+          n + rec.subtree_size > st.num_nodes ||
           (!ends.empty() && n + rec.subtree_size > ends.back())) {
         return Status::Corruption("subtree size out of bounds at node " +
                                   std::to_string(n));
@@ -919,7 +1240,7 @@ Status NokStore::CheckIntegrity() {
     }
     expected_first += header.num_records;
   }
-  if (expected_first != num_nodes_) {
+  if (expected_first != st.num_nodes) {
     return Status::Corruption("node count mismatch");
   }
   return Status::OK();

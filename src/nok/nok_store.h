@@ -1,11 +1,15 @@
 #ifndef SECXML_NOK_NOK_STORE_H_
 #define SECXML_NOK_NOK_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -15,6 +19,7 @@
 #include "storage/paged_file.h"
 #include "storage/readahead.h"
 #include "xml/document.h"
+#include "xml/tag_dictionary.h"
 
 namespace secxml {
 
@@ -47,6 +52,15 @@ struct NokStoreOptions {
   /// Background prefetch worker threads (only used when readahead_window
   /// is positive). More workers keep more physical reads in flight.
   size_t readahead_workers = 2;
+
+  /// Crash-recovery open: instead of requiring the superblock to sit in the
+  /// file's last page, scan backward for the most recent valid one. Updates
+  /// after a checkpoint allocate fresh pages past the superblock (shadow
+  /// paging), so after a crash the last durable checkpoint is *not* the last
+  /// page — but its pages are never overwritten, so it is always intact.
+  /// With this flag an Open without any superblock fails (recovery requires
+  /// a checkpoint) instead of falling back to the legacy physical-order scan.
+  bool recover_superblock = false;
 };
 
 /// Block-oriented NoK storage of an XML document's structure with embedded
@@ -64,16 +78,25 @@ struct NokStoreOptions {
 /// Access-control *codes* here are opaque 32-bit values; their meaning (which
 /// subjects may access) is defined by the DOL codebook in src/core.
 ///
-/// Thread safety: the read API — Record, RecordAndCode, AccessCode,
+/// Thread safety (DESIGN.md §11): all in-memory tables (page directory,
+/// node count, tag dictionary, value pool, postings) live in an immutable
+/// snapshot `State` published via shared_ptr. Updates run as transactions
+/// (BeginUpdate / mutate / CommitUpdate) on a private copy with shadow-paged
+/// page writes — a modified page always gets a fresh page id, committed
+/// pages are never rewritten — so one writer may run concurrently with any
+/// number of readers. A reader that must observe one consistent snapshot
+/// across many calls holds a ReadPin; unpinned reads see the latest
+/// committed state and are only safe when no writer runs concurrently (the
+/// historical contract). The read API — Record, RecordAndCode, AccessCode,
 /// FirstAtDepthInPage, PageTransitions, Postings, PageOrdinalOf, page_infos,
-/// tags, Value, num_nodes/num_pages — is safe to call from many threads
-/// concurrently: it reads only immutable-after-build in-memory tables (page
-/// directory, tag postings, value pool) plus the internally synchronized
-/// buffer pool. Updates (SetPageAcl, DeleteSubtree, InsertSubtree, Persist,
-/// CompactTo) mutate those tables and require exclusive access: no reader or
-/// other writer may run concurrently with them (see DESIGN.md, "Concurrency
-/// model").
+/// tags, Value, num_nodes/num_pages — is safe from many threads. Updates
+/// themselves are single-writer: Begin/Commit and the mutators must be
+/// externally serialized (SecureStore holds its update mutex across them).
 class NokStore {
+  /// (Private) one immutable snapshot of every in-memory table; defined in
+  /// the private section below, forward-declared so ReadPin can hold one.
+  struct State;
+
  public:
   /// In-memory mirror of a page's header plus its position in document
   /// order. first_node is the document-order id of the page's first record.
@@ -84,6 +107,28 @@ class NokStore {
     uint16_t first_depth = 0;
     uint32_t first_code = 0;
     bool change_bit = false;
+  };
+
+  /// What one committed update transaction changed, in terms a visibility
+  /// cache can patch incrementally (SubjectView::Patched): for every page
+  /// ordinal of the *new* directory, either the old ordinal it came from
+  /// unchanged, or its fresh access-code runs.
+  struct UpdateDelta {
+    struct PageCodePatch {
+      size_t ordinal = 0;  ///< ordinal in the new directory
+      /// The page's code runs in slot order: first_code followed by each
+      /// embedded transition's code — exactly what SubjectView::Compile
+      /// would read off the page.
+      std::vector<uint32_t> run_codes;
+    };
+    /// Pages rewritten (shadow-copied) by this transaction, ordinal-ascending.
+    std::vector<PageCodePatch> fresh;
+    /// old_ordinal_of[i] = ordinal the new directory's page i had in the old
+    /// directory, or -1 if the page is fresh. Untouched pages keep their
+    /// bytes, so per-page verdict/check-free bits carry over verbatim.
+    std::vector<int64_t> old_ordinal_of;
+    /// True when the directory or any page changed at all.
+    bool pages_changed = false;
   };
 
   /// Builds a store from `doc`, embedding access codes supplied by `code_of`
@@ -102,7 +147,8 @@ class NokStore {
   /// persisted — in that legacy case values are unavailable.
   /// `user_blob`, when non-null, receives the opaque bytes stored by the
   /// matching Persist() call (empty for legacy files) — SecureStore keeps
-  /// its codebook there.
+  /// its codebook there. With options.recover_superblock the superblock is
+  /// searched backward from the end (see NokStoreOptions).
   static Status Open(PagedFile* file, const NokStoreOptions& options,
                      std::unique_ptr<NokStore>* out,
                      std::vector<uint8_t>* user_blob = nullptr);
@@ -112,6 +158,7 @@ class NokStore {
   /// later Open() restores this exact store. May be called repeatedly; each
   /// call appends a fresh snapshot and Open() uses the last one. Obsolete
   /// snapshots and orphaned pages are reclaimed only by CompactTo().
+  /// Persists the *committed* state; must not run inside a transaction.
   Status Persist(const std::vector<uint8_t>& user_blob = {});
 
   /// Rewrites the store densely into an empty `dest` file (document order,
@@ -123,10 +170,51 @@ class NokStore {
   NokStore(const NokStore&) = delete;
   NokStore& operator=(const NokStore&) = delete;
 
+  // --- Snapshots and update transactions (DESIGN.md §11) ----------------
+
+  /// RAII snapshot pin. While alive, every read API call made *on this
+  /// thread* against the pinned store resolves against the state that was
+  /// committed when the pin was taken, regardless of concurrent commits,
+  /// and the snapshot's tables stay alive. Pins nest: an inner pin on the
+  /// same store adopts the outer pin's snapshot, so a query's helper code
+  /// can pin defensively without ever straddling two states.
+  class ReadPin {
+   public:
+    explicit ReadPin(const NokStore* store);
+    ~ReadPin();
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+
+   private:
+    friend class NokStore;
+    const NokStore* store_;
+    std::shared_ptr<const State> state_;
+    ReadPin* next_;  ///< previous head of this thread's pin chain
+  };
+
+  /// Starts an update transaction: mutators stage into a private copy of
+  /// the directory and shadow-paged page copies, invisible to readers (but
+  /// visible to further reads *on the writer thread*, so staged mutations
+  /// compose). Fails if a transaction is already open. Mutators called
+  /// outside a transaction wrap themselves in one automatically.
+  Status BeginUpdate();
+
+  /// Atomically publishes the staged state to readers. When `delta` is
+  /// non-null it receives the page-level difference for incremental
+  /// visibility-cache maintenance.
+  Status CommitUpdate(UpdateDelta* delta = nullptr);
+
+  /// Discards the staged state; readers never saw any of it. Shadow page
+  /// copies leak in the file until CompactTo, like replaced pages do.
+  void AbortUpdate();
+
+  /// True between BeginUpdate and Commit/Abort. Writer thread only.
+  bool InUpdate() const { return work_ != nullptr; }
+
   /// Total document nodes.
-  NodeId num_nodes() const { return num_nodes_; }
+  NodeId num_nodes() const;
   /// Number of document-order pages.
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const;
 
   /// Reads the structural record of node `n` (one buffer-pool fetch).
   Result<NokRecord> Record(NodeId n);
@@ -165,20 +253,18 @@ class NokStore {
 
   /// Text value of a record, or empty. Valid only for stores created with
   /// Build().
-  std::string_view Value(const NokRecord& rec) const {
-    return rec.value_ref == kNoValueRef
-               ? std::string_view()
-               : std::string_view(values_[rec.value_ref]);
-  }
+  std::string_view Value(const NokRecord& rec) const;
 
   /// Document-order posting list for a tag (empty if the tag is absent).
   const std::vector<NodeId>& Postings(TagId tag) const;
 
   /// Tag dictionary shared with the source document.
-  const TagDictionary& tags() const { return tags_; }
+  const TagDictionary& tags() const;
 
-  /// In-memory page header table, in document order.
-  const std::vector<PageInfo>& page_infos() const { return pages_; }
+  /// In-memory page header table, in document order. The reference is valid
+  /// while the snapshot it came from lives (hold a ReadPin across uses that
+  /// must survive a concurrent commit).
+  const std::vector<PageInfo>& page_infos() const;
 
   /// Ordinal (index into page_infos) of the page containing node `n`.
   size_t PageOrdinalOf(NodeId n) const;
@@ -256,14 +342,57 @@ class NokStore {
   Status CheckIntegrity();
 
  private:
-  NokStore(PagedFile* file, const NokStoreOptions& options)
-      : options_(options),
-        pool_(file, options.buffer_pool_pages, options.buffer_pool_shards) {
-    if (options_.readahead_window > 0) {
-      readahead_ = std::make_unique<Readahead>(&pool_,
-                                               options_.readahead_workers);
-    }
-  }
+  /// The heavyweight tables are shared between consecutive snapshots and
+  /// cloned only on first mutation in a transaction (most ACL updates touch
+  /// none of them).
+  struct State {
+    std::vector<PageInfo> pages;
+    NodeId num_nodes = 0;
+    std::shared_ptr<const TagDictionary> tags;
+    std::shared_ptr<const std::vector<std::string>> values;
+    std::shared_ptr<const std::vector<std::vector<NodeId>>> postings;
+
+    State()
+        : tags(std::make_shared<TagDictionary>()),
+          values(std::make_shared<std::vector<std::string>>()),
+          postings(std::make_shared<std::vector<std::vector<NodeId>>>()) {}
+  };
+
+  NokStore(PagedFile* file, const NokStoreOptions& options);
+
+  /// The snapshot this call should read: the staged state on the writer
+  /// thread mid-transaction, the thread's pinned snapshot if any, else the
+  /// latest committed state.
+  const State& read_state() const;
+
+  /// The staged state; transaction must be open, writer thread only.
+  State& wip() { return *work_; }
+  const State& wip() const { return *work_; }
+
+  /// Clone-on-first-touch accessors for the staged shared tables.
+  TagDictionary& wip_tags();
+  std::vector<std::string>& wip_values();
+  std::vector<std::vector<NodeId>>& wip_postings();
+
+  /// Fetches the staged page at `ordinal` for modification, shadow-copying
+  /// it to a fresh page id the first time a transaction touches it (so the
+  /// committed image survives for pinned readers and crash recovery) and
+  /// recording its code runs in fresh_codes_.
+  Result<PageHandle> CowFetch(size_t ordinal);
+
+  /// Registers a page freshly composed by this transaction (split targets,
+  /// repacked pages) with its code runs.
+  void NoteFreshPage(PageId id, uint32_t first_code,
+                     const std::vector<DolTransition>& transitions);
+
+  // Transaction-internal bodies of the public mutators (the public entry
+  // points add the auto-wrapping transaction).
+  Status SetPageAclStaged(size_t ordinal, uint32_t first_code,
+                          std::vector<DolTransition> transitions);
+  Status DeleteSubtreeStaged(NodeId root);
+  Result<NodeId> InsertSubtreeStaged(
+      NodeId parent, NodeId after, const Document& fragment,
+      const std::function<uint32_t(NodeId)>& code_of);
 
   /// Splits page `ordinal`, moving its tail records to a new page so that
   /// `needed_transitions` entries fit somewhere. Transition lists for both
@@ -280,13 +409,13 @@ class NokStore {
   /// pages holding `records`/`codes` (headers and transition lists derived
   /// from code runs; packing respects max_records_per_page and transition
   /// slack), then renumbers the directory's first_node fields. Old pages
-  /// leak in the file until a rebuild; num_nodes_ and postings are the
+  /// leak in the file until a rebuild; num_nodes and postings are the
   /// caller's responsibility.
   Status ReplacePageRange(size_t begin_ord, size_t end_ord,
                           const std::vector<NokRecord>& records,
                           const std::vector<uint32_t>& codes);
 
-  /// Recomputes the cumulative first_node of every directory entry.
+  /// Recomputes the cumulative first_node of every staged directory entry.
   void RebuildFirstNodes();
 
   /// Adds `delta` to the subtree_size of each node in `chain`.
@@ -298,12 +427,24 @@ class NokStore {
 
   NokStoreOptions options_;
   BufferPool pool_;
-  NodeId num_nodes_ = 0;
-  std::vector<PageInfo> pages_;
-  TagDictionary tags_;
-  std::vector<std::string> values_;
-  std::vector<std::vector<NodeId>> postings_;  // indexed by TagId
-  std::vector<NodeId> empty_postings_;
+
+  /// Latest committed snapshot. Guards publication only; readers resolve
+  /// through their pin or the raw pointer below.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> state_;
+  /// Lock-free mirror of state_.get() for unpinned readers.
+  std::atomic<const State*> state_raw_{nullptr};
+
+  /// Open transaction (writer thread only), plus its clone-on-touch shared
+  /// tables and the code runs of every page it shadow-copied or composed.
+  std::unique_ptr<State> work_;
+  std::shared_ptr<TagDictionary> wtags_;
+  std::shared_ptr<std::vector<std::string>> wvalues_;
+  std::shared_ptr<std::vector<std::vector<NodeId>>> wpostings_;
+  std::unordered_map<PageId, std::vector<uint32_t>> fresh_codes_;
+  std::atomic<std::thread::id> writer_tid_{};
+
+  static const std::vector<NodeId> empty_postings_;
   // Declared last: destroyed (joined and drained) before the pool it reads.
   std::unique_ptr<Readahead> readahead_;
 };

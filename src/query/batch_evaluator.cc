@@ -30,6 +30,10 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
   if (subjects.empty()) {
     return Status::InvalidArgument("batch evaluation needs subjects");
   }
+  // One pin covers the whole batch; the nested QueryEvaluator (kNone path)
+  // and every chunk below adopt this snapshot, so all classes answer
+  // against the same epoch.
+  SecureStore::SnapshotPin pin(store_);
   SubjectBatchResult batch;
 
   // Without access control every subject sees the whole document: the batch
@@ -52,8 +56,7 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
   // step of evaluation — node checks, page verdicts, hidden intervals —
   // is a function of the column alone).
   std::vector<SubjectId> subject_list(subjects.begin(), subjects.end());
-  std::vector<SubjectClass> groups =
-      GroupSubjectsByColumn(store_->codebook(), subject_list);
+  std::vector<SubjectClass> groups = store_->GroupSubjects(subject_list);
   std::unordered_map<SubjectId, size_t> class_index;
   for (size_t k = 0; k < groups.size(); ++k) {
     for (SubjectId s : groups[k].members) class_index.emplace(s, k);
@@ -127,7 +130,11 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
       JoinMatches(pq, matches, &r.answers, &join_stats);
       r.operators.push_back({"join", join_stats});
       if (k == chunk_begin) {
-        r.operators.push_back({"batch", BatchCounters(chunk_subjects, width)});
+        ExecStats bc = BatchCounters(chunk_subjects, width);
+        // The batch's single snapshot pin is attributed to the very first
+        // chunk's batch operator (the rollup then reports 1 per batch).
+        if (chunk_begin == 0) bc.epoch_pins = 1;
+        r.operators.push_back({"batch", bc});
       }
       r.exec = RollUp(r.operators);
       batch.exec += r.exec;

@@ -167,6 +167,11 @@ Result<EvalResult> QueryEvaluator::EvaluateXPath(std::string_view xpath,
 
 Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
                                             const EvalOptions& options) {
+  // Pin one epoch for the whole evaluation: every snapshot-dependent read
+  // below (codebook probes, page directory, cached views, hidden intervals)
+  // resolves against this snapshot even if updates commit concurrently.
+  SecureStore::SnapshotPin pin(store_);
+
   PreparedQuery pq;
   SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
   const size_t nf = pq.query.fragments.size();
@@ -188,8 +193,11 @@ Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
   }
 
   // The scan operator is done once every fragment is matched; its counters
-  // are the matcher's cursor stats.
-  result.operators.push_back({"scan", matcher.exec_stats()});
+  // are the matcher's cursor stats. The evaluation's snapshot pin is
+  // attributed here (one per query).
+  ExecStats scan_stats = matcher.exec_stats();
+  scan_stats.epoch_pins = 1;
+  result.operators.push_back({"scan", scan_stats});
 
   // Visibility operator (view semantics): the hidden-interval sweep's own
   // page I/O is attributed here on the query that computes it; later

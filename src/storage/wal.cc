@@ -1,0 +1,303 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace secxml {
+namespace {
+
+constexpr uint32_t kHeaderMagic = 0x53584c57u;  // "SXLW"
+constexpr uint32_t kRecordMagic = 0x57524543u;  // "WREC"
+constexpr uint32_t kVersion = 1;
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0) {
+  const auto& table = CrcTable();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// One header slot: two live in page 0, at byte offsets 0 and kPageSize/2.
+// The slot with the higher valid seq wins; updates go to the loser, so a
+// torn rewrite of page 0 can never destroy the last durable header.
+struct HeaderSlot {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t seq = 0;
+  uint32_t pad = 0;
+  uint64_t start_offset = 0;
+  uint64_t next_lsn = 0;
+  uint32_t crc = 0;
+
+  uint32_t ComputeCrc() const {
+    return Crc32(reinterpret_cast<const uint8_t*>(this),
+                 offsetof(HeaderSlot, crc));
+  }
+  bool Valid() const {
+    return magic == kHeaderMagic && version == kVersion && crc == ComputeCrc();
+  }
+};
+static_assert(sizeof(HeaderSlot) <= kPageSize / 2);
+
+// Record frame preceding the payload. The CRC trails the payload and covers
+// everything after the magic word.
+struct RecordHeader {
+  uint32_t magic = 0;
+  uint32_t type = 0;
+  uint64_t lsn = 0;
+  uint32_t payload_len = 0;
+};
+static_assert(sizeof(RecordHeader) == 24);
+
+constexpr size_t kSlotOffsets[2] = {0, kPageSize / 2};
+
+// Data-region byte `offset` lives in page 1 + offset / kPageSize.
+PageId DataPage(uint64_t offset) {
+  return static_cast<PageId>(1 + offset / kPageSize);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(PagedFile* file) {
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(file));
+  if (file->NumPages() == 0) {
+    // Fresh log: allocate the header page and persist slot 0.
+    SECXML_ASSIGN_OR_RETURN(PageId id, file->AllocatePage());
+    (void)id;
+    Status st = wal->WriteHeader();
+    if (!st.ok()) return st;
+    return wal;
+  }
+  Page header_page;
+  Status st = file->ReadPage(0, &header_page);
+  if (!st.ok()) return st;
+  const HeaderSlot* best = nullptr;
+  for (size_t off : kSlotOffsets) {
+    const auto* slot =
+        reinterpret_cast<const HeaderSlot*>(header_page.data.data() + off);
+    if (slot->Valid() && (best == nullptr || slot->seq > best->seq)) {
+      best = slot;
+    }
+  }
+  if (best == nullptr) {
+    return Status::Corruption("WAL header page has no valid slot");
+  }
+  wal->start_offset_ = best->start_offset;
+  wal->next_lsn_ = best->next_lsn;
+  wal->header_seq_ = best->seq;
+  wal->ScanExisting();
+  return wal;
+}
+
+void WriteAheadLog::ScanExisting() {
+  // Last possible data byte, bounded by what was actually allocated.
+  const uint64_t data_bytes =
+      file_->NumPages() <= 1
+          ? 0
+          : static_cast<uint64_t>(file_->NumPages() - 1) * kPageSize;
+  uint64_t offset = start_offset_;
+  tail_offset_ = offset;
+  while (offset + sizeof(RecordHeader) + sizeof(uint32_t) <= data_bytes) {
+    RecordHeader rh;
+    if (!ReadBytes(offset, sizeof(rh), reinterpret_cast<uint8_t*>(&rh)).ok()) {
+      break;
+    }
+    if (rh.magic != kRecordMagic) break;
+    uint64_t total = sizeof(rh) + rh.payload_len + sizeof(uint32_t);
+    if (offset + total > data_bytes) break;  // truncated frame
+    std::vector<uint8_t> body(rh.payload_len + sizeof(uint32_t));
+    if (!ReadBytes(offset + sizeof(rh), body.size(), body.data()).ok()) break;
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, body.data() + rh.payload_len, sizeof(stored_crc));
+    uint32_t crc = Crc32(reinterpret_cast<const uint8_t*>(&rh.type),
+                         sizeof(rh) - offsetof(RecordHeader, type));
+    crc = Crc32(body.data(), rh.payload_len, crc);
+    if (crc != stored_crc) break;  // torn or unsynced tail
+    Record rec;
+    rec.type = rh.type;
+    rec.lsn = rh.lsn;
+    rec.payload.assign(reinterpret_cast<const char*>(body.data()),
+                       rh.payload_len);
+    records_.push_back(std::move(rec));
+    ++stats_.records_recovered;
+    offset += total;
+    tail_offset_ = offset;
+  }
+  // Anything between tail_offset_ and the end of allocated pages is a torn
+  // or invalidated tail; note it for the recovery stats.
+  if (tail_offset_ < data_bytes) {
+    RecordHeader probe{};
+    if (ReadBytes(tail_offset_, std::min<uint64_t>(sizeof(probe),
+                                                   data_bytes - tail_offset_),
+                  reinterpret_cast<uint8_t*>(&probe))
+            .ok() &&
+        probe.magic != 0) {
+      stats_.torn_tail = 1;
+    }
+  }
+  for (const Record& r : records_) {
+    next_lsn_ = std::max(next_lsn_, r.lsn + 1);
+  }
+}
+
+Status WriteAheadLog::ReadBytes(uint64_t offset, size_t len,
+                                uint8_t* out) const {
+  size_t done = 0;
+  while (done < len) {
+    PageId id = DataPage(offset + done);
+    size_t in_page = (offset + done) % kPageSize;
+    size_t take = std::min(len - done, kPageSize - in_page);
+    Page page;
+    Status st = file_->ReadPage(id, &page);
+    if (!st.ok()) return st;
+    std::memcpy(out + done, page.data.data() + in_page, take);
+    done += take;
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteBytes(uint64_t offset, const uint8_t* data,
+                                 size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    PageId id = DataPage(offset + done);
+    while (file_->NumPages() <= id) {
+      SECXML_ASSIGN_OR_RETURN(PageId fresh, file_->AllocatePage());
+      (void)fresh;
+    }
+    size_t in_page = (offset + done) % kPageSize;
+    size_t take = std::min(len - done, kPageSize - in_page);
+    Page page;
+    if (in_page != 0 || take != kPageSize) {
+      Status st = file_->ReadPage(id, &page);
+      if (!st.ok()) return st;
+    } else {
+      page.Zero();
+    }
+    std::memcpy(page.data.data() + in_page, data, take);
+    Status st = file_->WritePage(id, page);
+    if (!st.ok()) return st;
+    data += take;
+    done += take;
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteHeader() {
+  HeaderSlot slot;
+  slot.magic = kHeaderMagic;
+  slot.version = kVersion;
+  slot.seq = header_seq_ + 1;
+  slot.start_offset = start_offset_;
+  slot.next_lsn = next_lsn_;
+  slot.crc = slot.ComputeCrc();
+  Page page;
+  Status st = file_->ReadPage(0, &page);
+  if (!st.ok()) return st;
+  // Alternate slots by seq parity so the previous durable header survives
+  // even a torn rewrite of this page.
+  size_t off = kSlotOffsets[slot.seq % 2];
+  std::memcpy(page.data.data() + off, &slot, sizeof(slot));
+  st = file_->WritePage(0, page);
+  if (!st.ok()) return st;
+  st = file_->Sync();
+  if (!st.ok()) return st;
+  ++stats_.syncs;
+  header_seq_ = slot.seq;
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Append(uint32_t type,
+                                       std::string_view payload) {
+  RecordHeader rh;
+  rh.magic = kRecordMagic;
+  rh.type = type;
+  rh.lsn = next_lsn_;
+  rh.payload_len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(reinterpret_cast<const uint8_t*>(&rh.type),
+                       sizeof(rh) - offsetof(RecordHeader, type));
+  crc = Crc32(reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+              crc);
+  std::vector<uint8_t> frame(sizeof(rh) + payload.size() + sizeof(crc));
+  std::memcpy(frame.data(), &rh, sizeof(rh));
+  std::memcpy(frame.data() + sizeof(rh), payload.data(), payload.size());
+  std::memcpy(frame.data() + sizeof(rh) + payload.size(), &crc, sizeof(crc));
+
+  Status st = WriteBytes(tail_offset_, frame.data(), frame.size());
+  if (st.ok()) {
+    st = file_->Sync();
+    if (st.ok()) ++stats_.syncs;
+  }
+  if (!st.ok()) {
+    ++stats_.append_failures;
+    // The record must not count as committed: best-effort durably zero its
+    // magic word so recovery cannot resurrect a half-landed frame. If even
+    // this fails the frame's fate rests on which bytes reached the device;
+    // recovery handles both outcomes (see class comment).
+    uint32_t zero = 0;
+    if (WriteBytes(tail_offset_, reinterpret_cast<const uint8_t*>(&zero),
+                   sizeof(zero))
+            .ok()) {
+      (void)file_->Sync();
+    }
+    return st;
+  }
+  Record rec;
+  rec.type = type;
+  rec.lsn = rh.lsn;
+  rec.payload.assign(payload.data(), payload.size());
+  records_.push_back(std::move(rec));
+  tail_offset_ += frame.size();
+  next_lsn_ = rh.lsn + 1;
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+  return rh.lsn;
+}
+
+Status WriteAheadLog::Replay(
+    uint64_t after_lsn, const std::function<Status(const Record&)>& fn) const {
+  for (const Record& rec : records_) {
+    if (rec.lsn <= after_lsn) continue;
+    Status st = fn(rec);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  uint64_t old_start = start_offset_;
+  start_offset_ = tail_offset_;
+  Status st = WriteHeader();
+  if (!st.ok()) {
+    // The durable header still carries the old start: keep the in-memory
+    // view consistent with it so a later retry (or crash) sees one truth.
+    start_offset_ = old_start;
+    return st;
+  }
+  records_.clear();
+  ++stats_.truncations;
+  return Status::OK();
+}
+
+}  // namespace secxml

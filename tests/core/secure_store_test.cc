@@ -119,7 +119,9 @@ TEST(SecureStoreTest, PageSkipPredicates) {
 TEST(SecureStoreTest, AddRemoveSubjectsAreCodebookOnly) {
   auto f = MakeFixture(2000, 2, 23);
   uint64_t writes_before = f->store->io_stats().page_writes;
-  SubjectId s2 = f->store->AddSubject(false);
+  auto s2_or = f->store->AddSubject(false);
+  ASSERT_TRUE(s2_or.ok());
+  SubjectId s2 = *s2_or;
   auto s3 = f->store->AddSubjectLike(0);
   ASSERT_TRUE(s3.ok());
   EXPECT_EQ(f->store->io_stats().page_writes, writes_before);
