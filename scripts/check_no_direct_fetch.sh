@@ -69,6 +69,16 @@ grep -rn "codebook_\.Accessible\|codebook()\.Accessible" \
   | grep -v '^src/core/dol_labeling\.h:' \
   | report "codebook probe in src/core outside whitelisted oracle sites"
 
+# Raw mask arithmetic: class masks are WideClassMask (src/exec/mask_ops.h)
+# and their bulk operations are the dispatched MaskKernels. A hand-rolled
+# uint64_t shift/AND over class bits in the query or exec layer would
+# silently truncate batches back to 64 classes and bypass the SIMD tiers'
+# bit-identity guarantee, so mask word-twiddling has exactly one home.
+grep -rn "1ULL <<\|1ull <<\|~0ULL\|~0ull\|uint64_t mask\|mask & (1\|ClassMask = uint64_t" \
+    src/query src/exec --include='*.cc' --include='*.h' \
+  | grep -v '^src/exec/mask_ops\.h:' \
+  | report "raw uint64_t mask arithmetic outside src/exec/mask_ops.h (use WideClassMask / MaskKernels)"
+
 if [ "$fail" -eq 0 ]; then
   echo "check_no_direct_fetch: OK (query/core layers go through src/exec)"
 fi

@@ -741,6 +741,47 @@ Status SecureStore::CompactCodebookLocked() {
                       CacheEffect::kDropAll);
 }
 
+Status SecureStore::Vacuum(const VacuumOptions& options, VacuumStats* stats) {
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    SECXML_RETURN_NOT_OK(VacuumLocked(options, stats));
+  }
+  // The vacuum rewrote every page; checkpointing immediately bounds the log
+  // (recovery replaying the wholesale rewrite works, it is just slower).
+  if (options.checkpoint_after) return Checkpoint();
+  return Status::OK();
+}
+
+Status SecureStore::VacuumLocked(const VacuumOptions& options,
+                                 VacuumStats* stats) {
+  SECXML_RETURN_NOT_OK(BeginStaged());
+  const size_t pages_before = nok_->num_pages();
+  size_t homogeneous_before = 0;
+  for (size_t ordinal = 0; ordinal < pages_before; ++ordinal) {
+    if (!nok_->page_infos()[ordinal].change_bit) ++homogeneous_before;
+  }
+  VacuumPlan plan;
+  Status repacked = nok_->Repack(options.min_run_records, &plan);
+  if (!repacked.ok()) {
+    AbortStaged();
+    return repacked;
+  }
+  // The record carries only the planner input: replay re-reads the staged
+  // pages and re-runs the deterministic planner, like every logical redo.
+  std::string payload;
+  PutU32(&payload, options.min_run_records);
+  SECXML_RETURN_NOT_OK(
+      CommitStaged(kWalVacuum, payload, CacheEffect::kDropAll));
+  if (stats != nullptr) {
+    stats->pages_before = pages_before;
+    stats->pages_after = plan.page_starts.size();
+    stats->homogeneous_pages_before = homogeneous_before;
+    stats->homogeneous_pages_after = plan.homogeneous_pages;
+    stats->transitions_after = plan.transitions;
+  }
+  return Status::OK();
+}
+
 // --- WAL replay ----------------------------------------------------------
 
 Status SecureStore::ReplayRecord(const WriteAheadLog::Record& record) {
@@ -815,6 +856,16 @@ Status SecureStore::ReplayRecord(const WriteAheadLog::Record& record) {
         return Status::Corruption("malformed CompactCodebook WAL record");
       }
       return CompactCodebookLocked();
+    }
+    case kWalVacuum: {
+      uint32_t min_run = 0;
+      if (!TakeU32(p, &pos, &min_run) || pos != p.size()) {
+        return Status::Corruption("malformed Vacuum WAL record");
+      }
+      VacuumOptions opts;
+      opts.min_run_records = min_run;
+      opts.checkpoint_after = false;  // recovery never truncates mid-replay
+      return VacuumLocked(opts, nullptr);
     }
     default:
       return Status::Corruption("unknown WAL record type");

@@ -58,6 +58,7 @@ class SecureStore {
     kWalDeleteSubtree = 5,
     kWalInsertSubtree = 6,
     kWalCompactCodebook = 7,
+    kWalVacuum = 8,
   };
 
   /// What OpenWithWal() did to bring the store back.
@@ -249,6 +250,32 @@ class SecureStore {
   /// snapshot until it commits.
   Status CompactCodebook();
 
+  /// Offline visibility-clustered reorganization, the "secure VACUUM"
+  /// (DESIGN.md §12). Re-cuts page boundaries at access-code run
+  /// boundaries (document order and node ids untouched) so pages become
+  /// code-homogeneous wherever runs reach min_run_records — per-class page
+  /// verdicts turn decisive and batch page skipping fires for mixed
+  /// batches. Runs as one WAL-logged update transaction (kWalVacuum;
+  /// replay re-runs the deterministic planner), followed by a checkpoint
+  /// by default so the wholesale page rewrite does not linger in the log.
+  /// Answers are byte-identical before and after: codes, node ids, and
+  /// document order are all preserved.
+  struct VacuumOptions {
+    /// Passed to the layout planner: a page is cut at a code-run boundary
+    /// only once it holds this many records (see VacuumPlanOptions).
+    uint32_t min_run_records = 16;
+    /// Checkpoint (persist + WAL truncate) after the reorganization.
+    bool checkpoint_after = true;
+  };
+  struct VacuumStats {
+    size_t pages_before = 0;
+    size_t pages_after = 0;
+    size_t homogeneous_pages_before = 0;
+    size_t homogeneous_pages_after = 0;
+    size_t transitions_after = 0;
+  };
+  Status Vacuum(const VacuumOptions& options, VacuumStats* stats = nullptr);
+
   // --- Support for the stricter view semantics (Section 4.2) -----------
 
   /// Computes the maximal document-order intervals hidden from `subject`
@@ -379,6 +406,8 @@ class SecureStore {
 
   /// Persist body; caller holds update_mu_.
   Status PersistLocked();
+
+  Status VacuumLocked(const VacuumOptions& options, VacuumStats* stats);
 
   /// Computes hidden intervals without consulting the cache, counting the
   /// sweep's work into `stats` when non-null.

@@ -1,0 +1,309 @@
+#include "exec/mask_ops.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SECXML_MASK_SIMD 1
+#include <immintrin.h>
+#else
+#define SECXML_MASK_SIMD 0
+#endif
+
+namespace secxml {
+
+namespace {
+
+// --- Scalar kernels -------------------------------------------------------
+//
+// The reference tier: every SIMD variant must match these bit for bit
+// (tests/exec/mask_ops_test.cc pins that). Plain word loops; at 8 words per
+// mask the compiler unrolls and vectorizes them to the baseline ISA.
+
+void AndBroadcastScalar(WideClassMask* rows, size_t n,
+                        const WideClassMask& m) {
+  for (size_t i = 0; i < n; ++i) rows[i] &= m;
+}
+
+void AndBroadcastStridedScalar(void* first_mask, size_t stride_bytes,
+                               size_t n, const WideClassMask& m) {
+  char* p = static_cast<char*>(first_mask);
+  for (size_t i = 0; i < n; ++i, p += stride_bytes) {
+    // The mask is embedded in a larger struct; memcpy in and out keeps the
+    // access well-defined regardless of the holder's alignment.
+    WideClassMask row;
+    std::memcpy(&row, p, sizeof(row));
+    row &= m;
+    std::memcpy(p, &row, sizeof(row));
+  }
+}
+
+void ReduceAndScalar(const WideClassMask* rows, size_t n, WideClassMask* out) {
+  WideClassMask acc = WideClassMask::FirstN(kMaxBatchClasses);
+  for (size_t i = 0; i < n; ++i) acc &= rows[i];
+  *out = acc;
+}
+
+void ReduceOrScalar(const WideClassMask* rows, size_t n, WideClassMask* out) {
+  WideClassMask acc;
+  for (size_t i = 0; i < n; ++i) acc |= rows[i];
+  *out = acc;
+}
+
+uint64_t PopcountRowsScalar(const WideClassMask* rows, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += rows[i].count();
+  return total;
+}
+
+constexpr MaskKernels kScalarKernels = {
+    AndBroadcastScalar, AndBroadcastStridedScalar, ReduceAndScalar,
+    ReduceOrScalar,     PopcountRowsScalar,        MaskIsa::kScalar,
+};
+
+#if SECXML_MASK_SIMD
+
+// --- AVX2 kernels ---------------------------------------------------------
+//
+// One mask = two 256-bit lanes. Compiled with the target attribute so no
+// special -m flags are needed; never called unless CPUID says avx2.
+
+__attribute__((target("avx2"))) void AndBroadcastAvx2(WideClassMask* rows,
+                                                      size_t n,
+                                                      const WideClassMask& m) {
+  const __m256i mlo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m.words()));
+  const __m256i mhi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m.words() + 4));
+  for (size_t i = 0; i < n; ++i) {
+    __m256i* p = reinterpret_cast<__m256i*>(rows[i].words());
+    _mm256_storeu_si256(p, _mm256_and_si256(_mm256_loadu_si256(p), mlo));
+    _mm256_storeu_si256(p + 1,
+                        _mm256_and_si256(_mm256_loadu_si256(p + 1), mhi));
+  }
+}
+
+__attribute__((target("avx2"))) void AndBroadcastStridedAvx2(
+    void* first_mask, size_t stride_bytes, size_t n, const WideClassMask& m) {
+  const __m256i mlo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m.words()));
+  const __m256i mhi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m.words() + 4));
+  char* p = static_cast<char*>(first_mask);
+  for (size_t i = 0; i < n; ++i, p += stride_bytes) {
+    __m256i* q = reinterpret_cast<__m256i*>(p);
+    _mm256_storeu_si256(q, _mm256_and_si256(_mm256_loadu_si256(q), mlo));
+    _mm256_storeu_si256(q + 1,
+                        _mm256_and_si256(_mm256_loadu_si256(q + 1), mhi));
+  }
+}
+
+__attribute__((target("avx2"))) void ReduceAndAvx2(const WideClassMask* rows,
+                                                   size_t n,
+                                                   WideClassMask* out) {
+  __m256i lo = _mm256_set1_epi64x(-1);
+  __m256i hi = _mm256_set1_epi64x(-1);
+  for (size_t i = 0; i < n; ++i) {
+    const __m256i* p = reinterpret_cast<const __m256i*>(rows[i].words());
+    lo = _mm256_and_si256(lo, _mm256_loadu_si256(p));
+    hi = _mm256_and_si256(hi, _mm256_loadu_si256(p + 1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out->words()), lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out->words() + 4), hi);
+}
+
+__attribute__((target("avx2"))) void ReduceOrAvx2(const WideClassMask* rows,
+                                                  size_t n,
+                                                  WideClassMask* out) {
+  __m256i lo = _mm256_setzero_si256();
+  __m256i hi = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; ++i) {
+    const __m256i* p = reinterpret_cast<const __m256i*>(rows[i].words());
+    lo = _mm256_or_si256(lo, _mm256_loadu_si256(p));
+    hi = _mm256_or_si256(hi, _mm256_loadu_si256(p + 1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out->words()), lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out->words() + 4), hi);
+}
+
+/// Mula's nibble-LUT popcount: per-byte counts via two pshufb lookups,
+/// horizontally summed with sad against zero.
+__attribute__((target("avx2"))) inline __m256i PopcountBytes256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+__attribute__((target("avx2"))) uint64_t PopcountRowsAvx2(
+    const WideClassMask* rows, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; ++i) {
+    const __m256i* p = reinterpret_cast<const __m256i*>(rows[i].words());
+    __m256i bytes = _mm256_add_epi8(PopcountBytes256(_mm256_loadu_si256(p)),
+                                    PopcountBytes256(_mm256_loadu_si256(p + 1)));
+    // Per-mask byte counts max out at 16 < 255, safe to sad per iteration.
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, _mm256_setzero_si256()));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+constexpr MaskKernels kAvx2Kernels = {
+    AndBroadcastAvx2, AndBroadcastStridedAvx2, ReduceAndAvx2,
+    ReduceOrAvx2,     PopcountRowsAvx2,        MaskIsa::kAvx2,
+};
+
+// --- AVX-512 kernels ------------------------------------------------------
+//
+// One mask = one 512-bit lane. Requires avx512f+avx512bw for the lane ops
+// and avx512vpopcntdq for the vector popcount.
+
+#define SECXML_AVX512_TARGET \
+  __attribute__((target("avx512f,avx512bw,avx512vpopcntdq")))
+
+SECXML_AVX512_TARGET void AndBroadcastAvx512(WideClassMask* rows, size_t n,
+                                             const WideClassMask& m) {
+  const __m512i mm = _mm512_loadu_si512(m.words());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t* p = rows[i].words();
+    _mm512_storeu_si512(p, _mm512_and_si512(_mm512_loadu_si512(p), mm));
+  }
+}
+
+SECXML_AVX512_TARGET void AndBroadcastStridedAvx512(void* first_mask,
+                                                    size_t stride_bytes,
+                                                    size_t n,
+                                                    const WideClassMask& m) {
+  const __m512i mm = _mm512_loadu_si512(m.words());
+  char* p = static_cast<char*>(first_mask);
+  for (size_t i = 0; i < n; ++i, p += stride_bytes) {
+    _mm512_storeu_si512(p, _mm512_and_si512(_mm512_loadu_si512(p), mm));
+  }
+}
+
+SECXML_AVX512_TARGET void ReduceAndAvx512(const WideClassMask* rows, size_t n,
+                                          WideClassMask* out) {
+  __m512i acc = _mm512_set1_epi64(-1);
+  for (size_t i = 0; i < n; ++i) {
+    acc = _mm512_and_si512(acc, _mm512_loadu_si512(rows[i].words()));
+  }
+  _mm512_storeu_si512(out->words(), acc);
+}
+
+SECXML_AVX512_TARGET void ReduceOrAvx512(const WideClassMask* rows, size_t n,
+                                         WideClassMask* out) {
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t i = 0; i < n; ++i) {
+    acc = _mm512_or_si512(acc, _mm512_loadu_si512(rows[i].words()));
+  }
+  _mm512_storeu_si512(out->words(), acc);
+}
+
+SECXML_AVX512_TARGET uint64_t PopcountRowsAvx512(const WideClassMask* rows,
+                                                 size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t i = 0; i < n; ++i) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_loadu_si512(rows[i].words())));
+  }
+  return static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+constexpr MaskKernels kAvx512Kernels = {
+    AndBroadcastAvx512, AndBroadcastStridedAvx512, ReduceAndAvx512,
+    ReduceOrAvx512,     PopcountRowsAvx512,        MaskIsa::kAvx512,
+};
+
+#endif  // SECXML_MASK_SIMD
+
+bool CpuHasAvx2() {
+#if SECXML_MASK_SIMD
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if SECXML_MASK_SIMD
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+  return false;
+#endif
+}
+
+MaskIsa ClampToSupported(MaskIsa isa) {
+  if (isa == MaskIsa::kAvx512 && CpuHasAvx512()) return MaskIsa::kAvx512;
+  if (isa >= MaskIsa::kAvx2 && CpuHasAvx2()) return MaskIsa::kAvx2;
+  return MaskIsa::kScalar;
+}
+
+MaskIsa InitialIsa() {
+  const char* force = std::getenv("SECXML_FORCE_SCALAR_MASKS");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+    return MaskIsa::kScalar;
+  }
+  return ClampToSupported(MaskIsa::kAvx512);
+}
+
+std::atomic<MaskIsa>& ActiveIsaSlot() {
+  static std::atomic<MaskIsa> slot{InitialIsa()};
+  return slot;
+}
+
+}  // namespace
+
+const char* MaskIsaName(MaskIsa isa) {
+  switch (isa) {
+    case MaskIsa::kScalar:
+      return "scalar";
+    case MaskIsa::kAvx2:
+      return "avx2";
+    case MaskIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool MaskIsaSupported(MaskIsa isa) { return ClampToSupported(isa) == isa; }
+
+const MaskKernels& MaskKernelsFor(MaskIsa isa) {
+#if SECXML_MASK_SIMD
+  switch (ClampToSupported(isa)) {
+    case MaskIsa::kAvx512:
+      return kAvx512Kernels;
+    case MaskIsa::kAvx2:
+      return kAvx2Kernels;
+    case MaskIsa::kScalar:
+      break;
+  }
+#else
+  (void)isa;
+#endif
+  return kScalarKernels;
+}
+
+const MaskKernels& ActiveMaskKernels() {
+  return MaskKernelsFor(ActiveIsaSlot().load(std::memory_order_relaxed));
+}
+
+MaskIsa ActiveMaskIsa() {
+  return ActiveIsaSlot().load(std::memory_order_relaxed);
+}
+
+MaskIsa ForceMaskIsa(MaskIsa isa) {
+  MaskIsa selected = ClampToSupported(isa);
+  ActiveIsaSlot().store(selected, std::memory_order_relaxed);
+  return selected;
+}
+
+}  // namespace secxml

@@ -1,0 +1,195 @@
+#ifndef SECXML_EXEC_MASK_OPS_H_
+#define SECXML_EXEC_MASK_OPS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace secxml {
+
+/// One bit per visibility equivalence class of a subject batch. PR 5 capped
+/// the batch at one machine word (64 classes, chunking above that); the wide
+/// mask lifts the cap to kMaxBatchClasses so one structural scan serves the
+/// whole batch. All mask arithmetic in the engine goes through this type or
+/// the dispatched kernels below — the layering lint forbids raw uint64_t
+/// mask math outside this header.
+inline constexpr size_t kMaxBatchClasses = 512;
+inline constexpr size_t kClassMaskWords = kMaxBatchClasses / 64;
+
+/// Fixed small-vector of mask words: 8 x 64 = 512 class bits, exactly one
+/// AVX-512 register (or two AVX2 registers) per mask. Single-mask operations
+/// are inline word loops — at 8 words the compiler auto-vectorizes them and
+/// an indirect kernel call would cost more than the work. The runtime-
+/// dispatched SIMD kernels (MaskKernels) cover the bulk loops, where arrays
+/// of masks amortize the dispatch.
+///
+/// Deliberately trivially copyable and standard-layout (bindings embed masks
+/// and the strided kernels address them by byte offset); natural 8-byte
+/// alignment with unaligned SIMD loads in the kernels, so embedding a mask
+/// in a struct costs no padding.
+class WideClassMask {
+ public:
+  constexpr WideClassMask() = default;
+
+  /// Mask with only class bit `k` set (k < kMaxBatchClasses).
+  static constexpr WideClassMask Bit(size_t k) {
+    WideClassMask m;
+    m.w_[k / 64] = 1ULL << (k % 64);
+    return m;
+  }
+
+  /// Mask with class bits [0, n) set — the batch-wide "full" mask for a
+  /// batch of n classes.
+  static constexpr WideClassMask FirstN(size_t n) {
+    WideClassMask m;
+    for (size_t i = 0; i < kClassMaskWords; ++i) {
+      if (n >= (i + 1) * 64) {
+        m.w_[i] = ~0ULL;
+      } else if (n > i * 64) {
+        m.w_[i] = (1ULL << (n - i * 64)) - 1;
+      }
+    }
+    return m;
+  }
+
+  constexpr bool Test(size_t k) const {
+    return ((w_[k / 64] >> (k % 64)) & 1) != 0;
+  }
+  constexpr void Set(size_t k) { w_[k / 64] |= 1ULL << (k % 64); }
+  constexpr void Reset(size_t k) { w_[k / 64] &= ~(1ULL << (k % 64)); }
+
+  constexpr bool any() const {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kClassMaskWords; ++i) acc |= w_[i];
+    return acc != 0;
+  }
+  constexpr bool none() const { return !any(); }
+
+  constexpr size_t count() const {
+    size_t c = 0;
+    for (size_t i = 0; i < kClassMaskWords; ++i) c += std::popcount(w_[i]);
+    return c;
+  }
+
+  constexpr WideClassMask& operator&=(const WideClassMask& o) {
+    for (size_t i = 0; i < kClassMaskWords; ++i) w_[i] &= o.w_[i];
+    return *this;
+  }
+  constexpr WideClassMask& operator|=(const WideClassMask& o) {
+    for (size_t i = 0; i < kClassMaskWords; ++i) w_[i] |= o.w_[i];
+    return *this;
+  }
+  friend constexpr WideClassMask operator&(WideClassMask a,
+                                           const WideClassMask& b) {
+    a &= b;
+    return a;
+  }
+  friend constexpr WideClassMask operator|(WideClassMask a,
+                                           const WideClassMask& b) {
+    a |= b;
+    return a;
+  }
+
+  /// this & ~o — the fail-closed complement restricted to this mask, so
+  /// callers never form an unrestricted ~mask over the 512-bit universe.
+  constexpr WideClassMask AndNot(const WideClassMask& o) const {
+    WideClassMask r;
+    for (size_t i = 0; i < kClassMaskWords; ++i) r.w_[i] = w_[i] & ~o.w_[i];
+    return r;
+  }
+
+  /// True when every bit of `sub` is set here: (sub & ~this) == 0. The
+  /// page-skip test "dead covers live" is one call.
+  constexpr bool Covers(const WideClassMask& sub) const {
+    uint64_t stray = 0;
+    for (size_t i = 0; i < kClassMaskWords; ++i) stray |= sub.w_[i] & ~w_[i];
+    return stray == 0;
+  }
+
+  constexpr bool Intersects(const WideClassMask& o) const {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < kClassMaskWords; ++i) acc |= w_[i] & o.w_[i];
+    return acc != 0;
+  }
+
+  friend constexpr bool operator==(const WideClassMask&,
+                                   const WideClassMask&) = default;
+
+  /// Lowest set class bit, or kMaxBatchClasses when empty.
+  constexpr size_t FirstSetBit() const {
+    for (size_t i = 0; i < kClassMaskWords; ++i) {
+      if (w_[i] != 0) return i * 64 + std::countr_zero(w_[i]);
+    }
+    return kMaxBatchClasses;
+  }
+
+  /// Calls f(k) for every set class bit, ascending.
+  template <typename F>
+  void ForEachSetBit(F&& f) const {
+    for (size_t i = 0; i < kClassMaskWords; ++i) {
+      uint64_t w = w_[i];
+      while (w != 0) {
+        f(i * 64 + static_cast<size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Raw word access for the kernel layer and tests only.
+  constexpr uint64_t word(size_t i) const { return w_[i]; }
+  uint64_t* words() { return w_; }
+  const uint64_t* words() const { return w_; }
+
+ private:
+  uint64_t w_[kClassMaskWords] = {};
+};
+
+using ClassMask = WideClassMask;
+
+/// Instruction sets the bulk kernels are compiled for. Selection happens
+/// once at startup via CPUID (__builtin_cpu_supports); the environment
+/// variable SECXML_FORCE_SCALAR_MASKS=1 pins kScalar for differential
+/// testing, and ForceMaskIsa() lets tests/benches pick any supported tier.
+enum class MaskIsa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* MaskIsaName(MaskIsa isa);
+
+/// Bulk mask kernels: loops over arrays of masks, dispatched per ISA. Every
+/// variant computes bit-identical results; tests pin that across tiers.
+struct MaskKernels {
+  /// rows[i] &= m for i in [0, n).
+  void (*and_broadcast)(WideClassMask* rows, size_t n, const WideClassMask& m);
+  /// Strided variant for arrays-of-struct (e.g. MaskedBinding): the i-th
+  /// mask lives at first_mask + i * stride_bytes. This is the frame-exit
+  /// success-mask narrowing loop of the batch matcher.
+  void (*and_broadcast_strided)(void* first_mask, size_t stride_bytes,
+                                size_t n, const WideClassMask& m);
+  /// *out = AND over rows[0, n); all-ones (FirstN(kMaxBatchClasses)) when
+  /// n == 0. The per-page dead-mask AND-reduction.
+  void (*reduce_and)(const WideClassMask* rows, size_t n, WideClassMask* out);
+  /// *out = OR over rows[0, n); zero when n == 0.
+  void (*reduce_or)(const WideClassMask* rows, size_t n, WideClassMask* out);
+  /// Total set bits across rows[0, n).
+  uint64_t (*popcount_rows)(const WideClassMask* rows, size_t n);
+  MaskIsa isa = MaskIsa::kScalar;
+};
+
+/// True when the host CPU can run kernels of `isa` (kScalar is always true).
+bool MaskIsaSupported(MaskIsa isa);
+
+/// Kernel table for `isa`; falls back to scalar when unsupported.
+const MaskKernels& MaskKernelsFor(MaskIsa isa);
+
+/// The active kernel table: best supported ISA at first use, unless
+/// SECXML_FORCE_SCALAR_MASKS=1 pinned scalar or ForceMaskIsa() overrode it.
+const MaskKernels& ActiveMaskKernels();
+MaskIsa ActiveMaskIsa();
+
+/// Overrides the active ISA (clamped to the best supported tier at or below
+/// the request); returns what was actually selected. Not thread-safe against
+/// concurrent scans — a test/bench hook, not a serving control.
+MaskIsa ForceMaskIsa(MaskIsa isa);
+
+}  // namespace secxml
+
+#endif  // SECXML_EXEC_MASK_OPS_H_

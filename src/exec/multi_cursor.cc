@@ -38,29 +38,39 @@ Status MultiSubjectCursor::Attach() {
                                    std::to_string(class_reps_.size()));
   }
   const Codebook& codebook = store_->codebook();
-  // Transpose the representatives' columns: bit k of code_mask_[c] is
-  // class k's accessibility under entry c. Column() fails closed for an
-  // unknown subject, so a bad representative denies rather than misreads.
-  code_mask_.assign(codebook.size(), 0);
-  for (size_t k = 0; k < class_reps_.size(); ++k) {
-    BitVector column = codebook.Column(class_reps_[k]);
-    for (size_t c = 0; c < column.size(); ++c) {
-      if (column.GetUnchecked(c)) code_mask_[c] |= (1ULL << k);
-    }
-  }
+  // The transposed columns (bit k of code_mask_[c] = class k's
+  // accessibility under entry c) are materialized per entry on first
+  // touch: a scan resolves only the codes its pages actually carry, and
+  // eagerly transposing every entry costs entries x classes — more than a
+  // fragment-sized scan does in total on wide batches.
+  code_mask_.assign(codebook.size(), ClassMask());
+  code_mask_ready_.assign(codebook.size(), 0);
   // Per-page batch verdicts from the in-memory directory alone: a clear
   // change bit means every slot carries first_code, so the page is dead for
   // exactly the classes that cannot access first_code — the same
   // classification SubjectView::ClassifyPage applies per subject.
   const std::vector<NokStore::PageInfo>& pages = store_->nok()->page_infos();
-  page_dead_.assign(pages.size(), 0);
+  page_dead_.assign(pages.size(), ClassMask());
   const ClassMask full = FullMask();
   for (size_t p = 0; p < pages.size(); ++p) {
-    page_dead_[p] = pages[p].change_bit ? 0
-                                        : (~AccessMask(pages[p].first_code) &
-                                           full);
+    if (!pages[p].change_bit) {
+      page_dead_[p] = full.AndNot(AccessMask(pages[p].first_code));
+    }
   }
   return Status::OK();
+}
+
+void MultiSubjectCursor::MaterializeCodeMask(uint32_t code) const {
+  // Accessible() fails closed for an unknown representative, so a bad rep
+  // denies rather than misreads — same contract the eager transpose had
+  // through Column().
+  const Codebook& codebook = store_->codebook();
+  ClassMask m;
+  for (size_t k = 0; k < class_reps_.size(); ++k) {
+    if (codebook.Accessible(code, class_reps_[k])) m.Set(k);
+  }
+  code_mask_[code] = m;
+  code_mask_ready_[code] = 1;
 }
 
 void MultiSubjectCursor::BeginScan() {
@@ -120,7 +130,8 @@ Result<NokRecord> MultiSubjectCursor::FetchChecked(size_t ordinal, NodeId u,
   return rec;
 }
 
-Result<bool> MultiSubjectCursor::FetchCandidate(NodeId cand, ClassMask live,
+Result<bool> MultiSubjectCursor::FetchCandidate(NodeId cand,
+                                                const ClassMask& live,
                                                 NokRecord* rec,
                                                 ClassMask* access) {
   NokStore* nok = store_->nok();
@@ -140,10 +151,8 @@ Result<bool> MultiSubjectCursor::FetchCandidate(NodeId cand, ClassMask live,
   return true;
 }
 
-Result<NodeId> MultiSubjectCursor::NextSiblingSkippingDead(NodeId u,
-                                                           uint16_t depth,
-                                                           NodeId limit,
-                                                           ClassMask live) {
+Result<NodeId> MultiSubjectCursor::NextSiblingSkippingDead(
+    NodeId u, uint16_t depth, NodeId limit, const ClassMask& live) {
   NokStore* nok = store_->nok();
   size_t ordinal = nok->PageOrdinalOf(u) + 1;
   while (ordinal < nok->num_pages()) {
@@ -178,7 +187,7 @@ Result<NodeId> MultiSubjectCursor::NextSiblingSkippingDead(NodeId u,
 MultiSubjectCursor::ChildWalk::ChildWalk(MultiSubjectCursor* cursor,
                                          NodeId parent,
                                          const NokRecord& parent_rec,
-                                         ClassMask live)
+                                         const ClassMask& live)
     : c_(cursor),
       live_(live),
       next_(NokStore::FirstChild(parent, parent_rec)),

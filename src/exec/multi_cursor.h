@@ -8,28 +8,28 @@
 #include "common/status.h"
 #include "core/secure_store.h"
 #include "exec/exec_stats.h"
+#include "exec/mask_ops.h"
 #include "nok/nok_format.h"
 #include "nok/nok_store.h"
 
 namespace secxml {
 
-/// One bit per visibility equivalence class of a subject batch. A cursor
-/// serves at most kMaxBatchClasses classes so every ACCESS check is a single
-/// word operation; batches with more distinct classes run in chunks.
-using ClassMask = uint64_t;
-inline constexpr size_t kMaxBatchClasses = 64;
-
 /// The multi-subject analogue of SecureCursor: one structural scan answering
 /// accessibility for a whole batch of visibility equivalence classes at
 /// once. Where the per-subject cursor resolves a DOL code and probes one
 /// codebook bit, this cursor resolves the code once and loads one
-/// precomputed word whose bit k is class k's accessibility — 64 subjects
-/// per word-AND, in the bit-sliced style of columnar word-parallel scans.
+/// precomputed wide mask whose bit k is class k's accessibility — up to
+/// kMaxBatchClasses subjects per mask-AND, in the bit-sliced style of
+/// columnar word-parallel scans (ClassMask and the SIMD kernels live in
+/// exec/mask_ops.h).
 ///
 /// Attach() compiles two tables from the codebook columns of the class
 /// representatives:
-///   - code mask: for every codebook entry, the word of per-class
-///     accessibility bits (the transposed columns);
+///   - code mask: for a codebook entry, the word of per-class
+///     accessibility bits (the transposed columns). Materialized lazily,
+///     one entry on first touch: a fragment-sized query resolves a handful
+///     of distinct codes, and an eager transpose of the whole codebook
+///     (entries x classes) would dwarf the scan itself on wide batches;
 ///   - page dead mask: for every page, the word of classes for which the
 ///     in-memory header proves the page wholly inaccessible — exactly
 ///     SubjectView::ClassifyPage per class, so the batch page skip agrees
@@ -75,27 +75,29 @@ class MultiSubjectCursor {
 
   size_t num_classes() const { return class_reps_.size(); }
   /// Mask with one bit per class of this batch.
-  ClassMask FullMask() const {
-    return class_reps_.size() >= 64
-               ? ~0ULL
-               : ((1ULL << class_reps_.size()) - 1);
+  ClassMask FullMask() const { return ClassMask::FirstN(class_reps_.size()); }
+
+  /// Mask of per-class accessibility bits for `code`, materialized on
+  /// first touch (the cursor is single-threaded, so the memo needs no
+  /// synchronization). Fails closed: an out-of-range code denies every
+  /// class, matching Codebook::Accessible.
+  const ClassMask& AccessMask(uint32_t code) const {
+    static constexpr ClassMask kDenied;
+    if (code >= code_mask_.size()) return kDenied;
+    if (!code_mask_ready_[code]) MaterializeCodeMask(code);
+    return code_mask_[code];
   }
 
-  /// Word of per-class accessibility bits for `code`. Fails closed: an
-  /// out-of-range code denies every class, matching Codebook::Accessible.
-  ClassMask AccessMask(uint32_t code) const {
-    return code < code_mask_.size() ? code_mask_[code] : 0;
-  }
-
-  /// Word of classes for which the page at `ordinal` is provably wholly
+  /// Mask of classes for which the page at `ordinal` is provably wholly
   /// inaccessible (per-class SubjectView::ClassifyPage == kDead).
   ClassMask PageDeadMask(size_t ordinal) const {
     return ordinal < page_dead_.size() ? page_dead_[ordinal] : FullMask();
   }
 
-  /// True when no class in `live` can see anything on the page.
-  bool PageWhollyDeadFor(size_t ordinal, ClassMask live) const {
-    return (PageDeadMask(ordinal) & live) == live;
+  /// True when no class in `live` can see anything on the page:
+  /// the dead mask covers the whole live mask.
+  bool PageWhollyDeadFor(size_t ordinal, const ClassMask& live) const {
+    return PageDeadMask(ordinal).Covers(live);
   }
 
   /// Secure fetch of node `u` on the page at `ordinal`: record plus the
@@ -108,14 +110,14 @@ class MultiSubjectCursor {
   /// dead for every class in `live` is skipped without loading the page
   /// (returns false, page counted once). Otherwise fetches and checks like
   /// FetchChecked, returning *access already restricted to `live`.
-  Result<bool> FetchCandidate(NodeId cand, ClassMask live, NokRecord* rec,
-                              ClassMask* access);
+  Result<bool> FetchCandidate(NodeId cand, const ClassMask& live,
+                              NokRecord* rec, ClassMask* access);
 
   /// Next sibling of `u` at `depth` within the parent extent `limit`,
   /// loading no page that is wholly dead for every class in `live` (the
   /// in-memory dead-mask table makes each page test O(1), no I/O).
   Result<NodeId> NextSiblingSkippingDead(NodeId u, uint16_t depth,
-                                         NodeId limit, ClassMask live);
+                                         NodeId limit, const ClassMask& live);
 
   /// Counts `ordinal` toward pages_skipped (ExecStats and the store's
   /// IoStats), once per distinct page per scan.
@@ -132,7 +134,7 @@ class MultiSubjectCursor {
     /// `parent_rec` must be the record of `parent`; `live` is fixed for the
     /// walk (a recursion frame's live set never grows).
     ChildWalk(MultiSubjectCursor* cursor, NodeId parent,
-              const NokRecord& parent_rec, ClassMask live);
+              const NokRecord& parent_rec, const ClassMask& live);
 
     /// Advances to the next child; false when the walk is exhausted.
     Result<bool> Next(NodeId* u, NokRecord* rec, ClassMask* access);
@@ -160,11 +162,17 @@ class MultiSubjectCursor {
   /// counts a fetch wait when the pin required a physical read.
   Result<PageHandle> PinPage(size_t ordinal, NodeId u);
 
+  /// Fills code_mask_[code] with the per-class bits of one codebook entry
+  /// (O(classes) point probes, done at most once per distinct code).
+  void MaterializeCodeMask(uint32_t code) const;
+
   SecureStore* store_;
   std::vector<SubjectId> class_reps_;
   Options options_;
-  /// Transposed codebook columns: one word of per-class bits per entry.
-  std::vector<ClassMask> code_mask_;
+  /// Transposed codebook columns: one word of per-class bits per entry,
+  /// lazily materialized (mutable: filling the memo is logically const).
+  mutable std::vector<ClassMask> code_mask_;
+  mutable std::vector<char> code_mask_ready_;
   /// Per-page word of classes for which the page is wholly dead.
   std::vector<ClassMask> page_dead_;
   /// Per-scan bitmap of pages already counted as skipped.

@@ -957,6 +957,99 @@ Status NokStore::ReplacePageRange(size_t begin_ord, size_t end_ord,
   return Status::OK();
 }
 
+Status NokStore::Repack(size_t min_run_records, VacuumPlan* plan) {
+  bool auto_txn = !InUpdate();
+  if (auto_txn) SECXML_RETURN_NOT_OK(BeginUpdate());
+  Status st = RepackStaged(min_run_records, plan);
+  if (!auto_txn) return st;
+  if (!st.ok()) {
+    AbortUpdate();
+    return st;
+  }
+  return CommitUpdate();
+}
+
+Status NokStore::RepackStaged(size_t min_run_records, VacuumPlan* plan_out) {
+  // Gather the full record and code sequences in document order. Reads see
+  // the staged state on the writer thread, so a vacuum composes with
+  // earlier staged mutations of the same transaction.
+  std::vector<NokRecord> records;
+  std::vector<uint32_t> codes;
+  std::vector<NokRecord> page_records;
+  std::vector<uint32_t> page_codes;
+  const size_t old_pages = wip().pages.size();
+  for (size_t ordinal = 0; ordinal < old_pages; ++ordinal) {
+    SECXML_RETURN_NOT_OK(ReadPageContents(ordinal, &page_records, &page_codes));
+    records.insert(records.end(), page_records.begin(), page_records.end());
+    codes.insert(codes.end(), page_codes.begin(), page_codes.end());
+  }
+  if (records.empty()) {
+    if (plan_out != nullptr) *plan_out = VacuumPlan();
+    return Status::OK();
+  }
+
+  PageGeometry geometry;
+  geometry.page_bytes = kPageSize;
+  geometry.header_bytes = sizeof(NokPageHeader);
+  geometry.record_bytes = sizeof(NokRecord);
+  geometry.transition_bytes = sizeof(DolTransition);
+  VacuumPlanOptions popts;
+  popts.max_records_per_page =
+      options_.max_records_per_page == 0
+          ? kMaxRecordsPerPage
+          : std::min(options_.max_records_per_page, kMaxRecordsPerPage);
+  popts.transition_slack = options_.transition_slack;
+  popts.min_run_records = min_run_records;
+  VacuumPlan plan = PlanVisibilityClusteredLayout(codes, geometry, popts);
+
+  // Compose one fresh page per planned cut (shadow paging: old pages leak
+  // in the file until CompactTo, like every page rewrite).
+  std::vector<PageInfo> new_infos;
+  new_infos.reserve(plan.page_starts.size());
+  for (size_t p = 0; p < plan.page_starts.size(); ++p) {
+    const size_t begin = plan.page_starts[p];
+    const size_t end = p + 1 < plan.page_starts.size()
+                           ? plan.page_starts[p + 1]
+                           : records.size();
+    const size_t count = end - begin;
+    std::vector<DolTransition> ts;
+    for (size_t s = begin + 1; s < end; ++s) {
+      if (codes[s] != codes[s - 1]) {
+        ts.push_back(
+            DolTransition{static_cast<uint16_t>(s - begin), 0, codes[s]});
+      }
+    }
+    // Fail closed on a malformed plan: committing an overfull page would
+    // corrupt the store, so the hard fit is revalidated here.
+    if (count == 0 || count > kMaxRecordsPerPage ||
+        !PageFits(static_cast<uint32_t>(count),
+                  static_cast<uint32_t>(ts.size()))) {
+      return Status::Corruption("vacuum plan produced an unpackable page");
+    }
+    SECXML_ASSIGN_OR_RETURN(PageHandle handle, pool_.Allocate());
+    NokPageHeader header;
+    header.num_records = static_cast<uint16_t>(count);
+    header.first_depth = records[begin].depth;
+    header.first_code = codes[begin];
+    header.num_transitions = static_cast<uint16_t>(ts.size());
+    header.set_change_bit(!ts.empty());
+    ComposePage(header, records.data() + begin, ts, handle.mutable_page());
+    handle.MarkDirty();
+    NoteFreshPage(handle.page_id(), header.first_code, ts);
+    PageInfo info;
+    info.page_id = handle.page_id();
+    info.num_records = header.num_records;
+    info.first_depth = header.first_depth;
+    info.first_code = header.first_code;
+    info.change_bit = header.change_bit();
+    new_infos.push_back(info);
+  }
+  wip().pages = std::move(new_infos);
+  RebuildFirstNodes();
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return Status::OK();
+}
+
 Status NokStore::AncestorChain(NodeId target, std::vector<NodeId>* chain) {
   chain->clear();
   if (target >= read_state().num_nodes) {

@@ -18,6 +18,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
 #include "storage/readahead.h"
+#include "storage/vacuum.h"
 #include "xml/document.h"
 #include "xml/tag_dictionary.h"
 
@@ -290,6 +291,17 @@ class NokStore {
   Status SetPageAcl(size_t ordinal, uint32_t first_code,
                     std::vector<DolTransition> transitions);
 
+  /// Physically reorganizes the whole store into the visibility-clustered
+  /// layout (the storage half of the "secure VACUUM"): page boundaries are
+  /// re-cut at access-code run boundaries — document order is untouched,
+  /// node ids ARE positions — so pages come out code-homogeneous wherever
+  /// runs reach `min_run_records`, making per-class page verdicts decisive
+  /// and batch page skipping effective. Every page is freshly composed
+  /// (shadow paging; old pages leak until CompactTo) and the directory is
+  /// rebuilt; node ids, tag postings and per-record codes are unchanged.
+  /// `plan` (optional) receives the planned layout and homogeneity stats.
+  Status Repack(size_t min_run_records, VacuumPlan* plan = nullptr);
+
   // --- Structural updates (paper Section 3.4) --------------------------
   //
   // Node ids are document-order positions, so deleting or inserting a
@@ -387,6 +399,8 @@ class NokStore {
 
   // Transaction-internal bodies of the public mutators (the public entry
   // points add the auto-wrapping transaction).
+  Status RepackStaged(size_t min_run_records, VacuumPlan* plan);
+
   Status SetPageAclStaged(size_t ordinal, uint32_t first_code,
                           std::vector<DolTransition> transitions);
   Status DeleteSubtreeStaged(NodeId root);

@@ -70,12 +70,17 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
 
   batch.classes.resize(groups.size());
 
-  // Evaluate in chunks of up to kMaxBatchClasses classes: one structural
-  // scan per chunk, word-wide accessibility per node.
+  // Evaluate in chunks of up to chunk_cap classes: one structural scan per
+  // chunk, mask-wide accessibility per node. With 512-wide masks almost
+  // every batch collapses to a single chunk; the option keeps the chunked
+  // path reachable for tests and tuning.
+  const size_t chunk_cap =
+      options.batch_chunk_classes == 0
+          ? kMaxBatchClasses
+          : std::min(options.batch_chunk_classes, kMaxBatchClasses);
   for (size_t chunk_begin = 0; chunk_begin < groups.size();
-       chunk_begin += kMaxBatchClasses) {
-    const size_t chunk_end =
-        std::min(groups.size(), chunk_begin + kMaxBatchClasses);
+       chunk_begin += chunk_cap) {
+    const size_t chunk_end = std::min(groups.size(), chunk_begin + chunk_cap);
     const size_t width = chunk_end - chunk_begin;
     std::vector<SubjectId> reps;
     reps.reserve(width);

@@ -12,14 +12,19 @@ namespace {
 /// valid. This is the mask analogue of NokMatcher's rollback-by-resize.
 void NarrowAppended(BatchFragmentMatch* match,
                     const std::vector<size_t>& marks, size_t base,
-                    ClassMask keep) {
+                    const ClassMask& keep) {
+  const MaskKernels& kernels = ActiveMaskKernels();
   for (size_t i = 0; i < match->bindings.size(); ++i) {
     std::vector<MaskedBinding>& slot = match->bindings[i];
     size_t from = marks[base + i];
-    for (size_t j = from; j < slot.size(); ++j) slot[j].mask &= keep;
-    slot.erase(std::remove_if(slot.begin() + from, slot.end(),
-                              [](const MaskedBinding& b) { return b.mask == 0; }),
-               slot.end());
+    if (from < slot.size()) {
+      kernels.and_broadcast_strided(&slot[from].mask, sizeof(MaskedBinding),
+                                    slot.size() - from, keep);
+    }
+    slot.erase(
+        std::remove_if(slot.begin() + static_cast<long>(from), slot.end(),
+                       [](const MaskedBinding& b) { return b.mask.none(); }),
+        slot.end());
   }
 }
 
@@ -45,7 +50,7 @@ bool MultiSubjectMatcher::TagValueMatches(const ResolvedPattern& p,
 
 Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
     const std::vector<int>& pchildren, NodeId sroot, const NokRecord& srec,
-    ClassMask live, BatchFragmentMatch* match) {
+    const ClassMask& live, BatchFragmentMatch* match) {
   // Materialize the data children once with their batch access masks.
   // Children no live class can access can never participate for anyone and
   // are dropped, like the per-subject walk drops inaccessible children;
@@ -60,11 +65,11 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
     MultiSubjectCursor::ChildWalk walk(&cursor_, sroot, srec, live);
     NodeId u = kInvalidNode;
     NokRecord urec;
-    ClassMask amask = 0;
+    ClassMask amask;
     for (;;) {
       SECXML_ASSIGN_OR_RETURN(bool more, walk.Next(&u, &urec, &amask));
       if (!more) break;
-      if (amask != 0) data.push_back({u, urec, amask});
+      if (amask.any()) data.push_back({u, urec, amask});
     }
   }
   const size_t K = pchildren.size();
@@ -74,12 +79,12 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
   // of classes for which the recursive probe succeeds AND the data child is
   // accessible. One probe answers all classes; per-class greedy passes below
   // consume single bits of it.
-  std::vector<ClassMask> memo(K * M, 0);
+  std::vector<ClassMask> memo(K * M);
   std::vector<char> computed(K * M, 0);
   auto feasible = [&](size_t k, size_t d) -> Result<ClassMask> {
     if (computed[k * M + d]) return memo[k * M + d];
     const ResolvedPattern& rp = resolved_[pchildren[k]];
-    ClassMask m = 0;
+    ClassMask m;
     if (TagValueMatches(rp, data[d].rec)) {
       const size_t nb = match->bindings.size();
       const size_t base = mark_stack_.size();
@@ -102,19 +107,18 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
   // which its own walk would never have materialized — the greedy
   // subsequence assignment is identical over either sequence).
   std::vector<size_t> prefix_end(K), suffix_start(K);
-  std::vector<std::vector<size_t>> prefix_end_of(kMaxBatchClasses),
-      suffix_start_of(kMaxBatchClasses);
-  ClassMask succ = 0;
+  std::vector<std::vector<size_t>> prefix_end_of(cursor_.num_classes()),
+      suffix_start_of(cursor_.num_classes());
+  ClassMask succ;
   for (size_t c = 0; c < cursor_.num_classes(); ++c) {
-    const ClassMask bc = 1ULL << c;
-    if (!(live & bc)) continue;
+    if (!live.Test(c)) continue;
     bool class_ok = true;
     size_t d = 0;
     for (size_t k = 0; k < K && class_ok; ++k) {
       class_ok = false;
       for (; d < M; ++d) {
         SECXML_ASSIGN_OR_RETURN(ClassMask fm, feasible(k, d));
-        if (fm & bc) {
+        if (fm.Test(c)) {
           prefix_end[k] = d;
           ++d;
           class_ok = true;
@@ -128,7 +132,7 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
       bool found = false;
       while (dl-- > 0) {
         SECXML_ASSIGN_OR_RETURN(ClassMask fm, feasible(k, dl));
-        if (fm & bc) {
+        if (fm.Test(c)) {
           suffix_start[k] = dl;
           found = true;
           break;
@@ -136,7 +140,7 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
       }
       if (!found) break;  // unreachable: forward pass succeeded
     }
-    succ |= bc;
+    succ.Set(c);
     prefix_end_of[c] = prefix_end;
     suffix_start_of[c] = suffix_start;
   }
@@ -149,18 +153,17 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
   for (size_t k = 0; k < K; ++k) {
     if (!resolved_[pchildren[k]].contains_designated) continue;
     for (size_t cand = 0; cand < M; ++cand) {
-      ClassMask want = 0;
+      ClassMask want;
       for (size_t c = 0; c < cursor_.num_classes(); ++c) {
-        const ClassMask bc = 1ULL << c;
-        if (!(succ & bc)) continue;
+        if (!succ.Test(c)) continue;
         size_t lo = k == 0 ? 0 : prefix_end_of[c][k - 1] + 1;
         size_t hi = k + 1 == K ? M : suffix_start_of[c][k + 1];  // exclusive
-        if (cand >= lo && cand < hi) want |= bc;
+        if (cand >= lo && cand < hi) want.Set(c);
       }
-      if (!want) continue;
+      if (want.none()) continue;
       SECXML_ASSIGN_OR_RETURN(ClassMask fm, feasible(k, cand));
       want &= fm;
-      if (!want) continue;
+      if (want.none()) continue;
       SECXML_ASSIGN_OR_RETURN(
           ClassMask again,
           Npm(pchildren[k], data[cand].node, data[cand].rec, want, match));
@@ -172,7 +175,7 @@ Result<ClassMask> MultiSubjectMatcher::MatchChildrenOrdered(
 
 Result<ClassMask> MultiSubjectMatcher::Npm(int pnode, NodeId sroot,
                                            const NokRecord& srec,
-                                           ClassMask live,
+                                           const ClassMask& live,
                                            BatchFragmentMatch* match) {
   const ResolvedPattern& pat = resolved_[pnode];
   // Mark this frame's binding positions on the shared stack; the frame exit
@@ -198,14 +201,14 @@ Result<ClassMask> MultiSubjectMatcher::Npm(int pnode, NodeId sroot,
 
   const std::vector<int>& pchildren = *pat.children;
   // satisfied[i]: classes (within live) that have satisfied pattern child i.
-  std::vector<ClassMask> satisfied(pchildren.size(), 0);
+  std::vector<ClassMask> satisfied(pchildren.size());
   bool has_collectors = false;
   for (int s : pchildren) has_collectors |= resolved_[s].contains_designated;
   if (!pchildren.empty()) {
     MultiSubjectCursor::ChildWalk walk(&cursor_, sroot, srec, live);
     NodeId u = kInvalidNode;
     NokRecord urec;
-    ClassMask amask = 0;
+    ClassMask amask;
     for (;;) {
       if (!has_collectors) {
         // Stop once every live class has satisfied every pattern child —
@@ -218,7 +221,7 @@ Result<ClassMask> MultiSubjectMatcher::Npm(int pnode, NodeId sroot,
       }
       SECXML_ASSIGN_OR_RETURN(bool more, walk.Next(&u, &urec, &amask));
       if (!more) break;
-      if (amask == 0) continue;
+      if (amask.none()) continue;
       // Algorithm 1 lines 7-11, mask-valued: try every pattern child some
       // class that can access u still wants (unsatisfied, or a designated
       // collector that keeps matching).
@@ -226,8 +229,8 @@ Result<ClassMask> MultiSubjectMatcher::Npm(int pnode, NodeId sroot,
         int s = pchildren[i];
         ClassMask want = resolved_[s].contains_designated
                              ? amask
-                             : (amask & ~satisfied[i]);
-        if (!want) continue;
+                             : amask.AndNot(satisfied[i]);
+        if (want.none()) continue;
         if (!TagValueMatches(resolved_[s], urec)) continue;
         SECXML_ASSIGN_OR_RETURN(ClassMask ok, Npm(s, u, urec, want, match));
         satisfied[i] |= ok;
@@ -303,18 +306,18 @@ Status MultiSubjectMatcher::MatchFragment(const QueryFragment& fragment,
   const ClassMask full = cursor_.FullMask();
   for (NodeId cand : candidates) {
     NokRecord rec;
-    ClassMask amask = 0;
+    ClassMask amask;
     SECXML_ASSIGN_OR_RETURN(
         bool fetched, cursor_.FetchCandidate(cand, full, &rec, &amask));
     if (!fetched) continue;  // page dead for every class, never loaded
     if (!TagValueMatches(resolved_[0], rec)) continue;
-    if (amask == 0) continue;  // Algorithm 1 pre-condition, batch-wide
+    if (amask.none()) continue;  // Algorithm 1 pre-condition, batch-wide
     BatchFragmentMatch match;
     match.root = cand;
     match.root_end = cand + rec.subtree_size;
     match.bindings.resize(designated.size());
     SECXML_ASSIGN_OR_RETURN(ClassMask ok, Npm(0, cand, rec, amask, &match));
-    if (ok != 0) {
+    if (ok.any()) {
       match.ok = ok;
       out->push_back(std::move(match));
     }
@@ -324,17 +327,16 @@ Status MultiSubjectMatcher::MatchFragment(const QueryFragment& fragment,
 
 std::vector<FragmentMatch> ProjectClassMatches(
     const std::vector<BatchFragmentMatch>& batch, size_t k) {
-  const ClassMask bit = 1ULL << k;
   std::vector<FragmentMatch> out;
   for (const BatchFragmentMatch& bm : batch) {
-    if (!(bm.ok & bit)) continue;
+    if (!bm.ok.Test(k)) continue;
     FragmentMatch m;
     m.root = bm.root;
     m.root_end = bm.root_end;
     m.bindings.resize(bm.bindings.size());
     for (size_t i = 0; i < bm.bindings.size(); ++i) {
       for (const MaskedBinding& b : bm.bindings[i]) {
-        if (b.mask & bit) m.bindings[i].emplace_back(b.node, b.end);
+        if (b.mask.Test(k)) m.bindings[i].emplace_back(b.node, b.end);
       }
     }
     out.push_back(std::move(m));

@@ -19,7 +19,7 @@ namespace secxml {
 struct MaskedBinding {
   NodeId node = 0;
   NodeId end = 0;
-  ClassMask mask = 0;
+  ClassMask mask;
 };
 
 /// One data root at which the fragment matches for at least one class.
@@ -30,7 +30,7 @@ struct BatchFragmentMatch {
   NodeId root = 0;
   NodeId root_end = 0;
   /// Classes for which the fragment matches at this root.
-  ClassMask ok = 0;
+  ClassMask ok;
   /// Parallel to the designated list passed to MatchFragment; bindings in
   /// discovery order, each carrying its class mask.
   std::vector<std::vector<MaskedBinding>> bindings;
@@ -39,8 +39,9 @@ struct BatchFragmentMatch {
 /// Word-parallel multi-subject NoK pattern matcher: Algorithm 1 run once
 /// for a whole batch of visibility equivalence classes. Control flow follows
 /// the per-subject NokMatcher exactly, but every accessibility test yields a
-/// word of per-class bits (one AND via MultiSubjectCursor) and every
-/// success/rollback decision becomes a mask operation:
+/// wide mask of per-class bits (one AND via MultiSubjectCursor) and every
+/// success/rollback decision becomes a mask operation (frame-exit narrowing
+/// runs through the dispatched SIMD kernels in exec/mask_ops.h):
 ///
 ///  - a recursion frame carries the live mask of classes still pursuing the
 ///    current subtree; bindings are appended with that mask and narrowed to
@@ -110,13 +111,13 @@ class MultiSubjectMatcher {
   /// pattern subtree matches; bindings appended by the call carry masks
   /// already narrowed to that result.
   Result<ClassMask> Npm(int pnode, NodeId sroot, const NokRecord& srec,
-                        ClassMask live, BatchFragmentMatch* match);
+                        const ClassMask& live, BatchFragmentMatch* match);
 
   /// Ordered-sibling variant: per-class greedy feasibility windows over the
   /// shared (batch-checked) data-child list, with batch-memoized probes.
   Result<ClassMask> MatchChildrenOrdered(const std::vector<int>& pchildren,
                                          NodeId sroot, const NokRecord& srec,
-                                         ClassMask live,
+                                         const ClassMask& live,
                                          BatchFragmentMatch* match);
 
   SecureStore* store_;

@@ -38,6 +38,10 @@ struct EvalOptions {
   /// Require sibling pattern nodes to bind in document order (NoK's ordered
   /// pattern trees; see NokMatcher::Options::ordered_siblings).
   bool ordered_siblings = false;
+  /// Batch evaluation only: cap on visibility classes per structural scan.
+  /// 0 means the full mask width (kMaxBatchClasses); tests set a smaller
+  /// cap to pin the one-wide-scan path byte-identical to the chunked one.
+  size_t batch_chunk_classes = 0;
 };
 
 /// Evaluation outcome plus the counters the paper's Figure 7 reports.

@@ -1,0 +1,84 @@
+#include "storage/vacuum.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+VacuumPlan PlanVisibilityClusteredLayout(std::span<const uint32_t> codes,
+                                         const PageGeometry& geometry,
+                                         const VacuumPlanOptions& options) {
+  VacuumPlan plan;
+  if (codes.empty()) return plan;
+
+  const size_t geometric_max =
+      geometry.record_bytes == 0 || geometry.page_bytes <= geometry.header_bytes
+          ? 0
+          : (geometry.page_bytes - geometry.header_bytes) /
+                geometry.record_bytes;
+  const size_t max_records = options.max_records_per_page == 0
+                                 ? geometric_max
+                                 : std::min(options.max_records_per_page,
+                                            geometric_max);
+
+  // Records + transitions grow toward each other; a page holding `records`
+  // records and `transitions` embedded transitions (plus the update slack)
+  // fits when both ends stay inside the page.
+  auto fits = [&](size_t records, size_t transitions) {
+    return geometry.header_bytes + records * geometry.record_bytes +
+               (transitions + options.transition_slack) *
+                   geometry.transition_bytes <=
+           geometry.page_bytes;
+  };
+
+  // Length of the code run starting at each record (one backward scan), so
+  // the greedy pass can isolate a long run BEFORE entering it rather than
+  // discovering it too late inside a mixed page.
+  std::vector<size_t> run_len(codes.size());
+  run_len[codes.size() - 1] = 1;
+  for (size_t i = codes.size() - 1; i-- > 0;) {
+    run_len[i] = codes[i] == codes[i + 1] ? run_len[i + 1] + 1 : 1;
+  }
+
+  // One greedy left-to-right pass. The current page is cut when it is full,
+  // or at a code-run boundary where cutting preserves or creates
+  // homogeneity: either the page so far is one clean run worth keeping
+  // (>= min_run_records, so closing it leaves a change-bit-clear page), or
+  // the run about to start is long enough to deserve fresh pages of its
+  // own. Boundaries between short runs never cut — noise coalesces into
+  // capacity-packed mixed pages instead of fragmenting the page count.
+  size_t page_start = 0;
+  size_t page_transitions = 0;
+  plan.page_starts.push_back(0);
+  for (size_t i = 1; i < codes.size(); ++i) {
+    const bool run_boundary = codes[i] != codes[i - 1];
+    const size_t count = i - page_start;
+    const bool full = count >= max_records ||
+                      !fits(count + 1, page_transitions + (run_boundary ? 1 : 0));
+    const bool cluster_cut =
+        run_boundary &&
+        ((page_transitions == 0 && count >= options.min_run_records) ||
+         run_len[i] >= options.min_run_records);
+    if (full || cluster_cut) {
+      plan.transitions += page_transitions;
+      if (page_transitions == 0) {
+        ++plan.homogeneous_pages;
+      } else {
+        ++plan.mixed_pages;
+      }
+      plan.page_starts.push_back(i);
+      page_start = i;
+      page_transitions = 0;
+    } else if (run_boundary) {
+      ++page_transitions;
+    }
+  }
+  plan.transitions += page_transitions;
+  if (page_transitions == 0) {
+    ++plan.homogeneous_pages;
+  } else {
+    ++plan.mixed_pages;
+  }
+  return plan;
+}
+
+}  // namespace secxml

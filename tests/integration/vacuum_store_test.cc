@@ -1,0 +1,325 @@
+// Store-level tests for the secure VACUUM (visibility-clustered page
+// reorganization). Contracts:
+//
+//  * Vacuum preserves the logical store exactly: the extracted labeling,
+//    the codebook, and every query answer under both semantics are
+//    byte-identical before and after — only page boundaries move.
+//  * Clustering is real: homogeneous (change-bit-clear) pages do not
+//    decrease, and on run-structured ACLs an all-denied region turns into
+//    wholly-dead pages that the batch evaluator actually skips.
+//  * Vacuum is a WAL-logged update: a crash after a non-checkpointing
+//    vacuum replays the deterministic planner and recovers the identical
+//    layout; the default checkpoint truncates the log.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dol_labeling.h"
+#include "core/policy.h"
+#include "core/secure_store.h"
+#include "query/batch_evaluator.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xml_parser.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kSubjects = 6;
+
+NokStoreOptions StoreOptions() {
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+  return sopts;
+}
+
+struct WalFixture {
+  Document doc;
+  MemPagedFile data;
+  MemPagedFile wal;
+  std::unique_ptr<SecureStore> store;
+};
+
+// Subtree-propagated ACLs: most-specific-override seeds yield long document-
+// order runs of identical ACL columns — the layout vacuum clusters on.
+void BuildWalFixture(uint64_t seed, uint32_t nodes, WalFixture* f) {
+  XMarkOptions xopts;
+  xopts.seed = seed + 900;
+  xopts.target_nodes = nodes;
+  ASSERT_TRUE(GenerateXMark(xopts, &f->doc).ok());
+  NodeId n = static_cast<NodeId>(f->doc.NumNodes());
+  Rng rng(seed * 31 + 7);
+  IntervalAccessMap map(n, kSubjects);
+  for (SubjectId s = 0; s < kSubjects; ++s) {
+    std::vector<AclSeed> seeds = {{0, rng.Bernoulli(0.7)}};
+    for (int i = 0; i < 8; ++i) {
+      seeds.push_back(
+          {static_cast<NodeId>(rng.Uniform(n)), rng.Bernoulli(0.5)});
+    }
+    map.SetSubjectIntervals(s, PropagateMostSpecificOverride(f->doc, seeds));
+  }
+  DolLabeling labeling =
+      DolLabeling::BuildFromEvents(n, map.InitialAcl(), map.CollectEvents());
+  ASSERT_TRUE(SecureStore::BuildWithWal(f->doc, labeling, &f->data, &f->wal,
+                                        StoreOptions(), &f->store)
+                  .ok());
+}
+
+void SnapshotFile(PagedFile* src, MemPagedFile* dst) {
+  Page page;
+  for (PageId id = 0; id < src->NumPages(); ++id) {
+    ASSERT_TRUE(src->ReadPage(id, &page).ok());
+    auto alloc = dst->AllocatePage();
+    ASSERT_TRUE(alloc.ok());
+    ASSERT_TRUE(dst->WritePage(*alloc, page).ok());
+  }
+}
+
+std::string Fingerprint(SecureStore* store) {
+  auto labeling = store->ExtractLabeling();
+  EXPECT_TRUE(labeling.ok()) << labeling.status();
+  if (!labeling.ok()) return {};
+  std::vector<uint8_t> bytes = labeling->Serialize();
+  std::vector<uint8_t> cb = store->codebook().Serialize();
+  std::string fp(bytes.begin(), bytes.end());
+  fp.append(cb.begin(), cb.end());
+  return fp;
+}
+
+std::vector<std::vector<NodeId>> AnswerSet(
+    SecureStore* store, const std::vector<PatternTree>& queries) {
+  std::vector<std::vector<NodeId>> out;
+  QueryEvaluator eval(store);
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    for (const PatternTree& q : queries) {
+      for (SubjectId s = 0; s < kSubjects; ++s) {
+        EvalOptions opts;
+        opts.semantics = sem;
+        opts.subject = s;
+        auto r = eval.Evaluate(q, opts);
+        EXPECT_TRUE(r.ok()) << r.status();
+        out.push_back(r.ok() ? r->answers : std::vector<NodeId>{});
+      }
+    }
+  }
+  return out;
+}
+
+size_t HomogeneousPages(SecureStore* store) {
+  size_t h = 0;
+  for (const auto& info : store->nok()->page_infos()) {
+    if (!info.change_bit) ++h;
+  }
+  return h;
+}
+
+class VacuumStoreTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VacuumStoreTest, PreservesLabelingAndAnswers) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  WalFixture f;
+  BuildWalFixture(seed, 2000, &f);
+  std::vector<PatternTree> queries;
+  for (int i = 0; i < 4; ++i) {
+    QueryGenOptions qopts;
+    qopts.seed = seed * 130 + static_cast<uint64_t>(i);
+    qopts.max_nodes = 2 + i % 4;
+    queries.push_back(GenerateTwigQuery(f.doc, qopts));
+  }
+  const std::string fp_before = Fingerprint(f.store.get());
+  const auto answers_before = AnswerSet(f.store.get(), queries);
+  const size_t homogeneous_before = HomogeneousPages(f.store.get());
+
+  SecureStore::VacuumOptions vopts;
+  SecureStore::VacuumStats stats;
+  ASSERT_TRUE(f.store->Vacuum(vopts, &stats).ok());
+
+  EXPECT_EQ(stats.homogeneous_pages_before, homogeneous_before);
+  EXPECT_EQ(stats.pages_after, f.store->nok()->page_infos().size());
+  EXPECT_EQ(stats.homogeneous_pages_after, HomogeneousPages(f.store.get()));
+  // Clustering never loses homogeneity.
+  EXPECT_GE(stats.homogeneous_pages_after, stats.homogeneous_pages_before);
+  EXPECT_GT(stats.homogeneous_pages_after, 0u);
+
+  // The logical store is untouched.
+  EXPECT_EQ(Fingerprint(f.store.get()), fp_before);
+  EXPECT_EQ(AnswerSet(f.store.get(), queries), answers_before);
+
+  // Idempotent: a second vacuum with the same knobs changes nothing.
+  SecureStore::VacuumStats stats2;
+  ASSERT_TRUE(f.store->Vacuum(vopts, &stats2).ok());
+  EXPECT_EQ(stats2.pages_after, stats.pages_after);
+  EXPECT_EQ(stats2.homogeneous_pages_after, stats.homogeneous_pages_after);
+  EXPECT_EQ(Fingerprint(f.store.get()), fp_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VacuumStoreTest, ::testing::Range(1, 5));
+
+TEST(VacuumStoreTest, AllDeniedRegionBecomesSkippablePostVacuum) {
+  // A crafted document: root holds 600 <a><b/><c/></a> children, so the
+  // child walk under root crosses every page. A contiguous all-subjects-
+  // denied stripe in the middle turns, post-vacuum, into change-bit-clear
+  // wholly-dead pages that the batch cursor must skip for the whole batch.
+  std::string xml = "<root>";
+  for (int i = 0; i < 600; ++i) xml += "<a><b/><c/></a>";
+  xml += "</root>";
+  Document doc;
+  ASSERT_TRUE(ParseXml(xml, &doc).ok());
+  const NodeId n = static_cast<NodeId>(doc.NumNodes());
+
+  DenseAccessMap map(n, kSubjects);
+  Rng rng(404);
+  for (SubjectId s = 0; s < kSubjects; ++s) {
+    map.SetSubtree(doc, s, 0, true);
+    // Per-subject variation outside the stripe keeps the batch genuinely
+    // mixed (distinct columns).
+    for (int i = 0; i < 6; ++i) {
+      map.SetSubtree(doc, s, 1 + static_cast<NodeId>(rng.Uniform(n - 1)),
+                     rng.Bernoulli(0.5));
+    }
+  }
+  // The stripe: nodes [n/3, 2n/3) denied to every subject.
+  for (SubjectId s = 0; s < kSubjects; ++s) {
+    for (NodeId v = n / 3; v < 2 * n / 3; ++v) map.Set(s, v, false);
+  }
+
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+  ASSERT_TRUE(SecureStore::Build(doc, DolLabeling::Build(map), &file,
+                                 StoreOptions(), &store)
+                  .ok());
+
+  PatternTree q;
+  ASSERT_TRUE(ParseXPath("/root/a/b", &q).ok());
+  std::vector<SubjectId> subjects;
+  for (SubjectId s = 0; s < kSubjects; ++s) subjects.push_back(s);
+  EvalOptions opts;
+  opts.semantics = AccessSemantics::kBinding;
+
+  BatchEvaluator batch_eval(store.get());
+  auto pre = batch_eval.Evaluate(q, subjects, opts);
+  ASSERT_TRUE(pre.ok()) << pre.status();
+
+  SecureStore::VacuumOptions vopts;
+  SecureStore::VacuumStats stats;
+  ASSERT_TRUE(store->Vacuum(vopts, &stats).ok());
+  EXPECT_GE(stats.homogeneous_pages_after, stats.homogeneous_pages_before);
+
+  auto post = batch_eval.Evaluate(q, subjects, opts);
+  ASSERT_TRUE(post.ok()) << post.status();
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    EXPECT_EQ(post->ResultFor(i).answers, pre->ResultFor(i).answers);
+  }
+  // The point of the exercise: batch page skipping fires after clustering,
+  // and never regresses relative to the fragmented layout.
+  EXPECT_GT(post->exec.pages_skipped, 0u);
+  EXPECT_GE(post->exec.pages_skipped, pre->exec.pages_skipped);
+  EXPECT_EQ(post->exec.access_only_fetches, 0u);
+}
+
+TEST(VacuumStoreTest, CrashAfterUncheckpointedVacuumReplaysIt) {
+  WalFixture f;
+  BuildWalFixture(/*seed=*/21, 1600, &f);
+  std::vector<PatternTree> queries;
+  for (int i = 0; i < 2; ++i) {
+    QueryGenOptions qopts;
+    qopts.seed = 2100 + static_cast<uint64_t>(i);
+    qopts.max_nodes = 3;
+    queries.push_back(GenerateTwigQuery(f.doc, qopts));
+  }
+
+  // A couple of logged updates before the vacuum, one after — the replay
+  // has to reproduce the planner's layout in sequence with its neighbors.
+  ASSERT_TRUE(f.store->SetSubtreeAccess(1, 0, false).ok());
+  ASSERT_TRUE(f.store->SetRangeAccess(5, 200, 1, false).ok());
+  SecureStore::VacuumOptions vopts;
+  vopts.min_run_records = 8;
+  vopts.checkpoint_after = false;  // leave the vacuum record in the log
+  SecureStore::VacuumStats stats;
+  ASSERT_TRUE(f.store->Vacuum(vopts, &stats).ok());
+  ASSERT_TRUE(f.store->SetSubtreeAccess(3, 2, true).ok());
+  ASSERT_GE(f.store->wal()->num_records(), 4u);
+
+  const std::string fp = Fingerprint(f.store.get());
+  const auto answers = AnswerSet(f.store.get(), queries);
+  const size_t pages = f.store->nok()->page_infos().size();
+  const size_t homogeneous = HomogeneousPages(f.store.get());
+
+  MemPagedFile data_img, wal_img;
+  SnapshotFile(&f.data, &data_img);
+  SnapshotFile(&f.wal, &wal_img);
+  std::unique_ptr<SecureStore> recovered;
+  SecureStore::RecoveryStats rs;
+  ASSERT_TRUE(SecureStore::OpenWithWal(&data_img, &wal_img, StoreOptions(),
+                                       &recovered, &rs)
+                  .ok());
+  EXPECT_EQ(rs.records_replayed, rs.records_in_log);
+  EXPECT_EQ(Fingerprint(recovered.get()), fp);
+  EXPECT_EQ(AnswerSet(recovered.get(), queries), answers);
+  // The replayed planner reproduces the physical layout, not just the
+  // logical state.
+  EXPECT_EQ(recovered->nok()->page_infos().size(), pages);
+  EXPECT_EQ(HomogeneousPages(recovered.get()), homogeneous);
+  EXPECT_EQ(recovered->epochs()->active_pins(), 0u);
+}
+
+TEST(VacuumStoreTest, DefaultVacuumCheckpointsAndTruncatesLog) {
+  WalFixture f;
+  BuildWalFixture(/*seed=*/23, 1200, &f);
+  ASSERT_TRUE(f.store->SetSubtreeAccess(1, 0, false).ok());
+  ASSERT_GE(f.store->wal()->num_records(), 1u);
+
+  SecureStore::VacuumOptions vopts;  // checkpoint_after = true
+  ASSERT_TRUE(f.store->Vacuum(vopts, nullptr).ok());
+  EXPECT_EQ(f.store->wal()->num_records(), 0u);
+  const std::string fp = Fingerprint(f.store.get());
+
+  // Recovery from the checkpoint replays nothing and lands on the same
+  // state.
+  MemPagedFile data_img, wal_img;
+  SnapshotFile(&f.data, &data_img);
+  SnapshotFile(&f.wal, &wal_img);
+  std::unique_ptr<SecureStore> recovered;
+  SecureStore::RecoveryStats rs;
+  ASSERT_TRUE(SecureStore::OpenWithWal(&data_img, &wal_img, StoreOptions(),
+                                       &recovered, &rs)
+                  .ok());
+  EXPECT_EQ(rs.records_replayed, 0u);
+  EXPECT_EQ(Fingerprint(recovered.get()), fp);
+}
+
+TEST(VacuumStoreTest, VacuumKeepsWorkingAfterFurtherUpdates) {
+  // Updates after a vacuum land on the re-cut layout; a second vacuum
+  // re-clusters what they fragmented.
+  WalFixture f;
+  BuildWalFixture(/*seed=*/29, 1400, &f);
+  SecureStore::VacuumOptions vopts;
+  ASSERT_TRUE(f.store->Vacuum(vopts, nullptr).ok());
+  Rng rng(77);
+  const NodeId n = f.store->num_nodes();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(f.store
+                    ->SetSubtreeAccess(
+                        1 + static_cast<NodeId>(rng.Uniform(n - 1)),
+                        static_cast<SubjectId>(rng.Uniform(kSubjects)),
+                        rng.Bernoulli(0.5))
+                    .ok());
+  }
+  const std::string fp = Fingerprint(f.store.get());
+  SecureStore::VacuumStats stats;
+  ASSERT_TRUE(f.store->Vacuum(vopts, &stats).ok());
+  EXPECT_EQ(Fingerprint(f.store.get()), fp);
+  EXPECT_GE(stats.homogeneous_pages_after, stats.homogeneous_pages_before);
+}
+
+}  // namespace
+}  // namespace secxml

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/codebook.h"
 #include "core/dol_labeling.h"
 #include "exec/multi_cursor.h"
@@ -221,33 +222,180 @@ TEST_P(BatchEvalTest, PageSkipOffMatchesOn) {
   }
 }
 
-TEST(BatchEvalTest, MoreThan64ClassesRunInChunks) {
-  // 70 subjects with (almost surely) distinct columns exceed one 64-bit
-  // word; answers must still match the per-subject path across the chunk
-  // boundary.
+TEST(BatchEvalTest, MoreThan64ClassesRunAsOneWideScan) {
+  // 70 subjects with (almost surely) distinct columns used to spill past the
+  // one-word mask and chunk into two scans; the wide mask runs them as one.
+  // Answers must still match the per-subject path, and must also match a
+  // forced-chunking run (the legacy layout, via batch_chunk_classes).
   Fixture f;
   BuildFixture(/*seed=*/7, /*num_subjects=*/70, /*num_profiles=*/70, &f);
   std::vector<SubjectId> subjects;
   for (SubjectId s = 0; s < 70; ++s) subjects.push_back(s);
-  ASSERT_GT(GroupSubjectsByColumn(f.store->codebook(), subjects).size(),
-            kMaxBatchClasses);
+  const size_t classes =
+      GroupSubjectsByColumn(f.store->codebook(), subjects).size();
+  ASSERT_GT(classes, 64u);  // wider than the PR 5 one-word cap
+  ASSERT_LE(classes, kMaxBatchClasses);
   std::vector<PatternTree> queries = MakeQueries(f.doc, 77, 2);
 
   BatchEvaluator batch_eval(f.store.get());
   QueryEvaluator eval(f.store.get());
   for (const PatternTree& q : queries) {
-    EvalOptions opts;
-    opts.semantics = AccessSemantics::kBinding;
-    auto br = batch_eval.Evaluate(q, subjects, opts);
+    EvalOptions wide;
+    wide.semantics = AccessSemantics::kBinding;
+    auto br = batch_eval.Evaluate(q, subjects, wide);
     ASSERT_TRUE(br.ok()) << br.status();
     EXPECT_EQ(br->exec.subjects_batched, 70u);
+
+    EvalOptions chunked = wide;
+    chunked.batch_chunk_classes = 64;  // the old one-word layout
+    auto bc = batch_eval.Evaluate(q, subjects, chunked);
+    ASSERT_TRUE(bc.ok()) << bc.status();
+
     for (size_t i = 0; i < subjects.size(); ++i) {
+      EvalOptions opts = wide;
       opts.subject = subjects[i];
       auto r = eval.Evaluate(q, opts);
       ASSERT_TRUE(r.ok());
       EXPECT_EQ(br->ResultFor(i).answers, r->answers)
           << "subject " << subjects[i] << ": " << q.ToString();
+      EXPECT_EQ(bc->ResultFor(i).answers, r->answers)
+          << "chunked, subject " << subjects[i] << ": " << q.ToString();
     }
+  }
+}
+
+// Width sweep across the word boundaries the wide mask has to get right:
+// just past one word (65), multi-word (130), and the full mask (512, via
+// 512 subjects whose profiles collide down to ~hundreds of classes plus a
+// distinct-column run at smaller width). Wide scan == chunked scan ==
+// per-subject Evaluate, across binding/view and ordered/unordered.
+class WideBatchWidthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WideBatchWidthTest, WideEqualsChunkedEqualsPerSubject) {
+  const size_t width = GetParam();
+  Fixture f;
+  // Distinct profile per subject: classes == subjects (asserted below).
+  BuildFixture(/*seed=*/31 + width, width, width, &f);
+  std::vector<SubjectId> subjects;
+  for (SubjectId s = 0; s < width; ++s) subjects.push_back(s);
+  const size_t classes =
+      GroupSubjectsByColumn(f.store->codebook(), subjects).size();
+  ASSERT_GT(classes, 64u);
+  ASSERT_LE(classes, kMaxBatchClasses);
+
+  std::vector<PatternTree> queries = MakeQueries(f.doc, 91 + width, 2);
+  BatchEvaluator batch_eval(f.store.get());
+  QueryEvaluator eval(f.store.get());
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    for (bool ordered : {false, true}) {
+      for (const PatternTree& q : queries) {
+        EvalOptions wide;
+        wide.semantics = sem;
+        wide.ordered_siblings = ordered;
+        auto br = batch_eval.Evaluate(q, subjects, wide);
+        ASSERT_TRUE(br.ok()) << br.status();
+        EXPECT_EQ(br->exec.subjects_batched, width);
+        EXPECT_EQ(br->exec.classes_evaluated, classes);
+        EXPECT_EQ(br->exec.access_only_fetches, 0u);
+
+        // The pre-wide-mask layout: chunks of at most 64 classes.
+        EvalOptions chunked = wide;
+        chunked.batch_chunk_classes = 64;
+        auto bc = batch_eval.Evaluate(q, subjects, chunked);
+        ASSERT_TRUE(bc.ok()) << bc.status();
+
+        for (size_t i = 0; i < subjects.size(); ++i) {
+          EvalOptions opts = wide;
+          opts.subject = subjects[i];
+          auto r = eval.Evaluate(q, opts);
+          ASSERT_TRUE(r.ok());
+          EXPECT_EQ(br->ResultFor(i).answers, r->answers)
+              << "width " << width << " subject " << subjects[i]
+              << " semantics " << static_cast<int>(sem) << " ordered "
+              << ordered << ": " << q.ToString();
+          EXPECT_EQ(bc->ResultFor(i).answers, br->ResultFor(i).answers)
+              << "chunked diverged, width " << width << " subject "
+              << subjects[i] << ": " << q.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WideBatchWidthTest,
+                         ::testing::Values(65, 130));
+
+TEST(BatchEvalTest, FullWidthBatchRunsAsOneScan) {
+  // kMaxBatchClasses subjects exercising every word of the mask. The doc is
+  // kept small to bound runtime; semantics coverage lives in
+  // WideBatchWidthTest.
+  Fixture f;
+  BuildFixture(/*seed=*/41, kMaxBatchClasses, kMaxBatchClasses, &f);
+  std::vector<SubjectId> subjects;
+  for (SubjectId s = 0; s < kMaxBatchClasses; ++s) subjects.push_back(s);
+  const size_t classes =
+      GroupSubjectsByColumn(f.store->codebook(), subjects).size();
+  ASSERT_GT(classes, kMaxBatchClasses / 2);
+  ASSERT_LE(classes, kMaxBatchClasses);
+
+  PatternTree q = MakeQueries(f.doc, 123, 1)[0];
+  BatchEvaluator batch_eval(f.store.get());
+  QueryEvaluator eval(f.store.get());
+  EvalOptions opts;
+  opts.semantics = AccessSemantics::kBinding;
+  auto br = batch_eval.Evaluate(q, subjects, opts);
+  ASSERT_TRUE(br.ok()) << br.status();
+  EXPECT_EQ(br->exec.classes_evaluated, classes);
+  // Spot-check parity on a spread of subjects (full parity at this width is
+  // covered by the chunked differential below).
+  for (SubjectId s : {SubjectId{0}, SubjectId{64}, SubjectId{65},
+                      SubjectId{255}, SubjectId{256},
+                      static_cast<SubjectId>(kMaxBatchClasses - 1)}) {
+    opts.subject = s;
+    auto r = eval.Evaluate(q, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(br->ResultFor(s).answers, r->answers) << "subject " << s;
+  }
+  EvalOptions chunked = opts;
+  chunked.batch_chunk_classes = 64;
+  auto bc = batch_eval.Evaluate(q, subjects, chunked);
+  ASSERT_TRUE(bc.ok()) << bc.status();
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    EXPECT_EQ(bc->ResultFor(i).answers, br->ResultFor(i).answers)
+        << "subject " << i;
+  }
+}
+
+TEST(BatchEvalTest, DedupHitsMoveOnRepeatedProfileDraws) {
+  // Randomized batch draws with repeated profiles — the bench-sweep shape
+  // that used to report zero dedup hits. The counter must move whenever the
+  // drawn subjects collapse onto fewer columns.
+  Fixture f;
+  BuildFixture(/*seed=*/19, /*num_subjects=*/24, /*num_profiles=*/6, &f);
+  Rng rng(515);
+  std::vector<SubjectId> subjects;
+  for (int i = 0; i < 40; ++i) {
+    subjects.push_back(static_cast<SubjectId>(rng.Uniform(24)));
+  }
+  const size_t classes =
+      GroupSubjectsByColumn(f.store->codebook(), subjects).size();
+  ASSERT_LT(classes, subjects.size());  // draws actually repeat profiles
+
+  BatchEvaluator batch_eval(f.store.get());
+  QueryEvaluator eval(f.store.get());
+  PatternTree q = MakeQueries(f.doc, 19, 1)[0];
+  EvalOptions opts;
+  opts.semantics = AccessSemantics::kBinding;
+  auto br = batch_eval.Evaluate(q, subjects, opts);
+  ASSERT_TRUE(br.ok()) << br.status();
+  EXPECT_EQ(br->exec.class_dedup_hits, subjects.size() - classes);
+  EXPECT_GT(br->exec.class_dedup_hits, 0u);
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    opts.subject = subjects[i];
+    auto r = eval.Evaluate(q, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(br->ResultFor(i).answers, r->answers);
   }
 }
 

@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "core/codebook.h"
 #include "core/dol_labeling.h"
 #include "core/secure_store.h"
+#include "query/batch_evaluator.h"
 #include "query/evaluator.h"
 #include "storage/paged_file.h"
 #include "workload/query_generator.h"
@@ -200,6 +202,83 @@ TEST(PagesSkippedExactCountTest, OneIncrementPerDistinctDeadPage) {
     // exactly once between them.
     EXPECT_EQ(RunAndCountSkips(&f, "/root/x", use_view), expected)
         << "use_view=" << use_view;
+  }
+}
+
+// --- Wide-batch differential ---------------------------------------------
+//
+// A batch wider than the old one-word cap (>64 distinct columns) now runs
+// as one wide scan. That scan must agree byte-for-byte with (a) per-subject
+// Evaluate under BOTH use_view settings, and (b) the legacy chunked layout
+// (batch_chunk_classes=64), across binding/view semantics and
+// ordered/unordered matching.
+
+TEST(WideBatchDifferentialTest, OneWideScanMatchesViewOnOffAndChunked) {
+  constexpr size_t kWide = 72;
+  Fixture f;
+  XMarkOptions xopts;
+  xopts.seed = 4242;
+  xopts.target_nodes = 1500;
+  ASSERT_TRUE(GenerateXMark(xopts, &f.doc).ok());
+  IntervalAccessMap map(static_cast<NodeId>(f.doc.NumNodes()), kWide);
+  for (SubjectId s = 0; s < kWide; ++s) {
+    SyntheticAclOptions aopts;
+    aopts.seed = 7000 + s;  // distinct profile per subject
+    aopts.accessibility_ratio = 0.55;
+    map.SetSubjectIntervals(s, GenerateSyntheticAcl(f.doc, aopts));
+  }
+  ASSERT_TRUE(map.Validate().ok());
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+  ASSERT_TRUE(
+      SecureStore::Build(f.doc, labeling, &f.file, sopts, &f.store).ok());
+
+  std::vector<SubjectId> subjects;
+  for (SubjectId s = 0; s < kWide; ++s) subjects.push_back(s);
+  ASSERT_GT(GroupSubjectsByColumn(f.store->codebook(), subjects).size(), 64u);
+
+  BatchEvaluator batch_eval(f.store.get());
+  QueryEvaluator eval(f.store.get());
+  for (AccessSemantics sem :
+       {AccessSemantics::kBinding, AccessSemantics::kView}) {
+    for (bool ordered : {false, true}) {
+      for (int qi = 0; qi < 4; ++qi) {
+        QueryGenOptions qopts;
+        qopts.seed = 8800 + static_cast<uint64_t>(qi);
+        qopts.max_nodes = 2 + qi % 4;
+        PatternTree pattern = GenerateTwigQuery(f.doc, qopts);
+
+        EvalOptions wide;
+        wide.semantics = sem;
+        wide.ordered_siblings = ordered;
+        auto br = batch_eval.Evaluate(pattern, subjects, wide);
+        ASSERT_TRUE(br.ok()) << br.status();
+
+        EvalOptions chunked = wide;
+        chunked.batch_chunk_classes = 64;
+        auto bc = batch_eval.Evaluate(pattern, subjects, chunked);
+        ASSERT_TRUE(bc.ok()) << bc.status();
+
+        for (size_t i = 0; i < subjects.size(); ++i) {
+          for (bool use_view : {false, true}) {
+            EvalOptions opts = wide;
+            opts.subject = subjects[i];
+            opts.use_view = use_view;
+            auto r = eval.Evaluate(pattern, opts);
+            ASSERT_TRUE(r.ok()) << r.status();
+            EXPECT_EQ(br->ResultFor(i).answers, r->answers)
+                << "subject " << subjects[i] << " use_view " << use_view
+                << " semantics " << static_cast<int>(sem) << " ordered "
+                << ordered << ": " << pattern.ToString();
+          }
+          EXPECT_EQ(bc->ResultFor(i).answers, br->ResultFor(i).answers)
+              << "chunked diverged for subject " << subjects[i] << ": "
+              << pattern.ToString();
+        }
+      }
+    }
   }
 }
 

@@ -1,0 +1,194 @@
+// Unit tests for the visibility-clustered vacuum planner: the pure
+// page-boundary re-cutting pass that NokStore::Repack and SecureStore::Vacuum
+// build on. Pins geometry safety (every planned page fits), the
+// homogeneous/mixed page accounting, min_run_records behavior at both
+// extremes, and determinism (WAL replay re-runs the planner and must get the
+// identical plan).
+
+#include "storage/vacuum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace secxml {
+namespace {
+
+// The real NoK geometry: 4 KiB pages, 16 B header, 16 B records, 8 B
+// transitions.
+PageGeometry NokGeometry() {
+  return PageGeometry{/*page_bytes=*/4096, /*header_bytes=*/16,
+                      /*record_bytes=*/16, /*transition_bytes=*/8};
+}
+
+// Records per planned page p.
+size_t PageCount(const VacuumPlan& plan, size_t p, size_t total) {
+  const size_t start = static_cast<size_t>(plan.page_starts[p]);
+  const size_t end = p + 1 < plan.page_starts.size()
+                         ? static_cast<size_t>(plan.page_starts[p + 1])
+                         : total;
+  return end - start;
+}
+
+size_t PageTransitions(const std::vector<uint32_t>& codes,
+                       const VacuumPlan& plan, size_t p) {
+  const size_t start = static_cast<size_t>(plan.page_starts[p]);
+  const size_t end = p + 1 < plan.page_starts.size()
+                         ? static_cast<size_t>(plan.page_starts[p + 1])
+                         : codes.size();
+  size_t t = 0;
+  for (size_t i = start + 1; i < end; ++i) {
+    if (codes[i] != codes[i - 1]) ++t;
+  }
+  return t;
+}
+
+void CheckPlanInvariants(const std::vector<uint32_t>& codes,
+                         const VacuumPlan& plan, const PageGeometry& g,
+                         const VacuumPlanOptions& opts) {
+  ASSERT_FALSE(plan.page_starts.empty());
+  EXPECT_EQ(plan.page_starts[0], 0u);
+  size_t homogeneous = 0, mixed = 0, transitions = 0;
+  for (size_t p = 0; p < plan.page_starts.size(); ++p) {
+    if (p > 0) ASSERT_GT(plan.page_starts[p], plan.page_starts[p - 1]);
+    const size_t count = PageCount(plan, p, codes.size());
+    const size_t t = PageTransitions(codes, plan, p);
+    ASSERT_GT(count, 0u);
+    // Every page honors the geometry including the update slack.
+    EXPECT_LE(g.header_bytes + count * g.record_bytes +
+                  (t + opts.transition_slack) * g.transition_bytes,
+              g.page_bytes)
+        << "page " << p;
+    if (opts.max_records_per_page > 0) {
+      EXPECT_LE(count, opts.max_records_per_page) << "page " << p;
+    }
+    if (t == 0) {
+      ++homogeneous;
+    } else {
+      ++mixed;
+    }
+    transitions += t;
+  }
+  EXPECT_EQ(plan.homogeneous_pages, homogeneous);
+  EXPECT_EQ(plan.mixed_pages, mixed);
+  EXPECT_EQ(plan.transitions, transitions);
+  EXPECT_EQ(plan.homogeneous_pages + plan.mixed_pages,
+            plan.page_starts.size());
+}
+
+TEST(VacuumPlanTest, EmptyInputYieldsEmptyPlan) {
+  VacuumPlan plan = PlanVisibilityClusteredLayout({}, NokGeometry(), {});
+  EXPECT_TRUE(plan.page_starts.empty());
+  EXPECT_EQ(plan.homogeneous_pages, 0u);
+  EXPECT_EQ(plan.mixed_pages, 0u);
+}
+
+TEST(VacuumPlanTest, UniformCodesPackToCapacity) {
+  std::vector<uint32_t> codes(1000, 3);
+  VacuumPlanOptions opts;
+  opts.max_records_per_page = 100;
+  VacuumPlan plan =
+      PlanVisibilityClusteredLayout(codes, NokGeometry(), opts);
+  CheckPlanInvariants(codes, plan, NokGeometry(), opts);
+  EXPECT_EQ(plan.page_starts.size(), 10u);
+  EXPECT_EQ(plan.homogeneous_pages, 10u);
+  EXPECT_EQ(plan.mixed_pages, 0u);
+  EXPECT_EQ(plan.transitions, 0u);
+}
+
+TEST(VacuumPlanTest, LongRunsGetTheirOwnHomogeneousPages) {
+  // Three runs, each >> min_run_records: every page must be homogeneous.
+  std::vector<uint32_t> codes;
+  codes.insert(codes.end(), 150, 0);
+  codes.insert(codes.end(), 90, 1);
+  codes.insert(codes.end(), 200, 2);
+  VacuumPlanOptions opts;
+  opts.max_records_per_page = 64;
+  opts.min_run_records = 16;
+  VacuumPlan plan =
+      PlanVisibilityClusteredLayout(codes, NokGeometry(), opts);
+  CheckPlanInvariants(codes, plan, NokGeometry(), opts);
+  EXPECT_EQ(plan.mixed_pages, 0u);
+  EXPECT_EQ(plan.transitions, 0u);
+}
+
+TEST(VacuumPlanTest, MinRunZeroCutsEveryBoundary) {
+  std::vector<uint32_t> codes = {0, 0, 1, 1, 1, 0, 2, 2};
+  VacuumPlanOptions opts;
+  opts.min_run_records = 0;
+  VacuumPlan plan =
+      PlanVisibilityClusteredLayout(codes, NokGeometry(), opts);
+  CheckPlanInvariants(codes, plan, NokGeometry(), opts);
+  // Every code run lands on its own page: 4 runs, all homogeneous.
+  EXPECT_EQ(plan.page_starts,
+            (std::vector<uint64_t>{0, 2, 5, 6}));
+  EXPECT_EQ(plan.homogeneous_pages, 4u);
+  EXPECT_EQ(plan.transitions, 0u);
+}
+
+TEST(VacuumPlanTest, LargeMinRunCoalescesShortRunsIntoMixedPages) {
+  // Alternating short runs with a huge min_run: the planner must not cut at
+  // run boundaries, so pages fill to capacity and embed transitions.
+  std::vector<uint32_t> codes;
+  for (int i = 0; i < 200; ++i) codes.push_back(static_cast<uint32_t>(i % 2));
+  VacuumPlanOptions opts;
+  opts.max_records_per_page = 50;
+  opts.min_run_records = 1000;
+  VacuumPlan plan =
+      PlanVisibilityClusteredLayout(codes, NokGeometry(), opts);
+  CheckPlanInvariants(codes, plan, NokGeometry(), opts);
+  EXPECT_EQ(plan.page_starts.size(), 4u);
+  EXPECT_EQ(plan.homogeneous_pages, 0u);
+  EXPECT_EQ(plan.mixed_pages, 4u);
+}
+
+TEST(VacuumPlanTest, TransitionSlackShrinksEffectiveCapacity) {
+  // A tiny page that fits 6 records with no slack but fewer once every page
+  // must reserve slack transition slots.
+  PageGeometry g{/*page_bytes=*/16 + 6 * 16, /*header_bytes=*/16,
+                 /*record_bytes=*/16, /*transition_bytes=*/8};
+  std::vector<uint32_t> codes(24, 7);
+  VacuumPlanOptions none, slack;
+  slack.transition_slack = 4;  // 32 bytes reserved = 2 records' worth
+  VacuumPlan p_none = PlanVisibilityClusteredLayout(codes, g, none);
+  VacuumPlan p_slack = PlanVisibilityClusteredLayout(codes, g, slack);
+  CheckPlanInvariants(codes, p_none, g, none);
+  CheckPlanInvariants(codes, p_slack, g, slack);
+  EXPECT_EQ(p_none.page_starts.size(), 4u);   // 6 per page
+  EXPECT_EQ(p_slack.page_starts.size(), 6u);  // 4 per page
+}
+
+TEST(VacuumPlanTest, RandomizedInvariantsAndDeterminism) {
+  Rng rng(42);
+  for (int iter = 0; iter < 30; ++iter) {
+    // Random code sequence with clustered runs of random length.
+    std::vector<uint32_t> codes;
+    const size_t n = 100 + rng.Uniform(2000);
+    while (codes.size() < n) {
+      const uint32_t code = static_cast<uint32_t>(rng.Uniform(8));
+      const size_t run = 1 + rng.Uniform(60);
+      codes.insert(codes.end(), run, code);
+    }
+    VacuumPlanOptions opts;
+    opts.max_records_per_page = 16 + rng.Uniform(100);
+    opts.min_run_records = rng.Uniform(40);
+    opts.transition_slack = rng.Uniform(4);
+    VacuumPlan plan =
+        PlanVisibilityClusteredLayout(codes, NokGeometry(), opts);
+    CheckPlanInvariants(codes, plan, NokGeometry(), opts);
+
+    // Determinism: identical input -> identical plan (WAL replay relies on
+    // this).
+    VacuumPlan again =
+        PlanVisibilityClusteredLayout(codes, NokGeometry(), opts);
+    EXPECT_EQ(plan.page_starts, again.page_starts);
+    EXPECT_EQ(plan.homogeneous_pages, again.homogeneous_pages);
+    EXPECT_EQ(plan.mixed_pages, again.mixed_pages);
+    EXPECT_EQ(plan.transitions, again.transitions);
+  }
+}
+
+}  // namespace
+}  // namespace secxml
