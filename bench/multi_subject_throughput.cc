@@ -18,13 +18,18 @@
 //     the SIMD tier;
 //   * after the all-roles-denied stripe is written and the store is
 //     vacuumed into visibility-clustered pages, the mixed 128-subject batch
-//     skips pages (pages_skipped > 0) while answering identically.
+//     skips pages (pages_skipped > 0) while answering identically;
+//   * the shard sweep (1/2/4/8-shard ShardedStore under a ShardCoordinator,
+//     simulated device read latency) answers byte-identically to the single
+//     store, and at 4 shards beats the 1-shard coordinator by >= 1.5x
+//     (gated in full runs, reported in smoke).
 //
 // argv: [nodes] [--smoke]. --smoke shrinks the document and rep count for
 // CI; the speedup itself is reported, not gated, in smoke mode (CI clocks
 // are noisy; the committed artifact records the measured value).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -41,6 +46,8 @@
 #include "query/batch_evaluator.h"
 #include "query/query_driver.h"
 #include "query/xpath_parser.h"
+#include "serve/shard_coordinator.h"
+#include "serve/sharded_store.h"
 #include "storage/paged_file.h"
 #include "workload/query_generator.h"
 #include "workload/synthetic_acl.h"
@@ -54,8 +61,14 @@ constexpr size_t kRoleSubjects = 192;  // subjects 0..191 share 12 profiles
 constexpr size_t kProfiles = 12;       // subjects 192..255 are all distinct
 constexpr double kPr5SpeedupAt64 = 12.9232;  // previous PR's 64-subject value
 
+// Shard sweep: simulated device read latency per physical page fetch and the
+// acceptance floor for the 4-shard speedup over the 1-shard coordinator.
+constexpr int kShardReadLatencyUs = 250;
+constexpr double kShardSpeedupFloor = 1.5;
+
 struct Fixture {
   Document doc;
+  DolLabeling labeling;
   MemPagedFile file;
   std::unique_ptr<SecureStore> store;
 };
@@ -79,11 +92,12 @@ std::unique_ptr<Fixture> Build(uint32_t nodes) {
     aopts.accessibility_ratio = 0.6;
     map.SetSubjectIntervals(s, GenerateSyntheticAcl(f->doc, aopts));
   }
-  DolLabeling labeling = DolLabeling::BuildFromEvents(
+  f->labeling = DolLabeling::BuildFromEvents(
       map.num_nodes(), map.InitialAcl(), map.CollectEvents());
   NokStoreOptions sopts;
   sopts.buffer_pool_pages = 64;  // smaller than the document: real I/O path
-  if (!SecureStore::Build(f->doc, labeling, &f->file, sopts, &f->store).ok()) {
+  if (!SecureStore::Build(f->doc, f->labeling, &f->file, sopts, &f->store)
+           .ok()) {
     return nullptr;
   }
   return f;
@@ -308,6 +322,106 @@ int Run(int argc, char** argv) {
               scalar_identical ? "identical to" : "DIVERGED from",
               MaskIsaName(best_isa));
 
+  // --- Shard sweep: scatter-gather serving over 1/2/4/8 shards -----------
+  // Each shard scans its owned node-range window on its own replica and
+  // buffer pool over a data file with simulated device read latency; the
+  // coordinator's per-shard scatter threads overlap those physical reads,
+  // so batch throughput scales with shard count even on one core. The
+  // total cache budget is held constant across shard counts so the sweep
+  // isolates read overlap, not aggregate pool size. Runs before the vacuum
+  // point below mutates the fixture: the replicas must mirror the single
+  // store the reference answers come from.
+  //
+  // The scan is `//*`: a tag query's candidates cluster inside one XMark
+  // section (regions, people, ...) and with document-order range partitioning
+  // that lands nearly all reads on one shard; the wildcard's candidates tile
+  // the whole node space, so every shard owns an equal slice of the physical
+  // reads — the serving shape sharding exists for.
+  PatternTree shard_query;
+  if (!ParseXPath("//*", &shard_query).ok()) return 1;
+  const std::vector<SubjectId> shard_subjects =
+      DrawRoleSubjects(&draw_rng, 128);
+  std::vector<std::vector<NodeId>> shard_ref;
+  {
+    QueryDriverOptions dopts;
+    dopts.num_threads = 1;
+    dopts.semantics = AccessSemantics::kBinding;
+    QueryDriver ref_driver(f->store.get(), dopts);
+    auto ref = ref_driver.EvaluateForSubjects(shard_query, shard_subjects);
+    if (!ref.ok()) {
+      std::fprintf(stderr, "shard reference run failed: %s\n",
+                   ref.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < shard_subjects.size(); ++i) {
+      shard_ref.push_back(ref->ResultFor(i).answers);
+    }
+  }
+  bool shard_identical = true;
+  double shard_one_s = 0;
+  double shard_speedup_at_4 = 0;
+  std::vector<bench::Json> shard_points;
+  std::printf("\nshard sweep: //* x 128-subject batch (binding), %dus "
+              "simulated read latency, constant total cache\n",
+              kShardReadLatencyUs);
+  std::printf("%-7s %8s %11s %9s %11s\n", "shards", "classes", "batch ms",
+              "speedup", "identical");
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardFileSet files(shards,
+                       std::chrono::microseconds(kShardReadLatencyUs));
+    ShardedStoreOptions shopts;
+    shopts.num_shards = shards;
+    shopts.nok.buffer_pool_pages = std::max<size_t>(16, 128 / shards);
+    shopts.attach_wal = false;
+    std::unique_ptr<ShardedStore> sharded;
+    if (!ShardedStore::Build(f->doc, f->labeling, shopts, files.provider(),
+                             &sharded)
+             .ok()) {
+      std::fprintf(stderr, "shard build failed at %zu shards\n", shards);
+      return 1;
+    }
+    ShardCoordinatorOptions copts;
+    copts.semantics = AccessSemantics::kBinding;
+    ShardCoordinator coord(sharded.get(), copts);
+    double best_s = 0;
+    size_t classes = 0;
+    bool identical = true;
+    Timer timer;
+    for (int r = -1; r < reps; ++r) {  // rep -1 = untimed warm-up
+      for (size_t s = 0; s < shards; ++s) {
+        (void)sharded->shard_store(s)->nok()->buffer_pool()->EvictAll();
+      }
+      timer.Reset();
+      auto br = coord.EvaluateForSubjects(shard_query, shard_subjects);
+      double elapsed = timer.ElapsedSeconds();
+      if (!br.ok()) {
+        std::fprintf(stderr, "shard batch failed at %zu shards: %s\n",
+                     shards, br.status().ToString().c_str());
+        return 1;
+      }
+      if (r < 0) continue;
+      if (best_s == 0 || elapsed < best_s) best_s = elapsed;
+      classes = br->classes.size();
+      extra_access_io += br->exec.access_only_fetches;
+      for (size_t i = 0; i < shard_subjects.size(); ++i) {
+        if (br->ResultFor(i).answers != shard_ref[i]) identical = false;
+      }
+    }
+    shard_identical = shard_identical && identical;
+    if (shards == 1) shard_one_s = best_s;
+    const double speedup = best_s > 0 ? shard_one_s / best_s : 0.0;
+    if (shards == 4) shard_speedup_at_4 = speedup;
+    std::printf("%-7zu %8zu %11.2f %8.2fx %11s\n", shards, classes,
+                best_s * 1000, speedup, identical ? "yes" : "NO");
+    shard_points.push_back(
+        bench::Json()
+            .Set("shards", static_cast<uint64_t>(shards))
+            .Set("classes", static_cast<uint64_t>(classes))
+            .Set("batch_ms", best_s * 1000)
+            .Set("speedup_vs_one_shard", speedup)
+            .Set("identical", identical));
+  }
+
   // --- Vacuum point: fragmented denied stripe, clustered, skipped --------
   // A contiguous third of the document is denied to every subject (the
   // "classified subtree" shape), then fragmented the way incremental
@@ -397,6 +511,12 @@ int Run(int argc, char** argv) {
           .Set("class_dedup_hits_total", dedup_hits_total)
           .Set("speedup_at_128_subjects", speedup_at_128)
           .Set("pr5_speedup_at_64_subjects", kPr5SpeedupAt64)
+          .Set("shard_query", "//*")
+          .Set("shard_read_latency_us",
+               static_cast<uint64_t>(kShardReadLatencyUs))
+          .Set("shard_speedup_at_4", shard_speedup_at_4)
+          .Set("shard_identical", shard_identical)
+          .Set("shard_sweep", shard_points)
           .Set("wide_point",
                bench::Json()
                    .Set("subjects",
@@ -440,6 +560,15 @@ int Run(int argc, char** argv) {
     exit_code = 1;
   }
   if (!smoke && speedup_at_128 < kPr5SpeedupAt64) exit_code = 1;
+  if (!shard_identical) {
+    std::printf("FAIL: shard sweep answers diverged from the single store\n");
+    exit_code = 1;
+  }
+  if (!smoke && shard_speedup_at_4 < kShardSpeedupFloor) {
+    std::printf("FAIL: 4-shard speedup %.2fx below the %.2fx floor\n",
+                shard_speedup_at_4, kShardSpeedupFloor);
+    exit_code = 1;
+  }
   return exit_code;
 }
 

@@ -270,7 +270,7 @@ Status SecureStore::BuildWithWal(const Document& doc,
 Status SecureStore::OpenWithWal(PagedFile* data_file, PagedFile* wal_file,
                                 const NokStoreOptions& options,
                                 std::unique_ptr<SecureStore>* out,
-                                RecoveryStats* recovery) {
+                                RecoveryStats* recovery, bool replay_log) {
   NokStoreOptions opts = options;
   opts.recover_superblock = true;
   std::unique_ptr<NokStore> nok;
@@ -293,16 +293,20 @@ Status SecureStore::OpenWithWal(PagedFile* data_file, PagedFile* wal_file,
   rs.checkpoint_lsn = checkpoint_lsn;
   rs.records_in_log = store->wal_->num_records();
   rs.torn_tail = store->wal_->stats().torn_tail;
-  store->recovering_ = true;
-  Status replayed = store->wal_->Replay(
-      checkpoint_lsn, [&](const WriteAheadLog::Record& rec) {
-        Status st = store->ReplayRecord(rec);
-        if (st.ok()) ++rs.records_replayed;
-        return st;
-      });
-  store->recovering_ = false;
-  if (recovery != nullptr) *recovery = rs;
-  SECXML_RETURN_NOT_OK(replayed);
+  if (replay_log) {
+    store->recovering_ = true;
+    Status replayed = store->wal_->Replay(
+        checkpoint_lsn, [&](const WriteAheadLog::Record& rec) {
+          Status st = store->ReplayRecord(rec);
+          if (st.ok()) ++rs.records_replayed;
+          return st;
+        });
+    store->recovering_ = false;
+    if (recovery != nullptr) *recovery = rs;
+    SECXML_RETURN_NOT_OK(replayed);
+  } else if (recovery != nullptr) {
+    *recovery = rs;
+  }
   *out = std::move(store);
   return Status::OK();
 }
@@ -890,6 +894,36 @@ Status SecureStore::Checkpoint() {
   SECXML_RETURN_NOT_OK(PersistLocked());
   if (wal_ != nullptr) SECXML_RETURN_NOT_OK(wal_->Truncate());
   counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SecureStore::TruncateWal() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  if (wal_ == nullptr) return Status::OK();
+  SECXML_RETURN_NOT_OK(wal_->Truncate());
+  // Completing the truncate phase is what makes a (two-phase) checkpoint a
+  // checkpoint, so it is counted here, symmetric with Checkpoint().
+  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// --- Replication hooks (sharded serving) ---------------------------------
+
+Status SecureStore::ApplyReplicated(const WriteAheadLog::Record& record) {
+  // ReplayRecord takes update_mu_ itself and runs the same *Locked update
+  // bodies a live mutator runs; with recovering_ set, CommitStaged adopts
+  // the record's LSN instead of appending to this replica's own log. The
+  // coordinator serializes every mutator across the replica set, so the
+  // flag cannot race another writer on this store.
+  recovering_ = true;
+  Status st = ReplayRecord(record);
+  recovering_ = false;
+  return st;
+}
+
+Status SecureStore::AlignWalLsn(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  if (wal_ != nullptr) wal_->set_next_lsn(lsn);
   return Status::OK();
 }
 

@@ -55,6 +55,16 @@ struct ExecStats {
   /// commit concurrently — DESIGN.md §11).
   uint64_t epoch_pins = 0;
 
+  // Sharded scatter-gather counters (zero on single-store paths).
+
+  /// Shards this evaluation scattered matching work to (the coordinator's
+  /// fan-out width, counted once per scatter — DESIGN.md §13).
+  uint64_t shards_scattered = 0;
+  /// Document-order comparisons spent merging per-shard match streams back
+  /// into one global stream (each merged match verifies its root against
+  /// the running maximum, so the merge proves the order it claims).
+  uint64_t merge_comparisons = 0;
+
   ExecStats& operator+=(const ExecStats& o) {
     nodes_scanned += o.nodes_scanned;
     codes_checked += o.codes_checked;
@@ -67,6 +77,8 @@ struct ExecStats {
     classes_evaluated += o.classes_evaluated;
     class_dedup_hits += o.class_dedup_hits;
     epoch_pins += o.epoch_pins;
+    shards_scattered += o.shards_scattered;
+    merge_comparisons += o.merge_comparisons;
     return *this;
   }
 };

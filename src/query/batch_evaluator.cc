@@ -24,6 +24,26 @@ ExecStats BatchCounters(size_t subjects, size_t classes) {
 
 }  // namespace
 
+Status FinalizeClassEval(SecureStore* store, const PreparedQuery& pq,
+                         const EvalOptions& options, SubjectId representative,
+                         std::vector<std::vector<FragmentMatch>>* matches,
+                         EvalResult* r) {
+  if (options.semantics == AccessSemantics::kView) {
+    // Hidden intervals are a function of the codebook column, so the
+    // representative's intervals are every member's.
+    ExecStats vis_stats;
+    SECXML_ASSIGN_OR_RETURN(
+        std::vector<NodeInterval> hidden,
+        store->HiddenSubtreeIntervals(representative, &vis_stats));
+    FilterMatchesVisible(hidden, matches, &vis_stats);
+    r->operators.push_back({"visibility", vis_stats});
+  }
+  ExecStats join_stats;
+  JoinMatches(pq, *matches, &r->answers, &join_stats);
+  r->operators.push_back({"join", join_stats});
+  return Status::OK();
+}
+
 Result<SubjectBatchResult> BatchEvaluator::Evaluate(
     const PatternTree& pattern, std::span<const SubjectId> subjects,
     const EvalOptions& options) {
@@ -119,21 +139,8 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
       r.operators.push_back(
           {"scan", k == chunk_begin ? matcher.exec_stats() : ExecStats()});
 
-      if (options.semantics == AccessSemantics::kView) {
-        // Hidden intervals are a function of the codebook column, so the
-        // representative's intervals are every member's.
-        ExecStats vis_stats;
-        SECXML_ASSIGN_OR_RETURN(
-            std::vector<NodeInterval> hidden,
-            store_->HiddenSubtreeIntervals(groups[k].representative(),
-                                           &vis_stats));
-        FilterMatchesVisible(hidden, &matches, &vis_stats);
-        r.operators.push_back({"visibility", vis_stats});
-      }
-
-      ExecStats join_stats;
-      JoinMatches(pq, matches, &r.answers, &join_stats);
-      r.operators.push_back({"join", join_stats});
+      SECXML_RETURN_NOT_OK(FinalizeClassEval(
+          store_, pq, options, groups[k].representative(), &matches, &r));
       if (k == chunk_begin) {
         ExecStats bc = BatchCounters(chunk_subjects, width);
         // The batch's single snapshot pin is attributed to the very first

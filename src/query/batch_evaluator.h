@@ -39,6 +39,18 @@ struct SubjectBatchResult {
   }
 };
 
+/// The post-scan, per-class finalize shared by BatchEvaluator and the
+/// sharded coordinator (src/serve): applies the view-semantics visibility
+/// filter (the class representative's hidden intervals, served from
+/// `store`'s per-epoch cache) and the ε-STD join to the class's projected
+/// matches, appending the "visibility" and "join" operators to r->operators
+/// and collecting r->answers. The caller pushes the scan (and any merge)
+/// operators before, batch counters after, then rolls up.
+Status FinalizeClassEval(SecureStore* store, const PreparedQuery& pq,
+                         const EvalOptions& options, SubjectId representative,
+                         std::vector<std::vector<FragmentMatch>>* matches,
+                         EvalResult* r);
+
 /// Multi-subject batch evaluator: answers one twig query for a whole batch
 /// of subjects with one structural scan per ≤64-class chunk.
 ///

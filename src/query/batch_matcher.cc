@@ -292,15 +292,25 @@ Status MultiSubjectMatcher::MatchFragment(const QueryFragment& fragment,
   }
 
   // Candidate roots come from the tag index (or the document root), so one
-  // candidate stream serves the whole batch.
+  // candidate stream serves the whole batch. The options' candidate window
+  // restricts which roots this matcher owns (sharded scatter; see
+  // NokMatcher::MatchFragment).
+  const NodeId cbegin = options_.candidate_begin;
+  const NodeId cend = std::min<NodeId>(options_.candidate_end,
+                                       static_cast<NodeId>(nok->num_nodes()));
   std::vector<NodeId> candidates;
   if (fragment.root_anchored) {
-    candidates.push_back(0);
+    if (cbegin == 0 && cend > 0) candidates.push_back(0);
   } else if (resolved_[0].wildcard) {
-    candidates.resize(nok->num_nodes());
-    for (NodeId n = 0; n < nok->num_nodes(); ++n) candidates[n] = n;
+    for (NodeId n = cbegin; n < cend; ++n) candidates.push_back(n);
   } else if (resolved_[0].tag != kInvalidTag) {
     candidates = nok->Postings(resolved_[0].tag);
+    candidates.erase(
+        std::lower_bound(candidates.begin(), candidates.end(), cend),
+        candidates.end());
+    candidates.erase(candidates.begin(),
+                     std::lower_bound(candidates.begin(), candidates.end(),
+                                      cbegin));
   }
 
   const ClassMask full = cursor_.FullMask();

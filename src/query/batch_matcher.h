@@ -68,6 +68,11 @@ class MultiSubjectMatcher {
     /// feasibility probes are memoized per (pattern child, data child) and
     /// answered for the whole batch at once.
     bool ordered_siblings = false;
+    /// Candidate-root window for sharded scatter, identical contract to
+    /// NokMatcher::Options: only roots in [candidate_begin, candidate_end)
+    /// start a match; the walk below an admitted root is unrestricted.
+    NodeId candidate_begin = 0;
+    NodeId candidate_end = kInvalidNode;
   };
 
   /// `class_reps` holds one representative subject per equivalence class

@@ -55,6 +55,14 @@ class NokMatcher {
     /// greedy passes, and designated bindings are collected from every
     /// data child that participates in some valid ordered assignment.
     bool ordered_siblings = false;
+    /// Candidate-root restriction for sharded scatter (DESIGN.md §13): only
+    /// fragment candidates with candidate_begin <= root < candidate_end are
+    /// matched. The walk below an admitted candidate is NOT restricted (a
+    /// match may span past candidate_end), so a coordinator that tiles
+    /// [0, num_nodes) across shards reproduces the unrestricted match
+    /// stream exactly, each match found by exactly one shard.
+    NodeId candidate_begin = 0;
+    NodeId candidate_end = kInvalidNode;
   };
 
   NokMatcher(SecureStore* store, const Options& options)

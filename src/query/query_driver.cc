@@ -9,6 +9,32 @@
 
 namespace secxml {
 
+void AggregateBatchStats(BatchResult* batch) {
+  const std::vector<QueryOutcome>& outcomes = batch->outcomes;
+  if (outcomes.empty()) return;
+  std::vector<int64_t> latencies;
+  latencies.reserve(outcomes.size());
+  int64_t total = 0;
+  for (const QueryOutcome& out : outcomes) {
+    if (!out.status.ok()) {
+      ++batch->stats.failed;
+      if (batch->stats.first_error.ok()) {
+        batch->stats.first_error = out.status;
+      }
+    } else {
+      batch->stats.exec += out.result.exec;
+    }
+    latencies.push_back(out.latency_micros);
+    total += out.latency_micros;
+  }
+  batch->stats.mean_latency_micros =
+      static_cast<double>(total) / static_cast<double>(outcomes.size());
+  std::sort(latencies.begin(), latencies.end());
+  batch->stats.p95_latency_micros =
+      latencies[std::min(latencies.size() - 1, latencies.size() * 95 / 100)];
+  batch->stats.max_latency_micros = latencies.back();
+}
+
 BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
   BatchResult batch;
   batch.outcomes.resize(jobs.size());
@@ -52,26 +78,7 @@ BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
   }
   batch.stats.wall_micros = wall.ElapsedMicros();
   batch.stats.io = store_->io_stats().Snapshot() - before;
-
-  std::vector<int64_t> latencies;
-  latencies.reserve(jobs.size());
-  int64_t total = 0;
-  for (const QueryOutcome& out : batch.outcomes) {
-    if (!out.status.ok()) {
-      ++batch.stats.failed;
-      if (batch.stats.first_error.ok()) batch.stats.first_error = out.status;
-    } else {
-      batch.stats.exec += out.result.exec;
-    }
-    latencies.push_back(out.latency_micros);
-    total += out.latency_micros;
-  }
-  batch.stats.mean_latency_micros =
-      static_cast<double>(total) / static_cast<double>(jobs.size());
-  std::sort(latencies.begin(), latencies.end());
-  batch.stats.p95_latency_micros =
-      latencies[std::min(latencies.size() - 1, latencies.size() * 95 / 100)];
-  batch.stats.max_latency_micros = latencies.back();
+  AggregateBatchStats(&batch);
   return batch;
 }
 

@@ -78,6 +78,15 @@ struct BatchResult {
   BatchStats stats;
 };
 
+/// Fills `batch->stats` failure, exec, and latency aggregates from its
+/// outcomes: failed count with first_error in batch order, the exec rollup
+/// over successful outcomes, and latency mean/p95/max. A failed outcome
+/// never poisons the batch — whether a whole query failed (QueryDriver) or
+/// one shard of its scatter did (ShardCoordinator), the other outcomes keep
+/// their results and stats. wall_micros and io are the caller's to fill
+/// (they depend on how the batch ran). No-op on an empty batch.
+void AggregateBatchStats(BatchResult* batch);
+
 /// Parallel secure-query driver: evaluates a batch of (subject, pattern)
 /// jobs over one shared SecureStore on a fixed-size worker pool. Each worker
 /// owns its QueryEvaluator/NokMatcher state; the store is only read (the

@@ -1,0 +1,64 @@
+#ifndef SECXML_SERVE_STORE_SHARD_H_
+#define SECXML_SERVE_STORE_SHARD_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "core/secure_store.h"
+#include "storage/paged_file.h"
+#include "storage/shard_map.h"
+
+namespace secxml {
+
+/// The backing files of one shard. Non-owning, matching SecureStore's file
+/// convention: the provider that hands these out (tests, benches, or a
+/// ShardFileSet) keeps them alive for the shard's lifetime. `wal` is null
+/// when the sharded store runs without logs.
+struct ShardFiles {
+  PagedFile* data = nullptr;
+  PagedFile* wal = nullptr;
+};
+
+/// One shard of a ShardedStore (DESIGN.md §13): a full SecureStore replica
+/// of the document plus the contiguous document-order slice of the page
+/// space this shard OWNS for evaluation. Replication keeps every replica's
+/// logical state identical — what is partitioned is *work*, not data: the
+/// coordinator scatters only the fragment-match candidates in a shard's
+/// owned node range to it, and because the walk below a candidate may cross
+/// the range boundary, the replica's full structure is exactly what makes
+/// boundary-spanning matches come out whole from a single shard.
+///
+/// Each shard owns its own NokStore, BufferPool, page directory, WAL, and
+/// codebook copy (whose lazily materialized per-code mask tables stay small:
+/// a shard only materializes codes its owned range touches). Only src/serve
+/// may traverse StoreShards (enforced by scripts/check_no_direct_fetch.sh);
+/// everything else goes through ShardedStore / ShardCoordinator.
+class StoreShard {
+ public:
+  StoreShard(size_t index, ShardFiles files,
+             std::unique_ptr<SecureStore> store)
+      : index_(index), files_(files), store_(std::move(store)) {}
+
+  StoreShard(const StoreShard&) = delete;
+  StoreShard& operator=(const StoreShard&) = delete;
+
+  size_t index() const { return index_; }
+  SecureStore* store() { return store_.get(); }
+  const SecureStore* store() const { return store_.get(); }
+
+  /// The page/node slice this shard owns for candidate evaluation,
+  /// refreshed by the coordinator after every structural update.
+  const ShardRange& owned() const { return owned_; }
+
+ private:
+  friend class ShardedStore;
+
+  size_t index_;
+  ShardFiles files_;
+  std::unique_ptr<SecureStore> store_;
+  ShardRange owned_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_SERVE_STORE_SHARD_H_

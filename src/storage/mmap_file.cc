@@ -1,0 +1,77 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace secxml {
+
+Result<std::unique_ptr<MmapPagedFile>> MmapPagedFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("mmap open failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status err = Status::IOError("mmap fstat failed: " + path + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  // Only whole pages are served; a trailing partial page (an extend that
+  // died mid-write) is invisible rather than a SIGBUS waiting to happen.
+  const PageId pages = static_cast<PageId>(len / kPageSize);
+  const uint8_t* data = nullptr;
+  if (pages > 0) {
+    void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      Status err = Status::IOError("mmap failed: " + path + ": " +
+                                   std::strerror(errno));
+      ::close(fd);
+      return err;
+    }
+    data = static_cast<const uint8_t*>(map);
+  }
+  ::close(fd);  // the mapping keeps the file referenced
+  return std::unique_ptr<MmapPagedFile>(new MmapPagedFile(data, len, pages));
+}
+
+MmapPagedFile::~MmapPagedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), mapped_len_);
+  }
+}
+
+Result<PageId> MmapPagedFile::AllocatePage() {
+  return Status::InvalidArgument("MmapPagedFile is read-only: AllocatePage");
+}
+
+Status MmapPagedFile::ReadPage(PageId id, Page* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("mmap read past end of file");
+  }
+  std::memcpy(out->data.data(), data_ + static_cast<size_t>(id) * kPageSize,
+              kPageSize);
+  return Status::OK();
+}
+
+Status MmapPagedFile::WritePage(PageId id, const Page& page) {
+  (void)id;
+  (void)page;
+  return Status::InvalidArgument("MmapPagedFile is read-only: WritePage");
+}
+
+Status MmapPagedFile::Sync() {
+  // Nothing can be dirty; succeeding keeps read-only pipelines (which sync
+  // defensively) working unchanged.
+  return Status::OK();
+}
+
+}  // namespace secxml

@@ -1,0 +1,58 @@
+#ifndef SECXML_STORAGE_MMAP_FILE_H_
+#define SECXML_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/paged_file.h"
+
+namespace secxml {
+
+/// Read-only memory-mapped paged file: serves a persisted store without a
+/// FILE* lock or a read syscall per page (the mmap read-path item from the
+/// PR 7 roadmap). Page reads are one memcpy out of the mapping into the
+/// buffer-pool frame; the kernel's page cache backs the mapping, so
+/// repeated cold reads of one store share physical memory across processes.
+///
+/// Fail-closed contract (exercised by the fault suite):
+///  - every access is bounds-checked against the size captured at Open(),
+///    so a caller can never be walked into a SIGBUS — out-of-range reads
+///    return OutOfRange, and a trailing partial page is excluded from
+///    NumPages() entirely;
+///  - WritePage/AllocatePage/Sync-with-effect are denied with
+///    InvalidArgument (the mapping is PROT_READ; nothing can dirty it).
+///
+/// Concurrency: the mapping is immutable after Open(), so reads need no
+/// synchronization at all.
+class MmapPagedFile final : public PagedFile {
+ public:
+  /// Maps `path` read-only. Fails if the file cannot be opened or mapped.
+  /// An empty file maps to a valid 0-page store.
+  static Result<std::unique_ptr<MmapPagedFile>> Open(const std::string& path);
+
+  ~MmapPagedFile() override;
+
+  MmapPagedFile(const MmapPagedFile&) = delete;
+  MmapPagedFile& operator=(const MmapPagedFile&) = delete;
+
+  PageId NumPages() const override { return num_pages_; }
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+
+ private:
+  MmapPagedFile(const uint8_t* data, size_t mapped_len, PageId num_pages)
+      : data_(data), mapped_len_(mapped_len), num_pages_(num_pages) {}
+
+  const uint8_t* data_;  ///< nullptr for an empty (0-page) file
+  size_t mapped_len_;
+  PageId num_pages_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_MMAP_FILE_H_

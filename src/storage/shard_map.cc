@@ -1,0 +1,50 @@
+#include "storage/shard_map.h"
+
+#include <algorithm>
+
+namespace secxml {
+
+ShardMap ShardMap::Partition(const std::vector<uint32_t>& page_first_nodes,
+                             uint32_t num_nodes, size_t num_shards) {
+  ShardMap map;
+  if (num_shards == 0) return map;
+  map.ranges_.resize(num_shards);
+  const size_t pages = page_first_nodes.size();
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardRange& r = map.ranges_[s];
+    r.first_page = s * pages / num_shards;
+    r.end_page = (s + 1) * pages / num_shards;
+    r.first_node =
+        r.first_page < pages ? page_first_nodes[r.first_page] : num_nodes;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    map.ranges_[s].end_node =
+        s + 1 < num_shards ? map.ranges_[s + 1].first_node : num_nodes;
+  }
+  return map;
+}
+
+size_t ShardMap::ShardOfNode(uint32_t node) const {
+  // Last shard whose first_node <= node; empty shards share their
+  // first_node with the next shard and lose the upper_bound tie, so a
+  // boundary node always lands on the shard that actually owns it.
+  size_t lo = 0;
+  for (size_t s = 1; s < ranges_.size(); ++s) {
+    if (ranges_[s].first_node <= node) lo = s;
+  }
+  // Nodes past every range (e.g. one past the end) fall to the last
+  // non-empty shard.
+  while (lo > 0 && ranges_[lo].empty()) --lo;
+  return lo;
+}
+
+size_t ShardMap::ShardOfPage(size_t ordinal) const {
+  size_t lo = 0;
+  for (size_t s = 1; s < ranges_.size(); ++s) {
+    if (ranges_[s].first_page <= ordinal) lo = s;
+  }
+  while (lo > 0 && ranges_[lo].num_pages() == 0) --lo;
+  return lo;
+}
+
+}  // namespace secxml

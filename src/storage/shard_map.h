@@ -1,0 +1,59 @@
+#ifndef SECXML_STORAGE_SHARD_MAP_H_
+#define SECXML_STORAGE_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace secxml {
+
+/// One shard's contiguous slice of the document-order page space, expressed
+/// both in page ordinals and in the node-id interval those pages begin
+/// (node ids are plain uint32_t here — NodeId from xml/document.h — kept as
+/// integers so storage stays below xml in the layering).
+struct ShardRange {
+  size_t first_page = 0;  ///< page ordinals [first_page, end_page)
+  size_t end_page = 0;
+  uint32_t first_node = 0;  ///< node ids [first_node, end_node)
+  uint32_t end_node = 0;
+
+  bool empty() const { return first_node >= end_node; }
+  size_t num_pages() const { return end_page - first_page; }
+};
+
+/// Document-order page → shard directory (DESIGN.md §13). The page space is
+/// cut into num_shards contiguous ranges of near-equal page count; because
+/// pages are laid out in document order, each range is also a contiguous
+/// node-id interval, and the intervals tile [0, num_nodes) exactly — every
+/// node (hence every fragment-match candidate) has exactly one owner. With
+/// fewer pages than shards the trailing shards own empty ranges.
+///
+/// The map is a pure value recomputed by the coordinator after any
+/// structural update (page counts and first-node boundaries move); queries
+/// read it under the coordinator's update fence.
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// Partitions `page_first_nodes.size()` pages (entry i = first node id
+  /// stored on page i, ascending, [0] == 0) into `num_shards` ranges.
+  static ShardMap Partition(const std::vector<uint32_t>& page_first_nodes,
+                            uint32_t num_nodes, size_t num_shards);
+
+  size_t num_shards() const { return ranges_.size(); }
+  const ShardRange& range(size_t shard) const { return ranges_[shard]; }
+
+  /// The shard owning `node` (nodes past the end belong to the last
+  /// non-empty shard, so e.g. an append routes somewhere sensible).
+  size_t ShardOfNode(uint32_t node) const;
+
+  /// The shard owning page `ordinal`.
+  size_t ShardOfPage(size_t ordinal) const;
+
+ private:
+  std::vector<ShardRange> ranges_;
+};
+
+}  // namespace secxml
+
+#endif  // SECXML_STORAGE_SHARD_MAP_H_

@@ -1,0 +1,201 @@
+// MmapPagedFile: the read-only mmap read path must serve a persisted store
+// byte-identically to the stdio file it was written through, deny every
+// write, and bounds-check every access (no SIGBUS, ever) — including files
+// with a torn trailing partial page and empty files.
+
+#include "storage/mmap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/evaluator.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+class MmapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("secxml_mmap_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".db");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(MmapFileTest, RoundTripsPagesWrittenThroughStdio) {
+  {
+    auto created = FilePagedFile::Create(path_.string());
+    ASSERT_TRUE(created.ok());
+    auto file = std::move(created).value();
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(file->AllocatePage().ok());
+    Page w;
+    for (size_t i = 0; i < kPageSize; ++i) {
+      w.data[i] = static_cast<uint8_t>(i * 13 + 5);
+    }
+    ASSERT_TRUE(file->WritePage(1, w).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto opened = MmapPagedFile::Open(path_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto mm = std::move(opened).value();
+  ASSERT_EQ(mm->NumPages(), 3u);
+  Page r;
+  ASSERT_TRUE(mm->ReadPage(1, &r).ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(r.data[i], static_cast<uint8_t>(i * 13 + 5));
+  }
+  ASSERT_TRUE(mm->ReadPage(0, &r).ok());
+  for (uint8_t b : r.data) ASSERT_EQ(b, 0);
+}
+
+TEST_F(MmapFileTest, OutOfRangeReadIsDeniedNotSigbus) {
+  {
+    auto created = FilePagedFile::Create(path_.string());
+    ASSERT_TRUE(created.ok());
+    ASSERT_TRUE((*created)->AllocatePage().ok());
+  }
+  auto mm = std::move(MmapPagedFile::Open(path_.string())).value();
+  Page p;
+  Status st = mm->ReadPage(1, &p);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange) << st;
+  EXPECT_EQ(mm->ReadPage(12345, &p).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(MmapFileTest, WritesAndAllocationsAreDenied) {
+  {
+    auto created = FilePagedFile::Create(path_.string());
+    ASSERT_TRUE(created.ok());
+    ASSERT_TRUE((*created)->AllocatePage().ok());
+  }
+  auto mm = std::move(MmapPagedFile::Open(path_.string())).value();
+  Page p;
+  EXPECT_EQ(mm->WritePage(0, p).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mm->AllocatePage().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mm->Sync().ok());  // no-op: nothing can be dirty
+}
+
+TEST_F(MmapFileTest, TrailingPartialPageIsExcluded) {
+  {
+    auto created = FilePagedFile::Create(path_.string());
+    ASSERT_TRUE(created.ok());
+    ASSERT_TRUE((*created)->AllocatePage().ok());
+    ASSERT_TRUE((*created)->AllocatePage().ok());
+  }
+  {
+    // A torn extend: half a page of garbage past the last full page.
+    std::FILE* f = std::fopen(path_.string().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> junk(kPageSize / 2, 0x5a);
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+    std::fclose(f);
+  }
+  auto opened = MmapPagedFile::Open(path_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ((*opened)->NumPages(), 2u);
+  Page p;
+  EXPECT_TRUE((*opened)->ReadPage(1, &p).ok());
+  EXPECT_EQ((*opened)->ReadPage(2, &p).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(MmapFileTest, EmptyFileIsAValidZeroPageStore) {
+  {
+    auto created = FilePagedFile::Create(path_.string());
+    ASSERT_TRUE(created.ok());
+  }
+  auto opened = MmapPagedFile::Open(path_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ((*opened)->NumPages(), 0u);
+  Page p;
+  EXPECT_EQ((*opened)->ReadPage(0, &p).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(MmapFileTest, MissingFileFailsToOpen) {
+  auto opened = MmapPagedFile::Open(path_.string() + ".does-not-exist");
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST_F(MmapFileTest, ServesAPersistedSecureStoreIdentically) {
+  // Build + persist a secure store through stdio, then run the same secure
+  // queries through an mmap-backed reopen: answers and the zero-extra-I/O
+  // property must be identical to the still-live original.
+  XMarkOptions xopts;
+  xopts.seed = 99;
+  xopts.target_nodes = 1200;
+  Document doc;
+  ASSERT_TRUE(GenerateXMark(xopts, &doc).ok());
+  constexpr size_t kSubjects = 6;
+  IntervalAccessMap map(static_cast<NodeId>(doc.NumNodes()), kSubjects);
+  for (SubjectId s = 0; s < kSubjects; ++s) {
+    SyntheticAclOptions aopts;
+    aopts.seed = 900 + s;
+    aopts.accessibility_ratio = 0.6;
+    map.SetSubjectIntervals(s, GenerateSyntheticAcl(doc, aopts));
+  }
+  ASSERT_TRUE(map.Validate().ok());
+  DolLabeling labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  sopts.max_records_per_page = 32;
+
+  MemPagedFile mem;
+  std::unique_ptr<SecureStore> original;
+  ASSERT_TRUE(SecureStore::Build(doc, labeling, &mem, sopts, &original).ok());
+  {
+    auto created = FilePagedFile::Create(path_.string());
+    ASSERT_TRUE(created.ok());
+    auto file = std::move(created).value();
+    std::unique_ptr<SecureStore> writer;
+    ASSERT_TRUE(
+        SecureStore::Build(doc, labeling, file.get(), sopts, &writer).ok());
+    ASSERT_TRUE(writer->Persist().ok());
+  }
+
+  auto opened = MmapPagedFile::Open(path_.string());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  auto mm = std::move(opened).value();
+  std::unique_ptr<SecureStore> reopened;
+  Status st = SecureStore::Open(mm.get(), sopts, &reopened);
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(reopened->num_nodes(), original->num_nodes());
+
+  QueryEvaluator want(original.get());
+  QueryEvaluator got(reopened.get());
+  for (int i = 0; i < 4; ++i) {
+    QueryGenOptions qopts;
+    qopts.seed = 7000 + static_cast<uint64_t>(i);
+    qopts.max_nodes = 2 + i % 4;
+    PatternTree q = GenerateTwigQuery(doc, qopts);
+    for (AccessSemantics sem :
+         {AccessSemantics::kBinding, AccessSemantics::kView}) {
+      for (SubjectId s = 0; s < kSubjects; ++s) {
+        EvalOptions eopts;
+        eopts.semantics = sem;
+        eopts.subject = s;
+        auto a = want.Evaluate(q, eopts);
+        auto b = got.Evaluate(q, eopts);
+        ASSERT_TRUE(a.ok() && b.ok()) << a.status() << " / " << b.status();
+        EXPECT_EQ(b->answers, a->answers)
+            << "subject " << s << ": " << q.ToString();
+        EXPECT_EQ(b->exec.access_only_fetches, 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace secxml

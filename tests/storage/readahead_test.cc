@@ -77,7 +77,12 @@ TEST_F(ReadaheadTest, DrainWaitsForAllRequests) {
 
 TEST_F(ReadaheadTest, DuplicateRequestsAreDropped) {
   FillFile(2);
-  BufferPool pool(&file_, 4);
+  // A slow read keeps the first fetch in flight (or still queued) for the
+  // whole request burst: without it, a single-core scheduler can let the
+  // worker complete each fetch between Request calls so no duplicate ever
+  // meets the queue and dropped stays 0.
+  LatencyPagedFile slow(&file_, std::chrono::milliseconds(20));
+  BufferPool pool(&slow, 4);
   // Zero workers is clamped to one; queue the same page repeatedly before
   // it can complete — the queue dedups.
   Readahead ra(&pool, /*num_workers=*/1, /*max_queue=*/4);
