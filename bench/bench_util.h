@@ -121,7 +121,11 @@ inline Json ExecStatsJson(const ExecStats& s) {
       .Set("subjects_batched", s.subjects_batched)
       .Set("classes_evaluated", s.classes_evaluated)
       .Set("class_dedup_hits", s.class_dedup_hits)
-      .Set("epoch_pins", s.epoch_pins);
+      .Set("epoch_pins", s.epoch_pins)
+      .Set("result_cache_hits", s.result_cache_hits)
+      .Set("result_cache_misses", s.result_cache_misses)
+      .Set("result_cache_invalidations", s.result_cache_invalidations)
+      .Set("single_flight_waits", s.single_flight_waits);
 }
 
 /// Writes `doc` to BENCH_<name>.json in $SECXML_BENCH_DIR (or the current

@@ -1,0 +1,435 @@
+// Cross-request result & plan caching over a Zipf traffic stream
+// (DESIGN.md §14): the same twig queries recur from a fixed subject pool,
+// subjects collapse into visibility classes by codebook-column fingerprint,
+// and a class-keyed ResultCache turns every recurrence into an O(1) serve of
+// the materialized answer — zero scan, zero I/O.
+//
+// Phases:
+//   1. cache-off baseline: the stream through QueryDriver as-is;
+//   2. cache-on: one cold pass populates, then steady-state passes measure
+//      the amortized serve cost; speedup = off / steady-on;
+//   3. update storm: ACL range toggles, subject additions, and periodic
+//      codebook compactions interleave with served queries, every one of
+//      which is differentially checked against a fresh uncached evaluation.
+//
+// Hard-asserted (non-zero exit, both modes unless noted):
+//   * cache-on answers byte-identical to cache-off across the stream;
+//   * ZERO stale serves across the update storm (cached == uncached after
+//     every commit, binding and view semantics);
+//   * extra_access_io == 0 (hits do no I/O; live fills keep the paper's
+//     no-access-only-I/O invariant);
+//   * steady-state hit rate > 0;
+//   * >= kSpeedupFloor steady-state amortized speedup (full runs only;
+//     smoke records the measured value).
+//
+// argv: [nodes] [--smoke].
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/dol_labeling.h"
+#include "core/secure_store.h"
+#include "query/query_cache.h"
+#include "query/query_driver.h"
+#include "query/xpath_parser.h"
+#include "storage/paged_file.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_acl.h"
+#include "xml/xmark_generator.h"
+
+namespace secxml {
+namespace {
+
+constexpr size_t kSubjectPool = 256;
+constexpr size_t kProfiles = 16;  // subject s draws profile s % 16
+constexpr double kZipfS = 1.0;
+constexpr double kSpeedupFloor = 3.0;
+
+struct Fixture {
+  Document doc;
+  DolLabeling labeling;
+  MemPagedFile file;
+  std::unique_ptr<SecureStore> store;
+};
+
+// Every subject holds one of kProfiles role profiles, so the 256-subject
+// pool folds into ~16 visibility classes — the recurrence structure the
+// class-keyed cache exploits (two subjects of one role share every key).
+std::unique_ptr<Fixture> Build(uint32_t nodes) {
+  auto f = std::make_unique<Fixture>();
+  XMarkOptions xopts;
+  xopts.seed = 31;
+  xopts.target_nodes = nodes;
+  if (!GenerateXMark(xopts, &f->doc).ok()) return nullptr;
+  IntervalAccessMap map(static_cast<NodeId>(f->doc.NumNodes()), kSubjectPool);
+  for (SubjectId s = 0; s < kSubjectPool; ++s) {
+    SyntheticAclOptions aopts;
+    aopts.seed = 7000 + s % kProfiles;
+    aopts.accessibility_ratio = 0.6;
+    map.SetSubjectIntervals(s, GenerateSyntheticAcl(f->doc, aopts));
+  }
+  f->labeling = DolLabeling::BuildFromEvents(
+      map.num_nodes(), map.InitialAcl(), map.CollectEvents());
+  NokStoreOptions sopts;
+  sopts.buffer_pool_pages = 64;  // smaller than the document: real I/O path
+  if (!SecureStore::Build(f->doc, f->labeling, &f->file, sopts, &f->store)
+           .ok()) {
+    return nullptr;
+  }
+  return f;
+}
+
+/// Zipf(s) sampler over [0, n): rank r drawn with weight 1/(r+1)^s — the
+/// head queries dominate the stream the way hot dashboards dominate real
+/// traffic, which is what gives a result cache its steady state.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+  size_t Draw(Rng* rng) const {
+    const double u = rng->NextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+QueryDriverOptions DriverOptions(AccessSemantics sem, QueryCaches caches) {
+  QueryDriverOptions dopts;
+  dopts.num_threads = 4;
+  dopts.semantics = sem;
+  dopts.caches = caches;
+  return dopts;
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  uint32_t nodes = bench::ScaleArg(argc, argv, smoke ? 8000 : 60000);
+  const int reps = smoke ? 2 : 5;
+  const size_t stream_len = smoke ? 400 : 4000;
+  const size_t storm_rounds = smoke ? 40 : 200;
+
+  bench::Banner("Class-keyed result caching across the traffic stream (" +
+                std::to_string(nodes) + "-node XMark, " +
+                std::to_string(kSubjectPool) + "-subject pool / " +
+                std::to_string(kProfiles) + " roles, Zipf s=" +
+                std::to_string(kZipfS).substr(0, 3) + " over the query mix)");
+
+  // Caches are declared before the fixture: AttachResultCacheInvalidation
+  // registers a permanent commit hook, so the cache must outlive the store.
+  cache::ResultCacheOptions ropts;
+  cache::ResultCache rcache(ropts);
+  QueryPlanCache pcache;
+
+  auto f = Build(nodes);
+  if (f == nullptr) {
+    std::fprintf(stderr, "fixture build failed\n");
+    return 1;
+  }
+  AttachResultCacheInvalidation(f->store.get(), &rcache);
+
+  // Query mix: the first two Table 1 twigs plus 30 generated along real
+  // document paths — ~32 distinct normalized patterns, Zipf-ranked.
+  std::vector<PatternTree> queries;
+  for (int qi : {0, 1}) {
+    PatternTree p;
+    if (!ParseXPath(kTable1Queries[qi], &p).ok()) return 1;
+    queries.push_back(std::move(p));
+  }
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    QueryGenOptions qopts;
+    qopts.seed = seed;
+    qopts.max_nodes = 4;
+    queries.push_back(GenerateTwigQuery(f->doc, qopts));
+  }
+
+  // The stream: (Zipf query, uniform subject) pairs, fixed up front so the
+  // off/cold/steady passes all replay identical traffic.
+  ZipfSampler zipf(queries.size(), kZipfS);
+  Rng rng(0xCAFE);
+  std::vector<QueryJob> jobs;
+  jobs.reserve(stream_len);
+  for (size_t i = 0; i < stream_len; ++i) {
+    QueryJob job;
+    job.subject = static_cast<SubjectId>(rng.Uniform(kSubjectPool));
+    job.pattern = queries[zipf.Draw(&rng)];
+    jobs.push_back(std::move(job));
+  }
+
+  // --- Phase 1+2: cache-off baseline vs cache-on steady state -----------
+  QueryDriver off_driver(
+      f->store.get(), DriverOptions(AccessSemantics::kBinding, QueryCaches{}));
+  QueryCaches caches;
+  caches.results = &rcache;
+  caches.plans = &pcache;
+  QueryDriver on_driver(f->store.get(),
+                        DriverOptions(AccessSemantics::kBinding, caches));
+
+  uint64_t extra_access_io = 0;
+  double off_s = 0;
+  BatchResult off_batch;
+  for (int r = -1; r < reps; ++r) {  // rep -1 = untimed warm-up
+    (void)f->store->nok()->buffer_pool()->EvictAll();
+    Timer timer;
+    off_batch = off_driver.Run(jobs);
+    const double elapsed = timer.ElapsedSeconds();
+    if (off_batch.stats.failed != 0) {
+      std::fprintf(stderr, "cache-off stream failed: %s\n",
+                   off_batch.stats.first_error.ToString().c_str());
+      return 1;
+    }
+    if (r >= 0 && (off_s == 0 || elapsed < off_s)) off_s = elapsed;
+    extra_access_io += off_batch.stats.exec.access_only_fetches;
+  }
+
+  Timer cold_timer;
+  BatchResult cold_batch = on_driver.Run(jobs);
+  const double cold_s = cold_timer.ElapsedSeconds();
+  if (cold_batch.stats.failed != 0) {
+    std::fprintf(stderr, "cache-on cold stream failed: %s\n",
+                 cold_batch.stats.first_error.ToString().c_str());
+    return 1;
+  }
+  extra_access_io += cold_batch.stats.exec.access_only_fetches;
+
+  double steady_s = 0;
+  BatchResult steady_batch;
+  for (int r = 0; r < reps; ++r) {
+    (void)f->store->nok()->buffer_pool()->EvictAll();
+    Timer timer;
+    steady_batch = on_driver.Run(jobs);
+    const double elapsed = timer.ElapsedSeconds();
+    if (steady_batch.stats.failed != 0) {
+      std::fprintf(stderr, "cache-on steady stream failed: %s\n",
+                   steady_batch.stats.first_error.ToString().c_str());
+      return 1;
+    }
+    if (steady_s == 0 || elapsed < steady_s) steady_s = elapsed;
+    extra_access_io += steady_batch.stats.exec.access_only_fetches;
+  }
+
+  bool identical = true;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (steady_batch.outcomes[i].result.answers !=
+            off_batch.outcomes[i].result.answers ||
+        cold_batch.outcomes[i].result.answers !=
+            off_batch.outcomes[i].result.answers) {
+      identical = false;
+    }
+  }
+
+  const ExecStats& steady_exec = steady_batch.stats.exec;
+  const double hit_rate =
+      static_cast<double>(steady_exec.result_cache_hits) /
+      static_cast<double>(jobs.size());
+  const double speedup = steady_s > 0 ? off_s / steady_s : 0.0;
+  std::printf("stream: %zu requests, %zu distinct queries\n", jobs.size(),
+              queries.size());
+  std::printf("%-14s %11s\n", "phase", "ms");
+  std::printf("%-14s %11.2f\n", "cache-off", off_s * 1000);
+  std::printf("%-14s %11.2f   (fills the cache)\n", "cache-on cold",
+              cold_s * 1000);
+  std::printf("%-14s %11.2f   (%.2fx, hit rate %.3f)\n", "cache-on steady",
+              steady_s * 1000, speedup, hit_rate);
+  std::printf("answers: %s across off/cold/steady\n",
+              identical ? "byte-identical" : "DIVERGED");
+
+  // --- Phase 3: update storm, differentially checked ---------------------
+  // Each round commits one update (ACL range toggle / subject addition /
+  // codebook compaction), then serves a handful of stream draws through the
+  // caching driver AND a fresh uncached one; any byte difference is a stale
+  // serve. Both semantics run so the view footprint ([0, hull_end)) faces
+  // the storm too.
+  QueryDriver off_view(f->store.get(),
+                       DriverOptions(AccessSemantics::kView, QueryCaches{}));
+  QueryDriver on_view(f->store.get(),
+                      DriverOptions(AccessSemantics::kView, caches));
+  const NodeId n = f->store->num_nodes();
+  size_t stale_serves = 0;
+  size_t storm_checks = 0;
+  uint64_t storm_hits = 0;
+  for (size_t round = 0; round < storm_rounds; ++round) {
+    if (round % 16 == 15) {
+      if (!f->store->CompactCodebook().ok()) {
+        std::fprintf(stderr, "compact failed\n");
+        return 1;
+      }
+    } else if (round % 8 == 7) {
+      auto added = f->store->AddSubjectLike(
+          static_cast<SubjectId>(rng.Uniform(kProfiles)));
+      if (!added.ok()) {
+        std::fprintf(stderr, "add subject failed\n");
+        return 1;
+      }
+    } else {
+      const NodeId begin = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId end = std::min<NodeId>(
+          n, begin + 1 + static_cast<NodeId>(rng.Uniform(64)));
+      const SubjectId s = static_cast<SubjectId>(rng.Uniform(kSubjectPool));
+      if (!f->store->SetRangeAccess(begin, end, s, (round & 1) != 0).ok()) {
+        std::fprintf(stderr, "range toggle failed\n");
+        return 1;
+      }
+    }
+    std::vector<QueryJob> probe_jobs;
+    for (int i = 0; i < 4; ++i) {
+      QueryJob job;
+      job.subject = static_cast<SubjectId>(rng.Uniform(kSubjectPool));
+      job.pattern = queries[zipf.Draw(&rng)];
+      probe_jobs.push_back(std::move(job));
+    }
+    const bool view = (round & 2) != 0;
+    // Two cached passes: the first fills (or hits what survived the
+    // commit), the second is guaranteed to serve from cache — so the
+    // differential check below covers genuinely cached answers every round,
+    // not just live fills.
+    BatchResult cached = (view ? on_view : on_driver).Run(probe_jobs);
+    BatchResult served = (view ? on_view : on_driver).Run(probe_jobs);
+    BatchResult live = (view ? off_view : off_driver).Run(probe_jobs);
+    if (cached.stats.failed != 0 || served.stats.failed != 0 ||
+        live.stats.failed != 0) {
+      std::fprintf(stderr, "storm round %zu failed\n", round);
+      return 1;
+    }
+    for (size_t i = 0; i < probe_jobs.size(); ++i) {
+      ++storm_checks;
+      if (cached.outcomes[i].result.answers !=
+              live.outcomes[i].result.answers ||
+          served.outcomes[i].result.answers !=
+              live.outcomes[i].result.answers) {
+        ++stale_serves;
+      }
+    }
+    storm_hits += cached.stats.exec.result_cache_hits +
+                  served.stats.exec.result_cache_hits;
+    extra_access_io += cached.stats.exec.access_only_fetches +
+                       served.stats.exec.access_only_fetches +
+                       live.stats.exec.access_only_fetches;
+  }
+  const cache::ResultCache::Stats cstats = rcache.stats();
+  std::printf("storm: %zu rounds, %zu differential checks, %zu STALE, "
+              "%llu hits served mid-storm\n",
+              storm_rounds, storm_checks, stale_serves,
+              static_cast<unsigned long long>(storm_hits));
+  std::printf("cache: %llu hits / %llu misses, %llu inserts (%llu rejected), "
+              "%llu invalidated, %llu flushes, %llu evictions, "
+              "%llu entries / %llu bytes resident\n",
+              static_cast<unsigned long long>(cstats.hits),
+              static_cast<unsigned long long>(cstats.misses),
+              static_cast<unsigned long long>(cstats.inserts),
+              static_cast<unsigned long long>(cstats.rejected_inserts),
+              static_cast<unsigned long long>(cstats.invalidated),
+              static_cast<unsigned long long>(cstats.flushes),
+              static_cast<unsigned long long>(cstats.evictions),
+              static_cast<unsigned long long>(cstats.entries),
+              static_cast<unsigned long long>(cstats.bytes));
+  std::printf("plan cache: %llu hits / %llu misses, %zu plans resident\n",
+              static_cast<unsigned long long>(pcache.hits()),
+              static_cast<unsigned long long>(pcache.misses()),
+              pcache.entries());
+  std::printf("\nsummary: %.2fx steady-state amortized speedup (floor %.1fx "
+              "in full runs), hit rate %.3f, extra access I/O %llu\n",
+              speedup, kSpeedupFloor, hit_rate,
+              static_cast<unsigned long long>(extra_access_io));
+
+  bench::WriteBenchJson(
+      "cache_throughput",
+      bench::Json()
+          .Set("bench", "cache_throughput")
+          .Set("nodes", nodes)
+          .Set("smoke", smoke)
+          .Set("repetitions", reps)
+          .Set("stream_len", static_cast<uint64_t>(stream_len))
+          .Set("distinct_queries", static_cast<uint64_t>(queries.size()))
+          .Set("subject_pool", static_cast<uint64_t>(kSubjectPool))
+          .Set("role_profiles", static_cast<uint64_t>(kProfiles))
+          .Set("zipf_s", kZipfS)
+          .Set("cache_off_ms", off_s * 1000)
+          .Set("cache_on_cold_ms", cold_s * 1000)
+          .Set("cache_on_steady_ms", steady_s * 1000)
+          .Set("steady_speedup", speedup)
+          .Set("steady_hit_rate", hit_rate)
+          .Set("speedup_floor", kSpeedupFloor)
+          .Set("identical", identical)
+          .Set("extra_access_io", extra_access_io)
+          .Set("steady_exec", bench::ExecStatsJson(steady_exec))
+          .Set("result_cache",
+               bench::Json()
+                   .Set("hits", cstats.hits)
+                   .Set("misses", cstats.misses)
+                   .Set("inserts", cstats.inserts)
+                   .Set("rejected_inserts", cstats.rejected_inserts)
+                   .Set("evictions", cstats.evictions)
+                   .Set("invalidated", cstats.invalidated)
+                   .Set("flushes", cstats.flushes)
+                   .Set("entries", cstats.entries)
+                   .Set("bytes", cstats.bytes))
+          .Set("plan_cache", bench::Json()
+                                 .Set("hits", pcache.hits())
+                                 .Set("misses", pcache.misses())
+                                 .Set("entries",
+                                      static_cast<uint64_t>(pcache.entries())))
+          .Set("update_storm",
+               bench::Json()
+                   .Set("rounds", static_cast<uint64_t>(storm_rounds))
+                   .Set("differential_checks",
+                        static_cast<uint64_t>(storm_checks))
+                   .Set("stale_serves", static_cast<uint64_t>(stale_serves))
+                   .Set("hits_served_mid_storm", storm_hits)));
+
+  int exit_code = 0;
+  if (!identical) {
+    std::printf("FAIL: cache-on stream answers diverged from cache-off\n");
+    exit_code = 1;
+  }
+  if (stale_serves != 0) {
+    std::printf("FAIL: %zu stale serves across the update storm\n",
+                stale_serves);
+    exit_code = 1;
+  }
+  if (extra_access_io != 0) {
+    std::printf("FAIL: extra access I/O %llu != 0\n",
+                static_cast<unsigned long long>(extra_access_io));
+    exit_code = 1;
+  }
+  if (hit_rate <= 0.0) {
+    std::printf("FAIL: steady-state hit rate is zero\n");
+    exit_code = 1;
+  }
+  if (storm_hits == 0) {
+    std::printf("FAIL: no cached answer was ever served mid-storm (the "
+                "stale-serve check never fired against a real hit)\n");
+    exit_code = 1;
+  }
+  if (!smoke && speedup < kSpeedupFloor) {
+    std::printf("FAIL: steady-state speedup %.2fx below the %.1fx floor\n",
+                speedup, kSpeedupFloor);
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace secxml
+
+int main(int argc, char** argv) { return secxml::Run(argc, argv); }

@@ -20,7 +20,11 @@
 set -u
 cd "$(dirname "$0")/.."
 
-fail=0
+# report runs as the tail of a pipeline, i.e. in a subshell in POSIX sh —
+# a plain `fail=1` there would be lost. Failures land in a marker file.
+fail_marker="${TMPDIR:-/tmp}/check_no_direct_fetch.$$"
+rm -f "$fail_marker"
+trap 'rm -f "$fail_marker"' EXIT
 
 report() {
   # $1 = description, stdin = offending grep lines (possibly empty)
@@ -28,7 +32,7 @@ report() {
   if [ -n "$lines" ]; then
     echo "DIRECT ACCESS VIOLATION: $1" >&2
     echo "$lines" >&2
-    fail=1
+    : > "$fail_marker"
   fi
 }
 
@@ -89,6 +93,20 @@ grep -rn "StoreShard" \
     src/query src/workload --include='*.cc' --include='*.h' \
   | report "StoreShard referenced outside src/serve (route through ShardedStore/ShardCoordinator)"
 
+# Cache encapsulation: the cross-request ResultCache/PlanCache (src/cache)
+# may be named only by the layers that own a traffic stream — src/query
+# (EvaluateWithCaches/BatchEvaluator) and src/serve (ShardCoordinator).
+# A lower layer probing the result cache would bypass the epoch validation
+# and single-flight protocol those call sites carry (and core must stay
+# payload-agnostic: its commit hooks are plain std::function callbacks).
+grep -rn "ResultCache\|PlanCache" \
+    src/common src/storage src/xml src/core src/nok src/baseline src/exec \
+    src/workload --include='*.cc' --include='*.h' \
+  | grep -v ':[0-9]*:[[:space:]]*//' \
+  | report "ResultCache/PlanCache referenced outside src/query and src/serve (probe through EvaluateWithCaches / the coordinator)"
+
+fail=0
+[ -e "$fail_marker" ] && fail=1
 if [ "$fail" -eq 0 ]; then
   echo "check_no_direct_fetch: OK (query/core layers go through src/exec)"
 fi

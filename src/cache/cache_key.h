@@ -1,0 +1,54 @@
+#ifndef SECXML_CACHE_CACHE_KEY_H_
+#define SECXML_CACHE_CACHE_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace secxml::cache {
+
+/// Key of one cross-request result-cache entry. The paper's compact-labeling
+/// insight — a secure answer is a function of the subject's *visibility
+/// class*, not the subject id — becomes the key design: the class is named
+/// by the 128-bit content fingerprint of the subject's codebook column
+/// (ColumnFingerprint), so every member of a class shares one entry, and a
+/// CompactCodebook renumbering (which changes the column content) changes
+/// the key instead of silently aliasing a stale one. The query half is the
+/// normalized pattern encoding (NormalizePattern — injective, unlike the
+/// debug ToString), plus the semantics and sibling-order flags that change
+/// the answer bytes.
+struct ResultKey {
+  uint64_t column_hi = 0;  ///< ColumnFingerprint of the subject's class;
+  uint64_t column_lo = 0;  ///< {0,0} for semantics-free (kNone) evaluation
+  std::string query;       ///< normalized pattern encoding
+  uint8_t semantics = 0;   ///< AccessSemantics as an integer
+  bool ordered = false;    ///< ordered-sibling matching flag
+
+  bool operator==(const ResultKey& o) const {
+    return column_hi == o.column_hi && column_lo == o.column_lo &&
+           semantics == o.semantics && ordered == o.ordered &&
+           query == o.query;
+  }
+  bool operator!=(const ResultKey& o) const { return !(*this == o); }
+
+  /// Bytes this key pins in the cache (counted against the entry budget).
+  size_t ApproxBytes() const { return sizeof(*this) + query.size(); }
+};
+
+struct ResultKeyHash {
+  size_t operator()(const ResultKey& k) const {
+    uint64_t h = k.column_hi ^ (k.column_lo * 0x9e3779b97f4a7c15ULL);
+    for (char c : k.query) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= (static_cast<uint64_t>(k.semantics) << 1) ^
+         static_cast<uint64_t>(k.ordered);
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace secxml::cache
+
+#endif  // SECXML_CACHE_CACHE_KEY_H_

@@ -1,0 +1,87 @@
+#ifndef SECXML_CACHE_PLAN_CACHE_H_
+#define SECXML_CACHE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace secxml::cache {
+
+/// LRU cache of parsed/decomposed query plans, keyed on the normalized
+/// query encoding alone. A plan is a pure function of the pattern — it
+/// carries no document, ACL, or epoch state — so entries never need
+/// invalidation; the cache only bounds its entry count. Plans are shared by
+/// reference (immutable once inserted). Thread-safe; a single mutex
+/// suffices because a plan lookup is a tiny fraction of even a cached
+/// query's work.
+template <typename Plan>
+class PlanCache {
+ public:
+  explicit PlanCache(size_t max_entries = 1024)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  std::shared_ptr<const Plan> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.plan;
+  }
+
+  /// Inserts (or refreshes) the plan for `key`. Returns the resident plan:
+  /// if another thread inserted first, theirs wins and is returned, so
+  /// every caller converges on one shared instance.
+  std::shared_ptr<const Plan> Insert(const std::string& key,
+                                     std::shared_ptr<const Plan> plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.plan;
+    }
+    while (table_.size() >= max_entries_) {
+      table_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    Resident r;
+    r.plan = std::move(plan);
+    r.lru_it = lru_.begin();
+    auto [inserted, ok] = table_.emplace(key, std::move(r));
+    (void)ok;
+    return inserted->second.plan;
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+
+ private:
+  struct Resident {
+    std::shared_ptr<const Plan> plan;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Resident> table_;
+  std::list<std::string> lru_;  ///< front = most recent
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace secxml::cache
+
+#endif  // SECXML_CACHE_PLAN_CACHE_H_

@@ -79,6 +79,25 @@ class BitVector {
   }
   bool operator!=(const BitVector& other) const { return !(*this == other); }
 
+  /// 128-bit content fingerprint: two independently mixed streams over the
+  /// words plus the bit length. Unlike Hash() this is meant for keys that
+  /// outlive the vector (cross-request cache keys): at 128 bits a collision
+  /// between two distinct ACL columns is negligible, so equal fingerprints
+  /// can be treated as equal content without retaining the bits. The value
+  /// is a pure function of the contents — stable across processes and runs.
+  void Fingerprint128(uint64_t* hi, uint64_t* lo) const {
+    uint64_t a = 0x9e3779b97f4a7c15ULL ^ (nbits_ * 0xff51afd7ed558ccdULL);
+    uint64_t b = 0xc2b2ae3d27d4eb4fULL ^ nbits_;
+    for (uint64_t w : words_) {
+      a = (a ^ w) * 0x100000001b3ULL;
+      a ^= a >> 31;
+      b = (b + w) * 0x9e3779b97f4a7c15ULL;
+      b ^= b >> 29;
+    }
+    *hi = a;
+    *lo = b;
+  }
+
   /// 64-bit hash of the contents (FNV-1a over words), for dictionary keys.
   size_t Hash() const {
     uint64_t h = 0xcbf29ce484222325ULL ^ nbits_;

@@ -124,14 +124,22 @@ BitVector Codebook::Column(SubjectId subject) const {
   return column;
 }
 
+ColumnFingerprint Codebook::ColumnFingerprintOf(SubjectId subject) const {
+  return ColumnFingerprint::Of(Column(subject));
+}
+
 std::vector<SubjectClass> GroupSubjectsByColumn(
     const Codebook& codebook, const std::vector<SubjectId>& subjects) {
   std::vector<SubjectClass> classes;
   std::unordered_map<BitVector, size_t, BitVectorHash> by_column;
   for (SubjectId s : subjects) {
     BitVector column = codebook.Column(s);
+    ColumnFingerprint fp = ColumnFingerprint::Of(column);
     auto [it, inserted] = by_column.emplace(std::move(column), classes.size());
-    if (inserted) classes.emplace_back();
+    if (inserted) {
+      classes.emplace_back();
+      classes.back().fingerprint = fp;
+    }
     classes[it->second].members.push_back(s);
   }
   return classes;

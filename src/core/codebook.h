@@ -19,6 +19,31 @@ namespace secxml {
 /// a small integer code referencing an entry here. The codebook lives in
 /// memory during query processing (Section 3.2).
 ///
+/// 128-bit content fingerprint of one subject's codebook column
+/// (BitVector::Fingerprint128 of Codebook::Column). Two subjects with equal
+/// columns — the visibility equivalence the batch evaluator exploits — have
+/// equal fingerprints, so the fingerprint is a compact, copyable stand-in
+/// for "this visibility class" that callers can key caches on: it survives
+/// CompactCodebook only when the column *content* survives (compaction
+/// renumbers codes, changing every column, which is exactly when cached
+/// per-class state must be dropped), and it is never an identity comparison
+/// of column indices, which renumbering would silently break.
+struct ColumnFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  static ColumnFingerprint Of(const BitVector& column) {
+    ColumnFingerprint fp;
+    column.Fingerprint128(&fp.hi, &fp.lo);
+    return fp;
+  }
+
+  bool operator==(const ColumnFingerprint& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  bool operator!=(const ColumnFingerprint& o) const { return !(*this == o); }
+};
+
 /// Codes are stable: once assigned, an entry's id never changes, because ids
 /// are persisted inside document pages. Subject deletion therefore mutates
 /// entries in place and may leave duplicate entries behind; per Section 3.4
@@ -85,6 +110,11 @@ class Codebook {
   /// all-denied column rather than reading out of bounds.
   BitVector Column(SubjectId subject) const;
 
+  /// Content fingerprint of Column(subject) — see ColumnFingerprint above.
+  /// Same fail-closed rule as Column: an out-of-range subject fingerprints
+  /// as the all-denied column.
+  ColumnFingerprint ColumnFingerprintOf(SubjectId subject) const;
+
   /// Number of distinct entries (collapsing duplicates left by removal).
   size_t CountDistinct() const;
 
@@ -124,6 +154,9 @@ class Codebook {
 /// members.front() is the class representative).
 struct SubjectClass {
   std::vector<SubjectId> members;
+  /// Content fingerprint of the class's shared column, for keying
+  /// cross-request caches on the class rather than any member id.
+  ColumnFingerprint fingerprint;
   SubjectId representative() const { return members.front(); }
 };
 

@@ -354,7 +354,7 @@ void SecureStore::AbortStaged() {
 }
 
 Status SecureStore::CommitStaged(uint32_t wal_type, const std::string& payload,
-                                 CacheEffect effect) {
+                                 CacheEffect effect, CommitEvent event) {
   // WAL first: the record must be durable before any reader can observe the
   // update (write-ahead rule). A failed append aborts the whole update —
   // fail-closed, the committed snapshot never changed.
@@ -395,6 +395,12 @@ Status SecureStore::CommitStaged(uint32_t wal_type, const std::string& payload,
     old_epoch = epochs_.current();
     EpochManager::Epoch new_epoch = epochs_.Advance();
     MaintainCaches(effect, delta, pages, codebook_, new_epoch, old_codes);
+    // External caches are told about the commit while snapshot_mu_ is still
+    // held: a fresh SnapshotPin also takes snapshot_mu_, so no reader can
+    // pin new_epoch before every hook has finished invalidating — the
+    // stale-serve window is closed by lock order, not by timing.
+    event.epoch = new_epoch;
+    for (const auto& hook : commit_hooks_) hook(event);
   }
   // The superseded codebook lives until every reader pinned at or before
   // old_epoch drains (their SnapshotPins also hold their own shared_ptr, so
@@ -478,7 +484,8 @@ Status SecureStore::SetSubtreeAccess(NodeId root, SubjectId subject,
   PutU64(&payload, end);
   PutU32(&payload, subject);
   PutU8(&payload, accessible ? 1 : 0);
-  return CommitStaged(kWalSetRangeAccess, payload, CacheEffect::kPatch);
+  return CommitStaged(kWalSetRangeAccess, payload, CacheEffect::kPatch,
+                      {CommitEvent::Kind::kAclPatch, root, end, 0});
 }
 
 Status SecureStore::SetRangeAccess(NodeId begin, NodeId end, SubjectId subject,
@@ -500,7 +507,8 @@ Status SecureStore::SetRangeAccessLocked(NodeId begin, NodeId end,
   PutU64(&payload, end);
   PutU32(&payload, subject);
   PutU8(&payload, accessible ? 1 : 0);
-  return CommitStaged(kWalSetRangeAccess, payload, CacheEffect::kPatch);
+  return CommitStaged(kWalSetRangeAccess, payload, CacheEffect::kPatch,
+                      {CommitEvent::Kind::kAclPatch, begin, end, 0});
 }
 
 Status SecureStore::SetRangeAccessStaged(NodeId begin, NodeId end,
@@ -589,7 +597,8 @@ Status SecureStore::DeleteSubtreeLocked(NodeId root) {
   }
   std::string payload;
   PutU64(&payload, root);
-  return CommitStaged(kWalDeleteSubtree, payload, CacheEffect::kPatch);
+  return CommitStaged(kWalDeleteSubtree, payload, CacheEffect::kPatch,
+                      {CommitEvent::Kind::kStructural, 0, 0, 0});
 }
 
 Result<NodeId> SecureStore::InsertSubtree(
@@ -638,7 +647,8 @@ Result<NodeId> SecureStore::InsertSubtreeLocked(
   payload += EncodeFragment(fragment);
   PutBytes(&payload, fragment_labeling.Serialize());
   SECXML_RETURN_NOT_OK(
-      CommitStaged(kWalInsertSubtree, payload, CacheEffect::kPatch));
+      CommitStaged(kWalInsertSubtree, payload, CacheEffect::kPatch,
+                   {CommitEvent::Kind::kStructural, 0, 0, 0}));
   return landed.value();
 }
 
@@ -653,7 +663,8 @@ Result<SubjectId> SecureStore::AddSubjectLocked(bool default_access) {
   std::string payload;
   PutU8(&payload, default_access ? 1 : 0);
   SECXML_RETURN_NOT_OK(
-      CommitStaged(kWalAddSubject, payload, CacheEffect::kSubjectAdded));
+      CommitStaged(kWalAddSubject, payload, CacheEffect::kSubjectAdded,
+                   {CommitEvent::Kind::kSubjectAdded, 0, 0, 0}));
   return id;
 }
 
@@ -672,7 +683,8 @@ Result<SubjectId> SecureStore::AddSubjectLikeLocked(SubjectId like) {
   std::string payload;
   PutU32(&payload, like);
   SECXML_RETURN_NOT_OK(
-      CommitStaged(kWalAddSubjectLike, payload, CacheEffect::kSubjectAdded));
+      CommitStaged(kWalAddSubjectLike, payload, CacheEffect::kSubjectAdded,
+                   {CommitEvent::Kind::kSubjectAdded, 0, 0, 0}));
   return id.value();
 }
 
@@ -692,7 +704,8 @@ Status SecureStore::RemoveSubjectLocked(SubjectId subject) {
   PutU32(&payload, subject);
   // Remaining subjects renumber: views and columns are keyed by subject id,
   // so everything recompiles lazily under the new epoch.
-  return CommitStaged(kWalRemoveSubject, payload, CacheEffect::kDropAll);
+  return CommitStaged(kWalRemoveSubject, payload, CacheEffect::kDropAll,
+                      {CommitEvent::Kind::kShapeChange, 0, 0, 0});
 }
 
 Status SecureStore::CompactCodebook() {
@@ -742,7 +755,8 @@ Status SecureStore::CompactCodebookLocked() {
   }
   *wcodebook_ = std::move(compacted);
   return CommitStaged(kWalCompactCodebook, std::string(),
-                      CacheEffect::kDropAll);
+                      CacheEffect::kDropAll,
+                      {CommitEvent::Kind::kShapeChange, 0, 0, 0});
 }
 
 Status SecureStore::Vacuum(const VacuumOptions& options, VacuumStats* stats) {
@@ -775,7 +789,8 @@ Status SecureStore::VacuumLocked(const VacuumOptions& options,
   std::string payload;
   PutU32(&payload, options.min_run_records);
   SECXML_RETURN_NOT_OK(
-      CommitStaged(kWalVacuum, payload, CacheEffect::kDropAll));
+      CommitStaged(kWalVacuum, payload, CacheEffect::kDropAll,
+                   {CommitEvent::Kind::kStructural, 0, 0, 0}));
   if (stats != nullptr) {
     stats->pages_before = pages_before;
     stats->pages_after = plan.page_starts.size();
@@ -1082,10 +1097,38 @@ std::vector<SubjectClass> SecureStore::GroupSubjects(
       column = &scratch.back();
     }
     auto [cit, inserted] = index.emplace(*column, classes.size());
-    if (inserted) classes.emplace_back();
+    if (inserted) {
+      classes.emplace_back();
+      classes.back().fingerprint = ColumnFingerprint::Of(*column);
+    }
     classes[cit->second].members.push_back(s);
   }
   return classes;
+}
+
+void SecureStore::AddCommitHook(
+    std::function<void(const CommitEvent&)> hook) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  commit_hooks_.push_back(std::move(hook));
+}
+
+ColumnFingerprint SecureStore::SubjectColumnFingerprint(SubjectId subject) {
+  SnapshotPin pin(this);
+  const Codebook& cb = codebook();
+  std::unique_lock<std::mutex> lock(column_cache_mu_);
+  if (column_cache_epoch_ == pin.epoch()) {
+    auto it = column_cache_.find(subject);
+    if (it == column_cache_.end() && subject < cb.num_subjects()) {
+      // Same admission rule as GroupSubjects: cache real subjects' columns,
+      // never the fail-closed column of an unknown id.
+      it = column_cache_.emplace(subject, cb.Column(subject)).first;
+    }
+    if (it != column_cache_.end()) {
+      return ColumnFingerprint::Of(it->second);
+    }
+  }
+  lock.unlock();
+  return cb.ColumnFingerprintOf(subject);
 }
 
 void SecureStore::DropVisibilityCaches() {

@@ -2,6 +2,7 @@
 #define SECXML_CORE_SECURE_STORE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -68,6 +69,49 @@ class SecureStore {
     uint64_t records_replayed = 0;  ///< records with lsn > checkpoint_lsn
     uint64_t torn_tail = 0;         ///< 1 if the WAL dropped a torn tail
   };
+
+  /// One committed update, as seen by external epoch-keyed caches (the
+  /// cross-request ResultCache — DESIGN.md §14). Fired through AddCommitHook
+  /// for every live commit, WAL replay, and replicated apply, classifying
+  /// the update by what a cache keyed on (column fingerprint, query) must
+  /// do about it.
+  struct CommitEvent {
+    enum class Kind : uint8_t {
+      /// Accessibility changed over document-order range [begin, end);
+      /// entries whose answer could depend on that range are stale.
+      kAclPatch,
+      /// A subject column was appended. Existing columns' content — and
+      /// therefore their fingerprints and every answer keyed on them — is
+      /// unchanged; caches need do nothing.
+      kSubjectAdded,
+      /// Structure changed (insert/delete/vacuum): node ids renumber, so
+      /// every cached answer set is suspect.
+      kStructural,
+      /// Codes or subjects renumbered (remove subject, compact codebook):
+      /// column fingerprints themselves shift; flush everything.
+      kShapeChange,
+    };
+    Kind kind = Kind::kShapeChange;
+    NodeId begin = 0;  ///< kAclPatch only: affected range, document order
+    NodeId end = 0;
+    EpochManager::Epoch epoch = 0;  ///< the epoch this commit published
+  };
+
+  /// Registers a commit hook. Hooks fire on every commit *while the
+  /// snapshot-publication lock is held*, after the epoch advances and the
+  /// internal caches are maintained but before any new SnapshotPin can
+  /// observe the new epoch — so a hook that invalidates an external cache
+  /// closes the stale window airtight. Hooks must be fast, must not throw,
+  /// and must not call back into this store. Hooks are never removed; the
+  /// callee must outlive the store.
+  void AddCommitHook(std::function<void(const CommitEvent&)> hook);
+
+  /// Content fingerprint of `subject`'s codebook column under the calling
+  /// thread's snapshot (see ColumnFingerprint) — the class half of a
+  /// cross-request cache key. Served from the epoch-stamped column cache
+  /// when current; fails closed to the all-denied column's fingerprint for
+  /// an unknown subject, exactly like Codebook::Column.
+  ColumnFingerprint SubjectColumnFingerprint(SubjectId subject);
 
   /// Update-path counters (all monotonically increasing; readable from any
   /// thread while updates run).
@@ -396,10 +440,11 @@ class SecureStore {
   void AbortStaged();
   /// Seals an update: appends its WAL record (unless replaying), publishes
   /// the staged NokStore state and codebook, advances the epoch, maintains
-  /// the visibility caches per `effect`, and retires the superseded
-  /// codebook into the epoch manager.
+  /// the visibility caches per `effect`, fires the registered commit hooks
+  /// with `event` (kind/range filled by the caller; epoch filled here), and
+  /// retires the superseded codebook into the epoch manager.
   Status CommitStaged(uint32_t wal_type, const std::string& payload,
-                      CacheEffect effect);
+                      CacheEffect effect, CommitEvent event);
 
   /// Cache maintenance at commit; caller holds snapshot_mu_. `pages` is the
   /// just-committed page directory (passed in rather than re-read so a pin
@@ -454,7 +499,9 @@ class SecureStore {
   /// Guards snapshot publication against pin acquisition: a commit holds it
   /// while swapping in the new NokStore state, codebook, and epoch, so a
   /// pin taken concurrently sees either all of an update or none of it.
+  /// Also guards commit_hooks_ (registration and firing).
   mutable std::mutex snapshot_mu_;
+  std::vector<std::function<void(const CommitEvent&)>> commit_hooks_;
   std::shared_ptr<const Codebook> codebook_;
   /// Lock-free mirror of codebook_.get() for unpinned readers.
   std::atomic<const Codebook*> codebook_raw_{nullptr};

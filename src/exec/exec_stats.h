@@ -65,6 +65,24 @@ struct ExecStats {
   /// the running maximum, so the merge proves the order it claims).
   uint64_t merge_comparisons = 0;
 
+  // Cross-request result-cache counters (zero when no cache is attached —
+  // DESIGN.md §14). Reported on a "cache" operator so the rollup-sum
+  // identity over classes/queries holds like every other counter.
+
+  /// Queries (or batch classes) answered from the class-keyed ResultCache
+  /// instead of a live evaluation.
+  uint64_t result_cache_hits = 0;
+  /// Queries (or batch classes) that probed the ResultCache and had to
+  /// evaluate live (their answer was published afterwards).
+  uint64_t result_cache_misses = 0;
+  /// Freshly computed answers whose cache publish was rejected because an
+  /// invalidation (or the byte budget) raced the evaluation — the live
+  /// answer served is still correct; only the cache declined to keep it.
+  uint64_t result_cache_invalidations = 0;
+  /// Times this query blocked on another caller's in-flight evaluation of
+  /// the same key (single-flight collapse) before being served.
+  uint64_t single_flight_waits = 0;
+
   ExecStats& operator+=(const ExecStats& o) {
     nodes_scanned += o.nodes_scanned;
     codes_checked += o.codes_checked;
@@ -79,6 +97,10 @@ struct ExecStats {
     epoch_pins += o.epoch_pins;
     shards_scattered += o.shards_scattered;
     merge_comparisons += o.merge_comparisons;
+    result_cache_hits += o.result_cache_hits;
+    result_cache_misses += o.result_cache_misses;
+    result_cache_invalidations += o.result_cache_invalidations;
+    single_flight_waits += o.single_flight_waits;
     return *this;
   }
 };

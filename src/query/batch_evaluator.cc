@@ -1,6 +1,7 @@
 #include "query/batch_evaluator.h"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_map>
 
 #include "core/codebook.h"
@@ -57,10 +58,13 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
   SubjectBatchResult batch;
 
   // Without access control every subject sees the whole document: the batch
-  // is one equivalence class, evaluated once by the per-subject path.
+  // is one equivalence class, evaluated once by the per-subject path
+  // (through the caches when attached — the key's class half is {0,0}).
   if (options.semantics == AccessSemantics::kNone) {
     QueryEvaluator eval(store_);
-    SECXML_ASSIGN_OR_RETURN(EvalResult r, eval.Evaluate(pattern, options));
+    SECXML_ASSIGN_OR_RETURN(
+        EvalResult r,
+        EvaluateWithCaches(store_, &eval, pattern, options, caches_));
     r.operators.push_back({"batch", BatchCounters(subjects.size(), 1)});
     r.exec = RollUp(r.operators);
     ClassEvalResult cls;
@@ -84,30 +88,80 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
   batch.class_of.reserve(subjects.size());
   for (SubjectId s : subjects) batch.class_of.push_back(class_index.at(s));
 
-  PreparedQuery pq;
-  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
+  cache::ResultCache* rcache = caches_.ResultsEnabled();
+  QueryPlanCache* pcache = caches_.plans;
+  std::string normalized;
+  if (rcache != nullptr || pcache != nullptr) {
+    normalized = NormalizePattern(pattern);
+  }
+  SECXML_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> plan,
+                          ResolvePlan(pattern, normalized, pcache));
+  const PreparedQuery& pq = *plan;
   const size_t nf = pq.query.fragments.size();
 
   batch.classes.resize(groups.size());
 
-  // Evaluate in chunks of up to chunk_cap classes: one structural scan per
-  // chunk, mask-wide accessibility per node. With 512-wide masks almost
-  // every batch collapses to a single chunk; the option keeps the chunked
-  // path reachable for tests and tuning.
+  // Probe the result cache per class (by column fingerprint). Non-blocking:
+  // a class whose key is in flight on another thread is evaluated live
+  // rather than waited on — a batch must never block holding per-class
+  // flight leaderships. Leaderships taken here are abandoned by the guards
+  // on every early error return.
+  std::vector<cache::ResultKey> keys(groups.size());
+  std::deque<FlightGuard> flights;
+  std::vector<FlightGuard*> flight_of(groups.size(), nullptr);
+  std::vector<size_t> miss;
+  miss.reserve(groups.size());
+  for (size_t k = 0; k < groups.size(); ++k) {
+    if (rcache == nullptr) {
+      miss.push_back(k);
+      continue;
+    }
+    keys[k] = MakeResultKey(normalized, groups[k].fingerprint,
+                            options.semantics, options.ordered_siblings);
+    cache::ResultCache::Probe probe = rcache->Get(keys[k], pin.epoch());
+    if (probe.outcome == cache::ResultCache::ProbeOutcome::kHit) {
+      ClassEvalResult& cls = batch.classes[k];
+      cls.subjects = groups[k].members;
+      cls.result = MakeCachedResult(probe.payload, 0);
+      // The batch's one pin is attributed once (below), not per hit.
+      cls.result.operators.back().stats.epoch_pins = 0;
+      cls.result.exec = RollUp(cls.result.operators);
+      continue;
+    }
+    if (probe.outcome == cache::ResultCache::ProbeOutcome::kMissLead) {
+      flights.emplace_back(rcache, keys[k]);
+      flight_of[k] = &flights.back();
+    }
+    miss.push_back(k);
+  }
+
+  // The ACL dependency footprint is a function of the plan and semantics
+  // alone, so one computation covers every class published below.
+  uint64_t fp_begin = 0, fp_end = 0;
+  bool acl_independent = false;
+  if (rcache != nullptr && !miss.empty()) {
+    QueryFootprint(store_, pq, options.semantics, &fp_begin, &fp_end,
+                   &acl_independent);
+  }
+
+  // Evaluate the miss classes in chunks of up to chunk_cap: one structural
+  // scan per chunk, mask-wide accessibility per node. With 512-wide masks
+  // almost every batch collapses to a single chunk; the option keeps the
+  // chunked path reachable for tests and tuning.
   const size_t chunk_cap =
       options.batch_chunk_classes == 0
           ? kMaxBatchClasses
           : std::min(options.batch_chunk_classes, kMaxBatchClasses);
-  for (size_t chunk_begin = 0; chunk_begin < groups.size();
+  for (size_t chunk_begin = 0; chunk_begin < miss.size();
        chunk_begin += chunk_cap) {
-    const size_t chunk_end = std::min(groups.size(), chunk_begin + chunk_cap);
+    const size_t chunk_end = std::min(miss.size(), chunk_begin + chunk_cap);
     const size_t width = chunk_end - chunk_begin;
     std::vector<SubjectId> reps;
     reps.reserve(width);
     size_t chunk_subjects = 0;
-    for (size_t k = chunk_begin; k < chunk_end; ++k) {
-      reps.push_back(groups[k].representative());
-      chunk_subjects += groups[k].members.size();
+    for (size_t j = chunk_begin; j < chunk_end; ++j) {
+      reps.push_back(groups[miss[j]].representative());
+      chunk_subjects += groups[miss[j]].members.size();
     }
 
     MultiSubjectMatcher::Options mopts;
@@ -122,14 +176,15 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
                                                  &bmatches[f]));
     }
 
-    for (size_t k = chunk_begin; k < chunk_end; ++k) {
+    for (size_t j = chunk_begin; j < chunk_end; ++j) {
+      const size_t k = miss[j];
       ClassEvalResult& cls = batch.classes[k];
       cls.subjects = groups[k].members;
       EvalResult& r = cls.result;
 
       std::vector<std::vector<FragmentMatch>> matches(nf);
       for (size_t f = 0; f < nf; ++f) {
-        matches[f] = ProjectClassMatches(bmatches[f], k - chunk_begin);
+        matches[f] = ProjectClassMatches(bmatches[f], j - chunk_begin);
         r.fragment_matches += matches[f].size();
       }
 
@@ -137,20 +192,48 @@ Result<SubjectBatchResult> BatchEvaluator::Evaluate(
       // classes carry an empty scan operator so every class result has the
       // per-subject operator shape.
       r.operators.push_back(
-          {"scan", k == chunk_begin ? matcher.exec_stats() : ExecStats()});
+          {"scan", j == chunk_begin ? matcher.exec_stats() : ExecStats()});
 
       SECXML_RETURN_NOT_OK(FinalizeClassEval(
           store_, pq, options, groups[k].representative(), &matches, &r));
-      if (k == chunk_begin) {
+      if (j == chunk_begin) {
         ExecStats bc = BatchCounters(chunk_subjects, width);
         // The batch's single snapshot pin is attributed to the very first
         // chunk's batch operator (the rollup then reports 1 per batch).
         if (chunk_begin == 0) bc.epoch_pins = 1;
         r.operators.push_back({"batch", bc});
       }
+
+      if (rcache != nullptr) {
+        r.exec = RollUp(r.operators);
+        cache::ResultCache::Entry entry;
+        entry.payload = MakeCachePayload(r);
+        entry.epoch = pin.epoch();
+        entry.begin = fp_begin;
+        entry.end = fp_end;
+        entry.acl_independent = acl_independent;
+        const bool admitted = flight_of[k] != nullptr
+                                  ? flight_of[k]->Publish(std::move(entry))
+                                  : rcache->Publish(keys[k], std::move(entry));
+        ExecStats cache_stats;
+        cache_stats.result_cache_misses = 1;
+        if (!admitted) cache_stats.result_cache_invalidations = 1;
+        r.operators.push_back({"cache", cache_stats});
+      }
       r.exec = RollUp(r.operators);
-      batch.exec += r.exec;
     }
+  }
+
+  // All classes served from cache: the batch's one pin still needs a home
+  // for the rollup identity — attribute it to the first class's cache op.
+  if (miss.empty() && !batch.classes.empty()) {
+    EvalResult& r0 = batch.classes[0].result;
+    r0.operators.back().stats.epoch_pins = 1;
+    r0.exec = RollUp(r0.operators);
+  }
+
+  for (const ClassEvalResult& cls : batch.classes) {
+    batch.exec += cls.result.exec;
   }
   return batch;
 }

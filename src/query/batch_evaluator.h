@@ -9,6 +9,7 @@
 #include "exec/exec_stats.h"
 #include "query/evaluator.h"
 #include "query/pattern_tree.h"
+#include "query/query_cache.h"
 
 namespace secxml {
 
@@ -74,9 +75,18 @@ Status FinalizeClassEval(SecureStore* store, const PreparedQuery& pq,
 /// EvalOptions::subject is ignored (the span governs) and
 /// EvalOptions::use_view does not apply: the batch cursor's compiled mask
 /// tables are the batch analogue of the subject-compiled access view.
+/// With caches attached (DESIGN.md §14), each class probes the ResultCache
+/// by its column fingerprint before evaluation (non-blocking — a class in
+/// flight elsewhere is simply evaluated live) and publishes after; only the
+/// miss classes enter the chunked scan, so a batch whose classes were all
+/// answered by earlier traffic does no I/O at all. Batch counters
+/// (subjects_batched, classes_evaluated, class_dedup_hits) cover the
+/// classes actually evaluated; served classes are visible as
+/// result_cache_hits on their own "cache" operator.
 class BatchEvaluator {
  public:
-  explicit BatchEvaluator(SecureStore* store) : store_(store) {}
+  explicit BatchEvaluator(SecureStore* store, QueryCaches caches = {})
+      : store_(store), caches_(caches) {}
 
   Result<SubjectBatchResult> Evaluate(const PatternTree& pattern,
                                       std::span<const SubjectId> subjects,
@@ -84,6 +94,7 @@ class BatchEvaluator {
 
  private:
   SecureStore* store_;
+  QueryCaches caches_;
 };
 
 }  // namespace secxml

@@ -167,13 +167,18 @@ Result<EvalResult> QueryEvaluator::EvaluateXPath(std::string_view xpath,
 
 Result<EvalResult> QueryEvaluator::Evaluate(const PatternTree& pattern,
                                             const EvalOptions& options) {
+  PreparedQuery pq;
+  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
+  return EvaluatePrepared(pq, options);
+}
+
+Result<EvalResult> QueryEvaluator::EvaluatePrepared(
+    const PreparedQuery& pq, const EvalOptions& options) {
   // Pin one epoch for the whole evaluation: every snapshot-dependent read
   // below (codebook probes, page directory, cached views, hidden intervals)
   // resolves against this snapshot even if updates commit concurrently.
   SecureStore::SnapshotPin pin(store_);
 
-  PreparedQuery pq;
-  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
   const size_t nf = pq.query.fragments.size();
 
   // Match every fragment.

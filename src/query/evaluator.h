@@ -111,6 +111,14 @@ class QueryEvaluator {
   Result<EvalResult> Evaluate(const PatternTree& pattern,
                               const EvalOptions& options);
 
+  /// Evaluates an already-prepared query (the plan-cache entry point: the
+  /// caller fetched or built `pq` once and reuses it across calls). Pins
+  /// its own snapshot like Evaluate; a pin already held by the calling
+  /// thread is adopted, so cache-probing callers that pinned first get a
+  /// consistent epoch.
+  Result<EvalResult> EvaluatePrepared(const PreparedQuery& pq,
+                                      const EvalOptions& options);
+
   /// Convenience: parse an XPath-subset string and evaluate it.
   Result<EvalResult> EvaluateXPath(std::string_view xpath,
                                    const EvalOptions& options);

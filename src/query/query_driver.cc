@@ -55,7 +55,8 @@ BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
       if (i >= jobs.size()) break;
       eopts.subject = jobs[i].subject;
       Timer timer;
-      Result<EvalResult> r = eval.Evaluate(jobs[i].pattern, eopts);
+      Result<EvalResult> r = EvaluateWithCaches(store_, &eval, jobs[i].pattern,
+                                                eopts, options_.caches);
       QueryOutcome& out = batch.outcomes[i];
       out.latency_micros = timer.ElapsedMicros();
       if (r.ok()) {
@@ -84,7 +85,7 @@ BatchResult QueryDriver::Run(const std::vector<QueryJob>& jobs) {
 
 Result<SubjectBatchResult> QueryDriver::EvaluateForSubjects(
     const PatternTree& pattern, std::span<const SubjectId> subjects) {
-  BatchEvaluator eval(store_);
+  BatchEvaluator eval(store_, options_.caches);
   EvalOptions eopts;
   eopts.semantics = options_.semantics;
   eopts.page_skip = options_.page_skip;

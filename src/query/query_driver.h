@@ -13,6 +13,7 @@
 #include "query/batch_evaluator.h"
 #include "query/evaluator.h"
 #include "query/pattern_tree.h"
+#include "query/query_cache.h"
 #include "storage/io_stats.h"
 
 namespace secxml {
@@ -36,6 +37,13 @@ struct QueryDriverOptions {
   /// compiles each view once). Identical answers either way.
   bool use_view = true;
   bool ordered_siblings = false;
+  /// Cross-request caches (DESIGN.md §14). Both default off (null): every
+  /// existing call site keeps its exact pre-cache behavior. With a result
+  /// cache attached, workers probe (class fingerprint, normalized query)
+  /// before evaluating and publish after, with single-flight collapsing of
+  /// concurrent misses; with a plan cache attached, PrepareQuery runs once
+  /// per distinct pattern instead of once per job.
+  QueryCaches caches;
 };
 
 /// Outcome of one job, index-aligned with the submitted batch.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <thread>
 #include <unordered_map>
 
@@ -125,10 +126,8 @@ Status ShardCoordinator::GatherMatches(
   return Status::OK();
 }
 
-Result<EvalResult> ShardCoordinator::EvaluatePinned(const PatternTree& pattern,
+Result<EvalResult> ShardCoordinator::EvaluatePinned(const PreparedQuery& pq,
                                                     SubjectId subject) {
-  PreparedQuery pq;
-  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
   const size_t nf = pq.query.fragments.size();
   const size_t n = store_->num_shards();
 
@@ -169,10 +168,57 @@ Result<EvalResult> ShardCoordinator::EvaluatePinned(const PatternTree& pattern,
   return result;
 }
 
+Result<EvalResult> ShardCoordinator::EvaluateCachedPinned(
+    const ShardedStore::Pin& pin, const PatternTree& pattern,
+    SubjectId subject) {
+  cache::ResultCache* rcache = options_.caches.ResultsEnabled();
+  QueryPlanCache* pcache = options_.caches.plans;
+  std::string normalized;
+  if (rcache != nullptr || pcache != nullptr) {
+    normalized = NormalizePattern(pattern);
+  }
+  SECXML_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> plan,
+                          ResolvePlan(pattern, normalized, pcache));
+  if (rcache == nullptr) return EvaluatePinned(*plan, subject);
+
+  // The probe runs at the coordinator against shard 0 (the conventional
+  // witness: replicas share one codebook state and publish epochs in
+  // lockstep). A hit skips the entire scatter.
+  SecureStore* store0 = store_->shard_store(0);
+  ColumnFingerprint fp;  // {0,0} when the answer is subject-independent
+  if (options_.semantics != AccessSemantics::kNone) {
+    fp = store0->SubjectColumnFingerprint(subject);
+  }
+  cache::ResultKey key = MakeResultKey(normalized, fp, options_.semantics,
+                                       options_.ordered_siblings);
+  cache::ResultCache::Probe probe = rcache->GetOrWait(key, pin.epoch());
+  if (probe.outcome == cache::ResultCache::ProbeOutcome::kHit) {
+    return MakeCachedResult(probe.payload, probe.waits);
+  }
+  FlightGuard flight(rcache, key);
+  Result<EvalResult> r = EvaluatePinned(*plan, subject);
+  if (!r.ok()) return r;  // the guard abandons the flight
+
+  cache::ResultCache::Entry entry;
+  entry.payload = MakeCachePayload(*r);
+  entry.epoch = pin.epoch();
+  QueryFootprint(store0, *plan, options_.semantics, &entry.begin, &entry.end,
+                 &entry.acl_independent);
+  const bool admitted = flight.Publish(std::move(entry));
+
+  ExecStats cache_stats;
+  cache_stats.result_cache_misses = 1;
+  cache_stats.single_flight_waits = probe.waits;
+  if (!admitted) cache_stats.result_cache_invalidations = 1;
+  r->operators.push_back({"cache", cache_stats});
+  r->exec = RollUp(r->operators);
+  return r;
+}
+
 Result<EvalResult> ShardCoordinator::Evaluate(const PatternTree& pattern,
                                               SubjectId subject) {
   ShardedStore::Pin pin(store_);
-  return EvaluatePinned(pattern, subject);
+  return EvaluateCachedPinned(pin, pattern, subject);
 }
 
 BatchResult ShardCoordinator::Run(const std::vector<QueryJob>& jobs) {
@@ -184,16 +230,58 @@ BatchResult ShardCoordinator::Run(const std::vector<QueryJob>& jobs) {
   IoStatsSnapshot before = store_->io_snapshot();
   const size_t n = store_->num_shards();
 
-  // Plans are prepared once per job up front; a job that fails to prepare
-  // fails alone and its scatter never runs.
-  std::vector<PreparedQuery> pqs(jobs.size());
+  cache::ResultCache* rcache = options_.caches.ResultsEnabled();
+  QueryPlanCache* pcache = options_.caches.plans;
+  SecureStore* store0 = store_->shard_store(0);
+
+  // Plans are resolved once per job up front (through the plan cache when
+  // attached); a job that fails to prepare fails alone and its scatter
+  // never runs.
+  std::vector<std::shared_ptr<const PreparedQuery>> plans(jobs.size());
+  std::vector<std::string> normalized(jobs.size());
   std::vector<char> prepared(jobs.size(), 0);
   for (size_t j = 0; j < jobs.size(); ++j) {
-    Status st = PrepareQuery(jobs[j].pattern, &pqs[j]);
-    if (st.ok()) {
+    if (rcache != nullptr || pcache != nullptr) {
+      normalized[j] = NormalizePattern(jobs[j].pattern);
+    }
+    Result<std::shared_ptr<const PreparedQuery>> plan =
+        ResolvePlan(jobs[j].pattern, normalized[j], pcache);
+    if (plan.ok()) {
+      plans[j] = std::move(*plan);
       prepared[j] = 1;
     } else {
-      batch.outcomes[j].status = st;
+      batch.outcomes[j].status = plan.status();
+    }
+  }
+
+  // Coordinator-level cache probes before ANY scatter: a served job's shard
+  // tasks never run at all. Non-blocking — a job whose key is in flight on
+  // another coordinator scatters normally rather than waiting with work
+  // queued behind it.
+  std::vector<char> served(jobs.size(), 0);
+  std::vector<cache::ResultKey> keys(jobs.size());
+  std::deque<FlightGuard> flights;
+  std::vector<FlightGuard*> flight_of(jobs.size(), nullptr);
+  if (rcache != nullptr) {
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      if (!prepared[j]) continue;
+      Timer probe_timer;
+      ColumnFingerprint fp;
+      if (options_.semantics != AccessSemantics::kNone) {
+        fp = store0->SubjectColumnFingerprint(jobs[j].subject);
+      }
+      keys[j] = MakeResultKey(normalized[j], fp, options_.semantics,
+                              options_.ordered_siblings);
+      cache::ResultCache::Probe probe = rcache->Get(keys[j], pin.epoch());
+      if (probe.outcome == cache::ResultCache::ProbeOutcome::kHit) {
+        batch.outcomes[j].result = MakeCachedResult(probe.payload, 0);
+        batch.outcomes[j].latency_micros = probe_timer.ElapsedMicros();
+        served[j] = 1;
+      } else if (probe.outcome ==
+                 cache::ResultCache::ProbeOutcome::kMissLead) {
+        flights.emplace_back(rcache, keys[j]);
+        flight_of[j] = &flights.back();
+      }
     }
   }
 
@@ -210,8 +298,8 @@ BatchResult ShardCoordinator::Run(const std::vector<QueryJob>& jobs) {
       if (t >= tasks) break;
       const size_t j = t / n;
       const size_t s = t % n;
-      if (!prepared[j]) continue;
-      scans[j][s] = ScanShard(s, pqs[j], jobs[j].subject);
+      if (!prepared[j] || served[j]) continue;
+      scans[j][s] = ScanShard(s, *plans[j], jobs[j].subject);
     }
   };
   const size_t workers = std::clamp<size_t>(scatter_width(), 1, tasks);
@@ -230,7 +318,7 @@ BatchResult ShardCoordinator::Run(const std::vector<QueryJob>& jobs) {
   // it; everything else completes and aggregates normally.
   for (size_t j = 0; j < jobs.size(); ++j) {
     QueryOutcome& out = batch.outcomes[j];
-    if (!prepared[j]) continue;
+    if (!prepared[j] || served[j]) continue;
     int64_t scatter_micros = 0;
     Status failed = Status::OK();
     for (const ShardScan& scan : scans[j]) {
@@ -244,7 +332,7 @@ BatchResult ShardCoordinator::Run(const std::vector<QueryJob>& jobs) {
       continue;
     }
     EvalResult result;
-    const size_t nf = pqs[j].query.fragments.size();
+    const size_t nf = plans[j]->query.fragments.size();
     std::vector<std::vector<FragmentMatch>> matches(nf);
     ExecStats merge_stats;
     Status gathered = GatherMatches(scans[j], &matches, &merge_stats,
@@ -272,9 +360,24 @@ BatchResult ShardCoordinator::Run(const std::vector<QueryJob>& jobs) {
       result.operators.push_back({"visibility", vis_stats});
     }
     ExecStats join_stats;
-    JoinMatches(pqs[j], matches, &result.answers, &join_stats);
+    JoinMatches(*plans[j], matches, &result.answers, &join_stats);
     result.operators.push_back({"join", join_stats});
     result.exec = RollUp(result.operators);
+    if (rcache != nullptr) {
+      cache::ResultCache::Entry entry;
+      entry.payload = MakeCachePayload(result);
+      entry.epoch = pin.epoch();
+      QueryFootprint(store0, *plans[j], options_.semantics, &entry.begin,
+                     &entry.end, &entry.acl_independent);
+      const bool admitted = flight_of[j] != nullptr
+                                ? flight_of[j]->Publish(std::move(entry))
+                                : rcache->Publish(keys[j], std::move(entry));
+      ExecStats cache_stats;
+      cache_stats.result_cache_misses = 1;
+      if (!admitted) cache_stats.result_cache_invalidations = 1;
+      result.operators.push_back({"cache", cache_stats});
+      result.exec = RollUp(result.operators);
+    }
     out.result = std::move(result);
     // Latency is the job's critical path: its slowest shard scan plus the
     // coordinator's merge+join (scans of one job run concurrently).
@@ -300,7 +403,8 @@ Result<SubjectBatchResult> ShardCoordinator::EvaluateForSubjects(
   // class, answered by the (sharded) per-subject path — the same collapse
   // BatchEvaluator performs.
   if (options_.semantics == AccessSemantics::kNone) {
-    SECXML_ASSIGN_OR_RETURN(EvalResult r, EvaluatePinned(pattern, 0));
+    SECXML_ASSIGN_OR_RETURN(EvalResult r,
+                            EvaluateCachedPinned(pin, pattern, 0));
     r.operators.push_back({"batch", BatchCounters(subjects.size(), 1)});
     r.exec = RollUp(r.operators);
     ClassEvalResult cls;
@@ -324,25 +428,73 @@ Result<SubjectBatchResult> ShardCoordinator::EvaluateForSubjects(
   batch.class_of.reserve(subjects.size());
   for (SubjectId s : subjects) batch.class_of.push_back(class_index.at(s));
 
-  PreparedQuery pq;
-  SECXML_RETURN_NOT_OK(PrepareQuery(pattern, &pq));
+  cache::ResultCache* rcache = options_.caches.ResultsEnabled();
+  QueryPlanCache* pcache = options_.caches.plans;
+  std::string normalized;
+  if (rcache != nullptr || pcache != nullptr) {
+    normalized = NormalizePattern(pattern);
+  }
+  SECXML_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> plan,
+                          ResolvePlan(pattern, normalized, pcache));
+  const PreparedQuery& pq = *plan;
   const size_t nf = pq.query.fragments.size();
   batch.classes.resize(groups.size());
+
+  // Per-class probes at the coordinator, exactly BatchEvaluator's protocol:
+  // non-blocking (an in-flight class scatters live), served classes never
+  // reach any shard.
+  std::vector<cache::ResultKey> keys(groups.size());
+  std::deque<FlightGuard> flights;
+  std::vector<FlightGuard*> flight_of(groups.size(), nullptr);
+  std::vector<size_t> miss;
+  miss.reserve(groups.size());
+  for (size_t k = 0; k < groups.size(); ++k) {
+    if (rcache == nullptr) {
+      miss.push_back(k);
+      continue;
+    }
+    keys[k] = MakeResultKey(normalized, groups[k].fingerprint,
+                            options_.semantics, options_.ordered_siblings);
+    cache::ResultCache::Probe probe = rcache->Get(keys[k], pin.epoch());
+    if (probe.outcome == cache::ResultCache::ProbeOutcome::kHit) {
+      ClassEvalResult& cls = batch.classes[k];
+      cls.subjects = groups[k].members;
+      cls.result = MakeCachedResult(probe.payload, 0);
+      // The batch's one coordinator pin is attributed once (below).
+      cls.result.operators.back().stats.epoch_pins = 0;
+      cls.result.exec = RollUp(cls.result.operators);
+      continue;
+    }
+    if (probe.outcome == cache::ResultCache::ProbeOutcome::kMissLead) {
+      flights.emplace_back(rcache, keys[k]);
+      flight_of[k] = &flights.back();
+    }
+    miss.push_back(k);
+  }
+
+  // One footprint covers every class published below (it depends only on
+  // the plan and semantics).
+  uint64_t fp_begin = 0, fp_end = 0;
+  bool acl_independent = false;
+  if (rcache != nullptr && !miss.empty()) {
+    QueryFootprint(store_->shard_store(0), pq, options_.semantics, &fp_begin,
+                   &fp_end, &acl_independent);
+  }
 
   const size_t chunk_cap =
       options.batch_chunk_classes == 0
           ? kMaxBatchClasses
           : std::min(options.batch_chunk_classes, kMaxBatchClasses);
-  for (size_t chunk_begin = 0; chunk_begin < groups.size();
+  for (size_t chunk_begin = 0; chunk_begin < miss.size();
        chunk_begin += chunk_cap) {
-    const size_t chunk_end = std::min(groups.size(), chunk_begin + chunk_cap);
+    const size_t chunk_end = std::min(miss.size(), chunk_begin + chunk_cap);
     const size_t width = chunk_end - chunk_begin;
     std::vector<SubjectId> reps;
     reps.reserve(width);
     size_t chunk_subjects = 0;
-    for (size_t k = chunk_begin; k < chunk_end; ++k) {
-      reps.push_back(groups[k].representative());
-      chunk_subjects += groups[k].members.size();
+    for (size_t j = chunk_begin; j < chunk_end; ++j) {
+      reps.push_back(groups[miss[j]].representative());
+      chunk_subjects += groups[miss[j]].members.size();
     }
 
     // Scatter the chunk's one structural scan: each shard's multi-subject
@@ -407,18 +559,19 @@ Result<SubjectBatchResult> ShardCoordinator::EvaluateForSubjects(
     // Per-class finalize at the coordinator, mirroring BatchEvaluator: the
     // chunk's shared scatter (per-shard scans + the merge) is attributed to
     // its first class, every class runs the shared FinalizeClassEval.
-    for (size_t k = chunk_begin; k < chunk_end; ++k) {
+    for (size_t j = chunk_begin; j < chunk_end; ++j) {
+      const size_t k = miss[j];
       ClassEvalResult& cls = batch.classes[k];
       cls.subjects = groups[k].members;
       EvalResult& r = cls.result;
 
       std::vector<std::vector<FragmentMatch>> matches(nf);
       for (size_t f = 0; f < nf; ++f) {
-        matches[f] = ProjectClassMatches(bmatches[f], k - chunk_begin);
+        matches[f] = ProjectClassMatches(bmatches[f], j - chunk_begin);
         r.fragment_matches += matches[f].size();
       }
 
-      if (k == chunk_begin) {
+      if (j == chunk_begin) {
         for (const BatchShardScan& scan : scans) {
           r.operators.push_back({"scan", scan.scan});
         }
@@ -431,16 +584,44 @@ Result<SubjectBatchResult> ShardCoordinator::EvaluateForSubjects(
                                              options,
                                              groups[k].representative(),
                                              &matches, &r));
-      if (k == chunk_begin) {
+      if (j == chunk_begin) {
         ExecStats bc = BatchCounters(chunk_subjects, width);
         // The batch's single coordinator pin, attributed to the very first
         // chunk (the per-shard worker pins live in the scan operators).
         if (chunk_begin == 0) bc.epoch_pins = 1;
         r.operators.push_back({"batch", bc});
       }
+
+      if (rcache != nullptr) {
+        r.exec = RollUp(r.operators);
+        cache::ResultCache::Entry entry;
+        entry.payload = MakeCachePayload(r);
+        entry.epoch = pin.epoch();
+        entry.begin = fp_begin;
+        entry.end = fp_end;
+        entry.acl_independent = acl_independent;
+        const bool admitted = flight_of[k] != nullptr
+                                  ? flight_of[k]->Publish(std::move(entry))
+                                  : rcache->Publish(keys[k], std::move(entry));
+        ExecStats cache_stats;
+        cache_stats.result_cache_misses = 1;
+        if (!admitted) cache_stats.result_cache_invalidations = 1;
+        r.operators.push_back({"cache", cache_stats});
+      }
       r.exec = RollUp(r.operators);
-      batch.exec += r.exec;
     }
+  }
+
+  // All classes served from cache: the batch's one coordinator pin still
+  // needs a home for the rollup identity — the first class's cache op.
+  if (miss.empty() && !batch.classes.empty()) {
+    EvalResult& r0 = batch.classes[0].result;
+    r0.operators.back().stats.epoch_pins = 1;
+    r0.exec = RollUp(r0.operators);
+  }
+
+  for (const ClassEvalResult& cls : batch.classes) {
+    batch.exec += cls.result.exec;
   }
   return batch;
 }

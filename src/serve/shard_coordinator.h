@@ -25,6 +25,13 @@ struct ShardCoordinatorOptions {
   /// Batch evaluation: cap on visibility classes per structural scan
   /// (see EvalOptions::batch_chunk_classes).
   size_t batch_chunk_classes = 0;
+  /// Cross-request caches (DESIGN.md §14), probed at the COORDINATOR —
+  /// before any scatter — so a hit skips every shard's scan. Invalidation
+  /// attaches to shard 0 (AttachResultCacheInvalidation on shard_store(0)):
+  /// every update reaches shard 0 under the exclusive fence and replicas
+  /// publish in epoch lockstep, so shard 0's commit stream covers the
+  /// fleet. Defaults off.
+  QueryCaches caches;
 };
 
 /// Scatter-gather query front end over a ShardedStore (DESIGN.md §13).
@@ -95,10 +102,18 @@ class ShardCoordinator {
                        std::vector<std::vector<FragmentMatch>>* matches,
                        ExecStats* merge, size_t* fragment_matches);
 
-  /// Body of Evaluate once the caller holds a ShardedStore::Pin (so the
-  /// batch path can reuse it without re-entering the fence).
-  Result<EvalResult> EvaluatePinned(const PatternTree& pattern,
+  /// Body of Evaluate once the caller holds a ShardedStore::Pin and a
+  /// resolved plan (so the batch path can reuse the pin and the cache path
+  /// shares the plan with its probe).
+  Result<EvalResult> EvaluatePinned(const PreparedQuery& pq,
                                     SubjectId subject);
+
+  /// Cache-aware body of Evaluate under the caller's fence pin: resolves
+  /// the plan (through the plan cache), probes the result cache with
+  /// single-flight, scatters only on a miss, publishes after the join.
+  Result<EvalResult> EvaluateCachedPinned(const ShardedStore::Pin& pin,
+                                          const PatternTree& pattern,
+                                          SubjectId subject);
 
   /// Runs `fn(shard)` for every shard on the scatter pool.
   void RunOnShards(const std::function<void(size_t)>& fn);

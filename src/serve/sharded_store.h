@@ -121,6 +121,13 @@ class ShardedStore {
     Pin(const Pin&) = delete;
     Pin& operator=(const Pin&) = delete;
 
+    /// The pinned epoch on shard `shard`. The fence makes it equal across
+    /// shards; shard 0 is the conventional witness (cache probes validate
+    /// against it).
+    EpochManager::Epoch epoch(size_t shard = 0) const {
+      return pins_[shard]->epoch();
+    }
+
    private:
     std::shared_lock<std::shared_mutex> fence_;
     std::vector<std::unique_ptr<SecureStore::SnapshotPin>> pins_;

@@ -169,6 +169,92 @@ TEST(CodebookTest, GroupSubjectsByColumnGroupsUnknownSubjectsTogether) {
   EXPECT_EQ(classes[1].members, (std::vector<SubjectId>{7, 1, 9}));
 }
 
+TEST(CodebookTest, ColumnFingerprintIsAPureContentHash) {
+  // The fingerprint is a deterministic function of the column bits alone:
+  // independently built codebooks with the same entry sequence agree, and
+  // every fingerprint equals hashing the extracted column directly.
+  Codebook a(3);
+  Codebook b(3);
+  for (const char* e : {"101", "011", "110"}) a.Intern(Bits(e));
+  for (const char* e : {"101", "011", "110"}) b.Intern(Bits(e));
+  for (SubjectId s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.ColumnFingerprintOf(s), b.ColumnFingerprintOf(s))
+        << "subject " << s;
+    EXPECT_EQ(a.ColumnFingerprintOf(s), ColumnFingerprint::Of(a.Column(s)));
+  }
+}
+
+TEST(CodebookTest, CompactionRenumberingChangesFingerprints) {
+  // Compaction dedups entries, which changes every column's content — and
+  // therefore its fingerprint. That is the cache-safety property: a result
+  // keyed under the old numbering becomes UNREACHABLE after compaction
+  // instead of silently aliasing a different visibility class.
+  Codebook cb(3);
+  AccessCodeId a = cb.Intern(Bits("110"));
+  cb.Intern(Bits("010"));
+  cb.Intern(Bits("011"));
+  ASSERT_TRUE(cb.RemoveSubject(0).ok());  // makes entries a and b duplicates
+  ASSERT_GT(cb.size(), cb.CountDistinct());
+  ColumnFingerprint before0 = cb.ColumnFingerprintOf(0);
+  ColumnFingerprint before1 = cb.ColumnFingerprintOf(1);
+  std::vector<AccessCodeId> mapping;
+  Codebook compacted = cb.Compacted(&mapping);
+  ASSERT_LT(compacted.size(), cb.size());
+  EXPECT_NE(compacted.ColumnFingerprintOf(0), before0);
+  EXPECT_NE(compacted.ColumnFingerprintOf(1), before1);
+  // The compacted book still agrees with a direct column hash, and old
+  // codes map onto entries with identical bits.
+  EXPECT_EQ(compacted.ColumnFingerprintOf(0),
+            ColumnFingerprint::Of(compacted.Column(0)));
+  EXPECT_EQ(compacted.Entry(mapping[a]).ToString(), cb.Entry(a).ToString());
+}
+
+TEST(CodebookTest, ColumnFingerprintStableUnderAddSubject) {
+  Codebook cb(2);
+  cb.Intern(Bits("10"));
+  cb.Intern(Bits("01"));
+  ColumnFingerprint before0 = cb.ColumnFingerprintOf(0);
+  ColumnFingerprint before1 = cb.ColumnFingerprintOf(1);
+  EXPECT_EQ(cb.AddSubject(false), 2u);
+  ASSERT_TRUE(cb.AddSubjectLike(0).ok());
+  // Existing columns are untouched by appended subjects, and the copied
+  // column fingerprints identically to its source.
+  EXPECT_EQ(cb.ColumnFingerprintOf(0), before0);
+  EXPECT_EQ(cb.ColumnFingerprintOf(1), before1);
+  EXPECT_EQ(cb.ColumnFingerprintOf(3), before0);
+}
+
+TEST(CodebookTest, ColumnFingerprintChangesOnSingleBitFlip) {
+  Codebook cb(2);
+  cb.Intern(Bits("10"));
+  cb.Intern(Bits("01"));
+  Codebook flipped(2);
+  flipped.Intern(Bits("10"));
+  flipped.Intern(Bits("11"));  // one bit differs in subject 0's column
+  EXPECT_NE(cb.ColumnFingerprintOf(0), flipped.ColumnFingerprintOf(0));
+  EXPECT_NE(cb.ColumnFingerprintOf(0), cb.ColumnFingerprintOf(1));
+}
+
+TEST(CodebookTest, GroupSubjectsByColumnFillsFingerprints) {
+  Codebook cb(4);
+  cb.Intern(Bits("1011"));
+  cb.Intern(Bits("0100"));
+  cb.Intern(Bits("0011"));
+  // Columns: s0 = 100, s1 = 010, s2 = s3 = 101 — three classes.
+  std::vector<SubjectClass> classes = GroupSubjectsByColumn(cb, {0, 2, 1, 3});
+  ASSERT_EQ(classes.size(), 3u);
+  for (const SubjectClass& cls : classes) {
+    EXPECT_EQ(cls.fingerprint,
+              cb.ColumnFingerprintOf(cls.representative()));
+    for (SubjectId s : cls.members) {
+      EXPECT_EQ(cb.ColumnFingerprintOf(s), cls.fingerprint);
+    }
+  }
+  // Distinct classes carry distinct fingerprints.
+  EXPECT_NE(classes[0].fingerprint, classes[1].fingerprint);
+  EXPECT_NE(classes[1].fingerprint, classes[2].fingerprint);
+}
+
 TEST(CodebookTest, ManyDistinctEntries) {
   Codebook cb(16);
   for (uint32_t v = 0; v < 65536; v += 7) {
